@@ -1,0 +1,62 @@
+//! Regenerates Figure 3 of the paper: for each of the six RiVEC-style
+//! applications and each evaluated configuration (NATIVE X1..X8,
+//! RG-LMUL1..8, AVA X1..X8), the vector-memory-instruction breakdown, the
+//! instruction mix, the execution time/speedup and the energy breakdown.
+//!
+//! Usage:
+//!
+//! ```text
+//! fig3 [--app <name>] [--chart mem|mix|perf|energy|all]
+//! ```
+
+use ava_bench::{
+    format_energy, format_instruction_mix, format_memory_breakdown, format_performance,
+    paper_workloads, run_figure3_for,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut app_filter: Option<String> = None;
+    let mut chart = "all".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--app" if i + 1 < args.len() => {
+                app_filter = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--chart" if i + 1 < args.len() => {
+                chart = args[i + 1].clone();
+                i += 2;
+            }
+            other => {
+                eprintln!("unrecognised argument: {other}");
+                eprintln!("usage: fig3 [--app <name>] [--chart mem|mix|perf|energy|all]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    for workload in paper_workloads() {
+        if let Some(f) = &app_filter {
+            if workload.name() != f {
+                continue;
+            }
+        }
+        let name = workload.name();
+        eprintln!("simulating {name} on all configurations...");
+        let reports = run_figure3_for(workload.as_ref());
+        if chart == "mem" || chart == "all" {
+            println!("{}", format_memory_breakdown(name, &reports));
+        }
+        if chart == "mix" || chart == "all" {
+            println!("{}", format_instruction_mix(name, &reports));
+        }
+        if chart == "perf" || chart == "all" {
+            println!("{}", format_performance(name, &reports));
+        }
+        if chart == "energy" || chart == "all" {
+            println!("{}", format_energy(name, &reports));
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 4 of the paper: the area breakdown of every VPU
+//! configuration (McPAT-style model at 22 nm) and the average
+//! performance-per-mm² across the six applications.
+
+fn main() {
+    let workloads = ava_bench::paper_workloads();
+    print!("{}", ava_bench::format_figure4(&workloads));
+}

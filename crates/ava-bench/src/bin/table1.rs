@@ -1,0 +1,6 @@
+//! Regenerates Table I of the paper: the physical vector register file
+//! configurations supported by the 8 KB AVA P-VRF.
+
+fn main() {
+    print!("{}", ava_bench::format_table1());
+}

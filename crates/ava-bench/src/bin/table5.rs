@@ -1,0 +1,7 @@
+//! Regenerates Table V of the paper: post-place-and-route area, power and
+//! timing estimates for the NATIVE X8 and AVA designs (analytical stand-in
+//! for the Cadence flow; see DESIGN.md for the substitution notes).
+
+fn main() {
+    print!("{}", ava_bench::format_table5());
+}

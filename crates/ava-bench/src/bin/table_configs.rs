@@ -1,0 +1,6 @@
+//! Regenerates Tables II and III of the paper: the evaluated system
+//! configurations (NATIVE, AVA and Register Grouping) and their equivalences.
+
+fn main() {
+    print!("{}", ava_bench::format_table_configs());
+}

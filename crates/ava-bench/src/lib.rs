@@ -1,0 +1,386 @@
+//! # ava-bench — experiment harness regenerating every table and figure
+//!
+//! Each binary in `src/bin/` regenerates one artefact of the paper's
+//! evaluation from the simulator, the compiler and the physical models:
+//!
+//! | Binary          | Paper artefact                                              |
+//! |-----------------|-------------------------------------------------------------|
+//! | `table1`        | Table I — P-VRF configurations (physical registers vs MVL)   |
+//! | `table_configs` | Tables II & III — evaluated system configurations             |
+//! | `fig3`          | Figure 3 — per-application memory-instruction breakdown,      |
+//! |                 | instruction mix, execution time/speedup and energy            |
+//! | `fig4`          | Figure 4 — area breakdown and performance/mm²                 |
+//! | `table5`        | Table V — post-place-and-route estimates                      |
+//! | `ablation`      | Sensitivity to queue/ROB sizes and VMU overhead (DESIGN.md)    |
+//!
+//! The Criterion benches in `benches/` measure the *simulator itself*
+//! (rename/swap throughput, cache behaviour, end-to-end kernel simulation),
+//! so regressions in the reproduction infrastructure are caught as well.
+//!
+//! The library part of the crate holds the shared harness: the workload
+//! instances sized for the evaluation, the configuration lists, and the
+//! text formatting of every chart, so binaries stay thin and the harness is
+//! unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use ava_energy::{energy_breakdown, pnr_estimate, system_area, EnergyParams};
+use ava_sim::{geometric_mean, run_workload, speedup_vs, RunReport, SystemConfig};
+use ava_vpu::{preg_count_for_mvl, VpuConfig};
+use ava_workloads::{Axpy, Blackscholes, LavaMd2, ParticleFilter, Somier, Swaptions, Workload};
+
+/// The six applications of Table IV at the problem sizes used for the
+/// reproduction (scaled to keep a full Figure 3 sweep fast; see
+/// EXPERIMENTS.md for the sizes and the reasoning).
+#[must_use]
+pub fn paper_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Axpy::new(4096)),
+        Box::new(Blackscholes::new(1024)),
+        Box::new(LavaMd2::new(48, 2)),
+        Box::new(ParticleFilter::new(2048, 64)),
+        Box::new(Somier::new(4096)),
+        Box::new(Swaptions::new(1024)),
+    ]
+}
+
+/// Smaller versions of the same workloads, used by the Criterion benches so
+/// one benchmark iteration stays in the millisecond range.
+#[must_use]
+pub fn bench_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Axpy::new(1024)),
+        Box::new(Blackscholes::new(256)),
+        Box::new(LavaMd2::new(16, 2)),
+        Box::new(ParticleFilter::new(512, 32)),
+        Box::new(Somier::new(1024)),
+        Box::new(Swaptions::new(256)),
+    ]
+}
+
+/// The configurations plotted in Figure 3, in presentation order.
+#[must_use]
+pub fn evaluated_systems() -> Vec<SystemConfig> {
+    SystemConfig::all_evaluated()
+}
+
+/// Runs one workload across every evaluated configuration.
+#[must_use]
+pub fn run_figure3_for(workload: &dyn Workload) -> Vec<RunReport> {
+    evaluated_systems()
+        .iter()
+        .map(|sys| run_workload(workload, sys))
+        .collect()
+}
+
+/// Formats the Figure 3 column-1 chart: vector memory instruction counts
+/// split into loads, stores, compiler spills and AVA swaps.
+#[must_use]
+pub fn format_memory_breakdown(workload: &str, reports: &[RunReport]) -> String {
+    let mut out = format!("Figure 3 ({workload}) — vector memory instructions\n");
+    out.push_str(&format!(
+        "{:<12} {:>9} {:>9} {:>10} {:>10} {:>9} {:>9} {:>10}\n",
+        "config", "VLoad", "VStore", "Spill-Ld", "Spill-St", "Swap-Ld", "Swap-St", "total"
+    ));
+    for r in reports {
+        out.push_str(&format!(
+            "{:<12} {:>9} {:>9} {:>10} {:>10} {:>9} {:>9} {:>10}\n",
+            r.config,
+            r.vpu.vloads,
+            r.vpu.vstores,
+            r.vpu.spill_loads,
+            r.vpu.spill_stores,
+            r.vpu.swap_loads,
+            r.vpu.swap_stores,
+            r.memory_instructions(),
+        ));
+    }
+    out
+}
+
+/// Formats the Figure 3 column-2 chart: percentage of arithmetic vs memory
+/// vector instructions.
+#[must_use]
+pub fn format_instruction_mix(workload: &str, reports: &[RunReport]) -> String {
+    let mut out = format!("Figure 3 ({workload}) — % of vector instructions\n");
+    out.push_str(&format!(
+        "{:<12} {:>13} {:>10}\n",
+        "config", "Varithmetic", "Vmemory"
+    ));
+    for r in reports {
+        let mem = 100.0 * r.vpu.memory_fraction();
+        out.push_str(&format!(
+            "{:<12} {:>12.1}% {:>9.1}%\n",
+            r.config,
+            100.0 - mem,
+            mem
+        ));
+    }
+    out
+}
+
+/// Formats the Figure 3 column-3 chart: execution time and speedup relative
+/// to NATIVE X1.
+#[must_use]
+pub fn format_performance(workload: &str, reports: &[RunReport]) -> String {
+    let speedups = speedup_vs(reports, "NATIVE X1");
+    let mut out = format!("Figure 3 ({workload}) — execution time and speedup vs NATIVE X1\n");
+    out.push_str(&format!(
+        "{:<12} {:>14} {:>12} {:>8} {:>6}\n",
+        "config", "cycles", "time (ms)", "speedup", "ok"
+    ));
+    for (r, (_, s)) in reports.iter().zip(speedups.iter()) {
+        out.push_str(&format!(
+            "{:<12} {:>14} {:>12.4} {:>8.2} {:>6}\n",
+            r.config,
+            r.cycles,
+            r.seconds() * 1e3,
+            s,
+            if r.validated { "yes" } else { "NO" }
+        ));
+    }
+    out
+}
+
+/// Formats the Figure 3 column-4 chart: energy breakdown from the
+/// McPAT-style model.
+#[must_use]
+pub fn format_energy(workload: &str, reports: &[RunReport]) -> String {
+    let params = EnergyParams::default();
+    let configs = config_map();
+    let mut out = format!("Figure 3 ({workload}) — energy (mJ)\n");
+    out.push_str(&format!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
+        "config", "L2 dyn", "L2 leak", "VRF dyn", "VRF leak", "FPU dyn", "FPU leak", "total"
+    ));
+    for r in reports {
+        let cfg = &configs[r.config.as_str()];
+        let e = energy_breakdown(r, cfg, &params);
+        out.push_str(&format!(
+            "{:<12} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}\n",
+            r.config,
+            e.l2_dynamic,
+            e.l2_leakage,
+            e.vrf_dynamic,
+            e.vrf_leakage,
+            e.fpu_dynamic,
+            e.fpu_leakage,
+            e.total()
+        ));
+    }
+    out
+}
+
+fn config_map() -> BTreeMap<&'static str, VpuConfig> {
+    let mut m = BTreeMap::new();
+    for sys in evaluated_systems() {
+        let label: &'static str = Box::leak(sys.label().to_string().into_boxed_str());
+        m.insert(label, sys.vpu.clone());
+    }
+    m
+}
+
+/// Regenerates Table I: physical vector register file configurations.
+#[must_use]
+pub fn format_table1() -> String {
+    let mut out = String::from("Table I — physical vector register file configurations (8 KB P-VRF)\n");
+    out.push_str("MVL (elems) :");
+    for n in 1..=8 {
+        out.push_str(&format!(" {:>5}", 16 * n));
+    }
+    out.push_str("\nP-Regs      :");
+    for n in 1..=8 {
+        out.push_str(&format!(" {:>5}", preg_count_for_mvl(8 * 1024, 16 * n)));
+    }
+    out.push('\n');
+    out
+}
+
+/// Regenerates Tables II and III: the evaluated system configurations and
+/// their equivalences.
+#[must_use]
+pub fn format_table_configs() -> String {
+    let mut out = String::from(
+        "Tables II & III — system configurations (8 lanes, 1 GHz VPU, dual-issue 2 GHz scalar core)\n",
+    );
+    out.push_str(&format!(
+        "{:<12} {:>6} {:>10} {:>10} {:>10} {:>12}\n",
+        "config", "MVL", "VRF (KB)", "P-regs", "logical", "M-VRF (KB)"
+    ));
+    for sys in evaluated_systems() {
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>10} {:>10} {:>10} {:>12}\n",
+            sys.label(),
+            sys.vpu.mvl,
+            sys.vpu.pvrf_bytes / 1024,
+            sys.vpu.physical_regs(),
+            sys.vpu.logical_regs,
+            sys.vpu.mvrf_bytes() / 1024,
+        ));
+    }
+    out
+}
+
+/// Regenerates Figure 4: the area breakdown of every configuration and the
+/// average performance/mm² over the six applications.
+#[must_use]
+pub fn format_figure4(workloads: &[Box<dyn Workload>]) -> String {
+    // Area side: one column per configuration of Figure 4.
+    let columns: Vec<SystemConfig> = vec![
+        SystemConfig::native_x(1),
+        SystemConfig::ava_x(1),
+        SystemConfig::native_x(2),
+        SystemConfig::native_x(3),
+        SystemConfig::native_x(4),
+        SystemConfig::native_x(8),
+    ];
+    let mut out = String::from("Figure 4 — area (mm², 22 nm) and performance/mm²\n");
+    out.push_str(&format!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7} {:>10}\n",
+        "config", "VPU VRF", "VPU FPU", "AVA", "VPU tot", "core", "L1", "L2", "perf/mm2"
+    ));
+
+    // Performance/mm²: average speedup of each configuration across the
+    // workloads, normalised by VPU area (the paper's right axis).
+    let params = EnergyParams::default();
+    let _ = &params;
+    for sys in &columns {
+        let area = system_area(&sys.vpu);
+        let mut perf = Vec::new();
+        for w in workloads {
+            let baseline = run_workload(w.as_ref(), &SystemConfig::native_x(1));
+            let this = run_workload(w.as_ref(), sys);
+            perf.push(baseline.cycles as f64 / this.cycles as f64);
+        }
+        let mean_speedup = geometric_mean(&perf);
+        out.push_str(&format!(
+            "{:<12} {:>9.3} {:>9.3} {:>9.4} {:>9.3} {:>7.2} {:>7.2} {:>7.2} {:>10.3}\n",
+            sys.label(),
+            area.vpu.vrf,
+            area.vpu.fpus,
+            area.vpu.ava_structures,
+            area.vpu.total(),
+            area.core,
+            area.l1i + area.l1d,
+            area.l2,
+            mean_speedup / area.vpu.total(),
+        ));
+    }
+    // AVA reconfigures without changing area: the paper's right axis shows a
+    // single AVA point using the best configuration per application.
+    let ava_cfgs: Vec<SystemConfig> = [1, 2, 3, 4, 8].iter().map(|&n| SystemConfig::ava_x(n)).collect();
+    let ava_area = system_area(&ava_cfgs[0].vpu);
+    let mut best_speedups = Vec::new();
+    for w in workloads {
+        let baseline = run_workload(w.as_ref(), &SystemConfig::native_x(1));
+        let best = ava_cfgs
+            .iter()
+            .map(|sys| run_workload(w.as_ref(), sys).cycles)
+            .min()
+            .unwrap_or(baseline.cycles);
+        best_speedups.push(baseline.cycles as f64 / best as f64);
+    }
+    let ava_mean = geometric_mean(&best_speedups);
+    out.push_str(&format!(
+        "{:<12} {:>9.3} {:>9.3} {:>9.4} {:>9.3} {:>7.2} {:>7.2} {:>7.2} {:>10.3}\n",
+        "AVA (recfg)",
+        ava_area.vpu.vrf,
+        ava_area.vpu.fpus,
+        ava_area.vpu.ava_structures,
+        ava_area.vpu.total(),
+        ava_area.core,
+        ava_area.l1i + ava_area.l1d,
+        ava_area.l2,
+        ava_mean / ava_area.vpu.total(),
+    ));
+    out.push_str("\nAVA occupies the same ~1.13 mm^2 VPU for every MVL configuration; the\n\"AVA (recfg)\" row reconfigures the MVL per application (the paper's usage\nmodel) and therefore shows the best performance/mm^2 of the comparison.\n");
+    out
+}
+
+/// Regenerates Table V: post-place-and-route estimates for NATIVE X8 and AVA.
+#[must_use]
+pub fn format_table5() -> String {
+    let rows = [
+        ("NATIVE X8", VpuConfig::native_x(8)),
+        ("AVA", VpuConfig::ava_x(8)),
+    ];
+    let mut out = String::from("Table V — post-place-and-route estimates (GF 22FDX class, 1 GHz target)\n");
+    out.push_str(&format!(
+        "{:<10} {:>9} {:>11} {:>11} {:>9} {:>12} {:>12}\n",
+        "config", "WNS (ns)", "Power (mW)", "Area (mm2)", "Density", "VRF macros", "AVA structs"
+    ));
+    for (name, cfg) in rows {
+        let p = pnr_estimate(&cfg);
+        out.push_str(&format!(
+            "{:<10} {:>9.3} {:>11.0} {:>11.2} {:>8.1}% {:>12.3} {:>12.4}\n",
+            name,
+            p.wns_ns,
+            p.power_mw,
+            p.area_mm2,
+            p.density * 100.0,
+            p.vrf_macro_area_mm2,
+            p.ava_area_mm2,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ava_isa::Lmul;
+
+    #[test]
+    fn table1_lists_the_eight_configurations() {
+        let t = format_table1();
+        for v in ["64", "32", "21", "16", "12", "10", "9", "8"] {
+            assert!(t.contains(v), "missing {v} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn table_configs_cover_all_fourteen_systems() {
+        let t = format_table_configs();
+        assert_eq!(t.lines().count(), 2 + 14);
+        assert!(t.contains("AVA X8"));
+        assert!(t.contains("RG-LMUL8"));
+    }
+
+    #[test]
+    fn table5_reports_both_rows() {
+        let t = format_table5();
+        assert!(t.contains("NATIVE X8"));
+        assert!(t.contains("AVA"));
+    }
+
+    #[test]
+    fn figure3_formatting_includes_every_configuration() {
+        let w = Axpy::new(256);
+        let systems = [SystemConfig::native_x(1), SystemConfig::ava_x(4)];
+        let reports: Vec<RunReport> = systems.iter().map(|s| run_workload(&w, s)).collect();
+        for text in [
+            format_memory_breakdown("axpy", &reports),
+            format_instruction_mix("axpy", &reports),
+            format_performance("axpy", &reports),
+            format_energy("axpy", &reports),
+        ] {
+            assert!(text.contains("NATIVE X1"), "{text}");
+            assert!(text.contains("AVA X4"), "{text}");
+        }
+    }
+
+    #[test]
+    fn rg_lmul_equivalence_uses_lmul_type() {
+        // Guard against accidentally dropping RG configurations from the sweep.
+        let labels: Vec<String> = evaluated_systems()
+            .iter()
+            .map(|s| s.label().to_string())
+            .collect();
+        for l in Lmul::all() {
+            assert!(labels.iter().any(|s| s == &format!("RG-LMUL{}", l.factor())));
+        }
+    }
+}

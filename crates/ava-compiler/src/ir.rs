@@ -1,0 +1,197 @@
+//! Virtual-register intermediate representation.
+//!
+//! The IR mirrors the final vector ISA ([`ava_isa::VecInstr`]) but names
+//! values with unbounded [`VirtReg`]s, so kernels can be written in SSA
+//! style and the register allocator decides how they fit into the
+//! architectural register budget (which shrinks under register grouping).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ava_isa::{Element, InstrKind, Opcode};
+
+/// A virtual vector register: an SSA-like value name with no architectural
+/// constraint. The register allocator maps virtual registers to
+/// architectural registers (and to spill slots when pressure is too high).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VirtReg(pub u32);
+
+impl VirtReg {
+    /// The numeric id of this virtual register.
+    #[must_use]
+    pub fn id(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VirtReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// A source operand in the IR.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum IrOperand {
+    /// A virtual vector register.
+    Reg(VirtReg),
+    /// A scalar immediate broadcast across the vector.
+    Scalar(Element),
+}
+
+impl IrOperand {
+    /// The virtual register, if this operand is a register.
+    #[must_use]
+    pub fn reg(&self) -> Option<VirtReg> {
+        match self {
+            IrOperand::Reg(r) => Some(*r),
+            IrOperand::Scalar(_) => None,
+        }
+    }
+}
+
+impl From<VirtReg> for IrOperand {
+    fn from(r: VirtReg) -> Self {
+        IrOperand::Reg(r)
+    }
+}
+
+impl From<f64> for IrOperand {
+    fn from(v: f64) -> Self {
+        IrOperand::Scalar(Element::from_f64(v))
+    }
+}
+
+/// Memory-access descriptor in the IR (addresses are concrete simulated
+/// addresses because kernels are generated as dynamic traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IrMemAccess {
+    /// Base byte address of element 0.
+    pub base: u64,
+    /// Stride in bytes (8 = unit stride).
+    pub stride: i64,
+    /// Index register for gathers/scatters.
+    pub index: Option<VirtReg>,
+}
+
+/// One IR instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IrInstr {
+    /// The vector operation.
+    pub opcode: Opcode,
+    /// Defined virtual register, if any.
+    pub dst: Option<VirtReg>,
+    /// Source operands.
+    pub srcs: Vec<IrOperand>,
+    /// Memory descriptor for loads/stores.
+    pub mem: Option<IrMemAccess>,
+    /// Requested vector length for `SetVl`.
+    pub setvl_request: Option<usize>,
+}
+
+impl IrInstr {
+    /// Queue classification of the instruction.
+    #[must_use]
+    pub fn kind(&self) -> InstrKind {
+        self.opcode.kind()
+    }
+
+    /// Virtual registers read by this instruction.
+    pub fn source_regs(&self) -> impl Iterator<Item = VirtReg> + '_ {
+        self.srcs.iter().filter_map(IrOperand::reg)
+    }
+}
+
+impl fmt::Display for IrInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(d) = self.dst {
+            write!(f, "{d} = ")?;
+        }
+        write!(f, "{}", self.opcode.mnemonic())?;
+        for s in &self.srcs {
+            match s {
+                IrOperand::Reg(r) => write!(f, " {r}")?,
+                IrOperand::Scalar(e) => write!(f, " #{}", e.as_f64())?,
+            }
+        }
+        if let Some(m) = &self.mem {
+            write!(f, " @{:#x}", m.base)?;
+        }
+        Ok(())
+    }
+}
+
+/// A straight-line kernel trace in IR form, produced by
+/// [`crate::KernelBuilder`] and consumed by the register allocator.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IrKernel {
+    /// Human-readable kernel name.
+    pub name: String,
+    /// Instructions in program order.
+    pub instrs: Vec<IrInstr>,
+    /// Number of virtual registers used (ids are `0..num_virt_regs`).
+    pub num_virt_regs: u32,
+}
+
+impl IrKernel {
+    /// Number of instructions in the kernel.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if the kernel has no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Maximum number of simultaneously-live virtual registers (the
+    /// register pressure the allocator must fit into the architectural
+    /// budget). Computed via [`crate::Liveness`].
+    #[must_use]
+    pub fn max_pressure(&self) -> usize {
+        crate::Liveness::analyse(self).max_pressure()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ava_isa::Opcode;
+
+    #[test]
+    fn virtreg_display_and_id() {
+        assert_eq!(VirtReg(7).to_string(), "%7");
+        assert_eq!(VirtReg(7).id(), 7);
+    }
+
+    #[test]
+    fn operand_reg_extraction() {
+        assert_eq!(IrOperand::Reg(VirtReg(3)).reg(), Some(VirtReg(3)));
+        assert_eq!(IrOperand::from(1.5).reg(), None);
+    }
+
+    #[test]
+    fn instr_source_regs_skip_scalars() {
+        let i = IrInstr {
+            opcode: Opcode::VFMul,
+            dst: Some(VirtReg(2)),
+            srcs: vec![IrOperand::Reg(VirtReg(0)), IrOperand::from(3.0)],
+            mem: None,
+            setvl_request: None,
+        };
+        assert_eq!(i.source_regs().collect::<Vec<_>>(), vec![VirtReg(0)]);
+        assert_eq!(i.kind(), InstrKind::Arithmetic);
+        assert!(i.to_string().contains("vfmul.v"));
+    }
+
+    #[test]
+    fn empty_kernel_reports_empty() {
+        let k = IrKernel::default();
+        assert!(k.is_empty());
+        assert_eq!(k.len(), 0);
+        assert_eq!(k.max_pressure(), 0);
+    }
+}

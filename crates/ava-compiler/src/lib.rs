@@ -1,0 +1,53 @@
+//! # ava-compiler — vector code generation substrate
+//!
+//! The paper's workloads are hand-vectorised C programs compiled with the
+//! RISC-V vector intrinsics; the compiler allocates the 32 architectural
+//! vector registers (or `32 / LMUL` of them when register grouping is used)
+//! and inserts *spill code* — full-MVL vector stores and reloads — whenever
+//! the register pressure exceeds that budget. Spill traffic is central to
+//! the paper's comparison between AVA and the RG baseline, so this crate
+//! reproduces that tool-chain stage:
+//!
+//! * [`KernelBuilder`] — an intrinsics-style API over an SSA-like IR with
+//!   unbounded virtual vector registers; the `ava-workloads` crate expresses
+//!   every kernel against it.
+//! * [`liveness`] — live intervals and next-use chains over the straight-line
+//!   vector instruction trace.
+//! * [`regalloc`] — a Belady (furthest-next-use) register allocator that maps
+//!   virtual registers onto the architectural budget and inserts spill
+//!   stores/reloads executed at full MVL, exactly as the paper describes
+//!   (§II.A: "the spill code includes load/store of vector registers with
+//!   the MVL, even though the application only needs a portion of them").
+//! * [`lower`] — emits the final [`ava_isa::Program`], mapping allocation
+//!   slots to architectural register names (spaced by LMUL for grouped
+//!   configurations).
+//!
+//! ```
+//! use ava_compiler::{KernelBuilder, compile, CompileOptions};
+//! use ava_isa::Lmul;
+//!
+//! let mut b = KernelBuilder::new("saxpy");
+//! b.set_vl(16);
+//! let x = b.vload(0x1000);
+//! let y = b.vload(0x2000);
+//! let r = b.vfmacc_scalar(y, 2.0, x);
+//! b.vstore(r, 0x2000);
+//! let out = compile(&b.finish(), &CompileOptions::new(Lmul::M1, 0x8_0000, 128));
+//! assert_eq!(out.spill_stores, 0);
+//! assert_eq!(out.program.len(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod ir;
+pub mod liveness;
+pub mod lower;
+pub mod regalloc;
+
+pub use builder::KernelBuilder;
+pub use ir::{IrInstr, IrKernel, IrOperand, VirtReg};
+pub use liveness::{LiveInterval, Liveness};
+pub use lower::{compile, CompileOptions, CompiledKernel};
+pub use regalloc::{AllocatedKernel, Allocation, RegAllocator};

@@ -1,0 +1,213 @@
+//! Live intervals and next-use information for straight-line kernels.
+//!
+//! Because kernels are straight-line dynamic traces (the scalar loop is
+//! already unrolled into strips by the workload generators), liveness is a
+//! single backwards pass: a virtual register is live from its definition to
+//! its last use.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ir::{IrKernel, VirtReg};
+
+/// The live interval of one virtual register, in instruction indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LiveInterval {
+    /// Instruction index that defines the value.
+    pub def: usize,
+    /// Instruction index of the last use (equals `def` for dead definitions).
+    pub last_use: usize,
+}
+
+impl LiveInterval {
+    /// True if the value is live at instruction index `at` (exclusive of the
+    /// defining instruction itself, inclusive of the last use).
+    #[must_use]
+    pub fn live_at(&self, at: usize) -> bool {
+        at > self.def && at <= self.last_use
+    }
+
+    /// Interval length in instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.last_use - self.def
+    }
+
+    /// True if the value is never read.
+    #[must_use]
+    pub fn is_dead(&self) -> bool {
+        self.last_use == self.def
+    }
+}
+
+/// Result of liveness analysis over an [`IrKernel`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Liveness {
+    intervals: HashMap<VirtReg, LiveInterval>,
+    /// For every (instruction, register) use, the index of the next use of
+    /// the same register after that instruction (or `usize::MAX` if none).
+    use_positions: HashMap<VirtReg, Vec<usize>>,
+}
+
+impl Liveness {
+    /// Analyses a kernel.
+    #[must_use]
+    pub fn analyse(kernel: &IrKernel) -> Self {
+        let mut intervals: HashMap<VirtReg, LiveInterval> = HashMap::new();
+        let mut use_positions: HashMap<VirtReg, Vec<usize>> = HashMap::new();
+
+        for (idx, instr) in kernel.instrs.iter().enumerate() {
+            for src in instr.source_regs() {
+                if let Some(iv) = intervals.get_mut(&src) {
+                    iv.last_use = idx;
+                }
+                use_positions.entry(src).or_default().push(idx);
+            }
+            if let Some(dst) = instr.dst {
+                intervals.entry(dst).or_insert(LiveInterval {
+                    def: idx,
+                    last_use: idx,
+                });
+            }
+        }
+        Self {
+            intervals,
+            use_positions,
+        }
+    }
+
+    /// The interval of a register, if it is ever defined.
+    #[must_use]
+    pub fn interval(&self, reg: VirtReg) -> Option<&LiveInterval> {
+        self.intervals.get(&reg)
+    }
+
+    /// All intervals.
+    #[must_use]
+    pub fn intervals(&self) -> &HashMap<VirtReg, LiveInterval> {
+        &self.intervals
+    }
+
+    /// The next instruction index at or after `from` where `reg` is used, or
+    /// `usize::MAX` if it is never used again. This drives the Belady
+    /// ("furthest next use") spill heuristic.
+    #[must_use]
+    pub fn next_use(&self, reg: VirtReg, from: usize) -> usize {
+        self.use_positions
+            .get(&reg)
+            .and_then(|uses| uses.iter().find(|&&u| u >= from).copied())
+            .unwrap_or(usize::MAX)
+    }
+
+    /// Maximum number of simultaneously live values over the kernel: the
+    /// register pressure a compiler must accommodate.
+    #[must_use]
+    pub fn max_pressure(&self) -> usize {
+        // Sweep over interval endpoints.
+        let mut events: Vec<(usize, i32)> = Vec::with_capacity(self.intervals.len() * 2);
+        for iv in self.intervals.values() {
+            if iv.is_dead() {
+                continue;
+            }
+            events.push((iv.def, 1));
+            events.push((iv.last_use + 1, -1));
+        }
+        events.sort_unstable();
+        let mut live = 0i32;
+        let mut max = 0i32;
+        for (_, delta) in events {
+            live += delta;
+            max = max.max(live);
+        }
+        max.max(0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+
+    fn chain(n: usize) -> IrKernel {
+        // v0 = load; v1 = v0+v0; v2 = v1+v1; ... each value dies immediately.
+        let mut b = KernelBuilder::new("chain");
+        let mut prev = b.vload(0);
+        for _ in 0..n {
+            prev = b.vfadd(prev, prev);
+        }
+        b.vstore(prev, 0x100);
+        b.finish()
+    }
+
+    #[test]
+    fn chain_has_pressure_two_at_most() {
+        // At each step only the previous value and (transiently) the new one
+        // are live; max simultaneous liveness is 1 by our accounting (the new
+        // value starts at its def which is when the old one has its last use).
+        let k = chain(10);
+        let l = Liveness::analyse(&k);
+        assert!(l.max_pressure() <= 2, "pressure {}", l.max_pressure());
+    }
+
+    #[test]
+    fn wide_kernel_has_high_pressure() {
+        // Load N values, then sum them all at the end: all N live at once.
+        let mut b = KernelBuilder::new("wide");
+        let vals: Vec<_> = (0..12).map(|i| b.vload(8 * i as u64)).collect();
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = b.vfadd(acc, v);
+        }
+        b.vstore(acc, 0x1000);
+        let l = Liveness::analyse(&b.finish());
+        assert_eq!(l.max_pressure(), 13, "12 loads plus the first accumulator are simultaneously live");
+    }
+
+    #[test]
+    fn intervals_record_def_and_last_use() {
+        let mut b = KernelBuilder::new("t");
+        let a = b.vload(0); // idx 0
+        let c = b.vload(8); // idx 1
+        let d = b.vfadd(a, c); // idx 2
+        b.vstore(d, 16); // idx 3
+        let _ = b.vfadd(c, c); // idx 4 (c used later than a)
+        let l = Liveness::analyse(&b.finish());
+        assert_eq!(l.interval(a).unwrap().def, 0);
+        assert_eq!(l.interval(a).unwrap().last_use, 2);
+        assert_eq!(l.interval(c).unwrap().last_use, 4);
+        assert_eq!(l.interval(d).unwrap().last_use, 3);
+    }
+
+    #[test]
+    fn next_use_finds_forward_uses_only() {
+        let mut b = KernelBuilder::new("t");
+        let a = b.vload(0); // 0
+        let _ = b.vfadd(a, a); // 1
+        let _ = b.vfmul(a, 2.0); // 2
+        let l = Liveness::analyse(&b.finish());
+        assert_eq!(l.next_use(a, 1), 1);
+        assert_eq!(l.next_use(a, 2), 2);
+        assert_eq!(l.next_use(a, 3), usize::MAX);
+    }
+
+    #[test]
+    fn dead_definitions_are_flagged() {
+        let mut b = KernelBuilder::new("t");
+        let a = b.vload(0);
+        let _unused = b.vfadd(a, a);
+        let l = Liveness::analyse(&b.finish());
+        let unused_iv = l.interval(VirtReg(1)).unwrap();
+        assert!(unused_iv.is_dead());
+        assert_eq!(unused_iv.len(), 0);
+    }
+
+    #[test]
+    fn live_at_is_exclusive_of_def() {
+        let iv = LiveInterval { def: 3, last_use: 7 };
+        assert!(!iv.live_at(3));
+        assert!(iv.live_at(4));
+        assert!(iv.live_at(7));
+        assert!(!iv.live_at(8));
+    }
+}

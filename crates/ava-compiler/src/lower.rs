@@ -1,0 +1,268 @@
+//! Lowering from allocated IR to the final [`ava_isa::Program`].
+//!
+//! Allocation slots are mapped to architectural register names. Under
+//! register grouping (LMUL > 1) only every LMUL-th register name is usable
+//! as a group base, so slot `i` becomes `v(i * LMUL)` — exactly how the
+//! RISC-V V specification names register groups.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use ava_isa::{InstrRole, Lmul, MemAccess, Operand, Program, VReg, VecInstr, VlMode};
+
+use crate::ir::{IrInstr, IrKernel, IrOperand, VirtReg};
+use crate::regalloc::{AllocatedKernel, Allocation, RegAllocator};
+
+/// Options controlling compilation of an IR kernel to a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompileOptions {
+    /// Register grouping factor; determines the architectural register
+    /// budget (`32 / LMUL`) and the register-name spacing.
+    pub lmul: Lmul,
+    /// Base address of the compiler's spill area (the "stack").
+    pub spill_base: u64,
+    /// Size in bytes of one spill slot; must hold a full maximum-length
+    /// vector register because spill code runs at full MVL.
+    pub spill_slot_bytes: u64,
+}
+
+impl CompileOptions {
+    /// Creates compile options.
+    #[must_use]
+    pub fn new(lmul: Lmul, spill_base: u64, spill_slot_bytes: u64) -> Self {
+        Self {
+            lmul,
+            spill_base,
+            spill_slot_bytes,
+        }
+    }
+}
+
+/// A compiled kernel: the executable program plus code-generation statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompiledKernel {
+    /// The lowered program, ready for the simulator.
+    pub program: Program,
+    /// Compiler-inserted spill stores.
+    pub spill_stores: usize,
+    /// Compiler-inserted spill reloads.
+    pub spill_loads: usize,
+    /// Architectural registers actually used.
+    pub registers_used: usize,
+    /// Maximum simultaneous live values in the source IR (register pressure).
+    pub max_pressure: usize,
+    /// Bytes of stack reserved for spills.
+    pub spill_area_bytes: u64,
+}
+
+/// Compiles an IR kernel for the given register-grouping configuration.
+///
+/// See the crate-level documentation for an example.
+#[must_use]
+pub fn compile(kernel: &IrKernel, options: &CompileOptions) -> CompiledKernel {
+    let budget = options.lmul.architectural_registers();
+    let allocator = RegAllocator::new(budget, options.spill_base, options.spill_slot_bytes);
+    let allocated = allocator.allocate(kernel);
+    lower(kernel, &allocated, options)
+}
+
+fn slot_to_vreg(slot: usize, lmul: Lmul) -> VReg {
+    let name = slot * lmul.factor();
+    VReg::new(u8::try_from(name).expect("register name out of range"))
+}
+
+/// Lowers an allocated kernel to a program.
+#[must_use]
+pub fn lower(kernel: &IrKernel, allocated: &AllocatedKernel, options: &CompileOptions) -> CompiledKernel {
+    let mut program = Program::new(kernel.name.clone());
+    for alloc in &allocated.allocations {
+        match alloc {
+            Allocation::SpillStore { slot, addr } => {
+                program.push(
+                    VecInstr::vstore(slot_to_vreg(*slot, options.lmul), *addr)
+                        .with_full_mvl()
+                        .with_role(InstrRole::SpillStore),
+                );
+            }
+            Allocation::SpillLoad { slot, addr } => {
+                program.push(
+                    VecInstr::vload(slot_to_vreg(*slot, options.lmul), *addr)
+                        .with_full_mvl()
+                        .with_role(InstrRole::SpillLoad),
+                );
+            }
+            Allocation::Op {
+                ir_index,
+                dst_slot,
+                src_slots,
+            } => {
+                let ir = &kernel.instrs[*ir_index];
+                program.push(lower_op(ir, *dst_slot, src_slots, options.lmul));
+            }
+        }
+    }
+    CompiledKernel {
+        program,
+        spill_stores: allocated.spill_stores,
+        spill_loads: allocated.spill_loads,
+        registers_used: allocated.slots_used,
+        max_pressure: kernel.max_pressure(),
+        spill_area_bytes: allocated.spill_area_bytes,
+    }
+}
+
+fn lower_op(ir: &IrInstr, dst_slot: Option<usize>, src_slots: &[usize], lmul: Lmul) -> VecInstr {
+    // Build the mapping from this instruction's virtual sources to the
+    // architectural registers chosen for them (used for the index register
+    // of gathers/scatters as well as the ordinary operands).
+    let mut reg_map: HashMap<VirtReg, VReg> = HashMap::new();
+    let mut slot_iter = src_slots.iter();
+    let mut srcs: Vec<Operand> = Vec::with_capacity(ir.srcs.len());
+    for op in &ir.srcs {
+        match op {
+            IrOperand::Reg(vr) => {
+                let slot = slot_iter
+                    .next()
+                    .expect("allocation recorded fewer source slots than register operands");
+                let arch = slot_to_vreg(*slot, lmul);
+                reg_map.insert(*vr, arch);
+                srcs.push(Operand::Reg(arch));
+            }
+            IrOperand::Scalar(e) => srcs.push(Operand::Scalar(*e)),
+        }
+    }
+    let dst = dst_slot.map(|s| slot_to_vreg(s, lmul));
+    let mem = ir.mem.map(|m| MemAccess {
+        base: m.base,
+        stride: m.stride,
+        index_reg: m.index.map(|ix| {
+            *reg_map
+                .get(&ix)
+                .expect("index register of an indexed access must be a source operand")
+        }),
+    });
+    VecInstr {
+        opcode: ir.opcode,
+        dst,
+        srcs,
+        mem,
+        vl_mode: VlMode::Current,
+        setvl_request: ir.setvl_request,
+        role: InstrRole::Normal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use ava_isa::Opcode;
+
+    fn wide_kernel(width: usize) -> IrKernel {
+        let mut b = KernelBuilder::new("wide");
+        b.set_vl(16);
+        let vals: Vec<_> = (0..width).map(|i| b.vload(64 * i as u64)).collect();
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = b.vfadd(acc, v);
+        }
+        b.vstore(acc, 0x10_0000);
+        b.finish()
+    }
+
+    #[test]
+    fn lmul1_uses_contiguous_register_names() {
+        let out = compile(&wide_kernel(6), &CompileOptions::new(Lmul::M1, 0x40_0000, 1024));
+        let regs = out.program.used_registers();
+        assert!(regs.iter().all(|r| r.index() < 8));
+        assert_eq!(out.spill_stores, 0);
+    }
+
+    #[test]
+    fn lmul8_uses_group_base_names_only() {
+        let out = compile(&wide_kernel(3), &CompileOptions::new(Lmul::M8, 0x40_0000, 8192));
+        for r in out.program.used_registers() {
+            assert_eq!(r.index() % 8, 0, "register {r} is not a group base under LMUL=8");
+        }
+    }
+
+    #[test]
+    fn spill_code_is_tagged_and_full_mvl() {
+        let out = compile(&wide_kernel(20), &CompileOptions::new(Lmul::M8, 0x40_0000, 8192));
+        assert!(out.spill_stores > 0);
+        let stats = out.program.stats();
+        assert_eq!(stats.spill_stores, out.spill_stores);
+        assert_eq!(stats.spill_loads, out.spill_loads);
+        for i in out.program.iter().filter(|i| i.is_spill()) {
+            assert_eq!(i.vl_mode, VlMode::FullMvl);
+        }
+    }
+
+    #[test]
+    fn lower_preserves_program_semantics_shape() {
+        let mut b = KernelBuilder::new("axpyish");
+        b.set_vl(16);
+        let x = b.vload(0x100);
+        let y = b.vload(0x200);
+        let r = b.vfmacc_scalar(y, 3.0, x);
+        b.vstore(r, 0x200);
+        let out = compile(&b.finish(), &CompileOptions::new(Lmul::M1, 0x40_0000, 1024));
+        let ops: Vec<Opcode> = out.program.iter().map(|i| i.opcode).collect();
+        assert_eq!(
+            ops,
+            vec![Opcode::SetVl, Opcode::VLoad, Opcode::VLoad, Opcode::VFMacc, Opcode::VStore]
+        );
+        // The store must read the same register the FMA wrote.
+        let fma_dst = out.program.instructions()[3].dst.unwrap();
+        let store_src = out.program.instructions()[4].source_regs().next().unwrap();
+        assert_eq!(fma_dst, store_src);
+    }
+
+    #[test]
+    fn indexed_ops_map_their_index_register() {
+        let mut b = KernelBuilder::new("gather");
+        let idx = b.vid();
+        let g = b.vload_indexed(0x1000, idx);
+        b.vstore_indexed(g, 0x2000, idx);
+        let out = compile(&b.finish(), &CompileOptions::new(Lmul::M1, 0x40_0000, 1024));
+        let gather = &out.program.instructions()[1];
+        assert_eq!(gather.mem.unwrap().index_reg, gather.srcs[0].reg());
+        let scatter = &out.program.instructions()[2];
+        assert_eq!(scatter.mem.unwrap().index_reg, scatter.srcs[1].reg());
+    }
+
+    #[test]
+    fn register_budget_is_respected_for_every_lmul() {
+        for lmul in Lmul::all() {
+            let out = compile(&wide_kernel(28), &CompileOptions::new(lmul, 0x40_0000, 8192));
+            assert!(
+                out.registers_used <= lmul.architectural_registers(),
+                "{lmul}: used {}",
+                out.registers_used
+            );
+            // Register names must stay in 0..32.
+            for r in out.program.used_registers() {
+                assert!(r.index() < 32);
+            }
+        }
+    }
+
+    #[test]
+    fn higher_lmul_produces_at_least_as_much_spill() {
+        let k = wide_kernel(24);
+        let spills = |l: Lmul| {
+            compile(&k, &CompileOptions::new(l, 0x40_0000, 8192)).spill_loads
+        };
+        assert!(spills(Lmul::M8) >= spills(Lmul::M4));
+        assert!(spills(Lmul::M4) >= spills(Lmul::M2));
+        assert!(spills(Lmul::M2) >= spills(Lmul::M1));
+        assert_eq!(spills(Lmul::M1), 0, "32 registers fit 24 live values");
+    }
+
+    #[test]
+    fn max_pressure_is_reported() {
+        let out = compile(&wide_kernel(12), &CompileOptions::new(Lmul::M1, 0x40_0000, 1024));
+        assert_eq!(out.max_pressure, 13);
+    }
+}

@@ -1,0 +1,416 @@
+//! Belady (furthest-next-use) register allocation with spill-code insertion.
+//!
+//! The allocator maps the kernel's virtual registers onto `k` architectural
+//! register *slots*. Whenever more values are live than slots exist, the
+//! value whose next use is furthest away is spilled to a stack slot; a
+//! reload is inserted before the next instruction that reads it. Because
+//! the compiler does not know the application vector length (paper §II.A),
+//! spill stores and reloads are executed with the full maximum vector
+//! length — that inefficiency is exactly what the paper measures for the
+//! RG-LMUL configurations.
+//!
+//! Values are SSA (defined once), so a value that has already been spilled
+//! is clean: evicting it again needs no second store.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use ava_isa::InstrKind;
+
+use crate::ir::{IrKernel, VirtReg};
+use crate::liveness::Liveness;
+
+/// One element of the allocated instruction stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Allocation {
+    /// An original kernel instruction, with its operands assigned to slots.
+    Op {
+        /// Index of the instruction in the original [`IrKernel`].
+        ir_index: usize,
+        /// Slot assigned to the destination, if the instruction defines one.
+        dst_slot: Option<usize>,
+        /// Slot assigned to each *register* source, in source order
+        /// (scalar operands are not listed).
+        src_slots: Vec<usize>,
+    },
+    /// Compiler-inserted spill store of the value currently held in `slot`.
+    SpillStore {
+        /// Architectural slot being spilled.
+        slot: usize,
+        /// Stack address of the spill slot.
+        addr: u64,
+    },
+    /// Compiler-inserted reload into `slot`.
+    SpillLoad {
+        /// Architectural slot receiving the reload.
+        slot: usize,
+        /// Stack address of the spill slot.
+        addr: u64,
+    },
+}
+
+/// The result of register allocation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AllocatedKernel {
+    /// Allocated instruction stream (original ops interleaved with spills).
+    pub allocations: Vec<Allocation>,
+    /// Number of spill stores inserted.
+    pub spill_stores: usize,
+    /// Number of spill reloads inserted.
+    pub spill_loads: usize,
+    /// Highest slot index ever used plus one (how many architectural
+    /// registers the kernel actually needed).
+    pub slots_used: usize,
+    /// Bytes of stack reserved for spill slots.
+    pub spill_area_bytes: u64,
+}
+
+/// Belady register allocator.
+///
+/// ```
+/// use ava_compiler::{KernelBuilder, RegAllocator};
+/// let mut b = KernelBuilder::new("t");
+/// let x = b.vload(0);
+/// let y = b.vload(64);
+/// let z = b.vfadd(x, y);
+/// b.vstore(z, 128);
+/// let alloc = RegAllocator::new(4, 0x1_0000, 1024).allocate(&b.finish());
+/// assert_eq!(alloc.spill_stores, 0);
+/// assert!(alloc.slots_used <= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegAllocator {
+    slots: usize,
+    spill_base: u64,
+    spill_slot_bytes: u64,
+}
+
+impl RegAllocator {
+    /// Creates an allocator with `slots` architectural registers available,
+    /// spilling to stack addresses starting at `spill_base` in chunks of
+    /// `spill_slot_bytes` (one maximum-length vector register each).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots < 4`: three source operands plus a destination must
+    /// fit simultaneously (the RISC-V RG configuration with LMUL=8 has
+    /// exactly 4 architectural registers, the minimum workable budget).
+    #[must_use]
+    pub fn new(slots: usize, spill_base: u64, spill_slot_bytes: u64) -> Self {
+        assert!(slots >= 4, "at least 4 architectural registers are required, got {slots}");
+        assert!(spill_slot_bytes >= 8, "spill slots must hold at least one element");
+        Self {
+            slots,
+            spill_base,
+            spill_slot_bytes,
+        }
+    }
+
+    /// Runs allocation over a kernel.
+    #[must_use]
+    pub fn allocate(&self, kernel: &IrKernel) -> AllocatedKernel {
+        let liveness = Liveness::analyse(kernel);
+        let mut out = AllocatedKernel::default();
+
+        // Resident values: virtual register -> slot.
+        let mut slot_of: HashMap<VirtReg, usize> = HashMap::new();
+        // Free slot pool (ordered so allocation is deterministic).
+        let mut free: Vec<usize> = (0..self.slots).rev().collect();
+        // Values with a valid copy in their spill slot.
+        let mut in_memory: HashSet<VirtReg> = HashSet::new();
+        // Assigned spill-slot addresses.
+        let mut spill_addr: HashMap<VirtReg, u64> = HashMap::new();
+        let mut next_spill_slot: u64 = 0;
+        let mut max_slot_used: usize = 0;
+
+        for (idx, instr) in kernel.instrs.iter().enumerate() {
+            if instr.kind() == InstrKind::Config {
+                out.allocations.push(Allocation::Op {
+                    ir_index: idx,
+                    dst_slot: None,
+                    src_slots: Vec::new(),
+                });
+                continue;
+            }
+
+            // Registers that must not be evicted while processing this
+            // instruction: its own sources (destination is added later).
+            let sources: Vec<VirtReg> = instr.source_regs().collect();
+            let mut protected: HashSet<VirtReg> = sources.iter().copied().collect();
+
+            // 1. Make sure every source value is resident, reloading spilled
+            //    values in source order.
+            for &src in &sources {
+                if slot_of.contains_key(&src) {
+                    continue;
+                }
+                let addr = *spill_addr
+                    .get(&src)
+                    .unwrap_or_else(|| panic!("use of {src} before definition or spill"));
+                let slot = self.take_slot(
+                    idx,
+                    &liveness,
+                    &mut slot_of,
+                    &mut free,
+                    &mut in_memory,
+                    &mut spill_addr,
+                    &mut next_spill_slot,
+                    &protected,
+                    &mut out,
+                );
+                out.allocations.push(Allocation::SpillLoad { slot, addr });
+                out.spill_loads += 1;
+                slot_of.insert(src, slot);
+                max_slot_used = max_slot_used.max(slot + 1);
+            }
+
+            // 2. Allocate the destination slot (if any).
+            let dst_slot = if let Some(dst) = instr.dst {
+                let slot = self.take_slot(
+                    idx,
+                    &liveness,
+                    &mut slot_of,
+                    &mut free,
+                    &mut in_memory,
+                    &mut spill_addr,
+                    &mut next_spill_slot,
+                    &protected,
+                    &mut out,
+                );
+                protected.insert(dst);
+                slot_of.insert(dst, slot);
+                max_slot_used = max_slot_used.max(slot + 1);
+                Some(slot)
+            } else {
+                None
+            };
+
+            // 3. Emit the instruction with slot-mapped operands.
+            let src_slots: Vec<usize> = sources.iter().map(|r| slot_of[r]).collect();
+            for &s in &src_slots {
+                max_slot_used = max_slot_used.max(s + 1);
+            }
+            out.allocations.push(Allocation::Op {
+                ir_index: idx,
+                dst_slot,
+                src_slots,
+            });
+
+            // 4. Release values whose last use was this instruction, and
+            //    dead definitions.
+            for &src in &sources {
+                if let Some(iv) = liveness.interval(src) {
+                    if iv.last_use <= idx {
+                        if let Some(slot) = slot_of.remove(&src) {
+                            free.push(slot);
+                        }
+                    }
+                }
+            }
+            if let Some(dst) = instr.dst {
+                if liveness.interval(dst).is_some_and(|iv| iv.is_dead()) {
+                    if let Some(slot) = slot_of.remove(&dst) {
+                        free.push(slot);
+                    }
+                }
+            }
+        }
+
+        out.slots_used = max_slot_used;
+        out.spill_area_bytes = next_spill_slot * self.spill_slot_bytes;
+        out
+    }
+
+    /// Obtains a free slot, evicting the resident value with the furthest
+    /// next use if necessary (emitting a spill store if that value has no
+    /// valid memory copy yet).
+    #[allow(clippy::too_many_arguments)]
+    fn take_slot(
+        &self,
+        idx: usize,
+        liveness: &Liveness,
+        slot_of: &mut HashMap<VirtReg, usize>,
+        free: &mut Vec<usize>,
+        in_memory: &mut HashSet<VirtReg>,
+        spill_addr: &mut HashMap<VirtReg, u64>,
+        next_spill_slot: &mut u64,
+        protected: &HashSet<VirtReg>,
+        out: &mut AllocatedKernel,
+    ) -> usize {
+        if let Some(slot) = free.pop() {
+            return slot;
+        }
+        // Choose the evictable resident value with the furthest next use.
+        let victim = slot_of
+            .keys()
+            .filter(|r| !protected.contains(r))
+            .copied()
+            .max_by_key(|r| (liveness.next_use(*r, idx), r.0))
+            .expect("no evictable register: architectural budget too small for one instruction");
+        let slot = slot_of.remove(&victim).expect("victim is resident");
+
+        // Only store the victim if it will be read again and has no valid
+        // memory copy.
+        let victim_next_use = liveness.next_use(victim, idx);
+        if victim_next_use != usize::MAX && !in_memory.contains(&victim) {
+            let addr = *spill_addr.entry(victim).or_insert_with(|| {
+                let a = self.spill_base + *next_spill_slot * self.spill_slot_bytes;
+                *next_spill_slot += 1;
+                a
+            });
+            out.allocations.push(Allocation::SpillStore { slot, addr });
+            out.spill_stores += 1;
+            in_memory.insert(victim);
+        }
+        slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+
+    /// A kernel that keeps `width` values live simultaneously.
+    fn wide_kernel(width: usize) -> IrKernel {
+        let mut b = KernelBuilder::new("wide");
+        let vals: Vec<_> = (0..width).map(|i| b.vload(64 * i as u64)).collect();
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = b.vfadd(acc, v);
+        }
+        b.vstore(acc, 0x10_0000);
+        b.finish()
+    }
+
+    #[test]
+    fn no_spills_when_pressure_fits() {
+        let k = wide_kernel(8);
+        let a = RegAllocator::new(16, 0x20_0000, 1024).allocate(&k);
+        assert_eq!(a.spill_stores, 0);
+        assert_eq!(a.spill_loads, 0);
+        assert!(a.slots_used <= 9);
+    }
+
+    #[test]
+    fn spills_appear_when_pressure_exceeds_budget() {
+        let k = wide_kernel(12);
+        let a = RegAllocator::new(8, 0x20_0000, 1024).allocate(&k);
+        assert!(a.spill_stores > 0);
+        assert!(a.spill_loads >= a.spill_stores, "every stored value is reloaded");
+        assert!(a.slots_used <= 8);
+    }
+
+    #[test]
+    fn smaller_budget_spills_more() {
+        let k = wide_kernel(16);
+        let spills =
+            |slots: usize| RegAllocator::new(slots, 0x20_0000, 1024).allocate(&k).spill_loads;
+        assert!(spills(4) > spills(8));
+        assert_eq!(spills(32), 0);
+    }
+
+    #[test]
+    fn allocation_never_exceeds_slot_budget() {
+        for width in [4, 8, 12, 20, 31] {
+            let k = wide_kernel(width);
+            for slots in [4, 8, 16, 32] {
+                let a = RegAllocator::new(slots, 0x20_0000, 1024).allocate(&k);
+                assert!(a.slots_used <= slots, "width {width} slots {slots}");
+            }
+        }
+    }
+
+    #[test]
+    fn spill_addresses_are_distinct_per_value() {
+        let k = wide_kernel(20);
+        let a = RegAllocator::new(4, 0x20_0000, 1024).allocate(&k);
+        let mut addrs: Vec<u64> = a
+            .allocations
+            .iter()
+            .filter_map(|al| match al {
+                Allocation::SpillStore { addr, .. } => Some(*addr),
+                _ => None,
+            })
+            .collect();
+        addrs.sort_unstable();
+        let before = addrs.len();
+        addrs.dedup();
+        assert_eq!(addrs.len(), before, "two values shared a spill slot");
+        assert!(a.spill_area_bytes >= before as u64 * 1024);
+    }
+
+    #[test]
+    fn reloads_follow_stores_for_each_value() {
+        let k = wide_kernel(20);
+        let a = RegAllocator::new(4, 0x20_0000, 1024).allocate(&k);
+        // Every reload address must have been stored earlier in the stream.
+        let mut stored: HashSet<u64> = HashSet::new();
+        for al in &a.allocations {
+            match al {
+                Allocation::SpillStore { addr, .. } => {
+                    stored.insert(*addr);
+                }
+                Allocation::SpillLoad { addr, .. } => {
+                    assert!(stored.contains(addr), "reload of never-stored slot");
+                }
+                Allocation::Op { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn ssa_values_are_stored_at_most_once() {
+        let k = wide_kernel(24);
+        let a = RegAllocator::new(4, 0x20_0000, 1024).allocate(&k);
+        let mut addrs: Vec<u64> = a
+            .allocations
+            .iter()
+            .filter_map(|al| match al {
+                Allocation::SpillStore { addr, .. } => Some(*addr),
+                _ => None,
+            })
+            .collect();
+        let total = addrs.len();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(total, addrs.len());
+    }
+
+    #[test]
+    fn config_instructions_pass_through_unallocated() {
+        let mut b = KernelBuilder::new("cfg");
+        b.set_vl(16);
+        let x = b.vload(0);
+        b.vstore(x, 8);
+        let a = RegAllocator::new(4, 0x1000, 128).allocate(&b.finish());
+        assert!(matches!(
+            a.allocations[0],
+            Allocation::Op {
+                ir_index: 0,
+                dst_slot: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn tiny_budgets_are_rejected() {
+        let _ = RegAllocator::new(2, 0, 64);
+    }
+
+    #[test]
+    fn three_source_ops_fit_in_minimum_budget() {
+        let mut b = KernelBuilder::new("fma");
+        let x = b.vload(0);
+        let y = b.vload(64);
+        let z = b.vload(128);
+        let r = b.vfmadd(x, y, z);
+        b.vstore(r, 256);
+        let a = RegAllocator::new(4, 0x1000, 128).allocate(&b.finish());
+        assert_eq!(a.spill_stores, 0);
+        assert_eq!(a.slots_used, 4);
+    }
+}

@@ -1,0 +1,147 @@
+//! Area breakdowns for the VPU and the whole system (Figure 4).
+//!
+//! Structures that the paper reports directly (scalar core pipeline, L1
+//! caches, FPU datapath, AVA bookkeeping structures) use the reported values
+//! as calibrated constants; SRAM-dominated structures (VRF, L2) come from
+//! the analytical [`crate::SramMacro`] model so they scale correctly with
+//! the configuration.
+
+use serde::{Deserialize, Serialize};
+
+use ava_vpu::{RenameMode, VpuConfig};
+
+use crate::sram::SramMacro;
+
+/// Area of the 8-lane double-precision FPU datapath (mm², Figure 4 reports
+/// 0.94 mm² for every configuration).
+const FPU_AREA_MM2: f64 = 0.94;
+/// Area of the AVA bookkeeping structures (PRMT, VRLT, PFRL, RAC, swap
+/// logic): 0.55 % of the VPU, reported as 0.0061 mm².
+const AVA_STRUCTURES_MM2: f64 = 0.0061;
+/// Scalar core pipeline area (mm²).
+const CORE_PIPELINE_MM2: f64 = 1.04;
+/// 32 KB L1 instruction cache area (mm²).
+const L1I_MM2: f64 = 0.14;
+/// 32 KB L1 data cache area (mm²).
+const L1D_MM2: f64 = 0.29;
+
+/// Area breakdown of one VPU instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VpuArea {
+    /// Vector register file area (mm²).
+    pub vrf: f64,
+    /// Functional-unit datapath area (mm²).
+    pub fpus: f64,
+    /// AVA-specific structures (zero for NATIVE/RG configurations).
+    pub ava_structures: f64,
+}
+
+impl VpuArea {
+    /// Total VPU area in mm².
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.vrf + self.fpus + self.ava_structures
+    }
+}
+
+/// Area breakdown of the full system (Figure 4 bars).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemArea {
+    /// The VPU breakdown.
+    pub vpu: VpuArea,
+    /// Scalar core pipeline.
+    pub core: f64,
+    /// L1 instruction cache.
+    pub l1i: f64,
+    /// L1 data cache.
+    pub l1d: f64,
+    /// Shared L2 cache.
+    pub l2: f64,
+}
+
+impl SystemArea {
+    /// Total system area in mm².
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.vpu.total() + self.core + self.l1i + self.l1d + self.l2
+    }
+}
+
+/// Area of the vector register file macro for a configuration.
+#[must_use]
+pub fn vrf_area_mm2(config: &VpuConfig) -> f64 {
+    SramMacro::new(config.pvrf_bytes, 4, 2).area_mm2()
+}
+
+/// VPU area breakdown for a configuration.
+#[must_use]
+pub fn vpu_area(config: &VpuConfig) -> VpuArea {
+    VpuArea {
+        vrf: vrf_area_mm2(config),
+        fpus: FPU_AREA_MM2,
+        ava_structures: match config.mode {
+            RenameMode::Ava => AVA_STRUCTURES_MM2,
+            RenameMode::Native => 0.0,
+        },
+    }
+}
+
+/// Full-system area breakdown for a configuration (Figure 4).
+#[must_use]
+pub fn system_area(config: &VpuConfig) -> SystemArea {
+    SystemArea {
+        vpu: vpu_area(config),
+        core: CORE_PIPELINE_MM2,
+        l1i: L1I_MM2,
+        l1d: L1D_MM2,
+        l2: SramMacro::new(1024 * 1024, 1, 1).area_mm2(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ava_saves_about_half_the_vpu_area_versus_native_x8() {
+        let ava = vpu_area(&VpuConfig::ava_x(8)).total();
+        let native8 = vpu_area(&VpuConfig::native_x(8)).total();
+        let saving = 1.0 - ava / native8;
+        assert!(
+            (0.40..0.65).contains(&saving),
+            "paper reports ~53% VPU area saving, model gives {saving:.2}"
+        );
+    }
+
+    #[test]
+    fn ava_structures_overhead_is_negligible() {
+        let a = vpu_area(&VpuConfig::ava_x(1));
+        let overhead = a.ava_structures / a.total();
+        assert!(overhead < 0.01, "paper reports 0.55 %, got {overhead:.4}");
+        assert_eq!(vpu_area(&VpuConfig::native_x(1)).ava_structures, 0.0);
+    }
+
+    #[test]
+    fn ava_area_is_independent_of_the_configured_mvl() {
+        let x1 = vpu_area(&VpuConfig::ava_x(1)).total();
+        let x8 = vpu_area(&VpuConfig::ava_x(8)).total();
+        assert!((x1 - x8).abs() < 1e-12, "reconfiguration must not change area");
+    }
+
+    #[test]
+    fn native_vrf_area_grows_with_the_mvl() {
+        let a1 = vrf_area_mm2(&VpuConfig::native_x(1));
+        let a4 = vrf_area_mm2(&VpuConfig::native_x(4));
+        let a8 = vrf_area_mm2(&VpuConfig::native_x(8));
+        assert!(a4 > 3.0 * a1);
+        assert!(a8 > 1.8 * a4);
+    }
+
+    #[test]
+    fn system_totals_are_dominated_by_the_l2_and_core() {
+        let s = system_area(&VpuConfig::ava_x(1));
+        assert!(s.total() > s.vpu.total());
+        assert!(s.l2 > 1.5);
+        assert!((s.core - 1.04).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,38 @@
+//! # ava-energy — McPAT-style area/energy model and analytical post-PnR model
+//!
+//! The paper backs its performance results with physical metrics from two
+//! sources: the McPAT framework at 22 nm (Figure 4 and the energy columns of
+//! Figure 3) and a Cadence synthesis + place-and-route flow on
+//! GlobalFoundries 22FDX (Table V). Neither tool can be shipped here, so this
+//! crate provides analytical stand-ins:
+//!
+//! * [`sram`] — an SRAM macro model (area, per-access energy, leakage) whose
+//!   capacity and port scaling follows CACTI/McPAT behaviour and whose
+//!   absolute constants are calibrated to the component areas the paper
+//!   itself reports (8 KB 4R-2W VRF = 0.18 mm², 64 KB = 1.41 mm²,
+//!   1 MB L2 = 2.46 mm², ...).
+//! * [`area`] — per-structure and whole-system area breakdowns (Figure 4).
+//! * [`energy`] — dynamic + leakage energy for the L2, the VRF and the FPUs
+//!   given the event counts measured by the simulator (Figure 3, column 4).
+//! * [`mcpat`] — the combined evaluation: area, energy and performance/mm².
+//! * [`pnr`] — the analytical post-place-and-route estimator standing in for
+//!   the Cadence flow (Table V): macro/logic area, power, wire-length-driven
+//!   worst negative slack and utilisation density.
+//!
+//! Every constant that was fitted to a number reported in the paper is
+//! documented where it is defined, so the substitution is auditable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod energy;
+pub mod mcpat;
+pub mod pnr;
+pub mod sram;
+
+pub use area::{system_area, vpu_area, SystemArea, VpuArea};
+pub use energy::{energy_breakdown, EnergyBreakdown, EnergyParams};
+pub use mcpat::{evaluate, McpatResult};
+pub use pnr::{pnr_estimate, PnrResult};
+pub use sram::SramMacro;

@@ -1,0 +1,149 @@
+//! Analytical post-place-and-route estimator (stand-in for the Cadence
+//! Genus/Innovus flow of Table V).
+//!
+//! The real flow cannot be run here, so Table V is reproduced with a simple
+//! physically-motivated model:
+//!
+//! * **Macro area** — the VRF is implemented with the LVT multi-port
+//!   technique (banked replicated dual-port SRAMs), adding a constant factor
+//!   over the idealised multi-ported macro.
+//! * **Chip area** — (standard-cell logic + macros) placed at the reported
+//!   ~61 % utilisation density.
+//! * **Worst negative slack** — a target-frequency slack budget minus a wire
+//!   delay term that grows with the square root of the chip area (longer
+//!   wires between the SRAMs and the lane logic are exactly what the paper
+//!   blames for NATIVE X8 missing timing).
+//! * **Power** — clock/logic power plus a VRF term that grows sub-linearly
+//!   with capacity, plus the (tiny) AVA structures.
+//!
+//! The slope/intercept constants are calibrated against the two rows of
+//! Table V so the model interpolates sensibly for the other configurations.
+
+use serde::{Deserialize, Serialize};
+
+use ava_vpu::{RenameMode, VpuConfig};
+
+use crate::sram::SramMacro;
+
+/// LVT replication overhead over an ideal 4R-2W macro.
+const LVT_FACTOR: f64 = 1.25;
+/// Standard-cell logic area of the 8-lane VPU (lanes, VMU, ROB, queues), mm².
+const LOGIC_AREA_MM2: f64 = 1.0;
+/// Area of the AVA bookkeeping structures after synthesis, mm² (Table V).
+const AVA_LOGIC_AREA_MM2: f64 = 0.0042;
+/// Placement utilisation density (Table V reports ~61 %).
+const DENSITY: f64 = 0.61;
+/// Slack model: `wns = WNS_BASE - WNS_SLOPE * sqrt(chip_area)`, calibrated to
+/// the +0.119 ns (AVA) and -0.244 ns (NATIVE X8) rows of Table V.
+const WNS_BASE_NS: f64 = 1.02;
+const WNS_SLOPE_NS_PER_SQRT_MM2: f64 = 0.64;
+/// Logic/clock power model: `P = LOGIC_POWER_BASE + LOGIC_POWER_PER_MM2 * area`.
+const LOGIC_POWER_BASE_MW: f64 = 1400.0;
+const LOGIC_POWER_PER_MM2_MW: f64 = 130.0;
+/// VRF macro power: 184 mW for the 8 KB file, growing sub-linearly.
+const VRF_POWER_8KB_MW: f64 = 184.0;
+const VRF_POWER_EXPONENT: f64 = 0.36;
+/// Power of the AVA structures, mW (Table V).
+const AVA_POWER_MW: f64 = 5.266;
+
+/// Post-PnR estimate for one VPU configuration (one row of Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PnrResult {
+    /// Worst negative slack at the 1 GHz target, nanoseconds (positive =
+    /// timing met).
+    pub wns_ns: f64,
+    /// Total power at the typical corner, milliwatts.
+    pub power_mw: f64,
+    /// Chip area, mm².
+    pub area_mm2: f64,
+    /// Placement density (fraction).
+    pub density: f64,
+    /// Area of the VRF SRAM macros, mm².
+    pub vrf_macro_area_mm2: f64,
+    /// Power of the VRF SRAM macros, mW.
+    pub vrf_macro_power_mw: f64,
+    /// Area of the AVA structures, mm² (zero for NATIVE/RG).
+    pub ava_area_mm2: f64,
+    /// Power of the AVA structures, mW (zero for NATIVE/RG).
+    pub ava_power_mw: f64,
+}
+
+impl PnrResult {
+    /// True if the 1 GHz target frequency is met.
+    #[must_use]
+    pub fn meets_timing(&self) -> bool {
+        self.wns_ns >= 0.0
+    }
+}
+
+/// Estimates post-place-and-route metrics for a VPU configuration.
+#[must_use]
+pub fn pnr_estimate(config: &VpuConfig) -> PnrResult {
+    let vrf_macro_area = SramMacro::new(config.pvrf_bytes, 4, 2).area_mm2() * LVT_FACTOR;
+    let (ava_area, ava_power) = match config.mode {
+        RenameMode::Ava => (AVA_LOGIC_AREA_MM2, AVA_POWER_MW),
+        RenameMode::Native => (0.0, 0.0),
+    };
+    let placed = LOGIC_AREA_MM2 + ava_area + vrf_macro_area;
+    let area = placed / DENSITY;
+    let wns = WNS_BASE_NS - WNS_SLOPE_NS_PER_SQRT_MM2 * area.sqrt();
+    let kb = config.pvrf_bytes as f64 / 1024.0;
+    let vrf_power = VRF_POWER_8KB_MW * (kb / 8.0).powf(VRF_POWER_EXPONENT);
+    let power = LOGIC_POWER_BASE_MW + LOGIC_POWER_PER_MM2_MW * area + vrf_power + ava_power;
+    PnrResult {
+        wns_ns: wns,
+        power_mw: power,
+        area_mm2: area,
+        density: DENSITY,
+        vrf_macro_area_mm2: vrf_macro_area,
+        vrf_macro_power_mw: vrf_power,
+        ava_area_mm2: ava_area,
+        ava_power_mw: ava_power,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_v_shape_holds() {
+        let ava = pnr_estimate(&VpuConfig::ava_x(8));
+        let native8 = pnr_estimate(&VpuConfig::native_x(8));
+        // AVA meets timing, NATIVE X8 does not.
+        assert!(ava.meets_timing(), "AVA wns {}", ava.wns_ns);
+        assert!(!native8.meets_timing(), "NATIVE X8 wns {}", native8.wns_ns);
+        // Roughly half the chip area (paper: 50.7 % reduction).
+        let reduction = 1.0 - ava.area_mm2 / native8.area_mm2;
+        assert!((0.35..0.65).contains(&reduction), "area reduction {reduction:.2}");
+        // Lower power.
+        assert!(ava.power_mw < native8.power_mw);
+    }
+
+    #[test]
+    fn absolute_numbers_are_near_the_reported_rows() {
+        let ava = pnr_estimate(&VpuConfig::ava_x(8));
+        let native8 = pnr_estimate(&VpuConfig::native_x(8));
+        assert!((ava.area_mm2 - 1.98).abs() < 0.45, "AVA area {}", ava.area_mm2);
+        assert!((native8.area_mm2 - 3.90).abs() < 0.9, "NATIVE X8 area {}", native8.area_mm2);
+        assert!((ava.power_mw - 1732.0).abs() < 350.0, "AVA power {}", ava.power_mw);
+        assert!((native8.power_mw - 2290.0).abs() < 450.0, "NATIVE power {}", native8.power_mw);
+        assert!((ava.vrf_macro_power_mw - 184.0).abs() < 40.0);
+        assert!((native8.vrf_macro_power_mw - 388.0).abs() < 80.0);
+    }
+
+    #[test]
+    fn ava_structure_overhead_is_negligible() {
+        let ava = pnr_estimate(&VpuConfig::ava_x(1));
+        let overhead = ava.ava_area_mm2 / ava.area_mm2;
+        assert!(overhead < 0.005, "paper reports 0.21 %, got {overhead:.4}");
+        assert_eq!(pnr_estimate(&VpuConfig::native_x(1)).ava_area_mm2, 0.0);
+    }
+
+    #[test]
+    fn smaller_designs_have_more_slack() {
+        let small = pnr_estimate(&VpuConfig::native_x(1));
+        let large = pnr_estimate(&VpuConfig::native_x(8));
+        assert!(small.wns_ns > large.wns_ns);
+    }
+}

@@ -1,0 +1,144 @@
+//! Analytical SRAM macro model (22 nm class).
+//!
+//! Area follows the usual CACTI behaviour: proportional to capacity, with a
+//! super-linear penalty for extra ports (the paper cites Zyuban et al. for
+//! exactly this effect). The absolute constants are calibrated so that the
+//! structures the paper reports land on the values in Figure 4:
+//!
+//! * 8 KB 4R-2W vector register file → ≈ 0.18 mm²
+//! * 64 KB 4R-2W vector register file → ≈ 1.41 mm²
+//! * 1 MB L2 (effectively 1R1W) → ≈ 2.46 mm²
+//!
+//! (The L1 caches use the paper-reported constants directly in
+//! `crate::area`, since their tag/control overhead is not SRAM-dominated.)
+
+use serde::{Deserialize, Serialize};
+
+/// Area of one KB of 2-port SRAM at 22 nm, in mm² (calibrated to the
+/// paper's 1 MB L2 = 2.46 mm²).
+const MM2_PER_KB_2PORT: f64 = 0.002_4;
+/// Exponent of the port-count penalty. Multi-ported register files are
+/// wire-dominated, so area grows roughly quadratically with port count
+/// (Zyuban et al.); the value is calibrated so an 8 KB 4R-2W file costs
+/// 0.18 mm² and a 64 KB one 1.41 mm², as Figure 4 reports.
+const PORT_EXPONENT: f64 = 2.05;
+/// Dynamic energy per 64-bit access of an 8 KB 2-port macro, in picojoules.
+const PJ_PER_ACCESS_8KB: f64 = 4.0;
+/// Leakage power density in milliwatts per square millimetre at 22 nm.
+const LEAKAGE_MW_PER_MM2: f64 = 18.0;
+
+/// An SRAM macro described by capacity and port count.
+///
+/// ```
+/// use ava_energy::SramMacro;
+/// let vrf = SramMacro::new(8 * 1024, 4, 2);
+/// assert!((vrf.area_mm2() - 0.18).abs() < 0.04);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SramMacro {
+    bytes: usize,
+    read_ports: usize,
+    write_ports: usize,
+}
+
+impl SramMacro {
+    /// Describes a macro of `bytes` capacity with the given port counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity or port counts are zero.
+    #[must_use]
+    pub fn new(bytes: usize, read_ports: usize, write_ports: usize) -> Self {
+        assert!(bytes > 0, "capacity must be non-zero");
+        assert!(read_ports + write_ports >= 1, "at least one port is required");
+        Self {
+            bytes,
+            read_ports,
+            write_ports,
+        }
+    }
+
+    /// Capacity in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Total ports.
+    #[must_use]
+    pub fn ports(&self) -> usize {
+        self.read_ports + self.write_ports
+    }
+
+    fn port_factor(&self) -> f64 {
+        (self.ports() as f64 / 2.0).max(1.0).powf(PORT_EXPONENT)
+    }
+
+    /// Estimated silicon area in mm².
+    #[must_use]
+    pub fn area_mm2(&self) -> f64 {
+        let kb = self.bytes as f64 / 1024.0;
+        kb * MM2_PER_KB_2PORT * self.port_factor()
+    }
+
+    /// Dynamic energy per 64-bit word access, in picojoules.
+    #[must_use]
+    pub fn energy_per_access_pj(&self) -> f64 {
+        let kb = self.bytes as f64 / 1024.0;
+        PJ_PER_ACCESS_8KB * (kb / 8.0).sqrt().max(0.25) * self.port_factor().sqrt()
+    }
+
+    /// Leakage power in milliwatts (proportional to area).
+    #[must_use]
+    pub fn leakage_mw(&self) -> f64 {
+        self.area_mm2() * LEAKAGE_MW_PER_MM2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_anchors_match_the_paper() {
+        // Figure 4 component areas (tolerances allow for the analytical fit).
+        let vrf_8k = SramMacro::new(8 * 1024, 4, 2).area_mm2();
+        let vrf_64k = SramMacro::new(64 * 1024, 4, 2).area_mm2();
+        let l2 = SramMacro::new(1024 * 1024, 1, 1).area_mm2();
+        assert!((vrf_8k - 0.18).abs() < 0.03, "8 KB VRF {vrf_8k}");
+        assert!((vrf_64k - 1.41).abs() < 0.15, "64 KB VRF {vrf_64k}");
+        assert!((l2 - 2.46).abs() < 0.2, "1 MB L2 {l2}");
+    }
+
+    #[test]
+    fn area_scales_superlinearly_with_ports() {
+        let two = SramMacro::new(8 * 1024, 1, 1).area_mm2();
+        let six = SramMacro::new(8 * 1024, 4, 2).area_mm2();
+        assert!(six > 5.0 * two, "6 ports should cost far more than 3x the 2-port area");
+    }
+
+    #[test]
+    fn area_and_leakage_grow_with_capacity() {
+        let small = SramMacro::new(8 * 1024, 4, 2);
+        let large = SramMacro::new(64 * 1024, 4, 2);
+        assert!(large.area_mm2() > 4.0 * small.area_mm2());
+        assert!(large.leakage_mw() > 4.0 * small.leakage_mw());
+        // The paper notes VRF leakage roughly doubles per doubling of size.
+        let x2 = SramMacro::new(16 * 1024, 4, 2);
+        let ratio = x2.leakage_mw() / small.leakage_mw();
+        assert!(ratio > 1.5 && ratio < 2.5, "leakage ratio {ratio}");
+    }
+
+    #[test]
+    fn access_energy_grows_with_capacity() {
+        let small = SramMacro::new(8 * 1024, 4, 2);
+        let large = SramMacro::new(64 * 1024, 4, 2);
+        assert!(large.energy_per_access_pj() > small.energy_per_access_pj());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = SramMacro::new(0, 1, 1);
+    }
+}

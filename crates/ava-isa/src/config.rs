@@ -1,0 +1,262 @@
+//! Vector-length and register-grouping configuration.
+//!
+//! [`VectorContext`] models the `vsetvl`-style dynamic state of a vector
+//! machine: the hardware maximum vector length (MVL), the currently
+//! requested application vector length (VL) and the RISC-V register-grouping
+//! factor (LMUL). The AVA microarchitecture reconfigures the MVL in hardware
+//! (Table I of the paper), whereas the RG baseline reaches longer effective
+//! vectors by raising LMUL at the cost of architectural registers.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of architectural (logical) vector registers defined by the ISA.
+pub const NUM_LOGICAL_VREGS: usize = 32;
+
+/// Smallest supported maximum vector length, in 64-bit elements (the
+/// paper's baseline short-vector design: 16 elements = 1024 bits).
+pub const MIN_MVL_ELEMS: usize = 16;
+
+/// Largest supported maximum vector length, in 64-bit elements (128
+/// elements = 8192 bits, the paper's long-vector configuration).
+pub const MAX_MVL_ELEMS: usize = 128;
+
+/// RISC-V V-extension register grouping factor (LMUL).
+///
+/// Grouping multiplies the effective register width by the factor while
+/// dividing the number of *architectural* registers available to the
+/// compiler by the same factor (32, 16, 8, 4 registers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Lmul {
+    /// No grouping: 32 architectural registers.
+    M1,
+    /// Pairs of registers: 16 architectural registers.
+    M2,
+    /// Groups of four: 8 architectural registers.
+    M4,
+    /// Groups of eight: 4 architectural registers.
+    M8,
+}
+
+impl Lmul {
+    /// The grouping factor as an integer (1, 2, 4 or 8).
+    #[must_use]
+    pub fn factor(self) -> usize {
+        match self {
+            Lmul::M1 => 1,
+            Lmul::M2 => 2,
+            Lmul::M4 => 4,
+            Lmul::M8 => 8,
+        }
+    }
+
+    /// Number of architectural registers the compiler may use under this
+    /// grouping factor (`32 / factor`).
+    #[must_use]
+    pub fn architectural_registers(self) -> usize {
+        NUM_LOGICAL_VREGS / self.factor()
+    }
+
+    /// Builds an `Lmul` from its integer factor.
+    #[must_use]
+    pub fn from_factor(factor: usize) -> Option<Self> {
+        match factor {
+            1 => Some(Lmul::M1),
+            2 => Some(Lmul::M2),
+            4 => Some(Lmul::M4),
+            8 => Some(Lmul::M8),
+            _ => None,
+        }
+    }
+
+    /// All supported grouping factors in ascending order.
+    #[must_use]
+    pub fn all() -> [Lmul; 4] {
+        [Lmul::M1, Lmul::M2, Lmul::M4, Lmul::M8]
+    }
+}
+
+impl Default for Lmul {
+    fn default() -> Self {
+        Lmul::M1
+    }
+}
+
+impl std::fmt::Display for Lmul {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LMUL{}", self.factor())
+    }
+}
+
+/// Dynamic vector-machine state: maximum vector length, requested vector
+/// length and register grouping.
+///
+/// ```
+/// use ava_isa::{VectorContext, Lmul};
+/// let mut ctx = VectorContext::with_mvl(64);
+/// assert_eq!(ctx.set_vl(1000), 64);    // clamped to MVL
+/// assert_eq!(ctx.set_vl(10), 10);
+/// ctx.set_lmul(Lmul::M4);
+/// assert_eq!(ctx.effective_mvl(), 256); // grouping widens the register
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorContext {
+    mvl: usize,
+    vl: usize,
+    lmul: Lmul,
+}
+
+impl VectorContext {
+    /// Creates a context for a machine whose registers hold `mvl` 64-bit
+    /// elements each, with VL initialised to MVL and LMUL=1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mvl` is outside `16..=128` or not a multiple of 16 (the
+    /// granularity supported by the AVA physical register file, Table I).
+    #[must_use]
+    pub fn with_mvl(mvl: usize) -> Self {
+        assert!(
+            (MIN_MVL_ELEMS..=MAX_MVL_ELEMS).contains(&mvl) && mvl % MIN_MVL_ELEMS == 0,
+            "MVL must be a multiple of 16 in 16..=128, got {mvl}"
+        );
+        Self {
+            mvl,
+            vl: mvl,
+            lmul: Lmul::M1,
+        }
+    }
+
+    /// The hardware maximum vector length in elements, ignoring grouping.
+    #[must_use]
+    pub fn mvl(&self) -> usize {
+        self.mvl
+    }
+
+    /// The maximum number of elements a single instruction may process under
+    /// the current grouping factor (`mvl * lmul`).
+    #[must_use]
+    pub fn effective_mvl(&self) -> usize {
+        self.mvl * self.lmul.factor()
+    }
+
+    /// Currently requested vector length (elements per instruction).
+    #[must_use]
+    pub fn vl(&self) -> usize {
+        self.vl
+    }
+
+    /// Current register grouping factor.
+    #[must_use]
+    pub fn lmul(&self) -> Lmul {
+        self.lmul
+    }
+
+    /// Sets the register grouping factor, clamping VL to the new effective
+    /// maximum.
+    pub fn set_lmul(&mut self, lmul: Lmul) {
+        self.lmul = lmul;
+        self.vl = self.vl.min(self.effective_mvl());
+    }
+
+    /// Requests `requested` elements, returning the granted VL
+    /// (`min(requested, effective_mvl)`), exactly like `vsetvl`.
+    pub fn set_vl(&mut self, requested: usize) -> usize {
+        self.vl = requested.min(self.effective_mvl());
+        self.vl
+    }
+
+    /// Number of whole strips needed to process `n` application elements:
+    /// `ceil(n / effective_mvl)`. This is the trip count of a stripmined loop.
+    #[must_use]
+    pub fn strips_for(&self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            n.div_ceil(self.effective_mvl())
+        }
+    }
+}
+
+impl Default for VectorContext {
+    fn default() -> Self {
+        Self::with_mvl(MIN_MVL_ELEMS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lmul_factors_and_register_budgets() {
+        assert_eq!(Lmul::M1.architectural_registers(), 32);
+        assert_eq!(Lmul::M2.architectural_registers(), 16);
+        assert_eq!(Lmul::M4.architectural_registers(), 8);
+        assert_eq!(Lmul::M8.architectural_registers(), 4);
+    }
+
+    #[test]
+    fn lmul_from_factor_roundtrips() {
+        for l in Lmul::all() {
+            assert_eq!(Lmul::from_factor(l.factor()), Some(l));
+        }
+        assert_eq!(Lmul::from_factor(3), None);
+        assert_eq!(Lmul::from_factor(16), None);
+    }
+
+    #[test]
+    fn context_accepts_table1_mvls() {
+        for mvl in [16, 32, 48, 64, 80, 96, 112, 128] {
+            let ctx = VectorContext::with_mvl(mvl);
+            assert_eq!(ctx.mvl(), mvl);
+            assert_eq!(ctx.vl(), mvl);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "MVL must be")]
+    fn context_rejects_non_multiple() {
+        let _ = VectorContext::with_mvl(40);
+    }
+
+    #[test]
+    #[should_panic(expected = "MVL must be")]
+    fn context_rejects_too_large() {
+        let _ = VectorContext::with_mvl(256);
+    }
+
+    #[test]
+    fn set_vl_clamps_to_effective_mvl() {
+        let mut ctx = VectorContext::with_mvl(16);
+        assert_eq!(ctx.set_vl(100), 16);
+        ctx.set_lmul(Lmul::M8);
+        assert_eq!(ctx.set_vl(100), 100);
+        assert_eq!(ctx.set_vl(1000), 128);
+    }
+
+    #[test]
+    fn set_lmul_shrinks_vl_if_needed() {
+        let mut ctx = VectorContext::with_mvl(16);
+        ctx.set_lmul(Lmul::M8);
+        ctx.set_vl(128);
+        ctx.set_lmul(Lmul::M1);
+        assert_eq!(ctx.vl(), 16);
+    }
+
+    #[test]
+    fn strips_for_is_ceiling_division() {
+        let ctx = VectorContext::with_mvl(16);
+        assert_eq!(ctx.strips_for(0), 0);
+        assert_eq!(ctx.strips_for(1), 1);
+        assert_eq!(ctx.strips_for(16), 1);
+        assert_eq!(ctx.strips_for(17), 2);
+        assert_eq!(ctx.strips_for(160), 10);
+    }
+
+    #[test]
+    fn default_is_short_vector_baseline() {
+        let ctx = VectorContext::default();
+        assert_eq!(ctx.mvl(), 16);
+        assert_eq!(ctx.lmul(), Lmul::M1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Logical (architectural) vector register names.
+//!
+//! The vector ISA exposes 32 logical vector registers `v0..v31`
+//! ([`crate::NUM_LOGICAL_VREGS`]). The AVA microarchitecture preserves all
+//! 32 of them regardless of the configured maximum vector length, whereas
+//! the RISC-V Register-Grouping baseline divides them by the LMUL factor.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::NUM_LOGICAL_VREGS;
+
+/// A logical (architectural) vector register, `v0` through `v31`.
+///
+/// `VReg` is a validated newtype: it can only hold indices below
+/// [`NUM_LOGICAL_VREGS`].
+///
+/// ```
+/// use ava_isa::VReg;
+/// let r = VReg::new(7);
+/// assert_eq!(r.index(), 7);
+/// assert_eq!(r.to_string(), "v7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VReg(u8);
+
+impl VReg {
+    /// Creates a logical vector register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32` (the architectural register count).
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_LOGICAL_VREGS,
+            "logical vector register index {index} out of range (0..{NUM_LOGICAL_VREGS})"
+        );
+        Self(index)
+    }
+
+    /// Creates a logical vector register, returning `None` if out of range.
+    #[must_use]
+    pub fn try_new(index: u8) -> Option<Self> {
+        if (index as usize) < NUM_LOGICAL_VREGS {
+            Some(Self(index))
+        } else {
+            None
+        }
+    }
+
+    /// The register index in `0..32`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over all 32 logical registers in ascending order.
+    pub fn all() -> impl Iterator<Item = VReg> {
+        (0..NUM_LOGICAL_VREGS as u8).map(VReg)
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<VReg> for usize {
+    fn from(r: VReg) -> usize {
+        r.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_all_architectural_registers() {
+        for i in 0..32u8 {
+            assert_eq!(VReg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = VReg::new(32);
+    }
+
+    #[test]
+    fn try_new_mirrors_new() {
+        assert_eq!(VReg::try_new(31), Some(VReg::new(31)));
+        assert_eq!(VReg::try_new(32), None);
+        assert_eq!(VReg::try_new(255), None);
+    }
+
+    #[test]
+    fn display_uses_risc_v_names() {
+        assert_eq!(VReg::new(0).to_string(), "v0");
+        assert_eq!(VReg::new(31).to_string(), "v31");
+    }
+
+    #[test]
+    fn all_yields_each_register_once() {
+        let regs: Vec<_> = VReg::all().collect();
+        assert_eq!(regs.len(), 32);
+        assert_eq!(regs[0], VReg::new(0));
+        assert_eq!(regs[31], VReg::new(31));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(VReg::new(3) < VReg::new(4));
+    }
+}

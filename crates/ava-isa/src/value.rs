@@ -1,0 +1,131 @@
+//! Element values held by vector registers.
+//!
+//! The reproduction follows the paper's convention that one element is a
+//! 64-bit word. Elements are stored as raw 64-bit patterns and interpreted
+//! as `f64` or `i64` (or a 0/1 mask) by each operation; this mirrors how a
+//! real vector register file is type-agnostic storage.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One 64-bit vector element, stored as a raw bit pattern.
+///
+/// ```
+/// use ava_isa::Element;
+/// let e = Element::from_f64(1.5);
+/// assert_eq!(e.as_f64(), 1.5);
+/// let m = Element::from_bool(true);
+/// assert!(m.as_bool());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Element(u64);
+
+impl Element {
+    /// The all-zero element (0.0 as a float, 0 as an integer, false as a mask).
+    pub const ZERO: Element = Element(0);
+
+    /// Builds an element from raw bits.
+    #[must_use]
+    pub fn from_bits(bits: u64) -> Self {
+        Self(bits)
+    }
+
+    /// Raw 64-bit pattern.
+    #[must_use]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Builds an element from a double-precision float.
+    #[must_use]
+    pub fn from_f64(v: f64) -> Self {
+        Self(v.to_bits())
+    }
+
+    /// Interprets the element as a double-precision float.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+
+    /// Builds an element from a signed 64-bit integer.
+    #[must_use]
+    pub fn from_i64(v: i64) -> Self {
+        Self(v as u64)
+    }
+
+    /// Interprets the element as a signed 64-bit integer.
+    #[must_use]
+    pub fn as_i64(self) -> i64 {
+        self.0 as i64
+    }
+
+    /// Builds a mask element (1 for true, 0 for false).
+    #[must_use]
+    pub fn from_bool(v: bool) -> Self {
+        Self(u64::from(v))
+    }
+
+    /// Interprets the element as a mask bit (non-zero means true).
+    #[must_use]
+    pub fn as_bool(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#018x}", self.0)
+    }
+}
+
+impl From<f64> for Element {
+    fn from(v: f64) -> Self {
+        Self::from_f64(v)
+    }
+}
+
+impl From<i64> for Element {
+    fn from(v: i64) -> Self {
+        Self::from_i64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        for v in [0.0, -1.25, 3.5e300, f64::INFINITY, -0.0] {
+            assert_eq!(Element::from_f64(v).as_f64(), v);
+        }
+    }
+
+    #[test]
+    fn nan_preserves_bits() {
+        let nan = f64::from_bits(0x7ff8_dead_beef_0001);
+        assert_eq!(Element::from_f64(nan).bits(), nan.to_bits());
+    }
+
+    #[test]
+    fn i64_roundtrip() {
+        for v in [0i64, -1, i64::MAX, i64::MIN, 42] {
+            assert_eq!(Element::from_i64(v).as_i64(), v);
+        }
+    }
+
+    #[test]
+    fn bool_roundtrip_and_zero() {
+        assert!(Element::from_bool(true).as_bool());
+        assert!(!Element::from_bool(false).as_bool());
+        assert_eq!(Element::ZERO.as_i64(), 0);
+        assert_eq!(Element::ZERO.as_f64(), 0.0);
+    }
+
+    #[test]
+    fn display_is_hex_and_nonempty() {
+        assert_eq!(Element::from_bits(0xff).to_string(), "0x00000000000000ff");
+    }
+}

@@ -1,0 +1,357 @@
+//! The composed memory hierarchy: functional memory + L1D + L2 + DRAM plus
+//! the vector memory unit's 512-bit L2 port.
+//!
+//! Two kinds of clients use the hierarchy:
+//!
+//! * the scalar core, whose loads/stores go through the L1 data cache;
+//! * the vector memory unit (VMU), which — as in the paper's platform —
+//!   bypasses the L1 and talks to the L2 directly over a 512-bit bus.
+//!
+//! All *data* always lives in the functional [`MainMemory`]; caches and DRAM
+//! only produce timing and statistics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{Cache, CacheConfig};
+use crate::dram::{Dram, DramConfig};
+use crate::mem::MainMemory;
+use crate::port::BusPort;
+use crate::stats::MemoryStats;
+
+/// Static configuration of the whole hierarchy (Table II defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// L1 data cache configuration (scalar side).
+    pub l1d: CacheConfig,
+    /// Shared L2 configuration.
+    pub l2: CacheConfig,
+    /// DRAM timing.
+    pub dram: DramConfig,
+    /// Width in bytes of the VMU-to-L2 interface (512 bits = 64 B).
+    pub vmu_bus_bytes: u64,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self {
+            l1d: CacheConfig::l1d(),
+            l2: CacheConfig::l2(),
+            dram: DramConfig::default(),
+            vmu_bus_bytes: 64,
+        }
+    }
+}
+
+/// Timing outcome of one vector memory request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessTiming {
+    /// Cycles from issue until the request fully completes.
+    pub total_cycles: u64,
+    /// Cycles the VMU bus / L2 port is occupied (limits back-to-back throughput).
+    pub occupancy_cycles: u64,
+    /// Distinct cache lines touched.
+    pub lines_touched: u64,
+    /// Lines that hit in the L2.
+    pub l2_hits: u64,
+    /// Lines that missed in the L2 and were fetched from DRAM.
+    pub l2_misses: u64,
+}
+
+/// The composed functional + timing memory system.
+///
+/// See the crate-level documentation for an example.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryHierarchy {
+    config: HierarchyConfig,
+    memory: MainMemory,
+    l1d: Cache,
+    l2: Cache,
+    dram: Dram,
+    vmu_port: BusPort,
+    stats: MemoryStats,
+}
+
+impl MemoryHierarchy {
+    /// Creates a hierarchy with the given configuration and empty caches.
+    #[must_use]
+    pub fn new(config: HierarchyConfig) -> Self {
+        Self {
+            config,
+            memory: MainMemory::new(),
+            l1d: Cache::new(config.l1d),
+            l2: Cache::new(config.l2),
+            dram: Dram::new(config.dram),
+            vmu_port: BusPort::new(config.vmu_bus_bytes),
+            stats: MemoryStats::default(),
+        }
+    }
+
+    /// The static configuration.
+    #[must_use]
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Allocates a buffer in the simulated address space.
+    pub fn allocate(&mut self, bytes: u64) -> u64 {
+        self.memory.alloc(bytes)
+    }
+
+    /// Shared read access to the functional memory.
+    #[must_use]
+    pub fn memory(&self) -> &MainMemory {
+        &self.memory
+    }
+
+    /// Mutable access to the functional memory (used by workload set-up code
+    /// to initialise input arrays without perturbing cache state).
+    pub fn memory_mut(&mut self) -> &mut MainMemory {
+        &mut self.memory
+    }
+
+    // ------------------------------------------------------------------
+    // Functional accessors (no timing side effects)
+    // ------------------------------------------------------------------
+
+    /// Reads an `f64` from the functional memory.
+    #[must_use]
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        self.memory.read_f64(addr)
+    }
+
+    /// Writes an `f64` to the functional memory.
+    pub fn write_f64(&mut self, addr: u64, value: f64) {
+        self.memory.write_f64(addr, value);
+    }
+
+    /// Reads a `u64` from the functional memory.
+    #[must_use]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.memory.read_u64(addr)
+    }
+
+    /// Writes a `u64` to the functional memory.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.memory.write_u64(addr, value);
+    }
+
+    // ------------------------------------------------------------------
+    // Timing accessors
+    // ------------------------------------------------------------------
+
+    /// Timing of a scalar load/store through L1 → L2 → DRAM.
+    pub fn scalar_access(&mut self, addr: u64, is_write: bool) -> u64 {
+        let l1 = self.l1d.access(addr, is_write);
+        let mut latency = self.l1d.hit_latency();
+        if !l1.hit {
+            let l2 = self.l2.access(addr, is_write);
+            latency += self.l2.hit_latency();
+            if !l2.hit {
+                latency += self.dram.access(addr, self.config.l2.line_bytes as u64);
+                self.stats.dram_accesses += 1;
+                self.stats.dram_bytes += self.config.l2.line_bytes as u64;
+            }
+        }
+        self.stats.l1d = *self.l1d.stats();
+        self.stats.l2 = *self.l2.stats();
+        latency
+    }
+
+    /// Timing of a vector memory request covering the explicit set of
+    /// element addresses `element_addrs` (8 bytes per element). Used for
+    /// strided and indexed accesses where elements may touch scattered lines.
+    pub fn vector_access_elements(&mut self, element_addrs: &[u64], is_write: bool) -> AccessTiming {
+        let line = self.config.l2.line_bytes as u64;
+        let mut lines: Vec<u64> = element_addrs.iter().map(|a| a / line).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        self.vector_access_lines(&lines, element_addrs.len() as u64 * 8, is_write)
+    }
+
+    /// Timing of a unit-stride vector request of `bytes` bytes at `base`.
+    pub fn vector_access(&mut self, base: u64, bytes: u64, is_write: bool) -> AccessTiming {
+        if bytes == 0 {
+            return AccessTiming::default();
+        }
+        let line = self.config.l2.line_bytes as u64;
+        let first = base / line;
+        let last = (base + bytes - 1) / line;
+        let lines: Vec<u64> = (first..=last).collect();
+        self.vector_access_lines(&lines, bytes, is_write)
+    }
+
+    fn vector_access_lines(&mut self, lines: &[u64], bytes: u64, is_write: bool) -> AccessTiming {
+        if lines.is_empty() {
+            return AccessTiming::default();
+        }
+        let line_bytes = self.config.l2.line_bytes as u64;
+        let mut hits = 0;
+        let mut misses = 0;
+        for &l in lines {
+            let addr = l * line_bytes;
+            if self.l2.access(addr, is_write).hit {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+        }
+        // DRAM latency: one row activation for the request plus
+        // bandwidth-limited streaming of the missed bytes.
+        let dram_cycles = if misses > 0 {
+            let missed_bytes = misses * line_bytes;
+            self.stats.dram_accesses += misses;
+            self.stats.dram_bytes += missed_bytes;
+            self.dram.access(lines[0] * line_bytes, missed_bytes)
+        } else {
+            0
+        };
+        // The 512-bit VMU port is occupied for one cycle per line moved.
+        let occupancy = lines.len() as u64;
+        let total = self.l2.hit_latency() + dram_cycles + occupancy;
+
+        self.stats.vmu_bytes += bytes;
+        self.stats.vector_requests += 1;
+        self.stats.l1d = *self.l1d.stats();
+        self.stats.l2 = *self.l2.stats();
+
+        AccessTiming {
+            total_cycles: total,
+            occupancy_cycles: occupancy,
+            lines_touched: lines.len() as u64,
+            l2_hits: hits,
+            l2_misses: misses,
+        }
+    }
+
+    /// Aggregate statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> MemoryStats {
+        let mut s = self.stats;
+        s.l1d = *self.l1d.stats();
+        s.l2 = *self.l2.stats();
+        s
+    }
+
+    /// Invalidates both caches (used between benchmark iterations).
+    pub fn flush_caches(&mut self) {
+        self.l1d.flush();
+        self.l2.flush();
+    }
+
+    /// Brings every line of the allocated address range into the L2 and then
+    /// clears all statistics. This models measuring a region of interest
+    /// with warm caches, as the paper's gem5 runs do; data sets larger than
+    /// the L2 naturally still miss during the measured run.
+    pub fn warm_caches(&mut self) {
+        let line = self.config.l2.line_bytes as u64;
+        let (start, end) = self.memory.allocated_range();
+        let mut addr = start;
+        while addr < end {
+            let _ = self.l2.access(addr, false);
+            addr += line;
+        }
+        self.reset_stats();
+    }
+
+    /// Clears every statistics counter (caches, DRAM, VMU traffic) without
+    /// changing cache contents or functional memory.
+    pub fn reset_stats(&mut self) {
+        self.l1d.reset_stats();
+        self.l2.reset_stats();
+        self.stats = MemoryStats::default();
+    }
+}
+
+impl Default for MemoryHierarchy {
+    fn default() -> Self {
+        Self::new(HierarchyConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functional_reads_and_writes_roundtrip() {
+        let mut h = MemoryHierarchy::default();
+        let a = h.allocate(128);
+        h.write_f64(a, 2.25);
+        h.write_u64(a + 8, 99);
+        assert_eq!(h.read_f64(a), 2.25);
+        assert_eq!(h.read_u64(a + 8), 99);
+    }
+
+    #[test]
+    fn vector_access_counts_lines_correctly() {
+        let mut h = MemoryHierarchy::default();
+        // 16 elements * 8 bytes = 128 bytes = 2 lines when aligned.
+        let t = h.vector_access(0x1_0000, 128, false);
+        assert_eq!(t.lines_touched, 2);
+        assert_eq!(t.occupancy_cycles, 2);
+        // Unaligned base straddles one extra line.
+        let t2 = h.vector_access(0x1_0000 + 8, 128, false);
+        assert_eq!(t2.lines_touched, 3);
+    }
+
+    #[test]
+    fn second_access_hits_in_l2_and_is_faster() {
+        let mut h = MemoryHierarchy::default();
+        let cold = h.vector_access(0x2_0000, 1024, false);
+        let warm = h.vector_access(0x2_0000, 1024, false);
+        assert!(cold.l2_misses > 0);
+        assert_eq!(warm.l2_misses, 0);
+        assert!(warm.total_cycles < cold.total_cycles);
+        assert!(warm.total_cycles >= 12, "at least the L2 latency");
+    }
+
+    #[test]
+    fn strided_elements_touch_more_lines_than_unit_stride() {
+        let mut h = MemoryHierarchy::default();
+        let unit: Vec<u64> = (0..16u64).map(|i| 0x4_0000 + 8 * i).collect();
+        let strided: Vec<u64> = (0..16u64).map(|i| 0x8_0000 + 512 * i).collect();
+        let a = h.vector_access_elements(&unit, false);
+        let b = h.vector_access_elements(&strided, false);
+        assert_eq!(a.lines_touched, 2);
+        assert_eq!(b.lines_touched, 16);
+        assert!(b.total_cycles > a.total_cycles);
+    }
+
+    #[test]
+    fn scalar_accesses_use_the_l1() {
+        let mut h = MemoryHierarchy::default();
+        let cold = h.scalar_access(0x3_0000, false);
+        let warm = h.scalar_access(0x3_0000, false);
+        assert!(cold > warm);
+        assert_eq!(warm, 4, "L1 hit latency");
+        assert_eq!(h.stats().l1d.read_hits, 1);
+    }
+
+    #[test]
+    fn zero_byte_access_is_free() {
+        let mut h = MemoryHierarchy::default();
+        let t = h.vector_access(0x100, 0, false);
+        assert_eq!(t.total_cycles, 0);
+        assert_eq!(t.lines_touched, 0);
+    }
+
+    #[test]
+    fn stats_track_vmu_traffic() {
+        let mut h = MemoryHierarchy::default();
+        h.vector_access(0x5_0000, 256, true);
+        h.vector_access(0x5_0000, 256, false);
+        let s = h.stats();
+        assert_eq!(s.vector_requests, 2);
+        assert_eq!(s.vmu_bytes, 512);
+        assert!(s.dram_bytes > 0);
+    }
+
+    #[test]
+    fn flush_caches_forces_misses_again() {
+        let mut h = MemoryHierarchy::default();
+        h.vector_access(0x6_0000, 64, false);
+        h.flush_caches();
+        let t = h.vector_access(0x6_0000, 64, false);
+        assert_eq!(t.l2_misses, 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! Functional, byte-addressable main memory with a bump allocator.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Size of an internal storage page in bytes. Pages are allocated lazily so
+/// the simulated address space can be large and sparse.
+const PAGE_SIZE: usize = 4096;
+
+/// Base address handed out by the allocator. Address 0 is left unmapped so
+/// that an accidental null-based access is easy to spot in tests.
+const ALLOC_BASE: u64 = 0x1_0000;
+
+/// A sparse, byte-addressable functional memory.
+///
+/// All values default to zero. Reads and writes may touch any address; pages
+/// are materialised on demand. An embedded bump allocator hands out
+/// non-overlapping, 64-byte-aligned buffers for workloads and for the AVA
+/// M-VRF (the paper's `set_virtual_vrf` intrinsic performs the equivalent
+/// `malloc`).
+///
+/// ```
+/// use ava_memory::MainMemory;
+/// let mut m = MainMemory::new();
+/// let a = m.alloc(64);
+/// m.write_u64(a, 0xdead_beef);
+/// assert_eq!(m.read_u64(a), 0xdead_beef);
+/// assert_eq!(m.read_u64(a + 8), 0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MainMemory {
+    pages: HashMap<u64, Vec<u8>>,
+    next_alloc: u64,
+    allocated_bytes: u64,
+}
+
+impl MainMemory {
+    /// Creates an empty memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            pages: HashMap::new(),
+            next_alloc: ALLOC_BASE,
+            allocated_bytes: 0,
+        }
+    }
+
+    /// Allocates `bytes` bytes and returns the base address. Allocations are
+    /// 64-byte (cache-line) aligned and never overlap.
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        let base = self.next_alloc;
+        let rounded = bytes.div_ceil(64) * 64;
+        self.next_alloc += rounded.max(64);
+        self.allocated_bytes += rounded.max(64);
+        base
+    }
+
+    /// Total bytes handed out by [`MainMemory::alloc`].
+    #[must_use]
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated_bytes
+    }
+
+    /// The address range `[start, end)` covered by all allocations so far.
+    #[must_use]
+    pub fn allocated_range(&self) -> (u64, u64) {
+        (ALLOC_BASE, self.next_alloc)
+    }
+
+    /// Reads one byte.
+    #[must_use]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        let page = addr / PAGE_SIZE as u64;
+        let off = (addr % PAGE_SIZE as u64) as usize;
+        self.pages.get(&page).map_or(0, |p| p[off])
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = addr / PAGE_SIZE as u64;
+        let off = (addr % PAGE_SIZE as u64) as usize;
+        self.pages.entry(page).or_insert_with(|| vec![0; PAGE_SIZE])[off] = value;
+    }
+
+    /// Reads a little-endian 64-bit word (need not be aligned).
+    #[must_use]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.read_u8(addr + i as u64);
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Writes a little-endian 64-bit word (need not be aligned).
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads an `f64`.
+    #[must_use]
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an `f64`.
+    pub fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write_u64(addr, value.to_bits());
+    }
+
+    /// Reads an `i64`.
+    #[must_use]
+    pub fn read_i64(&self, addr: u64) -> i64 {
+        self.read_u64(addr) as i64
+    }
+
+    /// Writes an `i64`.
+    pub fn write_i64(&mut self, addr: u64, value: i64) {
+        self.write_u64(addr, value as u64);
+    }
+
+    /// Copies a slice of doubles into memory starting at `addr`.
+    pub fn write_f64_slice(&mut self, addr: u64, values: &[f64]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write_f64(addr + 8 * i as u64, *v);
+        }
+    }
+
+    /// Reads `n` doubles starting at `addr`.
+    #[must_use]
+    pub fn read_f64_slice(&self, addr: u64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| self.read_f64(addr + 8 * i as u64)).collect()
+    }
+
+    /// Number of distinct pages that have been touched (for memory-footprint
+    /// assertions in tests).
+    #[must_use]
+    pub fn touched_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let m = MainMemory::new();
+        assert_eq!(m.read_u64(0x1234), 0);
+        assert_eq!(m.read_f64(0x9999), 0.0);
+    }
+
+    #[test]
+    fn u64_roundtrip_aligned_and_unaligned() {
+        let mut m = MainMemory::new();
+        m.write_u64(0x100, 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u64(0x100), 0x0123_4567_89ab_cdef);
+        m.write_u64(0x103, u64::MAX);
+        assert_eq!(m.read_u64(0x103), u64::MAX);
+    }
+
+    #[test]
+    fn f64_and_i64_roundtrip() {
+        let mut m = MainMemory::new();
+        m.write_f64(0x200, -1234.5);
+        m.write_i64(0x208, -77);
+        assert_eq!(m.read_f64(0x200), -1234.5);
+        assert_eq!(m.read_i64(0x208), -77);
+    }
+
+    #[test]
+    fn writes_crossing_page_boundaries_work() {
+        let mut m = MainMemory::new();
+        let addr = PAGE_SIZE as u64 - 4;
+        m.write_u64(addr, 0xaabb_ccdd_eeff_0011);
+        assert_eq!(m.read_u64(addr), 0xaabb_ccdd_eeff_0011);
+        assert!(m.touched_pages() >= 2);
+    }
+
+    #[test]
+    fn alloc_returns_aligned_non_overlapping_buffers() {
+        let mut m = MainMemory::new();
+        let a = m.alloc(100);
+        let b = m.alloc(1);
+        let c = m.alloc(4096);
+        assert_eq!(a % 64, 0);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 128); // 100 rounded to 128
+        assert!(c >= b + 64);
+        assert_eq!(m.allocated_bytes(), 128 + 64 + 4096);
+    }
+
+    #[test]
+    fn slice_helpers_roundtrip() {
+        let mut m = MainMemory::new();
+        let a = m.alloc(8 * 5);
+        let vals = [1.0, 2.5, -3.0, 0.0, 1e30];
+        m.write_f64_slice(a, &vals);
+        assert_eq!(m.read_f64_slice(a, 5), vals.to_vec());
+    }
+
+    #[test]
+    fn allocations_start_above_the_null_page() {
+        let mut m = MainMemory::new();
+        assert!(m.alloc(8) >= ALLOC_BASE);
+    }
+}

@@ -1,0 +1,140 @@
+//! Bandwidth-limited bus port.
+//!
+//! The vector memory unit talks to the L2 over a 512-bit (64-byte-per-cycle)
+//! interface (Table II). [`BusPort`] serialises transfers over such a link:
+//! each transfer occupies the port for `ceil(bytes / width)` cycles, and a
+//! request that arrives while the port is busy waits for it to drain.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple occupancy tracker for a fixed-width bus.
+///
+/// ```
+/// use ava_memory::BusPort;
+/// let mut port = BusPort::new(64);
+/// // A 128-byte transfer requested at cycle 10 holds the port for 2 cycles.
+/// let done = port.request(10, 128);
+/// assert_eq!(done, 12);
+/// // A transfer requested earlier than the port frees must wait.
+/// assert_eq!(port.request(11, 64), 13);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusPort {
+    width_bytes: u64,
+    busy_until: u64,
+    total_bytes: u64,
+    busy_cycles: u64,
+}
+
+impl BusPort {
+    /// Creates a port transferring `width_bytes` per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_bytes` is zero.
+    #[must_use]
+    pub fn new(width_bytes: u64) -> Self {
+        assert!(width_bytes > 0, "bus width must be non-zero");
+        Self {
+            width_bytes,
+            busy_until: 0,
+            total_bytes: 0,
+            busy_cycles: 0,
+        }
+    }
+
+    /// Bytes moved per cycle.
+    #[must_use]
+    pub fn width_bytes(&self) -> u64 {
+        self.width_bytes
+    }
+
+    /// Requests a transfer of `bytes` at time `now`; returns the cycle at
+    /// which the transfer completes (start waits for any earlier transfer).
+    pub fn request(&mut self, now: u64, bytes: u64) -> u64 {
+        let start = now.max(self.busy_until);
+        let occupancy = bytes.div_ceil(self.width_bytes).max(1);
+        self.busy_until = start + occupancy;
+        self.total_bytes += bytes;
+        self.busy_cycles += occupancy;
+        self.busy_until
+    }
+
+    /// The first cycle at which the port is free.
+    #[must_use]
+    pub fn free_at(&self) -> u64 {
+        self.busy_until
+    }
+
+    /// Total bytes transferred so far.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Total cycles the port has been occupied.
+    #[must_use]
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Utilisation relative to an observation window of `elapsed` cycles.
+    #[must_use]
+    pub fn utilisation(&self, elapsed: u64) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / elapsed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_line_transfer_takes_one_cycle() {
+        let mut p = BusPort::new(64);
+        assert_eq!(p.request(0, 64), 1);
+        assert_eq!(p.request(100, 1), 101);
+    }
+
+    #[test]
+    fn back_to_back_transfers_serialise() {
+        let mut p = BusPort::new(64);
+        assert_eq!(p.request(0, 256), 4);
+        assert_eq!(p.request(0, 64), 5);
+        assert_eq!(p.free_at(), 5);
+    }
+
+    #[test]
+    fn idle_gap_is_not_charged() {
+        let mut p = BusPort::new(64);
+        p.request(0, 64);
+        assert_eq!(p.request(50, 64), 51);
+        assert_eq!(p.busy_cycles(), 2);
+        assert!(p.utilisation(51) < 0.1);
+    }
+
+    #[test]
+    fn statistics_accumulate() {
+        let mut p = BusPort::new(8);
+        p.request(0, 24);
+        p.request(0, 8);
+        assert_eq!(p.total_bytes(), 32);
+        assert_eq!(p.busy_cycles(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_width_rejected() {
+        let _ = BusPort::new(0);
+    }
+
+    #[test]
+    fn utilisation_handles_zero_window() {
+        let p = BusPort::new(64);
+        assert_eq!(p.utilisation(0), 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Statistics counters for the memory system.
+
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Read accesses that hit.
+    pub read_hits: u64,
+    /// Read accesses that missed.
+    pub read_misses: u64,
+    /// Write accesses that hit.
+    pub write_hits: u64,
+    /// Write accesses that missed (write-allocate).
+    pub write_misses: u64,
+    /// Dirty lines written back to the next level.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.read_hits + self.read_misses + self.write_hits + self.write_misses
+    }
+
+    /// Total hits.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.read_hits + self.write_hits
+    }
+
+    /// Total misses.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Hit rate in `[0, 1]`; zero when there were no accesses.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// Aggregate statistics for the whole hierarchy, used by the energy model
+/// (every L2 access and DRAM transfer costs dynamic energy).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryStats {
+    /// L1 data cache counters (scalar-side accesses).
+    pub l1d: CacheStats,
+    /// Shared L2 counters (vector-memory-unit and L1 refill accesses).
+    pub l2: CacheStats,
+    /// Accesses that reached DRAM.
+    pub dram_accesses: u64,
+    /// Bytes transferred to/from DRAM.
+    pub dram_bytes: u64,
+    /// Bytes moved over the vector memory unit's L2 port.
+    pub vmu_bytes: u64,
+    /// Vector memory requests served (one per dynamic vector memory instruction).
+    pub vector_requests: u64,
+}
+
+impl MemoryStats {
+    /// Merges counters from another snapshot into this one.
+    pub fn merge(&mut self, other: &MemoryStats) {
+        self.l1d.read_hits += other.l1d.read_hits;
+        self.l1d.read_misses += other.l1d.read_misses;
+        self.l1d.write_hits += other.l1d.write_hits;
+        self.l1d.write_misses += other.l1d.write_misses;
+        self.l1d.writebacks += other.l1d.writebacks;
+        self.l2.read_hits += other.l2.read_hits;
+        self.l2.read_misses += other.l2.read_misses;
+        self.l2.write_hits += other.l2.write_hits;
+        self.l2.write_misses += other.l2.write_misses;
+        self.l2.writebacks += other.l2.writebacks;
+        self.dram_accesses += other.dram_accesses;
+        self.dram_bytes += other.dram_bytes;
+        self.vmu_bytes += other.vmu_bytes;
+        self.vector_requests += other.vector_requests;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_stats_totals() {
+        let s = CacheStats {
+            read_hits: 10,
+            read_misses: 5,
+            write_hits: 3,
+            write_misses: 2,
+            writebacks: 1,
+        };
+        assert_eq!(s.accesses(), 20);
+        assert_eq!(s.hits(), 13);
+        assert_eq!(s.misses(), 7);
+        assert!((s.hit_rate() - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_hit_rate() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let one = MemoryStats {
+            l1d: CacheStats {
+                read_hits: 1,
+                read_misses: 2,
+                write_hits: 3,
+                write_misses: 4,
+                writebacks: 5,
+            },
+            l2: CacheStats {
+                read_hits: 6,
+                read_misses: 7,
+                write_hits: 8,
+                write_misses: 9,
+                writebacks: 10,
+            },
+            dram_accesses: 11,
+            dram_bytes: 12,
+            vmu_bytes: 13,
+            vector_requests: 14,
+        };
+        let mut acc = one;
+        acc.merge(&one);
+        assert_eq!(acc.l1d.read_hits, 2);
+        assert_eq!(acc.l2.writebacks, 20);
+        assert_eq!(acc.dram_bytes, 24);
+        assert_eq!(acc.vector_requests, 28);
+    }
+}

@@ -1,0 +1,170 @@
+//! Dual-issue in-order scalar core cost model.
+//!
+//! The scalar core's work in a stripmined vector loop is per-iteration
+//! bookkeeping: pointer bumps, trip-count arithmetic, the `vsetvl`, the
+//! backward branch, plus issuing each vector instruction towards the VPU
+//! queue. Because the core is dual-issue and runs at 2 GHz against the VPU's
+//! 1 GHz, this work almost always hides underneath vector execution; the
+//! model computes it explicitly so the full-system simulator can take the
+//! maximum of the two and so low-DLP configurations show the scalar floor.
+
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of the scalar core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalarConfig {
+    /// Instructions issued per scalar cycle (2 = dual issue).
+    pub issue_width: u32,
+    /// Scalar clock in GHz.
+    pub clock_ghz: f64,
+    /// VPU clock in GHz (for converting to VPU cycles).
+    pub vpu_clock_ghz: f64,
+    /// Scalar bookkeeping instructions per stripmined loop iteration
+    /// (pointer updates, trip-count decrement, compare, branch).
+    pub loop_overhead_instrs: u32,
+    /// Scalar instructions needed to hand one vector instruction to the VPU.
+    pub dispatch_instrs_per_vector: u32,
+}
+
+impl Default for ScalarConfig {
+    fn default() -> Self {
+        Self {
+            issue_width: 2,
+            clock_ghz: 2.0,
+            vpu_clock_ghz: 1.0,
+            loop_overhead_instrs: 6,
+            dispatch_instrs_per_vector: 1,
+        }
+    }
+}
+
+/// The scalar-side cost of running a vectorised kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalarCost {
+    /// Scalar instructions executed.
+    pub instructions: u64,
+    /// Scalar-core cycles.
+    pub scalar_cycles: u64,
+    /// The same cost expressed in VPU cycles (the VPU clock is the slower
+    /// domain used for reporting).
+    pub vpu_cycles: u64,
+}
+
+/// Scalar-core cost model.
+///
+/// ```
+/// use ava_scalar::{ScalarConfig, ScalarCore};
+/// let core = ScalarCore::new(ScalarConfig::default());
+/// let cost = core.loop_cost(100, 500);
+/// assert!(cost.vpu_cycles < cost.scalar_cycles, "2 GHz core, 1 GHz VPU");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalarCore {
+    config: ScalarConfig,
+}
+
+impl ScalarCore {
+    /// Creates the cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration contains zero issue width or clocks.
+    #[must_use]
+    pub fn new(config: ScalarConfig) -> Self {
+        assert!(config.issue_width >= 1, "issue width must be at least 1");
+        assert!(config.clock_ghz > 0.0 && config.vpu_clock_ghz > 0.0, "clocks must be positive");
+        Self { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &ScalarConfig {
+        &self.config
+    }
+
+    /// Cost of a stripmined loop with `strips` iterations issuing
+    /// `vector_instrs` vector instructions in total.
+    #[must_use]
+    pub fn loop_cost(&self, strips: u64, vector_instrs: u64) -> ScalarCost {
+        let instructions = strips * u64::from(self.config.loop_overhead_instrs)
+            + vector_instrs * u64::from(self.config.dispatch_instrs_per_vector);
+        let scalar_cycles = instructions.div_ceil(u64::from(self.config.issue_width));
+        let ratio = self.config.clock_ghz / self.config.vpu_clock_ghz;
+        let vpu_cycles = (scalar_cycles as f64 / ratio).ceil() as u64;
+        ScalarCost {
+            instructions,
+            scalar_cycles,
+            vpu_cycles,
+        }
+    }
+
+    /// Combines the scalar-side cost with the VPU's cycle count: the scalar
+    /// core and the decoupled VPU overlap, so the kernel time is the maximum
+    /// of the two domains (both expressed in VPU cycles).
+    #[must_use]
+    pub fn combine(&self, vpu_cycles: u64, cost: &ScalarCost) -> u64 {
+        vpu_cycles.max(cost.vpu_cycles)
+    }
+}
+
+impl Default for ScalarCore {
+    fn default() -> Self {
+        Self::new(ScalarConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_issue_halves_the_cycle_count() {
+        let core = ScalarCore::default();
+        let cost = core.loop_cost(10, 40);
+        assert_eq!(cost.instructions, 10 * 6 + 40);
+        assert_eq!(cost.scalar_cycles, 50);
+    }
+
+    #[test]
+    fn clock_ratio_converts_to_vpu_cycles() {
+        let core = ScalarCore::default();
+        let cost = core.loop_cost(10, 40);
+        assert_eq!(cost.vpu_cycles, 25, "2 GHz scalar cycles halve in the 1 GHz domain");
+    }
+
+    #[test]
+    fn combine_takes_the_slower_domain() {
+        let core = ScalarCore::default();
+        let cost = core.loop_cost(1000, 4000);
+        assert_eq!(core.combine(10_000, &cost), 10_000);
+        assert_eq!(core.combine(100, &cost), cost.vpu_cycles);
+    }
+
+    #[test]
+    fn fewer_strips_mean_less_scalar_work() {
+        let core = ScalarCore::default();
+        let short = core.loop_cost(128, 128 * 5);
+        let long = core.loop_cost(16, 16 * 5);
+        assert!(long.instructions < short.instructions);
+        assert!(long.vpu_cycles < short.vpu_cycles);
+    }
+
+    #[test]
+    fn single_issue_core_is_slower() {
+        let single = ScalarCore::new(ScalarConfig {
+            issue_width: 1,
+            ..ScalarConfig::default()
+        });
+        let dual = ScalarCore::default();
+        assert!(single.loop_cost(10, 40).scalar_cycles > dual.loop_cost(10, 40).scalar_cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "issue width")]
+    fn zero_issue_width_is_rejected() {
+        let _ = ScalarCore::new(ScalarConfig {
+            issue_width: 0,
+            ..ScalarConfig::default()
+        });
+    }
+}

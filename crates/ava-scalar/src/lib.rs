@@ -1,0 +1,16 @@
+//! # ava-scalar — the scalar core that drives the decoupled VPU
+//!
+//! The evaluated platform attaches the VPU to a dual-issue, in-order 64-bit
+//! RISC-V core running at twice the VPU frequency (Table II). For the
+//! vector-dominated workloads of the paper the scalar core contributes loop
+//! bookkeeping (address updates, trip-count tests, branches) and the
+//! dispatch of vector instructions into the VPU's front end. This crate
+//! models that contribution so the full-system simulator can account for it
+//! and for the 2 GHz / 1 GHz clock-domain crossing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod core;
+
+pub use crate::core::{ScalarConfig, ScalarCore, ScalarCost};

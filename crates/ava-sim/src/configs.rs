@@ -1,0 +1,158 @@
+//! The system configurations evaluated in the paper (Tables II and III).
+
+use serde::{Deserialize, Serialize};
+
+use ava_isa::Lmul;
+use ava_memory::HierarchyConfig;
+use ava_scalar::ScalarConfig;
+use ava_vpu::VpuConfig;
+
+/// Which of the three register-file organisations a system uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// NATIVE Xn: hardware built natively for `MVL = 16n`, VRF of `8n` KB.
+    Native(usize),
+    /// AVA Xn: the adaptable design reconfigured to `MVL = 16n`, 8 KB P-VRF.
+    Ava(usize),
+    /// RG-LMULn: the 8 KB baseline hardware with software register grouping.
+    Rg(Lmul),
+}
+
+/// A complete system: scalar core + VPU + memory hierarchy + the compiler
+/// configuration used to build binaries for it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Organisation and scale factor.
+    pub kind: SystemKind,
+    /// VPU configuration.
+    pub vpu: VpuConfig,
+    /// Scalar-core configuration.
+    pub scalar: ScalarConfig,
+    /// Memory-hierarchy configuration.
+    pub memory: HierarchyConfig,
+    /// Register-grouping factor the compiler targets (LMUL>1 only for RG).
+    pub compiler_lmul: Lmul,
+}
+
+impl SystemConfig {
+    /// Short display label ("NATIVE X4", "AVA X2", "RG-LMUL8").
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.vpu.name
+    }
+
+    /// Maximum vector length in elements seen by software on this system.
+    #[must_use]
+    pub fn mvl(&self) -> usize {
+        self.vpu.mvl
+    }
+
+    /// NATIVE Xn (n in {1, 2, 3, 4, 8}).
+    #[must_use]
+    pub fn native_x(n: usize) -> Self {
+        Self {
+            kind: SystemKind::Native(n),
+            vpu: VpuConfig::native_x(n),
+            scalar: ScalarConfig::default(),
+            memory: HierarchyConfig::default(),
+            compiler_lmul: Lmul::M1,
+        }
+    }
+
+    /// AVA Xn (n in {1, 2, 3, 4, 8}).
+    #[must_use]
+    pub fn ava_x(n: usize) -> Self {
+        Self {
+            kind: SystemKind::Ava(n),
+            vpu: VpuConfig::ava_x(n),
+            scalar: ScalarConfig::default(),
+            memory: HierarchyConfig::default(),
+            compiler_lmul: Lmul::M1,
+        }
+    }
+
+    /// RG-LMULn (n in {1, 2, 4, 8}).
+    #[must_use]
+    pub fn rg_lmul(lmul: Lmul) -> Self {
+        Self {
+            kind: SystemKind::Rg(lmul),
+            vpu: VpuConfig::rg_lmul(lmul),
+            scalar: ScalarConfig::default(),
+            memory: HierarchyConfig::default(),
+            compiler_lmul: lmul,
+        }
+    }
+
+    /// The five NATIVE configurations of Table II.
+    #[must_use]
+    pub fn all_native() -> Vec<Self> {
+        [1, 2, 3, 4, 8].iter().map(|&n| Self::native_x(n)).collect()
+    }
+
+    /// The five AVA configurations of Table III.
+    #[must_use]
+    pub fn all_ava() -> Vec<Self> {
+        [1, 2, 3, 4, 8].iter().map(|&n| Self::ava_x(n)).collect()
+    }
+
+    /// The four RG configurations of Table III.
+    #[must_use]
+    pub fn all_rg() -> Vec<Self> {
+        Lmul::all().iter().map(|&l| Self::rg_lmul(l)).collect()
+    }
+
+    /// Every configuration evaluated in Figure 3, in presentation order:
+    /// NATIVE X1..X8, RG-LMUL1..8, AVA X1..X8.
+    #[must_use]
+    pub fn all_evaluated() -> Vec<Self> {
+        let mut v = Self::all_native();
+        v.extend(Self::all_rg());
+        v.extend(Self::all_ava());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equivalences_of_table_iii_hold() {
+        // AVA Xn and NATIVE Xn expose the same MVL; RG-LMULn matches NATIVE Xn.
+        for n in [1usize, 2, 4, 8] {
+            assert_eq!(SystemConfig::native_x(n).mvl(), SystemConfig::ava_x(n).mvl());
+        }
+        assert_eq!(
+            SystemConfig::rg_lmul(Lmul::M8).mvl(),
+            SystemConfig::native_x(8).mvl()
+        );
+        assert_eq!(
+            SystemConfig::rg_lmul(Lmul::M2).mvl(),
+            SystemConfig::native_x(2).mvl()
+        );
+    }
+
+    #[test]
+    fn compiler_lmul_matches_the_system_kind() {
+        assert_eq!(SystemConfig::native_x(8).compiler_lmul, Lmul::M1);
+        assert_eq!(SystemConfig::ava_x(8).compiler_lmul, Lmul::M1);
+        assert_eq!(SystemConfig::rg_lmul(Lmul::M4).compiler_lmul, Lmul::M4);
+    }
+
+    #[test]
+    fn evaluated_set_has_fourteen_configurations() {
+        let all = SystemConfig::all_evaluated();
+        assert_eq!(all.len(), 5 + 4 + 5);
+        let labels: Vec<&str> = all.iter().map(SystemConfig::label).collect();
+        assert!(labels.contains(&"NATIVE X3"));
+        assert!(labels.contains(&"RG-LMUL4"));
+        assert!(labels.contains(&"AVA X8"));
+    }
+
+    #[test]
+    fn only_ava_configurations_have_an_mvrf() {
+        assert!(SystemConfig::ava_x(4).vpu.mvrf_bytes() > 0);
+        assert_eq!(SystemConfig::native_x(4).vpu.mvrf_bytes(), 0);
+        assert_eq!(SystemConfig::rg_lmul(Lmul::M4).vpu.mvrf_bytes(), 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # ava-sim — full-system simulation of the paper's evaluated platforms
+//!
+//! This crate assembles the pieces built by the rest of the workspace into
+//! the systems of Table II / Table III: a dual-issue scalar core, a
+//! decoupled VPU (NATIVE, AVA or Register-Grouping organisation), the shared
+//! L2/DRAM memory hierarchy, and the vectorising "tool-chain" (the
+//! register allocator that emits spill code). Given a workload and a system
+//! configuration it produces a [`RunReport`] with the cycle count,
+//! instruction breakdown, memory traffic and validation status — the raw
+//! material for every figure and table in the evaluation.
+//!
+//! ```
+//! use ava_sim::{SystemConfig, run_workload};
+//! use ava_workloads::Axpy;
+//!
+//! let report = run_workload(&Axpy::new(256), &SystemConfig::native_x(1));
+//! assert!(report.validated);
+//! assert!(report.cycles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod configs;
+pub mod report;
+pub mod run;
+
+pub use configs::{SystemConfig, SystemKind};
+pub use report::{format_runs_table, geometric_mean, speedup_vs};
+pub use run::{run_workload, run_workload_sized, RunReport};

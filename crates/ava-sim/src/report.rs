@@ -1,0 +1,122 @@
+//! Small reporting helpers shared by the benchmark binaries and examples.
+
+use crate::run::RunReport;
+
+/// Speedup of every run relative to the run whose configuration label is
+/// `baseline` (the paper normalises to NATIVE X1). Returns
+/// `(label, speedup)` pairs in input order.
+///
+/// # Panics
+///
+/// Panics if `baseline` is not among the reports.
+#[must_use]
+pub fn speedup_vs<'a>(reports: &'a [RunReport], baseline: &str) -> Vec<(&'a str, f64)> {
+    let base = reports
+        .iter()
+        .find(|r| r.config == baseline)
+        .unwrap_or_else(|| panic!("baseline configuration {baseline} not present"))
+        .cycles as f64;
+    reports
+        .iter()
+        .map(|r| (r.config.as_str(), base / r.cycles as f64))
+        .collect()
+}
+
+/// Geometric mean of a set of strictly positive values (used for the
+/// average-speedup summaries).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains non-positive entries.
+#[must_use]
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of an empty set");
+    assert!(
+        values.iter().all(|v| *v > 0.0),
+        "geometric mean requires positive values"
+    );
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Formats a set of runs as an aligned text table (one row per run) listing
+/// cycles, speedup vs the given baseline, instruction breakdown and
+/// validation status. Used by the figure-regeneration binaries.
+#[must_use]
+pub fn format_runs_table(reports: &[RunReport], baseline: &str) -> String {
+    let speedups = speedup_vs(reports, baseline);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>12} {:>8} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>6} {:>6}\n",
+        "config", "cycles", "speedup", "vload", "vstore", "spill-ld", "spill-st", "swap-ld", "swap-st", "%mem", "ok"
+    ));
+    for (r, (_, s)) in reports.iter().zip(speedups.iter()) {
+        out.push_str(&format!(
+            "{:<12} {:>12} {:>8.2} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>5.1}% {:>6}\n",
+            r.config,
+            r.cycles,
+            s,
+            r.vpu.vloads,
+            r.vpu.vstores,
+            r.vpu.spill_loads,
+            r.vpu.spill_stores,
+            r.vpu.swap_loads,
+            r.vpu.swap_stores,
+            100.0 * r.vpu.memory_fraction(),
+            if r.validated { "yes" } else { "NO" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::SystemConfig;
+    use crate::run::run_workload;
+    use ava_workloads::Axpy;
+
+    fn two_reports() -> Vec<RunReport> {
+        let w = Axpy::new(256);
+        vec![
+            run_workload(&w, &SystemConfig::native_x(1)),
+            run_workload(&w, &SystemConfig::native_x(4)),
+        ]
+    }
+
+    #[test]
+    fn speedups_are_relative_to_the_baseline() {
+        let reports = two_reports();
+        let s = speedup_vs(&reports, "NATIVE X1");
+        assert_eq!(s[0].1, 1.0);
+        assert!(s[1].1 > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not present")]
+    fn unknown_baseline_panics() {
+        let reports = two_reports();
+        let _ = speedup_vs(&reports, "NATIVE X9");
+    }
+
+    #[test]
+    fn geometric_mean_of_known_values() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn geometric_mean_rejects_empty_input() {
+        let _ = geometric_mean(&[]);
+    }
+
+    #[test]
+    fn table_lists_every_configuration_and_flags_validation() {
+        let reports = two_reports();
+        let table = format_runs_table(&reports, "NATIVE X1");
+        assert!(table.contains("NATIVE X1"));
+        assert!(table.contains("NATIVE X4"));
+        assert!(table.contains("yes"));
+        assert!(!table.contains(" NO"));
+    }
+}

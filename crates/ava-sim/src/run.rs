@@ -1,0 +1,187 @@
+//! Running one workload on one system configuration.
+
+use serde::{Deserialize, Serialize};
+
+use ava_compiler::{compile, CompileOptions};
+use ava_isa::VectorContext;
+use ava_memory::{MemoryHierarchy, MemoryStats};
+use ava_scalar::{ScalarCore, ScalarCost};
+use ava_vpu::{Vpu, VpuStats};
+use ava_workloads::{validate, Workload};
+
+use crate::configs::SystemConfig;
+
+/// Everything measured from one (workload, system) simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// System label ("AVA X4", ...).
+    pub config: String,
+    /// Workload name ("axpy", ...).
+    pub workload: String,
+    /// VPU cycles from first dispatch to last commit.
+    pub vpu_cycles: u64,
+    /// Total kernel cycles including the scalar-core floor.
+    pub cycles: u64,
+    /// VPU instruction/event counters (includes swap operations).
+    pub vpu: VpuStats,
+    /// Memory-system counters.
+    pub mem: MemoryStats,
+    /// Compiler-inserted spill stores in the binary.
+    pub compiler_spill_stores: usize,
+    /// Compiler-inserted spill reloads in the binary.
+    pub compiler_spill_loads: usize,
+    /// Register pressure of the source kernel.
+    pub register_pressure: usize,
+    /// Scalar-core cost of the stripmined loop.
+    pub scalar: ScalarCost,
+    /// Whether every output check matched the golden reference.
+    pub validated: bool,
+    /// First validation error, if any.
+    pub validation_error: Option<String>,
+}
+
+impl RunReport {
+    /// Execution time in seconds at the 1 GHz VPU clock.
+    #[must_use]
+    pub fn seconds(&self) -> f64 {
+        self.cycles as f64 / 1e9
+    }
+
+    /// Total vector memory instructions executed, including compiler spill
+    /// code and AVA swap operations (Figure 3, first column).
+    #[must_use]
+    pub fn memory_instructions(&self) -> u64 {
+        self.vpu.memory_instrs()
+    }
+}
+
+/// Runs `workload` on `system` and reports cycles, statistics and
+/// correctness.
+///
+/// # Panics
+///
+/// Panics if the workload produces a program that cannot be renamed (which
+/// would indicate a bug in the code generator rather than a user error).
+#[must_use]
+pub fn run_workload(workload: &dyn Workload, system: &SystemConfig) -> RunReport {
+    let mut mem = MemoryHierarchy::new(system.memory);
+
+    // 1. The application allocates and initialises its data, and the
+    //    vectorising compiler sees the system's maximum vector length.
+    let ctx = VectorContext::with_mvl(system.mvl());
+    let setup = workload.build(&mut mem, &ctx);
+
+    // 2. Register allocation against the architectural budget (32 registers,
+    //    or 32/LMUL under register grouping); spill slots live on the stack
+    //    and are one full MVL wide.
+    let spill_slot_bytes = (system.mvl() * 8) as u64;
+    let spill_base = mem.allocate(64 * spill_slot_bytes);
+    let compiled = compile(
+        &setup.kernel,
+        &CompileOptions::new(system.compiler_lmul, spill_base, spill_slot_bytes),
+    );
+
+    // 3. Cycle-level + functional simulation on the VPU. The caches are
+    //    warmed over the working set first, modelling a measured region of
+    //    interest (data sets larger than the L2 still miss naturally).
+    let mut vpu = Vpu::new(system.vpu.clone(), &mut mem);
+    mem.warm_caches();
+    let result = vpu.run(&compiled.program, &mut mem);
+
+    // 4. Scalar-core floor for the stripmined loop.
+    let scalar_core = ScalarCore::new(system.scalar);
+    let scalar = scalar_core.loop_cost(setup.strips, compiled.program.len() as u64);
+    let cycles = scalar_core.combine(result.cycles, &scalar);
+
+    // 5. Validation against the golden reference.
+    let validation = validate(&mem, &setup.checks);
+
+    RunReport {
+        config: system.label().to_string(),
+        workload: workload.name().to_string(),
+        vpu_cycles: result.cycles,
+        cycles,
+        vpu: result.stats,
+        mem: mem.stats(),
+        compiler_spill_stores: compiled.spill_stores,
+        compiler_spill_loads: compiled.spill_loads,
+        register_pressure: compiled.max_pressure,
+        scalar,
+        validated: validation.is_ok(),
+        validation_error: validation.err(),
+    }
+}
+
+/// Convenience wrapper: runs every provided system on the same workload and
+/// returns the reports in the same order.
+#[must_use]
+pub fn run_workload_sized(workload: &dyn Workload, systems: &[SystemConfig]) -> Vec<RunReport> {
+    systems.iter().map(|s| run_workload(workload, s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ava_isa::Lmul;
+    use ava_workloads::{Axpy, Blackscholes, Somier};
+
+    #[test]
+    fn axpy_runs_validated_on_every_organisation() {
+        let w = Axpy::new(256);
+        for sys in [
+            SystemConfig::native_x(1),
+            SystemConfig::ava_x(8),
+            SystemConfig::rg_lmul(Lmul::M8),
+        ] {
+            let r = run_workload(&w, &sys);
+            assert!(r.validated, "{}: {:?}", r.config, r.validation_error);
+            assert!(r.cycles > 0);
+            assert_eq!(r.compiler_spill_stores, 0, "axpy never spills");
+            assert_eq!(r.vpu.swap_ops(), 0, "axpy never swaps");
+        }
+    }
+
+    #[test]
+    fn longer_native_configurations_speed_up_axpy() {
+        let w = Axpy::new(2048);
+        let x1 = run_workload(&w, &SystemConfig::native_x(1));
+        let x8 = run_workload(&w, &SystemConfig::native_x(8));
+        let speedup = x1.cycles as f64 / x8.cycles as f64;
+        assert!(speedup > 1.4, "NATIVE X8 should be clearly faster, got {speedup}");
+    }
+
+    #[test]
+    fn rg_lmul8_spills_blackscholes_but_ava_x2_does_not_swap() {
+        let w = Blackscholes::new(128);
+        let rg = run_workload(&w, &SystemConfig::rg_lmul(Lmul::M8));
+        assert!(rg.validated, "{:?}", rg.validation_error);
+        assert!(rg.compiler_spill_stores > 0, "23-ish live values cannot fit 4 registers");
+
+        let ava2 = run_workload(&w, &SystemConfig::ava_x(2));
+        assert!(ava2.validated, "{:?}", ava2.validation_error);
+        assert_eq!(ava2.vpu.swap_ops(), 0, "32 physical registers suffice");
+        assert_eq!(ava2.compiler_spill_stores, 0, "AVA keeps all 32 architectural registers");
+    }
+
+    #[test]
+    fn somier_only_breaks_down_at_the_largest_grouping() {
+        let w = Somier::new(512);
+        let rg4 = run_workload(&w, &SystemConfig::rg_lmul(Lmul::M4));
+        let rg8 = run_workload(&w, &SystemConfig::rg_lmul(Lmul::M8));
+        assert!(rg4.validated && rg8.validated);
+        assert_eq!(rg4.compiler_spill_stores, 0);
+        assert!(rg8.compiler_spill_stores > 0);
+    }
+
+    #[test]
+    fn report_memory_instruction_accounting_is_consistent() {
+        let w = Blackscholes::new(128);
+        let r = run_workload(&w, &SystemConfig::rg_lmul(Lmul::M8));
+        assert_eq!(
+            r.vpu.spill_loads as usize + r.vpu.spill_stores as usize,
+            r.compiler_spill_loads + r.compiler_spill_stores,
+            "executed spill operations must match what the compiler emitted"
+        );
+        assert!(r.memory_instructions() >= r.vpu.vloads + r.vpu.vstores);
+    }
+}

@@ -1,0 +1,256 @@
+//! VPU configurations: AVA, NATIVE and RISC-V Register-Grouping variants.
+//!
+//! Table II and Table III of the paper define the evaluated configurations.
+//! All of them share the same pipeline (8 lanes, one arithmetic and one
+//! memory pipeline, 32-entry issue queues); what changes is the maximum
+//! vector length, the size of the physical register file, and whether the
+//! two-level AVA machinery is present.
+
+use serde::{Deserialize, Serialize};
+
+use ava_isa::{Lmul, MIN_MVL_ELEMS};
+
+/// Number of Virtual Vector Registers in the AVA design (first-level
+/// renaming pool; twice the 32 architectural registers).
+pub const NUM_VVRS: usize = 64;
+
+/// Renaming/register-file organisation of a VPU configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RenameMode {
+    /// Conventional single-level renaming: logical registers map directly to
+    /// physical registers in a VRF sized for the configured MVL. This models
+    /// both the NATIVE baselines (VRF grows with MVL) and the RISC-V
+    /// Register-Grouping baseline (VRF fixed at 8 KB, physical registers and
+    /// architectural registers divided by LMUL).
+    Native,
+    /// The AVA two-level organisation: 64 VVRs, a fixed 8 KB P-VRF whose
+    /// physical register count shrinks as the MVL grows (Table I), and an
+    /// M-VRF in memory handled by the Swap Mechanism.
+    Ava,
+}
+
+/// Number of physical registers that fit in a physical VRF of
+/// `pvrf_bytes` when each register holds `mvl` 64-bit elements
+/// (Table I of the paper for an 8 KB P-VRF).
+///
+/// ```
+/// use ava_vpu::preg_count_for_mvl;
+/// assert_eq!(preg_count_for_mvl(8 * 1024, 16), 64);
+/// assert_eq!(preg_count_for_mvl(8 * 1024, 48), 21);
+/// assert_eq!(preg_count_for_mvl(8 * 1024, 128), 8);
+/// ```
+#[must_use]
+pub fn preg_count_for_mvl(pvrf_bytes: usize, mvl: usize) -> usize {
+    pvrf_bytes / (mvl * 8)
+}
+
+/// Full static configuration of one VPU instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VpuConfig {
+    /// Human-readable configuration name ("AVA X4", "NATIVE X8", ...).
+    pub name: String,
+    /// Register-file organisation.
+    pub mode: RenameMode,
+    /// Number of execution lanes (8 in every evaluated configuration).
+    pub lanes: usize,
+    /// Maximum vector length in 64-bit elements.
+    pub mvl: usize,
+    /// Physical VRF capacity in bytes.
+    pub pvrf_bytes: usize,
+    /// Number of architectural (logical) registers visible to software.
+    /// 32 for NATIVE and AVA; `32 / LMUL` for register grouping.
+    pub logical_regs: usize,
+    /// Entries in the arithmetic issue queue.
+    pub arith_queue_entries: usize,
+    /// Entries in the memory issue queue.
+    pub mem_queue_entries: usize,
+    /// Reorder-buffer entries (maximum vector instructions in flight).
+    pub rob_entries: usize,
+    /// Fixed per-vector-memory-instruction overhead in cycles (address
+    /// generation and request set-up in the vector memory unit).
+    pub mem_op_overhead: u64,
+    /// Cycles the front end needs per instruction (dispatch + rename).
+    pub frontend_cycles_per_instr: u64,
+}
+
+impl VpuConfig {
+    /// Number of physical vector registers available in the P-VRF for this
+    /// configuration.
+    #[must_use]
+    pub fn physical_regs(&self) -> usize {
+        match self.mode {
+            RenameMode::Ava | RenameMode::Native => preg_count_for_mvl(self.pvrf_bytes, self.mvl),
+        }
+    }
+
+    /// Number of renamed registers in the first renaming level: VVRs for
+    /// AVA, physical registers for NATIVE/RG.
+    #[must_use]
+    pub fn rename_pool(&self) -> usize {
+        match self.mode {
+            RenameMode::Ava => NUM_VVRS,
+            RenameMode::Native => self.physical_regs(),
+        }
+    }
+
+    /// Bytes needed for the M-VRF backing store (zero for NATIVE mode).
+    #[must_use]
+    pub fn mvrf_bytes(&self) -> u64 {
+        match self.mode {
+            RenameMode::Ava => (NUM_VVRS * self.mvl * 8) as u64,
+            RenameMode::Native => 0,
+        }
+    }
+
+    /// The paper's NATIVE Xn configuration: hardware natively built for
+    /// `MVL = 16 * n` with a proportionally larger VRF (Table II).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is one of 1, 2, 3, 4, 8.
+    #[must_use]
+    pub fn native_x(n: usize) -> Self {
+        assert!(matches!(n, 1..=8), "NATIVE Xn defined for n in 1..=8");
+        Self {
+            name: format!("NATIVE X{n}"),
+            mode: RenameMode::Native,
+            lanes: 8,
+            mvl: MIN_MVL_ELEMS * n,
+            pvrf_bytes: 8 * 1024 * n,
+            logical_regs: 32,
+            arith_queue_entries: 32,
+            mem_queue_entries: 32,
+            rob_entries: 64,
+            mem_op_overhead: 4,
+            frontend_cycles_per_instr: 1,
+        }
+    }
+
+    /// The AVA Xn configuration: the 8 KB P-VRF reconfigured for
+    /// `MVL = 16 * n` (Table III), backed by the M-VRF.
+    #[must_use]
+    pub fn ava_x(n: usize) -> Self {
+        assert!(matches!(n, 1..=8), "AVA Xn defined for n in 1..=8");
+        Self {
+            name: format!("AVA X{n}"),
+            mode: RenameMode::Ava,
+            lanes: 8,
+            mvl: MIN_MVL_ELEMS * n,
+            pvrf_bytes: 8 * 1024,
+            logical_regs: 32,
+            arith_queue_entries: 32,
+            mem_queue_entries: 32,
+            rob_entries: 64,
+            mem_op_overhead: 4,
+            frontend_cycles_per_instr: 1,
+        }
+    }
+
+    /// The RISC-V Register-Grouping configuration RG-LMULn: the baseline
+    /// 8 KB short-vector hardware, with registers grouped by the compiler.
+    /// Physical registers and architectural registers are both divided by
+    /// the LMUL factor (paper §II.A).
+    #[must_use]
+    pub fn rg_lmul(lmul: Lmul) -> Self {
+        let n = lmul.factor();
+        Self {
+            name: format!("RG-LMUL{n}"),
+            mode: RenameMode::Native,
+            lanes: 8,
+            mvl: MIN_MVL_ELEMS * n,
+            pvrf_bytes: 8 * 1024,
+            logical_regs: lmul.architectural_registers(),
+            arith_queue_entries: 32,
+            mem_queue_entries: 32,
+            rob_entries: 64,
+            mem_op_overhead: 4,
+            frontend_cycles_per_instr: 1,
+        }
+    }
+
+    /// Convenience constructor used by tests: an AVA configuration with an
+    /// arbitrary (Table I) MVL.
+    #[must_use]
+    pub fn ava_with_mvl(mvl: usize) -> Self {
+        assert!(mvl % MIN_MVL_ELEMS == 0, "MVL must be a multiple of 16");
+        let mut c = Self::ava_x(1);
+        c.mvl = mvl;
+        c.name = format!("AVA MVL={mvl}");
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_physical_register_counts() {
+        // Table I: P-Regs {64, 32, 21, 16, 12, 10, 9, 8} for MVL {16..128}.
+        let expected = [
+            (16, 64),
+            (32, 32),
+            (48, 21),
+            (64, 16),
+            (80, 12),
+            (96, 10),
+            (112, 9),
+            (128, 8),
+        ];
+        for (mvl, pregs) in expected {
+            assert_eq!(preg_count_for_mvl(8 * 1024, mvl), pregs, "MVL={mvl}");
+            assert_eq!(VpuConfig::ava_with_mvl(mvl).physical_regs(), pregs);
+        }
+    }
+
+    #[test]
+    fn native_configurations_scale_the_vrf() {
+        // Table II: VRF 8, 16, 24, 32, 64 KB for X1, X2, X3, X4, X8.
+        for (n, kb) in [(1, 8), (2, 16), (3, 24), (4, 32), (8, 64)] {
+            let c = VpuConfig::native_x(n);
+            assert_eq!(c.pvrf_bytes, kb * 1024);
+            assert_eq!(c.mvl, 16 * n);
+            assert_eq!(c.physical_regs(), 64, "NATIVE always has 64 renamed registers");
+            assert_eq!(c.rename_pool(), 64);
+            assert_eq!(c.mvrf_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn ava_configurations_keep_an_8kb_pvrf() {
+        for n in [1, 2, 3, 4, 8] {
+            let c = VpuConfig::ava_x(n);
+            assert_eq!(c.pvrf_bytes, 8 * 1024);
+            assert_eq!(c.rename_pool(), 64, "AVA always exposes 64 VVRs");
+            assert_eq!(c.logical_regs, 32, "AVA preserves all architectural registers");
+            assert_eq!(c.mvrf_bytes(), (64 * c.mvl * 8) as u64);
+        }
+        assert_eq!(VpuConfig::ava_x(8).physical_regs(), 8);
+        assert_eq!(VpuConfig::ava_x(1).physical_regs(), 64);
+    }
+
+    #[test]
+    fn rg_configurations_divide_both_register_kinds() {
+        let c8 = VpuConfig::rg_lmul(Lmul::M8);
+        assert_eq!(c8.physical_regs(), 8);
+        assert_eq!(c8.logical_regs, 4);
+        assert_eq!(c8.mvl, 128);
+        assert_eq!(c8.pvrf_bytes, 8 * 1024);
+        let c1 = VpuConfig::rg_lmul(Lmul::M1);
+        assert_eq!(c1.physical_regs(), 64);
+        assert_eq!(c1.logical_regs, 32);
+    }
+
+    #[test]
+    fn names_identify_configurations() {
+        assert_eq!(VpuConfig::native_x(8).name, "NATIVE X8");
+        assert_eq!(VpuConfig::ava_x(3).name, "AVA X3");
+        assert_eq!(VpuConfig::rg_lmul(Lmul::M4).name, "RG-LMUL4");
+    }
+
+    #[test]
+    #[should_panic(expected = "defined for n")]
+    fn native_x_rejects_zero() {
+        let _ = VpuConfig::native_x(0);
+    }
+}

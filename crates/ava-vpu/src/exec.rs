@@ -1,0 +1,288 @@
+//! Functional execution of vector arithmetic operations.
+//!
+//! Every run of the simulator computes real element values, so the renaming,
+//! mapping and swap machinery is validated for *correctness* against scalar
+//! golden references, not only timed. Memory and configuration opcodes are
+//! handled by the VPU/memory models, not here.
+
+use ava_isa::{Element, Opcode};
+
+/// A source operand value: a borrowed vector of elements or a scalar
+/// broadcast to every element.
+#[derive(Debug, Clone, Copy)]
+pub enum OperandValue<'a> {
+    /// Vector register contents.
+    Vector(&'a [Element]),
+    /// Scalar immediate.
+    Scalar(Element),
+}
+
+impl OperandValue<'_> {
+    /// Element `i` of the operand (scalars return the same value for every
+    /// index; reading past the end of a vector returns zero, matching the
+    /// zero-initialised register file).
+    #[must_use]
+    pub fn elem(&self, i: usize) -> Element {
+        match self {
+            OperandValue::Vector(v) => v.get(i).copied().unwrap_or(Element::ZERO),
+            OperandValue::Scalar(s) => *s,
+        }
+    }
+}
+
+fn f(op: &OperandValue<'_>, i: usize) -> f64 {
+    op.elem(i).as_f64()
+}
+
+fn x(op: &OperandValue<'_>, i: usize) -> i64 {
+    op.elem(i).as_i64()
+}
+
+/// Executes one arithmetic/move/reduction opcode over `vl` elements.
+///
+/// # Panics
+///
+/// Panics if called with a memory or configuration opcode, or if an operand
+/// required by the opcode is missing.
+#[must_use]
+pub fn execute(opcode: Opcode, srcs: &[OperandValue<'_>], vl: usize) -> Vec<Element> {
+    use Opcode::*;
+    let s = |i: usize| {
+        srcs.get(i)
+            .unwrap_or_else(|| panic!("{opcode} requires operand {i}"))
+    };
+    let map_f64 = |g: &dyn Fn(usize) -> f64| -> Vec<Element> {
+        (0..vl).map(|i| Element::from_f64(g(i))).collect()
+    };
+    let map_i64 = |g: &dyn Fn(usize) -> i64| -> Vec<Element> {
+        (0..vl).map(|i| Element::from_i64(g(i))).collect()
+    };
+    let map_bool = |g: &dyn Fn(usize) -> bool| -> Vec<Element> {
+        (0..vl).map(|i| Element::from_bool(g(i))).collect()
+    };
+
+    match opcode {
+        VFAdd => map_f64(&|i| f(s(0), i) + f(s(1), i)),
+        VFSub => map_f64(&|i| f(s(0), i) - f(s(1), i)),
+        VFMul => map_f64(&|i| f(s(0), i) * f(s(1), i)),
+        VFDiv => map_f64(&|i| f(s(0), i) / f(s(1), i)),
+        VFSqrt => map_f64(&|i| f(s(0), i).sqrt()),
+        VFMacc => map_f64(&|i| f(s(0), i).mul_add(f(s(1), i), f(s(2), i))),
+        VFMsac => map_f64(&|i| f(s(0), i).mul_add(f(s(1), i), -f(s(2), i))),
+        VFMin => map_f64(&|i| f(s(0), i).min(f(s(1), i))),
+        VFMax => map_f64(&|i| f(s(0), i).max(f(s(1), i))),
+        VFNeg => map_f64(&|i| -f(s(0), i)),
+        VFAbs => map_f64(&|i| f(s(0), i).abs()),
+        VFExp => map_f64(&|i| f(s(0), i).exp()),
+        VFLn => map_f64(&|i| f(s(0), i).ln()),
+
+        VAdd => map_i64(&|i| x(s(0), i).wrapping_add(x(s(1), i))),
+        VSub => map_i64(&|i| x(s(0), i).wrapping_sub(x(s(1), i))),
+        VMul => map_i64(&|i| x(s(0), i).wrapping_mul(x(s(1), i))),
+        VAnd => map_i64(&|i| x(s(0), i) & x(s(1), i)),
+        VOr => map_i64(&|i| x(s(0), i) | x(s(1), i)),
+        VXor => map_i64(&|i| x(s(0), i) ^ x(s(1), i)),
+        VSll => map_i64(&|i| x(s(0), i).wrapping_shl(x(s(1), i) as u32 & 63)),
+        VSrl => map_i64(&|i| ((x(s(0), i) as u64) >> (x(s(1), i) as u32 & 63)) as i64),
+        VMin => map_i64(&|i| x(s(0), i).min(x(s(1), i))),
+        VMax => map_i64(&|i| x(s(0), i).max(x(s(1), i))),
+
+        VMFLt => map_bool(&|i| f(s(0), i) < f(s(1), i)),
+        VMFLe => map_bool(&|i| f(s(0), i) <= f(s(1), i)),
+        VMFGt => map_bool(&|i| f(s(0), i) > f(s(1), i)),
+        VMFGe => map_bool(&|i| f(s(0), i) >= f(s(1), i)),
+        VMFEq => map_bool(&|i| f(s(0), i) == f(s(1), i)),
+        VMSLt => map_bool(&|i| x(s(0), i) < x(s(1), i)),
+        VMSEq => map_bool(&|i| x(s(0), i) == x(s(1), i)),
+
+        VMv => (0..vl).map(|i| s(0).elem(i)).collect(),
+        VMvSplat => (0..vl).map(|i| s(0).elem(i)).collect(),
+        VId => map_i64(&|i| i as i64),
+        VMerge => (0..vl)
+            .map(|i| {
+                if s(2).elem(i).as_bool() {
+                    s(0).elem(i)
+                } else {
+                    s(1).elem(i)
+                }
+            })
+            .collect(),
+        VSlide1Up => (0..vl)
+            .map(|i| {
+                if i == 0 {
+                    srcs.get(1).map_or(Element::ZERO, |o| o.elem(0))
+                } else {
+                    s(0).elem(i - 1)
+                }
+            })
+            .collect(),
+        VSlide1Down => (0..vl)
+            .map(|i| {
+                if i + 1 == vl {
+                    srcs.get(1).map_or(Element::ZERO, |o| o.elem(0))
+                } else {
+                    s(0).elem(i + 1)
+                }
+            })
+            .collect(),
+
+        VFRedSum | VFRedMax | VFRedMin => {
+            let mut acc = match opcode {
+                VFRedSum => 0.0,
+                VFRedMax => f64::NEG_INFINITY,
+                _ => f64::INFINITY,
+            };
+            for i in 0..vl {
+                let v = f(s(0), i);
+                acc = match opcode {
+                    VFRedSum => acc + v,
+                    VFRedMax => acc.max(v),
+                    _ => acc.min(v),
+                };
+            }
+            let mut out = vec![Element::ZERO; vl.max(1)];
+            out[0] = Element::from_f64(acc);
+            out
+        }
+
+        VLoad | VStore | VLoadStrided | VStoreStrided | VLoadIndexed | VStoreIndexed | SetVl => {
+            panic!("{opcode} is not an arithmetic operation")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecf(vals: &[f64]) -> Vec<Element> {
+        vals.iter().map(|v| Element::from_f64(*v)).collect()
+    }
+
+    #[test]
+    fn fp_binary_operations_match_scalar_math() {
+        let a = vecf(&[1.0, 2.0, -3.0, 0.5]);
+        let b = vecf(&[4.0, -2.0, 3.0, 0.25]);
+        let add = execute(Opcode::VFAdd, &[OperandValue::Vector(&a), OperandValue::Vector(&b)], 4);
+        let mul = execute(Opcode::VFMul, &[OperandValue::Vector(&a), OperandValue::Vector(&b)], 4);
+        assert_eq!(add[2].as_f64(), 0.0);
+        assert_eq!(mul[1].as_f64(), -4.0);
+        let div = execute(Opcode::VFDiv, &[OperandValue::Vector(&a), OperandValue::Vector(&b)], 4);
+        assert_eq!(div[3].as_f64(), 2.0);
+    }
+
+    #[test]
+    fn fma_uses_fused_semantics_and_three_operands() {
+        let a = vecf(&[2.0, 3.0]);
+        let b = vecf(&[10.0, 10.0]);
+        let c = vecf(&[1.0, -1.0]);
+        let r = execute(
+            Opcode::VFMacc,
+            &[
+                OperandValue::Vector(&a),
+                OperandValue::Vector(&b),
+                OperandValue::Vector(&c),
+            ],
+            2,
+        );
+        assert_eq!(r[0].as_f64(), 21.0);
+        assert_eq!(r[1].as_f64(), 29.0);
+    }
+
+    #[test]
+    fn scalar_operands_broadcast() {
+        let a = vecf(&[1.0, 2.0, 3.0]);
+        let r = execute(
+            Opcode::VFMul,
+            &[OperandValue::Vector(&a), OperandValue::Scalar(Element::from_f64(2.0))],
+            3,
+        );
+        assert_eq!(r[2].as_f64(), 6.0);
+    }
+
+    #[test]
+    fn compares_produce_masks_and_merge_selects() {
+        let a = vecf(&[1.0, 5.0, 3.0]);
+        let b = vecf(&[2.0, 2.0, 3.0]);
+        let mask = execute(Opcode::VMFLt, &[OperandValue::Vector(&a), OperandValue::Vector(&b)], 3);
+        assert_eq!(mask.iter().map(|e| e.as_bool()).collect::<Vec<_>>(), vec![true, false, false]);
+        let merged = execute(
+            Opcode::VMerge,
+            &[
+                OperandValue::Vector(&a),
+                OperandValue::Vector(&b),
+                OperandValue::Vector(&mask),
+            ],
+            3,
+        );
+        assert_eq!(merged[0].as_f64(), 1.0);
+        assert_eq!(merged[1].as_f64(), 2.0);
+    }
+
+    #[test]
+    fn integer_operations_wrap() {
+        let a: Vec<Element> = [i64::MAX, 4].iter().map(|v| Element::from_i64(*v)).collect();
+        let b: Vec<Element> = [1i64, 3].iter().map(|v| Element::from_i64(*v)).collect();
+        let r = execute(Opcode::VAdd, &[OperandValue::Vector(&a), OperandValue::Vector(&b)], 2);
+        assert_eq!(r[0].as_i64(), i64::MIN);
+        assert_eq!(r[1].as_i64(), 7);
+    }
+
+    #[test]
+    fn reductions_write_element_zero() {
+        let a = vecf(&[1.0, 2.0, 3.0, 4.0]);
+        let sum = execute(Opcode::VFRedSum, &[OperandValue::Vector(&a)], 4);
+        assert_eq!(sum[0].as_f64(), 10.0);
+        assert_eq!(sum[1], Element::ZERO);
+        let max = execute(Opcode::VFRedMax, &[OperandValue::Vector(&a)], 4);
+        assert_eq!(max[0].as_f64(), 4.0);
+        let min = execute(Opcode::VFRedMin, &[OperandValue::Vector(&a)], 4);
+        assert_eq!(min[0].as_f64(), 1.0);
+    }
+
+    #[test]
+    fn vid_and_splat_and_slides() {
+        let id = execute(Opcode::VId, &[], 4);
+        assert_eq!(id[3].as_i64(), 3);
+        let sp = execute(Opcode::VMvSplat, &[OperandValue::Scalar(Element::from_f64(7.0))], 3);
+        assert_eq!(sp[2].as_f64(), 7.0);
+        let a = vecf(&[1.0, 2.0, 3.0]);
+        let up = execute(
+            Opcode::VSlide1Up,
+            &[OperandValue::Vector(&a), OperandValue::Scalar(Element::from_f64(9.0))],
+            3,
+        );
+        assert_eq!(up[0].as_f64(), 9.0);
+        assert_eq!(up[2].as_f64(), 2.0);
+        let down = execute(
+            Opcode::VSlide1Down,
+            &[OperandValue::Vector(&a), OperandValue::Scalar(Element::from_f64(8.0))],
+            3,
+        );
+        assert_eq!(down[0].as_f64(), 2.0);
+        assert_eq!(down[2].as_f64(), 8.0);
+    }
+
+    #[test]
+    fn exp_and_ln_are_inverse() {
+        let a = vecf(&[0.5, 1.0, 2.0]);
+        let e = execute(Opcode::VFExp, &[OperandValue::Vector(&a)], 3);
+        let l = execute(Opcode::VFLn, &[OperandValue::Vector(&e)], 3);
+        for i in 0..3 {
+            assert!((l[i].as_f64() - a[i].as_f64()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn short_vector_reads_past_end_are_zero() {
+        let a = vecf(&[1.0]);
+        let r = execute(Opcode::VFAdd, &[OperandValue::Vector(&a), OperandValue::Vector(&a)], 3);
+        assert_eq!(r[1].as_f64(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an arithmetic operation")]
+    fn memory_opcodes_are_rejected() {
+        let _ = execute(Opcode::VLoad, &[], 4);
+    }
+}

@@ -1,0 +1,131 @@
+//! The Memory Vector Register File (M-VRF).
+//!
+//! The M-VRF is an ordinary region of memory (reserved by the
+//! `set_virtual_vrf` intrinsic in the paper; by an allocation in the memory
+//! hierarchy here) holding one full-MVL slot per Virtual Vector Register.
+//! VVRs that do not fit in the P-VRF live here; the Swap Mechanism moves
+//! them back and forth with Swap-Store / Swap-Load memory operations, which
+//! travel through the same vector memory unit as ordinary vector accesses
+//! and therefore consume real bandwidth and energy.
+
+use serde::{Deserialize, Serialize};
+
+use ava_isa::Element;
+use ava_memory::MemoryHierarchy;
+
+/// The memory-resident second level of the vector register file.
+///
+/// ```
+/// use ava_vpu::mvrf::MemoryVrf;
+/// use ava_memory::MemoryHierarchy;
+/// use ava_isa::Element;
+/// let mut mem = MemoryHierarchy::default();
+/// let mvrf = MemoryVrf::allocate(&mut mem, 64, 32);
+/// mvrf.store(&mut mem, 7, &[Element::from_f64(2.5); 32]);
+/// assert_eq!(mvrf.load(&mem, 7, 32)[31].as_f64(), 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryVrf {
+    base: u64,
+    num_vvrs: usize,
+    mvl: usize,
+}
+
+impl MemoryVrf {
+    /// Reserves space for `num_vvrs` registers of `mvl` elements in the
+    /// simulated memory (the paper's `set_virtual_vrf` intrinsic).
+    #[must_use]
+    pub fn allocate(mem: &mut MemoryHierarchy, num_vvrs: usize, mvl: usize) -> Self {
+        let bytes = (num_vvrs * mvl * 8) as u64;
+        let base = mem.allocate(bytes.max(8));
+        Self {
+            base,
+            num_vvrs,
+            mvl,
+        }
+    }
+
+    /// Base address of the M-VRF region.
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Total size in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        (self.num_vvrs * self.mvl * 8) as u64
+    }
+
+    /// Address of the slot backing a VVR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vvr` is out of range.
+    #[must_use]
+    pub fn slot_addr(&self, vvr: u16) -> u64 {
+        assert!((vvr as usize) < self.num_vvrs, "VVR {vvr} out of range");
+        self.base + (vvr as u64) * (self.mvl as u64) * 8
+    }
+
+    /// Writes a VVR's contents to its slot (the data movement of a
+    /// Swap-Store).
+    pub fn store(&self, mem: &mut MemoryHierarchy, vvr: u16, values: &[Element]) {
+        let addr = self.slot_addr(vvr);
+        for (i, v) in values.iter().enumerate() {
+            mem.write_u64(addr + 8 * i as u64, v.bits());
+        }
+    }
+
+    /// Reads `vl` elements of a VVR's slot (the data movement of a
+    /// Swap-Load).
+    #[must_use]
+    pub fn load(&self, mem: &MemoryHierarchy, vvr: u16, vl: usize) -> Vec<Element> {
+        let addr = self.slot_addr(vvr);
+        (0..vl)
+            .map(|i| Element::from_bits(mem.read_u64(addr + 8 * i as u64)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_disjoint_and_sized_by_mvl() {
+        let mut mem = MemoryHierarchy::default();
+        let m = MemoryVrf::allocate(&mut mem, 64, 128);
+        assert_eq!(m.size_bytes(), 64 * 128 * 8);
+        assert_eq!(m.slot_addr(1) - m.slot_addr(0), 128 * 8);
+        assert_eq!(m.slot_addr(63) - m.base(), 63 * 128 * 8);
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let mut mem = MemoryHierarchy::default();
+        let m = MemoryVrf::allocate(&mut mem, 8, 16);
+        let vals: Vec<Element> = (0..16).map(|i| Element::from_f64(i as f64 * 1.5)).collect();
+        m.store(&mut mem, 3, &vals);
+        assert_eq!(m.load(&mem, 3, 16), vals);
+        // Neighbouring slots are untouched.
+        assert_eq!(m.load(&mem, 2, 16), vec![Element::ZERO; 16]);
+        assert_eq!(m.load(&mem, 4, 16), vec![Element::ZERO; 16]);
+    }
+
+    #[test]
+    fn distinct_mvrfs_do_not_overlap() {
+        let mut mem = MemoryHierarchy::default();
+        let a = MemoryVrf::allocate(&mut mem, 4, 16);
+        let b = MemoryVrf::allocate(&mut mem, 4, 16);
+        assert!(a.slot_addr(3) + 16 * 8 <= b.base());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_slot_panics() {
+        let mut mem = MemoryHierarchy::default();
+        let m = MemoryVrf::allocate(&mut mem, 4, 16);
+        let _ = m.slot_addr(4);
+    }
+}

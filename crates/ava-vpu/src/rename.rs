@@ -1,0 +1,285 @@
+//! First-level renaming: logical registers to renamed registers.
+//!
+//! In AVA mode the renamed registers are the 64 Virtual Vector Registers
+//! (VVRs); in NATIVE/RG mode they are the physical registers themselves.
+//! The unit consists of the Register Alias Table (RAT) and the Free Register
+//! List (FRL), exactly as in Figure 1 of the paper. Old destinations are
+//! released back to the FRL when the renaming instruction commits, and the
+//! RAT/FRL state can be checkpointed and restored to recover from scalar-side
+//! misspeculation (paper §III.D).
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use ava_isa::VReg;
+
+/// Identifier of a renamed register (VVR id in AVA mode, physical register
+/// id in NATIVE mode).
+pub type RenamedReg = u16;
+
+/// Result of renaming one instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Renamed {
+    /// Renamed register allocated for the destination (if the instruction
+    /// writes one).
+    pub dst: Option<RenamedReg>,
+    /// The previous mapping of the destination logical register; released to
+    /// the FRL when this instruction commits.
+    pub old_dst: Option<RenamedReg>,
+    /// Renamed registers for each register source, in operand order.
+    pub srcs: Vec<RenamedReg>,
+}
+
+/// Snapshot of the renaming state, taken at commit boundaries so the
+/// architectural mapping can be restored after a flush.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RenameCheckpoint {
+    rat: Vec<Option<RenamedReg>>,
+    frl: VecDeque<RenamedReg>,
+}
+
+/// RAT + FRL renaming unit.
+///
+/// ```
+/// use ava_vpu::rename::RenameUnit;
+/// use ava_isa::VReg;
+/// let mut r = RenameUnit::new(8);
+/// let a = r.rename(Some(VReg::new(1)), &[]).unwrap();
+/// let b = r.rename(Some(VReg::new(2)), &[VReg::new(1)]).unwrap();
+/// assert_eq!(b.srcs[0], a.dst.unwrap());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RenameUnit {
+    rat: Vec<Option<RenamedReg>>,
+    frl: VecDeque<RenamedReg>,
+    pool_size: usize,
+}
+
+/// Error returned when renaming requires a register but the FRL is empty or
+/// a source has never been written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RenameError {
+    /// No renamed register is available for the destination; the front end
+    /// must stall until an instruction commits.
+    NoFreeRegister,
+    /// A source logical register was read before ever being written.
+    UseBeforeDef(VReg),
+}
+
+impl std::fmt::Display for RenameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RenameError::NoFreeRegister => write!(f, "free register list is empty"),
+            RenameError::UseBeforeDef(r) => write!(f, "logical register {r} read before written"),
+        }
+    }
+}
+
+impl std::error::Error for RenameError {}
+
+impl RenameUnit {
+    /// Creates a renaming unit with `pool_size` renamed registers, all free.
+    ///
+    /// Mappings are created lazily: a logical register only consumes a
+    /// renamed register once it is written, so configurations with fewer
+    /// renamed registers than architectural names (RG-LMUL8 has 8 physical
+    /// registers for 4 usable names) still work.
+    #[must_use]
+    pub fn new(pool_size: usize) -> Self {
+        assert!(pool_size >= 4, "renamed register pool must hold at least 4 registers");
+        Self {
+            rat: vec![None; ava_isa::NUM_LOGICAL_VREGS],
+            frl: (0..pool_size as RenamedReg).collect(),
+            pool_size,
+        }
+    }
+
+    /// Number of renamed registers in the pool.
+    #[must_use]
+    pub fn pool_size(&self) -> usize {
+        self.pool_size
+    }
+
+    /// Number of currently free renamed registers.
+    #[must_use]
+    pub fn free_count(&self) -> usize {
+        self.frl.len()
+    }
+
+    /// True if a destination register could be renamed right now.
+    #[must_use]
+    pub fn can_rename_dst(&self) -> bool {
+        !self.frl.is_empty()
+    }
+
+    /// Current mapping of a logical register, if any.
+    #[must_use]
+    pub fn mapping(&self, logical: VReg) -> Option<RenamedReg> {
+        self.rat[logical.index()]
+    }
+
+    /// Renames one instruction: sources are looked up in the RAT, the
+    /// destination receives a fresh renamed register from the FRL and the
+    /// previous mapping is reported as `old_dst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenameError::NoFreeRegister`] when a destination is needed
+    /// but the FRL is empty, and [`RenameError::UseBeforeDef`] when a source
+    /// has no mapping.
+    pub fn rename(&mut self, dst: Option<VReg>, srcs: &[VReg]) -> Result<Renamed, RenameError> {
+        let mut renamed_srcs = Vec::with_capacity(srcs.len());
+        for s in srcs {
+            match self.rat[s.index()] {
+                Some(r) => renamed_srcs.push(r),
+                None => return Err(RenameError::UseBeforeDef(*s)),
+            }
+        }
+        let (new_dst, old_dst) = if let Some(d) = dst {
+            let Some(fresh) = self.frl.pop_front() else {
+                return Err(RenameError::NoFreeRegister);
+            };
+            let old = self.rat[d.index()].replace(fresh);
+            (Some(fresh), old)
+        } else {
+            (None, None)
+        };
+        Ok(Renamed {
+            dst: new_dst,
+            old_dst,
+            srcs: renamed_srcs,
+        })
+    }
+
+    /// Releases a renamed register back to the FRL (called when the
+    /// instruction that superseded it commits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register is already free (double release).
+    pub fn release(&mut self, reg: RenamedReg) {
+        assert!(
+            !self.frl.contains(&reg),
+            "renamed register {reg} released twice"
+        );
+        assert!((reg as usize) < self.pool_size, "register {reg} outside pool");
+        self.frl.push_back(reg);
+    }
+
+    /// Takes a snapshot of the RAT and FRL (the paper keeps a single commit-
+    /// time copy).
+    #[must_use]
+    pub fn checkpoint(&self) -> RenameCheckpoint {
+        RenameCheckpoint {
+            rat: self.rat.clone(),
+            frl: self.frl.clone(),
+        }
+    }
+
+    /// Restores a previously-taken snapshot, discarding all speculative
+    /// renames performed since.
+    pub fn restore(&mut self, checkpoint: &RenameCheckpoint) {
+        self.rat = checkpoint.rat.clone();
+        self.frl = checkpoint.frl.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_see_the_latest_mapping() {
+        let mut r = RenameUnit::new(16);
+        let w1 = r.rename(Some(VReg::new(5)), &[]).unwrap();
+        let w2 = r.rename(Some(VReg::new(5)), &[]).unwrap();
+        let read = r.rename(Some(VReg::new(6)), &[VReg::new(5)]).unwrap();
+        assert_eq!(read.srcs[0], w2.dst.unwrap());
+        assert_ne!(w1.dst, w2.dst);
+    }
+
+    #[test]
+    fn old_destination_is_reported_for_release() {
+        let mut r = RenameUnit::new(16);
+        let w1 = r.rename(Some(VReg::new(3)), &[]).unwrap();
+        let w2 = r.rename(Some(VReg::new(3)), &[]).unwrap();
+        assert_eq!(w1.old_dst, None);
+        assert_eq!(w2.old_dst, w1.dst);
+    }
+
+    #[test]
+    fn pool_exhaustion_reports_stall_and_release_recovers() {
+        let mut r = RenameUnit::new(4);
+        let mut renames = Vec::new();
+        for i in 0..4 {
+            renames.push(r.rename(Some(VReg::new(i)), &[]).unwrap());
+        }
+        assert_eq!(r.free_count(), 0);
+        assert!(!r.can_rename_dst());
+        assert_eq!(
+            r.rename(Some(VReg::new(9)), &[]),
+            Err(RenameError::NoFreeRegister)
+        );
+        // Releasing one register lets renaming continue.
+        r.release(renames[0].dst.unwrap());
+        assert!(r.rename(Some(VReg::new(9)), &[]).is_ok());
+    }
+
+    #[test]
+    fn use_before_def_is_an_error() {
+        let mut r = RenameUnit::new(8);
+        assert_eq!(
+            r.rename(None, &[VReg::new(7)]),
+            Err(RenameError::UseBeforeDef(VReg::new(7)))
+        );
+    }
+
+    #[test]
+    fn stores_do_not_consume_registers() {
+        let mut r = RenameUnit::new(4);
+        r.rename(Some(VReg::new(0)), &[]).unwrap();
+        let free_before = r.free_count();
+        let st = r.rename(None, &[VReg::new(0)]).unwrap();
+        assert_eq!(st.dst, None);
+        assert_eq!(r.free_count(), free_before);
+    }
+
+    #[test]
+    #[should_panic(expected = "released twice")]
+    fn double_release_is_detected() {
+        let mut r = RenameUnit::new(4);
+        let w = r.rename(Some(VReg::new(0)), &[]).unwrap();
+        let w2 = r.rename(Some(VReg::new(0)), &[]).unwrap();
+        let old = w2.old_dst.unwrap();
+        assert_eq!(old, w.dst.unwrap());
+        r.release(old);
+        r.release(old);
+    }
+
+    #[test]
+    fn checkpoint_restore_recovers_the_mapping() {
+        let mut r = RenameUnit::new(8);
+        r.rename(Some(VReg::new(1)), &[]).unwrap();
+        let cp = r.checkpoint();
+        let committed_mapping = r.mapping(VReg::new(1));
+        // Speculative work beyond the checkpoint.
+        r.rename(Some(VReg::new(1)), &[]).unwrap();
+        r.rename(Some(VReg::new(2)), &[]).unwrap();
+        assert_ne!(r.mapping(VReg::new(1)), committed_mapping);
+        r.restore(&cp);
+        assert_eq!(r.mapping(VReg::new(1)), committed_mapping);
+        assert_eq!(r.mapping(VReg::new(2)), None);
+        assert_eq!(r.free_count(), 7);
+    }
+
+    #[test]
+    fn lazy_mapping_supports_small_pools() {
+        // RG-LMUL8: 8 physical registers, only 4 architectural names used.
+        let mut r = RenameUnit::new(8);
+        for name in [0u8, 8, 16, 24] {
+            r.rename(Some(VReg::new(name)), &[]).unwrap();
+        }
+        assert_eq!(r.free_count(), 4);
+    }
+}

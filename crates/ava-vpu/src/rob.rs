@@ -1,0 +1,138 @@
+//! Reorder buffer timing model.
+//!
+//! Vector instructions are tracked in a reorder buffer from dispatch to
+//! in-order commit (paper Figure 1). The model answers two questions: when
+//! can a new instruction be admitted (a slot must be free), and when does a
+//! given instruction commit (in order, after it has executed).
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// Reorder-buffer occupancy and commit-time tracker.
+///
+/// ```
+/// use ava_vpu::rob::ReorderBuffer;
+/// let mut rob = ReorderBuffer::new(2);
+/// assert_eq!(rob.admit_time(10), 10);
+/// let c1 = rob.push(10, 20);
+/// let c2 = rob.push(11, 15);          // completes early but commits after c1
+/// assert_eq!(c1, 20);
+/// assert_eq!(c2, 21);
+/// // Both slots are taken until the oldest commits.
+/// assert_eq!(rob.admit_time(12), 20);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReorderBuffer {
+    capacity: usize,
+    /// Commit times of the youngest `capacity` instructions, oldest first.
+    commit_times: VecDeque<u64>,
+    last_commit: u64,
+    total_committed: u64,
+}
+
+impl ReorderBuffer {
+    /// Creates an empty reorder buffer with `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "reorder buffer needs at least one entry");
+        Self {
+            capacity,
+            commit_times: VecDeque::with_capacity(capacity),
+            last_commit: 0,
+            total_committed: 0,
+        }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Earliest cycle at which a new instruction arriving at `at` can claim
+    /// a slot: immediately if the buffer has spare capacity, otherwise when
+    /// the instruction `capacity` positions older commits.
+    #[must_use]
+    pub fn admit_time(&self, at: u64) -> u64 {
+        if self.commit_times.len() < self.capacity {
+            at
+        } else {
+            let oldest = self.commit_times[self.commit_times.len() - self.capacity];
+            at.max(oldest)
+        }
+    }
+
+    /// Records an instruction that was dispatched at `dispatch` and finishes
+    /// execution at `completion`; returns its in-order commit time
+    /// (one commit per cycle).
+    pub fn push(&mut self, dispatch: u64, completion: u64) -> u64 {
+        let commit = completion.max(dispatch).max(self.last_commit + 1);
+        self.last_commit = commit;
+        self.total_committed += 1;
+        self.commit_times.push_back(commit);
+        if self.commit_times.len() > self.capacity {
+            self.commit_times.pop_front();
+        }
+        commit
+    }
+
+    /// Commit time of the youngest instruction pushed so far (the cycle at
+    /// which the whole program has drained once every instruction is pushed).
+    #[must_use]
+    pub fn last_commit(&self) -> u64 {
+        self.last_commit
+    }
+
+    /// Total instructions committed.
+    #[must_use]
+    pub fn committed(&self) -> u64 {
+        self.total_committed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commits_are_in_order_even_when_completion_is_not() {
+        let mut rob = ReorderBuffer::new(8);
+        let c1 = rob.push(0, 100);
+        let c2 = rob.push(1, 5);
+        let c3 = rob.push(2, 6);
+        assert_eq!(c1, 100);
+        assert_eq!(c2, 101);
+        assert_eq!(c3, 102);
+        assert_eq!(rob.last_commit(), 102);
+        assert_eq!(rob.committed(), 3);
+    }
+
+    #[test]
+    fn admission_stalls_when_full() {
+        let mut rob = ReorderBuffer::new(2);
+        rob.push(0, 50);
+        rob.push(0, 60);
+        // Buffer full: a new instruction arriving at cycle 5 waits for the
+        // instruction two-back (commit at 50).
+        assert_eq!(rob.admit_time(5), 50);
+        rob.push(50, 70);
+        // Entries two-back is now the one committing at 60.
+        assert_eq!(rob.admit_time(55), 60);
+    }
+
+    #[test]
+    fn commit_rate_is_one_per_cycle() {
+        let mut rob = ReorderBuffer::new(16);
+        let a = rob.push(0, 10);
+        let b = rob.push(0, 10);
+        let c = rob.push(0, 10);
+        assert_eq!((a, b, c), (10, 11, 12));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_is_rejected() {
+        let _ = ReorderBuffer::new(0);
+    }
+}

@@ -1,0 +1,130 @@
+//! The Swap Logic: victim selection for P-VRF ↔ M-VRF transfers.
+//!
+//! When the pre-issue stage needs a physical register but none is free, the
+//! Swap Logic selects the resident VVR with the lowest Register Access
+//! Counter value that is not a source (or the destination) of the current
+//! instruction, and creates a Swap-Store to push its contents to the M-VRF
+//! (paper §III.C). Values whose RAC already reached zero are reclaimed
+//! *without* a Swap-Store (aggressive register reclamation).
+
+use serde::{Deserialize, Serialize};
+
+use crate::rac::Rac;
+use crate::rename::RenamedReg;
+use crate::vrf_mapping::VrfMapping;
+
+/// What the Swap Logic decided to do to obtain a free physical register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwapDecision {
+    /// A physical register was already free; no action needed.
+    AlreadyFree,
+    /// The victim VVR's counter is zero, so its register can be reclaimed
+    /// without writing anything to memory.
+    Reclaim(RenamedReg),
+    /// The victim VVR is still live; a Swap-Store to the M-VRF is required
+    /// before its physical register can be reused.
+    SwapStore(RenamedReg),
+}
+
+/// Stateless victim-selection logic (the state lives in the RAC and the
+/// VRF-Mapping engine).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwapLogic;
+
+impl SwapLogic {
+    /// Creates the swap logic.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Decides how to obtain one free physical register, given the current
+    /// mapping state and RAC counters. `protected` lists the VVRs that must
+    /// not be evicted (the current instruction's sources and destination, to
+    /// avoid deadlock).
+    ///
+    /// Returns `None` when no physical register can be freed (every resident
+    /// VVR is protected) — the caller must stall.
+    #[must_use]
+    pub fn plan_free_register(
+        &self,
+        mapping: &VrfMapping,
+        rac: &Rac,
+        protected: &[RenamedReg],
+    ) -> Option<SwapDecision> {
+        if mapping.has_free_physical() {
+            return Some(SwapDecision::AlreadyFree);
+        }
+        let resident = mapping.resident_vvrs();
+        let victim = rac.lowest_count_among(resident.iter(), protected)?;
+        if rac.is_reclaimable(victim) {
+            Some(SwapDecision::Reclaim(victim))
+        } else {
+            Some(SwapDecision::SwapStore(victim))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(num_physical: usize) -> (VrfMapping, Rac) {
+        (VrfMapping::new(64, num_physical), Rac::new(64))
+    }
+
+    #[test]
+    fn free_register_needs_no_swap() {
+        let (mapping, rac) = setup(4);
+        let d = SwapLogic::new().plan_free_register(&mapping, &rac, &[]);
+        assert_eq!(d, Some(SwapDecision::AlreadyFree));
+    }
+
+    #[test]
+    fn zero_count_victims_are_reclaimed_without_store() {
+        let (mut mapping, mut rac) = setup(2);
+        mapping.allocate_physical(1).unwrap();
+        mapping.allocate_physical(2).unwrap();
+        rac.increment(2); // VVR 2 still has readers; VVR 1 does not.
+        let d = SwapLogic::new().plan_free_register(&mapping, &rac, &[]);
+        assert_eq!(d, Some(SwapDecision::Reclaim(1)));
+    }
+
+    #[test]
+    fn live_victims_require_a_swap_store() {
+        let (mut mapping, mut rac) = setup(2);
+        mapping.allocate_physical(1).unwrap();
+        mapping.allocate_physical(2).unwrap();
+        rac.increment(1);
+        rac.increment(1);
+        rac.increment(2);
+        // Both live; VVR 2 has the lower count so it is the victim.
+        let d = SwapLogic::new().plan_free_register(&mapping, &rac, &[]);
+        assert_eq!(d, Some(SwapDecision::SwapStore(2)));
+    }
+
+    #[test]
+    fn protected_vvrs_are_never_selected() {
+        let (mut mapping, mut rac) = setup(2);
+        mapping.allocate_physical(1).unwrap();
+        mapping.allocate_physical(2).unwrap();
+        rac.increment(1);
+        rac.increment(2);
+        rac.increment(2);
+        // VVR 1 would normally be the victim (lower count), but it is a
+        // source of the current instruction.
+        let d = SwapLogic::new().plan_free_register(&mapping, &rac, &[1]);
+        assert_eq!(d, Some(SwapDecision::SwapStore(2)));
+    }
+
+    #[test]
+    fn all_protected_means_stall() {
+        let (mut mapping, mut rac) = setup(2);
+        mapping.allocate_physical(1).unwrap();
+        mapping.allocate_physical(2).unwrap();
+        rac.increment(1);
+        rac.increment(2);
+        let d = SwapLogic::new().plan_free_register(&mapping, &rac, &[1, 2]);
+        assert_eq!(d, None);
+    }
+}

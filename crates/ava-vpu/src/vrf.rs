@@ -1,0 +1,171 @@
+//! The Physical Vector Register File (P-VRF).
+//!
+//! Functionally, the P-VRF is an array of physical registers each holding
+//! `mvl` 64-bit elements. Structurally (for the area/energy model and the
+//! documentation of Figure 1), it is implemented as eight 4R-2W SRAM banks
+//! of 1 KB each, one per lane; the read/write control iterates
+//! `MVL / lanes` times per access, which is why reconfiguring the MVL needs
+//! no extra routing (paper §III.B).
+
+use serde::{Deserialize, Serialize};
+
+use ava_isa::Element;
+
+/// The physical vector register file.
+///
+/// ```
+/// use ava_vpu::vrf::PhysicalVrf;
+/// use ava_isa::Element;
+/// let mut vrf = PhysicalVrf::new(8, 16, 8);
+/// vrf.write(3, &[Element::from_f64(1.0); 16]);
+/// assert_eq!(vrf.read(3)[0].as_f64(), 1.0);
+/// assert_eq!(vrf.capacity_bytes(), 8 * 16 * 8);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhysicalVrf {
+    regs: Vec<Vec<Element>>,
+    mvl: usize,
+    lanes: usize,
+    /// Per-element read accesses performed (energy accounting).
+    read_elems: u64,
+    /// Per-element write accesses performed (energy accounting).
+    write_elems: u64,
+}
+
+impl PhysicalVrf {
+    /// Creates a P-VRF with `num_regs` registers of `mvl` elements each,
+    /// distributed over `lanes` banks.
+    #[must_use]
+    pub fn new(num_regs: usize, mvl: usize, lanes: usize) -> Self {
+        assert!(num_regs >= 1 && mvl >= 1 && lanes >= 1);
+        Self {
+            regs: vec![vec![Element::ZERO; mvl]; num_regs],
+            mvl,
+            lanes,
+            read_elems: 0,
+            write_elems: 0,
+        }
+    }
+
+    /// Number of physical registers.
+    #[must_use]
+    pub fn num_regs(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Elements per register.
+    #[must_use]
+    pub fn mvl(&self) -> usize {
+        self.mvl
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> usize {
+        self.regs.len() * self.mvl * 8
+    }
+
+    /// Number of lane banks.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Cycles the banked register file needs to stream one whole register
+    /// (`ceil(mvl / lanes)` — one element per lane per cycle).
+    #[must_use]
+    pub fn access_cycles(&self, vl: usize) -> u64 {
+        (vl.div_ceil(self.lanes)) as u64
+    }
+
+    /// Reads the whole register (element accesses are counted for energy).
+    pub fn read(&mut self, preg: usize) -> &[Element] {
+        self.read_elems += self.mvl as u64;
+        &self.regs[preg]
+    }
+
+    /// Reads the first `vl` elements of a register.
+    pub fn read_vl(&mut self, preg: usize, vl: usize) -> &[Element] {
+        let vl = vl.min(self.mvl);
+        self.read_elems += vl as u64;
+        &self.regs[preg][..vl]
+    }
+
+    /// Writes `values` into the register starting at element 0; elements
+    /// beyond `values.len()` keep their previous contents (body/tail
+    /// semantics are not modelled beyond this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is longer than the register.
+    pub fn write(&mut self, preg: usize, values: &[Element]) {
+        assert!(values.len() <= self.mvl, "write longer than register");
+        self.write_elems += values.len() as u64;
+        self.regs[preg][..values.len()].copy_from_slice(values);
+    }
+
+    /// Element read count so far (energy accounting).
+    #[must_use]
+    pub fn read_elems(&self) -> u64 {
+        self.read_elems
+    }
+
+    /// Element write count so far (energy accounting).
+    #[must_use]
+    pub fn write_elems(&self) -> u64 {
+        self.write_elems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_matches_the_baseline_configuration() {
+        // 64 registers x 16 elements x 8 bytes = 8 KB over 8 lanes.
+        let vrf = PhysicalVrf::new(64, 16, 8);
+        assert_eq!(vrf.capacity_bytes(), 8 * 1024);
+        assert_eq!(vrf.num_regs(), 64);
+        assert_eq!(vrf.mvl(), 16);
+        assert_eq!(vrf.lanes(), 8);
+        assert_eq!(vrf.access_cycles(16), 2);
+        assert_eq!(vrf.access_cycles(128), 16);
+        assert_eq!(vrf.access_cycles(1), 1);
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut vrf = PhysicalVrf::new(4, 8, 8);
+        let vals: Vec<Element> = (0..8).map(|i| Element::from_f64(i as f64)).collect();
+        vrf.write(2, &vals);
+        assert_eq!(vrf.read(2), vals.as_slice());
+    }
+
+    #[test]
+    fn partial_writes_preserve_the_tail() {
+        let mut vrf = PhysicalVrf::new(2, 8, 8);
+        vrf.write(0, &[Element::from_f64(9.0); 8]);
+        vrf.write(0, &[Element::from_f64(1.0); 4]);
+        let r = vrf.read(0).to_vec();
+        assert_eq!(r[3].as_f64(), 1.0);
+        assert_eq!(r[4].as_f64(), 9.0);
+    }
+
+    #[test]
+    fn access_counters_accumulate() {
+        let mut vrf = PhysicalVrf::new(2, 16, 8);
+        vrf.write(0, &[Element::ZERO; 16]);
+        let _ = vrf.read_vl(0, 4);
+        let _ = vrf.read(0);
+        assert_eq!(vrf.write_elems(), 16);
+        assert_eq!(vrf.read_elems(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than register")]
+    fn oversized_writes_panic() {
+        let mut vrf = PhysicalVrf::new(1, 4, 8);
+        vrf.write(0, &[Element::ZERO; 5]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Deterministic input-data generation shared by the workloads.
+//!
+//! Every workload uses a seeded generator so simulation results are
+//! reproducible across runs and configurations (the same program must be
+//! produced for NATIVE, AVA and RG so their instruction counts are directly
+//! comparable).
+
+use ava_memory::MemoryHierarchy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic data generator for workload inputs.
+#[derive(Debug)]
+pub struct DataGen {
+    rng: StdRng,
+}
+
+impl DataGen {
+    /// Creates a generator with a fixed seed per workload name, so each
+    /// workload's inputs are stable but distinct.
+    #[must_use]
+    pub fn for_workload(name: &str) -> Self {
+        let seed = name
+            .bytes()
+            .fold(0xA5A5_5A5A_1234_5678u64, |acc, b| acc.rotate_left(7) ^ u64::from(b));
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A uniform value in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// A vector of uniform values in `[lo, hi)`.
+    pub fn uniform_vec(&mut self, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..n).map(|_| self.uniform(lo, hi)).collect()
+    }
+
+    /// A vector of positive values bounded away from zero (safe for
+    /// divisions, logarithms and square roots).
+    pub fn positive_vec(&mut self, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+        assert!(lo > 0.0, "lower bound must be positive");
+        self.uniform_vec(n, lo, hi)
+    }
+}
+
+/// Allocates a buffer of `values.len()` doubles, writes the values and
+/// returns the base address.
+pub fn alloc_f64(mem: &mut MemoryHierarchy, values: &[f64]) -> u64 {
+    let base = mem.allocate((values.len() * 8) as u64);
+    mem.memory_mut().write_f64_slice(base, values);
+    base
+}
+
+/// Allocates a zero-initialised buffer of `n` doubles.
+pub fn alloc_zeroed(mem: &mut MemoryHierarchy, n: usize) -> u64 {
+    mem.allocate((n * 8) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_workload() {
+        let a: Vec<f64> = DataGen::for_workload("axpy").uniform_vec(8, 0.0, 1.0);
+        let b: Vec<f64> = DataGen::for_workload("axpy").uniform_vec(8, 0.0, 1.0);
+        let c: Vec<f64> = DataGen::for_workload("somier").uniform_vec(8, 0.0, 1.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let mut g = DataGen::for_workload("t");
+        for v in g.uniform_vec(1000, -2.0, 3.0) {
+            assert!((-2.0..3.0).contains(&v));
+        }
+        for v in g.positive_vec(1000, 0.5, 1.5) {
+            assert!(v >= 0.5 && v < 1.5);
+        }
+    }
+
+    #[test]
+    fn alloc_writes_values_into_memory() {
+        let mut mem = MemoryHierarchy::default();
+        let base = alloc_f64(&mut mem, &[1.0, 2.0, 3.0]);
+        assert_eq!(mem.read_f64(base + 16), 3.0);
+        let z = alloc_zeroed(&mut mem, 4);
+        assert_eq!(mem.read_f64(z + 24), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn positive_vec_rejects_nonpositive_bounds() {
+        let _ = DataGen::for_workload("t").positive_vec(4, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! # ava-workloads — the RiVEC-style benchmark kernels
+//!
+//! The paper evaluates AVA with six applications from the RiVEC Benchmark
+//! Suite (Table IV): Axpy, Blackscholes, LavaMD2, Particle Filter, Somier
+//! and Swaptions. This crate reproduces each of them as a hand-vectorised
+//! kernel written against the intrinsics-style [`ava_compiler::KernelBuilder`],
+//! together with an input generator and a scalar golden reference, so a
+//! simulation run can be validated numerically as well as timed.
+//!
+//! The kernels are written to reproduce each application's *register
+//! pressure* and *instruction mix*, the two properties the paper's results
+//! hinge on: Axpy needs only a couple of registers, Blackscholes and
+//! Swaptions keep more than 16 values live (forcing spill code under
+//! register grouping), LavaMD2 operates on fixed 48-element vectors, Somier
+//! is memory-bound with low pressure, and Particle Filter sits in between.
+//!
+//! ```
+//! use ava_workloads::{Axpy, Workload};
+//! use ava_isa::VectorContext;
+//! use ava_memory::MemoryHierarchy;
+//!
+//! let mut mem = MemoryHierarchy::default();
+//! let setup = Axpy::new(256).build(&mut mem, &VectorContext::with_mvl(16));
+//! assert!(setup.kernel.len() > 0);
+//! assert!(setup.strips >= 16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod axpy;
+pub mod blackscholes;
+pub mod data;
+pub mod lavamd;
+pub mod particlefilter;
+pub mod somier;
+pub mod swaptions;
+
+use ava_compiler::IrKernel;
+use ava_isa::VectorContext;
+use ava_memory::MemoryHierarchy;
+use serde::{Deserialize, Serialize};
+
+pub use axpy::Axpy;
+pub use blackscholes::Blackscholes;
+pub use lavamd::LavaMd2;
+pub use particlefilter::ParticleFilter;
+pub use somier::Somier;
+pub use swaptions::Swaptions;
+
+/// One expected output value, checked after simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Check {
+    /// Address of the value in simulated memory.
+    pub addr: u64,
+    /// Expected value from the scalar golden reference.
+    pub expected: f64,
+    /// Absolute tolerance (0.0 for bit-exact expectations).
+    pub tolerance: f64,
+}
+
+/// Everything needed to run and validate one workload at one vector length:
+/// the IR trace, the expected outputs and loop-shape metadata.
+#[derive(Debug, Clone)]
+pub struct WorkloadSetup {
+    /// The vectorised kernel as an IR trace (before register allocation).
+    pub kernel: IrKernel,
+    /// Expected output values for validation.
+    pub checks: Vec<Check>,
+    /// Number of stripmined loop iterations (drives the scalar-core model).
+    pub strips: u64,
+}
+
+/// A vectorised benchmark application.
+pub trait Workload {
+    /// Short name used in reports ("axpy", "blackscholes", ...).
+    fn name(&self) -> &'static str;
+
+    /// Application domain, as listed in Table IV of the paper.
+    fn domain(&self) -> &'static str;
+
+    /// Allocates inputs in `mem`, generates the vector IR trace for the
+    /// machine described by `ctx` (its effective MVL decides the stripmine
+    /// length) and returns the expected outputs.
+    fn build(&self, mem: &mut MemoryHierarchy, ctx: &VectorContext) -> WorkloadSetup;
+}
+
+/// Validates the expected outputs of a finished run against the simulated
+/// memory, returning a description of the first mismatch.
+///
+/// # Errors
+///
+/// Returns `Err` with a human-readable message naming the first mismatching
+/// address, its expected and actual values.
+pub fn validate(mem: &MemoryHierarchy, checks: &[Check]) -> Result<(), String> {
+    for (i, c) in checks.iter().enumerate() {
+        let actual = mem.read_f64(c.addr);
+        let ok = if c.tolerance == 0.0 {
+            actual == c.expected
+        } else {
+            (actual - c.expected).abs() <= c.tolerance.max(c.expected.abs() * c.tolerance)
+        };
+        if !ok {
+            return Err(format!(
+                "check {i} at {:#x}: expected {}, got {} (tolerance {})",
+                c.addr, c.expected, actual, c.tolerance
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// All six workloads at their default (test-sized) problem sizes, in the
+/// order the paper presents them.
+#[must_use]
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Axpy::default()),
+        Box::new(Blackscholes::default()),
+        Box::new(LavaMd2::default()),
+        Box::new(ParticleFilter::default()),
+        Box::new(Somier::default()),
+        Box::new(Swaptions::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_have_distinct_names_and_domains() {
+        let ws = all_workloads();
+        assert_eq!(ws.len(), 6);
+        let mut names: Vec<_> = ws.iter().map(|w| w.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6, "duplicate workload names");
+        for w in &ws {
+            assert!(!w.domain().is_empty());
+        }
+    }
+
+    #[test]
+    fn validate_accepts_exact_and_tolerant_matches() {
+        let mut mem = MemoryHierarchy::default();
+        let a = mem.allocate(16);
+        mem.write_f64(a, 1.5);
+        mem.write_f64(a + 8, 2.0 + 1e-12);
+        let checks = vec![
+            Check { addr: a, expected: 1.5, tolerance: 0.0 },
+            Check { addr: a + 8, expected: 2.0, tolerance: 1e-9 },
+        ];
+        assert!(validate(&mem, &checks).is_ok());
+    }
+
+    #[test]
+    fn validate_reports_the_first_mismatch() {
+        let mut mem = MemoryHierarchy::default();
+        let a = mem.allocate(16);
+        mem.write_f64(a, 1.0);
+        let checks = vec![Check { addr: a, expected: 2.0, tolerance: 0.0 }];
+        let err = validate(&mem, &checks).unwrap_err();
+        assert!(err.contains("expected 2"));
+    }
+
+    #[test]
+    fn every_workload_builds_a_nonempty_kernel() {
+        for w in all_workloads() {
+            let mut mem = MemoryHierarchy::default();
+            let setup = w.build(&mut mem, &VectorContext::with_mvl(16));
+            assert!(!setup.kernel.is_empty(), "{} built an empty kernel", w.name());
+            assert!(!setup.checks.is_empty(), "{} has no output checks", w.name());
+            assert!(setup.strips >= 1);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Particle Filter: sequential Monte-Carlo tracking (medical imaging).
+//!
+//! A structured-grid kernel with moderate register pressure: particle
+//! positions are advanced, a likelihood value is gathered from a measurement
+//! grid for every particle (indexed vector loads), and the weights are
+//! updated and accumulated. Spill/swap traffic only appears for the most
+//! aggressive configurations (LMUL4/LMUL8, AVA X4/X8), and even then it is a
+//! negligible fraction of the instruction stream (§V, Figure 3-d).
+
+use ava_compiler::KernelBuilder;
+use ava_isa::VectorContext;
+use ava_memory::MemoryHierarchy;
+
+use crate::data::{alloc_f64, alloc_zeroed, DataGen};
+use crate::{Check, Workload, WorkloadSetup};
+
+/// The Particle Filter workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ParticleFilter {
+    particles: usize,
+    grid: usize,
+}
+
+impl ParticleFilter {
+    /// Creates a filter over `particles` particles on a `grid`×`grid`
+    /// likelihood map.
+    #[must_use]
+    pub fn new(particles: usize, grid: usize) -> Self {
+        assert!(particles > 0 && grid >= 4, "problem size must be positive");
+        Self { particles, grid }
+    }
+}
+
+impl Default for ParticleFilter {
+    fn default() -> Self {
+        Self::new(1024, 64)
+    }
+}
+
+impl Workload for ParticleFilter {
+    fn name(&self) -> &'static str {
+        "particlefilter"
+    }
+
+    fn domain(&self) -> &'static str {
+        "Medical Imaging (Structured Grids)"
+    }
+
+    fn build(&self, mem: &mut MemoryHierarchy, ctx: &VectorContext) -> WorkloadSetup {
+        let n = self.particles;
+        let cells = self.grid * self.grid;
+        let mut gen = DataGen::for_workload(self.name());
+
+        let xs = gen.uniform_vec(n, 0.0, (self.grid - 2) as f64);
+        let ys = gen.uniform_vec(n, 0.0, (self.grid - 2) as f64);
+        let ws = gen.positive_vec(n, 0.5, 1.5);
+        let likelihood = gen.positive_vec(cells, 0.01, 1.0);
+        // Grid cell index of every particle, precomputed by the scalar side
+        // of the application (float-to-int conversions happen there).
+        let idx: Vec<i64> = xs
+            .iter()
+            .zip(ys.iter())
+            .map(|(&x, &y)| (y as i64) * self.grid as i64 + (x as i64))
+            .collect();
+        let idx_f: Vec<f64> = idx.iter().map(|&i| f64::from_bits(i as u64)).collect();
+
+        let a_x = alloc_f64(mem, &xs);
+        let a_y = alloc_f64(mem, &ys);
+        let a_w = alloc_f64(mem, &ws);
+        let a_lik = alloc_f64(mem, &likelihood);
+        let a_idx = alloc_f64(mem, &idx_f);
+        let a_xout = alloc_zeroed(mem, n);
+        let a_yout = alloc_zeroed(mem, n);
+        let a_wout = alloc_zeroed(mem, n);
+        let a_sum = alloc_zeroed(mem, 1);
+
+        let mvl = ctx.effective_mvl();
+        let mut b = KernelBuilder::new("particlefilter");
+
+        // Motion-model constants held in registers for the whole kernel.
+        let c_dx = b.vsplat(1.0);
+        let c_dy = b.vsplat(-2.0);
+        let c_damp = b.vsplat(0.9);
+        // Running weight sum; only lane 0 is meaningful (per-strip
+        // reductions are accumulated into it).
+        let mut acc_w = b.vsplat(0.0);
+
+        let mut strips = 0u64;
+        let mut i = 0usize;
+        while i < n {
+            let vl = mvl.min(n - i);
+            b.set_vl(vl);
+            let off = (8 * i) as u64;
+            let vx = b.vload(a_x + off);
+            let vy = b.vload(a_y + off);
+            let vw = b.vload(a_w + off);
+            let vidx = b.vload(a_idx + off);
+            // Advance the motion model.
+            let nx = b.vfadd(vx, c_dx);
+            let ny = b.vfadd(vy, c_dy);
+            // Gather the likelihood of each particle's grid cell.
+            let lik = b.vload_indexed(a_lik, vidx);
+            // Weight update with damping.
+            let w1 = b.vfmul(vw, lik);
+            let nw = b.vfmul(w1, c_damp);
+            let strip_sum = b.vfredsum(nw);
+            acc_w = b.vfadd(acc_w, strip_sum);
+            b.vstore(nx, a_xout + off);
+            b.vstore(ny, a_yout + off);
+            b.vstore(nw, a_wout + off);
+            strips += 1;
+            i += vl;
+        }
+        b.set_vl(1);
+        b.vstore(acc_w, a_sum);
+
+        // Golden reference: identical per-strip summation order.
+        let mut checks = Vec::new();
+        let mut wsum = 0.0f64;
+        let mut j = 0usize;
+        while j < n {
+            let vl = mvl.min(n - j);
+            let mut strip_sum = 0.0f64;
+            for k in 0..vl {
+                let p = j + k;
+                let nw = ws[p] * likelihood[idx[p] as usize] * 0.9;
+                strip_sum += nw;
+                checks.push(Check {
+                    addr: a_xout + (8 * p) as u64,
+                    expected: xs[p] + 1.0,
+                    tolerance: 1e-12,
+                });
+                checks.push(Check {
+                    addr: a_yout + (8 * p) as u64,
+                    expected: ys[p] - 2.0,
+                    tolerance: 1e-12,
+                });
+                checks.push(Check {
+                    addr: a_wout + (8 * p) as u64,
+                    expected: nw,
+                    tolerance: 1e-12,
+                });
+            }
+            wsum += strip_sum;
+            j += vl;
+        }
+        checks.push(Check {
+            addr: a_sum,
+            expected: wsum,
+            tolerance: 1e-9,
+        });
+
+        WorkloadSetup {
+            kernel: b.finish(),
+            checks,
+            strips,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pressure_sits_between_the_lmul4_and_lmul2_budgets() {
+        let mut mem = MemoryHierarchy::default();
+        let setup = ParticleFilter::new(256, 16).build(&mut mem, &VectorContext::with_mvl(16));
+        let p = setup.kernel.max_pressure();
+        assert!(
+            p > 8 && p <= 16,
+            "particle filter pressure should be in (8, 16], got {p}"
+        );
+    }
+
+    #[test]
+    fn uses_indexed_gathers() {
+        let mut mem = MemoryHierarchy::default();
+        let setup = ParticleFilter::new(64, 16).build(&mut mem, &VectorContext::with_mvl(16));
+        assert!(setup
+            .kernel
+            .instrs
+            .iter()
+            .any(|i| i.opcode == ava_isa::Opcode::VLoadIndexed));
+    }
+
+    #[test]
+    fn check_count_covers_positions_weights_and_sum() {
+        let mut mem = MemoryHierarchy::default();
+        let setup = ParticleFilter::new(64, 16).build(&mut mem, &VectorContext::with_mvl(16));
+        assert_eq!(setup.checks.len(), 3 * 64 + 1);
+        assert_eq!(setup.strips, 4);
+    }
+
+    #[test]
+    fn indices_stay_inside_the_grid() {
+        let pf = ParticleFilter::new(512, 32);
+        let mut mem = MemoryHierarchy::default();
+        // Building also validates that gather addresses refer to the grid.
+        let _ = pf.build(&mut mem, &VectorContext::with_mvl(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn tiny_grids_are_rejected() {
+        let _ = ParticleFilter::new(64, 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! Somier: spring–mass physics simulation (structured grid relaxation).
+//!
+//! A memory-bound kernel with low register pressure: every element update
+//! reads three neighbouring positions and the velocity and writes the new
+//! velocity and position. Only the most extreme grouping factor (LMUL=8,
+//! four architectural registers) runs out of registers, matching the paper's
+//! observation that spill/swap operations appear only for RG-LMUL8 / AVA X8
+//! (§V, Figure 3-e).
+
+use ava_compiler::KernelBuilder;
+use ava_isa::VectorContext;
+use ava_memory::MemoryHierarchy;
+
+use crate::data::{alloc_f64, alloc_zeroed, DataGen};
+use crate::{Check, Workload, WorkloadSetup};
+
+/// The Somier workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Somier {
+    nodes: usize,
+    dt: f64,
+    spring_k: f64,
+}
+
+impl Somier {
+    /// Creates a 1-D chain of `nodes` masses connected by springs.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes >= 4, "need at least a few interior nodes");
+        Self {
+            nodes,
+            dt: 0.001,
+            spring_k: 4.0,
+        }
+    }
+}
+
+impl Default for Somier {
+    fn default() -> Self {
+        Self::new(2048)
+    }
+}
+
+impl Workload for Somier {
+    fn name(&self) -> &'static str {
+        "somier"
+    }
+
+    fn domain(&self) -> &'static str {
+        "Physics Simulation (Dense Linear Algebra)"
+    }
+
+    fn build(&self, mem: &mut MemoryHierarchy, ctx: &VectorContext) -> WorkloadSetup {
+        let n = self.nodes;
+        let mut gen = DataGen::for_workload(self.name());
+        // Positions include one halo element on each side so the interior
+        // update never reads out of bounds.
+        let x = gen.uniform_vec(n + 2, -1.0, 1.0);
+        let v = gen.uniform_vec(n, -0.1, 0.1);
+        let a_x = alloc_f64(mem, &x);
+        let a_v = alloc_f64(mem, &v);
+        let a_xout = alloc_zeroed(mem, n);
+        let a_vout = alloc_zeroed(mem, n);
+
+        let mvl = ctx.effective_mvl();
+        let mut b = KernelBuilder::new("somier");
+        // The spring constant and time step stay in vector registers for the
+        // whole kernel, as the RiVEC source keeps its splatted coefficients.
+        let c_k = b.vsplat(self.spring_k);
+        let c_dt = b.vsplat(self.dt);
+        let mut strips = 0u64;
+        let mut i = 0usize;
+        while i < n {
+            let vl = mvl.min(n - i);
+            b.set_vl(vl);
+            // Interior node j = i + 1 .. i + vl (positions are offset by the
+            // left halo element).
+            let off_center = (8 * (i + 1)) as u64;
+            let xl = b.vload(a_x + off_center - 8);
+            let xc = b.vload(a_x + off_center);
+            let xr = b.vload(a_x + off_center + 8);
+            // Spring force: F = k * (x[l] + x[r] - 2 x[c]).
+            let sum_lr = b.vfadd(xl, xr);
+            let f = b.vfmadd(xc, -2.0, sum_lr);
+            let force = b.vfmul(f, c_k);
+            // Velocity and position update (explicit Euler).
+            let vv = b.vload(a_v + (8 * i) as u64);
+            let vnew = b.vfmadd(force, c_dt, vv);
+            let xnew = b.vfmadd(vnew, c_dt, xc);
+            b.vstore(vnew, a_vout + (8 * i) as u64);
+            b.vstore(xnew, a_xout + (8 * i) as u64);
+            strips += 1;
+            i += vl;
+        }
+
+        let mut checks = Vec::with_capacity(2 * n);
+        for j in 0..n {
+            let force = self.spring_k * (-2.0f64).mul_add(x[j + 1], x[j] + x[j + 2]);
+            let vnew = force.mul_add(self.dt, v[j]);
+            let xnew = vnew.mul_add(self.dt, x[j + 1]);
+            checks.push(Check {
+                addr: a_vout + (8 * j) as u64,
+                expected: vnew,
+                tolerance: 1e-12,
+            });
+            checks.push(Check {
+                addr: a_xout + (8 * j) as u64,
+                expected: xnew,
+                tolerance: 1e-12,
+            });
+        }
+
+        WorkloadSetup {
+            kernel: b.finish(),
+            checks,
+            strips,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pressure_fits_lmul4_but_not_lmul8() {
+        let mut mem = MemoryHierarchy::default();
+        let setup = Somier::new(256).build(&mut mem, &VectorContext::with_mvl(16));
+        let p = setup.kernel.max_pressure();
+        assert!(
+            p > 4 && p <= 8,
+            "somier pressure should exceed the LMUL8 budget but fit LMUL4, got {p}"
+        );
+    }
+
+    #[test]
+    fn kernel_is_memory_heavy() {
+        let mut mem = MemoryHierarchy::default();
+        let setup = Somier::new(256).build(&mut mem, &VectorContext::with_mvl(16));
+        let mem_ops = setup
+            .kernel
+            .instrs
+            .iter()
+            .filter(|i| i.kind() == ava_isa::InstrKind::Memory)
+            .count();
+        let arith = setup
+            .kernel
+            .instrs
+            .iter()
+            .filter(|i| i.kind() == ava_isa::InstrKind::Arithmetic)
+            .count();
+        assert!(mem_ops > arith, "memory {mem_ops} vs arithmetic {arith}");
+    }
+
+    #[test]
+    fn checks_cover_positions_and_velocities() {
+        let mut mem = MemoryHierarchy::default();
+        let setup = Somier::new(64).build(&mut mem, &VectorContext::with_mvl(32));
+        assert_eq!(setup.checks.len(), 128);
+        assert_eq!(setup.strips, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "interior")]
+    fn tiny_chains_are_rejected() {
+        let _ = Somier::new(2);
+    }
+}

@@ -1,0 +1,35 @@
+//! Quickstart: simulate one kernel on the baseline short-vector machine and
+//! on AVA reconfigured for long vectors, and compare.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use ava::sim::{run_workload, SystemConfig};
+use ava::workloads::{Axpy, Workload};
+
+fn main() {
+    let workload = Axpy::new(4096);
+    println!(
+        "workload: {} ({}), {} elements",
+        workload.name(),
+        workload.domain(),
+        4096
+    );
+
+    let baseline = run_workload(&workload, &SystemConfig::native_x(1));
+    let ava_long = run_workload(&workload, &SystemConfig::ava_x(8));
+
+    for r in [&baseline, &ava_long] {
+        println!(
+            "{:<10} {:>8} cycles  {:>6} vector instrs  swaps={}  validated={}",
+            r.config,
+            r.cycles,
+            r.vpu.issued_instrs(),
+            r.vpu.swap_ops(),
+            r.validated
+        );
+    }
+    println!(
+        "reconfiguring the same 8 KB register file from MVL=16 to MVL=128 gives {:.2}x",
+        baseline.cycles as f64 / ava_long.cycles as f64
+    );
+}

@@ -1,0 +1,37 @@
+//! # ava — Adaptable Vector Architecture reproduction (facade crate)
+//!
+//! This crate re-exports the whole workspace behind a single dependency so
+//! downstream users (and the runnable examples in `examples/`) can write
+//! `use ava::...` instead of juggling nine crates:
+//!
+//! * [`isa`] — the vector instruction set, registers and vector-length state;
+//! * [`memory`] — caches, DRAM and the functional memory;
+//! * [`compiler`] — the intrinsics-style kernel builder and the register
+//!   allocator that emits spill code;
+//! * [`vpu`] — the AVA / NATIVE / RG vector processing unit model (the
+//!   paper's contribution);
+//! * [`scalar`] — the dual-issue scalar core cost model;
+//! * [`sim`] — full-system configurations and the experiment runner;
+//! * [`workloads`] — the six RiVEC-style applications;
+//! * [`energy`] — the McPAT-style area/energy model and the analytical
+//!   post-PnR estimator.
+//!
+//! ```
+//! use ava::sim::{run_workload, SystemConfig};
+//! use ava::workloads::Axpy;
+//!
+//! let report = run_workload(&Axpy::new(256), &SystemConfig::ava_x(4));
+//! assert!(report.validated);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ava_compiler as compiler;
+pub use ava_energy as energy;
+pub use ava_isa as isa;
+pub use ava_memory as memory;
+pub use ava_scalar as scalar;
+pub use ava_sim as sim;
+pub use ava_vpu as vpu;
+pub use ava_workloads as workloads;

@@ -1,0 +1,128 @@
+//! Cross-crate integration tests: every workload must produce numerically
+//! correct results on every register-file organisation, including the
+//! configurations that exercise compiler spill code and the AVA swap
+//! mechanism heavily.
+
+use ava::isa::Lmul;
+use ava::sim::{run_workload, RunReport, SystemConfig};
+use ava::workloads::{all_workloads, Axpy, Blackscholes, LavaMd2, ParticleFilter, Somier, Swaptions};
+
+fn assert_valid(report: &RunReport) {
+    assert!(
+        report.validated,
+        "{} on {} failed validation: {:?}",
+        report.workload, report.config, report.validation_error
+    );
+    assert!(report.cycles > 0);
+}
+
+#[test]
+fn every_workload_validates_on_the_baseline() {
+    for w in all_workloads() {
+        let r = run_workload(w.as_ref(), &SystemConfig::native_x(1));
+        assert_valid(&r);
+    }
+}
+
+#[test]
+fn every_workload_validates_on_every_native_configuration() {
+    for w in all_workloads() {
+        for sys in SystemConfig::all_native() {
+            let r = run_workload(w.as_ref(), &sys);
+            assert_valid(&r);
+        }
+    }
+}
+
+#[test]
+fn every_workload_validates_on_every_ava_configuration() {
+    for w in all_workloads() {
+        for sys in SystemConfig::all_ava() {
+            let r = run_workload(w.as_ref(), &sys);
+            assert_valid(&r);
+        }
+    }
+}
+
+#[test]
+fn every_workload_validates_on_every_rg_configuration() {
+    for w in all_workloads() {
+        for sys in SystemConfig::all_rg() {
+            let r = run_workload(w.as_ref(), &sys);
+            assert_valid(&r);
+        }
+    }
+}
+
+#[test]
+fn results_are_identical_across_organisations_for_elementwise_kernels() {
+    // Axpy and Somier perform no cross-strip reductions, so every
+    // configuration must produce bit-identical outputs; the checks are exact
+    // (tolerance 0.0 / 1e-12), so validation across all 14 configurations is
+    // the equivalence proof.
+    for sys in SystemConfig::all_evaluated() {
+        assert_valid(&run_workload(&Axpy::new(500), &sys));
+        assert_valid(&run_workload(&Somier::new(500), &sys));
+    }
+}
+
+#[test]
+fn swap_heavy_runs_stay_correct() {
+    // AVA X8 leaves only 8 physical registers; the high-pressure kernels
+    // must still validate while generating swap traffic.
+    for (report, expect_swaps) in [
+        (run_workload(&Blackscholes::new(256), &SystemConfig::ava_x(8)), true),
+        (run_workload(&Swaptions::new(256), &SystemConfig::ava_x(8)), true),
+        (run_workload(&Axpy::new(256), &SystemConfig::ava_x(8)), false),
+    ] {
+        assert_valid(&report);
+        assert_eq!(report.vpu.swap_ops() > 0, expect_swaps, "{}", report.workload);
+    }
+}
+
+#[test]
+fn spill_heavy_runs_stay_correct() {
+    for (report, expect_spills) in [
+        (run_workload(&Blackscholes::new(256), &SystemConfig::rg_lmul(Lmul::M8)), true),
+        (run_workload(&LavaMd2::new(8, 2), &SystemConfig::rg_lmul(Lmul::M8)), true),
+        (run_workload(&ParticleFilter::new(256, 32), &SystemConfig::rg_lmul(Lmul::M2)), false),
+    ] {
+        assert_valid(&report);
+        assert_eq!(
+            report.vpu.spill_ops() > 0,
+            expect_spills,
+            "{} on {}",
+            report.workload,
+            report.config
+        );
+    }
+}
+
+#[test]
+fn executed_spills_match_what_the_compiler_emitted() {
+    for w in all_workloads() {
+        for sys in [SystemConfig::rg_lmul(Lmul::M4), SystemConfig::rg_lmul(Lmul::M8)] {
+            let r = run_workload(w.as_ref(), &sys);
+            assert_eq!(
+                r.vpu.spill_loads as usize + r.vpu.spill_stores as usize,
+                r.compiler_spill_loads + r.compiler_spill_stores,
+                "{} on {}",
+                r.workload,
+                r.config
+            );
+        }
+    }
+}
+
+#[test]
+fn native_and_rg_never_generate_swaps_and_ava_never_needs_spills() {
+    for w in all_workloads() {
+        let native = run_workload(w.as_ref(), &SystemConfig::native_x(4));
+        assert_eq!(native.vpu.swap_ops(), 0, "{}", w.name());
+        let rg = run_workload(w.as_ref(), &SystemConfig::rg_lmul(Lmul::M4));
+        assert_eq!(rg.vpu.swap_ops(), 0, "{}", w.name());
+        let ava = run_workload(w.as_ref(), &SystemConfig::ava_x(4));
+        assert_eq!(ava.vpu.spill_ops(), 0, "{} (AVA keeps 32 architectural registers)", w.name());
+        assert_eq!(ava.compiler_spill_stores, 0);
+    }
+}

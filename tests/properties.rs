@@ -1,0 +1,159 @@
+//! Property-based tests over the whole stack: randomly generated vector
+//! kernels must produce identical results no matter which register-file
+//! organisation executes them, the register allocator must always respect
+//! its budget, and the cache hierarchy must never change functional values.
+
+use proptest::prelude::*;
+
+use ava::compiler::{compile, CompileOptions, KernelBuilder, VirtReg};
+use ava::isa::Lmul;
+use ava::memory::MemoryHierarchy;
+use ava::sim::SystemConfig;
+use ava::vpu::Vpu;
+
+/// A tiny random straight-line kernel description: a sequence of operation
+/// selectors over a pool of live values.
+#[derive(Debug, Clone)]
+struct RandomKernel {
+    ops: Vec<u8>,
+    vl: usize,
+}
+
+fn random_kernel_strategy() -> impl Strategy<Value = RandomKernel> {
+    (prop::collection::vec(0u8..=5, 4..60), 1usize..=16).prop_map(|(ops, vl)| RandomKernel { ops, vl })
+}
+
+/// Materialises the random kernel: allocates an input array, builds the IR
+/// with the kernel builder, and returns (kernel, output addresses).
+fn build_kernel(mem: &mut MemoryHierarchy, spec: &RandomKernel) -> (ava::compiler::IrKernel, Vec<u64>) {
+    let n = 64usize;
+    let input = mem.allocate((n * 8) as u64);
+    for i in 0..n {
+        mem.write_f64(input + 8 * i as u64, (i as f64) * 0.25 - 3.0);
+    }
+    let out_base = mem.allocate((spec.ops.len() * spec.vl * 8) as u64);
+
+    let mut b = KernelBuilder::new("random");
+    b.set_vl(spec.vl);
+    let mut live: Vec<VirtReg> = Vec::new();
+    live.push(b.vload(input));
+    live.push(b.vload(input + 128));
+    let mut outputs = Vec::new();
+    for (i, op) in spec.ops.iter().enumerate() {
+        let a = live[i % live.len()];
+        let c = live[(i * 7 + 3) % live.len()];
+        let v = match op {
+            0 => b.vfadd(a, c),
+            1 => b.vfmul(a, c),
+            2 => b.vfsub(a, c),
+            3 => b.vfmadd(a, c, a),
+            4 => b.vfmax(a, c),
+            _ => b.vload(input + (8 * ((i * 16) % (n - spec.vl))) as u64),
+        };
+        live.push(v);
+        if live.len() > 24 {
+            live.remove(0);
+        }
+        if i % 3 == 0 {
+            let addr = out_base + (8 * i * spec.vl) as u64;
+            b.vstore(v, addr);
+            outputs.push(addr);
+        }
+    }
+    // Always store the final value so every kernel has observable output.
+    let last = *live.last().expect("at least one live value");
+    let addr = out_base + (8 * spec.ops.len() * spec.vl) as u64;
+    b.vstore(last, addr);
+    outputs.push(addr);
+    (b.finish(), outputs)
+}
+
+/// Runs the kernel on a configuration and returns the values at the output
+/// addresses.
+fn run_on(spec: &RandomKernel, sys: &SystemConfig, lmul: Lmul) -> Vec<f64> {
+    let mut mem = MemoryHierarchy::default();
+    let (kernel, outputs) = build_kernel(&mut mem, spec);
+    let spill_base = mem.allocate(64 * 1024);
+    let compiled = compile(&kernel, &CompileOptions::new(lmul, spill_base, (sys.mvl() * 8) as u64));
+    let mut vpu = Vpu::new(sys.vpu.clone(), &mut mem);
+    let _ = vpu.run(&compiled.program, &mut mem);
+    outputs
+        .iter()
+        .flat_map(|&addr| (0..spec.vl).map(move |i| addr + 8 * i as u64))
+        .map(|a| mem.read_f64(a))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The same program produces bit-identical results on the conventional
+    /// long-vector design, on AVA with its tiny 8-register P-VRF (heavy swap
+    /// traffic), and on the register-grouped baseline (heavy spill traffic).
+    #[test]
+    fn results_are_identical_across_organisations(spec in random_kernel_strategy()) {
+        let reference = run_on(&spec, &SystemConfig::native_x(8), Lmul::M1);
+        let ava = run_on(&spec, &SystemConfig::ava_x(8), Lmul::M1);
+        let rg = run_on(&spec, &SystemConfig::rg_lmul(Lmul::M8), Lmul::M8);
+        prop_assert_eq!(&reference, &ava, "AVA X8 diverged from NATIVE X8");
+        prop_assert_eq!(&reference, &rg, "RG-LMUL8 diverged from NATIVE X8");
+    }
+
+    /// The register allocator never exceeds the architectural budget and
+    /// never loses a value, for any grouping factor.
+    #[test]
+    fn register_allocation_respects_every_budget(spec in random_kernel_strategy()) {
+        let mut mem = MemoryHierarchy::default();
+        let (kernel, _) = build_kernel(&mut mem, &spec);
+        for lmul in Lmul::all() {
+            let compiled = compile(&kernel, &CompileOptions::new(lmul, 0x100_0000, 1024));
+            prop_assert!(compiled.registers_used <= lmul.architectural_registers());
+            for reg in compiled.program.used_registers() {
+                prop_assert_eq!(reg.index() % lmul.factor(), 0, "register {} is not a group base", reg);
+            }
+            prop_assert!(compiled.spill_loads >= compiled.spill_stores);
+        }
+    }
+
+    /// Cache warm-up and timing queries never alter functional memory.
+    #[test]
+    fn timing_accesses_never_corrupt_functional_state(
+        values in prop::collection::vec(-1e6f64..1e6, 1..64),
+        stride in 1u64..64,
+    ) {
+        let mut mem = MemoryHierarchy::default();
+        let base = mem.allocate((values.len() * 8) as u64);
+        for (i, v) in values.iter().enumerate() {
+            mem.write_f64(base + 8 * i as u64, *v);
+        }
+        // Timing-side activity.
+        mem.warm_caches();
+        let _ = mem.vector_access(base, (values.len() * 8) as u64, false);
+        let addrs: Vec<u64> = (0..values.len() as u64).map(|i| base + i * 8 * stride % 4096).collect();
+        let _ = mem.vector_access_elements(&addrs, true);
+        let _ = mem.scalar_access(base, true);
+        mem.flush_caches();
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(mem.read_f64(base + 8 * i as u64), *v);
+        }
+    }
+
+    /// The VPU never deadlocks and always reports monotonically consistent
+    /// statistics for arbitrary kernels on the smallest register file.
+    #[test]
+    fn tiny_register_files_never_deadlock(spec in random_kernel_strategy()) {
+        let sys = SystemConfig::ava_x(8);
+        let mut mem = MemoryHierarchy::default();
+        let (kernel, _) = build_kernel(&mut mem, &spec);
+        let spill_base = mem.allocate(64 * 1024);
+        let compiled = compile(&kernel, &CompileOptions::new(Lmul::M1, spill_base, 1024));
+        let mut vpu = Vpu::new(sys.vpu.clone(), &mut mem);
+        let result = vpu.run(&compiled.program, &mut mem);
+        prop_assert!(result.cycles > 0);
+        // Everything the program contains (minus vsetvl) must have been
+        // issued, plus whatever swap traffic the hardware added.
+        let program_issue = compiled.program.len() as u64 - result.stats.config_instrs;
+        prop_assert!(result.stats.issued_instrs() >= program_issue);
+        prop_assert_eq!(result.stats.issued_instrs() - result.stats.swap_ops(), program_issue);
+    }
+}
