@@ -1,41 +1,29 @@
-//! Criterion benches behind Figure 3: end-to-end simulation of each
-//! application on the key configurations (NATIVE X1, NATIVE X8, AVA X8,
-//! RG-LMUL8). Each benchmark measures the wall-clock cost of one full
-//! compile + simulate + validate pass of the reproduction pipeline; the
-//! *simulated* cycle numbers behind the figure are printed by the `fig3`
-//! binary.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Benches behind Figure 3: end-to-end simulation of each application on
+//! the key configurations (NATIVE X1, NATIVE X8, AVA X8, RG-LMUL8). Each
+//! benchmark measures the wall-clock cost of one full compile + simulate +
+//! validate pass of the reproduction pipeline; the *simulated* cycle numbers
+//! behind the figure are printed by the `fig3` binary.
 
 use ava_bench::bench_workloads;
+use ava_bench::microbench::{bench, header};
 use ava_isa::Lmul;
 use ava_sim::{run_workload, SystemConfig};
 
-fn bench_fig3(c: &mut Criterion) {
+fn main() {
     let systems = [
         SystemConfig::native_x(1),
         SystemConfig::native_x(8),
         SystemConfig::ava_x(8),
         SystemConfig::rg_lmul(Lmul::M8),
     ];
-    let mut group = c.benchmark_group("fig3");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+    header("fig3");
     for workload in bench_workloads() {
         for sys in &systems {
-            let id = BenchmarkId::new(workload.name(), sys.label());
-            group.bench_with_input(id, sys, |b, sys| {
-                b.iter(|| {
-                    let report = run_workload(workload.as_ref(), sys);
-                    assert!(report.validated, "{:?}", report.validation_error);
-                    report.cycles
-                });
+            bench(&format!("fig3/{}/{}", workload.name(), sys.label()), || {
+                let report = run_workload(workload.as_ref(), sys);
+                assert!(report.validated, "{:?}", report.validation_error);
+                report.cycles
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig3);
-criterion_main!(benches);

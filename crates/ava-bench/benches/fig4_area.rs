@@ -1,27 +1,20 @@
-//! Criterion benches behind Figure 4 and Table V: the McPAT-style area and
-//! energy evaluation and the analytical post-PnR estimator.
+//! Benches behind Figure 4 and Table V: the McPAT-style area and energy
+//! evaluation and the analytical post-PnR estimator.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use ava_bench::microbench::{bench, header};
 use ava_energy::{energy_breakdown, pnr_estimate, system_area, EnergyParams};
 use ava_sim::{run_workload, SystemConfig};
 use ava_workloads::Axpy;
 
-fn bench_area_and_energy(c: &mut Criterion) {
+fn main() {
     let params = EnergyParams::default();
     let sys = SystemConfig::ava_x(8);
     let report = run_workload(&Axpy::new(1024), &sys);
 
-    c.bench_function("fig4/system_area", |b| {
-        b.iter(|| std::hint::black_box(system_area(&sys.vpu)).total())
+    header("fig4_area");
+    bench("fig4/system_area", || system_area(&sys.vpu).total());
+    bench("fig4/energy_breakdown", || {
+        energy_breakdown(&report, &sys.vpu, &params).total()
     });
-    c.bench_function("fig3/energy_breakdown", |b| {
-        b.iter(|| std::hint::black_box(energy_breakdown(&report, &sys.vpu, &params)).total())
-    });
-    c.bench_function("table5/pnr_estimate", |b| {
-        b.iter(|| std::hint::black_box(pnr_estimate(&sys.vpu)).area_mm2)
-    });
+    bench("table5/pnr_estimate", || pnr_estimate(&sys.vpu).area_mm2);
 }
-
-criterion_group!(benches, bench_area_and_energy);
-criterion_main!(benches);

@@ -1,31 +1,27 @@
 //! Memory-hierarchy benches: unit-stride and strided vector accesses through
-//! the L2/DRAM timing model, and the M-VRF swap traffic path.
+//! the L2/DRAM timing model, and the scalar L1 hit path.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use ava_bench::microbench::{bench, header};
 use ava_memory::{HierarchyConfig, MemoryHierarchy};
 
-fn bench_vector_access(c: &mut Criterion) {
-    c.bench_function("memory/unit_stride_128_elems", |b| {
-        let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
-        let base = mem.allocate(128 * 8);
-        b.iter(|| mem.vector_access(base, 128 * 8, false).total_cycles)
+fn main() {
+    header("memory_hierarchy");
+
+    let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+    let base = mem.allocate(128 * 8);
+    bench("memory/unit_stride_128_elems", || {
+        mem.vector_access(base, 128 * 8, false).total_cycles
     });
 
-    c.bench_function("memory/strided_128_elems", |b| {
-        let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
-        let base = mem.allocate(128 * 512);
-        let addrs: Vec<u64> = (0..128u64).map(|i| base + i * 512).collect();
-        b.iter(|| mem.vector_access_elements(&addrs, false).total_cycles)
+    let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+    let base = mem.allocate(128 * 512);
+    let addrs: Vec<u64> = (0..128u64).map(|i| base + i * 512).collect();
+    bench("memory/strided_128_elems", || {
+        mem.vector_access_elements(&addrs, false).total_cycles
     });
 
-    c.bench_function("memory/scalar_l1_hit", |b| {
-        let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
-        let base = mem.allocate(64);
-        mem.scalar_access(base, false);
-        b.iter(|| mem.scalar_access(base, false))
-    });
+    let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+    let base = mem.allocate(64);
+    mem.scalar_access(base, false);
+    bench("memory/scalar_l1_hit", || mem.scalar_access(base, false));
 }
-
-criterion_group!(benches, bench_vector_access);
-criterion_main!(benches);

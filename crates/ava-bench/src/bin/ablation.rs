@@ -4,52 +4,73 @@
 //! stresses the swap mechanism hardest (AVA X8, Blackscholes) and on the
 //! swap-free baseline (NATIVE X1, Axpy) so both regimes are visible.
 //!
+//! Each study is one sweep: a single workload against a declarative list of
+//! system variants, executed in parallel by the sweep engine.
+//!
 //! Usage: `cargo run --release -p ava-bench --bin ablation`
 
-use ava_sim::{run_workload, SystemConfig};
-use ava_workloads::{Axpy, Blackscholes, Workload};
+use std::sync::Arc;
 
-fn run_with<F>(base: &SystemConfig, workload: &dyn Workload, tweak: F) -> u64
-where
-    F: FnOnce(&mut SystemConfig),
-{
-    let mut sys = base.clone();
-    tweak(&mut sys);
-    let report = run_workload(workload, &sys);
-    assert!(report.validated, "{}: {:?}", report.config, report.validation_error);
-    report.cycles
-}
+use ava_sim::{Sweep, SystemConfig};
+use ava_workloads::{Axpy, Blackscholes, SharedWorkload};
 
-fn sweep(label: &str, base: &SystemConfig, workload: &dyn Workload) {
-    println!("--- {label}: {} on {}", workload.name(), base.label());
-    let reference = run_with(base, workload, |_| {});
-    println!("{:<28} {:>10} {:>8}", "variant", "cycles", "vs ref");
-
-    let report = |name: &str, cycles: u64| {
-        println!("{:<28} {:>10} {:>7.2}x", name, cycles, reference as f64 / cycles as f64);
-    };
-    report("reference", reference);
+/// The variant axis of one ablation study: a display name per system.
+fn variants(base: &SystemConfig) -> (Vec<String>, Vec<SystemConfig>) {
+    let mut names = vec!["reference".to_string()];
+    let mut systems = vec![base.clone()];
     for entries in [8usize, 16, 64] {
-        let cycles = run_with(base, workload, |s| {
-            s.vpu.arith_queue_entries = entries;
-            s.vpu.mem_queue_entries = entries;
-        });
-        report(&format!("issue queues = {entries}"), cycles);
+        let mut s = base.clone();
+        s.vpu.arith_queue_entries = entries;
+        s.vpu.mem_queue_entries = entries;
+        names.push(format!("issue queues = {entries}"));
+        systems.push(s);
     }
     for rob in [16usize, 32, 128] {
-        let cycles = run_with(base, workload, |s| s.vpu.rob_entries = rob);
-        report(&format!("reorder buffer = {rob}"), cycles);
+        let mut s = base.clone();
+        s.vpu.rob_entries = rob;
+        names.push(format!("reorder buffer = {rob}"));
+        systems.push(s);
     }
     for overhead in [0u64, 8, 16] {
-        let cycles = run_with(base, workload, |s| s.vpu.mem_op_overhead = overhead);
-        report(&format!("mem-op overhead = {overhead}"), cycles);
+        let mut s = base.clone();
+        s.vpu.mem_op_overhead = overhead;
+        names.push(format!("mem-op overhead = {overhead}"));
+        systems.push(s);
+    }
+    (names, systems)
+}
+
+fn sweep(label: &str, base: &SystemConfig, workload: SharedWorkload) {
+    println!("--- {label}: {} on {}", workload.name(), base.label());
+    let (names, systems) = variants(base);
+    let reports = Sweep::grid(vec![workload], systems).run_parallel();
+    for r in &reports {
+        assert!(r.validated, "{}: {:?}", r.config, r.validation_error);
+    }
+    let reference = reports[0].cycles;
+    println!("{:<28} {:>10} {:>8}", "variant", "cycles", "vs ref");
+    for (name, r) in names.iter().zip(&reports) {
+        println!(
+            "{:<28} {:>10} {:>7.2}x",
+            name,
+            r.cycles,
+            reference as f64 / r.cycles as f64
+        );
     }
     println!();
 }
 
 fn main() {
-    sweep("swap-free baseline", &SystemConfig::native_x(1), &Axpy::new(4096));
-    sweep("swap-heavy AVA", &SystemConfig::ava_x(8), &Blackscholes::new(1024));
+    sweep(
+        "swap-free baseline",
+        &SystemConfig::native_x(1),
+        Arc::new(Axpy::new(4096)),
+    );
+    sweep(
+        "swap-heavy AVA",
+        &SystemConfig::ava_x(8),
+        Arc::new(Blackscholes::new(1024)),
+    );
     println!("The per-operation overhead of the vector memory unit dominates the");
     println!("short-vector baseline (three memory operations per 16-element strip),");
     println!("while the swap-heavy AVA X8 case is bound by the arithmetic pipeline and");

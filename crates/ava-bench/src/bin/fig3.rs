@@ -3,21 +3,26 @@
 //! RG-LMUL1..8, AVA X1..X8), the vector-memory-instruction breakdown, the
 //! instruction mix, the execution time/speedup and the energy breakdown.
 //!
+//! The whole figure is one declarative (workload × configuration) grid
+//! executed by the parallel sweep engine.
+//!
 //! Usage:
 //!
 //! ```text
-//! fig3 [--app <name>] [--chart mem|mix|perf|energy|all]
+//! fig3 [--app <name>] [--chart mem|mix|perf|energy|all] [--threads <n>]
 //! ```
 
 use ava_bench::{
-    format_energy, format_instruction_mix, format_memory_breakdown, format_performance,
-    paper_workloads, run_figure3_for,
+    evaluated_systems, figure3_sweep, format_energy, format_instruction_mix,
+    format_memory_breakdown, format_performance, paper_workloads,
 };
+use ava_workloads::SharedWorkload;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut app_filter: Option<String> = None;
     let mut chart = "all".to_string();
+    let mut threads: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -29,34 +34,61 @@ fn main() {
                 chart = args[i + 1].clone();
                 i += 2;
             }
+            "--threads" if i + 1 < args.len() => {
+                threads = match args[i + 1].parse() {
+                    Ok(n) => Some(n),
+                    Err(_) => {
+                        eprintln!("invalid --threads value: {}", args[i + 1]);
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
             other => {
                 eprintln!("unrecognised argument: {other}");
-                eprintln!("usage: fig3 [--app <name>] [--chart mem|mix|perf|energy|all]");
+                eprintln!(
+                    "usage: fig3 [--app <name>] [--chart mem|mix|perf|energy|all] [--threads <n>]"
+                );
                 std::process::exit(2);
             }
         }
     }
 
-    for workload in paper_workloads() {
-        if let Some(f) = &app_filter {
-            if workload.name() != f {
-                continue;
-            }
-        }
+    let workloads: Vec<SharedWorkload> = paper_workloads()
+        .into_iter()
+        .filter(|w| app_filter.as_ref().is_none_or(|f| w.name() == f))
+        .collect();
+    if workloads.is_empty() {
+        eprintln!("no workload matches --app filter");
+        std::process::exit(2);
+    }
+
+    let per_workload = evaluated_systems().len();
+    let sweep = figure3_sweep(workloads.clone());
+    eprintln!(
+        "sweeping {} points ({} workloads x {} configurations)...",
+        sweep.len(),
+        workloads.len(),
+        per_workload
+    );
+    let reports = match threads {
+        Some(n) => sweep.run_parallel_with(n),
+        None => sweep.run_parallel(),
+    };
+
+    for (workload, runs) in workloads.iter().zip(reports.chunks(per_workload)) {
         let name = workload.name();
-        eprintln!("simulating {name} on all configurations...");
-        let reports = run_figure3_for(workload.as_ref());
         if chart == "mem" || chart == "all" {
-            println!("{}", format_memory_breakdown(name, &reports));
+            println!("{}", format_memory_breakdown(name, runs));
         }
         if chart == "mix" || chart == "all" {
-            println!("{}", format_instruction_mix(name, &reports));
+            println!("{}", format_instruction_mix(name, runs));
         }
         if chart == "perf" || chart == "all" {
-            println!("{}", format_performance(name, &reports));
+            println!("{}", format_performance(name, runs));
         }
         if chart == "energy" || chart == "all" {
-            println!("{}", format_energy(name, &reports));
+            println!("{}", format_energy(name, runs));
         }
     }
 }

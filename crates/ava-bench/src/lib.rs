@@ -25,39 +25,45 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod microbench;
+
 use std::collections::BTreeMap;
 
+use std::sync::Arc;
+
 use ava_energy::{energy_breakdown, pnr_estimate, system_area, EnergyParams};
-use ava_sim::{geometric_mean, run_workload, speedup_vs, RunReport, SystemConfig};
+use ava_sim::{geometric_mean, speedup_vs, RunReport, Sweep, SystemConfig};
 use ava_vpu::{preg_count_for_mvl, VpuConfig};
-use ava_workloads::{Axpy, Blackscholes, LavaMd2, ParticleFilter, Somier, Swaptions, Workload};
+use ava_workloads::{
+    Axpy, Blackscholes, LavaMd2, ParticleFilter, SharedWorkload, Somier, Swaptions,
+};
 
 /// The six applications of Table IV at the problem sizes used for the
 /// reproduction (scaled to keep a full Figure 3 sweep fast; see
 /// EXPERIMENTS.md for the sizes and the reasoning).
 #[must_use]
-pub fn paper_workloads() -> Vec<Box<dyn Workload>> {
+pub fn paper_workloads() -> Vec<SharedWorkload> {
     vec![
-        Box::new(Axpy::new(4096)),
-        Box::new(Blackscholes::new(1024)),
-        Box::new(LavaMd2::new(48, 2)),
-        Box::new(ParticleFilter::new(2048, 64)),
-        Box::new(Somier::new(4096)),
-        Box::new(Swaptions::new(1024)),
+        Arc::new(Axpy::new(4096)),
+        Arc::new(Blackscholes::new(1024)),
+        Arc::new(LavaMd2::new(48, 2)),
+        Arc::new(ParticleFilter::new(2048, 64)),
+        Arc::new(Somier::new(4096)),
+        Arc::new(Swaptions::new(1024)),
     ]
 }
 
-/// Smaller versions of the same workloads, used by the Criterion benches so
+/// Smaller versions of the same workloads, used by the wall-clock benches so
 /// one benchmark iteration stays in the millisecond range.
 #[must_use]
-pub fn bench_workloads() -> Vec<Box<dyn Workload>> {
+pub fn bench_workloads() -> Vec<SharedWorkload> {
     vec![
-        Box::new(Axpy::new(1024)),
-        Box::new(Blackscholes::new(256)),
-        Box::new(LavaMd2::new(16, 2)),
-        Box::new(ParticleFilter::new(512, 32)),
-        Box::new(Somier::new(1024)),
-        Box::new(Swaptions::new(256)),
+        Arc::new(Axpy::new(1024)),
+        Arc::new(Blackscholes::new(256)),
+        Arc::new(LavaMd2::new(16, 2)),
+        Arc::new(ParticleFilter::new(512, 32)),
+        Arc::new(Somier::new(1024)),
+        Arc::new(Swaptions::new(256)),
     ]
 }
 
@@ -67,13 +73,17 @@ pub fn evaluated_systems() -> Vec<SystemConfig> {
     SystemConfig::all_evaluated()
 }
 
-/// Runs one workload across every evaluated configuration.
+/// The Figure 3 grid: every given workload on every evaluated configuration.
+/// Reports come back workload-major (chunk by [`evaluated_systems`] length).
 #[must_use]
-pub fn run_figure3_for(workload: &dyn Workload) -> Vec<RunReport> {
-    evaluated_systems()
-        .iter()
-        .map(|sys| run_workload(workload, sys))
-        .collect()
+pub fn figure3_sweep(workloads: Vec<SharedWorkload>) -> Sweep {
+    Sweep::grid(workloads, evaluated_systems())
+}
+
+/// Runs one workload across every evaluated configuration, in parallel.
+#[must_use]
+pub fn run_figure3_for(workload: SharedWorkload) -> Vec<RunReport> {
+    figure3_sweep(vec![workload]).run_parallel()
 }
 
 /// Formats the Figure 3 column-1 chart: vector memory instruction counts
@@ -186,7 +196,8 @@ fn config_map() -> BTreeMap<&'static str, VpuConfig> {
 /// Regenerates Table I: physical vector register file configurations.
 #[must_use]
 pub fn format_table1() -> String {
-    let mut out = String::from("Table I — physical vector register file configurations (8 KB P-VRF)\n");
+    let mut out =
+        String::from("Table I — physical vector register file configurations (8 KB P-VRF)\n");
     out.push_str("MVL (elems) :");
     for n in 1..=8 {
         out.push_str(&format!(" {:>5}", 16 * n));
@@ -225,10 +236,14 @@ pub fn format_table_configs() -> String {
 }
 
 /// Regenerates Figure 4: the area breakdown of every configuration and the
-/// average performance/mm² over the six applications.
+/// average performance/mm² over the six applications. The whole evaluation
+/// is a single declarative sweep: `workloads` × (the six area columns plus
+/// the remaining AVA configurations), run across all cores.
 #[must_use]
-pub fn format_figure4(workloads: &[Box<dyn Workload>]) -> String {
-    // Area side: one column per configuration of Figure 4.
+pub fn format_figure4(workloads: &[SharedWorkload]) -> String {
+    // Area side: one column per configuration of Figure 4. NATIVE X1 first
+    // (it doubles as the speedup baseline) and AVA X1 second (its area row
+    // represents every AVA configuration).
     let columns: Vec<SystemConfig> = vec![
         SystemConfig::native_x(1),
         SystemConfig::ava_x(1),
@@ -237,6 +252,14 @@ pub fn format_figure4(workloads: &[Box<dyn Workload>]) -> String {
         SystemConfig::native_x(4),
         SystemConfig::native_x(8),
     ];
+    // The right axis additionally needs AVA X2..X8 for the "best MVL per
+    // application" point, so the sweep's system axis is columns + those.
+    let mut systems = columns.clone();
+    systems.extend([2, 3, 4, 8].iter().map(|&n| SystemConfig::ava_x(n)));
+    let n_systems = systems.len();
+    let reports = Sweep::grid(workloads.to_vec(), systems).run_parallel();
+    let by_workload: Vec<&[RunReport]> = reports.chunks(n_systems).collect();
+
     let mut out = String::from("Figure 4 — area (mm², 22 nm) and performance/mm²\n");
     out.push_str(&format!(
         "{:<12} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7} {:>10}\n",
@@ -245,16 +268,12 @@ pub fn format_figure4(workloads: &[Box<dyn Workload>]) -> String {
 
     // Performance/mm²: average speedup of each configuration across the
     // workloads, normalised by VPU area (the paper's right axis).
-    let params = EnergyParams::default();
-    let _ = &params;
-    for sys in &columns {
+    for (col, sys) in columns.iter().enumerate() {
         let area = system_area(&sys.vpu);
-        let mut perf = Vec::new();
-        for w in workloads {
-            let baseline = run_workload(w.as_ref(), &SystemConfig::native_x(1));
-            let this = run_workload(w.as_ref(), sys);
-            perf.push(baseline.cycles as f64 / this.cycles as f64);
-        }
+        let perf: Vec<f64> = by_workload
+            .iter()
+            .map(|runs| runs[0].cycles as f64 / runs[col].cycles as f64)
+            .collect();
         let mean_speedup = geometric_mean(&perf);
         out.push_str(&format!(
             "{:<12} {:>9.3} {:>9.3} {:>9.4} {:>9.3} {:>7.2} {:>7.2} {:>7.2} {:>10.3}\n",
@@ -270,19 +289,19 @@ pub fn format_figure4(workloads: &[Box<dyn Workload>]) -> String {
         ));
     }
     // AVA reconfigures without changing area: the paper's right axis shows a
-    // single AVA point using the best configuration per application.
-    let ava_cfgs: Vec<SystemConfig> = [1, 2, 3, 4, 8].iter().map(|&n| SystemConfig::ava_x(n)).collect();
-    let ava_area = system_area(&ava_cfgs[0].vpu);
-    let mut best_speedups = Vec::new();
-    for w in workloads {
-        let baseline = run_workload(w.as_ref(), &SystemConfig::native_x(1));
-        let best = ava_cfgs
-            .iter()
-            .map(|sys| run_workload(w.as_ref(), sys).cycles)
-            .min()
-            .unwrap_or(baseline.cycles);
-        best_speedups.push(baseline.cycles as f64 / best as f64);
-    }
+    // single AVA point using the best configuration per application. The AVA
+    // runs are the systems at index 1 (AVA X1) and 6.. (AVA X2..X8).
+    let ava_area = system_area(&SystemConfig::ava_x(1).vpu);
+    let best_speedups: Vec<f64> = by_workload
+        .iter()
+        .map(|runs| {
+            let best = std::iter::once(runs[1].cycles)
+                .chain(runs[6..].iter().map(|r| r.cycles))
+                .min()
+                .unwrap_or(runs[0].cycles);
+            runs[0].cycles as f64 / best as f64
+        })
+        .collect();
     let ava_mean = geometric_mean(&best_speedups);
     out.push_str(&format!(
         "{:<12} {:>9.3} {:>9.3} {:>9.4} {:>9.3} {:>7.2} {:>7.2} {:>7.2} {:>10.3}\n",
@@ -307,7 +326,8 @@ pub fn format_table5() -> String {
         ("NATIVE X8", VpuConfig::native_x(8)),
         ("AVA", VpuConfig::ava_x(8)),
     ];
-    let mut out = String::from("Table V — post-place-and-route estimates (GF 22FDX class, 1 GHz target)\n");
+    let mut out =
+        String::from("Table V — post-place-and-route estimates (GF 22FDX class, 1 GHz target)\n");
     out.push_str(&format!(
         "{:<10} {:>9} {:>11} {:>11} {:>9} {:>12} {:>12}\n",
         "config", "WNS (ns)", "Power (mW)", "Area (mm2)", "Density", "VRF macros", "AVA structs"
@@ -358,9 +378,9 @@ mod tests {
 
     #[test]
     fn figure3_formatting_includes_every_configuration() {
-        let w = Axpy::new(256);
-        let systems = [SystemConfig::native_x(1), SystemConfig::ava_x(4)];
-        let reports: Vec<RunReport> = systems.iter().map(|s| run_workload(&w, s)).collect();
+        let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(256))];
+        let systems = vec![SystemConfig::native_x(1), SystemConfig::ava_x(4)];
+        let reports = Sweep::grid(workloads, systems).run_serial();
         for text in [
             format_memory_breakdown("axpy", &reports),
             format_instruction_mix("axpy", &reports),
@@ -380,7 +400,9 @@ mod tests {
             .map(|s| s.label().to_string())
             .collect();
         for l in Lmul::all() {
-            assert!(labels.iter().any(|s| s == &format!("RG-LMUL{}", l.factor())));
+            assert!(labels
+                .iter()
+                .any(|s| s == &format!("RG-LMUL{}", l.factor())));
         }
     }
 }

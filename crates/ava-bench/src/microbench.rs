@@ -1,0 +1,57 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The container this workspace builds in has no access to crates.io, so the
+//! benches under `benches/` cannot use Criterion. This module provides the
+//! small subset the benches need: warm-up, a fixed measurement window, and a
+//! per-iteration report on stdout. Every bench target sets `harness = false`
+//! and drives this directly from `fn main`.
+
+use std::time::{Duration, Instant};
+
+/// Default measurement window per benchmark.
+pub const MEASUREMENT: Duration = Duration::from_millis(500);
+
+/// Default warm-up window per benchmark.
+pub const WARM_UP: Duration = Duration::from_millis(100);
+
+/// Runs `f` repeatedly for [`WARM_UP`] + [`MEASUREMENT`] and prints the mean
+/// wall-clock time per iteration. The closure's result is passed through
+/// [`std::hint::black_box`] so the compiler cannot elide the work.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    let warm_end = Instant::now() + WARM_UP;
+    while Instant::now() < warm_end {
+        std::hint::black_box(f());
+    }
+
+    let mut iters = 0u64;
+    let start = Instant::now();
+    let end = start + MEASUREMENT;
+    while Instant::now() < end {
+        std::hint::black_box(f());
+        iters += 1;
+    }
+    let elapsed = start.elapsed();
+    let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<40} {:>12.0} ns/iter ({iters} iters)", per_iter);
+}
+
+/// Prints the standard header for a bench binary.
+pub fn header(suite: &str) {
+    println!("bench suite: {suite}");
+    println!("{:<40} {:>20}", "name", "mean");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_the_closure_and_reports() {
+        let mut calls = 0u64;
+        bench("test/no-op", || {
+            calls += 1;
+            calls
+        });
+        assert!(calls > 0, "the closure must actually run");
+    }
+}

@@ -196,7 +196,10 @@ impl KernelBuilder {
 
     /// Broadcasts a scalar value to a fresh vector register.
     pub fn vsplat(&mut self, value: f64) -> VirtReg {
-        self.emit_value(Opcode::VMvSplat, vec![IrOperand::Scalar(Element::from_f64(value))])
+        self.emit_value(
+            Opcode::VMvSplat,
+            vec![IrOperand::Scalar(Element::from_f64(value))],
+        )
     }
 
     /// Vector copy.
@@ -210,7 +213,12 @@ impl KernelBuilder {
     }
 
     /// Select `mask ? on_true : on_false`.
-    pub fn vmerge(&mut self, on_true: impl Into<IrOperand>, on_false: impl Into<IrOperand>, mask: VirtReg) -> VirtReg {
+    pub fn vmerge(
+        &mut self,
+        on_true: impl Into<IrOperand>,
+        on_false: impl Into<IrOperand>,
+        mask: VirtReg,
+    ) -> VirtReg {
         self.emit_value(
             Opcode::VMerge,
             vec![on_true.into(), on_false.into(), IrOperand::Reg(mask)],
@@ -280,7 +288,12 @@ impl KernelBuilder {
     }
 
     /// Fused multiply-add producing a *new* value: `a * b + c`.
-    pub fn vfmadd(&mut self, a: impl Into<IrOperand>, b: impl Into<IrOperand>, c: impl Into<IrOperand>) -> VirtReg {
+    pub fn vfmadd(
+        &mut self,
+        a: impl Into<IrOperand>,
+        b: impl Into<IrOperand>,
+        c: impl Into<IrOperand>,
+    ) -> VirtReg {
         self.emit_value(Opcode::VFMacc, vec![a.into(), b.into(), c.into()])
     }
 
@@ -291,7 +304,12 @@ impl KernelBuilder {
     }
 
     /// Fused multiply-subtract: `a * b - c`.
-    pub fn vfmsub(&mut self, a: impl Into<IrOperand>, b: impl Into<IrOperand>, c: impl Into<IrOperand>) -> VirtReg {
+    pub fn vfmsub(
+        &mut self,
+        a: impl Into<IrOperand>,
+        b: impl Into<IrOperand>,
+        c: impl Into<IrOperand>,
+    ) -> VirtReg {
         self.emit_value(Opcode::VFMsac, vec![a.into(), b.into(), c.into()])
     }
 

@@ -7,14 +7,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use ava_isa::{Element, InstrKind, Opcode};
 
 /// A virtual vector register: an SSA-like value name with no architectural
 /// constraint. The register allocator maps virtual registers to
 /// architectural registers (and to spill slots when pressure is too high).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VirtReg(pub u32);
 
 impl VirtReg {
@@ -32,7 +30,7 @@ impl fmt::Display for VirtReg {
 }
 
 /// A source operand in the IR.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum IrOperand {
     /// A virtual vector register.
     Reg(VirtReg),
@@ -65,7 +63,7 @@ impl From<f64> for IrOperand {
 
 /// Memory-access descriptor in the IR (addresses are concrete simulated
 /// addresses because kernels are generated as dynamic traces).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IrMemAccess {
     /// Base byte address of element 0.
     pub base: u64,
@@ -76,7 +74,7 @@ pub struct IrMemAccess {
 }
 
 /// One IR instruction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IrInstr {
     /// The vector operation.
     pub opcode: Opcode,
@@ -124,7 +122,7 @@ impl fmt::Display for IrInstr {
 
 /// A straight-line kernel trace in IR form, produced by
 /// [`crate::KernelBuilder`] and consumed by the register allocator.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct IrKernel {
     /// Human-readable kernel name.
     pub name: String,

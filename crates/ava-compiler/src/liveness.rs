@@ -7,12 +7,10 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ir::{IrKernel, VirtReg};
 
 /// The live interval of one virtual register, in instruction indices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LiveInterval {
     /// Instruction index that defines the value.
     pub def: usize,
@@ -34,6 +32,13 @@ impl LiveInterval {
         self.last_use - self.def
     }
 
+    /// True if the interval spans no instructions (defined and last used at
+    /// the same point).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// True if the value is never read.
     #[must_use]
     pub fn is_dead(&self) -> bool {
@@ -42,7 +47,7 @@ impl LiveInterval {
 }
 
 /// Result of liveness analysis over an [`IrKernel`].
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Liveness {
     intervals: HashMap<VirtReg, LiveInterval>,
     /// For every (instruction, register) use, the index of the next use of
@@ -161,7 +166,11 @@ mod tests {
         }
         b.vstore(acc, 0x1000);
         let l = Liveness::analyse(&b.finish());
-        assert_eq!(l.max_pressure(), 13, "12 loads plus the first accumulator are simultaneously live");
+        assert_eq!(
+            l.max_pressure(),
+            13,
+            "12 loads plus the first accumulator are simultaneously live"
+        );
     }
 
     #[test]
@@ -204,7 +213,10 @@ mod tests {
 
     #[test]
     fn live_at_is_exclusive_of_def() {
-        let iv = LiveInterval { def: 3, last_use: 7 };
+        let iv = LiveInterval {
+            def: 3,
+            last_use: 7,
+        };
         assert!(!iv.live_at(3));
         assert!(iv.live_at(4));
         assert!(iv.live_at(7));

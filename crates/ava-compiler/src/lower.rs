@@ -7,15 +7,13 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use ava_isa::{InstrRole, Lmul, MemAccess, Operand, Program, VReg, VecInstr, VlMode};
 
 use crate::ir::{IrInstr, IrKernel, IrOperand, VirtReg};
 use crate::regalloc::{AllocatedKernel, Allocation, RegAllocator};
 
 /// Options controlling compilation of an IR kernel to a program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompileOptions {
     /// Register grouping factor; determines the architectural register
     /// budget (`32 / LMUL`) and the register-name spacing.
@@ -40,7 +38,7 @@ impl CompileOptions {
 }
 
 /// A compiled kernel: the executable program plus code-generation statistics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CompiledKernel {
     /// The lowered program, ready for the simulator.
     pub program: Program,
@@ -74,7 +72,11 @@ fn slot_to_vreg(slot: usize, lmul: Lmul) -> VReg {
 
 /// Lowers an allocated kernel to a program.
 #[must_use]
-pub fn lower(kernel: &IrKernel, allocated: &AllocatedKernel, options: &CompileOptions) -> CompiledKernel {
+pub fn lower(
+    kernel: &IrKernel,
+    allocated: &AllocatedKernel,
+    options: &CompileOptions,
+) -> CompiledKernel {
     let mut program = Program::new(kernel.name.clone());
     for alloc in &allocated.allocations {
         match alloc {
@@ -173,7 +175,10 @@ mod tests {
 
     #[test]
     fn lmul1_uses_contiguous_register_names() {
-        let out = compile(&wide_kernel(6), &CompileOptions::new(Lmul::M1, 0x40_0000, 1024));
+        let out = compile(
+            &wide_kernel(6),
+            &CompileOptions::new(Lmul::M1, 0x40_0000, 1024),
+        );
         let regs = out.program.used_registers();
         assert!(regs.iter().all(|r| r.index() < 8));
         assert_eq!(out.spill_stores, 0);
@@ -181,15 +186,25 @@ mod tests {
 
     #[test]
     fn lmul8_uses_group_base_names_only() {
-        let out = compile(&wide_kernel(3), &CompileOptions::new(Lmul::M8, 0x40_0000, 8192));
+        let out = compile(
+            &wide_kernel(3),
+            &CompileOptions::new(Lmul::M8, 0x40_0000, 8192),
+        );
         for r in out.program.used_registers() {
-            assert_eq!(r.index() % 8, 0, "register {r} is not a group base under LMUL=8");
+            assert_eq!(
+                r.index() % 8,
+                0,
+                "register {r} is not a group base under LMUL=8"
+            );
         }
     }
 
     #[test]
     fn spill_code_is_tagged_and_full_mvl() {
-        let out = compile(&wide_kernel(20), &CompileOptions::new(Lmul::M8, 0x40_0000, 8192));
+        let out = compile(
+            &wide_kernel(20),
+            &CompileOptions::new(Lmul::M8, 0x40_0000, 8192),
+        );
         assert!(out.spill_stores > 0);
         let stats = out.program.stats();
         assert_eq!(stats.spill_stores, out.spill_stores);
@@ -211,7 +226,13 @@ mod tests {
         let ops: Vec<Opcode> = out.program.iter().map(|i| i.opcode).collect();
         assert_eq!(
             ops,
-            vec![Opcode::SetVl, Opcode::VLoad, Opcode::VLoad, Opcode::VFMacc, Opcode::VStore]
+            vec![
+                Opcode::SetVl,
+                Opcode::VLoad,
+                Opcode::VLoad,
+                Opcode::VFMacc,
+                Opcode::VStore
+            ]
         );
         // The store must read the same register the FMA wrote.
         let fma_dst = out.program.instructions()[3].dst.unwrap();
@@ -235,7 +256,10 @@ mod tests {
     #[test]
     fn register_budget_is_respected_for_every_lmul() {
         for lmul in Lmul::all() {
-            let out = compile(&wide_kernel(28), &CompileOptions::new(lmul, 0x40_0000, 8192));
+            let out = compile(
+                &wide_kernel(28),
+                &CompileOptions::new(lmul, 0x40_0000, 8192),
+            );
             assert!(
                 out.registers_used <= lmul.architectural_registers(),
                 "{lmul}: used {}",
@@ -251,9 +275,7 @@ mod tests {
     #[test]
     fn higher_lmul_produces_at_least_as_much_spill() {
         let k = wide_kernel(24);
-        let spills = |l: Lmul| {
-            compile(&k, &CompileOptions::new(l, 0x40_0000, 8192)).spill_loads
-        };
+        let spills = |l: Lmul| compile(&k, &CompileOptions::new(l, 0x40_0000, 8192)).spill_loads;
         assert!(spills(Lmul::M8) >= spills(Lmul::M4));
         assert!(spills(Lmul::M4) >= spills(Lmul::M2));
         assert!(spills(Lmul::M2) >= spills(Lmul::M1));
@@ -262,7 +284,10 @@ mod tests {
 
     #[test]
     fn max_pressure_is_reported() {
-        let out = compile(&wide_kernel(12), &CompileOptions::new(Lmul::M1, 0x40_0000, 1024));
+        let out = compile(
+            &wide_kernel(12),
+            &CompileOptions::new(Lmul::M1, 0x40_0000, 1024),
+        );
         assert_eq!(out.max_pressure, 13);
     }
 }

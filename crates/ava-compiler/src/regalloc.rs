@@ -14,15 +14,13 @@
 
 use std::collections::{HashMap, HashSet};
 
-use serde::{Deserialize, Serialize};
-
 use ava_isa::InstrKind;
 
 use crate::ir::{IrKernel, VirtReg};
 use crate::liveness::Liveness;
 
 /// One element of the allocated instruction stream.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Allocation {
     /// An original kernel instruction, with its operands assigned to slots.
     Op {
@@ -51,7 +49,7 @@ pub enum Allocation {
 }
 
 /// The result of register allocation.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct AllocatedKernel {
     /// Allocated instruction stream (original ops interleaved with spills).
     pub allocations: Vec<Allocation>,
@@ -98,8 +96,14 @@ impl RegAllocator {
     /// exactly 4 architectural registers, the minimum workable budget).
     #[must_use]
     pub fn new(slots: usize, spill_base: u64, spill_slot_bytes: u64) -> Self {
-        assert!(slots >= 4, "at least 4 architectural registers are required, got {slots}");
-        assert!(spill_slot_bytes >= 8, "spill slots must hold at least one element");
+        assert!(
+            slots >= 4,
+            "at least 4 architectural registers are required, got {slots}"
+        );
+        assert!(
+            spill_slot_bytes >= 8,
+            "spill slots must hold at least one element"
+        );
         Self {
             slots,
             spill_base,
@@ -298,15 +302,21 @@ mod tests {
         let k = wide_kernel(12);
         let a = RegAllocator::new(8, 0x20_0000, 1024).allocate(&k);
         assert!(a.spill_stores > 0);
-        assert!(a.spill_loads >= a.spill_stores, "every stored value is reloaded");
+        assert!(
+            a.spill_loads >= a.spill_stores,
+            "every stored value is reloaded"
+        );
         assert!(a.slots_used <= 8);
     }
 
     #[test]
     fn smaller_budget_spills_more() {
         let k = wide_kernel(16);
-        let spills =
-            |slots: usize| RegAllocator::new(slots, 0x20_0000, 1024).allocate(&k).spill_loads;
+        let spills = |slots: usize| {
+            RegAllocator::new(slots, 0x20_0000, 1024)
+                .allocate(&k)
+                .spill_loads
+        };
         assert!(spills(4) > spills(8));
         assert_eq!(spills(32), 0);
     }

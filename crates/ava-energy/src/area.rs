@@ -6,8 +6,6 @@
 //! the analytical [`crate::SramMacro`] model so they scale correctly with
 //! the configuration.
 
-use serde::{Deserialize, Serialize};
-
 use ava_vpu::{RenameMode, VpuConfig};
 
 use crate::sram::SramMacro;
@@ -26,7 +24,7 @@ const L1I_MM2: f64 = 0.14;
 const L1D_MM2: f64 = 0.29;
 
 /// Area breakdown of one VPU instance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VpuArea {
     /// Vector register file area (mm²).
     pub vrf: f64,
@@ -45,7 +43,7 @@ impl VpuArea {
 }
 
 /// Area breakdown of the full system (Figure 4 bars).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemArea {
     /// The VPU breakdown.
     pub vpu: VpuArea,
@@ -125,7 +123,10 @@ mod tests {
     fn ava_area_is_independent_of_the_configured_mvl() {
         let x1 = vpu_area(&VpuConfig::ava_x(1)).total();
         let x8 = vpu_area(&VpuConfig::ava_x(8)).total();
-        assert!((x1 - x8).abs() < 1e-12, "reconfiguration must not change area");
+        assert!(
+            (x1 - x8).abs() < 1e-12,
+            "reconfiguration must not change area"
+        );
     }
 
     #[test]

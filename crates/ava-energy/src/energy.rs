@@ -9,8 +9,6 @@
 //! of each structure's leakage power (from the SRAM model / calibrated
 //! constants) and the execution time.
 
-use serde::{Deserialize, Serialize};
-
 use ava_sim::RunReport;
 use ava_vpu::{RenameMode, VpuConfig};
 
@@ -21,7 +19,7 @@ use crate::sram::SramMacro;
 /// the *ratios* the paper highlights hold: VRF leakage scales with VRF size,
 /// L2 leakage dominates memory-bound kernels, spill/swap traffic shows up as
 /// extra dynamic energy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyParams {
     /// Dynamic energy per L2 line (64 B) access, picojoules.
     pub l2_pj_per_access: f64,
@@ -52,7 +50,7 @@ impl Default for EnergyParams {
 }
 
 /// Energy breakdown in millijoules, matching the stacked bars of Figure 3.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// L2 (plus DRAM) dynamic energy.
     pub l2_dynamic: f64,
@@ -83,7 +81,11 @@ impl EnergyBreakdown {
 
 /// Computes the energy breakdown of one simulated run.
 #[must_use]
-pub fn energy_breakdown(report: &RunReport, config: &VpuConfig, params: &EnergyParams) -> EnergyBreakdown {
+pub fn energy_breakdown(
+    report: &RunReport,
+    config: &VpuConfig,
+    params: &EnergyParams,
+) -> EnergyBreakdown {
     let seconds = report.cycles as f64 / 1.0e9;
     let pj_to_mj = 1.0e-9;
 
@@ -176,7 +178,12 @@ mod tests {
         let p = EnergyParams::default();
         let r = run_workload(&w, &SystemConfig::ava_x(2));
         let e = energy_breakdown(&r, &SystemConfig::ava_x(2).vpu, &p);
-        let sum = e.l2_dynamic + e.l2_leakage + e.vrf_dynamic + e.vrf_leakage + e.fpu_dynamic + e.fpu_leakage;
+        let sum = e.l2_dynamic
+            + e.l2_leakage
+            + e.vrf_dynamic
+            + e.vrf_leakage
+            + e.fpu_dynamic
+            + e.fpu_leakage;
         assert!(e.total() > 0.0);
         assert!((e.total() - sum).abs() < 1e-12);
     }

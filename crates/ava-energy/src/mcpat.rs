@@ -1,7 +1,5 @@
 //! Combined McPAT-style evaluation: area, energy and performance/mm².
 
-use serde::{Deserialize, Serialize};
-
 use ava_sim::RunReport;
 use ava_vpu::VpuConfig;
 
@@ -9,7 +7,7 @@ use crate::area::{system_area, SystemArea};
 use crate::energy::{energy_breakdown, EnergyBreakdown, EnergyParams};
 
 /// The physical evaluation of one simulated run on one configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct McpatResult {
     /// Full-system area breakdown (Figure 4, left axis).
     pub area: SystemArea,

@@ -19,8 +19,6 @@
 //! The slope/intercept constants are calibrated against the two rows of
 //! Table V so the model interpolates sensibly for the other configurations.
 
-use serde::{Deserialize, Serialize};
-
 use ava_vpu::{RenameMode, VpuConfig};
 
 use crate::sram::SramMacro;
@@ -47,7 +45,7 @@ const VRF_POWER_EXPONENT: f64 = 0.36;
 const AVA_POWER_MW: f64 = 5.266;
 
 /// Post-PnR estimate for one VPU configuration (one row of Table V).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PnrResult {
     /// Worst negative slack at the 1 GHz target, nanoseconds (positive =
     /// timing met).
@@ -115,7 +113,10 @@ mod tests {
         assert!(!native8.meets_timing(), "NATIVE X8 wns {}", native8.wns_ns);
         // Roughly half the chip area (paper: 50.7 % reduction).
         let reduction = 1.0 - ava.area_mm2 / native8.area_mm2;
-        assert!((0.35..0.65).contains(&reduction), "area reduction {reduction:.2}");
+        assert!(
+            (0.35..0.65).contains(&reduction),
+            "area reduction {reduction:.2}"
+        );
         // Lower power.
         assert!(ava.power_mw < native8.power_mw);
     }
@@ -124,10 +125,26 @@ mod tests {
     fn absolute_numbers_are_near_the_reported_rows() {
         let ava = pnr_estimate(&VpuConfig::ava_x(8));
         let native8 = pnr_estimate(&VpuConfig::native_x(8));
-        assert!((ava.area_mm2 - 1.98).abs() < 0.45, "AVA area {}", ava.area_mm2);
-        assert!((native8.area_mm2 - 3.90).abs() < 0.9, "NATIVE X8 area {}", native8.area_mm2);
-        assert!((ava.power_mw - 1732.0).abs() < 350.0, "AVA power {}", ava.power_mw);
-        assert!((native8.power_mw - 2290.0).abs() < 450.0, "NATIVE power {}", native8.power_mw);
+        assert!(
+            (ava.area_mm2 - 1.98).abs() < 0.45,
+            "AVA area {}",
+            ava.area_mm2
+        );
+        assert!(
+            (native8.area_mm2 - 3.90).abs() < 0.9,
+            "NATIVE X8 area {}",
+            native8.area_mm2
+        );
+        assert!(
+            (ava.power_mw - 1732.0).abs() < 350.0,
+            "AVA power {}",
+            ava.power_mw
+        );
+        assert!(
+            (native8.power_mw - 2290.0).abs() < 450.0,
+            "NATIVE power {}",
+            native8.power_mw
+        );
         assert!((ava.vrf_macro_power_mw - 184.0).abs() < 40.0);
         assert!((native8.vrf_macro_power_mw - 388.0).abs() < 80.0);
     }

@@ -12,8 +12,6 @@
 //! (The L1 caches use the paper-reported constants directly in
 //! `crate::area`, since their tag/control overhead is not SRAM-dominated.)
 
-use serde::{Deserialize, Serialize};
-
 /// Area of one KB of 2-port SRAM at 22 nm, in mm² (calibrated to the
 /// paper's 1 MB L2 = 2.46 mm²).
 const MM2_PER_KB_2PORT: f64 = 0.002_4;
@@ -34,7 +32,7 @@ const LEAKAGE_MW_PER_MM2: f64 = 18.0;
 /// let vrf = SramMacro::new(8 * 1024, 4, 2);
 /// assert!((vrf.area_mm2() - 0.18).abs() < 0.04);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SramMacro {
     bytes: usize,
     read_ports: usize,
@@ -50,7 +48,10 @@ impl SramMacro {
     #[must_use]
     pub fn new(bytes: usize, read_ports: usize, write_ports: usize) -> Self {
         assert!(bytes > 0, "capacity must be non-zero");
-        assert!(read_ports + write_ports >= 1, "at least one port is required");
+        assert!(
+            read_ports + write_ports >= 1,
+            "at least one port is required"
+        );
         Self {
             bytes,
             read_ports,
@@ -114,7 +115,10 @@ mod tests {
     fn area_scales_superlinearly_with_ports() {
         let two = SramMacro::new(8 * 1024, 1, 1).area_mm2();
         let six = SramMacro::new(8 * 1024, 4, 2).area_mm2();
-        assert!(six > 5.0 * two, "6 ports should cost far more than 3x the 2-port area");
+        assert!(
+            six > 5.0 * two,
+            "6 ports should cost far more than 3x the 2-port area"
+        );
     }
 
     #[test]

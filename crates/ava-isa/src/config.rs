@@ -7,8 +7,6 @@
 //! (Table I of the paper), whereas the RG baseline reaches longer effective
 //! vectors by raising LMUL at the cost of architectural registers.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of architectural (logical) vector registers defined by the ISA.
 pub const NUM_LOGICAL_VREGS: usize = 32;
 
@@ -25,9 +23,10 @@ pub const MAX_MVL_ELEMS: usize = 128;
 /// Grouping multiplies the effective register width by the factor while
 /// dividing the number of *architectural* registers available to the
 /// compiler by the same factor (32, 16, 8, 4 registers).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Lmul {
     /// No grouping: 32 architectural registers.
+    #[default]
     M1,
     /// Pairs of registers: 16 architectural registers.
     M2,
@@ -75,12 +74,6 @@ impl Lmul {
     }
 }
 
-impl Default for Lmul {
-    fn default() -> Self {
-        Lmul::M1
-    }
-}
-
 impl std::fmt::Display for Lmul {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "LMUL{}", self.factor())
@@ -98,7 +91,7 @@ impl std::fmt::Display for Lmul {
 /// ctx.set_lmul(Lmul::M4);
 /// assert_eq!(ctx.effective_mvl(), 256); // grouping widens the register
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VectorContext {
     mvl: usize,
     vl: usize,
@@ -116,7 +109,7 @@ impl VectorContext {
     #[must_use]
     pub fn with_mvl(mvl: usize) -> Self {
         assert!(
-            (MIN_MVL_ELEMS..=MAX_MVL_ELEMS).contains(&mvl) && mvl % MIN_MVL_ELEMS == 0,
+            (MIN_MVL_ELEMS..=MAX_MVL_ELEMS).contains(&mvl) && mvl.is_multiple_of(MIN_MVL_ELEMS),
             "MVL must be a multiple of 16 in 16..=128, got {mvl}"
         );
         Self {

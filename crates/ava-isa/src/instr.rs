@@ -8,15 +8,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::opcode::{InstrKind, Opcode};
 use crate::reg::VReg;
 use crate::value::Element;
 
 /// A source operand: either a logical vector register or a scalar value
 /// broadcast to every element (the `.vf` / `.vx` instruction forms).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Operand {
     /// A logical vector register.
     Reg(VReg),
@@ -63,7 +61,7 @@ impl fmt::Display for Operand {
 }
 
 /// Address descriptor for vector memory operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemAccess {
     /// Base byte address of element 0.
     pub base: u64,
@@ -107,7 +105,7 @@ impl MemAccess {
 }
 
 /// Which vector length a dynamic instruction executes with.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum VlMode {
     /// Use the vector length currently configured by the last `vsetvl`.
     #[default]
@@ -123,7 +121,7 @@ pub enum VlMode {
 /// ordinary vector memory operations from compiler-generated spill code (the
 /// swap operations generated inside the AVA pipeline are counted separately
 /// by the VPU itself).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum InstrRole {
     /// Ordinary application instruction.
     #[default]
@@ -146,7 +144,7 @@ pub enum InstrRole {
 /// assert_eq!(i.dst, Some(VReg::new(6)));
 /// assert_eq!(i.source_regs().count(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VecInstr {
     /// The operation.
     pub opcode: Opcode,
@@ -239,7 +237,12 @@ impl VecInstr {
 
     /// Generic two-source arithmetic instruction `dst = src0 op src1`.
     #[must_use]
-    pub fn binary(opcode: Opcode, dst: VReg, src0: impl Into<Operand>, src1: impl Into<Operand>) -> Self {
+    pub fn binary(
+        opcode: Opcode,
+        dst: VReg,
+        src0: impl Into<Operand>,
+        src1: impl Into<Operand>,
+    ) -> Self {
         Self::base(opcode, Some(dst), vec![src0.into(), src1.into()])
     }
 
@@ -277,7 +280,12 @@ impl VecInstr {
 
     /// Merge/select: `dst[i] = mask[i] ? on_true[i] : on_false[i]`.
     #[must_use]
-    pub fn vmerge(dst: VReg, on_true: impl Into<Operand>, on_false: impl Into<Operand>, mask: VReg) -> Self {
+    pub fn vmerge(
+        dst: VReg,
+        on_true: impl Into<Operand>,
+        on_false: impl Into<Operand>,
+        mask: VReg,
+    ) -> Self {
         Self::base(
             Opcode::VMerge,
             Some(dst),
@@ -288,7 +296,11 @@ impl VecInstr {
     /// Broadcast a scalar to every element of `dst`.
     #[must_use]
     pub fn vsplat(dst: VReg, value: f64) -> Self {
-        Self::base(Opcode::VMvSplat, Some(dst), vec![Operand::scalar_f64(value)])
+        Self::base(
+            Opcode::VMvSplat,
+            Some(dst),
+            vec![Operand::scalar_f64(value)],
+        )
     }
 
     /// Vector-register copy.
@@ -448,7 +460,12 @@ mod tests {
 
     #[test]
     fn scalar_operands_are_not_register_sources() {
-        let i = VecInstr::binary(Opcode::VFMul, VReg::new(1), Operand::scalar_f64(3.0), VReg::new(2));
+        let i = VecInstr::binary(
+            Opcode::VFMul,
+            VReg::new(1),
+            Operand::scalar_f64(3.0),
+            VReg::new(2),
+        );
         assert_eq!(i.source_regs().collect::<Vec<_>>(), vec![VReg::new(2)]);
     }
 }

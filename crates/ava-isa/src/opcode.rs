@@ -1,10 +1,8 @@
 //! Vector opcodes, their functional-unit classes and queue assignment.
 
-use serde::{Deserialize, Serialize};
-
 /// The broad class of a vector instruction, used by the two-stage issue unit
 /// to select between the arithmetic and memory queues.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InstrKind {
     /// Operates on register operands only; issued through the arithmetic queue.
     Arithmetic,
@@ -18,7 +16,7 @@ pub enum InstrKind {
 
 /// Functional-unit class; determines execution start-up latency and whether
 /// the operation pipelines one element per lane per cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExecClass {
     /// Register moves, splats, merges, slides.
     Move,
@@ -103,7 +101,7 @@ impl ExecClass {
 /// The set is a pragmatic subset of the RISC-V V extension (plus `exp`/`log`
 /// approximation ops used by the financial kernels), sufficient to express
 /// the six RiVEC workloads evaluated in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Opcode {
     // ------------------------------------------------------------- memory
     /// Unit-stride load from a base address.

@@ -1,15 +1,13 @@
 //! Vector programs: ordered dynamic instruction sequences plus static
 //! statistics about them.
 
-use serde::{Deserialize, Serialize};
-
 use crate::instr::{InstrRole, VecInstr};
 use crate::opcode::InstrKind;
 use crate::reg::VReg;
 
 /// Static statistics over a [`Program`], used both by tests and by the
 /// Figure 3 instruction-mix charts.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProgramStats {
     /// Vector arithmetic instructions (everything issued to the arithmetic queue).
     pub arithmetic: usize,
@@ -64,7 +62,7 @@ impl ProgramStats {
 /// assert_eq!(s.stores, 1);
 /// assert_eq!(s.config, 1);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Program {
     name: String,
     instrs: Vec<VecInstr>,
@@ -200,7 +198,12 @@ mod tests {
         p.push(VecInstr::setvl(16));
         p.push(VecInstr::vload(VReg::new(1), 0x0));
         p.push(VecInstr::vload(VReg::new(2), 0x100));
-        p.push(VecInstr::binary(Opcode::VFAdd, VReg::new(3), VReg::new(1), VReg::new(2)));
+        p.push(VecInstr::binary(
+            Opcode::VFAdd,
+            VReg::new(3),
+            VReg::new(1),
+            VReg::new(2),
+        ));
         p.push(VecInstr::vstore(VReg::new(3), 0x200));
         p.push(
             VecInstr::vstore(VReg::new(3), 0x8000)

@@ -7,8 +7,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::NUM_LOGICAL_VREGS;
 
 /// A logical (architectural) vector register, `v0` through `v31`.
@@ -22,7 +20,7 @@ use crate::config::NUM_LOGICAL_VREGS;
 /// assert_eq!(r.index(), 7);
 /// assert_eq!(r.to_string(), "v7");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VReg(u8);
 
 impl VReg {

@@ -5,12 +5,10 @@
 //! decide hit/miss latencies and to count dirty write-backs (which consume
 //! DRAM bandwidth in the hierarchy model).
 
-use serde::{Deserialize, Serialize};
-
 use crate::stats::CacheStats;
 
 /// Static configuration of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: usize,
@@ -52,7 +50,7 @@ impl CacheConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 struct Line {
     tag: u64,
     valid: bool,
@@ -78,7 +76,7 @@ pub struct AccessOutcome {
 /// assert!(!c.access(0x1000, false).hit); // cold miss
 /// assert!(c.access(0x1000, false).hit);  // now resident
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
     sets: Vec<Vec<Line>>,
@@ -97,7 +95,10 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
         assert!(sets >= 1, "cache must have at least one set");
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         Self {
             config,
             sets: vec![vec![Line::default(); config.ways]; sets],

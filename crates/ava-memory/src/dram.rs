@@ -7,10 +7,8 @@
 //! approximation: accesses that stay within the currently open row are
 //! cheaper than accesses that open a new row.
 
-use serde::{Deserialize, Serialize};
-
 /// DRAM timing configuration (in VPU cycles at 1 GHz).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramConfig {
     /// Latency of an access that hits the open row.
     pub row_hit_latency: u64,
@@ -44,7 +42,7 @@ impl Default for DramConfig {
 /// let second = d.access(64, 64);
 /// assert!(second <= first, "open-row access is not slower");
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dram {
     config: DramConfig,
     open_row: Option<u64>,
@@ -57,7 +55,10 @@ impl Dram {
     /// Creates a DRAM model with the given timing parameters.
     #[must_use]
     pub fn new(config: DramConfig) -> Self {
-        assert!(config.bytes_per_cycle > 0, "DRAM bandwidth must be non-zero");
+        assert!(
+            config.bytes_per_cycle > 0,
+            "DRAM bandwidth must be non-zero"
+        );
         Self {
             config,
             open_row: None,

@@ -10,8 +10,6 @@
 //! All *data* always lives in the functional [`MainMemory`]; caches and DRAM
 //! only produce timing and statistics.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cache::{Cache, CacheConfig};
 use crate::dram::{Dram, DramConfig};
 use crate::mem::MainMemory;
@@ -19,7 +17,7 @@ use crate::port::BusPort;
 use crate::stats::MemoryStats;
 
 /// Static configuration of the whole hierarchy (Table II defaults).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchyConfig {
     /// L1 data cache configuration (scalar side).
     pub l1d: CacheConfig,
@@ -43,7 +41,7 @@ impl Default for HierarchyConfig {
 }
 
 /// Timing outcome of one vector memory request.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AccessTiming {
     /// Cycles from issue until the request fully completes.
     pub total_cycles: u64,
@@ -60,7 +58,7 @@ pub struct AccessTiming {
 /// The composed functional + timing memory system.
 ///
 /// See the crate-level documentation for an example.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MemoryHierarchy {
     config: HierarchyConfig,
     memory: MainMemory,
@@ -160,7 +158,11 @@ impl MemoryHierarchy {
     /// Timing of a vector memory request covering the explicit set of
     /// element addresses `element_addrs` (8 bytes per element). Used for
     /// strided and indexed accesses where elements may touch scattered lines.
-    pub fn vector_access_elements(&mut self, element_addrs: &[u64], is_write: bool) -> AccessTiming {
+    pub fn vector_access_elements(
+        &mut self,
+        element_addrs: &[u64],
+        is_write: bool,
+    ) -> AccessTiming {
         let line = self.config.l2.line_bytes as u64;
         let mut lines: Vec<u64> = element_addrs.iter().map(|a| a / line).collect();
         lines.sort_unstable();
@@ -205,8 +207,11 @@ impl MemoryHierarchy {
         } else {
             0
         };
-        // The 512-bit VMU port is occupied for one cycle per line moved.
-        let occupancy = lines.len() as u64;
+        // The VMU port moves whole lines and is occupied for however many
+        // cycles the configured bus width needs for them (one cycle per
+        // 64 B line on the paper's 512-bit interface).
+        let moved_bytes = lines.len() as u64 * line_bytes;
+        let occupancy = self.vmu_port.occupancy_cycles_for(moved_bytes);
         let total = self.l2.hit_latency() + dram_cycles + occupancy;
 
         self.stats.vmu_bytes += bytes;

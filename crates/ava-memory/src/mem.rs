@@ -2,8 +2,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 /// Size of an internal storage page in bytes. Pages are allocated lazily so
 /// the simulated address space can be large and sparse.
 const PAGE_SIZE: usize = 4096;
@@ -28,7 +26,7 @@ const ALLOC_BASE: u64 = 0x1_0000;
 /// assert_eq!(m.read_u64(a), 0xdead_beef);
 /// assert_eq!(m.read_u64(a + 8), 0);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct MainMemory {
     pages: HashMap<u64, Vec<u8>>,
     next_alloc: u64,

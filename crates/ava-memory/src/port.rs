@@ -5,8 +5,6 @@
 //! each transfer occupies the port for `ceil(bytes / width)` cycles, and a
 //! request that arrives while the port is busy waits for it to drain.
 
-use serde::{Deserialize, Serialize};
-
 /// A simple occupancy tracker for a fixed-width bus.
 ///
 /// ```
@@ -18,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// // A transfer requested earlier than the port frees must wait.
 /// assert_eq!(port.request(11, 64), 13);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BusPort {
     width_bytes: u64,
     busy_until: u64,
@@ -49,11 +47,17 @@ impl BusPort {
         self.width_bytes
     }
 
+    /// Cycles a transfer of `bytes` occupies the port (at least one).
+    #[must_use]
+    pub fn occupancy_cycles_for(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.width_bytes).max(1)
+    }
+
     /// Requests a transfer of `bytes` at time `now`; returns the cycle at
     /// which the transfer completes (start waits for any earlier transfer).
     pub fn request(&mut self, now: u64, bytes: u64) -> u64 {
         let start = now.max(self.busy_until);
-        let occupancy = bytes.div_ceil(self.width_bytes).max(1);
+        let occupancy = self.occupancy_cycles_for(bytes);
         self.busy_until = start + occupancy;
         self.total_bytes += bytes;
         self.busy_cycles += occupancy;

@@ -1,9 +1,7 @@
 //! Statistics counters for the memory system.
 
-use serde::{Deserialize, Serialize};
-
 /// Hit/miss counters for one cache level.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Read accesses that hit.
     pub read_hits: u64,
@@ -49,7 +47,7 @@ impl CacheStats {
 
 /// Aggregate statistics for the whole hierarchy, used by the energy model
 /// (every L2 access and DRAM transfer costs dynamic energy).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemoryStats {
     /// L1 data cache counters (scalar-side accesses).
     pub l1d: CacheStats,

@@ -8,10 +8,8 @@
 //! model computes it explicitly so the full-system simulator can take the
 //! maximum of the two and so low-DLP configurations show the scalar floor.
 
-use serde::{Deserialize, Serialize};
-
 /// Static configuration of the scalar core.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScalarConfig {
     /// Instructions issued per scalar cycle (2 = dual issue).
     pub issue_width: u32,
@@ -39,7 +37,7 @@ impl Default for ScalarConfig {
 }
 
 /// The scalar-side cost of running a vectorised kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScalarCost {
     /// Scalar instructions executed.
     pub instructions: u64,
@@ -58,7 +56,7 @@ pub struct ScalarCost {
 /// let cost = core.loop_cost(100, 500);
 /// assert!(cost.vpu_cycles < cost.scalar_cycles, "2 GHz core, 1 GHz VPU");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScalarCore {
     config: ScalarConfig,
 }
@@ -72,7 +70,10 @@ impl ScalarCore {
     #[must_use]
     pub fn new(config: ScalarConfig) -> Self {
         assert!(config.issue_width >= 1, "issue width must be at least 1");
-        assert!(config.clock_ghz > 0.0 && config.vpu_clock_ghz > 0.0, "clocks must be positive");
+        assert!(
+            config.clock_ghz > 0.0 && config.vpu_clock_ghz > 0.0,
+            "clocks must be positive"
+        );
         Self { config }
     }
 
@@ -129,7 +130,10 @@ mod tests {
     fn clock_ratio_converts_to_vpu_cycles() {
         let core = ScalarCore::default();
         let cost = core.loop_cost(10, 40);
-        assert_eq!(cost.vpu_cycles, 25, "2 GHz scalar cycles halve in the 1 GHz domain");
+        assert_eq!(
+            cost.vpu_cycles, 25,
+            "2 GHz scalar cycles halve in the 1 GHz domain"
+        );
     }
 
     #[test]

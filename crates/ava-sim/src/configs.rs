@@ -1,14 +1,12 @@
 //! The system configurations evaluated in the paper (Tables II and III).
 
-use serde::{Deserialize, Serialize};
-
 use ava_isa::Lmul;
 use ava_memory::HierarchyConfig;
 use ava_scalar::ScalarConfig;
 use ava_vpu::VpuConfig;
 
 /// Which of the three register-file organisations a system uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SystemKind {
     /// NATIVE Xn: hardware built natively for `MVL = 16n`, VRF of `8n` KB.
     Native(usize),
@@ -20,7 +18,7 @@ pub enum SystemKind {
 
 /// A complete system: scalar core + VPU + memory hierarchy + the compiler
 /// configuration used to build binaries for it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Organisation and scale factor.
     pub kind: SystemKind,
@@ -120,7 +118,10 @@ mod tests {
     fn equivalences_of_table_iii_hold() {
         // AVA Xn and NATIVE Xn expose the same MVL; RG-LMULn matches NATIVE Xn.
         for n in [1usize, 2, 4, 8] {
-            assert_eq!(SystemConfig::native_x(n).mvl(), SystemConfig::ava_x(n).mvl());
+            assert_eq!(
+                SystemConfig::native_x(n).mvl(),
+                SystemConfig::ava_x(n).mvl()
+            );
         }
         assert_eq!(
             SystemConfig::rg_lmul(Lmul::M8).mvl(),

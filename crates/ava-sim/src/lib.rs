@@ -24,7 +24,9 @@
 pub mod configs;
 pub mod report;
 pub mod run;
+pub mod sweep;
 
 pub use configs::{SystemConfig, SystemKind};
 pub use report::{format_runs_table, geometric_mean, speedup_vs};
 pub use run::{run_workload, run_workload_sized, RunReport};
+pub use sweep::{ProgramCache, Sweep};

@@ -47,7 +47,17 @@ pub fn format_runs_table(reports: &[RunReport], baseline: &str) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<12} {:>12} {:>8} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>6} {:>6}\n",
-        "config", "cycles", "speedup", "vload", "vstore", "spill-ld", "spill-st", "swap-ld", "swap-st", "%mem", "ok"
+        "config",
+        "cycles",
+        "speedup",
+        "vload",
+        "vstore",
+        "spill-ld",
+        "spill-st",
+        "swap-ld",
+        "swap-st",
+        "%mem",
+        "ok"
     ));
     for (r, (_, s)) in reports.iter().zip(speedups.iter()) {
         out.push_str(&format!(

@@ -1,8 +1,8 @@
 //! Running one workload on one system configuration.
 
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
-use ava_compiler::{compile, CompileOptions};
+use ava_compiler::{compile, CompileOptions, CompiledKernel, IrKernel};
 use ava_isa::VectorContext;
 use ava_memory::{MemoryHierarchy, MemoryStats};
 use ava_scalar::{ScalarCore, ScalarCost};
@@ -12,7 +12,7 @@ use ava_workloads::{validate, Workload};
 use crate::configs::SystemConfig;
 
 /// Everything measured from one (workload, system) simulation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// System label ("AVA X4", ...).
     pub config: String,
@@ -64,6 +64,25 @@ impl RunReport {
 /// would indicate a bug in the code generator rather than a user error).
 #[must_use]
 pub fn run_workload(workload: &dyn Workload, system: &SystemConfig) -> RunReport {
+    run_workload_via(workload, system, &|kernel, opts| {
+        Arc::new(compile(kernel, opts))
+    })
+}
+
+/// The compilation hook used by the sweep engine: given the kernel IR and
+/// options, return the compiled kernel (freshly built or from a cache).
+pub(crate) type CompileFn<'a> =
+    &'a (dyn Fn(&IrKernel, &CompileOptions) -> Arc<CompiledKernel> + Sync);
+
+/// The full run pipeline with an injectable compilation step. `run_workload`
+/// passes a plain [`compile`]; [`crate::sweep`] passes a shared program
+/// cache. Because [`compile`] is deterministic, both paths produce
+/// bit-identical reports.
+pub(crate) fn run_workload_via(
+    workload: &dyn Workload,
+    system: &SystemConfig,
+    compile_fn: CompileFn<'_>,
+) -> RunReport {
     let mut mem = MemoryHierarchy::new(system.memory);
 
     // 1. The application allocates and initialises its data, and the
@@ -76,7 +95,7 @@ pub fn run_workload(workload: &dyn Workload, system: &SystemConfig) -> RunReport
     //    and are one full MVL wide.
     let spill_slot_bytes = (system.mvl() * 8) as u64;
     let spill_base = mem.allocate(64 * spill_slot_bytes);
-    let compiled = compile(
+    let compiled = compile_fn(
         &setup.kernel,
         &CompileOptions::new(system.compiler_lmul, spill_base, spill_slot_bytes),
     );
@@ -147,7 +166,10 @@ mod tests {
         let x1 = run_workload(&w, &SystemConfig::native_x(1));
         let x8 = run_workload(&w, &SystemConfig::native_x(8));
         let speedup = x1.cycles as f64 / x8.cycles as f64;
-        assert!(speedup > 1.4, "NATIVE X8 should be clearly faster, got {speedup}");
+        assert!(
+            speedup > 1.4,
+            "NATIVE X8 should be clearly faster, got {speedup}"
+        );
     }
 
     #[test]
@@ -155,12 +177,18 @@ mod tests {
         let w = Blackscholes::new(128);
         let rg = run_workload(&w, &SystemConfig::rg_lmul(Lmul::M8));
         assert!(rg.validated, "{:?}", rg.validation_error);
-        assert!(rg.compiler_spill_stores > 0, "23-ish live values cannot fit 4 registers");
+        assert!(
+            rg.compiler_spill_stores > 0,
+            "23-ish live values cannot fit 4 registers"
+        );
 
         let ava2 = run_workload(&w, &SystemConfig::ava_x(2));
         assert!(ava2.validated, "{:?}", ava2.validation_error);
         assert_eq!(ava2.vpu.swap_ops(), 0, "32 physical registers suffice");
-        assert_eq!(ava2.compiler_spill_stores, 0, "AVA keeps all 32 architectural registers");
+        assert_eq!(
+            ava2.compiler_spill_stores, 0,
+            "AVA keeps all 32 architectural registers"
+        );
     }
 
     #[test]

@@ -1,0 +1,362 @@
+//! The parallel experiment-sweep engine.
+//!
+//! Every figure and table of the paper's evaluation is an embarrassingly
+//! parallel fan-out: Figure 3 alone is 6 workloads × 14 system
+//! configurations, each point an independent compile + simulate + validate
+//! pass. This module runs such grids across all available cores while
+//! guaranteeing **bit-identical results to a serial run**:
+//!
+//! * every point gets a fresh [`MemoryHierarchy`], so no simulation state is
+//!   shared;
+//! * the only shared structure is a [`ProgramCache`] that deduplicates
+//!   *compilations* — and because [`ava_compiler::compile`] is a pure
+//!   function of its inputs, reusing its output cannot change any report;
+//! * results are written into per-point slots, so the returned `Vec` is in
+//!   grid order regardless of which thread finished first.
+//!
+//! The cache also makes the sweep cheaper than the sum of its points: on the
+//! full Figure 3 grid, NATIVE Xn, AVA Xn and RG-LMUL1 all compile the same
+//! (kernel, LMUL, MVL) combination, so 14 configurations need only 8
+//! compilations per workload.
+//!
+//! ```
+//! use ava_sim::{Sweep, SystemConfig};
+//! use ava_workloads::{Axpy, SharedWorkload, Somier};
+//! use std::sync::Arc;
+//!
+//! let workloads: Vec<SharedWorkload> =
+//!     vec![Arc::new(Axpy::new(256)), Arc::new(Somier::new(256))];
+//! let sweep = Sweep::grid(workloads, SystemConfig::all_ava());
+//! let reports = sweep.run_parallel();
+//! assert_eq!(reports.len(), 2 * 5);
+//! assert!(reports.iter().all(|r| r.validated));
+//! // Grid order is workload-major: the first five reports are Axpy.
+//! assert!(reports[..5].iter().all(|r| r.workload == "axpy"));
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread;
+
+use ava_compiler::{compile, CompileOptions, CompiledKernel};
+use ava_workloads::SharedWorkload;
+
+use crate::configs::SystemConfig;
+use crate::run::{run_workload_via, RunReport};
+
+/// Key identifying one compilation in a sweep: the workload (by grid index —
+/// the kernel IR is a function of the workload and the MVL), the MVL the
+/// kernel was stripmined for, and the register-allocation inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    workload: usize,
+    mvl: usize,
+    lmul_factor: usize,
+    spill_base: u64,
+    spill_slot_bytes: u64,
+}
+
+/// A thread-safe cache of compiled kernels shared by every point of a sweep.
+///
+/// Keyed on everything that feeds [`ava_compiler::compile`], so a hit is
+/// guaranteed to return exactly the bytes a fresh compilation would produce.
+#[derive(Debug, Default)]
+pub struct ProgramCache {
+    entries: Mutex<HashMap<CacheKey, Arc<CompiledKernel>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ProgramCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached kernel for `key`, compiling it on first use.
+    fn get_or_compile(
+        &self,
+        key: CacheKey,
+        kernel: &ava_compiler::IrKernel,
+        opts: &CompileOptions,
+    ) -> Arc<CompiledKernel> {
+        if let Some(hit) = self.entries.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Compile outside the lock: distinct keys must not serialise on one
+        // long compilation. Two threads racing on the same key both compile,
+        // but `compile` is deterministic so either result is correct.
+        let compiled = Arc::new(compile(kernel, opts));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.entries
+            .lock()
+            .expect("cache poisoned")
+            .entry(key)
+            .or_insert(compiled)
+            .clone()
+    }
+
+    /// Number of compilations served from the cache.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of compilations actually performed.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// A declarative grid of (workload, [`SystemConfig`]) experiment points.
+///
+/// Construct with [`Sweep::grid`] (full cross product) or
+/// [`Sweep::from_points`] (explicit pairs), then execute with
+/// [`Sweep::run_serial`] or [`Sweep::run_parallel`]. Both return one
+/// [`RunReport`] per point, in point order, and are guaranteed to produce
+/// identical reports.
+pub struct Sweep {
+    workloads: Vec<SharedWorkload>,
+    systems: Vec<SystemConfig>,
+    points: Vec<(usize, usize)>,
+}
+
+impl Sweep {
+    /// The full cross product of `workloads` × `systems`, workload-major:
+    /// point `w * systems.len() + s` runs workload `w` on system `s`.
+    #[must_use]
+    pub fn grid(workloads: Vec<SharedWorkload>, systems: Vec<SystemConfig>) -> Self {
+        let points = (0..workloads.len())
+            .flat_map(|w| (0..systems.len()).map(move |s| (w, s)))
+            .collect();
+        Self {
+            workloads,
+            systems,
+            points,
+        }
+    }
+
+    /// An explicit list of `(workload index, system index)` points over the
+    /// given axes, for sweeps that are not a full cross product (e.g. the
+    /// ablation study, which varies one system parameter per point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point indexes outside `workloads` or `systems`.
+    #[must_use]
+    pub fn from_points(
+        workloads: Vec<SharedWorkload>,
+        systems: Vec<SystemConfig>,
+        points: Vec<(usize, usize)>,
+    ) -> Self {
+        for &(w, s) in &points {
+            assert!(w < workloads.len(), "workload index {w} out of range");
+            assert!(s < systems.len(), "system index {s} out of range");
+        }
+        Self {
+            workloads,
+            systems,
+            points,
+        }
+    }
+
+    /// Number of experiment points in the sweep.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the sweep contains no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The system axis, in the order grid points reference it.
+    #[must_use]
+    pub fn systems(&self) -> &[SystemConfig] {
+        &self.systems
+    }
+
+    /// The workload axis, in the order grid points reference it.
+    #[must_use]
+    pub fn workloads(&self) -> &[SharedWorkload] {
+        &self.workloads
+    }
+
+    fn run_point(&self, point: usize, cache: &ProgramCache) -> RunReport {
+        let (w, s) = self.points[point];
+        let workload = &self.workloads[w];
+        let system = &self.systems[s];
+        run_workload_via(workload.as_ref(), system, &|kernel, opts| {
+            let key = CacheKey {
+                workload: w,
+                mvl: system.mvl(),
+                lmul_factor: opts.lmul.factor(),
+                spill_base: opts.spill_base,
+                spill_slot_bytes: opts.spill_slot_bytes,
+            };
+            cache.get_or_compile(key, kernel, opts)
+        })
+    }
+
+    /// Runs every point on the calling thread, in point order.
+    #[must_use]
+    pub fn run_serial(&self) -> Vec<RunReport> {
+        let cache = ProgramCache::new();
+        (0..self.points.len())
+            .map(|i| self.run_point(i, &cache))
+            .collect()
+    }
+
+    /// Runs the sweep across all available cores. Reports come back in point
+    /// order and are bit-identical to [`Sweep::run_serial`].
+    #[must_use]
+    pub fn run_parallel(&self) -> Vec<RunReport> {
+        let threads = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        self.run_parallel_with(threads)
+    }
+
+    /// Runs the sweep on at most `threads` worker threads (clamped to the
+    /// number of points; `0` behaves like `1`).
+    #[must_use]
+    pub fn run_parallel_with(&self, threads: usize) -> Vec<RunReport> {
+        let n = self.points.len();
+        let workers = threads.clamp(1, n.max(1));
+        let cache = ProgramCache::new();
+        let slots: Vec<OnceLock<RunReport>> = (0..n).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let report = self.run_point(i, &cache);
+                    slots[i]
+                        .set(report)
+                        .expect("each point is claimed by one worker");
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every point completed"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ava_isa::Lmul;
+    use ava_workloads::{Axpy, Blackscholes};
+
+    fn small_axes() -> (Vec<SharedWorkload>, Vec<SystemConfig>) {
+        let workloads: Vec<SharedWorkload> =
+            vec![Arc::new(Axpy::new(256)), Arc::new(Blackscholes::new(64))];
+        let systems = vec![
+            SystemConfig::native_x(1),
+            SystemConfig::ava_x(2),
+            SystemConfig::rg_lmul(Lmul::M4),
+        ];
+        (workloads, systems)
+    }
+
+    #[test]
+    fn grid_is_workload_major_and_complete() {
+        let (w, s) = small_axes();
+        let reports = Sweep::grid(w, s).run_serial();
+        assert_eq!(reports.len(), 6);
+        assert_eq!(reports[0].workload, "axpy");
+        assert_eq!(reports[2].workload, "axpy");
+        assert_eq!(reports[3].workload, "blackscholes");
+        assert_eq!(reports[0].config, "NATIVE X1");
+        assert_eq!(reports[4].config, "AVA X2");
+        assert!(reports.iter().all(|r| r.validated));
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let (w, s) = small_axes();
+        let sweep = Sweep::grid(w, s);
+        let serial = sweep.run_serial();
+        for threads in [1, 2, 7] {
+            let parallel = sweep.run_parallel_with(threads);
+            assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.cycles, b.cycles, "{} on {}", a.workload, a.config);
+                assert_eq!(format!("{a:?}"), format!("{b:?}"), "full report must match");
+            }
+        }
+    }
+
+    #[test]
+    fn equivalent_configurations_share_one_compilation() {
+        // NATIVE X2 and AVA X2 expose the same MVL and LMUL, so the second
+        // run of the same workload must hit the cache.
+        let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(256))];
+        let systems = vec![SystemConfig::native_x(2), SystemConfig::ava_x(2)];
+        let sweep = Sweep::grid(workloads, systems);
+        let cache = ProgramCache::new();
+        let a = sweep.run_point(0, &cache);
+        let b = sweep.run_point(1, &cache);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        // And the cached compile feeds a report identical to a fresh one.
+        assert_eq!(
+            b.cycles,
+            crate::run::run_workload(sweep.workloads[0].as_ref(), &sweep.systems[1]).cycles
+        );
+        assert!(a.validated && b.validated);
+    }
+
+    #[test]
+    fn distinct_lmuls_do_not_share_compilations() {
+        let workloads: Vec<SharedWorkload> = vec![Arc::new(Blackscholes::new(64))];
+        let systems = vec![SystemConfig::native_x(8), SystemConfig::rg_lmul(Lmul::M8)];
+        let sweep = Sweep::grid(workloads, systems);
+        let cache = ProgramCache::new();
+        let _ = sweep.run_point(0, &cache);
+        let _ = sweep.run_point(1, &cache);
+        assert_eq!(
+            cache.misses(),
+            2,
+            "LMUL=1 and LMUL=8 need different spill code"
+        );
+    }
+
+    #[test]
+    fn explicit_points_run_in_declared_order() {
+        let (w, s) = small_axes();
+        let sweep = Sweep::from_points(w, s, vec![(1, 2), (0, 0), (1, 0)]);
+        let reports = sweep.run_parallel_with(2);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].workload, "blackscholes");
+        assert_eq!(reports[0].config, "RG-LMUL4");
+        assert_eq!(reports[1].workload, "axpy");
+        assert_eq!(reports[2].workload, "blackscholes");
+        assert_eq!(reports[2].config, "NATIVE X1");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_points_are_rejected() {
+        let (w, s) = small_axes();
+        let _ = Sweep::from_points(w, s, vec![(0, 99)]);
+    }
+
+    #[test]
+    fn zero_threads_behaves_like_one() {
+        let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(128))];
+        let sweep = Sweep::grid(workloads, vec![SystemConfig::native_x(1)]);
+        let reports = sweep.run_parallel_with(0);
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].validated);
+    }
+}

@@ -6,8 +6,6 @@
 //! vector length, the size of the physical register file, and whether the
 //! two-level AVA machinery is present.
 
-use serde::{Deserialize, Serialize};
-
 use ava_isa::{Lmul, MIN_MVL_ELEMS};
 
 /// Number of Virtual Vector Registers in the AVA design (first-level
@@ -15,7 +13,7 @@ use ava_isa::{Lmul, MIN_MVL_ELEMS};
 pub const NUM_VVRS: usize = 64;
 
 /// Renaming/register-file organisation of a VPU configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RenameMode {
     /// Conventional single-level renaming: logical registers map directly to
     /// physical registers in a VRF sized for the configured MVL. This models
@@ -45,7 +43,7 @@ pub fn preg_count_for_mvl(pvrf_bytes: usize, mvl: usize) -> usize {
 }
 
 /// Full static configuration of one VPU instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VpuConfig {
     /// Human-readable configuration name ("AVA X4", "NATIVE X8", ...).
     pub name: String,
@@ -172,7 +170,10 @@ impl VpuConfig {
     /// arbitrary (Table I) MVL.
     #[must_use]
     pub fn ava_with_mvl(mvl: usize) -> Self {
-        assert!(mvl % MIN_MVL_ELEMS == 0, "MVL must be a multiple of 16");
+        assert!(
+            mvl.is_multiple_of(MIN_MVL_ELEMS),
+            "MVL must be a multiple of 16"
+        );
         let mut c = Self::ava_x(1);
         c.mvl = mvl;
         c.name = format!("AVA MVL={mvl}");
@@ -210,7 +211,11 @@ mod tests {
             let c = VpuConfig::native_x(n);
             assert_eq!(c.pvrf_bytes, kb * 1024);
             assert_eq!(c.mvl, 16 * n);
-            assert_eq!(c.physical_regs(), 64, "NATIVE always has 64 renamed registers");
+            assert_eq!(
+                c.physical_regs(),
+                64,
+                "NATIVE always has 64 renamed registers"
+            );
             assert_eq!(c.rename_pool(), 64);
             assert_eq!(c.mvrf_bytes(), 0);
         }
@@ -222,7 +227,10 @@ mod tests {
             let c = VpuConfig::ava_x(n);
             assert_eq!(c.pvrf_bytes, 8 * 1024);
             assert_eq!(c.rename_pool(), 64, "AVA always exposes 64 VVRs");
-            assert_eq!(c.logical_regs, 32, "AVA preserves all architectural registers");
+            assert_eq!(
+                c.logical_regs, 32,
+                "AVA preserves all architectural registers"
+            );
             assert_eq!(c.mvrf_bytes(), (64 * c.mvl * 8) as u64);
         }
         assert_eq!(VpuConfig::ava_x(8).physical_regs(), 8);

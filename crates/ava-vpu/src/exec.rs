@@ -163,11 +163,23 @@ mod tests {
     fn fp_binary_operations_match_scalar_math() {
         let a = vecf(&[1.0, 2.0, -3.0, 0.5]);
         let b = vecf(&[4.0, -2.0, 3.0, 0.25]);
-        let add = execute(Opcode::VFAdd, &[OperandValue::Vector(&a), OperandValue::Vector(&b)], 4);
-        let mul = execute(Opcode::VFMul, &[OperandValue::Vector(&a), OperandValue::Vector(&b)], 4);
+        let add = execute(
+            Opcode::VFAdd,
+            &[OperandValue::Vector(&a), OperandValue::Vector(&b)],
+            4,
+        );
+        let mul = execute(
+            Opcode::VFMul,
+            &[OperandValue::Vector(&a), OperandValue::Vector(&b)],
+            4,
+        );
         assert_eq!(add[2].as_f64(), 0.0);
         assert_eq!(mul[1].as_f64(), -4.0);
-        let div = execute(Opcode::VFDiv, &[OperandValue::Vector(&a), OperandValue::Vector(&b)], 4);
+        let div = execute(
+            Opcode::VFDiv,
+            &[OperandValue::Vector(&a), OperandValue::Vector(&b)],
+            4,
+        );
         assert_eq!(div[3].as_f64(), 2.0);
     }
 
@@ -194,7 +206,10 @@ mod tests {
         let a = vecf(&[1.0, 2.0, 3.0]);
         let r = execute(
             Opcode::VFMul,
-            &[OperandValue::Vector(&a), OperandValue::Scalar(Element::from_f64(2.0))],
+            &[
+                OperandValue::Vector(&a),
+                OperandValue::Scalar(Element::from_f64(2.0)),
+            ],
             3,
         );
         assert_eq!(r[2].as_f64(), 6.0);
@@ -204,8 +219,15 @@ mod tests {
     fn compares_produce_masks_and_merge_selects() {
         let a = vecf(&[1.0, 5.0, 3.0]);
         let b = vecf(&[2.0, 2.0, 3.0]);
-        let mask = execute(Opcode::VMFLt, &[OperandValue::Vector(&a), OperandValue::Vector(&b)], 3);
-        assert_eq!(mask.iter().map(|e| e.as_bool()).collect::<Vec<_>>(), vec![true, false, false]);
+        let mask = execute(
+            Opcode::VMFLt,
+            &[OperandValue::Vector(&a), OperandValue::Vector(&b)],
+            3,
+        );
+        assert_eq!(
+            mask.iter().map(|e| e.as_bool()).collect::<Vec<_>>(),
+            vec![true, false, false]
+        );
         let merged = execute(
             Opcode::VMerge,
             &[
@@ -221,9 +243,16 @@ mod tests {
 
     #[test]
     fn integer_operations_wrap() {
-        let a: Vec<Element> = [i64::MAX, 4].iter().map(|v| Element::from_i64(*v)).collect();
+        let a: Vec<Element> = [i64::MAX, 4]
+            .iter()
+            .map(|v| Element::from_i64(*v))
+            .collect();
         let b: Vec<Element> = [1i64, 3].iter().map(|v| Element::from_i64(*v)).collect();
-        let r = execute(Opcode::VAdd, &[OperandValue::Vector(&a), OperandValue::Vector(&b)], 2);
+        let r = execute(
+            Opcode::VAdd,
+            &[OperandValue::Vector(&a), OperandValue::Vector(&b)],
+            2,
+        );
         assert_eq!(r[0].as_i64(), i64::MIN);
         assert_eq!(r[1].as_i64(), 7);
     }
@@ -244,19 +273,29 @@ mod tests {
     fn vid_and_splat_and_slides() {
         let id = execute(Opcode::VId, &[], 4);
         assert_eq!(id[3].as_i64(), 3);
-        let sp = execute(Opcode::VMvSplat, &[OperandValue::Scalar(Element::from_f64(7.0))], 3);
+        let sp = execute(
+            Opcode::VMvSplat,
+            &[OperandValue::Scalar(Element::from_f64(7.0))],
+            3,
+        );
         assert_eq!(sp[2].as_f64(), 7.0);
         let a = vecf(&[1.0, 2.0, 3.0]);
         let up = execute(
             Opcode::VSlide1Up,
-            &[OperandValue::Vector(&a), OperandValue::Scalar(Element::from_f64(9.0))],
+            &[
+                OperandValue::Vector(&a),
+                OperandValue::Scalar(Element::from_f64(9.0)),
+            ],
             3,
         );
         assert_eq!(up[0].as_f64(), 9.0);
         assert_eq!(up[2].as_f64(), 2.0);
         let down = execute(
             Opcode::VSlide1Down,
-            &[OperandValue::Vector(&a), OperandValue::Scalar(Element::from_f64(8.0))],
+            &[
+                OperandValue::Vector(&a),
+                OperandValue::Scalar(Element::from_f64(8.0)),
+            ],
             3,
         );
         assert_eq!(down[0].as_f64(), 2.0);
@@ -276,7 +315,11 @@ mod tests {
     #[test]
     fn short_vector_reads_past_end_are_zero() {
         let a = vecf(&[1.0]);
-        let r = execute(Opcode::VFAdd, &[OperandValue::Vector(&a), OperandValue::Vector(&a)], 3);
+        let r = execute(
+            Opcode::VFAdd,
+            &[OperandValue::Vector(&a), OperandValue::Vector(&a)],
+            3,
+        );
         assert_eq!(r[1].as_f64(), 0.0);
     }
 

@@ -8,8 +8,6 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 /// Timing model of one in-order issue queue.
 ///
 /// ```
@@ -22,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// // Queue full: the next instruction waits until the oldest entry issues.
 /// assert_eq!(q.admit_time(5), 10);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IssueQueue {
     capacity: usize,
     /// Issue times of the youngest `capacity` entries, oldest first.
@@ -73,7 +71,10 @@ impl IssueQueue {
     /// Records an instruction that entered the queue at `enter` and issued
     /// to execution at `issue`.
     pub fn record(&mut self, enter: u64, issue: u64) {
-        debug_assert!(issue >= enter, "an instruction cannot issue before it enters");
+        debug_assert!(
+            issue >= enter,
+            "an instruction cannot issue before it enters"
+        );
         debug_assert!(
             issue >= self.last_issue,
             "issue order within a queue must be program order"

@@ -8,8 +8,6 @@
 //! travel through the same vector memory unit as ordinary vector accesses
 //! and therefore consume real bandwidth and energy.
 
-use serde::{Deserialize, Serialize};
-
 use ava_isa::Element;
 use ava_memory::MemoryHierarchy;
 
@@ -24,7 +22,7 @@ use ava_memory::MemoryHierarchy;
 /// mvrf.store(&mut mem, 7, &[Element::from_f64(2.5); 32]);
 /// assert_eq!(mvrf.load(&mem, 7, 32)[31].as_f64(), 2.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryVrf {
     base: u64,
     num_vvrs: usize,

@@ -8,8 +8,6 @@
 //! read again, enabling aggressive register reclamation; the lowest non-zero
 //! count identifies the best swap victim.
 
-use serde::{Deserialize, Serialize};
-
 /// Saturating limit of each 3-bit counter.
 const RAC_MAX: u8 = 7;
 
@@ -24,7 +22,7 @@ const RAC_MAX: u8 = 7;
 /// rac.decrement(3);
 /// assert_eq!(rac.count(3), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rac {
     counts: Vec<u8>,
 }

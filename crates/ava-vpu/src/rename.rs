@@ -10,8 +10,6 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use ava_isa::VReg;
 
 /// Identifier of a renamed register (VVR id in AVA mode, physical register
@@ -33,7 +31,7 @@ pub struct Renamed {
 
 /// Snapshot of the renaming state, taken at commit boundaries so the
 /// architectural mapping can be restored after a flush.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RenameCheckpoint {
     rat: Vec<Option<RenamedReg>>,
     frl: VecDeque<RenamedReg>,
@@ -49,7 +47,7 @@ pub struct RenameCheckpoint {
 /// let b = r.rename(Some(VReg::new(2)), &[VReg::new(1)]).unwrap();
 /// assert_eq!(b.srcs[0], a.dst.unwrap());
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RenameUnit {
     rat: Vec<Option<RenamedReg>>,
     frl: VecDeque<RenamedReg>,
@@ -87,7 +85,10 @@ impl RenameUnit {
     /// registers for 4 usable names) still work.
     #[must_use]
     pub fn new(pool_size: usize) -> Self {
-        assert!(pool_size >= 4, "renamed register pool must hold at least 4 registers");
+        assert!(
+            pool_size >= 4,
+            "renamed register pool must hold at least 4 registers"
+        );
         Self {
             rat: vec![None; ava_isa::NUM_LOGICAL_VREGS],
             frl: (0..pool_size as RenamedReg).collect(),
@@ -163,7 +164,10 @@ impl RenameUnit {
             !self.frl.contains(&reg),
             "renamed register {reg} released twice"
         );
-        assert!((reg as usize) < self.pool_size, "register {reg} outside pool");
+        assert!(
+            (reg as usize) < self.pool_size,
+            "register {reg} outside pool"
+        );
         self.frl.push_back(reg);
     }
 

@@ -7,8 +7,6 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 /// Reorder-buffer occupancy and commit-time tracker.
 ///
 /// ```
@@ -22,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// // Both slots are taken until the oldest commits.
 /// assert_eq!(rob.admit_time(12), 20);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ReorderBuffer {
     capacity: usize,
     /// Commit times of the youngest `capacity` instructions, oldest first.

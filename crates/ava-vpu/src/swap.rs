@@ -7,14 +7,12 @@
 //! (paper §III.C). Values whose RAC already reached zero are reclaimed
 //! *without* a Swap-Store (aggressive register reclamation).
 
-use serde::{Deserialize, Serialize};
-
 use crate::rac::Rac;
 use crate::rename::RenamedReg;
 use crate::vrf_mapping::VrfMapping;
 
 /// What the Swap Logic decided to do to obtain a free physical register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SwapDecision {
     /// A physical register was already free; no action needed.
     AlreadyFree,
@@ -28,7 +26,7 @@ pub enum SwapDecision {
 
 /// Stateless victim-selection logic (the state lives in the RAC and the
 /// VRF-Mapping engine).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SwapLogic;
 
 impl SwapLogic {

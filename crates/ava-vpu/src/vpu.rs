@@ -15,7 +15,6 @@ use ava_isa::{
     Element, InstrKind, InstrRole, MemAccess, Opcode, Operand, Program, VReg, VecInstr, VlMode,
 };
 use ava_memory::{AccessTiming, MemoryHierarchy};
-use serde::{Deserialize, Serialize};
 
 use crate::config::{RenameMode, VpuConfig, NUM_VVRS};
 use crate::exec::{execute, OperandValue};
@@ -29,7 +28,7 @@ use crate::vrf::PhysicalVrf;
 use crate::vrf_mapping::{Location, VrfMapping};
 
 /// Result of running one program on one VPU configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VpuRunResult {
     /// Configuration name the program ran on.
     pub config_name: String,
@@ -225,9 +224,9 @@ impl Vpu {
                     let preg = self.ensure_resident(vvr, &protected, &mut preissue_time, mem);
                     src_pregs.push(preg);
                 }
-                let dst_preg = renamed.dst.map(|vvr| {
-                    self.allocate_preg_for(vvr, &protected, &mut preissue_time, mem)
-                });
+                let dst_preg = renamed
+                    .dst
+                    .map(|vvr| self.allocate_preg_for(vvr, &protected, &mut preissue_time, mem));
                 (src_pregs, dst_preg)
             }
         };
@@ -257,7 +256,9 @@ impl Vpu {
                 };
                 self.schedule_memory(preissue_time, issue_gate, &timing)
             }
-            InstrKind::Arithmetic => self.schedule_arith(instr.opcode, preissue_time, operands_ready, vl_eff),
+            InstrKind::Arithmetic => {
+                self.schedule_arith(instr.opcode, preissue_time, operands_ready, vl_eff)
+            }
             InstrKind::Config => unreachable!("config handled above"),
         };
         if instr.opcode.is_store() {
@@ -344,7 +345,8 @@ impl Vpu {
                 // write-back side, not to the memory-queue issue slot.
                 let ready = (*preissue_time).max(self.value_ready[vvr as usize]);
                 let gate = self.preg_writable[preg].max(self.preg_readers_done[preg]);
-                let (_, chain_ready, completion) = self.schedule_memory(*preissue_time, ready, &timing);
+                let (_, chain_ready, completion) =
+                    self.schedule_memory(*preissue_time, ready, &timing);
                 let chain_ready = chain_ready.max(gate + 1);
                 let completion = completion.max(gate + 1);
                 self.stats.swap_loads += 1;
@@ -409,8 +411,14 @@ impl Vpu {
             .into_iter()
             .filter(|v| !protected.contains(v) && self.rac.is_reclaimable(*v))
             .min_by_key(|&v| {
-                let preg = self.mapping.physical_of(v).expect("resident VVR has a register");
-                (self.preg_readers_done[preg].max(self.value_ready[v as usize]), v)
+                let preg = self
+                    .mapping
+                    .physical_of(v)
+                    .expect("resident VVR has a register");
+                (
+                    self.preg_readers_done[preg].max(self.value_ready[v as usize]),
+                    v,
+                )
             });
         if let Some(victim) = reclaim {
             let preg = self
@@ -433,7 +441,10 @@ impl Vpu {
             .into_iter()
             .filter(|v| !protected.contains(v))
             .min_by_key(|&v| {
-                let preg = self.mapping.physical_of(v).expect("resident VVR has a register");
+                let preg = self
+                    .mapping
+                    .physical_of(v)
+                    .expect("resident VVR has a register");
                 let blocking = self.value_ready[v as usize].max(self.preg_readers_done[preg]);
                 (u64::from(self.rac.count(v)), blocking, v)
             })
@@ -535,7 +546,12 @@ impl Vpu {
     /// Schedules a memory instruction. Returns
     /// `(issue_start, chain_ready, completion)`; `chain_ready` is when the
     /// first data beat returns from the L2/DRAM so dependents can chain.
-    fn schedule_memory(&mut self, enter: u64, ready: u64, timing: &AccessTiming) -> (u64, u64, u64) {
+    fn schedule_memory(
+        &mut self,
+        enter: u64,
+        ready: u64,
+        timing: &AccessTiming,
+    ) -> (u64, u64, u64) {
         let enter = self.mem_q.admit_time(enter);
         // Queue-full back-pressure reaches the front end (paper §III.C: the
         // pre-issue stage stalls until its queue has a free slot).
@@ -563,10 +579,14 @@ impl Vpu {
         vl: usize,
         mem: &mut MemoryHierarchy,
     ) -> AccessTiming {
-        let access = instr.mem.expect("memory instruction carries an address descriptor");
+        let access = instr
+            .mem
+            .expect("memory instruction carries an address descriptor");
         let is_write = instr.opcode.is_store();
         match instr.opcode {
-            Opcode::VLoad | Opcode::VStore => mem.vector_access(access.base, (vl * 8) as u64, is_write),
+            Opcode::VLoad | Opcode::VStore => {
+                mem.vector_access(access.base, (vl * 8) as u64, is_write)
+            }
             Opcode::VLoadStrided | Opcode::VStoreStrided => {
                 let addrs: Vec<u64> = (0..vl)
                     .map(|i| (access.base as i64 + access.stride * i as i64) as u64)
@@ -588,13 +608,20 @@ impl Vpu {
     // Functional execution
     // ------------------------------------------------------------------
 
-    fn read_operand_values(&mut self, instr: &VecInstr, src_pregs: &[usize], vl: usize) -> Vec<Vec<Element>> {
+    fn read_operand_values(
+        &mut self,
+        instr: &VecInstr,
+        src_pregs: &[usize],
+        vl: usize,
+    ) -> Vec<Vec<Element>> {
         let mut out = Vec::with_capacity(instr.srcs.len());
         let mut preg_iter = src_pregs.iter();
         for op in &instr.srcs {
             match op {
                 Operand::Reg(_) => {
-                    let preg = *preg_iter.next().expect("source register without a physical mapping");
+                    let preg = *preg_iter
+                        .next()
+                        .expect("source register without a physical mapping");
                     out.push(self.pvrf.read_vl(preg, vl).to_vec());
                 }
                 Operand::Scalar(s) => out.push(vec![*s]),
@@ -633,7 +660,10 @@ impl Vpu {
                 let m = instr.mem.expect("gather carries an address");
                 let idx = &src_values[0];
                 let addrs: Vec<u64> = (0..vl)
-                    .map(|i| m.base.wrapping_add((idx[i].as_i64() as u64).wrapping_mul(8)))
+                    .map(|i| {
+                        m.base
+                            .wrapping_add((idx[i].as_i64() as u64).wrapping_mul(8))
+                    })
                     .collect();
                 let values: Vec<Element> = addrs
                     .iter()
@@ -658,7 +688,10 @@ impl Vpu {
                 let data = &src_values[0];
                 let idx = &src_values[1];
                 let addrs: Vec<u64> = (0..vl)
-                    .map(|i| m.base.wrapping_add((idx[i].as_i64() as u64).wrapping_mul(8)))
+                    .map(|i| {
+                        m.base
+                            .wrapping_add((idx[i].as_i64() as u64).wrapping_mul(8))
+                    })
                     .collect();
                 for (i, a) in addrs.iter().enumerate() {
                     mem.write_u64(*a, data.get(i).copied().unwrap_or(Element::ZERO).bits());
@@ -814,7 +847,11 @@ mod tests {
         let mut vpu = Vpu::new(VpuConfig::ava_x(1), &mut mem);
         let r = vpu.run(&p, &mut mem);
         check_axpy(&mem, a, 64);
-        assert_eq!(r.stats.swap_ops(), 0, "64 physical registers never overflow");
+        assert_eq!(
+            r.stats.swap_ops(),
+            0,
+            "64 physical registers never overflow"
+        );
     }
 
     #[test]
@@ -830,7 +867,10 @@ mod tests {
             cycles.push(r.cycles);
         }
         assert!(cycles[1] < cycles[0], "X4 faster than X1: {cycles:?}");
-        assert!(cycles[2] <= cycles[1], "X8 at least as fast as X4: {cycles:?}");
+        assert!(
+            cycles[2] <= cycles[1],
+            "X8 at least as fast as X4: {cycles:?}"
+        );
         let speedup = cycles[0] as f64 / cycles[2] as f64;
         assert!(
             speedup > 1.5 && speedup < 3.5,
@@ -965,7 +1005,12 @@ mod tests {
         p.push(VecInstr::setvl(128));
         p.push(VecInstr::vload(VReg::new(0), buf));
         for _ in 0..64 {
-            p.push(VecInstr::binary(Opcode::VFAdd, VReg::new(0), VReg::new(0), VReg::new(0)));
+            p.push(VecInstr::binary(
+                Opcode::VFAdd,
+                VReg::new(0),
+                VReg::new(0),
+                VReg::new(0),
+            ));
         }
         let mut vpu = Vpu::new(VpuConfig::rg_lmul(ava_isa::Lmul::M8), &mut mem);
         let rg = vpu.run(&p, &mut mem);

@@ -7,8 +7,6 @@
 //! `MVL / lanes` times per access, which is why reconfiguring the MVL needs
 //! no extra routing (paper §III.B).
 
-use serde::{Deserialize, Serialize};
-
 use ava_isa::Element;
 
 /// The physical vector register file.
@@ -21,7 +19,7 @@ use ava_isa::Element;
 /// assert_eq!(vrf.read(3)[0].as_f64(), 1.0);
 /// assert_eq!(vrf.capacity_bytes(), 8 * 16 * 8);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PhysicalVrf {
     regs: Vec<Vec<Element>>,
     mvl: usize,

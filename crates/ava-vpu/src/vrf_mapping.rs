@@ -10,12 +10,10 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use crate::rename::RenamedReg;
 
 /// Where a VVR's value currently lives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Location {
     /// Mapped to a physical register in the P-VRF.
     Physical(usize),
@@ -35,7 +33,7 @@ pub enum Location {
 /// m.move_to_memory(5);
 /// assert_eq!(m.location(5), Location::Memory);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VrfMapping {
     /// PRMT: VVR → physical register (meaningful only when the VRLT bit says
     /// the VVR is physical).
@@ -55,7 +53,10 @@ impl VrfMapping {
     /// `num_physical` physical registers, all free.
     #[must_use]
     pub fn new(num_vvrs: usize, num_physical: usize) -> Self {
-        assert!(num_physical >= 1, "at least one physical register is required");
+        assert!(
+            num_physical >= 1,
+            "at least one physical register is required"
+        );
         Self {
             prmt: vec![None; num_vvrs],
             vrlt: vec![false; num_vvrs],
@@ -126,7 +127,9 @@ impl VrfMapping {
     pub fn move_to_memory(&mut self, vvr: RenamedReg) -> usize {
         let i = vvr as usize;
         assert!(self.vrlt[i], "VVR {vvr} is not resident in the P-VRF");
-        let preg = self.prmt[i].take().expect("resident VVR must have a physical register");
+        let preg = self.prmt[i]
+            .take()
+            .expect("resident VVR must have a physical register");
         self.vrlt[i] = false;
         self.pfrl.push_back(preg);
         preg
@@ -138,7 +141,9 @@ impl VrfMapping {
     pub fn release(&mut self, vvr: RenamedReg) {
         let i = vvr as usize;
         if self.vrlt[i] {
-            let preg = self.prmt[i].take().expect("resident VVR must have a physical register");
+            let preg = self.prmt[i]
+                .take()
+                .expect("resident VVR must have a physical register");
             self.pfrl.push_back(preg);
             self.vrlt[i] = false;
         }

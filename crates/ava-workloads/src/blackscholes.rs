@@ -53,7 +53,12 @@ impl Default for Blackscholes {
 /// used by the vector kernel.
 fn cnd(d: f64) -> f64 {
     let k = 1.0 / (0.2316419f64.mul_add(d.abs(), 1.0));
-    let poly = A5.mul_add(k, A4).mul_add(k, A3).mul_add(k, A2).mul_add(k, A1) * k;
+    let poly = A5
+        .mul_add(k, A4)
+        .mul_add(k, A3)
+        .mul_add(k, A2)
+        .mul_add(k, A1)
+        * k;
     let n = (-0.5 * d * d).exp() * INV_SQRT_2PI;
     let positive = 1.0 - n * poly;
     if d < 0.0 {

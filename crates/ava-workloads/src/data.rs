@@ -6,13 +6,15 @@
 //! comparable).
 
 use ava_memory::MemoryHierarchy;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Deterministic data generator for workload inputs.
+///
+/// Implemented as a SplitMix64 stream so the workspace carries no external
+/// RNG dependency: the sequence is fixed by the seed alone, which is exactly
+/// the reproducibility property the workloads need.
 #[derive(Debug)]
 pub struct DataGen {
-    rng: StdRng,
+    state: u64,
 }
 
 impl DataGen {
@@ -20,17 +22,36 @@ impl DataGen {
     /// workload's inputs are stable but distinct.
     #[must_use]
     pub fn for_workload(name: &str) -> Self {
-        let seed = name
-            .bytes()
-            .fold(0xA5A5_5A5A_1234_5678u64, |acc, b| acc.rotate_left(7) ^ u64::from(b));
-        Self {
-            rng: StdRng::seed_from_u64(seed),
-        }
+        let seed = name.bytes().fold(0xA5A5_5A5A_1234_5678u64, |acc, b| {
+            acc.rotate_left(7) ^ u64::from(b)
+        });
+        Self::from_seed(seed)
+    }
+
+    /// Creates a generator from a raw seed (used by property tests that need
+    /// a reproducible stream per case index).
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next value of the raw SplitMix64 stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform double in `[0, 1)` (53 random mantissa bits).
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// A uniform value in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        self.rng.gen_range(lo..hi)
+        lo + self.unit() * (hi - lo)
     }
 
     /// A vector of uniform values in `[lo, hi)`.
@@ -79,7 +100,7 @@ mod tests {
             assert!((-2.0..3.0).contains(&v));
         }
         for v in g.positive_vec(1000, 0.5, 1.5) {
-            assert!(v >= 0.5 && v < 1.5);
+            assert!((0.5..1.5).contains(&v));
         }
     }
 

@@ -33,7 +33,10 @@ impl LavaMd2 {
     /// interacting with `neighbors` boxes of 48 particles.
     #[must_use]
     pub fn new(particles: usize, neighbors: usize) -> Self {
-        assert!(particles > 0 && neighbors > 0, "problem size must be positive");
+        assert!(
+            particles > 0 && neighbors > 0,
+            "problem size must be positive"
+        );
         Self {
             particles,
             neighbors,
@@ -248,7 +251,11 @@ mod tests {
             .max()
             .unwrap();
         assert_eq!(max_vl, 16);
-        assert_eq!(setup.strips, 2 * 3, "three 16-element strips per 48-element box");
+        assert_eq!(
+            setup.strips,
+            2 * 3,
+            "three 16-element strips per 48-element box"
+        );
     }
 
     #[test]

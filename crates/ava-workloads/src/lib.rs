@@ -39,7 +39,6 @@ pub mod swaptions;
 use ava_compiler::IrKernel;
 use ava_isa::VectorContext;
 use ava_memory::MemoryHierarchy;
-use serde::{Deserialize, Serialize};
 
 pub use axpy::Axpy;
 pub use blackscholes::Blackscholes;
@@ -49,7 +48,7 @@ pub use somier::Somier;
 pub use swaptions::Swaptions;
 
 /// One expected output value, checked after simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Check {
     /// Address of the value in simulated memory.
     pub addr: u64,
@@ -124,6 +123,24 @@ pub fn all_workloads() -> Vec<Box<dyn Workload>> {
     ]
 }
 
+/// A workload that can be shared across experiment threads (the sweep engine
+/// runs one simulation per (workload, system) point in parallel).
+pub type SharedWorkload = std::sync::Arc<dyn Workload + Send + Sync>;
+
+/// All six workloads at their default problem sizes as [`SharedWorkload`]s,
+/// in the order the paper presents them.
+#[must_use]
+pub fn all_workloads_shared() -> Vec<SharedWorkload> {
+    vec![
+        std::sync::Arc::new(Axpy::default()),
+        std::sync::Arc::new(Blackscholes::default()),
+        std::sync::Arc::new(LavaMd2::default()),
+        std::sync::Arc::new(ParticleFilter::default()),
+        std::sync::Arc::new(Somier::default()),
+        std::sync::Arc::new(Swaptions::default()),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,8 +165,16 @@ mod tests {
         mem.write_f64(a, 1.5);
         mem.write_f64(a + 8, 2.0 + 1e-12);
         let checks = vec![
-            Check { addr: a, expected: 1.5, tolerance: 0.0 },
-            Check { addr: a + 8, expected: 2.0, tolerance: 1e-9 },
+            Check {
+                addr: a,
+                expected: 1.5,
+                tolerance: 0.0,
+            },
+            Check {
+                addr: a + 8,
+                expected: 2.0,
+                tolerance: 1e-9,
+            },
         ];
         assert!(validate(&mem, &checks).is_ok());
     }
@@ -159,7 +184,11 @@ mod tests {
         let mut mem = MemoryHierarchy::default();
         let a = mem.allocate(16);
         mem.write_f64(a, 1.0);
-        let checks = vec![Check { addr: a, expected: 2.0, tolerance: 0.0 }];
+        let checks = vec![Check {
+            addr: a,
+            expected: 2.0,
+            tolerance: 0.0,
+        }];
         let err = validate(&mem, &checks).unwrap_err();
         assert!(err.contains("expected 2"));
     }
@@ -169,8 +198,16 @@ mod tests {
         for w in all_workloads() {
             let mut mem = MemoryHierarchy::default();
             let setup = w.build(&mut mem, &VectorContext::with_mvl(16));
-            assert!(!setup.kernel.is_empty(), "{} built an empty kernel", w.name());
-            assert!(!setup.checks.is_empty(), "{} has no output checks", w.name());
+            assert!(
+                !setup.kernel.is_empty(),
+                "{} built an empty kernel",
+                w.name()
+            );
+            assert!(
+                !setup.checks.is_empty(),
+                "{} has no output checks",
+                w.name()
+            );
             assert!(setup.strips >= 1);
         }
     }

@@ -1,42 +1,43 @@
 //! DLP sweep: run every workload on every AVA MVL configuration and print
 //! how the best configuration depends on the application's data-level
-//! parallelism (the core message of the paper).
+//! parallelism (the core message of the paper). The whole experiment is one
+//! declarative grid executed across all cores.
 //!
 //! Run with `cargo run --release --example dlp_sweep`.
 
-use ava::sim::{run_workload, SystemConfig};
-use ava::workloads::all_workloads;
+use ava::sim::{Sweep, SystemConfig};
+use ava::workloads::all_workloads_shared;
 
 fn main() {
-    let configs: Vec<SystemConfig> = [1, 2, 3, 4, 8].iter().map(|&n| SystemConfig::ava_x(n)).collect();
+    let configs: Vec<SystemConfig> = [1, 2, 3, 4, 8]
+        .iter()
+        .map(|&n| SystemConfig::ava_x(n))
+        .collect();
+    let workloads = all_workloads_shared();
+    let sweep = Sweep::grid(workloads.clone(), configs.clone());
+    let reports = sweep.run_parallel();
 
     println!(
         "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10}   best",
         "workload", "AVA X1", "AVA X2", "AVA X3", "AVA X4", "AVA X8"
     );
-    for workload in all_workloads() {
-        let cycles: Vec<u64> = configs
+    for (workload, runs) in workloads.iter().zip(reports.chunks(configs.len())) {
+        for r in runs {
+            assert!(r.validated, "{}: {:?}", r.config, r.validation_error);
+        }
+        let best = runs
             .iter()
-            .map(|c| {
-                let r = run_workload(workload.as_ref(), c);
-                assert!(r.validated, "{}: {:?}", r.config, r.validation_error);
-                r.cycles
-            })
-            .collect();
-        let best = cycles
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, c)| **c)
-            .map(|(i, _)| configs[i].label().to_string())
+            .min_by_key(|r| r.cycles)
+            .map(|r| r.config.clone())
             .unwrap_or_default();
         println!(
             "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10}   {}",
             workload.name(),
-            cycles[0],
-            cycles[1],
-            cycles[2],
-            cycles[3],
-            cycles[4],
+            runs[0].cycles,
+            runs[1].cycles,
+            runs[2].cycles,
+            runs[3].cycles,
+            runs[4].cycles,
             best
         );
     }

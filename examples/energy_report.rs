@@ -1,30 +1,35 @@
 //! Energy and area report: evaluate one workload with the McPAT-style model
 //! and the analytical post-PnR estimator, reproducing the flavour of
-//! Figure 4 and Table V for a single kernel.
+//! Figure 4 and Table V for a single kernel. The three simulations are a
+//! sweep grid; the physical models run on each report afterwards.
 //!
 //! Run with `cargo run --release --example energy_report`.
 
+use std::sync::Arc;
+
 use ava::energy::{energy_breakdown, pnr_estimate, system_area, EnergyParams};
-use ava::sim::{run_workload, SystemConfig};
-use ava::workloads::Somier;
+use ava::sim::{Sweep, SystemConfig};
+use ava::workloads::{SharedWorkload, Somier};
 
 fn main() {
-    let workload = Somier::new(4096);
+    let workloads: Vec<SharedWorkload> = vec![Arc::new(Somier::new(4096))];
+    let systems = vec![
+        SystemConfig::native_x(1),
+        SystemConfig::native_x(8),
+        SystemConfig::ava_x(8),
+    ];
     let params = EnergyParams::default();
+    let sweep = Sweep::grid(workloads, systems.clone());
+    let reports = sweep.run_parallel();
 
     println!(
         "{:<12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>11} {:>9}",
         "config", "cycles", "VPU mm2", "L2 dyn mJ", "VRF dyn mJ", "VRF lk mJ", "total mJ", "WNS ns"
     );
-    for sys in [
-        SystemConfig::native_x(1),
-        SystemConfig::native_x(8),
-        SystemConfig::ava_x(8),
-    ] {
-        let report = run_workload(&workload, &sys);
+    for (sys, report) in systems.iter().zip(&reports) {
         assert!(report.validated, "{:?}", report.validation_error);
         let area = system_area(&sys.vpu);
-        let energy = energy_breakdown(&report, &sys.vpu, &params);
+        let energy = energy_breakdown(report, &sys.vpu, &params);
         let pnr = pnr_estimate(&sys.vpu);
         println!(
             "{:<12} {:>9} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>11.3} {:>9.3}",

@@ -1,10 +1,13 @@
 //! Quickstart: simulate one kernel on the baseline short-vector machine and
-//! on AVA reconfigured for long vectors, and compare.
+//! on AVA reconfigured for long vectors, and compare. The two runs are
+//! declared as a tiny sweep grid and executed by the parallel engine.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use ava::sim::{run_workload, SystemConfig};
-use ava::workloads::{Axpy, Workload};
+use std::sync::Arc;
+
+use ava::sim::{Sweep, SystemConfig};
+use ava::workloads::{Axpy, SharedWorkload, Workload};
 
 fn main() {
     let workload = Axpy::new(4096);
@@ -15,10 +18,11 @@ fn main() {
         4096
     );
 
-    let baseline = run_workload(&workload, &SystemConfig::native_x(1));
-    let ava_long = run_workload(&workload, &SystemConfig::ava_x(8));
+    let workloads: Vec<SharedWorkload> = vec![Arc::new(workload)];
+    let systems = vec![SystemConfig::native_x(1), SystemConfig::ava_x(8)];
+    let reports = Sweep::grid(workloads, systems).run_parallel();
 
-    for r in [&baseline, &ava_long] {
+    for r in &reports {
         println!(
             "{:<10} {:>8} cycles  {:>6} vector instrs  swaps={}  validated={}",
             r.config,
@@ -30,6 +34,6 @@ fn main() {
     }
     println!(
         "reconfiguring the same 8 KB register file from MVL=16 to MVL=128 gives {:.2}x",
-        baseline.cycles as f64 / ava_long.cycles as f64
+        reports[0].cycles as f64 / reports[1].cycles as f64
     );
 }

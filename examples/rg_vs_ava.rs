@@ -1,30 +1,47 @@
 //! Register Grouping vs AVA: reproduce the paper's comparison between the
 //! RISC-V LMUL mechanism (compiler spill code, fewer architectural
 //! registers) and the AVA hardware swap mechanism on the high-pressure
-//! Blackscholes kernel.
+//! Blackscholes kernel. All seven runs form one sweep grid.
 //!
 //! Run with `cargo run --release --example rg_vs_ava`.
 
+use std::sync::Arc;
+
 use ava::isa::Lmul;
-use ava::sim::{run_workload, SystemConfig};
-use ava::workloads::Blackscholes;
+use ava::sim::{Sweep, SystemConfig};
+use ava::workloads::{Blackscholes, SharedWorkload};
 
 fn main() {
-    let workload = Blackscholes::new(1024);
-    let pairs = [
-        (SystemConfig::rg_lmul(Lmul::M2), SystemConfig::ava_x(2)),
-        (SystemConfig::rg_lmul(Lmul::M4), SystemConfig::ava_x(4)),
-        (SystemConfig::rg_lmul(Lmul::M8), SystemConfig::ava_x(8)),
+    let workloads: Vec<SharedWorkload> = vec![Arc::new(Blackscholes::new(1024))];
+    // Baseline first, then (RG, AVA) pairs per grouping factor.
+    let systems = vec![
+        SystemConfig::native_x(1),
+        SystemConfig::rg_lmul(Lmul::M2),
+        SystemConfig::ava_x(2),
+        SystemConfig::rg_lmul(Lmul::M4),
+        SystemConfig::ava_x(4),
+        SystemConfig::rg_lmul(Lmul::M8),
+        SystemConfig::ava_x(8),
     ];
-    let baseline = run_workload(&workload, &SystemConfig::native_x(1));
+    let reports = Sweep::grid(workloads, systems).run_parallel();
+
+    let baseline = &reports[0];
     println!("baseline NATIVE X1: {} cycles\n", baseline.cycles);
     println!(
         "{:<12} {:>9} {:>9} {:>9} {:>9} | {:<10} {:>9} {:>9} {:>9} {:>9}",
-        "RG config", "cycles", "speedup", "spill-ld", "spill-st", "AVA config", "cycles", "speedup", "swap-ld", "swap-st"
+        "RG config",
+        "cycles",
+        "speedup",
+        "spill-ld",
+        "spill-st",
+        "AVA config",
+        "cycles",
+        "speedup",
+        "swap-ld",
+        "swap-st"
     );
-    for (rg, ava) in pairs {
-        let r_rg = run_workload(&workload, &rg);
-        let r_ava = run_workload(&workload, &ava);
+    for pair in reports[1..].chunks(2) {
+        let (r_rg, r_ava) = (&pair[0], &pair[1]);
         println!(
             "{:<12} {:>9} {:>9.2} {:>9} {:>9} | {:<10} {:>9} {:>9.2} {:>9} {:>9}",
             r_rg.config,

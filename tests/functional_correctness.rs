@@ -5,7 +5,9 @@
 
 use ava::isa::Lmul;
 use ava::sim::{run_workload, RunReport, SystemConfig};
-use ava::workloads::{all_workloads, Axpy, Blackscholes, LavaMd2, ParticleFilter, Somier, Swaptions};
+use ava::workloads::{
+    all_workloads, Axpy, Blackscholes, LavaMd2, ParticleFilter, Somier, Swaptions,
+};
 
 fn assert_valid(report: &RunReport) {
     assert!(
@@ -71,21 +73,47 @@ fn swap_heavy_runs_stay_correct() {
     // AVA X8 leaves only 8 physical registers; the high-pressure kernels
     // must still validate while generating swap traffic.
     for (report, expect_swaps) in [
-        (run_workload(&Blackscholes::new(256), &SystemConfig::ava_x(8)), true),
-        (run_workload(&Swaptions::new(256), &SystemConfig::ava_x(8)), true),
-        (run_workload(&Axpy::new(256), &SystemConfig::ava_x(8)), false),
+        (
+            run_workload(&Blackscholes::new(256), &SystemConfig::ava_x(8)),
+            true,
+        ),
+        (
+            run_workload(&Swaptions::new(256), &SystemConfig::ava_x(8)),
+            true,
+        ),
+        (
+            run_workload(&Axpy::new(256), &SystemConfig::ava_x(8)),
+            false,
+        ),
     ] {
         assert_valid(&report);
-        assert_eq!(report.vpu.swap_ops() > 0, expect_swaps, "{}", report.workload);
+        assert_eq!(
+            report.vpu.swap_ops() > 0,
+            expect_swaps,
+            "{}",
+            report.workload
+        );
     }
 }
 
 #[test]
 fn spill_heavy_runs_stay_correct() {
     for (report, expect_spills) in [
-        (run_workload(&Blackscholes::new(256), &SystemConfig::rg_lmul(Lmul::M8)), true),
-        (run_workload(&LavaMd2::new(8, 2), &SystemConfig::rg_lmul(Lmul::M8)), true),
-        (run_workload(&ParticleFilter::new(256, 32), &SystemConfig::rg_lmul(Lmul::M2)), false),
+        (
+            run_workload(&Blackscholes::new(256), &SystemConfig::rg_lmul(Lmul::M8)),
+            true,
+        ),
+        (
+            run_workload(&LavaMd2::new(8, 2), &SystemConfig::rg_lmul(Lmul::M8)),
+            true,
+        ),
+        (
+            run_workload(
+                &ParticleFilter::new(256, 32),
+                &SystemConfig::rg_lmul(Lmul::M2),
+            ),
+            false,
+        ),
     ] {
         assert_valid(&report);
         assert_eq!(
@@ -101,7 +129,10 @@ fn spill_heavy_runs_stay_correct() {
 #[test]
 fn executed_spills_match_what_the_compiler_emitted() {
     for w in all_workloads() {
-        for sys in [SystemConfig::rg_lmul(Lmul::M4), SystemConfig::rg_lmul(Lmul::M8)] {
+        for sys in [
+            SystemConfig::rg_lmul(Lmul::M4),
+            SystemConfig::rg_lmul(Lmul::M8),
+        ] {
             let r = run_workload(w.as_ref(), &sys);
             assert_eq!(
                 r.vpu.spill_loads as usize + r.vpu.spill_stores as usize,
@@ -122,7 +153,12 @@ fn native_and_rg_never_generate_swaps_and_ava_never_needs_spills() {
         let rg = run_workload(w.as_ref(), &SystemConfig::rg_lmul(Lmul::M4));
         assert_eq!(rg.vpu.swap_ops(), 0, "{}", w.name());
         let ava = run_workload(w.as_ref(), &SystemConfig::ava_x(4));
-        assert_eq!(ava.vpu.spill_ops(), 0, "{} (AVA keeps 32 architectural registers)", w.name());
+        assert_eq!(
+            ava.vpu.spill_ops(),
+            0,
+            "{} (AVA keeps 32 architectural registers)",
+            w.name()
+        );
         assert_eq!(ava.compiler_spill_stores, 0);
     }
 }

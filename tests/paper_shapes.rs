@@ -21,7 +21,16 @@ fn speedup(workload: &dyn Workload, sys: &SystemConfig) -> f64 {
 
 #[test]
 fn table1_physical_register_counts() {
-    let expected = [(16, 64), (32, 32), (48, 21), (64, 16), (80, 12), (96, 10), (112, 9), (128, 8)];
+    let expected = [
+        (16, 64),
+        (32, 32),
+        (48, 21),
+        (64, 16),
+        (80, 12),
+        (96, 10),
+        (112, 9),
+        (128, 8),
+    ];
     for (mvl, pregs) in expected {
         assert_eq!(preg_count_for_mvl(8 * 1024, mvl), pregs);
     }
@@ -37,8 +46,14 @@ fn axpy_reconfiguration_approaches_2x_and_matches_native() {
     let rg8 = speedup(&w, &SystemConfig::rg_lmul(Lmul::M8));
     // Paper: all three reach ~2x over the short-vector baseline.
     assert!(ava8 > 1.7, "AVA X8 speedup {ava8}");
-    assert!((ava8 - native8).abs() / native8 < 0.05, "AVA X8 {ava8} vs NATIVE X8 {native8}");
-    assert!((rg8 - native8).abs() / native8 < 0.10, "RG-LMUL8 {rg8} vs NATIVE X8 {native8}");
+    assert!(
+        (ava8 - native8).abs() / native8 < 0.05,
+        "AVA X8 {ava8} vs NATIVE X8 {native8}"
+    );
+    assert!(
+        (rg8 - native8).abs() / native8 < 0.10,
+        "RG-LMUL8 {rg8} vs NATIVE X8 {native8}"
+    );
     // And no spill or swap operations exist for this two-register kernel.
     let r = run_workload(&w, &SystemConfig::ava_x(8));
     assert_eq!(r.vpu.swap_ops() + r.vpu.spill_ops(), 0);
@@ -62,7 +77,11 @@ fn axpy_speedup_grows_monotonically_with_mvl() {
 fn blackscholes_ava_x2_needs_no_swaps_but_rg_lmul2_spills() {
     let w = Blackscholes::new(512);
     let ava2 = run_workload(&w, &SystemConfig::ava_x(2));
-    assert_eq!(ava2.vpu.swap_ops(), 0, "32 physical registers fit the kernel");
+    assert_eq!(
+        ava2.vpu.swap_ops(),
+        0,
+        "32 physical registers fit the kernel"
+    );
     let rg2 = run_workload(&w, &SystemConfig::rg_lmul(Lmul::M2));
     assert!(rg2.vpu.spill_ops() > 0, "16 architectural registers do not");
 }
@@ -97,7 +116,10 @@ fn blackscholes_ava_x8_beats_rg_lmul8() {
     let ava = speedup(&w, &SystemConfig::ava_x(8));
     let rg = speedup(&w, &SystemConfig::rg_lmul(Lmul::M8));
     assert!(ava > rg, "AVA X8 {ava} should beat RG-LMUL8 {rg}");
-    assert!(ava > 1.3, "AVA X8 should still clearly beat the baseline, got {ava}");
+    assert!(
+        ava > 1.3,
+        "AVA X8 should still clearly beat the baseline, got {ava}"
+    );
 }
 
 // ----------------------------------------------------------- Figure 3c (LavaMD2)
@@ -110,7 +132,10 @@ fn lavamd_peaks_at_x3_and_larger_mvls_add_nothing() {
     let x4 = speedup(&w, &SystemConfig::ava_x(4));
     assert!((x1 - 1.0).abs() < 1e-9);
     assert!(x3 > 1.2, "48-element vectors need MVL=48, got {x3}");
-    assert!(x4 <= x3 + 0.05, "beyond VL=48 nothing improves: X4 {x4} vs X3 {x3}");
+    assert!(
+        x4 <= x3 + 0.05,
+        "beyond VL=48 nothing improves: X4 {x4} vs X3 {x3}"
+    );
     // X3 needs no swaps: 21 physical registers cover the kernel.
     let r3 = run_workload(&w, &SystemConfig::ava_x(3));
     assert_eq!(r3.vpu.swap_ops(), 0);
@@ -123,14 +148,20 @@ fn lavamd_rg_lmul8_collapses_under_full_mvl_spill_code() {
     let rg8_speedup = speedup(&w, &SystemConfig::rg_lmul(Lmul::M8));
     // Paper: RG-LMUL8 drops below the baseline (0.48x) because spill code
     // executes at MVL=128 while the application only uses 48 elements.
-    assert!(rg8_speedup < 1.0, "RG-LMUL8 should fall below 1.0x, got {rg8_speedup}");
+    assert!(
+        rg8_speedup < 1.0,
+        "RG-LMUL8 should fall below 1.0x, got {rg8_speedup}"
+    );
     assert!(
         rg8.vpu.spill_ops() > rg8.vpu.vloads + rg8.vpu.vstores,
         "spill code should dominate the memory stream"
     );
     // AVA X8 also degrades but stays well above RG-LMUL8.
     let ava8 = speedup(&w, &SystemConfig::ava_x(8));
-    assert!(ava8 > rg8_speedup, "AVA X8 {ava8} vs RG-LMUL8 {rg8_speedup}");
+    assert!(
+        ava8 > rg8_speedup,
+        "AVA X8 {ava8} vs RG-LMUL8 {rg8_speedup}"
+    );
 }
 
 // ----------------------------------------- Figure 3d/3e (Particle Filter, Somier)
@@ -153,10 +184,17 @@ fn particlefilter_and_somier_scale_with_mvl_without_spills_until_the_extremes() 
 fn somier_spills_only_at_lmul8() {
     let so = Somier::new(2048);
     assert_eq!(
-        run_workload(&so, &SystemConfig::rg_lmul(Lmul::M4)).vpu.spill_ops(),
+        run_workload(&so, &SystemConfig::rg_lmul(Lmul::M4))
+            .vpu
+            .spill_ops(),
         0
     );
-    assert!(run_workload(&so, &SystemConfig::rg_lmul(Lmul::M8)).vpu.spill_ops() > 0);
+    assert!(
+        run_workload(&so, &SystemConfig::rg_lmul(Lmul::M8))
+            .vpu
+            .spill_ops()
+            > 0
+    );
 }
 
 // --------------------------------------------------------- Figure 3f (Swaptions)
@@ -170,7 +208,12 @@ fn swaptions_ava_outperforms_rg_at_every_grouping_factor() {
     ] {
         let s_ava = speedup(&w, &ava);
         let s_rg = speedup(&w, &rg);
-        assert!(s_ava > s_rg, "{}: {s_ava} vs {}: {s_rg}", ava.label(), rg.label());
+        assert!(
+            s_ava > s_rg,
+            "{}: {s_ava} vs {}: {s_rg}",
+            ava.label(),
+            rg.label()
+        );
     }
 }
 
@@ -181,9 +224,13 @@ fn ava_saves_roughly_half_the_vpu_area_of_native_x8() {
     let ava = vpu_area(&VpuConfig::ava_x(8)).total();
     let native = vpu_area(&VpuConfig::native_x(8)).total();
     let saving = 1.0 - ava / native;
-    assert!((0.4..0.65).contains(&saving), "paper reports ~53 %, got {saving:.2}");
+    assert!(
+        (0.4..0.65).contains(&saving),
+        "paper reports ~53 %, got {saving:.2}"
+    );
     // The AVA structures themselves are a negligible fraction.
-    let overhead = vpu_area(&VpuConfig::ava_x(1)).ava_structures / vpu_area(&VpuConfig::ava_x(1)).total();
+    let overhead =
+        vpu_area(&VpuConfig::ava_x(1)).ava_structures / vpu_area(&VpuConfig::ava_x(1)).total();
     assert!(overhead < 0.01, "paper reports 0.55 %, got {overhead:.4}");
 }
 

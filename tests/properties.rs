@@ -2,14 +2,30 @@
 //! kernels must produce identical results no matter which register-file
 //! organisation executes them, the register allocator must always respect
 //! its budget, and the cache hierarchy must never change functional values.
-
-use proptest::prelude::*;
+//!
+//! The container has no access to crates.io, so instead of proptest these
+//! tests drive a deterministic SplitMix64 case generator: every run explores
+//! the same cases, and a failing case is reproducible from its index alone.
 
 use ava::compiler::{compile, CompileOptions, KernelBuilder, VirtReg};
 use ava::isa::Lmul;
 use ava::memory::MemoryHierarchy;
 use ava::sim::SystemConfig;
 use ava::vpu::Vpu;
+use ava::workloads::data::DataGen;
+
+const CASES: u64 = 24;
+
+/// The deterministic stream for one case index (the workloads' SplitMix64
+/// generator, seeded so every case explores a distinct sequence).
+fn case_rng(case: u64) -> DataGen {
+    DataGen::from_seed(0xDEAD_BEEF_CAFE_F00D ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A value in `[lo, hi]`.
+fn in_range(rng: &mut DataGen, lo: u64, hi: u64) -> u64 {
+    lo + rng.next_u64() % (hi - lo + 1)
+}
 
 /// A tiny random straight-line kernel description: a sequence of operation
 /// selectors over a pool of live values.
@@ -19,13 +35,20 @@ struct RandomKernel {
     vl: usize,
 }
 
-fn random_kernel_strategy() -> impl Strategy<Value = RandomKernel> {
-    (prop::collection::vec(0u8..=5, 4..60), 1usize..=16).prop_map(|(ops, vl)| RandomKernel { ops, vl })
+fn random_kernel(case: u64) -> RandomKernel {
+    let mut rng = case_rng(case);
+    let len = in_range(&mut rng, 4, 59) as usize;
+    let ops = (0..len).map(|_| in_range(&mut rng, 0, 5) as u8).collect();
+    let vl = in_range(&mut rng, 1, 16) as usize;
+    RandomKernel { ops, vl }
 }
 
 /// Materialises the random kernel: allocates an input array, builds the IR
 /// with the kernel builder, and returns (kernel, output addresses).
-fn build_kernel(mem: &mut MemoryHierarchy, spec: &RandomKernel) -> (ava::compiler::IrKernel, Vec<u64>) {
+fn build_kernel(
+    mem: &mut MemoryHierarchy,
+    spec: &RandomKernel,
+) -> (ava::compiler::IrKernel, Vec<u64>) {
     let n = 64usize;
     let input = mem.allocate((n * 8) as u64);
     for i in 0..n {
@@ -74,7 +97,10 @@ fn run_on(spec: &RandomKernel, sys: &SystemConfig, lmul: Lmul) -> Vec<f64> {
     let mut mem = MemoryHierarchy::default();
     let (kernel, outputs) = build_kernel(&mut mem, spec);
     let spill_base = mem.allocate(64 * 1024);
-    let compiled = compile(&kernel, &CompileOptions::new(lmul, spill_base, (sys.mvl() * 8) as u64));
+    let compiled = compile(
+        &kernel,
+        &CompileOptions::new(lmul, spill_base, (sys.mvl() * 8) as u64),
+    );
     let mut vpu = Vpu::new(sys.vpu.clone(), &mut mem);
     let _ = vpu.run(&compiled.program, &mut mem);
     outputs
@@ -84,43 +110,62 @@ fn run_on(spec: &RandomKernel, sys: &SystemConfig, lmul: Lmul) -> Vec<f64> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The same program produces bit-identical results on the conventional
-    /// long-vector design, on AVA with its tiny 8-register P-VRF (heavy swap
-    /// traffic), and on the register-grouped baseline (heavy spill traffic).
-    #[test]
-    fn results_are_identical_across_organisations(spec in random_kernel_strategy()) {
+/// The same program produces bit-identical results on the conventional
+/// long-vector design, on AVA with its tiny 8-register P-VRF (heavy swap
+/// traffic), and on the register-grouped baseline (heavy spill traffic).
+#[test]
+fn results_are_identical_across_organisations() {
+    for case in 0..CASES {
+        let spec = random_kernel(case);
         let reference = run_on(&spec, &SystemConfig::native_x(8), Lmul::M1);
         let ava = run_on(&spec, &SystemConfig::ava_x(8), Lmul::M1);
         let rg = run_on(&spec, &SystemConfig::rg_lmul(Lmul::M8), Lmul::M8);
-        prop_assert_eq!(&reference, &ava, "AVA X8 diverged from NATIVE X8");
-        prop_assert_eq!(&reference, &rg, "RG-LMUL8 diverged from NATIVE X8");
+        assert_eq!(
+            reference, ava,
+            "case {case}: AVA X8 diverged from NATIVE X8"
+        );
+        assert_eq!(
+            reference, rg,
+            "case {case}: RG-LMUL8 diverged from NATIVE X8"
+        );
     }
+}
 
-    /// The register allocator never exceeds the architectural budget and
-    /// never loses a value, for any grouping factor.
-    #[test]
-    fn register_allocation_respects_every_budget(spec in random_kernel_strategy()) {
+/// The register allocator never exceeds the architectural budget and
+/// never loses a value, for any grouping factor.
+#[test]
+fn register_allocation_respects_every_budget() {
+    for case in 0..CASES {
+        let spec = random_kernel(case);
         let mut mem = MemoryHierarchy::default();
         let (kernel, _) = build_kernel(&mut mem, &spec);
         for lmul in Lmul::all() {
             let compiled = compile(&kernel, &CompileOptions::new(lmul, 0x100_0000, 1024));
-            prop_assert!(compiled.registers_used <= lmul.architectural_registers());
+            assert!(
+                compiled.registers_used <= lmul.architectural_registers(),
+                "case {case}"
+            );
             for reg in compiled.program.used_registers() {
-                prop_assert_eq!(reg.index() % lmul.factor(), 0, "register {} is not a group base", reg);
+                assert_eq!(
+                    reg.index() % lmul.factor(),
+                    0,
+                    "case {case}: register {reg} is not a group base"
+                );
             }
-            prop_assert!(compiled.spill_loads >= compiled.spill_stores);
+            assert!(compiled.spill_loads >= compiled.spill_stores, "case {case}");
         }
     }
+}
 
-    /// Cache warm-up and timing queries never alter functional memory.
-    #[test]
-    fn timing_accesses_never_corrupt_functional_state(
-        values in prop::collection::vec(-1e6f64..1e6, 1..64),
-        stride in 1u64..64,
-    ) {
+/// Cache warm-up and timing queries never alter functional memory.
+#[test]
+fn timing_accesses_never_corrupt_functional_state() {
+    for case in 0..CASES {
+        let mut rng = case_rng(case);
+        let n = in_range(&mut rng, 1, 63) as usize;
+        let values: Vec<f64> = (0..n).map(|_| rng.uniform(-1e6, 1e6)).collect();
+        let stride = in_range(&mut rng, 1, 63);
+
         let mut mem = MemoryHierarchy::default();
         let base = mem.allocate((values.len() * 8) as u64);
         for (i, v) in values.iter().enumerate() {
@@ -129,19 +174,28 @@ proptest! {
         // Timing-side activity.
         mem.warm_caches();
         let _ = mem.vector_access(base, (values.len() * 8) as u64, false);
-        let addrs: Vec<u64> = (0..values.len() as u64).map(|i| base + i * 8 * stride % 4096).collect();
+        let addrs: Vec<u64> = (0..values.len() as u64)
+            .map(|i| base + i * 8 * stride % 4096)
+            .collect();
         let _ = mem.vector_access_elements(&addrs, true);
         let _ = mem.scalar_access(base, true);
         mem.flush_caches();
         for (i, v) in values.iter().enumerate() {
-            prop_assert_eq!(mem.read_f64(base + 8 * i as u64), *v);
+            assert_eq!(
+                mem.read_f64(base + 8 * i as u64),
+                *v,
+                "case {case}, value {i}"
+            );
         }
     }
+}
 
-    /// The VPU never deadlocks and always reports monotonically consistent
-    /// statistics for arbitrary kernels on the smallest register file.
-    #[test]
-    fn tiny_register_files_never_deadlock(spec in random_kernel_strategy()) {
+/// The VPU never deadlocks and always reports monotonically consistent
+/// statistics for arbitrary kernels on the smallest register file.
+#[test]
+fn tiny_register_files_never_deadlock() {
+    for case in 0..CASES {
+        let spec = random_kernel(case);
         let sys = SystemConfig::ava_x(8);
         let mut mem = MemoryHierarchy::default();
         let (kernel, _) = build_kernel(&mut mem, &spec);
@@ -149,11 +203,15 @@ proptest! {
         let compiled = compile(&kernel, &CompileOptions::new(Lmul::M1, spill_base, 1024));
         let mut vpu = Vpu::new(sys.vpu.clone(), &mut mem);
         let result = vpu.run(&compiled.program, &mut mem);
-        prop_assert!(result.cycles > 0);
+        assert!(result.cycles > 0, "case {case}");
         // Everything the program contains (minus vsetvl) must have been
         // issued, plus whatever swap traffic the hardware added.
         let program_issue = compiled.program.len() as u64 - result.stats.config_instrs;
-        prop_assert!(result.stats.issued_instrs() >= program_issue);
-        prop_assert_eq!(result.stats.issued_instrs() - result.stats.swap_ops(), program_issue);
+        assert!(result.stats.issued_instrs() >= program_issue, "case {case}");
+        assert_eq!(
+            result.stats.issued_instrs() - result.stats.swap_ops(),
+            program_issue,
+            "case {case}"
+        );
     }
 }

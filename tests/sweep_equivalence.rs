@@ -1,0 +1,126 @@
+//! The sweep engine's core guarantee: a parallel sweep is observably
+//! indistinguishable from running the same grid serially. Every counter in
+//! every report — cycles, instruction counts, memory traffic, validation —
+//! must match bit-for-bit, at any thread count, with the shared program
+//! cache enabled (its hits must not perturb results either).
+
+use std::sync::Arc;
+
+use ava::isa::Lmul;
+use ava::sim::{run_workload, Sweep, SystemConfig};
+use ava::workloads::{
+    Axpy, Blackscholes, LavaMd2, ParticleFilter, SharedWorkload, Somier, Swaptions,
+};
+
+/// A 36-point grid (6 workloads × 6 configurations) covering all three
+/// register-file organisations, the spill-heavy and swap-heavy regimes
+/// included.
+fn grid() -> Sweep {
+    let workloads: Vec<SharedWorkload> = vec![
+        Arc::new(Axpy::new(512)),
+        Arc::new(Blackscholes::new(128)),
+        Arc::new(LavaMd2::new(16, 2)),
+        Arc::new(ParticleFilter::new(256, 32)),
+        Arc::new(Somier::new(512)),
+        Arc::new(Swaptions::new(128)),
+    ];
+    let systems = vec![
+        SystemConfig::native_x(1),
+        SystemConfig::native_x(8),
+        SystemConfig::ava_x(2),
+        SystemConfig::ava_x(8),
+        SystemConfig::rg_lmul(Lmul::M4),
+        SystemConfig::rg_lmul(Lmul::M8),
+    ];
+    Sweep::grid(workloads, systems)
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let sweep = grid();
+    assert!(
+        sweep.len() >= 30,
+        "the acceptance grid must have at least 30 points"
+    );
+
+    let serial = sweep.run_serial();
+    assert_eq!(serial.len(), sweep.len());
+    for threads in [2, 4, 16] {
+        let parallel = sweep.run_parallel_with(threads);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            let point = format!("{} on {} ({threads} threads)", s.workload, s.config);
+            assert_eq!(
+                s.workload, p.workload,
+                "{point}: order must be deterministic"
+            );
+            assert_eq!(s.config, p.config, "{point}: order must be deterministic");
+            assert_eq!(s.cycles, p.cycles, "{point}: cycles");
+            assert_eq!(s.vpu_cycles, p.vpu_cycles, "{point}: vpu cycles");
+            assert_eq!(s.validated, p.validated, "{point}: validation");
+            assert_eq!(
+                s.validation_error, p.validation_error,
+                "{point}: validation error"
+            );
+            assert_eq!(
+                s.vpu.issued_instrs(),
+                p.vpu.issued_instrs(),
+                "{point}: issued instrs"
+            );
+            assert_eq!(s.vpu.swap_ops(), p.vpu.swap_ops(), "{point}: swap ops");
+            assert_eq!(s.vpu.spill_ops(), p.vpu.spill_ops(), "{point}: spill ops");
+            assert_eq!(
+                s.memory_instructions(),
+                p.memory_instructions(),
+                "{point}: memory instrs"
+            );
+            assert_eq!(
+                s.compiler_spill_loads, p.compiler_spill_loads,
+                "{point}: spill loads"
+            );
+            assert_eq!(
+                s.compiler_spill_stores, p.compiler_spill_stores,
+                "{point}: spill stores"
+            );
+            assert_eq!(
+                s.register_pressure, p.register_pressure,
+                "{point}: pressure"
+            );
+            // Debug formatting covers every remaining field (mem + scalar
+            // stats) without enumerating them one by one.
+            assert_eq!(format!("{s:?}"), format!("{p:?}"), "{point}: full report");
+        }
+    }
+}
+
+#[test]
+fn sweep_matches_the_plain_runner_point_by_point() {
+    // The sweep (cached compiles included) must agree with independent
+    // `run_workload` calls — the path every pre-sweep caller used.
+    let sweep = grid();
+    let reports = sweep.run_parallel();
+    let systems = sweep.systems().to_vec();
+    for (i, report) in reports.iter().enumerate() {
+        let workload = &sweep.workloads()[i / systems.len()];
+        let system = &systems[i % systems.len()];
+        let direct = run_workload(workload.as_ref(), system);
+        assert_eq!(
+            format!("{report:?}"),
+            format!("{direct:?}"),
+            "{} on {}",
+            report.workload,
+            report.config
+        );
+    }
+}
+
+#[test]
+fn every_point_of_the_acceptance_grid_validates() {
+    for r in grid().run_parallel() {
+        assert!(
+            r.validated,
+            "{} on {}: {:?}",
+            r.workload, r.config, r.validation_error
+        );
+    }
+}
