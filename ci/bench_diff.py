@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Diff freshly recorded BENCH_*.json files against the committed baselines.
+
+Usage: bench_diff.py <baseline_dir> <current_dir> [--fail-ratio 2.0] [--warn-ratio 1.3]
+
+The recorder (`cargo run --release -p ava-bench --bin bench_baseline`) emits
+one BENCH_<suite>.json per suite; this script compares the noise-resistant
+`min_ns` of every benchmark against the committed baseline. CI runners are
+noisy and differ from the machines baselines were recorded on, so the gate
+is deliberately generous: only a >2x slowdown fails, anything above the warn
+ratio is reported but does not fail the job. A benchmark present in the
+baseline but missing from the fresh run fails (coverage must not silently
+shrink); new benchmarks are reported as candidates for re-baselining.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_suite(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "ava-bench-baseline/v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {b["name"]: b for b in doc["benchmarks"]}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline_dir", type=pathlib.Path)
+    ap.add_argument("current_dir", type=pathlib.Path)
+    ap.add_argument("--fail-ratio", type=float, default=2.0,
+                    help="fail when current min_ns exceeds baseline by this factor")
+    ap.add_argument("--warn-ratio", type=float, default=1.3,
+                    help="warn (but pass) above this factor")
+    args = ap.parse_args()
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        sys.exit(f"no BENCH_*.json baselines found in {args.baseline_dir}")
+
+    failures, warnings, notes = [], [], []
+    for base_path in baselines:
+        cur_path = args.current_dir / base_path.name
+        if not cur_path.exists():
+            failures.append(f"{base_path.name}: suite was not recorded in {args.current_dir}")
+            continue
+        base, cur = load_suite(base_path), load_suite(cur_path)
+        for name, b in base.items():
+            c = cur.get(name)
+            if c is None:
+                failures.append(f"{name}: benchmark disappeared from the fresh run")
+                continue
+            ratio = c["min_ns"] / max(b["min_ns"], 1e-9)
+            line = (f"{name}: {b['min_ns']:.0f} ns -> {c['min_ns']:.0f} ns "
+                    f"({ratio:.2f}x)")
+            if ratio > args.fail_ratio:
+                failures.append(line)
+            elif ratio > args.warn_ratio:
+                warnings.append(line)
+        for name in sorted(set(cur) - set(base)):
+            notes.append(f"{name}: new benchmark (not in baseline; consider re-recording)")
+    for cur_path in sorted(args.current_dir.glob("BENCH_*.json")):
+        if not (args.baseline_dir / cur_path.name).exists():
+            notes.append(f"{cur_path.name}: new suite with no committed baseline "
+                         f"(not gated; commit it to {args.baseline_dir})")
+
+    for prefix, lines in (("NOTE", notes), ("WARN", warnings), ("FAIL", failures)):
+        for line in lines:
+            print(f"{prefix}  {line}")
+    total = sum(len(load_suite(p)) for p in baselines)
+    print(f"compared {total} benchmarks across {len(baselines)} suites: "
+          f"{len(failures)} failures, {len(warnings)} warnings")
+    if failures:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,29 +1,11 @@
-//! Benches behind Figure 3: end-to-end simulation of each application on
-//! the key configurations (NATIVE X1, NATIVE X8, AVA X8, RG-LMUL8). Each
-//! benchmark measures the wall-clock cost of one full compile + simulate +
-//! validate pass of the reproduction pipeline; the *simulated* cycle numbers
-//! behind the figure are printed by the `fig3` binary.
+//! Thin wrapper over [`ava_bench::suites`]: end-to-end simulation of each
+//! application on the key configurations. The suite body lives in the
+//! library so the `bench_baseline` recorder can persist the same numbers.
 
-use ava_bench::bench_workloads;
-use ava_bench::microbench::{bench, header};
-use ava_isa::Lmul;
-use ava_sim::{run_workload, SystemConfig};
+use ava_bench::microbench::{header, print_result};
+use ava_bench::suites::run_suite;
 
 fn main() {
-    let systems = [
-        SystemConfig::native_x(1),
-        SystemConfig::native_x(8),
-        SystemConfig::ava_x(8),
-        SystemConfig::rg_lmul(Lmul::M8),
-    ];
-    header("fig3");
-    for workload in bench_workloads() {
-        for sys in &systems {
-            bench(&format!("fig3/{}/{}", workload.name(), sys.label()), || {
-                let report = run_workload(workload.as_ref(), sys);
-                assert!(report.validated, "{:?}", report.validation_error);
-                report.cycles
-            });
-        }
-    }
+    header("fig3_kernels");
+    run_suite("fig3_kernels", print_result);
 }

@@ -1,20 +1,12 @@
-//! Benches behind Figure 4 and Table V: the McPAT-style area and energy
-//! evaluation and the analytical post-PnR estimator.
+//! Thin wrapper over [`ava_bench::suites`]: the McPAT-style area/energy
+//! evaluation and the analytical post-PnR estimator behind Figure 4 and
+//! Table V. The suite body lives in the library so the `bench_baseline`
+//! recorder can persist the same numbers.
 
-use ava_bench::microbench::{bench, header};
-use ava_energy::{energy_breakdown, pnr_estimate, system_area, EnergyParams};
-use ava_sim::{run_workload, SystemConfig};
-use ava_workloads::Axpy;
+use ava_bench::microbench::{header, print_result};
+use ava_bench::suites::run_suite;
 
 fn main() {
-    let params = EnergyParams::default();
-    let sys = SystemConfig::ava_x(8);
-    let report = run_workload(&Axpy::new(1024), &sys);
-
     header("fig4_area");
-    bench("fig4/system_area", || system_area(&sys.vpu).total());
-    bench("fig4/energy_breakdown", || {
-        energy_breakdown(&report, &sys.vpu, &params).total()
-    });
-    bench("table5/pnr_estimate", || pnr_estimate(&sys.vpu).area_mm2);
+    run_suite("fig4_area", print_result);
 }

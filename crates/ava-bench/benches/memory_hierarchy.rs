@@ -1,27 +1,12 @@
-//! Memory-hierarchy benches: unit-stride and strided vector accesses through
-//! the L2/DRAM timing model, and the scalar L1 hit path.
+//! Thin wrapper over [`ava_bench::suites`]: unit-stride and strided vector
+//! accesses through the L2/DRAM timing model, and the scalar L1 hit path.
+//! The suite body lives in the library so the `bench_baseline` recorder can
+//! persist the same numbers.
 
-use ava_bench::microbench::{bench, header};
-use ava_memory::{HierarchyConfig, MemoryHierarchy};
+use ava_bench::microbench::{header, print_result};
+use ava_bench::suites::run_suite;
 
 fn main() {
     header("memory_hierarchy");
-
-    let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
-    let base = mem.allocate(128 * 8);
-    bench("memory/unit_stride_128_elems", || {
-        mem.vector_access(base, 128 * 8, false).total_cycles
-    });
-
-    let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
-    let base = mem.allocate(128 * 512);
-    let addrs: Vec<u64> = (0..128u64).map(|i| base + i * 512).collect();
-    bench("memory/strided_128_elems", || {
-        mem.vector_access_elements(&addrs, false).total_cycles
-    });
-
-    let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
-    let base = mem.allocate(64);
-    mem.scalar_access(base, false);
-    bench("memory/scalar_l1_hit", || mem.scalar_access(base, false));
+    run_suite("memory_hierarchy", print_result);
 }

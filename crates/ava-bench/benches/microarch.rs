@@ -1,70 +1,12 @@
-//! Microarchitecture component benches: the renaming unit, the Register
-//! Access Counters, the Swap Logic victim selection, and the register
-//! allocator that produces spill code. These are the structures the paper
-//! adds to the VPU, so their cost in the simulator is tracked explicitly.
+//! Thin wrapper over [`ava_bench::suites`]: the renaming unit, the Register
+//! Access Counters, the Swap Logic victim selection, and the spilling
+//! register allocator. The suite body lives in the library so the
+//! `bench_baseline` recorder can persist the same numbers.
 
-use ava_bench::microbench::{bench, header};
-use ava_compiler::{compile, CompileOptions, KernelBuilder};
-use ava_isa::{Lmul, VReg};
-use ava_vpu::rac::Rac;
-use ava_vpu::rename::RenameUnit;
-use ava_vpu::swap::SwapLogic;
-use ava_vpu::vrf_mapping::VrfMapping;
-
-fn bench_rename() {
-    bench("microarch/rename_chain", || {
-        let mut unit = RenameUnit::new(64);
-        let mut released = Vec::new();
-        for i in 0..1000u32 {
-            let dst = VReg::new((i % 32) as u8);
-            let renamed = unit.rename(Some(dst), &[]).unwrap();
-            if let Some(old) = renamed.old_dst {
-                released.push(old);
-                if released.len() > 16 {
-                    unit.release(released.remove(0));
-                }
-            }
-        }
-        unit.free_count()
-    });
-}
-
-fn bench_swap_logic() {
-    let mut mapping = VrfMapping::new(64, 8);
-    let mut rac = Rac::new(64);
-    for v in 0..8u16 {
-        mapping.allocate_physical(v).unwrap();
-        for _ in 0..=v {
-            rac.increment(v);
-        }
-    }
-    let logic = SwapLogic::new();
-    bench("microarch/swap_victim_selection", || {
-        logic.plan_free_register(&mapping, &rac, &[0, 1])
-    });
-}
-
-fn bench_register_allocation() {
-    // A kernel with 24 simultaneously-live values allocated onto the
-    // 4-register LMUL=8 budget: the worst spill case of the evaluation.
-    let mut builder = KernelBuilder::new("pressure");
-    let vals: Vec<_> = (0..24).map(|i| builder.vload(64 * i as u64)).collect();
-    let mut acc = vals[0];
-    for &v in &vals[1..] {
-        acc = builder.vfadd(acc, v);
-    }
-    builder.vstore(acc, 0x10_0000);
-    let kernel = builder.finish();
-    bench("microarch/regalloc_spilling", || {
-        let out = compile(&kernel, &CompileOptions::new(Lmul::M8, 0x40_0000, 1024));
-        assert!(out.spill_stores > 0);
-        out.program.len()
-    });
-}
+use ava_bench::microbench::{header, print_result};
+use ava_bench::suites::run_suite;
 
 fn main() {
     header("microarch");
-    bench_rename();
-    bench_swap_logic();
-    bench_register_allocation();
+    run_suite("microarch", print_result);
 }

@@ -1,0 +1,97 @@
+//! Baseline recorder: runs every micro-benchmark suite and persists the
+//! results as `BENCH_<suite>.json`, one file per suite, so CI can diff the
+//! simulator's wall-clock cost against the committed baselines
+//! (`ci/baselines/`) and catch reproduction-infrastructure slowdowns.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_baseline [--out-dir <dir>] [--suite <name>]...
+//! ```
+//!
+//! With no `--suite` flags every suite runs. The emitted schema is:
+//!
+//! ```json
+//! {"schema":"ava-bench-baseline/v1","suite":"fig3_kernels",
+//!  "benchmarks":[{"name":"fig3/axpy/NATIVE X1","iters":123,
+//!                 "min_ns":456.0,"mean_ns":789.0}, ...]}
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use ava_bench::microbench::{header, print_result, BenchResult};
+use ava_bench::suites::{run_suite, SUITE_NAMES};
+use ava_sim::json::{object, Json};
+
+fn suite_json(suite: &str, results: &[BenchResult]) -> Json {
+    object()
+        .field("schema", "ava-bench-baseline/v1")
+        .field("suite", suite)
+        .field(
+            "benchmarks",
+            results
+                .iter()
+                .map(|r| {
+                    object()
+                        .field("name", r.name.as_str())
+                        .field("iters", r.iters)
+                        .field("min_ns", r.min_ns)
+                        .field("mean_ns", r.mean_ns)
+                        .finish()
+                })
+                .collect::<Json>(),
+        )
+        .finish()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = ".".to_string();
+    let mut suites: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out-dir" if i + 1 < args.len() => {
+                out_dir = args[i + 1].clone();
+                i += 2;
+            }
+            "--suite" if i + 1 < args.len() => {
+                suites.push(args[i + 1].clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("unrecognised argument: {other}");
+                eprintln!("usage: bench_baseline [--out-dir <dir>] [--suite <name>]...");
+                eprintln!("suites: {SUITE_NAMES:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if suites.is_empty() {
+        suites = SUITE_NAMES.iter().map(ToString::to_string).collect();
+    }
+    for suite in &suites {
+        if !SUITE_NAMES.contains(&suite.as_str()) {
+            eprintln!("unknown suite {suite:?} (expected one of {SUITE_NAMES:?})");
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {out_dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    for suite in &suites {
+        header(suite);
+        let results = run_suite(suite, print_result);
+        let path = Path::new(&out_dir).join(format!("BENCH_{suite}.json"));
+        let doc = suite_json(suite, &results);
+        if let Err(e) = std::fs::write(&path, format!("{doc}\n")) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -9,17 +9,32 @@
 //! Usage:
 //!
 //! ```text
-//! fig3 [--app <name>] [--chart mem|mix|perf|energy|all] [--threads <n>]
+//! fig3 [--app <name>] [--chart mem|mix|perf|energy|all] [--threads <n>] [--json <path>]
 //! ```
+//!
+//! With `--json`, the instrumented sweep report (per-point counters,
+//! wall-clock timing and compile-cache statistics) is additionally written
+//! to `<path>` for CI and downstream plotting.
 
+use std::process::ExitCode;
+
+use ava_bench::cli::{emit_json, take_json_flag};
 use ava_bench::{
     evaluated_systems, figure3_sweep, format_energy, format_instruction_mix,
     format_memory_breakdown, format_performance, paper_workloads,
 };
+use ava_sim::json::object;
 use ava_workloads::SharedWorkload;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match take_json_flag(&mut args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
     let mut app_filter: Option<String> = None;
     let mut chart = "all".to_string();
     let mut threads: Option<usize> = None;
@@ -39,7 +54,7 @@ fn main() {
                     Ok(n) => Some(n),
                     Err(_) => {
                         eprintln!("invalid --threads value: {}", args[i + 1]);
-                        std::process::exit(2);
+                        return ExitCode::from(2);
                     }
                 };
                 i += 2;
@@ -47,9 +62,9 @@ fn main() {
             other => {
                 eprintln!("unrecognised argument: {other}");
                 eprintln!(
-                    "usage: fig3 [--app <name>] [--chart mem|mix|perf|energy|all] [--threads <n>]"
+                    "usage: fig3 [--app <name>] [--chart mem|mix|perf|energy|all] [--threads <n>] [--json <path>]"
                 );
-                std::process::exit(2);
+                return ExitCode::from(2);
             }
         }
     }
@@ -60,7 +75,7 @@ fn main() {
         .collect();
     if workloads.is_empty() {
         eprintln!("no workload matches --app filter");
-        std::process::exit(2);
+        return ExitCode::from(2);
     }
 
     let per_workload = evaluated_systems().len();
@@ -71,12 +86,12 @@ fn main() {
         workloads.len(),
         per_workload
     );
-    let reports = match threads {
-        Some(n) => sweep.run_parallel_with(n),
-        None => sweep.run_parallel(),
+    let report = match threads {
+        Some(n) => sweep.run_parallel_report_with(n),
+        None => sweep.run_parallel_report(),
     };
 
-    for (workload, runs) in workloads.iter().zip(reports.chunks(per_workload)) {
+    for (workload, runs) in workloads.iter().zip(report.reports.chunks(per_workload)) {
         let name = workload.name();
         if chart == "mem" || chart == "all" {
             println!("{}", format_memory_breakdown(name, runs));
@@ -91,4 +106,12 @@ fn main() {
             println!("{}", format_energy(name, runs));
         }
     }
+
+    emit_json(json_path.as_deref(), || {
+        object()
+            .field("artefact", "fig3")
+            .field("chart", chart.as_str())
+            .field("sweep", report.to_json())
+            .finish()
+    })
 }

@@ -1,8 +1,48 @@
 //! Regenerates Figure 4 of the paper: the area breakdown of every VPU
 //! configuration (McPAT-style model at 22 nm) and the average
 //! performance-per-mm² across the six applications.
+//!
+//! Usage: `fig4 [--json <path>]` — with `--json`, the chart rows and the
+//! instrumented sweep report are additionally written to `<path>`.
 
-fn main() {
+use std::process::ExitCode;
+
+use ava_bench::cli::{emit_json, json_only_args};
+use ava_sim::json::{object, Json};
+
+fn main() -> ExitCode {
+    let json_path = match json_only_args("fig4 [--json <path>]") {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+
     let workloads = ava_bench::paper_workloads();
-    print!("{}", ava_bench::format_figure4(&workloads));
+    let data = ava_bench::figure4_data(&workloads);
+    print!("{}", ava_bench::format_figure4_from(&data));
+
+    emit_json(json_path.as_deref(), || {
+        object()
+            .field("artefact", "fig4")
+            .field(
+                "rows",
+                data.rows
+                    .iter()
+                    .map(|r| {
+                        object()
+                            .field("config", r.label.as_str())
+                            .field("vrf_mm2", r.vrf)
+                            .field("fpu_mm2", r.fpus)
+                            .field("ava_mm2", r.ava_structures)
+                            .field("vpu_total_mm2", r.vpu_total)
+                            .field("core_mm2", r.core)
+                            .field("l1_mm2", r.l1)
+                            .field("l2_mm2", r.l2)
+                            .field("perf_per_mm2", r.perf_per_mm2)
+                            .finish()
+                    })
+                    .collect::<Json>(),
+            )
+            .field("sweep", data.sweep.to_json())
+            .finish()
+    })
 }

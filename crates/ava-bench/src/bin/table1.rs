@@ -1,6 +1,38 @@
 //! Regenerates Table I of the paper: the physical vector register file
 //! configurations supported by the 8 KB AVA P-VRF.
+//!
+//! Usage: `table1 [--json <path>]`.
 
-fn main() {
+use std::process::ExitCode;
+
+use ava_bench::cli::{emit_json, json_only_args};
+use ava_bench::{table1_rows, TABLE1_PVRF_BYTES};
+use ava_sim::json::{object, Json};
+
+fn main() -> ExitCode {
+    let json_path = match json_only_args("table1 [--json <path>]") {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+
     print!("{}", ava_bench::format_table1());
+
+    emit_json(json_path.as_deref(), || {
+        object()
+            .field("artefact", "table1")
+            .field("pvrf_bytes", TABLE1_PVRF_BYTES)
+            .field(
+                "configurations",
+                table1_rows()
+                    .into_iter()
+                    .map(|(mvl, pregs)| {
+                        object()
+                            .field("mvl", mvl)
+                            .field("physical_regs", pregs)
+                            .finish()
+                    })
+                    .collect::<Json>(),
+            )
+            .finish()
+    })
 }

@@ -1,7 +1,44 @@
 //! Regenerates Table V of the paper: post-place-and-route area, power and
 //! timing estimates for the NATIVE X8 and AVA designs (analytical stand-in
 //! for the Cadence flow; see DESIGN.md for the substitution notes).
+//!
+//! Usage: `table5 [--json <path>]`.
 
-fn main() {
+use std::process::ExitCode;
+
+use ava_bench::cli::{emit_json, json_only_args};
+use ava_energy::pnr_estimate;
+use ava_sim::json::{object, Json};
+
+fn main() -> ExitCode {
+    let json_path = match json_only_args("table5 [--json <path>]") {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+
     print!("{}", ava_bench::format_table5());
+
+    emit_json(json_path.as_deref(), || {
+        object()
+            .field("artefact", "table5")
+            .field(
+                "rows",
+                ava_bench::table5_rows()
+                    .iter()
+                    .map(|(name, cfg)| {
+                        let p = pnr_estimate(cfg);
+                        object()
+                            .field("config", *name)
+                            .field("wns_ns", p.wns_ns)
+                            .field("power_mw", p.power_mw)
+                            .field("area_mm2", p.area_mm2)
+                            .field("density", p.density)
+                            .field("vrf_macro_area_mm2", p.vrf_macro_area_mm2)
+                            .field("ava_area_mm2", p.ava_area_mm2)
+                            .finish()
+                    })
+                    .collect::<Json>(),
+            )
+            .finish()
+    })
 }

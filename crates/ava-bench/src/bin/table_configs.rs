@@ -1,6 +1,41 @@
 //! Regenerates Tables II and III of the paper: the evaluated system
 //! configurations (NATIVE, AVA and Register Grouping) and their equivalences.
+//!
+//! Usage: `table_configs [--json <path>]`.
 
-fn main() {
+use std::process::ExitCode;
+
+use ava_bench::cli::{emit_json, json_only_args};
+use ava_bench::evaluated_systems;
+use ava_sim::json::{object, Json};
+
+fn main() -> ExitCode {
+    let json_path = match json_only_args("table_configs [--json <path>]") {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+
     print!("{}", ava_bench::format_table_configs());
+
+    emit_json(json_path.as_deref(), || {
+        object()
+            .field("artefact", "table_configs")
+            .field(
+                "systems",
+                evaluated_systems()
+                    .iter()
+                    .map(|sys| {
+                        object()
+                            .field("config", sys.label())
+                            .field("mvl", sys.vpu.mvl)
+                            .field("pvrf_bytes", sys.vpu.pvrf_bytes)
+                            .field("physical_regs", sys.vpu.physical_regs())
+                            .field("logical_regs", sys.vpu.logical_regs)
+                            .field("mvrf_bytes", sys.vpu.mvrf_bytes())
+                            .finish()
+                    })
+                    .collect::<Json>(),
+            )
+            .finish()
+    })
 }

@@ -1,0 +1,125 @@
+//! Shared command-line plumbing for the figure/table binaries.
+//!
+//! Every binary accepts `--json <path>` in addition to its own flags: the
+//! human-readable tables keep going to stdout, and the machine-readable
+//! form of the same artefact is written to `<path>`. Extraction happens
+//! before each binary's own argument loop so the flag works uniformly
+//! across all of them.
+
+use std::process::ExitCode;
+
+use ava_sim::Json;
+
+/// Removes `--json <path>` from `args` and returns the path, if present.
+///
+/// # Errors
+///
+/// Returns an error message if `--json` is present without a value.
+pub fn take_json_flag(args: &mut Vec<String>) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == "--json") else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err("--json requires a path argument".to_string());
+    }
+    let path = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(path))
+}
+
+/// Full argument handling for binaries whose only flag is `--json <path>`:
+/// reads the process arguments, extracts the flag and rejects anything
+/// else. On error, prints the problem plus `usage` and returns the exit
+/// code to terminate with.
+///
+/// # Errors
+///
+/// Returns `ExitCode::from(2)` after printing a diagnostic when the flag is
+/// malformed or an unrecognised argument is present.
+pub fn json_only_args(usage: &str) -> Result<Option<String>, ExitCode> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = take_json_flag(&mut args).map_err(|e| {
+        eprintln!("{e}");
+        eprintln!("usage: {usage}");
+        ExitCode::from(2)
+    })?;
+    if let Some(other) = args.first() {
+        eprintln!("unrecognised argument: {other}");
+        eprintln!("usage: {usage}");
+        return Err(ExitCode::from(2));
+    }
+    Ok(json)
+}
+
+/// Writes `value` to `path` as a single-line JSON document (with a trailing
+/// newline, so the files are friendly to line-oriented tools).
+///
+/// # Errors
+///
+/// Returns the I/O error message on failure.
+pub fn write_json(path: &str, value: &Json) -> Result<(), String> {
+    std::fs::write(path, format!("{value}\n"))
+        .map_err(|e| format!("cannot write JSON report to {path}: {e}"))
+}
+
+/// Writes the JSON report when a path was requested, printing a
+/// confirmation line to stderr; exits with failure on I/O errors. The
+/// document is built lazily so the common no-`--json` invocation skips the
+/// (potentially large) tree construction entirely.
+#[must_use]
+pub fn emit_json(path: Option<&str>, build: impl FnOnce() -> Json) -> ExitCode {
+    let Some(path) = path else {
+        return ExitCode::SUCCESS;
+    };
+    match write_json(path, &build()) {
+        Ok(()) => {
+            eprintln!("wrote JSON report to {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ava_sim::json::object;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn json_flag_is_extracted_and_removed() {
+        let mut args = argv(&["--app", "axpy", "--json", "out.json", "--chart", "perf"]);
+        let path = take_json_flag(&mut args).unwrap();
+        assert_eq!(path.as_deref(), Some("out.json"));
+        assert_eq!(args, argv(&["--app", "axpy", "--chart", "perf"]));
+    }
+
+    #[test]
+    fn missing_flag_leaves_args_untouched() {
+        let mut args = argv(&["--app", "axpy"]);
+        assert_eq!(take_json_flag(&mut args).unwrap(), None);
+        assert_eq!(args, argv(&["--app", "axpy"]));
+    }
+
+    #[test]
+    fn json_flag_without_a_value_is_an_error() {
+        let mut args = argv(&["--json"]);
+        assert!(take_json_flag(&mut args).is_err());
+    }
+
+    #[test]
+    fn write_json_round_trips_through_the_filesystem() {
+        let path = std::env::temp_dir().join("ava_cli_test.json");
+        let path = path.to_str().unwrap();
+        let value = object().field("k", "v").finish();
+        write_json(path, &value).unwrap();
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "{\"k\":\"v\"}\n");
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -12,10 +12,17 @@
 //! | `fig4`          | Figure 4 — area breakdown and performance/mm²                 |
 //! | `table5`        | Table V — post-place-and-route estimates                      |
 //! | `ablation`      | Sensitivity to queue/ROB sizes and VMU overhead (DESIGN.md)    |
+//! | `bench_baseline`| Wall-clock baselines — `BENCH_<suite>.json` for CI            |
 //!
-//! The Criterion benches in `benches/` measure the *simulator itself*
+//! Every binary accepts `--json <path>` and writes a machine-readable form
+//! of its artefact there (hand-rolled emitter in [`ava_sim::json`]; the
+//! workspace builds offline, so no serde).
+//!
+//! The std-only benches in `benches/` measure the *simulator itself*
 //! (rename/swap throughput, cache behaviour, end-to-end kernel simulation),
-//! so regressions in the reproduction infrastructure are caught as well.
+//! so regressions in the reproduction infrastructure are caught as well;
+//! their bodies live in [`suites`] so `bench_baseline` can persist the same
+//! numbers for the CI `bench-regression` gate.
 //!
 //! The library part of the crate holds the shared harness: the workload
 //! instances sized for the evaluation, the configuration lists, and the
@@ -25,7 +32,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod microbench;
+pub mod suites;
 
 use std::collections::BTreeMap;
 
@@ -193,18 +202,32 @@ fn config_map() -> BTreeMap<&'static str, VpuConfig> {
     m
 }
 
+/// The P-VRF capacity Table I assumes (8 KB).
+pub const TABLE1_PVRF_BYTES: usize = 8 * 1024;
+
+/// The Table I rows: `(MVL in elements, physical registers)` for every
+/// configuration of the 8 KB AVA P-VRF. Single source for both the text
+/// table and the `--json` artefact.
+#[must_use]
+pub fn table1_rows() -> Vec<(usize, usize)> {
+    (1..=8)
+        .map(|n| (16 * n, preg_count_for_mvl(TABLE1_PVRF_BYTES, 16 * n)))
+        .collect()
+}
+
 /// Regenerates Table I: physical vector register file configurations.
 #[must_use]
 pub fn format_table1() -> String {
+    let rows = table1_rows();
     let mut out =
         String::from("Table I — physical vector register file configurations (8 KB P-VRF)\n");
     out.push_str("MVL (elems) :");
-    for n in 1..=8 {
-        out.push_str(&format!(" {:>5}", 16 * n));
+    for (mvl, _) in &rows {
+        out.push_str(&format!(" {mvl:>5}"));
     }
     out.push_str("\nP-Regs      :");
-    for n in 1..=8 {
-        out.push_str(&format!(" {:>5}", preg_count_for_mvl(8 * 1024, 16 * n)));
+    for (_, pregs) in &rows {
+        out.push_str(&format!(" {pregs:>5}"));
     }
     out.push('\n');
     out
@@ -235,12 +258,47 @@ pub fn format_table_configs() -> String {
     out
 }
 
-/// Regenerates Figure 4: the area breakdown of every configuration and the
-/// average performance/mm² over the six applications. The whole evaluation
-/// is a single declarative sweep: `workloads` × (the six area columns plus
-/// the remaining AVA configurations), run across all cores.
+/// One row of the Figure 4 chart: the area breakdown of a configuration and
+/// its average performance per VPU mm² across the workloads.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Configuration label ("NATIVE X4", "AVA (recfg)", ...).
+    pub label: String,
+    /// VRF area (mm²).
+    pub vrf: f64,
+    /// FPU area (mm²).
+    pub fpus: f64,
+    /// AVA structure area (mm²; zero for NATIVE).
+    pub ava_structures: f64,
+    /// Total VPU area (mm²).
+    pub vpu_total: f64,
+    /// Scalar-core area (mm²).
+    pub core: f64,
+    /// L1 instruction + data cache area (mm²).
+    pub l1: f64,
+    /// L2 area (mm²).
+    pub l2: f64,
+    /// Geometric-mean speedup over NATIVE X1 across the workloads, divided
+    /// by VPU area (the paper's right axis).
+    pub perf_per_mm2: f64,
+}
+
+/// The executed Figure 4 evaluation: the instrumented sweep plus the chart
+/// rows derived from it.
+#[derive(Debug)]
+pub struct Figure4Data {
+    /// The instrumented sweep over `workloads` × (area columns + AVA X2..X8).
+    pub sweep: ava_sim::SweepReport,
+    /// One row per chart column, NATIVE X1 first, "AVA (recfg)" last.
+    pub rows: Vec<Fig4Row>,
+}
+
+/// Runs the Figure 4 evaluation: the area breakdown of every configuration
+/// and the average performance/mm² over the six applications. The whole
+/// evaluation is a single declarative sweep: `workloads` × (the six area
+/// columns plus the remaining AVA configurations), run across all cores.
 #[must_use]
-pub fn format_figure4(workloads: &[SharedWorkload]) -> String {
+pub fn figure4_data(workloads: &[SharedWorkload]) -> Figure4Data {
     // Area side: one column per configuration of Figure 4. NATIVE X1 first
     // (it doubles as the speedup baseline) and AVA X1 second (its area row
     // represents every AVA configuration).
@@ -257,15 +315,10 @@ pub fn format_figure4(workloads: &[SharedWorkload]) -> String {
     let mut systems = columns.clone();
     systems.extend([2, 3, 4, 8].iter().map(|&n| SystemConfig::ava_x(n)));
     let n_systems = systems.len();
-    let reports = Sweep::grid(workloads.to_vec(), systems).run_parallel();
-    let by_workload: Vec<&[RunReport]> = reports.chunks(n_systems).collect();
+    let sweep = Sweep::grid(workloads.to_vec(), systems).run_parallel_report();
+    let by_workload: Vec<&[RunReport]> = sweep.reports.chunks(n_systems).collect();
 
-    let mut out = String::from("Figure 4 — area (mm², 22 nm) and performance/mm²\n");
-    out.push_str(&format!(
-        "{:<12} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7} {:>10}\n",
-        "config", "VPU VRF", "VPU FPU", "AVA", "VPU tot", "core", "L1", "L2", "perf/mm2"
-    ));
-
+    let mut rows = Vec::with_capacity(columns.len() + 1);
     // Performance/mm²: average speedup of each configuration across the
     // workloads, normalised by VPU area (the paper's right axis).
     for (col, sys) in columns.iter().enumerate() {
@@ -275,18 +328,17 @@ pub fn format_figure4(workloads: &[SharedWorkload]) -> String {
             .map(|runs| runs[0].cycles as f64 / runs[col].cycles as f64)
             .collect();
         let mean_speedup = geometric_mean(&perf);
-        out.push_str(&format!(
-            "{:<12} {:>9.3} {:>9.3} {:>9.4} {:>9.3} {:>7.2} {:>7.2} {:>7.2} {:>10.3}\n",
-            sys.label(),
-            area.vpu.vrf,
-            area.vpu.fpus,
-            area.vpu.ava_structures,
-            area.vpu.total(),
-            area.core,
-            area.l1i + area.l1d,
-            area.l2,
-            mean_speedup / area.vpu.total(),
-        ));
+        rows.push(Fig4Row {
+            label: sys.label().to_string(),
+            vrf: area.vpu.vrf,
+            fpus: area.vpu.fpus,
+            ava_structures: area.vpu.ava_structures,
+            vpu_total: area.vpu.total(),
+            core: area.core,
+            l1: area.l1i + area.l1d,
+            l2: area.l2,
+            perf_per_mm2: mean_speedup / area.vpu.total(),
+        });
     }
     // AVA reconfigures without changing area: the paper's right axis shows a
     // single AVA point using the best configuration per application. The AVA
@@ -303,29 +355,67 @@ pub fn format_figure4(workloads: &[SharedWorkload]) -> String {
         })
         .collect();
     let ava_mean = geometric_mean(&best_speedups);
+    rows.push(Fig4Row {
+        label: "AVA (recfg)".to_string(),
+        vrf: ava_area.vpu.vrf,
+        fpus: ava_area.vpu.fpus,
+        ava_structures: ava_area.vpu.ava_structures,
+        vpu_total: ava_area.vpu.total(),
+        core: ava_area.core,
+        l1: ava_area.l1i + ava_area.l1d,
+        l2: ava_area.l2,
+        perf_per_mm2: ava_mean / ava_area.vpu.total(),
+    });
+    Figure4Data { sweep, rows }
+}
+
+/// Formats the Figure 4 chart from an executed evaluation.
+#[must_use]
+pub fn format_figure4_from(data: &Figure4Data) -> String {
+    let mut out = String::from("Figure 4 — area (mm², 22 nm) and performance/mm²\n");
     out.push_str(&format!(
-        "{:<12} {:>9.3} {:>9.3} {:>9.4} {:>9.3} {:>7.2} {:>7.2} {:>7.2} {:>10.3}\n",
-        "AVA (recfg)",
-        ava_area.vpu.vrf,
-        ava_area.vpu.fpus,
-        ava_area.vpu.ava_structures,
-        ava_area.vpu.total(),
-        ava_area.core,
-        ava_area.l1i + ava_area.l1d,
-        ava_area.l2,
-        ava_mean / ava_area.vpu.total(),
+        "{:<12} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7} {:>10}\n",
+        "config", "VPU VRF", "VPU FPU", "AVA", "VPU tot", "core", "L1", "L2", "perf/mm2"
     ));
+    for row in &data.rows {
+        out.push_str(&format!(
+            "{:<12} {:>9.3} {:>9.3} {:>9.4} {:>9.3} {:>7.2} {:>7.2} {:>7.2} {:>10.3}\n",
+            row.label,
+            row.vrf,
+            row.fpus,
+            row.ava_structures,
+            row.vpu_total,
+            row.core,
+            row.l1,
+            row.l2,
+            row.perf_per_mm2,
+        ));
+    }
     out.push_str("\nAVA occupies the same ~1.13 mm^2 VPU for every MVL configuration; the\n\"AVA (recfg)\" row reconfigures the MVL per application (the paper's usage\nmodel) and therefore shows the best performance/mm^2 of the comparison.\n");
     out
+}
+
+/// Regenerates Figure 4 end to end (run the sweep, format the chart).
+#[must_use]
+pub fn format_figure4(workloads: &[SharedWorkload]) -> String {
+    format_figure4_from(&figure4_data(workloads))
+}
+
+/// The Table V rows: `(label, VPU configuration)` for the two designs the
+/// paper takes through the place-and-route flow. Single source for both
+/// the text table and the `--json` artefact.
+#[must_use]
+pub fn table5_rows() -> Vec<(&'static str, VpuConfig)> {
+    vec![
+        ("NATIVE X8", VpuConfig::native_x(8)),
+        ("AVA", VpuConfig::ava_x(8)),
+    ]
 }
 
 /// Regenerates Table V: post-place-and-route estimates for NATIVE X8 and AVA.
 #[must_use]
 pub fn format_table5() -> String {
-    let rows = [
-        ("NATIVE X8", VpuConfig::native_x(8)),
-        ("AVA", VpuConfig::ava_x(8)),
-    ];
+    let rows = table5_rows();
     let mut out =
         String::from("Table V — post-place-and-route estimates (GF 22FDX class, 1 GHz target)\n");
     out.push_str(&format!(

@@ -1,0 +1,203 @@
+//! The wall-clock benchmark suites measuring the *simulator itself*.
+//!
+//! Each suite used to live in its own `benches/*.rs` target; the bodies
+//! moved here so the same measurements can run two ways:
+//!
+//! * `cargo bench` — each thin bench target calls [`run_suite`] with a
+//!   printing callback, preserving the familiar incremental output;
+//! * `cargo run --bin bench_baseline` — the recorder runs every suite and
+//!   persists the results as `BENCH_<suite>.json`, the files the CI
+//!   `bench-regression` job diffs against the committed baselines.
+
+use ava_compiler::{compile, CompileOptions, KernelBuilder};
+use ava_isa::{Lmul, VReg};
+use ava_memory::{HierarchyConfig, MemoryHierarchy};
+use ava_sim::{run_workload, SystemConfig};
+use ava_vpu::rac::Rac;
+use ava_vpu::rename::RenameUnit;
+use ava_vpu::swap::{SwapDecision, SwapLogic};
+use ava_vpu::vrf_mapping::VrfMapping;
+
+use crate::bench_workloads;
+use crate::microbench::{measure, BenchResult};
+
+/// Names of every benchmark suite, in the order the recorder runs them.
+pub const SUITE_NAMES: [&str; 4] = ["fig3_kernels", "fig4_area", "memory_hierarchy", "microarch"];
+
+/// Runs the named suite, invoking `report` after each benchmark completes
+/// (so long suites still show incremental progress) and returning all
+/// results.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`SUITE_NAMES`], or if a benchmarked
+/// simulation fails validation (which would make its timing meaningless).
+pub fn run_suite(name: &str, mut report: impl FnMut(&BenchResult)) -> Vec<BenchResult> {
+    let mut results = Vec::new();
+    {
+        let mut run = |bench_name: &str, f: &mut dyn FnMut() -> u64| {
+            let r = measure(bench_name, f);
+            report(&r);
+            results.push(r);
+        };
+        match name {
+            "fig3_kernels" => fig3_kernels(&mut run),
+            "fig4_area" => fig4_area(&mut run),
+            "memory_hierarchy" => memory_hierarchy(&mut run),
+            "microarch" => microarch(&mut run),
+            other => panic!("unknown bench suite {other:?} (expected one of {SUITE_NAMES:?})"),
+        }
+    }
+    results
+}
+
+type Runner<'a> = dyn FnMut(&str, &mut dyn FnMut() -> u64) + 'a;
+
+/// End-to-end simulation of each application on the key configurations
+/// (NATIVE X1, NATIVE X8, AVA X8, RG-LMUL8). Each benchmark measures the
+/// wall-clock cost of one full compile + simulate + validate pass of the
+/// reproduction pipeline; the *simulated* cycle numbers behind Figure 3 are
+/// printed by the `fig3` binary.
+fn fig3_kernels(run: &mut Runner<'_>) {
+    let systems = [
+        SystemConfig::native_x(1),
+        SystemConfig::native_x(8),
+        SystemConfig::ava_x(8),
+        SystemConfig::rg_lmul(Lmul::M8),
+    ];
+    for workload in bench_workloads() {
+        for sys in &systems {
+            run(
+                &format!("fig3/{}/{}", workload.name(), sys.label()),
+                &mut || {
+                    let report = run_workload(workload.as_ref(), sys);
+                    assert!(report.validated, "{:?}", report.validation_error);
+                    report.cycles
+                },
+            );
+        }
+    }
+}
+
+/// The McPAT-style area and energy evaluation and the analytical post-PnR
+/// estimator behind Figure 4 and Table V.
+fn fig4_area(run: &mut Runner<'_>) {
+    use ava_energy::{energy_breakdown, pnr_estimate, system_area, EnergyParams};
+    use ava_workloads::Axpy;
+
+    let params = EnergyParams::default();
+    let sys = SystemConfig::ava_x(8);
+    let report = run_workload(&Axpy::new(1024), &sys);
+
+    run("fig4/system_area", &mut || {
+        system_area(&sys.vpu).total().to_bits()
+    });
+    run("fig4/energy_breakdown", &mut || {
+        energy_breakdown(&report, &sys.vpu, &params)
+            .total()
+            .to_bits()
+    });
+    run("table5/pnr_estimate", &mut || {
+        pnr_estimate(&sys.vpu).area_mm2.to_bits()
+    });
+}
+
+/// Unit-stride and strided vector accesses through the L2/DRAM timing
+/// model, and the scalar L1 hit path.
+fn memory_hierarchy(run: &mut Runner<'_>) {
+    let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+    let base = mem.allocate(128 * 8);
+    run("memory/unit_stride_128_elems", &mut || {
+        mem.vector_access(base, 128 * 8, false).total_cycles
+    });
+
+    let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+    let base = mem.allocate(128 * 512);
+    let addrs: Vec<u64> = (0..128u64).map(|i| base + i * 512).collect();
+    run("memory/strided_128_elems", &mut || {
+        mem.vector_access_elements(&addrs, false).total_cycles
+    });
+
+    let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+    let base = mem.allocate(64);
+    mem.scalar_access(base, false);
+    run("memory/scalar_l1_hit", &mut || {
+        mem.scalar_access(base, false)
+    });
+}
+
+/// The renaming unit, the Register Access Counters, the Swap Logic victim
+/// selection, and the register allocator that produces spill code — the
+/// structures the paper adds to the VPU, so their cost in the simulator is
+/// tracked explicitly.
+fn microarch(run: &mut Runner<'_>) {
+    run("microarch/rename_chain", &mut || {
+        let mut unit = RenameUnit::new(64);
+        let mut released = Vec::new();
+        for i in 0..1000u32 {
+            let dst = VReg::new((i % 32) as u8);
+            let renamed = unit.rename(Some(dst), &[]).unwrap();
+            if let Some(old) = renamed.old_dst {
+                released.push(old);
+                if released.len() > 16 {
+                    unit.release(released.remove(0));
+                }
+            }
+        }
+        unit.free_count() as u64
+    });
+
+    let mut mapping = VrfMapping::new(64, 8);
+    let mut rac = Rac::new(64);
+    for v in 0..8u16 {
+        mapping.allocate_physical(v).unwrap();
+        for _ in 0..=v {
+            rac.increment(v);
+        }
+    }
+    let logic = SwapLogic::new();
+    run(
+        "microarch/swap_victim_selection",
+        &mut || match logic.plan_free_register(&mapping, &rac, &[0, 1]) {
+            None => 0,
+            Some(SwapDecision::AlreadyFree) => 1,
+            Some(SwapDecision::Reclaim(_)) => 2,
+            Some(SwapDecision::SwapStore(_)) => 3,
+        },
+    );
+
+    // A kernel with 24 simultaneously-live values allocated onto the
+    // 4-register LMUL=8 budget: the worst spill case of the evaluation.
+    let mut builder = KernelBuilder::new("pressure");
+    let vals: Vec<_> = (0..24).map(|i| builder.vload(64 * i as u64)).collect();
+    let mut acc = vals[0];
+    for &v in &vals[1..] {
+        acc = builder.vfadd(acc, v);
+    }
+    builder.vstore(acc, 0x10_0000);
+    let kernel = builder.finish();
+    run("microarch/regalloc_spilling", &mut || {
+        let out = compile(&kernel, &CompileOptions::new(Lmul::M8, 0x40_0000, 1024));
+        assert!(out.spill_stores > 0);
+        out.program.len() as u64
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "unknown bench suite")]
+    fn unknown_suites_are_rejected() {
+        let _ = run_suite("nonsense", |_| {});
+    }
+
+    #[test]
+    fn suite_names_are_distinct() {
+        let mut names = SUITE_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SUITE_NAMES.len());
+    }
+}

@@ -1,0 +1,252 @@
+//! A dependency-free JSON value tree and emitter.
+//!
+//! The workspace builds offline, so serde is not available; this module
+//! provides the small subset the report pipeline needs: a [`Json`] value
+//! tree with order-preserving objects, RFC 8259 string escaping, lossless
+//! integers (cycle counters exceed 2^53, so they are not routed through
+//! `f64`) and compact or indented emission. Everything CI and downstream
+//! plotting consume — `--json` report files and the `BENCH_*.json`
+//! baselines — is produced here.
+//!
+//! ```
+//! use ava_sim::json::{object, Json};
+//!
+//! let report = object()
+//!     .field("workload", "axpy")
+//!     .field("cycles", 123_456_u64)
+//!     .field("validated", true)
+//!     .field("speedups", Json::from_iter([1.0, 2.5]))
+//!     .finish();
+//! assert_eq!(
+//!     report.to_string(),
+//!     r#"{"workload":"axpy","cycles":123456,"validated":true,"speedups":[1,2.5]}"#
+//! );
+//! ```
+
+use std::fmt;
+
+/// A JSON value. Objects preserve insertion order so emitted reports are
+/// deterministic and diffable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer, emitted losslessly (cycle counts exceed 2^53).
+    U64(u64),
+    /// A signed integer, emitted losslessly.
+    I64(i64),
+    /// A floating-point number. Non-finite values emit as `null` (JSON has
+    /// no NaN/Infinity).
+    F64(f64),
+    /// A string (escaped on emission).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object: ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Emits the value as a compact JSON document (no whitespace).
+    ///
+    /// `Json` also implements [`fmt::Display`], so `format!("{value}")` and
+    /// `value.to_string()` produce the same document.
+    fn write(&self, out: &mut impl fmt::Write) -> fmt::Result {
+        match self {
+            Json::Null => out.write_str("null"),
+            Json::Bool(b) => out.write_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => write!(out, "{n}"),
+            Json::I64(n) => write!(out, "{n}"),
+            Json::F64(x) if !x.is_finite() => out.write_str("null"),
+            Json::F64(x) => write!(out, "{x}"),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.write_char('[')?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.write_char(',')?;
+                    }
+                    item.write(out)?;
+                }
+                out.write_char(']')
+            }
+            Json::Obj(fields) => {
+                out.write_char('{')?;
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.write_char(',')?;
+                    }
+                    write_escaped(out, key)?;
+                    out.write_char(':')?;
+                    value.write(out)?;
+                }
+                out.write_char('}')
+            }
+        }
+    }
+}
+
+/// Writes `s` as a JSON string literal: quotes, backslashes and all control
+/// characters below U+0020 are escaped (`\n`, `\r`, `\t`, `\b`, `\f` get
+/// their short forms, the rest `\u00XX`).
+fn write_escaped(out: &mut impl fmt::Write, s: &str) -> fmt::Result {
+    out.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            '\u{0008}' => out.write_str("\\b")?,
+            '\u{000C}' => out.write_str("\\f")?,
+            c if c < '\u{0020}' => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_char('"')
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write(f)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::U64(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::U64(u64::from(v))
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::U64(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::I64(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::F64(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Json::Null, Into::into)
+    }
+}
+impl<T: Into<Json>> FromIterator<T> for Json {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Json::Arr(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Builds a JSON object field by field, preserving insertion order.
+#[derive(Debug, Default)]
+pub struct ObjectBuilder {
+    fields: Vec<(String, Json)>,
+}
+
+impl ObjectBuilder {
+    /// Appends one `key: value` field.
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Finishes the object.
+    #[must_use]
+    pub fn finish(self) -> Json {
+        Json::Obj(self.fields)
+    }
+}
+
+/// Starts an [`ObjectBuilder`].
+#[must_use]
+pub fn object() -> ObjectBuilder {
+    ObjectBuilder::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_emit_their_json_form() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::Bool(false).to_string(), "false");
+        assert_eq!(Json::from(42_u64).to_string(), "42");
+        assert_eq!(Json::from(-7_i64).to_string(), "-7");
+        assert_eq!(Json::from(2.5).to_string(), "2.5");
+        assert_eq!(Json::from("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn large_counters_survive_without_f64_rounding() {
+        // 2^53 + 1 is the first integer an f64 cannot represent.
+        let n = (1_u64 << 53) + 1;
+        assert_eq!(Json::from(n).to_string(), "9007199254740993");
+    }
+
+    #[test]
+    fn non_finite_floats_emit_null() {
+        assert_eq!(Json::from(f64::NAN).to_string(), "null");
+        assert_eq!(Json::from(f64::INFINITY).to_string(), "null");
+        assert_eq!(Json::from(f64::NEG_INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn strings_escape_quotes_backslashes_and_control_chars() {
+        let s = "a\"b\\c\nd\te\r\u{0008}\u{000C}\u{0001}µ";
+        assert_eq!(
+            Json::from(s).to_string(),
+            "\"a\\\"b\\\\c\\nd\\te\\r\\b\\f\\u0001µ\""
+        );
+    }
+
+    #[test]
+    fn arrays_and_objects_nest_and_preserve_order() {
+        let v = object()
+            .field("z", 1_u64)
+            .field("a", Json::from_iter([Json::Null, Json::from(true)]))
+            .field("nested", object().field("k", "v").finish())
+            .finish();
+        assert_eq!(
+            v.to_string(),
+            r#"{"z":1,"a":[null,true],"nested":{"k":"v"}}"#
+        );
+    }
+
+    #[test]
+    fn option_maps_to_null_or_value() {
+        assert_eq!(Json::from(None::<&str>).to_string(), "null");
+        assert_eq!(Json::from(Some("x")).to_string(), "\"x\"");
+    }
+}

@@ -22,11 +22,13 @@
 #![warn(missing_docs)]
 
 pub mod configs;
+pub mod json;
 pub mod report;
 pub mod run;
 pub mod sweep;
 
 pub use configs::{SystemConfig, SystemKind};
+pub use json::Json;
 pub use report::{format_runs_table, geometric_mean, speedup_vs};
 pub use run::{run_workload, run_workload_sized, RunReport};
-pub use sweep::{ProgramCache, Sweep};
+pub use sweep::{PointStats, ProgramCache, Sweep, SweepReport};

@@ -10,6 +10,7 @@ use ava_vpu::{Vpu, VpuStats};
 use ava_workloads::{validate, Workload};
 
 use crate::configs::SystemConfig;
+use crate::json::{object, Json};
 
 /// Everything measured from one (workload, system) simulation.
 #[derive(Debug, Clone)]
@@ -52,6 +53,75 @@ impl RunReport {
     #[must_use]
     pub fn memory_instructions(&self) -> u64 {
         self.vpu.memory_instrs()
+    }
+
+    /// The machine-readable form of the report: every counter of the run,
+    /// grouped exactly like the struct (`vpu`, `mem`, `scalar` sub-objects).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let cache = |c: &ava_memory::CacheStats| {
+            object()
+                .field("read_hits", c.read_hits)
+                .field("read_misses", c.read_misses)
+                .field("write_hits", c.write_hits)
+                .field("write_misses", c.write_misses)
+                .field("writebacks", c.writebacks)
+                .finish()
+        };
+        object()
+            .field("config", self.config.as_str())
+            .field("workload", self.workload.as_str())
+            .field("cycles", self.cycles)
+            .field("vpu_cycles", self.vpu_cycles)
+            .field("validated", self.validated)
+            .field("validation_error", self.validation_error.as_deref())
+            .field("register_pressure", self.register_pressure)
+            .field("compiler_spill_loads", self.compiler_spill_loads)
+            .field("compiler_spill_stores", self.compiler_spill_stores)
+            .field(
+                "vpu",
+                object()
+                    .field("arith_instrs", self.vpu.arith_instrs)
+                    .field("vloads", self.vpu.vloads)
+                    .field("vstores", self.vpu.vstores)
+                    .field("spill_loads", self.vpu.spill_loads)
+                    .field("spill_stores", self.vpu.spill_stores)
+                    .field("swap_loads", self.vpu.swap_loads)
+                    .field("swap_stores", self.vpu.swap_stores)
+                    .field("config_instrs", self.vpu.config_instrs)
+                    .field("aggressive_reclaims", self.vpu.aggressive_reclaims)
+                    .field("rename_stall_cycles", self.vpu.rename_stall_cycles)
+                    .field("queue_stall_cycles", self.vpu.queue_stall_cycles)
+                    .field("vrf_read_elems", self.vpu.vrf_read_elems)
+                    .field("vrf_write_elems", self.vpu.vrf_write_elems)
+                    .field("fpu_ops", self.vpu.fpu_ops)
+                    .field("int_ops", self.vpu.int_ops)
+                    .field("arith_busy_cycles", self.vpu.arith_busy_cycles)
+                    .field("mem_busy_cycles", self.vpu.mem_busy_cycles)
+                    .field("memory_instrs", self.vpu.memory_instrs())
+                    .field("memory_fraction", self.vpu.memory_fraction())
+                    .finish(),
+            )
+            .field(
+                "mem",
+                object()
+                    .field("l1d", cache(&self.mem.l1d))
+                    .field("l2", cache(&self.mem.l2))
+                    .field("dram_accesses", self.mem.dram_accesses)
+                    .field("dram_bytes", self.mem.dram_bytes)
+                    .field("vmu_bytes", self.mem.vmu_bytes)
+                    .field("vector_requests", self.mem.vector_requests)
+                    .finish(),
+            )
+            .field(
+                "scalar",
+                object()
+                    .field("instructions", self.scalar.instructions)
+                    .field("scalar_cycles", self.scalar.scalar_cycles)
+                    .field("vpu_cycles", self.scalar.vpu_cycles)
+                    .finish(),
+            )
+            .finish()
     }
 }
 

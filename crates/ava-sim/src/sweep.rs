@@ -14,6 +14,29 @@
 //! * results are written into per-point slots, so the returned `Vec` is in
 //!   grid order regardless of which thread finished first.
 //!
+//! # Scheduling
+//!
+//! Per-point simulation cost is heavily skewed — one large Blackscholes
+//! point can cost more than a dozen Axpy points — so claiming points in
+//! grid order lets an expensive point picked up last tail the whole sweep.
+//! Workers therefore pop a shared queue sorted by a per-point **cost
+//! estimate** ([`Workload::elements`] over the configuration's effective
+//! width `MVL / LMUL` — narrower width means more strips, hence more
+//! dynamic instructions to simulate): the most expensive points start
+//! first and the cheap ones pack the gaps.
+//! The estimate only orders work; results are still reported in grid order
+//! and remain bit-identical at any thread count and any estimate quality.
+//!
+//! [`Workload::elements`]: ava_workloads::Workload::elements
+//!
+//! # Instrumentation
+//!
+//! The `*_report` runners return a [`SweepReport`] that wraps the
+//! [`RunReport`]s with per-point wall-clock timing, the cost estimate and
+//! claiming worker of every point, compile-cache hit/miss counters and the
+//! sweep's total wall-clock — the raw material for the `--json` report
+//! pipeline and CI wall-clock baselines.
+//!
 //! The cache also makes the sweep cheaper than the sum of its points: on the
 //! full Figure 3 grid, NATIVE Xn, AVA Xn and RG-LMUL1 all compile the same
 //! (kernel, LMUL, MVL) combination, so 14 configurations need only 8
@@ -27,22 +50,26 @@
 //! let workloads: Vec<SharedWorkload> =
 //!     vec![Arc::new(Axpy::new(256)), Arc::new(Somier::new(256))];
 //! let sweep = Sweep::grid(workloads, SystemConfig::all_ava());
-//! let reports = sweep.run_parallel();
-//! assert_eq!(reports.len(), 2 * 5);
-//! assert!(reports.iter().all(|r| r.validated));
+//! let report = sweep.run_parallel_report();
+//! assert_eq!(report.reports.len(), 2 * 5);
+//! assert!(report.reports.iter().all(|r| r.validated));
 //! // Grid order is workload-major: the first five reports are Axpy.
-//! assert!(reports[..5].iter().all(|r| r.workload == "axpy"));
+//! assert!(report.reports[..5].iter().all(|r| r.workload == "axpy"));
+//! // Every point carries its own timing and cost estimate.
+//! assert!(report.points.iter().all(|p| p.cost_estimate > 0));
 //! ```
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
+use std::time::Instant;
 
 use ava_compiler::{compile, CompileOptions, CompiledKernel};
 use ava_workloads::SharedWorkload;
 
 use crate::configs::SystemConfig;
+use crate::json::{object, Json};
 use crate::run::{run_workload_via, RunReport};
 
 /// Key identifying one compilation in a sweep: the workload (by grid index —
@@ -112,12 +139,104 @@ impl ProgramCache {
     }
 }
 
+/// Scheduling and timing metadata for one executed sweep point. Parallel to
+/// [`SweepReport::reports`], in grid order.
+#[derive(Debug, Clone)]
+pub struct PointStats {
+    /// Workload name of the point ("axpy", ...).
+    pub workload: String,
+    /// Configuration label of the point ("AVA X4", ...).
+    pub config: String,
+    /// The scheduler's cost estimate for the point (workload element
+    /// operations over the configuration's effective width). Orders
+    /// execution only.
+    pub cost_estimate: u64,
+    /// Wall-clock time of the compile + simulate + validate pass, in
+    /// nanoseconds.
+    pub wall_ns: u64,
+    /// Index of the worker thread that executed the point (`0` for a serial
+    /// run).
+    pub worker: usize,
+}
+
+/// An executed sweep: the bit-identical-to-serial [`RunReport`]s plus the
+/// instrumentation CI and downstream plotting consume.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// One report per point, in grid order — exactly what
+    /// [`Sweep::run_serial`] / [`Sweep::run_parallel`] return.
+    pub reports: Vec<RunReport>,
+    /// Per-point scheduling/timing metadata, parallel to `reports`.
+    pub points: Vec<PointStats>,
+    /// Compilations served from the shared program cache.
+    pub cache_hits: u64,
+    /// Compilations actually performed.
+    pub cache_misses: u64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock time of the whole sweep, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl SweepReport {
+    /// Drops the instrumentation, keeping only the per-point reports.
+    #[must_use]
+    pub fn into_reports(self) -> Vec<RunReport> {
+        self.reports
+    }
+
+    /// Sum of the per-point wall-clock times (the cost a serial run would
+    /// pay; compare with [`SweepReport::wall_ns`] for effective speedup).
+    #[must_use]
+    pub fn busy_ns(&self) -> u64 {
+        self.points.iter().map(|p| p.wall_ns).sum()
+    }
+
+    /// The machine-readable form of the sweep consumed by CI and plotting:
+    /// schema marker, scheduling/cache instrumentation, and the full
+    /// per-point reports.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        object()
+            .field("schema", "ava-sweep-report/v1")
+            .field("threads", self.threads)
+            .field("wall_ns", self.wall_ns)
+            .field("busy_ns", self.busy_ns())
+            .field(
+                "cache",
+                object()
+                    .field("hits", self.cache_hits)
+                    .field("misses", self.cache_misses)
+                    .finish(),
+            )
+            .field(
+                "points",
+                self.points
+                    .iter()
+                    .zip(&self.reports)
+                    .map(|(p, r)| {
+                        object()
+                            .field("workload", p.workload.as_str())
+                            .field("config", p.config.as_str())
+                            .field("cost_estimate", p.cost_estimate)
+                            .field("wall_ns", p.wall_ns)
+                            .field("worker", p.worker)
+                            .field("report", r.to_json())
+                            .finish()
+                    })
+                    .collect::<Json>(),
+            )
+            .finish()
+    }
+}
+
 /// A declarative grid of (workload, [`SystemConfig`]) experiment points.
 ///
 /// Construct with [`Sweep::grid`] (full cross product) or
 /// [`Sweep::from_points`] (explicit pairs), then execute with
-/// [`Sweep::run_serial`] or [`Sweep::run_parallel`]. Both return one
-/// [`RunReport`] per point, in point order, and are guaranteed to produce
+/// [`Sweep::run_serial`] or [`Sweep::run_parallel`] (reports only), or the
+/// `*_report` variants returning an instrumented [`SweepReport`]. All paths
+/// return per-point results in point order and are guaranteed to produce
 /// identical reports.
 pub struct Sweep {
     workloads: Vec<SharedWorkload>,
@@ -188,6 +307,32 @@ impl Sweep {
         &self.workloads
     }
 
+    /// The scheduler's cost estimate for one point: the workload's
+    /// element-operation count divided by the configuration's effective
+    /// register width (`MVL / LMUL`, normalised to the 16-element baseline).
+    /// A narrower effective width means more strips and therefore more
+    /// dynamic instructions to simulate for the same element count, so
+    /// narrow-width points (NATIVE X1, the spill-heavy RG-LMUL8) rank as
+    /// expensive — matching recorded per-point wall-clock. A heuristic — it
+    /// orders execution so skewed points start early, and can never change a
+    /// result.
+    #[must_use]
+    pub fn point_cost(&self, point: usize) -> u64 {
+        let (w, s) = self.points[point];
+        let system = &self.systems[s];
+        let elements = self.workloads[w].elements() as u64;
+        let width = (system.mvl() / system.compiler_lmul.factor()).max(1) as u64;
+        (elements.saturating_mul(16) / width).max(1)
+    }
+
+    /// Point indices in execution order: descending cost estimate, grid
+    /// order as the tie-break (so scheduling stays deterministic).
+    fn execution_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.points.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(self.point_cost(i)), i));
+        order
+    }
+
     fn run_point(&self, point: usize, cache: &ProgramCache) -> RunReport {
         let (w, s) = self.points[point];
         let workload = &self.workloads[w];
@@ -204,50 +349,115 @@ impl Sweep {
         })
     }
 
+    fn assemble_report(
+        &self,
+        slots: Vec<OnceLock<(RunReport, u64, usize)>>,
+        cache: &ProgramCache,
+        threads: usize,
+        sweep_start: Instant,
+    ) -> SweepReport {
+        let mut reports = Vec::with_capacity(slots.len());
+        let mut points = Vec::with_capacity(slots.len());
+        for (i, slot) in slots.into_iter().enumerate() {
+            let (report, wall_ns, worker) = slot.into_inner().expect("every point completed");
+            points.push(PointStats {
+                workload: report.workload.clone(),
+                config: report.config.clone(),
+                cost_estimate: self.point_cost(i),
+                wall_ns,
+                worker,
+            });
+            reports.push(report);
+        }
+        SweepReport {
+            reports,
+            points,
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+            threads,
+            wall_ns: sweep_start.elapsed().as_nanos() as u64,
+        }
+    }
+
     /// Runs every point on the calling thread, in point order.
     #[must_use]
     pub fn run_serial(&self) -> Vec<RunReport> {
+        self.run_serial_report().into_reports()
+    }
+
+    /// Runs every point on the calling thread, in point order, returning the
+    /// instrumented [`SweepReport`].
+    #[must_use]
+    pub fn run_serial_report(&self) -> SweepReport {
         let cache = ProgramCache::new();
-        (0..self.points.len())
-            .map(|i| self.run_point(i, &cache))
-            .collect()
+        let sweep_start = Instant::now();
+        let slots: Vec<OnceLock<(RunReport, u64, usize)>> =
+            (0..self.points.len()).map(|_| OnceLock::new()).collect();
+        for (i, slot) in slots.iter().enumerate() {
+            let point_start = Instant::now();
+            let report = self.run_point(i, &cache);
+            let wall_ns = point_start.elapsed().as_nanos() as u64;
+            slot.set((report, wall_ns, 0))
+                .expect("serial points run once");
+        }
+        self.assemble_report(slots, &cache, 1, sweep_start)
     }
 
     /// Runs the sweep across all available cores. Reports come back in point
     /// order and are bit-identical to [`Sweep::run_serial`].
     #[must_use]
     pub fn run_parallel(&self) -> Vec<RunReport> {
+        self.run_parallel_report().into_reports()
+    }
+
+    /// Runs the sweep across all available cores, returning the instrumented
+    /// [`SweepReport`].
+    #[must_use]
+    pub fn run_parallel_report(&self) -> SweepReport {
         let threads = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        self.run_parallel_with(threads)
+        self.run_parallel_report_with(threads)
     }
 
     /// Runs the sweep on at most `threads` worker threads (clamped to the
     /// number of points; `0` behaves like `1`).
     #[must_use]
     pub fn run_parallel_with(&self, threads: usize) -> Vec<RunReport> {
+        self.run_parallel_report_with(threads).into_reports()
+    }
+
+    /// Runs the sweep on at most `threads` worker threads (clamped to the
+    /// number of points; `0` behaves like `1`), returning the instrumented
+    /// [`SweepReport`]. Workers claim points from the cost-sorted shared
+    /// queue; results are reported in grid order regardless.
+    #[must_use]
+    pub fn run_parallel_report_with(&self, threads: usize) -> SweepReport {
         let n = self.points.len();
         let workers = threads.clamp(1, n.max(1));
         let cache = ProgramCache::new();
-        let slots: Vec<OnceLock<RunReport>> = (0..n).map(|_| OnceLock::new()).collect();
+        let order = self.execution_order();
+        let sweep_start = Instant::now();
+        let slots: Vec<OnceLock<(RunReport, u64, usize)>> =
+            (0..n).map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
         thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
+            for worker in 0..workers {
+                let (slots, next, order, cache) = (&slots, &next, &order, &cache);
+                scope.spawn(move || loop {
+                    let claimed = next.fetch_add(1, Ordering::Relaxed);
+                    if claimed >= n {
                         break;
                     }
-                    let report = self.run_point(i, &cache);
+                    let i = order[claimed];
+                    let point_start = Instant::now();
+                    let report = self.run_point(i, cache);
+                    let wall_ns = point_start.elapsed().as_nanos() as u64;
                     slots[i]
-                        .set(report)
+                        .set((report, wall_ns, worker))
                         .expect("each point is claimed by one worker");
                 });
             }
         });
-        slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("every point completed"))
-            .collect()
+        self.assemble_report(slots, &cache, workers, sweep_start)
     }
 }
 
@@ -293,6 +503,74 @@ mod tests {
                 assert_eq!(a.cycles, b.cycles, "{} on {}", a.workload, a.config);
                 assert_eq!(format!("{a:?}"), format!("{b:?}"), "full report must match");
             }
+        }
+    }
+
+    #[test]
+    fn execution_order_starts_with_the_most_expensive_point() {
+        let workloads: Vec<SharedWorkload> = vec![
+            Arc::new(Axpy::new(64)),
+            Arc::new(Blackscholes::new(4096)),
+            Arc::new(Axpy::new(128)),
+        ];
+        let systems = vec![SystemConfig::native_x(1)];
+        let sweep = Sweep::grid(workloads, systems);
+        let order = sweep.execution_order();
+        assert_eq!(order[0], 1, "the huge Blackscholes point must start first");
+        assert_eq!(
+            sweep.point_cost(1),
+            sweep
+                .point_cost(1)
+                .max(sweep.point_cost(0))
+                .max(sweep.point_cost(2))
+        );
+    }
+
+    #[test]
+    fn cost_ties_break_on_grid_order() {
+        // Identical points have identical costs; the order must still be
+        // deterministic (grid order).
+        let workloads: Vec<SharedWorkload> =
+            vec![Arc::new(Axpy::new(256)), Arc::new(Axpy::new(256))];
+        let sweep = Sweep::grid(workloads, vec![SystemConfig::native_x(1)]);
+        assert_eq!(sweep.execution_order(), vec![0, 1]);
+    }
+
+    #[test]
+    fn report_instrumentation_covers_every_point() {
+        let (w, s) = small_axes();
+        let sweep = Sweep::grid(w, s);
+        let report = sweep.run_parallel_report_with(3);
+        assert_eq!(report.reports.len(), 6);
+        assert_eq!(report.points.len(), 6);
+        assert_eq!(report.threads, 3);
+        assert!(report.wall_ns > 0);
+        assert!(report.busy_ns() > 0);
+        for (p, r) in report.points.iter().zip(&report.reports) {
+            assert_eq!(p.workload, r.workload, "stats stay parallel to reports");
+            assert_eq!(p.config, r.config);
+            assert!(p.cost_estimate > 0);
+            assert!(p.worker < 3);
+        }
+        // The shared cache was exercised: every compile is a hit or a miss.
+        assert!(report.cache_misses > 0);
+        assert_eq!(
+            report.cache_hits + report.cache_misses,
+            6,
+            "one compile request per point"
+        );
+    }
+
+    #[test]
+    fn serial_report_uses_one_worker_and_matches_parallel_reports() {
+        let (w, s) = small_axes();
+        let sweep = Sweep::grid(w, s);
+        let serial = sweep.run_serial_report();
+        assert_eq!(serial.threads, 1);
+        assert!(serial.points.iter().all(|p| p.worker == 0));
+        let parallel = sweep.run_parallel_report_with(4);
+        for (a, b) in serial.reports.iter().zip(&parallel.reports) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
         }
     }
 
@@ -358,5 +636,16 @@ mod tests {
         let reports = sweep.run_parallel_with(0);
         assert_eq!(reports.len(), 1);
         assert!(reports[0].validated);
+    }
+
+    #[test]
+    fn sweep_report_json_has_the_documented_shape() {
+        let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(128))];
+        let sweep = Sweep::grid(workloads, vec![SystemConfig::native_x(1)]);
+        let json = sweep.run_parallel_report_with(2).to_json().to_string();
+        assert!(json.starts_with("{\"schema\":\"ava-sweep-report/v1\""));
+        assert!(json.contains("\"cache\":{\"hits\":"));
+        assert!(json.contains("\"cost_estimate\":"));
+        assert!(json.contains("\"report\":{\"config\":\"NATIVE X1\""));
     }
 }

@@ -55,6 +55,11 @@ impl Workload for Axpy {
         "HPC (BLAS)"
     }
 
+    fn elements(&self) -> usize {
+        // Two loads, one fused multiply-add, one store per element.
+        self.n * 4
+    }
+
     fn build(&self, mem: &mut MemoryHierarchy, ctx: &VectorContext) -> WorkloadSetup {
         let mut gen = DataGen::for_workload(self.name());
         let x = gen.uniform_vec(self.n, -1.0, 1.0);

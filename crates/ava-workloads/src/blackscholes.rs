@@ -89,6 +89,13 @@ impl Workload for Blackscholes {
         "Financial Analysis (Dense Linear Algebra)"
     }
 
+    fn elements(&self) -> usize {
+        // The pricing formula evaluates two polynomial CNDs plus the
+        // call/put assembly per option — by far the heaviest kernel of the
+        // suite per element.
+        self.options * 64
+    }
+
     fn build(&self, mem: &mut MemoryHierarchy, ctx: &VectorContext) -> WorkloadSetup {
         let n = self.options;
         let mut gen = DataGen::for_workload(self.name());

@@ -68,6 +68,12 @@ impl Workload for LavaMd2 {
         "Molecular Dynamics (N-Body)"
     }
 
+    fn elements(&self) -> usize {
+        // Each home particle interacts with every 48-particle neighbour box
+        // (~a dozen operations per pair).
+        self.particles * self.neighbors * PARTICLES_PER_BOX * 12
+    }
+
     fn build(&self, mem: &mut MemoryHierarchy, ctx: &VectorContext) -> WorkloadSetup {
         let mut gen = DataGen::for_workload(self.name());
         let vl = PARTICLES_PER_BOX;

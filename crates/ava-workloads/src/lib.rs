@@ -78,6 +78,13 @@ pub trait Workload {
     /// Application domain, as listed in Table IV of the paper.
     fn domain(&self) -> &'static str;
 
+    /// Approximate number of vector element operations one simulation of
+    /// this workload executes: problem size scaled by a rough per-element
+    /// kernel weight. The sweep scheduler uses this as its per-point cost
+    /// estimate to start expensive points first; the estimate only orders
+    /// work and can never change a result.
+    fn elements(&self) -> usize;
+
     /// Allocates inputs in `mem`, generates the vector IR trace for the
     /// machine described by `ctx` (its effective MVL decides the stripmine
     /// length) and returns the expected outputs.
@@ -156,6 +163,17 @@ mod tests {
         for w in &ws {
             assert!(!w.domain().is_empty());
         }
+    }
+
+    #[test]
+    fn cost_hints_are_positive_and_scale_with_problem_size() {
+        for w in all_workloads() {
+            assert!(w.elements() > 0, "{} has a zero cost hint", w.name());
+        }
+        assert!(Axpy::new(4096).elements() > Axpy::new(256).elements());
+        assert!(Blackscholes::new(1024).elements() > Blackscholes::new(64).elements());
+        // Blackscholes is far heavier per element than Axpy at equal sizes.
+        assert!(Blackscholes::new(1024).elements() > Axpy::new(1024).elements());
     }
 
     #[test]

@@ -46,6 +46,12 @@ impl Workload for ParticleFilter {
         "Medical Imaging (Structured Grids)"
     }
 
+    fn elements(&self) -> usize {
+        // Indexed likelihood gather, weight update and position drift per
+        // particle.
+        self.particles * 16
+    }
+
     fn build(&self, mem: &mut MemoryHierarchy, ctx: &VectorContext) -> WorkloadSetup {
         let n = self.particles;
         let cells = self.grid * self.grid;

@@ -50,6 +50,12 @@ impl Workload for Somier {
         "Physics Simulation (Dense Linear Algebra)"
     }
 
+    fn elements(&self) -> usize {
+        // Three neighbour reads, the force computation and two writes per
+        // node.
+        self.nodes * 12
+    }
+
     fn build(&self, mem: &mut MemoryHierarchy, ctx: &VectorContext) -> WorkloadSetup {
         let n = self.nodes;
         let mut gen = DataGen::for_workload(self.name());

@@ -51,6 +51,12 @@ impl Workload for Swaptions {
         "Financial Analysis (MapReduce)"
     }
 
+    fn elements(&self) -> usize {
+        // Volatility/drift accumulation across the four HJM factors plus the
+        // payoff reduction per path.
+        self.paths * FACTORS * 12
+    }
+
     fn build(&self, mem: &mut MemoryHierarchy, ctx: &VectorContext) -> WorkloadSetup {
         let n = self.paths;
         let mut gen = DataGen::for_workload(self.name());

@@ -19,14 +19,14 @@ fn main() {
         SystemConfig::ava_x(8),
     ];
     let params = EnergyParams::default();
-    let sweep = Sweep::grid(workloads, systems.clone());
-    let reports = sweep.run_parallel();
+    let sweep = Sweep::grid(workloads, systems.clone()).run_parallel_report();
+    let reports = &sweep.reports;
 
     println!(
         "{:<12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>11} {:>9}",
         "config", "cycles", "VPU mm2", "L2 dyn mJ", "VRF dyn mJ", "VRF lk mJ", "total mJ", "WNS ns"
     );
-    for (sys, report) in systems.iter().zip(&reports) {
+    for (sys, report) in systems.iter().zip(reports) {
         assert!(report.validated, "{:?}", report.validation_error);
         let area = system_area(&sys.vpu);
         let energy = energy_breakdown(report, &sys.vpu, &params);
@@ -45,4 +45,12 @@ fn main() {
     }
     println!("\nAVA reaches long-vector performance with the 8 KB register file, so its");
     println!("VRF leakage and area stay at the short-vector design's level (Figure 4 / Table V).");
+    for p in &sweep.points {
+        println!(
+            "  point {:<10} simulated in {:>7.2} ms on worker {}",
+            p.config,
+            p.wall_ns as f64 / 1e6,
+            p.worker
+        );
+    }
 }

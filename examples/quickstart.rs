@@ -20,9 +20,10 @@ fn main() {
 
     let workloads: Vec<SharedWorkload> = vec![Arc::new(workload)];
     let systems = vec![SystemConfig::native_x(1), SystemConfig::ava_x(8)];
-    let reports = Sweep::grid(workloads, systems).run_parallel();
+    let sweep = Sweep::grid(workloads, systems).run_parallel_report();
+    let reports = &sweep.reports;
 
-    for r in &reports {
+    for r in reports {
         println!(
             "{:<10} {:>8} cycles  {:>6} vector instrs  swaps={}  validated={}",
             r.config,
@@ -35,5 +36,13 @@ fn main() {
     println!(
         "reconfiguring the same 8 KB register file from MVL=16 to MVL=128 gives {:.2}x",
         reports[0].cycles as f64 / reports[1].cycles as f64
+    );
+    println!(
+        "sweep: {} points in {:.1} ms on {} threads ({} compiles, {} cache hits)",
+        reports.len(),
+        sweep.wall_ns as f64 / 1e6,
+        sweep.threads,
+        sweep.cache_misses,
+        sweep.cache_hits,
     );
 }

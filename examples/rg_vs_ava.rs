@@ -23,7 +23,8 @@ fn main() {
         SystemConfig::rg_lmul(Lmul::M8),
         SystemConfig::ava_x(8),
     ];
-    let reports = Sweep::grid(workloads, systems).run_parallel();
+    let sweep = Sweep::grid(workloads, systems).run_parallel_report();
+    let reports = &sweep.reports;
 
     let baseline = &reports[0];
     println!("baseline NATIVE X1: {} cycles\n", baseline.cycles);
@@ -58,4 +59,21 @@ fn main() {
     }
     println!("\nRG loses architectural registers to grouping, so the compiler spills;");
     println!("AVA keeps all 32 and resolves pressure in hardware with swap operations.");
+    println!(
+        "(sweep ran {} points in {:.1} ms; the scheduler's cost estimates ranged {}..{})",
+        reports.len(),
+        sweep.wall_ns as f64 / 1e6,
+        sweep
+            .points
+            .iter()
+            .map(|p| p.cost_estimate)
+            .min()
+            .unwrap_or(0),
+        sweep
+            .points
+            .iter()
+            .map(|p| p.cost_estimate)
+            .max()
+            .unwrap_or(0),
+    );
 }

@@ -1,0 +1,320 @@
+//! The JSON report pipeline's guarantee: what the std-only emitter writes is
+//! real JSON. A tiny hand-written recursive-descent parser (independent of
+//! the emitter — it shares no code with `ava::sim::json`) parses the
+//! emitted documents back and the tests compare the round-tripped values
+//! against the Rust originals, including the full `SweepReport` that the
+//! `--json` flag of every binary persists for CI.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use ava::sim::json::{object, Json};
+use ava::sim::{Sweep, SystemConfig};
+use ava::workloads::{Axpy, Blackscholes, SharedWorkload};
+
+/// A parsed JSON value. Numbers keep their integer form when the text had
+/// no fraction/exponent, so `u64` counters round-trip exactly.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Int(i128),
+    Float(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn get(&self, key: &str) -> &Value {
+        match self {
+            Value::Obj(m) => m.get(key).unwrap_or_else(|| panic!("missing key {key}")),
+            other => panic!("expected object for key {key}, got {other:?}"),
+        }
+    }
+
+    fn as_u64(&self) -> u64 {
+        match self {
+            Value::Int(i) => u64::try_from(*i).expect("negative counter"),
+            other => panic!("expected integer, got {other:?}"),
+        }
+    }
+
+    fn as_str(&self) -> &str {
+        match self {
+            Value::Str(s) => s,
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+
+    fn as_arr(&self) -> &[Value] {
+        match self {
+            Value::Arr(v) => v,
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+}
+
+/// The tiny parser: bytes + cursor, recursive descent, panics on malformed
+/// input (fine for a test oracle).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(text: &str) -> Value {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value();
+    p.skip_ws();
+    assert_eq!(p.pos, p.bytes.len(), "trailing garbage after document");
+    v
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> u8 {
+        self.bytes[self.pos]
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.bytes[self.pos];
+        self.pos += 1;
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) {
+        self.skip_ws();
+        assert_eq!(self.bump(), b, "at byte {}", self.pos - 1);
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Value {
+        assert_eq!(
+            &self.bytes[self.pos..self.pos + text.len()],
+            text.as_bytes()
+        );
+        self.pos += text.len();
+        value
+    }
+
+    fn value(&mut self) -> Value {
+        self.skip_ws();
+        match self.peek() {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => Value::Str(self.string()),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            _ => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> String {
+        self.expect(b'"');
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                b'"' => return out,
+                b'\\' => match self.bump() {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000C}'),
+                    b'u' => {
+                        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                            .expect("hex escape");
+                        self.pos += 4;
+                        let code = u32::from_str_radix(hex, 16).expect("hex escape");
+                        out.push(char::from_u32(code).expect("BMP scalar"));
+                    }
+                    other => panic!("bad escape \\{}", other as char),
+                },
+                // Multi-byte UTF-8: copy the whole sequence through.
+                b if b < 0x80 => out.push(b as char),
+                b => {
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    self.pos = start + len;
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Value {
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(self.peek(), b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if text.contains(['.', 'e', 'E']) {
+            Value::Float(text.parse().expect("float"))
+        } else {
+            Value::Int(text.parse().expect("int"))
+        }
+    }
+
+    fn array(&mut self) -> Value {
+        self.expect(b'[');
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == b']' {
+            self.pos += 1;
+            return Value::Arr(items);
+        }
+        loop {
+            items.push(self.value());
+            self.skip_ws();
+            match self.bump() {
+                b',' => {}
+                b']' => return Value::Arr(items),
+                other => panic!("bad array separator {}", other as char),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Value {
+        self.expect(b'{');
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == b'}' {
+            self.pos += 1;
+            return Value::Obj(map);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string();
+            self.expect(b':');
+            map.insert(key, self.value());
+            self.skip_ws();
+            match self.bump() {
+                b',' => {}
+                b'}' => return Value::Obj(map),
+                other => panic!("bad object separator {}", other as char),
+            }
+        }
+    }
+}
+
+#[test]
+fn escaping_round_trips_hostile_strings() {
+    let hostile = [
+        "plain",
+        "with \"quotes\" inside",
+        "back\\slash and \\\" both",
+        "newline\nand\ttab\rand\u{0008}\u{000C}",
+        "low controls \u{0000}\u{0001}\u{001f} end",
+        "unicode µ→☃ stays literal",
+        "",
+    ];
+    for s in hostile {
+        let emitted = Json::from(s).to_string();
+        assert_eq!(
+            parse(&emitted),
+            Value::Str(s.to_string()),
+            "round-trip failed for {s:?} (emitted {emitted})"
+        );
+    }
+}
+
+#[test]
+fn numbers_round_trip_including_2_53_plus_one() {
+    let n = (1_u64 << 53) + 1;
+    assert_eq!(parse(&Json::from(n).to_string()), Value::Int(i128::from(n)));
+    assert_eq!(parse(&Json::from(-5_i64).to_string()), Value::Int(-5));
+    assert_eq!(parse(&Json::from(0.25).to_string()), Value::Float(0.25));
+    assert_eq!(parse(&Json::from(f64::NAN).to_string()), Value::Null);
+}
+
+#[test]
+fn nested_builders_round_trip() {
+    let doc = object()
+        .field("s", "a\"b")
+        .field("n", 7_u64)
+        .field("none", Json::Null)
+        .field("list", Json::from_iter([1_u64, 2, 3]))
+        .field("inner", object().field("ok", true).finish())
+        .finish();
+    let v = parse(&doc.to_string());
+    assert_eq!(v.get("s"), &Value::Str("a\"b".to_string()));
+    assert_eq!(v.get("n"), &Value::Int(7));
+    assert_eq!(v.get("none"), &Value::Null);
+    assert_eq!(
+        v.get("list"),
+        &Value::Arr(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+    );
+    assert_eq!(v.get("inner").get("ok"), &Value::Bool(true));
+}
+
+#[test]
+fn full_sweep_report_round_trips_against_the_parser() {
+    let workloads: Vec<SharedWorkload> =
+        vec![Arc::new(Axpy::new(256)), Arc::new(Blackscholes::new(64))];
+    let systems = vec![SystemConfig::native_x(1), SystemConfig::ava_x(8)];
+    let sweep = Sweep::grid(workloads, systems);
+    let report = sweep.run_parallel_report_with(2);
+
+    let parsed = parse(&report.to_json().to_string());
+
+    assert_eq!(parsed.get("schema").as_str(), "ava-sweep-report/v1");
+    assert_eq!(parsed.get("threads").as_u64(), 2);
+    assert_eq!(parsed.get("wall_ns").as_u64(), report.wall_ns);
+    assert_eq!(parsed.get("busy_ns").as_u64(), report.busy_ns());
+    assert_eq!(parsed.get("cache").get("hits").as_u64(), report.cache_hits);
+    assert_eq!(
+        parsed.get("cache").get("misses").as_u64(),
+        report.cache_misses
+    );
+
+    let points = parsed.get("points").as_arr();
+    assert_eq!(points.len(), report.reports.len());
+    for ((point, stats), run) in points.iter().zip(&report.points).zip(&report.reports) {
+        assert_eq!(point.get("workload").as_str(), stats.workload);
+        assert_eq!(point.get("config").as_str(), stats.config);
+        assert_eq!(point.get("cost_estimate").as_u64(), stats.cost_estimate);
+        assert_eq!(point.get("wall_ns").as_u64(), stats.wall_ns);
+        assert_eq!(point.get("worker").as_u64(), stats.worker as u64);
+
+        // The embedded RunReport: every headline counter survives exactly.
+        let r = point.get("report");
+        assert_eq!(r.get("config").as_str(), run.config);
+        assert_eq!(r.get("workload").as_str(), run.workload);
+        assert_eq!(r.get("cycles").as_u64(), run.cycles);
+        assert_eq!(r.get("vpu_cycles").as_u64(), run.vpu_cycles);
+        assert_eq!(r.get("validated"), &Value::Bool(run.validated));
+        assert_eq!(r.get("validation_error"), &Value::Null);
+        assert_eq!(r.get("vpu").get("vloads").as_u64(), run.vpu.vloads);
+        assert_eq!(r.get("vpu").get("swap_loads").as_u64(), run.vpu.swap_loads);
+        assert_eq!(
+            r.get("vpu").get("memory_instrs").as_u64(),
+            run.vpu.memory_instrs()
+        );
+        assert_eq!(
+            r.get("mem").get("l2").get("read_misses").as_u64(),
+            run.mem.l2.read_misses
+        );
+        assert_eq!(r.get("mem").get("dram_bytes").as_u64(), run.mem.dram_bytes);
+        assert_eq!(
+            r.get("scalar").get("instructions").as_u64(),
+            run.scalar.instructions
+        );
+    }
+}

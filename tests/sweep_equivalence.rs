@@ -2,7 +2,8 @@
 //! indistinguishable from running the same grid serially. Every counter in
 //! every report — cycles, instruction counts, memory traffic, validation —
 //! must match bit-for-bit, at any thread count, with the shared program
-//! cache enabled (its hits must not perturb results either).
+//! cache enabled (its hits must not perturb results either) and with the
+//! cost-sorted scheduler reordering execution under the hood.
 
 use std::sync::Arc;
 
@@ -12,9 +13,11 @@ use ava::workloads::{
     Axpy, Blackscholes, LavaMd2, ParticleFilter, SharedWorkload, Somier, Swaptions,
 };
 
-/// A 36-point grid (6 workloads × 6 configurations) covering all three
-/// register-file organisations, the spill-heavy and swap-heavy regimes
-/// included.
+/// A 42-point grid (7 workloads × 6 configurations) covering all three
+/// register-file organisations, the spill-heavy and swap-heavy regimes, and
+/// one deliberately skewed large point (the oversized Blackscholes) whose
+/// cost estimate dwarfs the rest — the case the cost-sorted scheduler
+/// exists for.
 fn grid() -> Sweep {
     let workloads: Vec<SharedWorkload> = vec![
         Arc::new(Axpy::new(512)),
@@ -23,6 +26,8 @@ fn grid() -> Sweep {
         Arc::new(ParticleFilter::new(256, 32)),
         Arc::new(Somier::new(512)),
         Arc::new(Swaptions::new(128)),
+        // The skewed point: 4x the options of the regular Blackscholes.
+        Arc::new(Blackscholes::new(512)),
     ];
     let systems = vec![
         SystemConfig::native_x(1),
@@ -122,5 +127,52 @@ fn every_point_of_the_acceptance_grid_validates() {
             "{} on {}: {:?}",
             r.workload, r.config, r.validation_error
         );
+    }
+}
+
+#[test]
+fn skewed_grid_stays_in_grid_order_and_identical_to_serial() {
+    // One huge point and many tiny ones: the scheduler pulls the huge point
+    // to the front of the execution queue, so grid order of the *results*
+    // and bit-identity with a serial run are exactly what this shape
+    // stresses.
+    let workloads: Vec<SharedWorkload> = vec![
+        Arc::new(Axpy::new(64)),
+        Arc::new(Axpy::new(96)),
+        Arc::new(Axpy::new(128)),
+        Arc::new(Blackscholes::new(512)), // the huge point
+        Arc::new(Axpy::new(160)),
+        Arc::new(Axpy::new(192)),
+        Arc::new(Axpy::new(224)),
+        Arc::new(Axpy::new(256)),
+    ];
+    let systems = vec![SystemConfig::native_x(1)];
+    let sweep = Sweep::grid(workloads.clone(), systems);
+
+    // The huge point really is the most expensive in the scheduler's eyes.
+    let costs: Vec<u64> = (0..sweep.len()).map(|i| sweep.point_cost(i)).collect();
+    assert_eq!(
+        costs.iter().max(),
+        Some(&costs[3]),
+        "the skewed Blackscholes must carry the largest cost estimate"
+    );
+
+    let serial = sweep.run_serial();
+    for threads in [2, 3, 8] {
+        let report = sweep.run_parallel_report_with(threads);
+        assert_eq!(report.reports.len(), serial.len());
+        for (i, (s, p)) in serial.iter().zip(&report.reports).enumerate() {
+            assert_eq!(
+                p.workload,
+                workloads[i].name(),
+                "results must come back in grid order, not execution order"
+            );
+            assert_eq!(format!("{s:?}"), format!("{p:?}"), "point {i} must match");
+        }
+        // Instrumentation is present for every point and workers stayed in
+        // range.
+        assert_eq!(report.points.len(), serial.len());
+        assert!(report.points.iter().all(|p| p.worker < threads));
+        assert_eq!(report.points[3].cost_estimate, costs[3]);
     }
 }
