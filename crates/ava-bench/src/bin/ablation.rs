@@ -14,36 +14,32 @@ use std::sync::Arc;
 
 use ava_bench::cli::{emit_json, json_only_args};
 use ava_sim::json::{object, Json};
-use ava_sim::{Sweep, SystemConfig};
+use ava_sim::{ScenarioConfig, Sweep};
 use ava_workloads::{Axpy, Blackscholes, SharedWorkload};
 
-/// The variant axis of one ablation study: a display name per system.
-fn variants(base: &SystemConfig) -> (Vec<String>, Vec<SystemConfig>) {
+/// The variant axis of one ablation study: a display name per scenario.
+/// Each variant is the base scenario with exactly one knob overridden — the
+/// scenario layer records the override as axis metadata, so the `--json`
+/// report carries it point by point.
+fn variants(base: &ScenarioConfig) -> (Vec<String>, Vec<ScenarioConfig>) {
     let mut names = vec!["reference".to_string()];
     let mut systems = vec![base.clone()];
     for entries in [8usize, 16, 64] {
-        let mut s = base.clone();
-        s.vpu.arith_queue_entries = entries;
-        s.vpu.mem_queue_entries = entries;
         names.push(format!("issue queues = {entries}"));
-        systems.push(s);
+        systems.push(base.clone().with_issue_queues(entries));
     }
     for rob in [16usize, 32, 128] {
-        let mut s = base.clone();
-        s.vpu.rob_entries = rob;
         names.push(format!("reorder buffer = {rob}"));
-        systems.push(s);
+        systems.push(base.clone().with_rob_entries(rob));
     }
     for overhead in [0u64, 8, 16] {
-        let mut s = base.clone();
-        s.vpu.mem_op_overhead = overhead;
         names.push(format!("mem-op overhead = {overhead}"));
-        systems.push(s);
+        systems.push(base.clone().with_mem_op_overhead(overhead));
     }
     (names, systems)
 }
 
-fn study(label: &str, base: &SystemConfig, workload: SharedWorkload) -> Json {
+fn study(label: &str, base: &ScenarioConfig, workload: SharedWorkload) -> Json {
     println!("--- {label}: {} on {}", workload.name(), base.label());
     let (names, systems) = variants(base);
     let sweep = Sweep::grid(vec![workload.clone()], systems).run_parallel_report();
@@ -93,12 +89,12 @@ fn main() -> ExitCode {
     let studies = vec![
         study(
             "swap-free baseline",
-            &SystemConfig::native_x(1),
+            &ScenarioConfig::native_x(1),
             Arc::new(Axpy::new(4096)),
         ),
         study(
             "swap-heavy AVA",
-            &SystemConfig::ava_x(8),
+            &ScenarioConfig::ava_x(8),
             Arc::new(Blackscholes::new(1024)),
         ),
     ];

@@ -13,15 +13,16 @@
 //! ```
 //!
 //! With `--json`, the instrumented sweep report (per-point counters,
-//! wall-clock timing and compile-cache statistics) is additionally written
-//! to `<path>` for CI and downstream plotting.
+//! wall-clock timing, compile-cache statistics and the derived per-point
+//! energy breakdown from the McPAT-style model) is additionally written to
+//! `<path>` for CI and downstream plotting.
 
 use std::process::ExitCode;
 
 use ava_bench::cli::{emit_json, take_json_flag};
 use ava_bench::{
     evaluated_systems, figure3_sweep, format_energy, format_instruction_mix,
-    format_memory_breakdown, format_performance, paper_workloads,
+    format_memory_breakdown, format_performance, paper_workloads, sweep_energy_json,
 };
 use ava_sim::json::object;
 use ava_workloads::SharedWorkload;
@@ -111,6 +112,10 @@ fn main() -> ExitCode {
         object()
             .field("artefact", "fig3")
             .field("chart", chart.as_str())
+            .field(
+                "energy",
+                sweep_energy_json(&report, sweep.resolved_systems()),
+            )
             .field("sweep", report.to_json())
             .finish()
     })

@@ -1,0 +1,168 @@
+//! Sensitivity study over the scenario axes the paper's fixed grid cannot
+//! express: the Table I MVL extrapolation (MVL up to 512, P-VRF held at the
+//! X8 physical-register floor) crossed with an L2-capacity axis, run over
+//! single kernels and a multi-kernel composite mix.
+//!
+//! The whole study is one declarative `Sweep` built from `ScenarioConfig`
+//! axis builders and executed by the parallel engine.
+//!
+//! Usage:
+//!
+//! ```text
+//! sensitivity [--mvl 128,256,512] [--l2-kib 256,1024,4096] [--app <name>]
+//!             [--threads <n>] [--json <path>]
+//! ```
+//!
+//! With `--json`, the instrumented sweep report — axis metadata and the
+//! derived per-point energy breakdown included — is written to `<path>`.
+
+use std::process::ExitCode;
+
+use ava_bench::cli::{emit_json, take_json_flag};
+use ava_bench::{
+    format_cache_sensitivity, format_mvl_extrapolation, sensitivity_grid, sensitivity_json,
+    sensitivity_workloads, SENSITIVITY_L2_KIB, SENSITIVITY_MVLS,
+};
+use ava_isa::{MAX_MVL_ELEMS, MIN_MVL_ELEMS};
+use ava_sim::Sweep;
+use ava_workloads::SharedWorkload;
+
+fn parse_list(arg: &str, what: &str) -> Result<Vec<usize>, String> {
+    arg.split(',')
+        .map(|v| {
+            v.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("invalid {what} value: {v}"))
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let usage = "sensitivity [--mvl 128,256,512] [--l2-kib 256,1024,4096] [--app <name>] \
+                 [--threads <n>] [--json <path>]";
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match take_json_flag(&mut args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("usage: {usage}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut mvls: Vec<usize> = SENSITIVITY_MVLS.to_vec();
+    let mut l2_kib: Vec<usize> = SENSITIVITY_L2_KIB.to_vec();
+    let mut app_filter: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |flag: &str| -> Result<String, String> {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        let step = match args[i].as_str() {
+            "--mvl" => match value("--mvl").and_then(|v| parse_list(&v, "--mvl")) {
+                Ok(v) => {
+                    mvls = v;
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            },
+            "--l2-kib" => match value("--l2-kib").and_then(|v| parse_list(&v, "--l2-kib")) {
+                Ok(v) => {
+                    l2_kib = v;
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            },
+            "--app" => value("--app").map(|v| app_filter = Some(v)),
+            "--threads" => match value("--threads").and_then(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| format!("invalid --threads value: {v}"))
+            }) {
+                Ok(n) => {
+                    threads = Some(n);
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            },
+            other => Err(format!("unrecognised argument: {other}")),
+        };
+        if let Err(e) = step {
+            eprintln!("{e}");
+            eprintln!("usage: {usage}");
+            return ExitCode::from(2);
+        }
+        i += 2;
+    }
+    if mvls.is_empty() || l2_kib.is_empty() {
+        eprintln!("--mvl and --l2-kib need at least one value each");
+        return ExitCode::from(2);
+    }
+    if let Some(bad) = mvls
+        .iter()
+        .find(|&&m| m % MIN_MVL_ELEMS != 0 || !(MIN_MVL_ELEMS..=MAX_MVL_ELEMS).contains(&m))
+    {
+        eprintln!(
+            "--mvl values must be multiples of {MIN_MVL_ELEMS} in \
+             {MIN_MVL_ELEMS}..={MAX_MVL_ELEMS}, got {bad}"
+        );
+        return ExitCode::from(2);
+    }
+    if l2_kib.contains(&0) {
+        eprintln!("--l2-kib values must be non-zero");
+        return ExitCode::from(2);
+    }
+
+    let workloads: Vec<SharedWorkload> = sensitivity_workloads()
+        .into_iter()
+        .filter(|w| app_filter.as_ref().is_none_or(|f| w.name() == f))
+        .collect();
+    if workloads.is_empty() {
+        eprintln!("no workload matches --app filter (axpy, blackscholes, somier, composite)");
+        return ExitCode::from(2);
+    }
+
+    let scenarios = sensitivity_grid(&mvls, &l2_kib);
+    let per_workload = scenarios.len();
+    let sweep = Sweep::grid(workloads.clone(), scenarios.clone());
+    eprintln!(
+        "sweeping {} points ({} workloads x {} MVLs x {} L2 sizes)...",
+        sweep.len(),
+        workloads.len(),
+        mvls.len(),
+        l2_kib.len()
+    );
+    let report = match threads {
+        Some(n) => sweep.run_parallel_report_with(n),
+        None => sweep.run_parallel_report(),
+    };
+    for r in &report.reports {
+        assert!(
+            r.validated,
+            "{} on {}: {:?}",
+            r.workload, r.config, r.validation_error
+        );
+    }
+
+    for (workload, runs) in workloads.iter().zip(report.reports.chunks(per_workload)) {
+        println!(
+            "{}",
+            format_mvl_extrapolation(workload.name(), sweep.resolved_systems(), runs)
+        );
+        println!("{}", format_cache_sensitivity(workload.name(), runs));
+    }
+    eprintln!(
+        "sweep: {:.1} ms wall, {:.1} ms busy on {} threads ({} compiles deduplicated to {})",
+        report.wall_ns as f64 / 1e6,
+        report.busy_ns() as f64 / 1e6,
+        report.threads,
+        report.cache_hits + report.cache_misses,
+        report.cache_misses,
+    );
+
+    emit_json(json_path.as_deref(), || {
+        sensitivity_json(&mvls, &l2_kib, sweep.resolved_systems(), &report)
+    })
+}

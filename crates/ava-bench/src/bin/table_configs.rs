@@ -25,13 +25,14 @@ fn main() -> ExitCode {
                 evaluated_systems()
                     .iter()
                     .map(|sys| {
+                        let vpu = sys.vpu_config();
                         object()
                             .field("config", sys.label())
-                            .field("mvl", sys.vpu.mvl)
-                            .field("pvrf_bytes", sys.vpu.pvrf_bytes)
-                            .field("physical_regs", sys.vpu.physical_regs())
-                            .field("logical_regs", sys.vpu.logical_regs)
-                            .field("mvrf_bytes", sys.vpu.mvrf_bytes())
+                            .field("mvl", vpu.mvl)
+                            .field("pvrf_bytes", vpu.pvrf_bytes)
+                            .field("physical_regs", vpu.physical_regs())
+                            .field("logical_regs", vpu.logical_regs)
+                            .field("mvrf_bytes", vpu.mvrf_bytes())
                             .finish()
                     })
                     .collect::<Json>(),

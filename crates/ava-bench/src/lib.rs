@@ -40,11 +40,17 @@ use std::collections::BTreeMap;
 
 use std::sync::Arc;
 
-use ava_energy::{energy_breakdown, pnr_estimate, system_area, EnergyParams};
-use ava_sim::{geometric_mean, speedup_vs, RunReport, Sweep, SystemConfig};
+use ava_energy::{
+    energy_breakdown, energy_breakdown_with_l2, pnr_estimate, system_area, EnergyBreakdown,
+    EnergyParams,
+};
+use ava_sim::json::object;
+use ava_sim::{
+    geometric_mean, speedup_vs, Json, RunReport, ScenarioConfig, Sweep, SweepReport, SystemConfig,
+};
 use ava_vpu::{preg_count_for_mvl, VpuConfig};
 use ava_workloads::{
-    Axpy, Blackscholes, LavaMd2, ParticleFilter, SharedWorkload, Somier, Swaptions,
+    Axpy, Blackscholes, Composite, LavaMd2, ParticleFilter, SharedWorkload, Somier, Swaptions,
 };
 
 /// The six applications of Table IV at the problem sizes used for the
@@ -78,8 +84,8 @@ pub fn bench_workloads() -> Vec<SharedWorkload> {
 
 /// The configurations plotted in Figure 3, in presentation order.
 #[must_use]
-pub fn evaluated_systems() -> Vec<SystemConfig> {
-    SystemConfig::all_evaluated()
+pub fn evaluated_systems() -> Vec<ScenarioConfig> {
+    ScenarioConfig::all_evaluated()
 }
 
 /// The Figure 3 grid: every given workload on every evaluated configuration.
@@ -193,13 +199,11 @@ pub fn format_energy(workload: &str, reports: &[RunReport]) -> String {
     out
 }
 
-fn config_map() -> BTreeMap<&'static str, VpuConfig> {
-    let mut m = BTreeMap::new();
-    for sys in evaluated_systems() {
-        let label: &'static str = Box::leak(sys.label().to_string().into_boxed_str());
-        m.insert(label, sys.vpu.clone());
-    }
-    m
+fn config_map() -> BTreeMap<String, VpuConfig> {
+    evaluated_systems()
+        .iter()
+        .map(|sys| (sys.label().to_string(), sys.vpu_config()))
+        .collect()
 }
 
 /// The P-VRF capacity Table I assumes (8 KB).
@@ -245,14 +249,15 @@ pub fn format_table_configs() -> String {
         "config", "MVL", "VRF (KB)", "P-regs", "logical", "M-VRF (KB)"
     ));
     for sys in evaluated_systems() {
+        let vpu = sys.vpu_config();
         out.push_str(&format!(
             "{:<12} {:>6} {:>10} {:>10} {:>10} {:>12}\n",
             sys.label(),
-            sys.vpu.mvl,
-            sys.vpu.pvrf_bytes / 1024,
-            sys.vpu.physical_regs(),
-            sys.vpu.logical_regs,
-            sys.vpu.mvrf_bytes() / 1024,
+            vpu.mvl,
+            vpu.pvrf_bytes / 1024,
+            vpu.physical_regs(),
+            vpu.logical_regs,
+            vpu.mvrf_bytes() / 1024,
         ));
     }
     out
@@ -302,18 +307,18 @@ pub fn figure4_data(workloads: &[SharedWorkload]) -> Figure4Data {
     // Area side: one column per configuration of Figure 4. NATIVE X1 first
     // (it doubles as the speedup baseline) and AVA X1 second (its area row
     // represents every AVA configuration).
-    let columns: Vec<SystemConfig> = vec![
-        SystemConfig::native_x(1),
-        SystemConfig::ava_x(1),
-        SystemConfig::native_x(2),
-        SystemConfig::native_x(3),
-        SystemConfig::native_x(4),
-        SystemConfig::native_x(8),
+    let columns: Vec<ScenarioConfig> = vec![
+        ScenarioConfig::native_x(1),
+        ScenarioConfig::ava_x(1),
+        ScenarioConfig::native_x(2),
+        ScenarioConfig::native_x(3),
+        ScenarioConfig::native_x(4),
+        ScenarioConfig::native_x(8),
     ];
     // The right axis additionally needs AVA X2..X8 for the "best MVL per
     // application" point, so the sweep's system axis is columns + those.
     let mut systems = columns.clone();
-    systems.extend([2, 3, 4, 8].iter().map(|&n| SystemConfig::ava_x(n)));
+    systems.extend([2, 3, 4, 8].iter().map(|&n| ScenarioConfig::ava_x(n)));
     let n_systems = systems.len();
     let sweep = Sweep::grid(workloads.to_vec(), systems).run_parallel_report();
     let by_workload: Vec<&[RunReport]> = sweep.reports.chunks(n_systems).collect();
@@ -322,7 +327,7 @@ pub fn figure4_data(workloads: &[SharedWorkload]) -> Figure4Data {
     // Performance/mm²: average speedup of each configuration across the
     // workloads, normalised by VPU area (the paper's right axis).
     for (col, sys) in columns.iter().enumerate() {
-        let area = system_area(&sys.vpu);
+        let area = system_area(&sys.vpu_config());
         let perf: Vec<f64> = by_workload
             .iter()
             .map(|runs| runs[0].cycles as f64 / runs[col].cycles as f64)
@@ -343,7 +348,7 @@ pub fn figure4_data(workloads: &[SharedWorkload]) -> Figure4Data {
     // AVA reconfigures without changing area: the paper's right axis shows a
     // single AVA point using the best configuration per application. The AVA
     // runs are the systems at index 1 (AVA X1) and 6.. (AVA X2..X8).
-    let ava_area = system_area(&SystemConfig::ava_x(1).vpu);
+    let ava_area = system_area(&ScenarioConfig::ava_x(1).vpu_config());
     let best_speedups: Vec<f64> = by_workload
         .iter()
         .map(|runs| {
@@ -438,6 +443,215 @@ pub fn format_table5() -> String {
     out
 }
 
+// ----------------------------------------------------------------------
+// Sensitivity study: MVL extrapolation and cache-size grids
+// ----------------------------------------------------------------------
+
+/// The default MVL axis of the `sensitivity` binary: the paper's longest
+/// configuration plus the Table I extrapolation points.
+pub const SENSITIVITY_MVLS: [usize; 3] = [128, 256, 512];
+
+/// The default L2-capacity axis of the `sensitivity` binary, in KiB (the
+/// paper's 1 MiB flanked by a quarter-size and a quadruple-size L2).
+pub const SENSITIVITY_L2_KIB: [usize; 3] = [256, 1024, 4096];
+
+/// The scenario grid of the sensitivity study: the AVA MVL-extrapolation
+/// axis crossed with the L2-capacity axis, L2-minor (matching the loops of
+/// [`format_cache_sensitivity`]).
+#[must_use]
+pub fn sensitivity_grid(mvls: &[usize], l2_kib: &[usize]) -> Vec<ScenarioConfig> {
+    ScenarioConfig::axis_l2_kib(&ScenarioConfig::axis_mvl(mvls), l2_kib)
+}
+
+/// The workloads of the sensitivity study: the two DLP extremes (Axpy
+/// streams, Blackscholes is register-hungry), the memory-bound Somier, and
+/// a multi-kernel [`Composite`] mix of all three sharing one cache-warm
+/// hierarchy. Problem sizes are chosen so the working sets (0.4–1 MiB)
+/// straddle the L2-capacity axis — small L2 configurations actually miss.
+#[must_use]
+pub fn sensitivity_workloads() -> Vec<SharedWorkload> {
+    vec![
+        Arc::new(Axpy::new(32768)),
+        Arc::new(Blackscholes::new(8192)),
+        Arc::new(Somier::new(16384)),
+        Arc::new(Composite::new(vec![
+            Arc::new(Axpy::new(16384)),
+            Arc::new(Blackscholes::new(4096)),
+            Arc::new(Somier::new(8192)),
+        ])),
+    ]
+}
+
+fn axis_value(r: &RunReport, name: &str) -> Option<u64> {
+    r.axes.iter().find(|a| a.name == name).map(|a| a.value)
+}
+
+/// Formats the MVL-extrapolation table for one workload: Table I continued
+/// past MVL = 128 (P-VRF growing at the X8 register floor), with cycles and
+/// speedup at the reference L2 capacity (the smallest on the grid's L2
+/// axis, so the extrapolation is judged under cache pressure). `systems`
+/// is the sweep's resolved axis ([`Sweep::resolved_systems`]), parallel to
+/// the per-workload `reports` chunk.
+#[must_use]
+pub fn format_mvl_extrapolation(
+    workload: &str,
+    systems: &[SystemConfig],
+    reports: &[RunReport],
+) -> String {
+    let ref_l2 = reports.iter().filter_map(|r| axis_value(r, "l2_kib")).min();
+    let mut rows: Vec<(&SystemConfig, &RunReport)> = systems
+        .iter()
+        .zip(reports)
+        .filter(|(_, r)| axis_value(r, "l2_kib") == ref_l2)
+        .collect();
+    // Rows ascend along the MVL axis regardless of `--mvl` input order, so
+    // the speedup baseline is always the shortest vector length (matching
+    // the cache-sensitivity matrix, which sorts its axes the same way).
+    rows.sort_by_key(|(sys, _)| sys.mvl());
+    let mut out = format!(
+        "Sensitivity ({workload}) — Table I extrapolation at L2={} KiB\n",
+        ref_l2.unwrap_or_default()
+    );
+    out.push_str(&format!(
+        "{:>5} {:>7} {:>11} {:>11} {:>14} {:>11} {:>8} {:>4}\n",
+        "MVL", "P-regs", "P-VRF(KiB)", "M-VRF(KiB)", "cycles", "time (ms)", "speedup", "ok"
+    ));
+    let baseline = rows.first().map_or(1, |(_, r)| r.cycles).max(1);
+    for (sys, r) in rows {
+        let vpu = &sys.vpu;
+        out.push_str(&format!(
+            "{:>5} {:>7} {:>11} {:>11} {:>14} {:>11.4} {:>8.2} {:>4}\n",
+            vpu.mvl,
+            vpu.physical_regs(),
+            vpu.pvrf_bytes / 1024,
+            vpu.mvrf_bytes() / 1024,
+            r.cycles,
+            r.seconds() * 1e3,
+            baseline as f64 / r.cycles as f64,
+            if r.validated { "yes" } else { "NO" },
+        ));
+    }
+    out
+}
+
+/// Formats the cache-sensitivity matrix for one workload: one row per MVL,
+/// one cycles column per L2 capacity on the grid.
+#[must_use]
+pub fn format_cache_sensitivity(workload: &str, reports: &[RunReport]) -> String {
+    let mut mvls: Vec<u64> = reports
+        .iter()
+        .filter_map(|r| axis_value(r, "mvl"))
+        .collect();
+    mvls.sort_unstable();
+    mvls.dedup();
+    let mut l2s: Vec<u64> = reports
+        .iter()
+        .filter_map(|r| axis_value(r, "l2_kib"))
+        .collect();
+    l2s.sort_unstable();
+    l2s.dedup();
+
+    let mut out = format!("Sensitivity ({workload}) — cycles by MVL and L2 capacity\n");
+    out.push_str(&format!("{:>5}", "MVL"));
+    for l2 in &l2s {
+        out.push_str(&format!(" {:>13}", format!("L2={l2}KiB")));
+    }
+    out.push('\n');
+    for mvl in &mvls {
+        out.push_str(&format!("{mvl:>5}"));
+        for l2 in &l2s {
+            let cell = reports.iter().find(|r| {
+                axis_value(r, "mvl") == Some(*mvl) && axis_value(r, "l2_kib") == Some(*l2)
+            });
+            match cell {
+                Some(r) => out.push_str(&format!(" {:>13}", r.cycles)),
+                None => out.push_str(&format!(" {:>13}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The `sensitivity --json` document: the axis vectors, the per-point
+/// energy breakdowns and the full instrumented sweep. `systems` is the
+/// sweep's resolved axis ([`Sweep::resolved_systems`]).
+#[must_use]
+pub fn sensitivity_json(
+    mvls: &[usize],
+    l2_kib: &[usize],
+    systems: &[SystemConfig],
+    report: &SweepReport,
+) -> Json {
+    object()
+        .field("artefact", "sensitivity")
+        .field(
+            "axes",
+            object()
+                .field("mvl", mvls.iter().map(|&m| Json::from(m)).collect::<Json>())
+                .field(
+                    "l2_kib",
+                    l2_kib.iter().map(|&k| Json::from(k)).collect::<Json>(),
+                )
+                .finish(),
+        )
+        .field("energy", sweep_energy_json(report, systems))
+        .field("sweep", report.to_json())
+        .finish()
+}
+
+// ----------------------------------------------------------------------
+// Derived per-point energy in the JSON pipeline
+// ----------------------------------------------------------------------
+
+/// One energy breakdown as an ordered JSON object (millijoules).
+#[must_use]
+pub fn energy_breakdown_json(e: &EnergyBreakdown) -> Json {
+    object()
+        .field("l2_dynamic_mj", e.l2_dynamic)
+        .field("l2_leakage_mj", e.l2_leakage)
+        .field("vrf_dynamic_mj", e.vrf_dynamic)
+        .field("vrf_leakage_mj", e.vrf_leakage)
+        .field("fpu_dynamic_mj", e.fpu_dynamic)
+        .field("fpu_leakage_mj", e.fpu_leakage)
+        .field("total_mj", e.total())
+        .finish()
+}
+
+/// The derived per-point energy breakdowns of a sweep, parallel to the
+/// sweep's `points` array. `systems` is the sweep's own resolved axis
+/// ([`Sweep::resolved_systems`] — already materialised, so nothing is
+/// resolved twice); each report is matched to its system by configuration
+/// label (not by position, so non-grid sweeps built with
+/// [`Sweep::from_points`] price correctly too) and charged against its own
+/// hierarchy — the L2-capacity axis scales the L2 macro's leakage and the
+/// MVL axis scales the P-VRF macro.
+///
+/// # Panics
+///
+/// Panics if a report's configuration label is not among `systems`.
+#[must_use]
+pub fn sweep_energy_json(report: &SweepReport, systems: &[SystemConfig]) -> Json {
+    let params = EnergyParams::default();
+    let by_label: BTreeMap<&str, &SystemConfig> =
+        systems.iter().map(|sys| (sys.label(), sys)).collect();
+    report
+        .reports
+        .iter()
+        .map(|r| {
+            let sys = by_label
+                .get(r.config.as_str())
+                .unwrap_or_else(|| panic!("no scenario labelled {:?} in the sweep axes", r.config));
+            let e = energy_breakdown_with_l2(r, &sys.vpu, sys.memory.l2.size_bytes, &params);
+            object()
+                .field("workload", r.workload.as_str())
+                .field("config", r.config.as_str())
+                .field("energy", energy_breakdown_json(&e))
+                .finish()
+        })
+        .collect::<Json>()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,7 +683,7 @@ mod tests {
     #[test]
     fn figure3_formatting_includes_every_configuration() {
         let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(256))];
-        let systems = vec![SystemConfig::native_x(1), SystemConfig::ava_x(4)];
+        let systems = vec![ScenarioConfig::native_x(1), ScenarioConfig::ava_x(4)];
         let reports = Sweep::grid(workloads, systems).run_serial();
         for text in [
             format_memory_breakdown("axpy", &reports),
@@ -480,6 +694,99 @@ mod tests {
             assert!(text.contains("NATIVE X1"), "{text}");
             assert!(text.contains("AVA X4"), "{text}");
         }
+    }
+
+    #[test]
+    fn sensitivity_grid_crosses_both_axes_and_formats_every_cell() {
+        let mvls = [128usize, 256];
+        let l2s = [512usize, 1024];
+        let scenarios = sensitivity_grid(&mvls, &l2s);
+        assert_eq!(scenarios.len(), 4);
+        let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(512))];
+        let sweep = Sweep::grid(workloads, scenarios);
+        let report = sweep.run_serial_report();
+
+        let mvl_table = format_mvl_extrapolation("axpy", sweep.resolved_systems(), &report.reports);
+        // The reference column is the smallest L2 on the axis, and the
+        // extrapolated row reports the grown P-VRF at the X8 register floor.
+        assert!(mvl_table.contains("L2=512 KiB"), "{mvl_table}");
+        assert!(
+            mvl_table.contains("\n  256       8          16"),
+            "{mvl_table}"
+        );
+
+        let cache_table = format_cache_sensitivity("axpy", &report.reports);
+        assert!(cache_table.contains("L2=512KiB"), "{cache_table}");
+        assert!(cache_table.contains("L2=1024KiB"), "{cache_table}");
+        for line in cache_table.lines().skip(2) {
+            assert_eq!(line.split_whitespace().count(), 3, "{cache_table}");
+        }
+
+        let json = sensitivity_json(&mvls, &l2s, sweep.resolved_systems(), &report).to_string();
+        assert!(json.starts_with("{\"artefact\":\"sensitivity\""), "{json}");
+        assert!(json.contains("\"axes\":{\"mvl\":[128,256],\"l2_kib\":[512,1024]}"));
+        assert!(json.contains("\"energy\":["));
+    }
+
+    #[test]
+    fn energy_json_prices_the_l2_axis_with_the_scenario_l2() {
+        // A quarter-size L2 must leak less than the 4 MiB one: the energy
+        // pipeline prices each point against its own resolved hierarchy.
+        let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(256))];
+        let scenarios = ScenarioConfig::axis_l2_kib(&[ScenarioConfig::ava_x(1)], &[256, 4096]);
+        let report = Sweep::grid(workloads, scenarios.clone()).run_serial_report();
+        let params = EnergyParams::default();
+        let leak = |i: usize| {
+            let sys = scenarios[i].resolve();
+            energy_breakdown_with_l2(
+                &report.reports[i],
+                &sys.vpu,
+                sys.memory.l2.size_bytes,
+                &params,
+            )
+            .l2_leakage
+                / report.reports[i].seconds()
+        };
+        assert!(
+            leak(1) > 10.0 * leak(0),
+            "4 MiB L2 must leak far more power than 256 KiB: {} vs {}",
+            leak(1),
+            leak(0)
+        );
+    }
+
+    #[test]
+    fn mvl_extrapolation_rows_sort_by_mvl_regardless_of_input_order() {
+        let scenarios = sensitivity_grid(&[512, 128], &[512]);
+        let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(512))];
+        let sweep = Sweep::grid(workloads, scenarios);
+        let report = sweep.run_serial_report();
+        let table = format_mvl_extrapolation("axpy", sweep.resolved_systems(), &report.reports);
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[2].trim_start().starts_with("128"), "{table}");
+        assert!(lines[3].trim_start().starts_with("512"), "{table}");
+        // The baseline row (smallest MVL) carries speedup 1.00.
+        assert!(lines[2].contains("1.00"), "{table}");
+    }
+
+    #[test]
+    fn sensitivity_workloads_include_the_composite_mix() {
+        let names: Vec<&str> = sensitivity_workloads().iter().map(|w| w.name()).collect();
+        assert_eq!(names, vec!["axpy", "blackscholes", "somier", "composite"]);
+    }
+
+    #[test]
+    fn sweep_energy_json_prices_every_point_of_a_grid() {
+        let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(256))];
+        let scenarios = vec![ScenarioConfig::native_x(1), ScenarioConfig::ava_x(4)];
+        let sweep = Sweep::grid(workloads, scenarios);
+        let report = sweep.run_serial_report();
+        let json = sweep_energy_json(&report, sweep.resolved_systems()).to_string();
+        assert!(json.contains("\"config\":\"NATIVE X1\""));
+        assert!(json.contains("\"config\":\"AVA X4\""));
+        assert!(json.contains("\"total_mj\":"));
+        let entries = json.matches("\"total_mj\":").count();
+        assert_eq!(entries, report.reports.len());
     }
 
     #[test]

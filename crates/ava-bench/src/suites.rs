@@ -12,7 +12,7 @@
 use ava_compiler::{compile, CompileOptions, KernelBuilder};
 use ava_isa::{Lmul, VReg};
 use ava_memory::{HierarchyConfig, MemoryHierarchy};
-use ava_sim::{run_workload, SystemConfig};
+use ava_sim::{run_workload, ScenarioConfig};
 use ava_vpu::rac::Rac;
 use ava_vpu::rename::RenameUnit;
 use ava_vpu::swap::{SwapDecision, SwapLogic};
@@ -60,10 +60,10 @@ type Runner<'a> = dyn FnMut(&str, &mut dyn FnMut() -> u64) + 'a;
 /// printed by the `fig3` binary.
 fn fig3_kernels(run: &mut Runner<'_>) {
     let systems = [
-        SystemConfig::native_x(1),
-        SystemConfig::native_x(8),
-        SystemConfig::ava_x(8),
-        SystemConfig::rg_lmul(Lmul::M8),
+        ScenarioConfig::native_x(1),
+        ScenarioConfig::native_x(8),
+        ScenarioConfig::ava_x(8),
+        ScenarioConfig::rg_lmul(Lmul::M8),
     ];
     for workload in bench_workloads() {
         for sys in &systems {
@@ -86,19 +86,18 @@ fn fig4_area(run: &mut Runner<'_>) {
     use ava_workloads::Axpy;
 
     let params = EnergyParams::default();
-    let sys = SystemConfig::ava_x(8);
+    let sys = ScenarioConfig::ava_x(8);
+    let vpu = sys.vpu_config();
     let report = run_workload(&Axpy::new(1024), &sys);
 
     run("fig4/system_area", &mut || {
-        system_area(&sys.vpu).total().to_bits()
+        system_area(&vpu).total().to_bits()
     });
     run("fig4/energy_breakdown", &mut || {
-        energy_breakdown(&report, &sys.vpu, &params)
-            .total()
-            .to_bits()
+        energy_breakdown(&report, &vpu, &params).total().to_bits()
     });
     run("table5/pnr_estimate", &mut || {
-        pnr_estimate(&sys.vpu).area_mm2.to_bits()
+        pnr_estimate(&vpu).area_mm2.to_bits()
     });
 }
 

@@ -152,6 +152,39 @@ impl IrKernel {
     pub fn max_pressure(&self) -> usize {
         crate::Liveness::analyse(self).max_pressure()
     }
+
+    /// Appends `phase` after this kernel's instructions, renumbering the
+    /// phase's virtual registers so the combined trace stays in SSA form
+    /// (each id defined exactly once). Used by multi-kernel composite
+    /// workloads: the phases run back to back in one program, sharing the
+    /// same memory hierarchy, and because values never flow between phases
+    /// the combined register pressure is the maximum — not the sum — of the
+    /// phases'.
+    pub fn concat(&mut self, phase: &IrKernel) {
+        let offset = self.num_virt_regs;
+        let remap = |r: VirtReg| VirtReg(r.0 + offset);
+        self.instrs.extend(phase.instrs.iter().map(|i| {
+            IrInstr {
+                opcode: i.opcode,
+                dst: i.dst.map(remap),
+                srcs: i
+                    .srcs
+                    .iter()
+                    .map(|s| match s {
+                        IrOperand::Reg(r) => IrOperand::Reg(remap(*r)),
+                        IrOperand::Scalar(e) => IrOperand::Scalar(*e),
+                    })
+                    .collect(),
+                mem: i.mem.map(|m| IrMemAccess {
+                    base: m.base,
+                    stride: m.stride,
+                    index: m.index.map(remap),
+                }),
+                setvl_request: i.setvl_request,
+            }
+        }));
+        self.num_virt_regs += phase.num_virt_regs;
+    }
 }
 
 #[cfg(test)]
@@ -191,5 +224,34 @@ mod tests {
         assert!(k.is_empty());
         assert_eq!(k.len(), 0);
         assert_eq!(k.max_pressure(), 0);
+    }
+
+    #[test]
+    fn concat_renumbers_the_appended_phase() {
+        let mut b = crate::KernelBuilder::new("a");
+        let x = b.vload(0);
+        b.vstore(x, 64);
+        let mut a = b.finish();
+
+        let mut b = crate::KernelBuilder::new("b");
+        let idx = b.vid();
+        let g = b.vload_indexed(0x100, idx);
+        let s = b.vfadd(g, 1.0);
+        b.vstore(s, 0x200);
+        let second = b.finish();
+
+        a.concat(&second);
+        assert_eq!(a.num_virt_regs, 1 + 3);
+        // The appended phase's registers start after the first phase's.
+        assert_eq!(a.instrs[2].dst, Some(VirtReg(1)));
+        assert_eq!(a.instrs[3].mem.unwrap().index, Some(VirtReg(1)));
+        assert_eq!(a.instrs[4].srcs[0].reg(), Some(VirtReg(2)));
+        // SSA: every destination id is defined exactly once.
+        let mut defs: Vec<u32> = a.instrs.iter().filter_map(|i| i.dst.map(|d| d.0)).collect();
+        defs.sort_unstable();
+        defs.dedup();
+        assert_eq!(defs.len(), 4);
+        // Phases stay independent, so pressure is the max, not the sum.
+        assert_eq!(a.max_pressure(), second.max_pressure());
     }
 }

@@ -79,17 +79,32 @@ impl EnergyBreakdown {
     }
 }
 
-/// Computes the energy breakdown of one simulated run.
+/// Computes the energy breakdown of one simulated run against the paper's
+/// default 1 MB L2. For scenarios that override the L2 capacity use
+/// [`energy_breakdown_with_l2`] — leakage and area scale with the macro.
 #[must_use]
 pub fn energy_breakdown(
     report: &RunReport,
     config: &VpuConfig,
     params: &EnergyParams,
 ) -> EnergyBreakdown {
+    energy_breakdown_with_l2(report, config, 1024 * 1024, params)
+}
+
+/// Computes the energy breakdown with an explicit L2 capacity in bytes, so
+/// the L2-size sensitivity axis prices its leakage correctly (a quarter-size
+/// L2 leaks a quarter of the power).
+#[must_use]
+pub fn energy_breakdown_with_l2(
+    report: &RunReport,
+    config: &VpuConfig,
+    l2_bytes: usize,
+    params: &EnergyParams,
+) -> EnergyBreakdown {
     let seconds = report.cycles as f64 / 1.0e9;
     let pj_to_mj = 1.0e-9;
 
-    let l2_macro = SramMacro::new(1024 * 1024, 1, 1);
+    let l2_macro = SramMacro::new(l2_bytes, 1, 1);
     let vrf_macro = SramMacro::new(config.pvrf_bytes, 4, 2);
 
     let l2_accesses = report.mem.l2.accesses() as f64;
@@ -125,17 +140,17 @@ pub fn energy_breakdown(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ava_sim::{run_workload, SystemConfig};
+    use ava_sim::{run_workload, ScenarioConfig};
     use ava_workloads::{Axpy, Blackscholes};
 
     #[test]
     fn leakage_scales_with_vrf_size_for_native_configurations() {
         let w = Axpy::new(1024);
         let p = EnergyParams::default();
-        let r1 = run_workload(&w, &SystemConfig::native_x(1));
-        let r8 = run_workload(&w, &SystemConfig::native_x(8));
-        let e1 = energy_breakdown(&r1, &SystemConfig::native_x(1).vpu, &p);
-        let e8 = energy_breakdown(&r8, &SystemConfig::native_x(8).vpu, &p);
+        let r1 = run_workload(&w, &ScenarioConfig::native_x(1));
+        let r8 = run_workload(&w, &ScenarioConfig::native_x(8));
+        let e1 = energy_breakdown(&r1, &ScenarioConfig::native_x(1).vpu_config(), &p);
+        let e8 = energy_breakdown(&r8, &ScenarioConfig::native_x(8).vpu_config(), &p);
         // X8 runs faster, but its 64 KB VRF leaks far more per cycle; the
         // leakage *power* ratio is what the paper highlights.
         let leak_power_1 = e1.vrf_leakage / r1.seconds();
@@ -147,10 +162,10 @@ mod tests {
     fn ava_keeps_vrf_leakage_small_at_long_mvl() {
         let w = Axpy::new(1024);
         let p = EnergyParams::default();
-        let native = run_workload(&w, &SystemConfig::native_x(8));
-        let ava = run_workload(&w, &SystemConfig::ava_x(8));
-        let e_native = energy_breakdown(&native, &SystemConfig::native_x(8).vpu, &p);
-        let e_ava = energy_breakdown(&ava, &SystemConfig::ava_x(8).vpu, &p);
+        let native = run_workload(&w, &ScenarioConfig::native_x(8));
+        let ava = run_workload(&w, &ScenarioConfig::ava_x(8));
+        let e_native = energy_breakdown(&native, &ScenarioConfig::native_x(8).vpu_config(), &p);
+        let e_ava = energy_breakdown(&ava, &ScenarioConfig::ava_x(8).vpu_config(), &p);
         assert!(
             e_ava.vrf_leakage < 0.5 * e_native.vrf_leakage,
             "AVA leaks {} vs NATIVE {}",
@@ -163,10 +178,18 @@ mod tests {
     fn swap_and_spill_traffic_costs_dynamic_energy() {
         let w = Blackscholes::new(256);
         let p = EnergyParams::default();
-        let rg8 = run_workload(&w, &SystemConfig::rg_lmul(ava_isa::Lmul::M8));
-        let rg1 = run_workload(&w, &SystemConfig::rg_lmul(ava_isa::Lmul::M1));
-        let e8 = energy_breakdown(&rg8, &SystemConfig::rg_lmul(ava_isa::Lmul::M8).vpu, &p);
-        let e1 = energy_breakdown(&rg1, &SystemConfig::rg_lmul(ava_isa::Lmul::M1).vpu, &p);
+        let rg8 = run_workload(&w, &ScenarioConfig::rg_lmul(ava_isa::Lmul::M8));
+        let rg1 = run_workload(&w, &ScenarioConfig::rg_lmul(ava_isa::Lmul::M1));
+        let e8 = energy_breakdown(
+            &rg8,
+            &ScenarioConfig::rg_lmul(ava_isa::Lmul::M8).vpu_config(),
+            &p,
+        );
+        let e1 = energy_breakdown(
+            &rg1,
+            &ScenarioConfig::rg_lmul(ava_isa::Lmul::M1).vpu_config(),
+            &p,
+        );
         // LMUL8 moves far more data (full-MVL spill code), so its L2+VRF
         // dynamic energy per option priced must be higher.
         assert!(e8.l2_dynamic + e8.vrf_dynamic > e1.l2_dynamic + e1.vrf_dynamic);
@@ -176,8 +199,8 @@ mod tests {
     fn totals_are_positive_and_sum_components() {
         let w = Axpy::new(256);
         let p = EnergyParams::default();
-        let r = run_workload(&w, &SystemConfig::ava_x(2));
-        let e = energy_breakdown(&r, &SystemConfig::ava_x(2).vpu, &p);
+        let r = run_workload(&w, &ScenarioConfig::ava_x(2));
+        let e = energy_breakdown(&r, &ScenarioConfig::ava_x(2).vpu_config(), &p);
         let sum = e.l2_dynamic
             + e.l2_leakage
             + e.vrf_dynamic

@@ -36,7 +36,7 @@ pub fn evaluate(report: &RunReport, config: &VpuConfig, params: &EnergyParams) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ava_sim::{run_workload, SystemConfig};
+    use ava_sim::{run_workload, ScenarioConfig};
     use ava_workloads::Axpy;
 
     #[test]
@@ -45,10 +45,10 @@ mod tests {
         // it reaches similar performance in roughly half the VPU area.
         let w = Axpy::new(2048);
         let params = EnergyParams::default();
-        let sys_ava = SystemConfig::ava_x(8);
-        let sys_nat = SystemConfig::native_x(8);
-        let ava = evaluate(&run_workload(&w, &sys_ava), &sys_ava.vpu, &params);
-        let nat = evaluate(&run_workload(&w, &sys_nat), &sys_nat.vpu, &params);
+        let sys_ava = ScenarioConfig::ava_x(8);
+        let sys_nat = ScenarioConfig::native_x(8);
+        let ava = evaluate(&run_workload(&w, &sys_ava), &sys_ava.vpu_config(), &params);
+        let nat = evaluate(&run_workload(&w, &sys_nat), &sys_nat.vpu_config(), &params);
         assert!(
             ava.perf_per_mm2 > nat.perf_per_mm2,
             "AVA {} vs NATIVE X8 {}",
@@ -61,9 +61,9 @@ mod tests {
     fn energy_and_area_are_consistent_with_submodels() {
         let w = Axpy::new(256);
         let params = EnergyParams::default();
-        let sys = SystemConfig::native_x(2);
+        let sys = ScenarioConfig::native_x(2);
         let report = run_workload(&w, &sys);
-        let r = evaluate(&report, &sys.vpu, &params);
+        let r = evaluate(&report, &sys.vpu_config(), &params);
         assert!(r.area.total() > 0.0);
         assert!(r.energy.total() > 0.0);
         assert!(r.perf_per_mm2 > 0.0);

@@ -14,9 +14,14 @@ pub const NUM_LOGICAL_VREGS: usize = 32;
 /// paper's baseline short-vector design: 16 elements = 1024 bits).
 pub const MIN_MVL_ELEMS: usize = 16;
 
-/// Largest supported maximum vector length, in 64-bit elements (128
-/// elements = 8192 bits, the paper's long-vector configuration).
-pub const MAX_MVL_ELEMS: usize = 128;
+/// Largest maximum vector length the paper evaluates, in 64-bit elements
+/// (128 elements = 8192 bits, the long-vector configuration of Table I).
+pub const PAPER_MAX_MVL_ELEMS: usize = 128;
+
+/// Largest supported maximum vector length, in 64-bit elements. The paper
+/// stops at [`PAPER_MAX_MVL_ELEMS`]; the simulator extrapolates Table I up
+/// to 512 elements (32 Kbit registers) for the MVL-sensitivity studies.
+pub const MAX_MVL_ELEMS: usize = 512;
 
 /// RISC-V V-extension register grouping factor (LMUL).
 ///
@@ -104,13 +109,14 @@ impl VectorContext {
     ///
     /// # Panics
     ///
-    /// Panics if `mvl` is outside `16..=128` or not a multiple of 16 (the
-    /// granularity supported by the AVA physical register file, Table I).
+    /// Panics if `mvl` is outside `16..=512` or not a multiple of 16 (the
+    /// granularity supported by the AVA physical register file; Table I
+    /// covers 16..=128, the rest is the simulator's extrapolation range).
     #[must_use]
     pub fn with_mvl(mvl: usize) -> Self {
         assert!(
             (MIN_MVL_ELEMS..=MAX_MVL_ELEMS).contains(&mvl) && mvl.is_multiple_of(MIN_MVL_ELEMS),
-            "MVL must be a multiple of 16 in 16..=128, got {mvl}"
+            "MVL must be a multiple of 16 in 16..=512, got {mvl}"
         );
         Self {
             mvl,
@@ -207,6 +213,16 @@ mod tests {
     }
 
     #[test]
+    fn context_accepts_the_extrapolation_range() {
+        for mvl in [192, 256, 384, 512] {
+            let ctx = VectorContext::with_mvl(mvl);
+            assert_eq!(ctx.mvl(), mvl);
+            assert_eq!(ctx.vl(), mvl);
+        }
+        const { assert!(PAPER_MAX_MVL_ELEMS < MAX_MVL_ELEMS) };
+    }
+
+    #[test]
     #[should_panic(expected = "MVL must be")]
     fn context_rejects_non_multiple() {
         let _ = VectorContext::with_mvl(40);
@@ -215,7 +231,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "MVL must be")]
     fn context_rejects_too_large() {
-        let _ = VectorContext::with_mvl(256);
+        let _ = VectorContext::with_mvl(1024);
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub mod program;
 pub mod reg;
 pub mod value;
 
-pub use config::{Lmul, VectorContext, MAX_MVL_ELEMS, MIN_MVL_ELEMS, NUM_LOGICAL_VREGS};
+pub use config::{
+    Lmul, VectorContext, MAX_MVL_ELEMS, MIN_MVL_ELEMS, NUM_LOGICAL_VREGS, PAPER_MAX_MVL_ELEMS,
+};
 pub use instr::{InstrRole, MemAccess, Operand, VecInstr, VlMode};
 pub use opcode::{ExecClass, InstrKind, Opcode};
 pub use program::{Program, ProgramStats};

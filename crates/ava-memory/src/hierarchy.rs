@@ -248,8 +248,17 @@ impl MemoryHierarchy {
     /// with warm caches, as the paper's gem5 runs do; data sets larger than
     /// the L2 naturally still miss during the measured run.
     pub fn warm_caches(&mut self) {
-        let line = self.config.l2.line_bytes as u64;
         let (start, end) = self.memory.allocated_range();
+        self.warm_caches_range(start, end);
+    }
+
+    /// Warms only `[start, end)` (and clears statistics), for callers whose
+    /// allocation mixes measured data with auxiliary arenas that must stay
+    /// cold — e.g. the simulator's spill arena, which is MVL-wide per slot
+    /// and would otherwise evict the application's working set from small
+    /// L2 configurations before the run even starts.
+    pub fn warm_caches_range(&mut self, start: u64, end: u64) {
+        let line = self.config.l2.line_bytes as u64;
         let mut addr = start;
         while addr < end {
             let _ = self.l2.access(addr, false);

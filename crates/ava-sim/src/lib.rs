@@ -10,12 +10,16 @@
 //! material for every figure and table in the evaluation.
 //!
 //! ```
-//! use ava_sim::{SystemConfig, run_workload};
+//! use ava_sim::{run_workload, ScenarioConfig};
 //! use ava_workloads::Axpy;
 //!
-//! let report = run_workload(&Axpy::new(256), &SystemConfig::native_x(1));
+//! let report = run_workload(&Axpy::new(256), &ScenarioConfig::native_x(1));
 //! assert!(report.validated);
 //! assert!(report.cycles > 0);
+//!
+//! // Scenarios compose: the same preset with a quarter-size L2.
+//! let small_l2 = ScenarioConfig::native_x(1).with_l2_kib(256);
+//! assert!(run_workload(&Axpy::new(256), &small_l2).validated);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -27,8 +31,8 @@ pub mod report;
 pub mod run;
 pub mod sweep;
 
-pub use configs::{SystemConfig, SystemKind};
+pub use configs::{Axis, ScenarioConfig, SystemConfig, SystemKind, AVA_EXTRAPOLATION_PREG_FLOOR};
 pub use json::Json;
 pub use report::{format_runs_table, geometric_mean, speedup_vs};
-pub use run::{run_workload, run_workload_sized, RunReport};
+pub use run::{run_system, run_workload, run_workload_sized, RunReport};
 pub use sweep::{PointStats, ProgramCache, Sweep, SweepReport};

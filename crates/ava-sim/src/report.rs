@@ -81,15 +81,15 @@ pub fn format_runs_table(reports: &[RunReport], baseline: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::configs::SystemConfig;
+    use crate::configs::ScenarioConfig;
     use crate::run::run_workload;
     use ava_workloads::Axpy;
 
     fn two_reports() -> Vec<RunReport> {
         let w = Axpy::new(256);
         vec![
-            run_workload(&w, &SystemConfig::native_x(1)),
-            run_workload(&w, &SystemConfig::native_x(4)),
+            run_workload(&w, &ScenarioConfig::native_x(1)),
+            run_workload(&w, &ScenarioConfig::native_x(4)),
         ]
     }
 

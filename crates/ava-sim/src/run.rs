@@ -9,14 +9,17 @@ use ava_scalar::{ScalarCore, ScalarCost};
 use ava_vpu::{Vpu, VpuStats};
 use ava_workloads::{validate, Workload};
 
-use crate::configs::SystemConfig;
+use crate::configs::{axes_to_json, Axis, ScenarioConfig, SystemConfig};
 use crate::json::{object, Json};
 
 /// Everything measured from one (workload, system) simulation.
 #[derive(Debug, Clone)]
 pub struct RunReport {
-    /// System label ("AVA X4", ...).
+    /// Scenario label ("AVA X4", "AVA MVL=256 l2=512KiB", ...).
     pub config: String,
+    /// Scenario override axes the system was resolved from (empty for the
+    /// paper's preset configurations).
+    pub axes: Vec<Axis>,
     /// Workload name ("axpy", ...).
     pub workload: String,
     /// VPU cycles from first dispatch to last commit.
@@ -71,6 +74,7 @@ impl RunReport {
         object()
             .field("config", self.config.as_str())
             .field("workload", self.workload.as_str())
+            .field("axes", axes_to_json(&self.axes))
             .field("cycles", self.cycles)
             .field("vpu_cycles", self.vpu_cycles)
             .field("validated", self.validated)
@@ -125,7 +129,7 @@ impl RunReport {
     }
 }
 
-/// Runs `workload` on `system` and reports cycles, statistics and
+/// Runs `workload` on the given scenario and reports cycles, statistics and
 /// correctness.
 ///
 /// # Panics
@@ -133,7 +137,15 @@ impl RunReport {
 /// Panics if the workload produces a program that cannot be renamed (which
 /// would indicate a bug in the code generator rather than a user error).
 #[must_use]
-pub fn run_workload(workload: &dyn Workload, system: &SystemConfig) -> RunReport {
+pub fn run_workload(workload: &dyn Workload, scenario: &ScenarioConfig) -> RunReport {
+    run_system(workload, &scenario.resolve())
+}
+
+/// Runs `workload` on an already-resolved [`SystemConfig`] (what
+/// [`run_workload`] does after resolution; useful when the caller keeps
+/// resolved systems around, as the sweep engine does).
+#[must_use]
+pub fn run_system(workload: &dyn Workload, system: &SystemConfig) -> RunReport {
     run_workload_via(workload, system, &|kernel, opts| {
         Arc::new(compile(kernel, opts))
     })
@@ -162,31 +174,46 @@ pub(crate) fn run_workload_via(
 
     // 2. Register allocation against the architectural budget (32 registers,
     //    or 32/LMUL under register grouping); spill slots live on the stack
-    //    and are one full MVL wide.
+    //    and are one full MVL wide. The arena is allocated directly above
+    //    the application data so `spill_base` — a compile input and part of
+    //    the sweep's compile-cache key — depends only on the workload and
+    //    the MVL, letting NATIVE/AVA configurations of equal MVL share one
+    //    compilation.
+    let (data_start, data_end) = mem.memory().allocated_range();
     let spill_slot_bytes = (system.mvl() * 8) as u64;
     let spill_base = mem.allocate(64 * spill_slot_bytes);
+    let (_, arena_end) = mem.memory().allocated_range();
     let compiled = compile_fn(
         &setup.kernel,
         &CompileOptions::new(system.compiler_lmul, spill_base, spill_slot_bytes),
     );
 
-    // 3. Cycle-level + functional simulation on the VPU. The caches are
-    //    warmed over the working set first, modelling a measured region of
-    //    interest (data sets larger than the L2 still miss naturally).
+    // 3. The VPU reserves its M-VRF backing store above the arena (AVA
+    //    only); like the application data it belongs to the measured
+    //    working set.
     let mut vpu = Vpu::new(system.vpu.clone(), &mut mem);
-    mem.warm_caches();
+    let (_, mvrf_end) = mem.memory().allocated_range();
+
+    // 4. Cycle-level + functional simulation on the VPU. The caches are
+    //    warmed over the working set — the application data and the M-VRF,
+    //    but *not* the spill arena: it is not application data, and at long
+    //    MVLs (64 slots × MVL × 8 B) warming it would evict the real
+    //    working set from small L2 configurations before the run starts.
+    mem.warm_caches_range(data_start, data_end);
+    mem.warm_caches_range(arena_end, mvrf_end);
     let result = vpu.run(&compiled.program, &mut mem);
 
-    // 4. Scalar-core floor for the stripmined loop.
+    // 5. Scalar-core floor for the stripmined loop.
     let scalar_core = ScalarCore::new(system.scalar);
     let scalar = scalar_core.loop_cost(setup.strips, compiled.program.len() as u64);
     let cycles = scalar_core.combine(result.cycles, &scalar);
 
-    // 5. Validation against the golden reference.
+    // 6. Validation against the golden reference.
     let validation = validate(&mem, &setup.checks);
 
     RunReport {
         config: system.label().to_string(),
+        axes: system.axes.clone(),
         workload: workload.name().to_string(),
         vpu_cycles: result.cycles,
         cycles,
@@ -201,11 +228,14 @@ pub(crate) fn run_workload_via(
     }
 }
 
-/// Convenience wrapper: runs every provided system on the same workload and
-/// returns the reports in the same order.
+/// Convenience wrapper: runs every provided scenario on the same workload
+/// and returns the reports in the same order.
 #[must_use]
-pub fn run_workload_sized(workload: &dyn Workload, systems: &[SystemConfig]) -> Vec<RunReport> {
-    systems.iter().map(|s| run_workload(workload, s)).collect()
+pub fn run_workload_sized(workload: &dyn Workload, scenarios: &[ScenarioConfig]) -> Vec<RunReport> {
+    scenarios
+        .iter()
+        .map(|s| run_workload(workload, s))
+        .collect()
 }
 
 #[cfg(test)]
@@ -214,13 +244,15 @@ mod tests {
     use ava_isa::Lmul;
     use ava_workloads::{Axpy, Blackscholes, Somier};
 
+    use crate::configs::ScenarioConfig;
+
     #[test]
     fn axpy_runs_validated_on_every_organisation() {
         let w = Axpy::new(256);
         for sys in [
-            SystemConfig::native_x(1),
-            SystemConfig::ava_x(8),
-            SystemConfig::rg_lmul(Lmul::M8),
+            ScenarioConfig::native_x(1),
+            ScenarioConfig::ava_x(8),
+            ScenarioConfig::rg_lmul(Lmul::M8),
         ] {
             let r = run_workload(&w, &sys);
             assert!(r.validated, "{}: {:?}", r.config, r.validation_error);
@@ -233,8 +265,8 @@ mod tests {
     #[test]
     fn longer_native_configurations_speed_up_axpy() {
         let w = Axpy::new(2048);
-        let x1 = run_workload(&w, &SystemConfig::native_x(1));
-        let x8 = run_workload(&w, &SystemConfig::native_x(8));
+        let x1 = run_workload(&w, &ScenarioConfig::native_x(1));
+        let x8 = run_workload(&w, &ScenarioConfig::native_x(8));
         let speedup = x1.cycles as f64 / x8.cycles as f64;
         assert!(
             speedup > 1.4,
@@ -245,14 +277,14 @@ mod tests {
     #[test]
     fn rg_lmul8_spills_blackscholes_but_ava_x2_does_not_swap() {
         let w = Blackscholes::new(128);
-        let rg = run_workload(&w, &SystemConfig::rg_lmul(Lmul::M8));
+        let rg = run_workload(&w, &ScenarioConfig::rg_lmul(Lmul::M8));
         assert!(rg.validated, "{:?}", rg.validation_error);
         assert!(
             rg.compiler_spill_stores > 0,
             "23-ish live values cannot fit 4 registers"
         );
 
-        let ava2 = run_workload(&w, &SystemConfig::ava_x(2));
+        let ava2 = run_workload(&w, &ScenarioConfig::ava_x(2));
         assert!(ava2.validated, "{:?}", ava2.validation_error);
         assert_eq!(ava2.vpu.swap_ops(), 0, "32 physical registers suffice");
         assert_eq!(
@@ -264,8 +296,8 @@ mod tests {
     #[test]
     fn somier_only_breaks_down_at_the_largest_grouping() {
         let w = Somier::new(512);
-        let rg4 = run_workload(&w, &SystemConfig::rg_lmul(Lmul::M4));
-        let rg8 = run_workload(&w, &SystemConfig::rg_lmul(Lmul::M8));
+        let rg4 = run_workload(&w, &ScenarioConfig::rg_lmul(Lmul::M4));
+        let rg8 = run_workload(&w, &ScenarioConfig::rg_lmul(Lmul::M8));
         assert!(rg4.validated && rg8.validated);
         assert_eq!(rg4.compiler_spill_stores, 0);
         assert!(rg8.compiler_spill_stores > 0);
@@ -274,7 +306,7 @@ mod tests {
     #[test]
     fn report_memory_instruction_accounting_is_consistent() {
         let w = Blackscholes::new(128);
-        let r = run_workload(&w, &SystemConfig::rg_lmul(Lmul::M8));
+        let r = run_workload(&w, &ScenarioConfig::rg_lmul(Lmul::M8));
         assert_eq!(
             r.vpu.spill_loads as usize + r.vpu.spill_stores as usize,
             r.compiler_spill_loads + r.compiler_spill_stores,

@@ -43,13 +43,13 @@
 //! compilations per workload.
 //!
 //! ```
-//! use ava_sim::{Sweep, SystemConfig};
+//! use ava_sim::{ScenarioConfig, Sweep};
 //! use ava_workloads::{Axpy, SharedWorkload, Somier};
 //! use std::sync::Arc;
 //!
 //! let workloads: Vec<SharedWorkload> =
 //!     vec![Arc::new(Axpy::new(256)), Arc::new(Somier::new(256))];
-//! let sweep = Sweep::grid(workloads, SystemConfig::all_ava());
+//! let sweep = Sweep::grid(workloads, ScenarioConfig::all_ava());
 //! let report = sweep.run_parallel_report();
 //! assert_eq!(report.reports.len(), 2 * 5);
 //! assert!(report.reports.iter().all(|r| r.validated));
@@ -68,7 +68,7 @@ use std::time::Instant;
 use ava_compiler::{compile, CompileOptions, CompiledKernel};
 use ava_workloads::SharedWorkload;
 
-use crate::configs::SystemConfig;
+use crate::configs::{ScenarioConfig, SystemConfig};
 use crate::json::{object, Json};
 use crate::run::{run_workload_via, RunReport};
 
@@ -192,13 +192,36 @@ impl SweepReport {
         self.points.iter().map(|p| p.wall_ns).sum()
     }
 
+    /// Names of the scenario axes exercised anywhere in the sweep, in
+    /// first-appearance order (empty when every point is a plain preset).
+    #[must_use]
+    pub fn axis_names(&self) -> Vec<&'static str> {
+        let mut names = Vec::new();
+        for r in &self.reports {
+            for a in &r.axes {
+                if !names.contains(&a.name) {
+                    names.push(a.name);
+                }
+            }
+        }
+        names
+    }
+
     /// The machine-readable form of the sweep consumed by CI and plotting:
-    /// schema marker, scheduling/cache instrumentation, and the full
-    /// per-point reports.
+    /// schema marker, the scenario axes in play, scheduling/cache
+    /// instrumentation, and the full per-point reports (each carrying its
+    /// own axis values).
     #[must_use]
     pub fn to_json(&self) -> Json {
         object()
             .field("schema", "ava-sweep-report/v1")
+            .field(
+                "axes",
+                self.axis_names()
+                    .into_iter()
+                    .map(Json::from)
+                    .collect::<Json>(),
+            )
             .field("threads", self.threads)
             .field("wall_ns", self.wall_ns)
             .field("busy_ns", self.busy_ns())
@@ -230,55 +253,63 @@ impl SweepReport {
     }
 }
 
-/// A declarative grid of (workload, [`SystemConfig`]) experiment points.
+/// A declarative grid of (workload, [`ScenarioConfig`]) experiment points.
 ///
 /// Construct with [`Sweep::grid`] (full cross product) or
 /// [`Sweep::from_points`] (explicit pairs), then execute with
 /// [`Sweep::run_serial`] or [`Sweep::run_parallel`] (reports only), or the
 /// `*_report` variants returning an instrumented [`SweepReport`]. All paths
 /// return per-point results in point order and are guaranteed to produce
-/// identical reports.
+/// identical reports. Scenarios are resolved once, at construction, so the
+/// per-point cost is one compile + simulate pass.
 pub struct Sweep {
     workloads: Vec<SharedWorkload>,
-    systems: Vec<SystemConfig>,
+    scenarios: Vec<ScenarioConfig>,
+    resolved: Vec<SystemConfig>,
     points: Vec<(usize, usize)>,
 }
 
 impl Sweep {
-    /// The full cross product of `workloads` × `systems`, workload-major:
-    /// point `w * systems.len() + s` runs workload `w` on system `s`.
+    /// The full cross product of `workloads` × `scenarios`, workload-major:
+    /// point `w * scenarios.len() + s` runs workload `w` on scenario `s`.
     #[must_use]
-    pub fn grid(workloads: Vec<SharedWorkload>, systems: Vec<SystemConfig>) -> Self {
+    pub fn grid(workloads: Vec<SharedWorkload>, scenarios: Vec<ScenarioConfig>) -> Self {
         let points = (0..workloads.len())
-            .flat_map(|w| (0..systems.len()).map(move |s| (w, s)))
+            .flat_map(|w| (0..scenarios.len()).map(move |s| (w, s)))
             .collect();
-        Self {
-            workloads,
-            systems,
-            points,
-        }
+        Self::build(workloads, scenarios, points)
     }
 
-    /// An explicit list of `(workload index, system index)` points over the
-    /// given axes, for sweeps that are not a full cross product (e.g. the
-    /// ablation study, which varies one system parameter per point).
+    /// An explicit list of `(workload index, scenario index)` points over
+    /// the given axes, for sweeps that are not a full cross product (e.g.
+    /// the ablation study, which varies one system parameter per point).
     ///
     /// # Panics
     ///
-    /// Panics if any point indexes outside `workloads` or `systems`.
+    /// Panics if any point indexes outside `workloads` or `scenarios`.
     #[must_use]
     pub fn from_points(
         workloads: Vec<SharedWorkload>,
-        systems: Vec<SystemConfig>,
+        scenarios: Vec<ScenarioConfig>,
         points: Vec<(usize, usize)>,
     ) -> Self {
         for &(w, s) in &points {
             assert!(w < workloads.len(), "workload index {w} out of range");
-            assert!(s < systems.len(), "system index {s} out of range");
+            assert!(s < scenarios.len(), "scenario index {s} out of range");
         }
+        Self::build(workloads, scenarios, points)
+    }
+
+    fn build(
+        workloads: Vec<SharedWorkload>,
+        scenarios: Vec<ScenarioConfig>,
+        points: Vec<(usize, usize)>,
+    ) -> Self {
+        let resolved = scenarios.iter().map(ScenarioConfig::resolve).collect();
         Self {
             workloads,
-            systems,
+            scenarios,
+            resolved,
             points,
         }
     }
@@ -295,10 +326,16 @@ impl Sweep {
         self.points.is_empty()
     }
 
-    /// The system axis, in the order grid points reference it.
+    /// The scenario axis, in the order grid points reference it.
     #[must_use]
-    pub fn systems(&self) -> &[SystemConfig] {
-        &self.systems
+    pub fn systems(&self) -> &[ScenarioConfig] {
+        &self.scenarios
+    }
+
+    /// The resolved systems, parallel to [`Sweep::systems`].
+    #[must_use]
+    pub fn resolved_systems(&self) -> &[SystemConfig] {
+        &self.resolved
     }
 
     /// The workload axis, in the order grid points reference it.
@@ -319,24 +356,34 @@ impl Sweep {
     #[must_use]
     pub fn point_cost(&self, point: usize) -> u64 {
         let (w, s) = self.points[point];
-        let system = &self.systems[s];
+        let system = &self.resolved[s];
         let elements = self.workloads[w].elements() as u64;
         let width = (system.mvl() / system.compiler_lmul.factor()).max(1) as u64;
         (elements.saturating_mul(16) / width).max(1)
     }
 
+    /// Every point's cost estimate, computed once per sweep execution:
+    /// [`Workload::elements`] can be arbitrarily expensive (composite
+    /// workloads sum their phases), so neither the execution-order sort nor
+    /// the report assembly recomputes it per use.
+    ///
+    /// [`Workload::elements`]: ava_workloads::Workload::elements
+    fn point_costs(&self) -> Vec<u64> {
+        (0..self.points.len()).map(|i| self.point_cost(i)).collect()
+    }
+
     /// Point indices in execution order: descending cost estimate, grid
     /// order as the tie-break (so scheduling stays deterministic).
-    fn execution_order(&self) -> Vec<usize> {
+    fn execution_order(&self, costs: &[u64]) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.points.len()).collect();
-        order.sort_by_key(|&i| (std::cmp::Reverse(self.point_cost(i)), i));
+        order.sort_by_key(|&i| (std::cmp::Reverse(costs[i]), i));
         order
     }
 
     fn run_point(&self, point: usize, cache: &ProgramCache) -> RunReport {
         let (w, s) = self.points[point];
         let workload = &self.workloads[w];
-        let system = &self.systems[s];
+        let system = &self.resolved[s];
         run_workload_via(workload.as_ref(), system, &|kernel, opts| {
             let key = CacheKey {
                 workload: w,
@@ -352,6 +399,7 @@ impl Sweep {
     fn assemble_report(
         &self,
         slots: Vec<OnceLock<(RunReport, u64, usize)>>,
+        costs: &[u64],
         cache: &ProgramCache,
         threads: usize,
         sweep_start: Instant,
@@ -363,7 +411,7 @@ impl Sweep {
             points.push(PointStats {
                 workload: report.workload.clone(),
                 config: report.config.clone(),
-                cost_estimate: self.point_cost(i),
+                cost_estimate: costs[i],
                 wall_ns,
                 worker,
             });
@@ -390,6 +438,7 @@ impl Sweep {
     #[must_use]
     pub fn run_serial_report(&self) -> SweepReport {
         let cache = ProgramCache::new();
+        let costs = self.point_costs();
         let sweep_start = Instant::now();
         let slots: Vec<OnceLock<(RunReport, u64, usize)>> =
             (0..self.points.len()).map(|_| OnceLock::new()).collect();
@@ -400,7 +449,7 @@ impl Sweep {
             slot.set((report, wall_ns, 0))
                 .expect("serial points run once");
         }
-        self.assemble_report(slots, &cache, 1, sweep_start)
+        self.assemble_report(slots, &costs, &cache, 1, sweep_start)
     }
 
     /// Runs the sweep across all available cores. Reports come back in point
@@ -434,7 +483,8 @@ impl Sweep {
         let n = self.points.len();
         let workers = threads.clamp(1, n.max(1));
         let cache = ProgramCache::new();
-        let order = self.execution_order();
+        let costs = self.point_costs();
+        let order = self.execution_order(&costs);
         let sweep_start = Instant::now();
         let slots: Vec<OnceLock<(RunReport, u64, usize)>> =
             (0..n).map(|_| OnceLock::new()).collect();
@@ -457,7 +507,7 @@ impl Sweep {
                 });
             }
         });
-        self.assemble_report(slots, &cache, workers, sweep_start)
+        self.assemble_report(slots, &costs, &cache, workers, sweep_start)
     }
 }
 
@@ -467,15 +517,18 @@ mod tests {
     use ava_isa::Lmul;
     use ava_workloads::{Axpy, Blackscholes};
 
-    fn small_axes() -> (Vec<SharedWorkload>, Vec<SystemConfig>) {
+    fn small_scenarios() -> Vec<ScenarioConfig> {
+        vec![
+            ScenarioConfig::native_x(1),
+            ScenarioConfig::ava_x(2),
+            ScenarioConfig::rg_lmul(Lmul::M4),
+        ]
+    }
+
+    fn small_axes() -> (Vec<SharedWorkload>, Vec<ScenarioConfig>) {
         let workloads: Vec<SharedWorkload> =
             vec![Arc::new(Axpy::new(256)), Arc::new(Blackscholes::new(64))];
-        let systems = vec![
-            SystemConfig::native_x(1),
-            SystemConfig::ava_x(2),
-            SystemConfig::rg_lmul(Lmul::M4),
-        ];
-        (workloads, systems)
+        (workloads, small_scenarios())
     }
 
     #[test]
@@ -513,9 +566,9 @@ mod tests {
             Arc::new(Blackscholes::new(4096)),
             Arc::new(Axpy::new(128)),
         ];
-        let systems = vec![SystemConfig::native_x(1)];
+        let systems = vec![ScenarioConfig::native_x(1)];
         let sweep = Sweep::grid(workloads, systems);
-        let order = sweep.execution_order();
+        let order = sweep.execution_order(&sweep.point_costs());
         assert_eq!(order[0], 1, "the huge Blackscholes point must start first");
         assert_eq!(
             sweep.point_cost(1),
@@ -532,8 +585,8 @@ mod tests {
         // deterministic (grid order).
         let workloads: Vec<SharedWorkload> =
             vec![Arc::new(Axpy::new(256)), Arc::new(Axpy::new(256))];
-        let sweep = Sweep::grid(workloads, vec![SystemConfig::native_x(1)]);
-        assert_eq!(sweep.execution_order(), vec![0, 1]);
+        let sweep = Sweep::grid(workloads, vec![ScenarioConfig::native_x(1)]);
+        assert_eq!(sweep.execution_order(&sweep.point_costs()), vec![0, 1]);
     }
 
     #[test]
@@ -579,7 +632,7 @@ mod tests {
         // NATIVE X2 and AVA X2 expose the same MVL and LMUL, so the second
         // run of the same workload must hit the cache.
         let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(256))];
-        let systems = vec![SystemConfig::native_x(2), SystemConfig::ava_x(2)];
+        let systems = vec![ScenarioConfig::native_x(2), ScenarioConfig::ava_x(2)];
         let sweep = Sweep::grid(workloads, systems);
         let cache = ProgramCache::new();
         let a = sweep.run_point(0, &cache);
@@ -589,7 +642,7 @@ mod tests {
         // And the cached compile feeds a report identical to a fresh one.
         assert_eq!(
             b.cycles,
-            crate::run::run_workload(sweep.workloads[0].as_ref(), &sweep.systems[1]).cycles
+            crate::run::run_workload(sweep.workloads[0].as_ref(), &sweep.scenarios[1]).cycles
         );
         assert!(a.validated && b.validated);
     }
@@ -597,7 +650,10 @@ mod tests {
     #[test]
     fn distinct_lmuls_do_not_share_compilations() {
         let workloads: Vec<SharedWorkload> = vec![Arc::new(Blackscholes::new(64))];
-        let systems = vec![SystemConfig::native_x(8), SystemConfig::rg_lmul(Lmul::M8)];
+        let systems = vec![
+            ScenarioConfig::native_x(8),
+            ScenarioConfig::rg_lmul(Lmul::M8),
+        ];
         let sweep = Sweep::grid(workloads, systems);
         let cache = ProgramCache::new();
         let _ = sweep.run_point(0, &cache);
@@ -632,7 +688,7 @@ mod tests {
     #[test]
     fn zero_threads_behaves_like_one() {
         let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(128))];
-        let sweep = Sweep::grid(workloads, vec![SystemConfig::native_x(1)]);
+        let sweep = Sweep::grid(workloads, vec![ScenarioConfig::native_x(1)]);
         let reports = sweep.run_parallel_with(0);
         assert_eq!(reports.len(), 1);
         assert!(reports[0].validated);
@@ -641,11 +697,30 @@ mod tests {
     #[test]
     fn sweep_report_json_has_the_documented_shape() {
         let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(128))];
-        let sweep = Sweep::grid(workloads, vec![SystemConfig::native_x(1)]);
+        let sweep = Sweep::grid(workloads, vec![ScenarioConfig::native_x(1)]);
         let json = sweep.run_parallel_report_with(2).to_json().to_string();
         assert!(json.starts_with("{\"schema\":\"ava-sweep-report/v1\""));
         assert!(json.contains("\"cache\":{\"hits\":"));
         assert!(json.contains("\"cost_estimate\":"));
         assert!(json.contains("\"report\":{\"config\":\"NATIVE X1\""));
+    }
+
+    #[test]
+    fn scenario_axes_flow_into_reports_and_json() {
+        let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(128))];
+        let scenarios = ScenarioConfig::axis_l2_kib(
+            &[ScenarioConfig::native_x(1), ScenarioConfig::ava_x(2)],
+            &[512, 1024],
+        );
+        let sweep = Sweep::grid(workloads, scenarios);
+        let report = sweep.run_parallel_report_with(2);
+        assert_eq!(report.reports.len(), 4);
+        assert_eq!(report.axis_names(), vec!["l2_kib"]);
+        assert_eq!(report.reports[1].config, "NATIVE X1 l2=1024KiB");
+        assert_eq!(report.reports[1].axes.len(), 1);
+        assert_eq!(report.reports[1].axes[0].value, 1024);
+        let json = report.to_json().to_string();
+        assert!(json.contains("\"axes\":[\"l2_kib\"]"));
+        assert!(json.contains("\"axes\":{\"l2_kib\":512}"));
     }
 }

@@ -55,6 +55,10 @@ pub struct VpuConfig {
     pub mvl: usize,
     /// Physical VRF capacity in bytes.
     pub pvrf_bytes: usize,
+    /// Number of Virtual Vector Registers in the AVA first renaming level
+    /// ([`NUM_VVRS`] in the paper; ignored in `Native` mode). The M-VRF
+    /// backing store is sized for this many registers.
+    pub vvr_count: usize,
     /// Number of architectural (logical) registers visible to software.
     /// 32 for NATIVE and AVA; `32 / LMUL` for register grouping.
     pub logical_regs: usize,
@@ -86,7 +90,7 @@ impl VpuConfig {
     #[must_use]
     pub fn rename_pool(&self) -> usize {
         match self.mode {
-            RenameMode::Ava => NUM_VVRS,
+            RenameMode::Ava => self.vvr_count,
             RenameMode::Native => self.physical_regs(),
         }
     }
@@ -95,7 +99,7 @@ impl VpuConfig {
     #[must_use]
     pub fn mvrf_bytes(&self) -> u64 {
         match self.mode {
-            RenameMode::Ava => (NUM_VVRS * self.mvl * 8) as u64,
+            RenameMode::Ava => (self.vvr_count * self.mvl * 8) as u64,
             RenameMode::Native => 0,
         }
     }
@@ -115,6 +119,7 @@ impl VpuConfig {
             lanes: 8,
             mvl: MIN_MVL_ELEMS * n,
             pvrf_bytes: 8 * 1024 * n,
+            vvr_count: NUM_VVRS,
             logical_regs: 32,
             arith_queue_entries: 32,
             mem_queue_entries: 32,
@@ -135,6 +140,7 @@ impl VpuConfig {
             lanes: 8,
             mvl: MIN_MVL_ELEMS * n,
             pvrf_bytes: 8 * 1024,
+            vvr_count: NUM_VVRS,
             logical_regs: 32,
             arith_queue_entries: 32,
             mem_queue_entries: 32,
@@ -157,6 +163,7 @@ impl VpuConfig {
             lanes: 8,
             mvl: MIN_MVL_ELEMS * n,
             pvrf_bytes: 8 * 1024,
+            vvr_count: NUM_VVRS,
             logical_regs: lmul.architectural_registers(),
             arith_queue_entries: 32,
             mem_queue_entries: 32,
@@ -166,8 +173,12 @@ impl VpuConfig {
         }
     }
 
-    /// Convenience constructor used by tests: an AVA configuration with an
-    /// arbitrary (Table I) MVL.
+    /// An AVA configuration with an arbitrary MVL on the default 8 KB
+    /// P-VRF — the Table I sizing path (`preg_count_for_mvl`), also used by
+    /// the MVL-extrapolation axis. Beyond MVL = 128 the 8 KB file leaves
+    /// fewer than 8 physical registers, so callers extrapolating Table I
+    /// (e.g. `ava_sim::ScenarioConfig`) typically raise `pvrf_bytes`
+    /// afterwards to keep the X8 register-count floor.
     #[must_use]
     pub fn ava_with_mvl(mvl: usize) -> Self {
         assert!(

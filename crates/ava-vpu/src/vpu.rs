@@ -16,7 +16,7 @@ use ava_isa::{
 };
 use ava_memory::{AccessTiming, MemoryHierarchy};
 
-use crate::config::{RenameMode, VpuConfig, NUM_VVRS};
+use crate::config::{RenameMode, VpuConfig};
 use crate::exec::{execute, OperandValue};
 use crate::issue::IssueQueue;
 use crate::mvrf::MemoryVrf;
@@ -93,7 +93,7 @@ impl Vpu {
         let pregs = config.physical_regs();
         let pool = config.rename_pool();
         let mvrf = match config.mode {
-            RenameMode::Ava => Some(MemoryVrf::allocate(mem, NUM_VVRS, config.mvl)),
+            RenameMode::Ava => Some(MemoryVrf::allocate(mem, config.vvr_count, config.mvl)),
             RenameMode::Native => None,
         };
         Self {

@@ -114,6 +114,10 @@ impl Workload for Blackscholes {
         let mvl = ctx.effective_mvl();
         let mut b = KernelBuilder::new("blackscholes");
 
+        // vsetvlmax preamble: the coefficient splats below must fill whole
+        // registers regardless of the VL a previously-run kernel left
+        // behind (multi-kernel composites run phases back to back).
+        b.set_vl(mvl);
         // Loop-invariant constants are splatted once and stay live for the
         // whole kernel, as the RiVEC sources do — this is where most of the
         // register pressure comes from.

@@ -1,0 +1,191 @@
+//! Composite: a multi-kernel workload running several applications back to
+//! back on one system.
+//!
+//! The paper evaluates each RiVEC kernel in isolation; real deployments run
+//! *mixes* — an option pricer feeding a solver, a filter stage after a
+//! stencil. [`Composite`] models that: its phases execute sequentially in a
+//! single program on one cache-warm memory hierarchy, so later phases see
+//! whatever L2 state the earlier ones left behind, and one `RunReport`
+//! covers the whole mix. Each phase keeps its own input data and golden
+//! reference checks, so the composite validates exactly when every phase
+//! does.
+
+use ava_isa::VectorContext;
+use ava_memory::MemoryHierarchy;
+
+use crate::{SharedWorkload, Workload, WorkloadSetup};
+
+/// A multi-kernel workload: the given phases run sequentially in one
+/// simulation, sharing the memory hierarchy.
+///
+/// ```
+/// use std::sync::Arc;
+/// use ava_workloads::{Axpy, Composite, Somier, Workload};
+///
+/// let mix = Composite::new(vec![Arc::new(Axpy::new(256)), Arc::new(Somier::new(256))]);
+/// assert_eq!(mix.name(), "composite");
+/// assert_eq!(
+///     mix.elements(),
+///     Axpy::new(256).elements() + Somier::new(256).elements()
+/// );
+/// ```
+#[derive(Clone)]
+pub struct Composite {
+    phases: Vec<SharedWorkload>,
+}
+
+impl Composite {
+    /// Creates a composite over the given phases, in execution order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty.
+    #[must_use]
+    pub fn new(phases: Vec<SharedWorkload>) -> Self {
+        assert!(!phases.is_empty(), "a composite needs at least one phase");
+        Self { phases }
+    }
+
+    /// The phases, in execution order.
+    #[must_use]
+    pub fn phases(&self) -> &[SharedWorkload] {
+        &self.phases
+    }
+
+    /// Names of the phases, in execution order ("axpy+somier" style labels
+    /// for tables come from joining these).
+    #[must_use]
+    pub fn phase_names(&self) -> Vec<&'static str> {
+        self.phases.iter().map(|p| p.name()).collect()
+    }
+}
+
+impl std::fmt::Debug for Composite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Composite")
+            .field("phases", &self.phase_names())
+            .finish()
+    }
+}
+
+impl Workload for Composite {
+    fn name(&self) -> &'static str {
+        "composite"
+    }
+
+    fn domain(&self) -> &'static str {
+        "multi-kernel mix"
+    }
+
+    fn elements(&self) -> usize {
+        // The sweep scheduler's cost estimate: a mix costs the sum of its
+        // phases, so composite points rank ahead of their largest phase.
+        self.phases.iter().map(|p| p.elements()).sum()
+    }
+
+    fn build(&self, mem: &mut MemoryHierarchy, ctx: &VectorContext) -> WorkloadSetup {
+        let mut setup = WorkloadSetup {
+            kernel: ava_compiler::IrKernel {
+                name: "composite".to_string(),
+                ..Default::default()
+            },
+            checks: Vec::new(),
+            strips: 0,
+        };
+        for phase in &self.phases {
+            // Each phase allocates its own arrays in the shared functional
+            // memory, so its golden-reference checks are independent of the
+            // phases around it; only cache/DRAM *timing* state is shared.
+            let part = phase.build(mem, ctx);
+            setup.kernel.concat(&part.kernel);
+            setup.checks.extend(part.checks);
+            setup.strips += part.strips;
+        }
+        setup
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::{validate, Axpy, Blackscholes, Somier};
+
+    fn mix() -> Composite {
+        Composite::new(vec![
+            Arc::new(Axpy::new(256)),
+            Arc::new(Somier::new(256)),
+            Arc::new(Blackscholes::new(64)),
+        ])
+    }
+
+    #[test]
+    fn build_concatenates_every_phase() {
+        let mut mem = MemoryHierarchy::default();
+        let ctx = VectorContext::with_mvl(16);
+        let composite = mix().build(&mut mem, &ctx);
+
+        let mut mem2 = MemoryHierarchy::default();
+        let parts: Vec<WorkloadSetup> = mix()
+            .phases()
+            .iter()
+            .map(|p| p.build(&mut mem2, &ctx))
+            .collect();
+        assert_eq!(
+            composite.kernel.len(),
+            parts.iter().map(|p| p.kernel.len()).sum::<usize>()
+        );
+        assert_eq!(
+            composite.checks.len(),
+            parts.iter().map(|p| p.checks.len()).sum::<usize>()
+        );
+        assert_eq!(
+            composite.strips,
+            parts.iter().map(|p| p.strips).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn pressure_is_the_maximum_phase_not_the_sum() {
+        let mut mem = MemoryHierarchy::default();
+        let ctx = VectorContext::with_mvl(16);
+        let composite = mix().build(&mut mem, &ctx);
+        let mut mem2 = MemoryHierarchy::default();
+        let max_phase = mix()
+            .phases()
+            .iter()
+            .map(|p| p.build(&mut mem2, &ctx).kernel.max_pressure())
+            .max()
+            .unwrap();
+        assert_eq!(composite.kernel.max_pressure(), max_phase);
+    }
+
+    #[test]
+    fn checks_validate_after_writing_expected_values() {
+        // The checks of every phase coexist: writing each expected value
+        // into the shared memory satisfies the whole composite.
+        let mut mem = MemoryHierarchy::default();
+        let setup = mix().build(&mut mem, &VectorContext::with_mvl(16));
+        for c in &setup.checks {
+            mem.write_f64(c.addr, c.expected);
+        }
+        assert!(validate(&mem, &setup.checks).is_ok());
+    }
+
+    #[test]
+    fn elements_sum_phase_costs() {
+        assert_eq!(
+            mix().elements(),
+            Axpy::new(256).elements()
+                + Somier::new(256).elements()
+                + Blackscholes::new(64).elements()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_composite_is_rejected() {
+        let _ = Composite::new(vec![]);
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod axpy;
 pub mod blackscholes;
+pub mod composite;
 pub mod data;
 pub mod lavamd;
 pub mod particlefilter;
@@ -42,6 +43,7 @@ use ava_memory::MemoryHierarchy;
 
 pub use axpy::Axpy;
 pub use blackscholes::Blackscholes;
+pub use composite::Composite;
 pub use lavamd::LavaMd2;
 pub use particlefilter::ParticleFilter;
 pub use somier::Somier;

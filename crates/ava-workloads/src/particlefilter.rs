@@ -83,6 +83,9 @@ impl Workload for ParticleFilter {
         let mvl = ctx.effective_mvl();
         let mut b = KernelBuilder::new("particlefilter");
 
+        // vsetvlmax preamble: splats must cover the full register whatever
+        // VL a previously-run kernel left behind.
+        b.set_vl(mvl);
         // Motion-model constants held in registers for the whole kernel.
         let c_dx = b.vsplat(1.0);
         let c_dy = b.vsplat(-2.0);

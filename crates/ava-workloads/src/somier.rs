@@ -70,6 +70,9 @@ impl Workload for Somier {
 
         let mvl = ctx.effective_mvl();
         let mut b = KernelBuilder::new("somier");
+        // vsetvlmax preamble: splats must cover the full register whatever
+        // VL a previously-run kernel left behind.
+        b.set_vl(mvl);
         // The spring constant and time step stay in vector registers for the
         // whole kernel, as the RiVEC source keeps its splatted coefficients.
         let c_k = b.vsplat(self.spring_k);

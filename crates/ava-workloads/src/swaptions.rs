@@ -71,6 +71,9 @@ impl Workload for Swaptions {
         let mvl = ctx.effective_mvl();
         let mut b = KernelBuilder::new("swaptions");
 
+        // vsetvlmax preamble: splats must cover the full register whatever
+        // VL a previously-run kernel left behind.
+        b.set_vl(mvl);
         // Per-factor volatility and drift terms plus pricing constants are
         // splatted once and stay live across the whole kernel.
         let c_vol: Vec<_> = VOLS.iter().map(|&v| b.vsplat(v)).collect();

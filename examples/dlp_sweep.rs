@@ -5,13 +5,13 @@
 //!
 //! Run with `cargo run --release --example dlp_sweep`.
 
-use ava::sim::{Sweep, SystemConfig};
+use ava::sim::{ScenarioConfig, Sweep};
 use ava::workloads::all_workloads_shared;
 
 fn main() {
-    let configs: Vec<SystemConfig> = [1, 2, 3, 4, 8]
+    let configs: Vec<ScenarioConfig> = [1, 2, 3, 4, 8]
         .iter()
-        .map(|&n| SystemConfig::ava_x(n))
+        .map(|&n| ScenarioConfig::ava_x(n))
         .collect();
     let workloads = all_workloads_shared();
     let sweep = Sweep::grid(workloads.clone(), configs.clone()).run_parallel_report();

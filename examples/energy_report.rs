@@ -8,15 +8,15 @@
 use std::sync::Arc;
 
 use ava::energy::{energy_breakdown, pnr_estimate, system_area, EnergyParams};
-use ava::sim::{Sweep, SystemConfig};
+use ava::sim::{ScenarioConfig, Sweep};
 use ava::workloads::{SharedWorkload, Somier};
 
 fn main() {
     let workloads: Vec<SharedWorkload> = vec![Arc::new(Somier::new(4096))];
     let systems = vec![
-        SystemConfig::native_x(1),
-        SystemConfig::native_x(8),
-        SystemConfig::ava_x(8),
+        ScenarioConfig::native_x(1),
+        ScenarioConfig::native_x(8),
+        ScenarioConfig::ava_x(8),
     ];
     let params = EnergyParams::default();
     let sweep = Sweep::grid(workloads, systems.clone()).run_parallel_report();
@@ -28,9 +28,9 @@ fn main() {
     );
     for (sys, report) in systems.iter().zip(reports) {
         assert!(report.validated, "{:?}", report.validation_error);
-        let area = system_area(&sys.vpu);
-        let energy = energy_breakdown(report, &sys.vpu, &params);
-        let pnr = pnr_estimate(&sys.vpu);
+        let area = system_area(&sys.vpu_config());
+        let energy = energy_breakdown(report, &sys.vpu_config(), &params);
+        let pnr = pnr_estimate(&sys.vpu_config());
         println!(
             "{:<12} {:>9} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>11.3} {:>9.3}",
             report.config,

@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use ava::sim::{Sweep, SystemConfig};
+use ava::sim::{ScenarioConfig, Sweep};
 use ava::workloads::{Axpy, SharedWorkload, Workload};
 
 fn main() {
@@ -19,7 +19,7 @@ fn main() {
     );
 
     let workloads: Vec<SharedWorkload> = vec![Arc::new(workload)];
-    let systems = vec![SystemConfig::native_x(1), SystemConfig::ava_x(8)];
+    let systems = vec![ScenarioConfig::native_x(1), ScenarioConfig::ava_x(8)];
     let sweep = Sweep::grid(workloads, systems).run_parallel_report();
     let reports = &sweep.reports;
 

@@ -8,20 +8,20 @@
 use std::sync::Arc;
 
 use ava::isa::Lmul;
-use ava::sim::{Sweep, SystemConfig};
+use ava::sim::{ScenarioConfig, Sweep};
 use ava::workloads::{Blackscholes, SharedWorkload};
 
 fn main() {
     let workloads: Vec<SharedWorkload> = vec![Arc::new(Blackscholes::new(1024))];
     // Baseline first, then (RG, AVA) pairs per grouping factor.
     let systems = vec![
-        SystemConfig::native_x(1),
-        SystemConfig::rg_lmul(Lmul::M2),
-        SystemConfig::ava_x(2),
-        SystemConfig::rg_lmul(Lmul::M4),
-        SystemConfig::ava_x(4),
-        SystemConfig::rg_lmul(Lmul::M8),
-        SystemConfig::ava_x(8),
+        ScenarioConfig::native_x(1),
+        ScenarioConfig::rg_lmul(Lmul::M2),
+        ScenarioConfig::ava_x(2),
+        ScenarioConfig::rg_lmul(Lmul::M4),
+        ScenarioConfig::ava_x(4),
+        ScenarioConfig::rg_lmul(Lmul::M8),
+        ScenarioConfig::ava_x(8),
     ];
     let sweep = Sweep::grid(workloads, systems).run_parallel_report();
     let reports = &sweep.reports;

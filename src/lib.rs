@@ -17,10 +17,10 @@
 //!   post-PnR estimator.
 //!
 //! ```
-//! use ava::sim::{run_workload, SystemConfig};
+//! use ava::sim::{run_workload, ScenarioConfig};
 //! use ava::workloads::Axpy;
 //!
-//! let report = run_workload(&Axpy::new(256), &SystemConfig::ava_x(4));
+//! let report = run_workload(&Axpy::new(256), &ScenarioConfig::ava_x(4));
 //! assert!(report.validated);
 //! ```
 

@@ -4,7 +4,7 @@
 //! mechanism heavily.
 
 use ava::isa::Lmul;
-use ava::sim::{run_workload, RunReport, SystemConfig};
+use ava::sim::{run_workload, RunReport, ScenarioConfig};
 use ava::workloads::{
     all_workloads, Axpy, Blackscholes, LavaMd2, ParticleFilter, Somier, Swaptions,
 };
@@ -21,7 +21,7 @@ fn assert_valid(report: &RunReport) {
 #[test]
 fn every_workload_validates_on_the_baseline() {
     for w in all_workloads() {
-        let r = run_workload(w.as_ref(), &SystemConfig::native_x(1));
+        let r = run_workload(w.as_ref(), &ScenarioConfig::native_x(1));
         assert_valid(&r);
     }
 }
@@ -29,7 +29,7 @@ fn every_workload_validates_on_the_baseline() {
 #[test]
 fn every_workload_validates_on_every_native_configuration() {
     for w in all_workloads() {
-        for sys in SystemConfig::all_native() {
+        for sys in ScenarioConfig::all_native() {
             let r = run_workload(w.as_ref(), &sys);
             assert_valid(&r);
         }
@@ -39,7 +39,7 @@ fn every_workload_validates_on_every_native_configuration() {
 #[test]
 fn every_workload_validates_on_every_ava_configuration() {
     for w in all_workloads() {
-        for sys in SystemConfig::all_ava() {
+        for sys in ScenarioConfig::all_ava() {
             let r = run_workload(w.as_ref(), &sys);
             assert_valid(&r);
         }
@@ -49,7 +49,7 @@ fn every_workload_validates_on_every_ava_configuration() {
 #[test]
 fn every_workload_validates_on_every_rg_configuration() {
     for w in all_workloads() {
-        for sys in SystemConfig::all_rg() {
+        for sys in ScenarioConfig::all_rg() {
             let r = run_workload(w.as_ref(), &sys);
             assert_valid(&r);
         }
@@ -62,7 +62,7 @@ fn results_are_identical_across_organisations_for_elementwise_kernels() {
     // configuration must produce bit-identical outputs; the checks are exact
     // (tolerance 0.0 / 1e-12), so validation across all 14 configurations is
     // the equivalence proof.
-    for sys in SystemConfig::all_evaluated() {
+    for sys in ScenarioConfig::all_evaluated() {
         assert_valid(&run_workload(&Axpy::new(500), &sys));
         assert_valid(&run_workload(&Somier::new(500), &sys));
     }
@@ -74,15 +74,15 @@ fn swap_heavy_runs_stay_correct() {
     // must still validate while generating swap traffic.
     for (report, expect_swaps) in [
         (
-            run_workload(&Blackscholes::new(256), &SystemConfig::ava_x(8)),
+            run_workload(&Blackscholes::new(256), &ScenarioConfig::ava_x(8)),
             true,
         ),
         (
-            run_workload(&Swaptions::new(256), &SystemConfig::ava_x(8)),
+            run_workload(&Swaptions::new(256), &ScenarioConfig::ava_x(8)),
             true,
         ),
         (
-            run_workload(&Axpy::new(256), &SystemConfig::ava_x(8)),
+            run_workload(&Axpy::new(256), &ScenarioConfig::ava_x(8)),
             false,
         ),
     ] {
@@ -100,17 +100,17 @@ fn swap_heavy_runs_stay_correct() {
 fn spill_heavy_runs_stay_correct() {
     for (report, expect_spills) in [
         (
-            run_workload(&Blackscholes::new(256), &SystemConfig::rg_lmul(Lmul::M8)),
+            run_workload(&Blackscholes::new(256), &ScenarioConfig::rg_lmul(Lmul::M8)),
             true,
         ),
         (
-            run_workload(&LavaMd2::new(8, 2), &SystemConfig::rg_lmul(Lmul::M8)),
+            run_workload(&LavaMd2::new(8, 2), &ScenarioConfig::rg_lmul(Lmul::M8)),
             true,
         ),
         (
             run_workload(
                 &ParticleFilter::new(256, 32),
-                &SystemConfig::rg_lmul(Lmul::M2),
+                &ScenarioConfig::rg_lmul(Lmul::M2),
             ),
             false,
         ),
@@ -130,8 +130,8 @@ fn spill_heavy_runs_stay_correct() {
 fn executed_spills_match_what_the_compiler_emitted() {
     for w in all_workloads() {
         for sys in [
-            SystemConfig::rg_lmul(Lmul::M4),
-            SystemConfig::rg_lmul(Lmul::M8),
+            ScenarioConfig::rg_lmul(Lmul::M4),
+            ScenarioConfig::rg_lmul(Lmul::M8),
         ] {
             let r = run_workload(w.as_ref(), &sys);
             assert_eq!(
@@ -148,11 +148,11 @@ fn executed_spills_match_what_the_compiler_emitted() {
 #[test]
 fn native_and_rg_never_generate_swaps_and_ava_never_needs_spills() {
     for w in all_workloads() {
-        let native = run_workload(w.as_ref(), &SystemConfig::native_x(4));
+        let native = run_workload(w.as_ref(), &ScenarioConfig::native_x(4));
         assert_eq!(native.vpu.swap_ops(), 0, "{}", w.name());
-        let rg = run_workload(w.as_ref(), &SystemConfig::rg_lmul(Lmul::M4));
+        let rg = run_workload(w.as_ref(), &ScenarioConfig::rg_lmul(Lmul::M4));
         assert_eq!(rg.vpu.swap_ops(), 0, "{}", w.name());
-        let ava = run_workload(w.as_ref(), &SystemConfig::ava_x(4));
+        let ava = run_workload(w.as_ref(), &ScenarioConfig::ava_x(4));
         assert_eq!(
             ava.vpu.spill_ops(),
             0,

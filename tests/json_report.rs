@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use ava::sim::json::{object, Json};
-use ava::sim::{Sweep, SystemConfig};
+use ava::sim::{ScenarioConfig, Sweep};
 use ava::workloads::{Axpy, Blackscholes, SharedWorkload};
 
 /// A parsed JSON value. Numbers keep their integer form when the text had
@@ -268,7 +268,7 @@ fn nested_builders_round_trip() {
 fn full_sweep_report_round_trips_against_the_parser() {
     let workloads: Vec<SharedWorkload> =
         vec![Arc::new(Axpy::new(256)), Arc::new(Blackscholes::new(64))];
-    let systems = vec![SystemConfig::native_x(1), SystemConfig::ava_x(8)];
+    let systems = vec![ScenarioConfig::native_x(1), ScenarioConfig::ava_x(8)];
     let sweep = Sweep::grid(workloads, systems);
     let report = sweep.run_parallel_report_with(2);
 
@@ -317,4 +317,30 @@ fn full_sweep_report_round_trips_against_the_parser() {
             run.scalar.instructions
         );
     }
+}
+
+#[test]
+fn scenario_axis_metadata_round_trips_through_the_json_pipeline() {
+    let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(256))];
+    let scenarios = ScenarioConfig::axis_l2_kib(&ScenarioConfig::axis_mvl(&[128, 256]), &[512]);
+    let report = Sweep::grid(workloads, scenarios).run_serial_report();
+    let parsed = parse(&report.to_json().to_string());
+
+    // The sweep-level axis summary lists every axis in play.
+    assert_eq!(
+        parsed.get("axes"),
+        &Value::Arr(vec![
+            Value::Str("mvl".to_string()),
+            Value::Str("l2_kib".to_string())
+        ])
+    );
+    // Each embedded report carries its own axis values.
+    let points = parsed.get("points").as_arr();
+    assert_eq!(points.len(), 2);
+    let first = points[0].get("report");
+    assert_eq!(first.get("config").as_str(), "AVA MVL=128 l2=512KiB");
+    assert_eq!(first.get("axes").get("mvl").as_u64(), 128);
+    assert_eq!(first.get("axes").get("l2_kib").as_u64(), 512);
+    let second = points[1].get("report");
+    assert_eq!(second.get("axes").get("mvl").as_u64(), 256);
 }

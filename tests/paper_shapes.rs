@@ -6,12 +6,12 @@
 
 use ava::energy::{pnr_estimate, vpu_area};
 use ava::isa::Lmul;
-use ava::sim::{run_workload, SystemConfig};
+use ava::sim::{run_workload, ScenarioConfig};
 use ava::vpu::{preg_count_for_mvl, VpuConfig};
 use ava::workloads::{Axpy, Blackscholes, LavaMd2, ParticleFilter, Somier, Swaptions, Workload};
 
-fn speedup(workload: &dyn Workload, sys: &SystemConfig) -> f64 {
-    let base = run_workload(workload, &SystemConfig::native_x(1));
+fn speedup(workload: &dyn Workload, sys: &ScenarioConfig) -> f64 {
+    let base = run_workload(workload, &ScenarioConfig::native_x(1));
     let this = run_workload(workload, sys);
     assert!(base.validated && this.validated);
     base.cycles as f64 / this.cycles as f64
@@ -41,9 +41,9 @@ fn table1_physical_register_counts() {
 #[test]
 fn axpy_reconfiguration_approaches_2x_and_matches_native() {
     let w = Axpy::new(4096);
-    let ava8 = speedup(&w, &SystemConfig::ava_x(8));
-    let native8 = speedup(&w, &SystemConfig::native_x(8));
-    let rg8 = speedup(&w, &SystemConfig::rg_lmul(Lmul::M8));
+    let ava8 = speedup(&w, &ScenarioConfig::ava_x(8));
+    let native8 = speedup(&w, &ScenarioConfig::native_x(8));
+    let rg8 = speedup(&w, &ScenarioConfig::rg_lmul(Lmul::M8));
     // Paper: all three reach ~2x over the short-vector baseline.
     assert!(ava8 > 1.7, "AVA X8 speedup {ava8}");
     assert!(
@@ -55,7 +55,7 @@ fn axpy_reconfiguration_approaches_2x_and_matches_native() {
         "RG-LMUL8 {rg8} vs NATIVE X8 {native8}"
     );
     // And no spill or swap operations exist for this two-register kernel.
-    let r = run_workload(&w, &SystemConfig::ava_x(8));
+    let r = run_workload(&w, &ScenarioConfig::ava_x(8));
     assert_eq!(r.vpu.swap_ops() + r.vpu.spill_ops(), 0);
 }
 
@@ -64,7 +64,7 @@ fn axpy_speedup_grows_monotonically_with_mvl() {
     let w = Axpy::new(4096);
     let mut last = 0.0;
     for n in [1, 2, 3, 4, 8] {
-        let s = speedup(&w, &SystemConfig::native_x(n));
+        let s = speedup(&w, &ScenarioConfig::native_x(n));
         assert!(s >= last - 0.05, "NATIVE X{n} regressed: {s} < {last}");
         last = s;
     }
@@ -76,13 +76,13 @@ fn axpy_speedup_grows_monotonically_with_mvl() {
 #[test]
 fn blackscholes_ava_x2_needs_no_swaps_but_rg_lmul2_spills() {
     let w = Blackscholes::new(512);
-    let ava2 = run_workload(&w, &SystemConfig::ava_x(2));
+    let ava2 = run_workload(&w, &ScenarioConfig::ava_x(2));
     assert_eq!(
         ava2.vpu.swap_ops(),
         0,
         "32 physical registers fit the kernel"
     );
-    let rg2 = run_workload(&w, &SystemConfig::rg_lmul(Lmul::M2));
+    let rg2 = run_workload(&w, &ScenarioConfig::rg_lmul(Lmul::M2));
     assert!(rg2.vpu.spill_ops() > 0, "16 architectural registers do not");
 }
 
@@ -93,8 +93,8 @@ fn blackscholes_ava_swaps_stay_below_rg_spills() {
     // compiler produces spill operations.
     let w = Blackscholes::new(512);
     for (ava, rg) in [
-        (SystemConfig::ava_x(4), SystemConfig::rg_lmul(Lmul::M4)),
-        (SystemConfig::ava_x(8), SystemConfig::rg_lmul(Lmul::M8)),
+        (ScenarioConfig::ava_x(4), ScenarioConfig::rg_lmul(Lmul::M4)),
+        (ScenarioConfig::ava_x(8), ScenarioConfig::rg_lmul(Lmul::M8)),
     ] {
         let a = run_workload(&w, &ava);
         let r = run_workload(&w, &rg);
@@ -113,8 +113,8 @@ fn blackscholes_ava_swaps_stay_below_rg_spills() {
 #[test]
 fn blackscholes_ava_x8_beats_rg_lmul8() {
     let w = Blackscholes::new(512);
-    let ava = speedup(&w, &SystemConfig::ava_x(8));
-    let rg = speedup(&w, &SystemConfig::rg_lmul(Lmul::M8));
+    let ava = speedup(&w, &ScenarioConfig::ava_x(8));
+    let rg = speedup(&w, &ScenarioConfig::rg_lmul(Lmul::M8));
     assert!(ava > rg, "AVA X8 {ava} should beat RG-LMUL8 {rg}");
     assert!(
         ava > 1.3,
@@ -127,9 +127,9 @@ fn blackscholes_ava_x8_beats_rg_lmul8() {
 #[test]
 fn lavamd_peaks_at_x3_and_larger_mvls_add_nothing() {
     let w = LavaMd2::new(24, 2);
-    let x1 = speedup(&w, &SystemConfig::ava_x(1));
-    let x3 = speedup(&w, &SystemConfig::ava_x(3));
-    let x4 = speedup(&w, &SystemConfig::ava_x(4));
+    let x1 = speedup(&w, &ScenarioConfig::ava_x(1));
+    let x3 = speedup(&w, &ScenarioConfig::ava_x(3));
+    let x4 = speedup(&w, &ScenarioConfig::ava_x(4));
     assert!((x1 - 1.0).abs() < 1e-9);
     assert!(x3 > 1.2, "48-element vectors need MVL=48, got {x3}");
     assert!(
@@ -137,15 +137,15 @@ fn lavamd_peaks_at_x3_and_larger_mvls_add_nothing() {
         "beyond VL=48 nothing improves: X4 {x4} vs X3 {x3}"
     );
     // X3 needs no swaps: 21 physical registers cover the kernel.
-    let r3 = run_workload(&w, &SystemConfig::ava_x(3));
+    let r3 = run_workload(&w, &ScenarioConfig::ava_x(3));
     assert_eq!(r3.vpu.swap_ops(), 0);
 }
 
 #[test]
 fn lavamd_rg_lmul8_collapses_under_full_mvl_spill_code() {
     let w = LavaMd2::new(24, 2);
-    let rg8 = run_workload(&w, &SystemConfig::rg_lmul(Lmul::M8));
-    let rg8_speedup = speedup(&w, &SystemConfig::rg_lmul(Lmul::M8));
+    let rg8 = run_workload(&w, &ScenarioConfig::rg_lmul(Lmul::M8));
+    let rg8_speedup = speedup(&w, &ScenarioConfig::rg_lmul(Lmul::M8));
     // Paper: RG-LMUL8 drops below the baseline (0.48x) because spill code
     // executes at MVL=128 while the application only uses 48 elements.
     assert!(
@@ -157,7 +157,7 @@ fn lavamd_rg_lmul8_collapses_under_full_mvl_spill_code() {
         "spill code should dominate the memory stream"
     );
     // AVA X8 also degrades but stays well above RG-LMUL8.
-    let ava8 = speedup(&w, &SystemConfig::ava_x(8));
+    let ava8 = speedup(&w, &ScenarioConfig::ava_x(8));
     assert!(
         ava8 > rg8_speedup,
         "AVA X8 {ava8} vs RG-LMUL8 {rg8_speedup}"
@@ -171,26 +171,26 @@ fn particlefilter_and_somier_scale_with_mvl_without_spills_until_the_extremes() 
     let pf = ParticleFilter::new(1024, 64);
     let so = Somier::new(2048);
     for n in [2usize, 4] {
-        let r_pf = run_workload(&pf, &SystemConfig::ava_x(n));
-        let r_so = run_workload(&so, &SystemConfig::ava_x(n));
+        let r_pf = run_workload(&pf, &ScenarioConfig::ava_x(n));
+        let r_so = run_workload(&so, &ScenarioConfig::ava_x(n));
         assert_eq!(r_pf.vpu.swap_ops(), 0, "particle filter AVA X{n}");
         assert_eq!(r_so.vpu.swap_ops(), 0, "somier AVA X{n}");
     }
-    assert!(speedup(&pf, &SystemConfig::ava_x(4)) > 1.4);
-    assert!(speedup(&so, &SystemConfig::ava_x(8)) > 1.6);
+    assert!(speedup(&pf, &ScenarioConfig::ava_x(4)) > 1.4);
+    assert!(speedup(&so, &ScenarioConfig::ava_x(8)) > 1.6);
 }
 
 #[test]
 fn somier_spills_only_at_lmul8() {
     let so = Somier::new(2048);
     assert_eq!(
-        run_workload(&so, &SystemConfig::rg_lmul(Lmul::M4))
+        run_workload(&so, &ScenarioConfig::rg_lmul(Lmul::M4))
             .vpu
             .spill_ops(),
         0
     );
     assert!(
-        run_workload(&so, &SystemConfig::rg_lmul(Lmul::M8))
+        run_workload(&so, &ScenarioConfig::rg_lmul(Lmul::M8))
             .vpu
             .spill_ops()
             > 0
@@ -203,8 +203,8 @@ fn somier_spills_only_at_lmul8() {
 fn swaptions_ava_outperforms_rg_at_every_grouping_factor() {
     let w = Swaptions::new(512);
     for (ava, rg) in [
-        (SystemConfig::ava_x(4), SystemConfig::rg_lmul(Lmul::M4)),
-        (SystemConfig::ava_x(8), SystemConfig::rg_lmul(Lmul::M8)),
+        (ScenarioConfig::ava_x(4), ScenarioConfig::rg_lmul(Lmul::M4)),
+        (ScenarioConfig::ava_x(8), ScenarioConfig::rg_lmul(Lmul::M8)),
     ] {
         let s_ava = speedup(&w, &ava);
         let s_rg = speedup(&w, &rg);

@@ -10,7 +10,7 @@
 use ava::compiler::{compile, CompileOptions, KernelBuilder, VirtReg};
 use ava::isa::Lmul;
 use ava::memory::MemoryHierarchy;
-use ava::sim::SystemConfig;
+use ava::sim::ScenarioConfig;
 use ava::vpu::Vpu;
 use ava::workloads::data::DataGen;
 
@@ -93,7 +93,8 @@ fn build_kernel(
 
 /// Runs the kernel on a configuration and returns the values at the output
 /// addresses.
-fn run_on(spec: &RandomKernel, sys: &SystemConfig, lmul: Lmul) -> Vec<f64> {
+fn run_on(spec: &RandomKernel, scenario: &ScenarioConfig, lmul: Lmul) -> Vec<f64> {
+    let sys = scenario.resolve();
     let mut mem = MemoryHierarchy::default();
     let (kernel, outputs) = build_kernel(&mut mem, spec);
     let spill_base = mem.allocate(64 * 1024);
@@ -117,9 +118,9 @@ fn run_on(spec: &RandomKernel, sys: &SystemConfig, lmul: Lmul) -> Vec<f64> {
 fn results_are_identical_across_organisations() {
     for case in 0..CASES {
         let spec = random_kernel(case);
-        let reference = run_on(&spec, &SystemConfig::native_x(8), Lmul::M1);
-        let ava = run_on(&spec, &SystemConfig::ava_x(8), Lmul::M1);
-        let rg = run_on(&spec, &SystemConfig::rg_lmul(Lmul::M8), Lmul::M8);
+        let reference = run_on(&spec, &ScenarioConfig::native_x(8), Lmul::M1);
+        let ava = run_on(&spec, &ScenarioConfig::ava_x(8), Lmul::M1);
+        let rg = run_on(&spec, &ScenarioConfig::rg_lmul(Lmul::M8), Lmul::M8);
         assert_eq!(
             reference, ava,
             "case {case}: AVA X8 diverged from NATIVE X8"
@@ -196,12 +197,12 @@ fn timing_accesses_never_corrupt_functional_state() {
 fn tiny_register_files_never_deadlock() {
     for case in 0..CASES {
         let spec = random_kernel(case);
-        let sys = SystemConfig::ava_x(8);
+        let sys = ScenarioConfig::ava_x(8);
         let mut mem = MemoryHierarchy::default();
         let (kernel, _) = build_kernel(&mut mem, &spec);
         let spill_base = mem.allocate(64 * 1024);
         let compiled = compile(&kernel, &CompileOptions::new(Lmul::M1, spill_base, 1024));
-        let mut vpu = Vpu::new(sys.vpu.clone(), &mut mem);
+        let mut vpu = Vpu::new(sys.vpu_config(), &mut mem);
         let result = vpu.run(&compiled.program, &mut mem);
         assert!(result.cycles > 0, "case {case}");
         // Everything the program contains (minus vsetvl) must have been
@@ -213,5 +214,46 @@ fn tiny_register_files_never_deadlock() {
             program_issue,
             "case {case}"
         );
+    }
+}
+
+/// Table I and its extrapolation: at a fixed P-VRF capacity the physical
+/// register count is monotonically non-increasing in the MVL, and the
+/// resolved AVA MVL axis never drops below the X8 register floor.
+#[test]
+fn preg_count_is_monotonic_and_the_mvl_axis_holds_the_floor() {
+    use ava::sim::{ScenarioConfig, AVA_EXTRAPOLATION_PREG_FLOOR};
+    use ava::vpu::preg_count_for_mvl;
+
+    for pvrf in [8 * 1024usize, 16 * 1024, 64 * 1024] {
+        let mut prev = usize::MAX;
+        for mvl in (16..=512).step_by(16) {
+            let pregs = preg_count_for_mvl(pvrf, mvl);
+            assert!(
+                pregs <= prev,
+                "pvrf={pvrf}: preg count rose from {prev} to {pregs} at MVL={mvl}"
+            );
+            prev = pregs;
+        }
+    }
+    // The resolved extrapolation axis: Table I exact up to 128, the X8
+    // floor (with a minimally grown P-VRF) beyond it.
+    for scenario in ScenarioConfig::axis_mvl(&[16, 64, 128, 192, 256, 384, 512]) {
+        let vpu = scenario.vpu_config();
+        assert!(
+            vpu.physical_regs() >= AVA_EXTRAPOLATION_PREG_FLOOR,
+            "{}: only {} physical registers",
+            scenario.label(),
+            vpu.physical_regs()
+        );
+        assert_eq!(
+            vpu.physical_regs(),
+            preg_count_for_mvl(vpu.pvrf_bytes, vpu.mvl),
+            "{}: the Table I sizing function must stay the single source",
+            scenario.label()
+        );
+        if vpu.mvl <= 128 {
+            assert_eq!(vpu.pvrf_bytes, 8 * 1024, "{}", scenario.label());
+        }
     }
 }

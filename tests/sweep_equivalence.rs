@@ -8,9 +8,9 @@
 use std::sync::Arc;
 
 use ava::isa::Lmul;
-use ava::sim::{run_workload, Sweep, SystemConfig};
+use ava::sim::{run_workload, ScenarioConfig, Sweep};
 use ava::workloads::{
-    Axpy, Blackscholes, LavaMd2, ParticleFilter, SharedWorkload, Somier, Swaptions,
+    Axpy, Blackscholes, Composite, LavaMd2, ParticleFilter, SharedWorkload, Somier, Swaptions,
 };
 
 /// A 42-point grid (7 workloads × 6 configurations) covering all three
@@ -30,12 +30,12 @@ fn grid() -> Sweep {
         Arc::new(Blackscholes::new(512)),
     ];
     let systems = vec![
-        SystemConfig::native_x(1),
-        SystemConfig::native_x(8),
-        SystemConfig::ava_x(2),
-        SystemConfig::ava_x(8),
-        SystemConfig::rg_lmul(Lmul::M4),
-        SystemConfig::rg_lmul(Lmul::M8),
+        ScenarioConfig::native_x(1),
+        ScenarioConfig::native_x(8),
+        ScenarioConfig::ava_x(2),
+        ScenarioConfig::ava_x(8),
+        ScenarioConfig::rg_lmul(Lmul::M4),
+        ScenarioConfig::rg_lmul(Lmul::M8),
     ];
     Sweep::grid(workloads, systems)
 }
@@ -146,7 +146,7 @@ fn skewed_grid_stays_in_grid_order_and_identical_to_serial() {
         Arc::new(Axpy::new(224)),
         Arc::new(Axpy::new(256)),
     ];
-    let systems = vec![SystemConfig::native_x(1)];
+    let systems = vec![ScenarioConfig::native_x(1)];
     let sweep = Sweep::grid(workloads.clone(), systems);
 
     // The huge point really is the most expensive in the scheduler's eyes.
@@ -175,4 +175,85 @@ fn skewed_grid_stays_in_grid_order_and_identical_to_serial() {
         assert!(report.points.iter().all(|p| p.worker < threads));
         assert_eq!(report.points[3].cost_estimate, costs[3]);
     }
+}
+
+/// The acceptance grid of the scenario-axis refactor: one `Sweep` built
+/// from `ScenarioConfig` axis builders — MVL {128, 256, 512} (the Table I
+/// extrapolation) × two L2 capacities — over a single kernel and a
+/// multi-kernel `Composite`, must validate everywhere and stay bit-identical
+/// between serial and parallel execution.
+#[test]
+fn mvl_and_cache_axis_grid_is_bit_identical_and_validated() {
+    let scenarios =
+        ScenarioConfig::axis_l2_kib(&ScenarioConfig::axis_mvl(&[128, 256, 512]), &[256, 1024]);
+    assert_eq!(scenarios.len(), 6);
+    let workloads: Vec<SharedWorkload> = vec![
+        Arc::new(Axpy::new(2048)),
+        Arc::new(Composite::new(vec![
+            Arc::new(Axpy::new(1024)),
+            Arc::new(Blackscholes::new(128)),
+            Arc::new(Somier::new(512)),
+        ])),
+    ];
+    let sweep = Sweep::grid(workloads, scenarios);
+    assert_eq!(sweep.len(), 12);
+
+    let serial = sweep.run_serial();
+    for r in &serial {
+        assert!(
+            r.validated,
+            "{} on {}: {:?}",
+            r.workload, r.config, r.validation_error
+        );
+        // Every point of this grid carries both axis values.
+        let names: Vec<&str> = r.axes.iter().map(|a| a.name).collect();
+        assert_eq!(names, vec!["mvl", "l2_kib"], "{}", r.config);
+    }
+    for threads in [2, 5] {
+        let parallel = sweep.run_parallel_with(threads);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                format!("{s:?}"),
+                format!("{p:?}"),
+                "{} on {} ({threads} threads)",
+                s.workload,
+                s.config
+            );
+        }
+    }
+    // The extrapolated-MVL points genuinely run longer vectors: each MVL
+    // doubling quarters/halves the strip count, so the issued vector
+    // instruction count strictly decreases along the axis.
+    let axpy_l2_256: Vec<_> = serial
+        .iter()
+        .filter(|r| {
+            r.workload == "axpy" && r.axes.iter().any(|a| a.name == "l2_kib" && a.value == 256)
+        })
+        .collect();
+    assert_eq!(axpy_l2_256.len(), 3);
+    assert!(
+        axpy_l2_256[2].vpu.issued_instrs() < axpy_l2_256[1].vpu.issued_instrs()
+            && axpy_l2_256[1].vpu.issued_instrs() < axpy_l2_256[0].vpu.issued_instrs(),
+        "longer MVLs must issue fewer vector instructions: {} / {} / {}",
+        axpy_l2_256[0].vpu.issued_instrs(),
+        axpy_l2_256[1].vpu.issued_instrs(),
+        axpy_l2_256[2].vpu.issued_instrs()
+    );
+}
+
+/// A composite point must agree exactly with the plain runner on the same
+/// scenario — the concatenated phases go through the shared compile cache
+/// like any other kernel.
+#[test]
+fn composite_points_match_the_plain_runner() {
+    let mix: SharedWorkload = Arc::new(Composite::new(vec![
+        Arc::new(Axpy::new(512)),
+        Arc::new(Somier::new(256)),
+    ]));
+    let scenario = ScenarioConfig::ava_x(8).with_mvl(256).with_l2_kib(512);
+    let sweep = Sweep::grid(vec![Arc::clone(&mix)], vec![scenario.clone()]);
+    let from_sweep = sweep.run_parallel();
+    let direct = run_workload(mix.as_ref(), &scenario);
+    assert_eq!(format!("{:?}", from_sweep[0]), format!("{direct:?}"));
+    assert!(direct.validated, "{:?}", direct.validation_error);
 }
