@@ -5,14 +5,19 @@
 //! swap-free baseline (NATIVE X1, Axpy) so both regimes are visible.
 //!
 //! Each study is one sweep: a single workload against a declarative list of
-//! system variants, executed in parallel by the sweep engine.
+//! system variants, executed in parallel by the sweep engine. With
+//! `--repeat <n>` every study's grid runs `n` times and each repetition
+//! feeds its measured per-point wall-clock back into the next one's
+//! scheduler (`Sweep::with_recorded_costs`) — profile-guided ordering
+//! replacing the static `elements()` heuristic on repeated grids. Results
+//! are bit-identical at any repeat count; only the execution order moves.
 //!
-//! Usage: `cargo run --release -p ava-bench --bin ablation [-- --json <path>]`
+//! Usage: `cargo run --release -p ava-bench --bin ablation [-- --repeat <n>] [--json <path>]`
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use ava_bench::cli::{emit_json, json_only_args};
+use ava_bench::cli::{emit_json, take_json_flag};
 use ava_sim::json::{object, Json};
 use ava_sim::{ScenarioConfig, Sweep};
 use ava_workloads::{Axpy, Blackscholes, SharedWorkload};
@@ -39,10 +44,17 @@ fn variants(base: &ScenarioConfig) -> (Vec<String>, Vec<ScenarioConfig>) {
     (names, systems)
 }
 
-fn study(label: &str, base: &ScenarioConfig, workload: SharedWorkload) -> Json {
+fn study(label: &str, base: &ScenarioConfig, workload: SharedWorkload, repeat: usize) -> Json {
     println!("--- {label}: {} on {}", workload.name(), base.label());
     let (names, systems) = variants(base);
-    let sweep = Sweep::grid(vec![workload.clone()], systems).run_parallel_report();
+    // First pass is ordered by the static heuristic; every further pass
+    // reorders its queue by the previous pass's measured per-point time.
+    let mut sweep = Sweep::grid(vec![workload.clone()], systems.clone()).run_parallel_report();
+    for _ in 1..repeat.max(1) {
+        sweep = Sweep::grid(vec![workload.clone()], systems.clone())
+            .with_recorded_costs(&sweep)
+            .run_parallel_report();
+    }
     for r in &sweep.reports {
         assert!(r.validated, "{}: {:?}", r.config, r.validation_error);
     }
@@ -81,21 +93,57 @@ fn study(label: &str, base: &ScenarioConfig, workload: SharedWorkload) -> Json {
 }
 
 fn main() -> ExitCode {
-    let json_path = match json_only_args("ablation [--json <path>]") {
+    let usage = "ablation [--repeat <n>] [--json <path>]";
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match take_json_flag(&mut args) {
         Ok(p) => p,
-        Err(code) => return code,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("usage: {usage}");
+            return ExitCode::from(2);
+        }
     };
+    let mut repeat = 1usize;
+    match args.as_slice() {
+        [] => {}
+        [flag] if flag == "--repeat" => {
+            eprintln!("--repeat requires a value");
+            eprintln!("usage: {usage}");
+            return ExitCode::from(2);
+        }
+        [flag, value, rest @ ..] if flag == "--repeat" => {
+            match value.parse::<usize>() {
+                Ok(n) if n >= 1 => repeat = n,
+                _ => {
+                    eprintln!("invalid --repeat value: {value}");
+                    return ExitCode::from(2);
+                }
+            }
+            if let Some(other) = rest.first() {
+                eprintln!("unrecognised argument: {other}");
+                eprintln!("usage: {usage}");
+                return ExitCode::from(2);
+            }
+        }
+        [other, ..] => {
+            eprintln!("unrecognised argument: {other}");
+            eprintln!("usage: {usage}");
+            return ExitCode::from(2);
+        }
+    }
 
     let studies = vec![
         study(
             "swap-free baseline",
             &ScenarioConfig::native_x(1),
             Arc::new(Axpy::new(4096)),
+            repeat,
         ),
         study(
             "swap-heavy AVA",
             &ScenarioConfig::ava_x(8),
             Arc::new(Blackscholes::new(1024)),
+            repeat,
         ),
     ];
     println!("The per-operation overhead of the vector memory unit dominates the");

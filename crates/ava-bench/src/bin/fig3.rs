@@ -9,8 +9,14 @@
 //! Usage:
 //!
 //! ```text
-//! fig3 [--app <name>] [--chart mem|mix|perf|energy|all] [--threads <n>] [--json <path>]
+//! fig3 [--app <name>] [--chart mem|mix|perf|energy|all] [--mix pipelined]
+//!      [--threads <n>] [--json <path>]
 //! ```
+//!
+//! `--mix pipelined` appends the three-stage dataflow pipeline
+//! (axpy → somier → axpy with chained golden references) to the workload
+//! set, so the figure additionally covers a mix whose phases exchange data
+//! through the memory hierarchy.
 //!
 //! With `--json`, the instrumented sweep report (per-point counters,
 //! wall-clock timing, compile-cache statistics and the derived per-point
@@ -22,7 +28,7 @@ use std::process::ExitCode;
 use ava_bench::cli::{emit_json, take_json_flag};
 use ava_bench::{
     evaluated_systems, figure3_sweep, format_energy, format_instruction_mix,
-    format_memory_breakdown, format_performance, paper_workloads, sweep_energy_json,
+    format_memory_breakdown, format_performance, paper_workloads, pipelined_mix, sweep_energy_json,
 };
 use ava_sim::json::object;
 use ava_workloads::SharedWorkload;
@@ -38,6 +44,7 @@ fn main() -> ExitCode {
     };
     let mut app_filter: Option<String> = None;
     let mut chart = "all".to_string();
+    let mut with_pipelined = false;
     let mut threads: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
@@ -48,6 +55,17 @@ fn main() -> ExitCode {
             }
             "--chart" if i + 1 < args.len() => {
                 chart = args[i + 1].clone();
+                i += 2;
+            }
+            "--mix" if i + 1 < args.len() => {
+                match args[i + 1].as_str() {
+                    "pipelined" => with_pipelined = true,
+                    "independent" => with_pipelined = false,
+                    other => {
+                        eprintln!("--mix must be independent or pipelined, got {other}");
+                        return ExitCode::from(2);
+                    }
+                }
                 i += 2;
             }
             "--threads" if i + 1 < args.len() => {
@@ -63,14 +81,19 @@ fn main() -> ExitCode {
             other => {
                 eprintln!("unrecognised argument: {other}");
                 eprintln!(
-                    "usage: fig3 [--app <name>] [--chart mem|mix|perf|energy|all] [--threads <n>] [--json <path>]"
+                    "usage: fig3 [--app <name>] [--chart mem|mix|perf|energy|all] \
+                     [--mix pipelined] [--threads <n>] [--json <path>]"
                 );
                 return ExitCode::from(2);
             }
         }
     }
 
-    let workloads: Vec<SharedWorkload> = paper_workloads()
+    let mut pool = paper_workloads();
+    if with_pipelined {
+        pool.push(pipelined_mix(4096));
+    }
+    let workloads: Vec<SharedWorkload> = pool
         .into_iter()
         .filter(|w| app_filter.as_ref().is_none_or(|f| w.name() == f))
         .collect();

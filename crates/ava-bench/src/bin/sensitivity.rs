@@ -1,7 +1,9 @@
 //! Sensitivity study over the scenario axes the paper's fixed grid cannot
 //! express: the Table I MVL extrapolation (MVL up to 512, P-VRF held at the
-//! X8 physical-register floor) crossed with an L2-capacity axis, run over
-//! single kernels and a multi-kernel composite mix.
+//! X8 physical-register floor) crossed with an L2-capacity axis — and,
+//! optionally, the remaining hierarchy axes (L1 capacity, DRAM bandwidth,
+//! VMU bus width) — run over single kernels and a multi-kernel composite
+//! mix (plain, or a dataflow pipeline with `--mix pipelined`).
 //!
 //! The whole study is one declarative `Sweep` built from `ScenarioConfig`
 //! axis builders and executed by the parallel engine.
@@ -9,19 +11,22 @@
 //! Usage:
 //!
 //! ```text
-//! sensitivity [--mvl 128,256,512] [--l2-kib 256,1024,4096] [--app <name>]
+//! sensitivity [--mvl 128,256,512] [--l2-kib 256,1024,4096]
+//!             [--l1-kib 16,32,64] [--dram-bw 6,12,24] [--vmu-bus 32,64,128]
+//!             [--mix independent|pipelined] [--app <name>]
 //!             [--threads <n>] [--json <path>]
 //! ```
 //!
-//! With `--json`, the instrumented sweep report — axis metadata and the
-//! derived per-point energy breakdown included — is written to `<path>`.
+//! With `--json`, the instrumented sweep report — axis metadata, the derived
+//! per-point energy breakdown and the per-phase composite breakdowns
+//! included — is written to `<path>`.
 
 use std::process::ExitCode;
 
 use ava_bench::cli::{emit_json, take_json_flag};
 use ava_bench::{
-    format_cache_sensitivity, format_mvl_extrapolation, sensitivity_grid, sensitivity_json,
-    sensitivity_workloads, SENSITIVITY_L2_KIB, SENSITIVITY_MVLS,
+    format_cache_sensitivity, format_mvl_extrapolation, pipelined_mix, sensitivity_grid_with,
+    sensitivity_json, sensitivity_workloads, HierarchyAxes, SENSITIVITY_L2_KIB, SENSITIVITY_MVLS,
 };
 use ava_isa::{MAX_MVL_ELEMS, MIN_MVL_ELEMS};
 use ava_sim::Sweep;
@@ -37,9 +42,14 @@ fn parse_list(arg: &str, what: &str) -> Result<Vec<usize>, String> {
         .collect()
 }
 
+fn parse_list_u64(arg: &str, what: &str) -> Result<Vec<u64>, String> {
+    parse_list(arg, what).map(|v| v.into_iter().map(|x| x as u64).collect())
+}
+
 fn main() -> ExitCode {
-    let usage = "sensitivity [--mvl 128,256,512] [--l2-kib 256,1024,4096] [--app <name>] \
-                 [--threads <n>] [--json <path>]";
+    let usage = "sensitivity [--mvl 128,256,512] [--l2-kib 256,1024,4096] \
+                 [--l1-kib 16,32,64] [--dram-bw 6,12,24] [--vmu-bus 32,64,128] \
+                 [--mix independent|pipelined] [--app <name>] [--threads <n>] [--json <path>]";
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json_path = match take_json_flag(&mut args) {
         Ok(p) => p,
@@ -52,6 +62,8 @@ fn main() -> ExitCode {
 
     let mut mvls: Vec<usize> = SENSITIVITY_MVLS.to_vec();
     let mut l2_kib: Vec<usize> = SENSITIVITY_L2_KIB.to_vec();
+    let mut extra = HierarchyAxes::default();
+    let mut mix = "independent".to_string();
     let mut app_filter: Option<String> = None;
     let mut threads: Option<usize> = None;
     let mut i = 0;
@@ -62,31 +74,35 @@ fn main() -> ExitCode {
                 .ok_or_else(|| format!("{flag} requires a value"))
         };
         let step = match args[i].as_str() {
-            "--mvl" => match value("--mvl").and_then(|v| parse_list(&v, "--mvl")) {
-                Ok(v) => {
-                    mvls = v;
+            "--mvl" => value("--mvl")
+                .and_then(|v| parse_list(&v, "--mvl"))
+                .map(|v| mvls = v),
+            "--l2-kib" => value("--l2-kib")
+                .and_then(|v| parse_list(&v, "--l2-kib"))
+                .map(|v| l2_kib = v),
+            "--l1-kib" => value("--l1-kib")
+                .and_then(|v| parse_list(&v, "--l1-kib"))
+                .map(|v| extra.l1_kib = v),
+            "--dram-bw" => value("--dram-bw")
+                .and_then(|v| parse_list_u64(&v, "--dram-bw"))
+                .map(|v| extra.dram_bw = v),
+            "--vmu-bus" => value("--vmu-bus")
+                .and_then(|v| parse_list_u64(&v, "--vmu-bus"))
+                .map(|v| extra.vmu_bus = v),
+            "--mix" => value("--mix").and_then(|v| {
+                if v == "independent" || v == "pipelined" {
+                    mix = v;
                     Ok(())
+                } else {
+                    Err(format!("--mix must be independent or pipelined, got {v}"))
                 }
-                Err(e) => Err(e),
-            },
-            "--l2-kib" => match value("--l2-kib").and_then(|v| parse_list(&v, "--l2-kib")) {
-                Ok(v) => {
-                    l2_kib = v;
-                    Ok(())
-                }
-                Err(e) => Err(e),
-            },
+            }),
             "--app" => value("--app").map(|v| app_filter = Some(v)),
-            "--threads" => match value("--threads").and_then(|v| {
+            "--threads" => value("--threads").and_then(|v| {
                 v.parse::<usize>()
+                    .map(|n| threads = Some(n))
                     .map_err(|_| format!("invalid --threads value: {v}"))
-            }) {
-                Ok(n) => {
-                    threads = Some(n);
-                    Ok(())
-                }
-                Err(e) => Err(e),
-            },
+            }),
             other => Err(format!("unrecognised argument: {other}")),
         };
         if let Err(e) = step {
@@ -110,29 +126,54 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
-    if l2_kib.contains(&0) {
-        eprintln!("--l2-kib values must be non-zero");
+    if l2_kib.contains(&0) || extra.l1_kib.contains(&0) {
+        eprintln!("cache capacities must be non-zero");
+        return ExitCode::from(2);
+    }
+    if extra.dram_bw.contains(&0) || extra.vmu_bus.contains(&0) {
+        eprintln!("--dram-bw and --vmu-bus values must be non-zero");
         return ExitCode::from(2);
     }
 
-    let workloads: Vec<SharedWorkload> = sensitivity_workloads()
+    let mut pool = sensitivity_workloads();
+    if mix == "pipelined" {
+        // The dataflow pipeline: axpy → somier → axpy with chained golden
+        // references, sized like the composite so the working set straddles
+        // the L2 axis.
+        pool.push(pipelined_mix(8192));
+    }
+    let workloads: Vec<SharedWorkload> = pool
         .into_iter()
         .filter(|w| app_filter.as_ref().is_none_or(|f| w.name() == f))
         .collect();
     if workloads.is_empty() {
-        eprintln!("no workload matches --app filter (axpy, blackscholes, somier, composite)");
+        eprintln!(
+            "no workload matches --app filter (axpy, blackscholes, somier, composite, \
+             and pipelined with --mix pipelined)"
+        );
         return ExitCode::from(2);
     }
 
-    let scenarios = sensitivity_grid(&mvls, &l2_kib);
+    let scenarios = sensitivity_grid_with(&mvls, &l2_kib, &extra);
     let per_workload = scenarios.len();
     let sweep = Sweep::grid(workloads.clone(), scenarios.clone());
     eprintln!(
-        "sweeping {} points ({} workloads x {} MVLs x {} L2 sizes)...",
+        "sweeping {} points ({} workloads x {} scenarios: {} MVLs x {} L2 sizes{})...",
         sweep.len(),
         workloads.len(),
+        per_workload,
         mvls.len(),
-        l2_kib.len()
+        l2_kib.len(),
+        if extra.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " x {} L1 x {} DRAM-bw x {} bus",
+                extra.l1_kib.len().max(1),
+                extra.dram_bw.len().max(1),
+                extra.vmu_bus.len().max(1)
+            )
+        },
     );
     let report = match threads {
         Some(n) => sweep.run_parallel_report_with(n),
@@ -163,6 +204,6 @@ fn main() -> ExitCode {
     );
 
     emit_json(json_path.as_deref(), || {
-        sensitivity_json(&mvls, &l2_kib, sweep.resolved_systems(), &report)
+        sensitivity_json(&mvls, &l2_kib, &extra, sweep.resolved_systems(), &report)
     })
 }

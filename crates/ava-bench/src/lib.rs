@@ -199,6 +199,27 @@ pub fn format_energy(workload: &str, reports: &[RunReport]) -> String {
     out
 }
 
+/// The standard dataflow pipeline of the `--mix pipelined` scenarios: a
+/// stencil-style three-stage chain over `n`-element arrays. Axpy's in-place
+/// output feeds Somier's velocity array; Somier's position and velocity
+/// results feed a second Axpy (`y[i] = a * xout[i] + vout[i]`). Golden
+/// references chain across the stages, so the final Axpy's checks validate
+/// the whole pipeline end to end.
+#[must_use]
+pub fn pipelined_mix(n: usize) -> SharedWorkload {
+    Arc::new(Composite::pipelined(
+        vec![
+            Arc::new(Axpy::new(n)),
+            Arc::new(Somier::new(n)),
+            Arc::new(Axpy::new(n)),
+        ],
+        vec![
+            ava_workloads::composite::links(&[("y", "v")]),
+            ava_workloads::composite::links(&[("xout", "x"), ("vout", "y")]),
+        ],
+    ))
+}
+
 fn config_map() -> BTreeMap<String, VpuConfig> {
     evaluated_systems()
         .iter()
@@ -455,12 +476,56 @@ pub const SENSITIVITY_MVLS: [usize; 3] = [128, 256, 512];
 /// paper's 1 MiB flanked by a quarter-size and a quadruple-size L2).
 pub const SENSITIVITY_L2_KIB: [usize; 3] = [256, 1024, 4096];
 
+/// The optional extra hierarchy axes of the sensitivity study, driven by
+/// the `sensitivity` binary's `--l1-kib`, `--dram-bw` and `--vmu-bus`
+/// flags. An empty vector leaves the corresponding dimension at its
+/// Table II default (and out of the grid).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HierarchyAxes {
+    /// L1 data-cache capacities in KiB (`axis_l1_kib`).
+    pub l1_kib: Vec<usize>,
+    /// Sustained DRAM bandwidths in bytes per cycle (`axis_dram_bw`).
+    pub dram_bw: Vec<u64>,
+    /// VMU-to-L2 bus widths in bytes (`axis_vmu_bus`).
+    pub vmu_bus: Vec<u64>,
+}
+
+impl HierarchyAxes {
+    /// Whether any extra axis carries values.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.l1_kib.is_empty() && self.dram_bw.is_empty() && self.vmu_bus.is_empty()
+    }
+}
+
 /// The scenario grid of the sensitivity study: the AVA MVL-extrapolation
 /// axis crossed with the L2-capacity axis, L2-minor (matching the loops of
 /// [`format_cache_sensitivity`]).
 #[must_use]
 pub fn sensitivity_grid(mvls: &[usize], l2_kib: &[usize]) -> Vec<ScenarioConfig> {
-    ScenarioConfig::axis_l2_kib(&ScenarioConfig::axis_mvl(mvls), l2_kib)
+    sensitivity_grid_with(mvls, l2_kib, &HierarchyAxes::default())
+}
+
+/// [`sensitivity_grid`] cross-expanded along the optional hierarchy axes:
+/// MVL × L2 × L1 × DRAM-bandwidth × VMU-bus-width, innermost last. Empty
+/// axes do not expand the grid.
+#[must_use]
+pub fn sensitivity_grid_with(
+    mvls: &[usize],
+    l2_kib: &[usize],
+    extra: &HierarchyAxes,
+) -> Vec<ScenarioConfig> {
+    let mut grid = ScenarioConfig::axis_l2_kib(&ScenarioConfig::axis_mvl(mvls), l2_kib);
+    if !extra.l1_kib.is_empty() {
+        grid = ScenarioConfig::axis_l1_kib(&grid, &extra.l1_kib);
+    }
+    if !extra.dram_bw.is_empty() {
+        grid = ScenarioConfig::axis_dram_bw(&grid, &extra.dram_bw);
+    }
+    if !extra.vmu_bus.is_empty() {
+        grid = ScenarioConfig::axis_vmu_bus(&grid, &extra.vmu_bus);
+    }
+    grid
 }
 
 /// The workloads of the sensitivity study: the two DLP extremes (Axpy
@@ -573,28 +638,57 @@ pub fn format_cache_sensitivity(workload: &str, reports: &[RunReport]) -> String
     out
 }
 
-/// The `sensitivity --json` document: the axis vectors, the per-point
-/// energy breakdowns and the full instrumented sweep. `systems` is the
-/// sweep's resolved axis ([`Sweep::resolved_systems`]).
+/// The `sensitivity --json` document: the axis vectors (the optional
+/// hierarchy axes appear only when driven), the per-point energy breakdowns
+/// and the full instrumented sweep. `systems` is the sweep's resolved axis
+/// ([`Sweep::resolved_systems`]).
 #[must_use]
 pub fn sensitivity_json(
     mvls: &[usize],
     l2_kib: &[usize],
+    extra: &HierarchyAxes,
     systems: &[SystemConfig],
     report: &SweepReport,
 ) -> Json {
+    let mut axes = object()
+        .field("mvl", mvls.iter().map(|&m| Json::from(m)).collect::<Json>())
+        .field(
+            "l2_kib",
+            l2_kib.iter().map(|&k| Json::from(k)).collect::<Json>(),
+        );
+    if !extra.l1_kib.is_empty() {
+        axes = axes.field(
+            "l1_kib",
+            extra
+                .l1_kib
+                .iter()
+                .map(|&k| Json::from(k))
+                .collect::<Json>(),
+        );
+    }
+    if !extra.dram_bw.is_empty() {
+        axes = axes.field(
+            "dram_bpc",
+            extra
+                .dram_bw
+                .iter()
+                .map(|&b| Json::from(b))
+                .collect::<Json>(),
+        );
+    }
+    if !extra.vmu_bus.is_empty() {
+        axes = axes.field(
+            "vmu_bus",
+            extra
+                .vmu_bus
+                .iter()
+                .map(|&b| Json::from(b))
+                .collect::<Json>(),
+        );
+    }
     object()
         .field("artefact", "sensitivity")
-        .field(
-            "axes",
-            object()
-                .field("mvl", mvls.iter().map(|&m| Json::from(m)).collect::<Json>())
-                .field(
-                    "l2_kib",
-                    l2_kib.iter().map(|&k| Json::from(k)).collect::<Json>(),
-                )
-                .finish(),
-        )
+        .field("axes", axes.finish())
         .field("energy", sweep_energy_json(report, systems))
         .field("sweep", report.to_json())
         .finish()
@@ -618,6 +712,25 @@ pub fn energy_breakdown_json(e: &EnergyBreakdown) -> Json {
         .finish()
 }
 
+/// The energy-delay product of one point: total energy (mJ) times execution
+/// time (s), in mJ·s. Lower is better on both axes at once — the standard
+/// figure of merit when trading frequency/width for energy.
+#[must_use]
+pub fn energy_delay_mj_s(e: &EnergyBreakdown, seconds: f64) -> f64 {
+    e.total() * seconds
+}
+
+/// The energy per workload element operation of one point, in nanojoules:
+/// total energy over [`Workload::elements`]. Comparable across problem
+/// sizes, unlike the raw total.
+///
+/// [`Workload::elements`]: ava_workloads::Workload::elements
+#[must_use]
+pub fn energy_per_element_nj(e: &EnergyBreakdown, elements: u64) -> f64 {
+    // 1 mJ = 1e6 nJ.
+    e.total() * 1.0e6 / elements as f64
+}
+
 /// The derived per-point energy breakdowns of a sweep, parallel to the
 /// sweep's `points` array. `systems` is the sweep's own resolved axis
 /// ([`Sweep::resolved_systems`] — already materialised, so nothing is
@@ -625,7 +738,8 @@ pub fn energy_breakdown_json(e: &EnergyBreakdown) -> Json {
 /// label (not by position, so non-grid sweeps built with
 /// [`Sweep::from_points`] price correctly too) and charged against its own
 /// hierarchy — the L2-capacity axis scales the L2 macro's leakage and the
-/// MVL axis scales the P-VRF macro.
+/// MVL axis scales the P-VRF macro. Every entry also carries the derived
+/// metrics: the energy-delay product and the energy per element operation.
 ///
 /// # Panics
 ///
@@ -638,7 +752,8 @@ pub fn sweep_energy_json(report: &SweepReport, systems: &[SystemConfig]) -> Json
     report
         .reports
         .iter()
-        .map(|r| {
+        .zip(&report.points)
+        .map(|(r, p)| {
             let sys = by_label
                 .get(r.config.as_str())
                 .unwrap_or_else(|| panic!("no scenario labelled {:?} in the sweep axes", r.config));
@@ -647,6 +762,11 @@ pub fn sweep_energy_json(report: &SweepReport, systems: &[SystemConfig]) -> Json
                 .field("workload", r.workload.as_str())
                 .field("config", r.config.as_str())
                 .field("energy", energy_breakdown_json(&e))
+                .field("energy_delay_mj_s", energy_delay_mj_s(&e, r.seconds()))
+                .field(
+                    "energy_per_element_nj",
+                    energy_per_element_nj(&e, p.elements),
+                )
                 .finish()
         })
         .collect::<Json>()
@@ -722,10 +842,62 @@ mod tests {
             assert_eq!(line.split_whitespace().count(), 3, "{cache_table}");
         }
 
-        let json = sensitivity_json(&mvls, &l2s, sweep.resolved_systems(), &report).to_string();
+        let json = sensitivity_json(
+            &mvls,
+            &l2s,
+            &HierarchyAxes::default(),
+            sweep.resolved_systems(),
+            &report,
+        )
+        .to_string();
         assert!(json.starts_with("{\"artefact\":\"sensitivity\""), "{json}");
         assert!(json.contains("\"axes\":{\"mvl\":[128,256],\"l2_kib\":[512,1024]}"));
         assert!(json.contains("\"energy\":["));
+        assert!(json.contains("\"energy_delay_mj_s\":"));
+        assert!(json.contains("\"energy_per_element_nj\":"));
+    }
+
+    #[test]
+    fn hierarchy_axes_cross_expand_the_sensitivity_grid() {
+        let extra = HierarchyAxes {
+            l1_kib: vec![16, 64],
+            dram_bw: vec![6, 12],
+            vmu_bus: vec![32],
+        };
+        let grid = sensitivity_grid_with(&[128], &[1024], &extra);
+        assert_eq!(grid.len(), 4);
+        assert_eq!(
+            grid[0].label(),
+            "AVA MVL=128 l2=1024KiB l1=16KiB dram=6B/c bus=32B"
+        );
+        let resolved = grid[3].resolve();
+        assert_eq!(resolved.memory.l1d.size_bytes, 64 * 1024);
+        assert_eq!(resolved.memory.dram.bytes_per_cycle, 12);
+        assert_eq!(resolved.memory.vmu_bus_bytes, 32);
+        // The driven axes surface in the JSON axis block.
+        let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(256))];
+        let sweep = Sweep::grid(workloads, grid);
+        let report = sweep.run_serial_report();
+        let json = sensitivity_json(&[128], &[1024], &extra, sweep.resolved_systems(), &report)
+            .to_string();
+        assert!(json.contains("\"l1_kib\":[16,64]"), "{json}");
+        assert!(json.contains("\"dram_bpc\":[6,12]"), "{json}");
+        assert!(json.contains("\"vmu_bus\":[32]"), "{json}");
+    }
+
+    #[test]
+    fn pipelined_mix_validates_and_reports_phase_breakdowns() {
+        let mix = pipelined_mix(512);
+        assert_eq!(mix.name(), "pipelined");
+        let report = ava_sim::run_workload(mix.as_ref(), &ScenarioConfig::ava_x(4));
+        assert!(report.validated, "{:?}", report.validation_error);
+        assert_eq!(report.phases.len(), 3);
+        assert_eq!(report.phases[1].name, "1:somier");
+        assert_eq!(
+            report.phases.iter().map(|p| p.vpu_cycles).sum::<u64>(),
+            report.vpu_cycles,
+            "phase cycles must partition the run"
+        );
     }
 
     #[test]

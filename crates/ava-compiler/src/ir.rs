@@ -120,6 +120,31 @@ impl fmt::Display for IrInstr {
     }
 }
 
+/// One buffer-rebinding rule applied when concatenating kernels: memory
+/// operands whose base address falls inside `[old_base, old_base + bytes)`
+/// are rebased onto `new_base`, preserving their offset within the buffer.
+/// This is how a pipelined composite points a consumer phase's planned
+/// input buffer at the producer phase's actual output buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebaseRule {
+    /// Base address of the buffer the kernel was generated against.
+    pub old_base: u64,
+    /// Size of the buffer in bytes.
+    pub bytes: u64,
+    /// Base address the accesses are rebound to.
+    pub new_base: u64,
+}
+
+impl RebaseRule {
+    /// Applies the rule to one base address, if it falls inside the rebased
+    /// buffer.
+    #[must_use]
+    pub fn apply(&self, base: u64) -> Option<u64> {
+        (base >= self.old_base && base < self.old_base + self.bytes)
+            .then(|| self.new_base + (base - self.old_base))
+    }
+}
+
 /// A straight-line kernel trace in IR form, produced by
 /// [`crate::KernelBuilder`] and consumed by the register allocator.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -158,11 +183,35 @@ impl IrKernel {
     /// (each id defined exactly once). Used by multi-kernel composite
     /// workloads: the phases run back to back in one program, sharing the
     /// same memory hierarchy, and because values never flow between phases
-    /// the combined register pressure is the maximum — not the sum — of the
-    /// phases'.
+    /// through *registers* the combined register pressure is the maximum —
+    /// not the sum — of the phases'.
     pub fn concat(&mut self, phase: &IrKernel) {
+        self.concat_remapped(phase, &[]);
+    }
+
+    /// [`IrKernel::concat`] with buffer rebinding: while appending, every
+    /// memory operand whose base falls inside a [`RebaseRule`]'s buffer is
+    /// rebased onto the rule's new base (first matching rule wins). A
+    /// pipelined composite uses this to make a consumer phase — generated
+    /// against its own planned placeholder input buffer — read the producer
+    /// phase's actual output buffer at run time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two rules rebase overlapping source ranges (the rebinding
+    /// would become order-dependent).
+    pub fn concat_remapped(&mut self, phase: &IrKernel, rebase: &[RebaseRule]) {
+        for (i, a) in rebase.iter().enumerate() {
+            for b in &rebase[i + 1..] {
+                assert!(
+                    a.old_base + a.bytes <= b.old_base || b.old_base + b.bytes <= a.old_base,
+                    "rebase rules overlap: {a:?} vs {b:?}"
+                );
+            }
+        }
         let offset = self.num_virt_regs;
         let remap = |r: VirtReg| VirtReg(r.0 + offset);
+        let rebase_addr = |base: u64| rebase.iter().find_map(|r| r.apply(base)).unwrap_or(base);
         self.instrs.extend(phase.instrs.iter().map(|i| {
             IrInstr {
                 opcode: i.opcode,
@@ -176,7 +225,7 @@ impl IrKernel {
                     })
                     .collect(),
                 mem: i.mem.map(|m| IrMemAccess {
-                    base: m.base,
+                    base: rebase_addr(m.base),
                     stride: m.stride,
                     index: m.index.map(remap),
                 }),
@@ -224,6 +273,54 @@ mod tests {
         assert!(k.is_empty());
         assert_eq!(k.len(), 0);
         assert_eq!(k.max_pressure(), 0);
+    }
+
+    #[test]
+    fn concat_remapped_rebases_only_matching_buffers() {
+        let mut b = crate::KernelBuilder::new("producer");
+        let x = b.vload(0x1000);
+        b.vstore(x, 0x2000);
+        let mut combined = b.finish();
+
+        let mut b = crate::KernelBuilder::new("consumer");
+        let y = b.vload(0x5000 + 64); // second strip of the placeholder input
+        let z = b.vload(0x9000); // an unbound input, untouched
+        let s = b.vfadd(y, z);
+        b.vstore(s, 0x6000);
+        let consumer = b.finish();
+
+        combined.concat_remapped(
+            &consumer,
+            &[RebaseRule {
+                old_base: 0x5000,
+                bytes: 0x800,
+                new_base: 0x2000,
+            }],
+        );
+        // The placeholder read is rebased onto the producer's output,
+        // offset preserved; everything else keeps its address.
+        assert_eq!(combined.instrs[2].mem.unwrap().base, 0x2000 + 64);
+        assert_eq!(combined.instrs[3].mem.unwrap().base, 0x9000);
+        assert_eq!(combined.instrs[5].mem.unwrap().base, 0x6000);
+    }
+
+    #[test]
+    #[should_panic(expected = "rebase rules overlap")]
+    fn overlapping_rebase_rules_are_rejected() {
+        let mut a = IrKernel::default();
+        let rules = [
+            RebaseRule {
+                old_base: 0x1000,
+                bytes: 0x200,
+                new_base: 0x4000,
+            },
+            RebaseRule {
+                old_base: 0x1100,
+                bytes: 0x200,
+                new_base: 0x5000,
+            },
+        ];
+        a.concat_remapped(&IrKernel::default(), &rules);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod lower;
 pub mod regalloc;
 
 pub use builder::KernelBuilder;
-pub use ir::{IrInstr, IrKernel, IrOperand, VirtReg};
+pub use ir::{IrInstr, IrKernel, IrOperand, RebaseRule, VirtReg};
 pub use liveness::{LiveInterval, Liveness};
 pub use lower::{compile, CompileOptions, CompiledKernel};
 pub use regalloc::{AllocatedKernel, Allocation, RegAllocator};

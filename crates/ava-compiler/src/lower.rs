@@ -52,6 +52,22 @@ pub struct CompiledKernel {
     pub max_pressure: usize,
     /// Bytes of stack reserved for spills.
     pub spill_area_bytes: u64,
+    /// Source IR-instruction index of every program instruction, in program
+    /// order. Spill code is attributed to the IR instruction it was inserted
+    /// for, so the mapping is monotone — phase boundaries expressed as IR
+    /// indices translate to clean program ranges.
+    pub ir_map: Vec<usize>,
+}
+
+impl CompiledKernel {
+    /// The program index at which the IR range `[0, ir_end)` ends: the
+    /// first program instruction attributed to an IR index `>= ir_end`.
+    /// Used to split a concatenated multi-phase program back into per-phase
+    /// segments for the per-phase breakdown.
+    #[must_use]
+    pub fn program_split(&self, ir_end: usize) -> usize {
+        self.ir_map.partition_point(|&ir| ir < ir_end)
+    }
 }
 
 /// Compiles an IR kernel for the given register-grouping configuration.
@@ -78,6 +94,11 @@ pub fn lower(
     options: &CompileOptions,
 ) -> CompiledKernel {
     let mut program = Program::new(kernel.name.clone());
+    let mut ir_map = Vec::with_capacity(allocated.allocations.len());
+    // Spill code is emitted while the allocator processes one IR
+    // instruction and always precedes that instruction's op in the stream,
+    // so pending spills are attributed to the next op's IR index.
+    let mut pending_spills = 0usize;
     for alloc in &allocated.allocations {
         match alloc {
             Allocation::SpillStore { slot, addr } => {
@@ -86,6 +107,7 @@ pub fn lower(
                         .with_full_mvl()
                         .with_role(InstrRole::SpillStore),
                 );
+                pending_spills += 1;
             }
             Allocation::SpillLoad { slot, addr } => {
                 program.push(
@@ -93,6 +115,7 @@ pub fn lower(
                         .with_full_mvl()
                         .with_role(InstrRole::SpillLoad),
                 );
+                pending_spills += 1;
             }
             Allocation::Op {
                 ir_index,
@@ -101,9 +124,13 @@ pub fn lower(
             } => {
                 let ir = &kernel.instrs[*ir_index];
                 program.push(lower_op(ir, *dst_slot, src_slots, options.lmul));
+                ir_map.extend(std::iter::repeat_n(*ir_index, pending_spills + 1));
+                pending_spills = 0;
             }
         }
     }
+    ir_map.extend(std::iter::repeat_n(kernel.instrs.len(), pending_spills));
+    debug_assert_eq!(ir_map.len(), program.len());
     CompiledKernel {
         program,
         spill_stores: allocated.spill_stores,
@@ -111,6 +138,7 @@ pub fn lower(
         registers_used: allocated.slots_used,
         max_pressure: kernel.max_pressure(),
         spill_area_bytes: allocated.spill_area_bytes,
+        ir_map,
     }
 }
 
@@ -280,6 +308,23 @@ mod tests {
         assert!(spills(Lmul::M4) >= spills(Lmul::M2));
         assert!(spills(Lmul::M2) >= spills(Lmul::M1));
         assert_eq!(spills(Lmul::M1), 0, "32 registers fit 24 live values");
+    }
+
+    #[test]
+    fn ir_map_attributes_every_program_instruction_monotonically() {
+        for width in [6, 20] {
+            let k = wide_kernel(width);
+            let out = compile(&k, &CompileOptions::new(Lmul::M8, 0x40_0000, 8192));
+            assert_eq!(out.ir_map.len(), out.program.len());
+            assert!(out.ir_map.windows(2).all(|w| w[0] <= w[1]), "monotone");
+            // Splitting at the IR end covers the whole program; splitting at
+            // zero covers none of it.
+            assert_eq!(out.program_split(k.len()), out.program.len());
+            assert_eq!(out.program_split(0), 0);
+            // The two halves partition the program.
+            let mid = out.program_split(k.len() / 2);
+            assert!(mid <= out.program.len());
+        }
     }
 
     #[test]

@@ -258,11 +258,23 @@ impl MemoryHierarchy {
     /// and would otherwise evict the application's working set from small
     /// L2 configurations before the run even starts.
     pub fn warm_caches_range(&mut self, start: u64, end: u64) {
+        self.warm_caches_ranges(&[(start, end)]);
+    }
+
+    /// Warms every `[start, end)` range of `ranges`, in order, then clears
+    /// all statistics once. This is the planner-driven warm-up path: the
+    /// simulator derives the ranges from the workload's planned data layout
+    /// (every buffer the run touches), so auxiliary regions — the spill
+    /// arena, dead placeholder buffers of pipelined composites — stay cold
+    /// without any hand-maintained address bookkeeping.
+    pub fn warm_caches_ranges(&mut self, ranges: &[(u64, u64)]) {
         let line = self.config.l2.line_bytes as u64;
-        let mut addr = start;
-        while addr < end {
-            let _ = self.l2.access(addr, false);
-            addr += line;
+        for &(start, end) in ranges {
+            let mut addr = start;
+            while addr < end {
+                let _ = self.l2.access(addr, false);
+                addr += line;
+            }
         }
         self.reset_stats();
     }

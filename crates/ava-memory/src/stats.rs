@@ -63,7 +63,36 @@ pub struct MemoryStats {
     pub vector_requests: u64,
 }
 
+impl CacheStats {
+    /// Counter-wise difference `self - baseline` (used for per-phase
+    /// breakdowns, where a phase's traffic is the delta between the
+    /// snapshots taken around its program segment).
+    #[must_use]
+    pub fn delta_since(&self, baseline: &CacheStats) -> CacheStats {
+        CacheStats {
+            read_hits: self.read_hits - baseline.read_hits,
+            read_misses: self.read_misses - baseline.read_misses,
+            write_hits: self.write_hits - baseline.write_hits,
+            write_misses: self.write_misses - baseline.write_misses,
+            writebacks: self.writebacks - baseline.writebacks,
+        }
+    }
+}
+
 impl MemoryStats {
+    /// Counter-wise difference `self - baseline`.
+    #[must_use]
+    pub fn delta_since(&self, baseline: &MemoryStats) -> MemoryStats {
+        MemoryStats {
+            l1d: self.l1d.delta_since(&baseline.l1d),
+            l2: self.l2.delta_since(&baseline.l2),
+            dram_accesses: self.dram_accesses - baseline.dram_accesses,
+            dram_bytes: self.dram_bytes - baseline.dram_bytes,
+            vmu_bytes: self.vmu_bytes - baseline.vmu_bytes,
+            vector_requests: self.vector_requests - baseline.vector_requests,
+        }
+    }
+
     /// Merges counters from another snapshot into this one.
     pub fn merge(&mut self, other: &MemoryStats) {
         self.l1d.read_hits += other.l1d.read_hits;

@@ -34,5 +34,5 @@ pub mod sweep;
 pub use configs::{Axis, ScenarioConfig, SystemConfig, SystemKind, AVA_EXTRAPOLATION_PREG_FLOOR};
 pub use json::Json;
 pub use report::{format_runs_table, geometric_mean, speedup_vs};
-pub use run::{run_system, run_workload, run_workload_sized, RunReport};
+pub use run::{run_system, run_workload, run_workload_sized, PhaseBreakdown, RunReport};
 pub use sweep::{PointStats, ProgramCache, Sweep, SweepReport};

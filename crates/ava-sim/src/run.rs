@@ -7,10 +7,26 @@ use ava_isa::VectorContext;
 use ava_memory::{MemoryHierarchy, MemoryStats};
 use ava_scalar::{ScalarCore, ScalarCost};
 use ava_vpu::{Vpu, VpuStats};
-use ava_workloads::{validate, Workload};
+use ava_workloads::{validate, ArenaPlanner, BufferBindings, Workload};
 
 use crate::configs::{axes_to_json, Axis, ScenarioConfig, SystemConfig};
 use crate::json::{object, Json};
+
+/// Cycle/memory breakdown of one phase of a multi-kernel workload: the
+/// delta of every counter across the phase's segment of the compiled
+/// program. Phases run back to back on one VPU instance, so the per-phase
+/// numbers partition the run's totals exactly.
+#[derive(Debug, Clone)]
+pub struct PhaseBreakdown {
+    /// Phase display name ("0:axpy", "1:somier", ...).
+    pub name: String,
+    /// VPU cycles attributed to the phase's program segment.
+    pub vpu_cycles: u64,
+    /// VPU instruction/event counters of the segment.
+    pub vpu: VpuStats,
+    /// Memory-system counters of the segment.
+    pub mem: MemoryStats,
+}
 
 /// Everything measured from one (workload, system) simulation.
 #[derive(Debug, Clone)]
@@ -30,6 +46,9 @@ pub struct RunReport {
     pub vpu: VpuStats,
     /// Memory-system counters.
     pub mem: MemoryStats,
+    /// Per-phase cycle/memory breakdowns (multi-kernel workloads only;
+    /// empty for single-kernel runs).
+    pub phases: Vec<PhaseBreakdown>,
     /// Compiler-inserted spill stores in the binary.
     pub compiler_spill_stores: usize,
     /// Compiler-inserted spill reloads in the binary.
@@ -59,19 +78,11 @@ impl RunReport {
     }
 
     /// The machine-readable form of the report: every counter of the run,
-    /// grouped exactly like the struct (`vpu`, `mem`, `scalar` sub-objects).
+    /// grouped exactly like the struct (`vpu`, `mem`, `scalar` sub-objects,
+    /// plus a `phases` array for multi-kernel runs).
     #[must_use]
     pub fn to_json(&self) -> Json {
-        let cache = |c: &ava_memory::CacheStats| {
-            object()
-                .field("read_hits", c.read_hits)
-                .field("read_misses", c.read_misses)
-                .field("write_hits", c.write_hits)
-                .field("write_misses", c.write_misses)
-                .field("writebacks", c.writebacks)
-                .finish()
-        };
-        object()
+        let mut obj = object()
             .field("config", self.config.as_str())
             .field("workload", self.workload.as_str())
             .field("axes", axes_to_json(&self.axes))
@@ -82,41 +93,8 @@ impl RunReport {
             .field("register_pressure", self.register_pressure)
             .field("compiler_spill_loads", self.compiler_spill_loads)
             .field("compiler_spill_stores", self.compiler_spill_stores)
-            .field(
-                "vpu",
-                object()
-                    .field("arith_instrs", self.vpu.arith_instrs)
-                    .field("vloads", self.vpu.vloads)
-                    .field("vstores", self.vpu.vstores)
-                    .field("spill_loads", self.vpu.spill_loads)
-                    .field("spill_stores", self.vpu.spill_stores)
-                    .field("swap_loads", self.vpu.swap_loads)
-                    .field("swap_stores", self.vpu.swap_stores)
-                    .field("config_instrs", self.vpu.config_instrs)
-                    .field("aggressive_reclaims", self.vpu.aggressive_reclaims)
-                    .field("rename_stall_cycles", self.vpu.rename_stall_cycles)
-                    .field("queue_stall_cycles", self.vpu.queue_stall_cycles)
-                    .field("vrf_read_elems", self.vpu.vrf_read_elems)
-                    .field("vrf_write_elems", self.vpu.vrf_write_elems)
-                    .field("fpu_ops", self.vpu.fpu_ops)
-                    .field("int_ops", self.vpu.int_ops)
-                    .field("arith_busy_cycles", self.vpu.arith_busy_cycles)
-                    .field("mem_busy_cycles", self.vpu.mem_busy_cycles)
-                    .field("memory_instrs", self.vpu.memory_instrs())
-                    .field("memory_fraction", self.vpu.memory_fraction())
-                    .finish(),
-            )
-            .field(
-                "mem",
-                object()
-                    .field("l1d", cache(&self.mem.l1d))
-                    .field("l2", cache(&self.mem.l2))
-                    .field("dram_accesses", self.mem.dram_accesses)
-                    .field("dram_bytes", self.mem.dram_bytes)
-                    .field("vmu_bytes", self.mem.vmu_bytes)
-                    .field("vector_requests", self.mem.vector_requests)
-                    .finish(),
-            )
+            .field("vpu", vpu_stats_json(&self.vpu))
+            .field("mem", mem_stats_json(&self.mem))
             .field(
                 "scalar",
                 object()
@@ -124,9 +102,71 @@ impl RunReport {
                     .field("scalar_cycles", self.scalar.scalar_cycles)
                     .field("vpu_cycles", self.scalar.vpu_cycles)
                     .finish(),
-            )
-            .finish()
+            );
+        if !self.phases.is_empty() {
+            obj = obj.field(
+                "phases",
+                self.phases
+                    .iter()
+                    .map(|p| {
+                        object()
+                            .field("name", p.name.as_str())
+                            .field("vpu_cycles", p.vpu_cycles)
+                            .field("vpu", vpu_stats_json(&p.vpu))
+                            .field("mem", mem_stats_json(&p.mem))
+                            .finish()
+                    })
+                    .collect::<Json>(),
+            );
+        }
+        obj.finish()
     }
+}
+
+/// The VPU counter block shared by the run-level and per-phase JSON.
+fn vpu_stats_json(s: &VpuStats) -> Json {
+    object()
+        .field("arith_instrs", s.arith_instrs)
+        .field("vloads", s.vloads)
+        .field("vstores", s.vstores)
+        .field("spill_loads", s.spill_loads)
+        .field("spill_stores", s.spill_stores)
+        .field("swap_loads", s.swap_loads)
+        .field("swap_stores", s.swap_stores)
+        .field("config_instrs", s.config_instrs)
+        .field("aggressive_reclaims", s.aggressive_reclaims)
+        .field("rename_stall_cycles", s.rename_stall_cycles)
+        .field("queue_stall_cycles", s.queue_stall_cycles)
+        .field("vrf_read_elems", s.vrf_read_elems)
+        .field("vrf_write_elems", s.vrf_write_elems)
+        .field("fpu_ops", s.fpu_ops)
+        .field("int_ops", s.int_ops)
+        .field("arith_busy_cycles", s.arith_busy_cycles)
+        .field("mem_busy_cycles", s.mem_busy_cycles)
+        .field("memory_instrs", s.memory_instrs())
+        .field("memory_fraction", s.memory_fraction())
+        .finish()
+}
+
+/// The memory counter block shared by the run-level and per-phase JSON.
+fn mem_stats_json(m: &MemoryStats) -> Json {
+    let cache = |c: &ava_memory::CacheStats| {
+        object()
+            .field("read_hits", c.read_hits)
+            .field("read_misses", c.read_misses)
+            .field("write_hits", c.write_hits)
+            .field("write_misses", c.write_misses)
+            .field("writebacks", c.writebacks)
+            .finish()
+    };
+    object()
+        .field("l1d", cache(&m.l1d))
+        .field("l2", cache(&m.l2))
+        .field("dram_accesses", m.dram_accesses)
+        .field("dram_bytes", m.dram_bytes)
+        .field("vmu_bytes", m.vmu_bytes)
+        .field("vector_requests", m.vector_requests)
+        .finish()
 }
 
 /// Runs `workload` on the given scenario and reports cycles, statistics and
@@ -167,10 +207,15 @@ pub(crate) fn run_workload_via(
 ) -> RunReport {
     let mut mem = MemoryHierarchy::new(system.memory);
 
-    // 1. The application allocates and initialises its data, and the
-    //    vectorising compiler sees the system's maximum vector length.
+    // 1. Planning step of the two-step workload protocol: the application
+    //    declares its named input/output buffers and the shared planner
+    //    places them. The vectorising compiler then sees the system's
+    //    maximum vector length while the workload generates data + IR +
+    //    golden reference against the planned layout (no external bindings
+    //    here — pipelined composites bind phase to phase internally).
     let ctx = VectorContext::with_mvl(system.mvl());
-    let setup = workload.build(&mut mem, &ctx);
+    let plan = ArenaPlanner::new().plan(&mut mem, &workload.data_layout());
+    let setup = workload.build_with_bindings(&mut mem, &ctx, &plan, &BufferBindings::none());
 
     // 2. Register allocation against the architectural budget (32 registers,
     //    or 32/LMUL under register grouping); spill slots live on the stack
@@ -179,7 +224,6 @@ pub(crate) fn run_workload_via(
     //    the sweep's compile-cache key — depends only on the workload and
     //    the MVL, letting NATIVE/AVA configurations of equal MVL share one
     //    compilation.
-    let (data_start, data_end) = mem.memory().allocated_range();
     let spill_slot_bytes = (system.mvl() * 8) as u64;
     let spill_base = mem.allocate(64 * spill_slot_bytes);
     let (_, arena_end) = mem.memory().allocated_range();
@@ -195,20 +239,65 @@ pub(crate) fn run_workload_via(
     let (_, mvrf_end) = mem.memory().allocated_range();
 
     // 4. Cycle-level + functional simulation on the VPU. The caches are
-    //    warmed over the working set — the application data and the M-VRF,
-    //    but *not* the spill arena: it is not application data, and at long
-    //    MVLs (64 slots × MVL × 8 B) warming it would evict the real
-    //    working set from small L2 configurations before the run starts.
-    mem.warm_caches_range(data_start, data_end);
-    mem.warm_caches_range(arena_end, mvrf_end);
-    let result = vpu.run(&compiled.program, &mut mem);
+    //    warmed over the working set: the planner-derived buffer ranges the
+    //    run actually touches (dead placeholder inputs of pipelined
+    //    composites stay cold) and the M-VRF — but *not* the spill arena:
+    //    it is not application data, and at long MVLs (64 slots × MVL ×
+    //    8 B) warming it would evict the real working set from small L2
+    //    configurations before the run starts.
+    let mut warm = setup.warm_ranges.clone();
+    warm.push((arena_end, mvrf_end));
+    mem.warm_caches_ranges(&warm);
+
+    // Multi-kernel setups run the compiled program as per-phase segments on
+    // the same VPU instance — observationally identical to one continuous
+    // run, but every phase's cycle/memory counters are recorded as a delta.
+    let mut phases = Vec::new();
+    let result = if setup.phase_marks.len() > 1 {
+        let mut cycles = 0;
+        let mut stats = ava_vpu::VpuStats::default();
+        let mut program_start = 0;
+        let mut config_name = String::new();
+        let mut mem_before = mem.stats();
+        for (i, mark) in setup.phase_marks.iter().enumerate() {
+            // The last phase always runs to the end of the program, so any
+            // trailing compiler-inserted code is attributed to it.
+            let program_end = if i + 1 == setup.phase_marks.len() {
+                compiled.program.len()
+            } else {
+                compiled.program_split(mark.ir_end)
+            };
+            let seg = vpu.run_range(&compiled.program, program_start..program_end, &mut mem);
+            let mem_now = mem.stats();
+            phases.push(PhaseBreakdown {
+                name: mark.name.clone(),
+                vpu_cycles: seg.cycles,
+                vpu: seg.stats,
+                mem: mem_now.delta_since(&mem_before),
+            });
+            mem_before = mem_now;
+            cycles += seg.cycles;
+            stats.merge(&seg.stats);
+            config_name = seg.config_name;
+            program_start = program_end;
+        }
+        ava_vpu::VpuRunResult {
+            config_name,
+            cycles,
+            stats,
+        }
+    } else {
+        vpu.run(&compiled.program, &mut mem)
+    };
 
     // 5. Scalar-core floor for the stripmined loop.
     let scalar_core = ScalarCore::new(system.scalar);
     let scalar = scalar_core.loop_cost(setup.strips, compiled.program.len() as u64);
     let cycles = scalar_core.combine(result.cycles, &scalar);
 
-    // 6. Validation against the golden reference.
+    // 6. Validation against the golden reference — chained across phases
+    //    for pipelined composites (a consumed intermediate buffer is only
+    //    checked through the downstream phase's reference).
     let validation = validate(&mem, &setup.checks);
 
     RunReport {
@@ -219,6 +308,7 @@ pub(crate) fn run_workload_via(
         cycles,
         vpu: result.stats,
         mem: mem.stats(),
+        phases,
         compiler_spill_stores: compiled.spill_stores,
         compiler_spill_loads: compiled.spill_loads,
         register_pressure: compiled.max_pressure,

@@ -148,9 +148,16 @@ pub struct PointStats {
     /// Configuration label of the point ("AVA X4", ...).
     pub config: String,
     /// The scheduler's cost estimate for the point (workload element
-    /// operations over the configuration's effective width). Orders
-    /// execution only.
+    /// operations over the configuration's effective width, or the
+    /// recorded wall-clock of a previous sweep under
+    /// [`Sweep::with_recorded_costs`]). Orders execution only.
     pub cost_estimate: u64,
+    /// The workload's element-operation count ([`Workload::elements`]) —
+    /// the denominator of derived per-element metrics such as
+    /// energy-per-element.
+    ///
+    /// [`Workload::elements`]: ava_workloads::Workload::elements
+    pub elements: u64,
     /// Wall-clock time of the compile + simulate + validate pass, in
     /// nanoseconds.
     pub wall_ns: u64,
@@ -242,6 +249,7 @@ impl SweepReport {
                             .field("workload", p.workload.as_str())
                             .field("config", p.config.as_str())
                             .field("cost_estimate", p.cost_estimate)
+                            .field("elements", p.elements)
                             .field("wall_ns", p.wall_ns)
                             .field("worker", p.worker)
                             .field("report", r.to_json())
@@ -267,6 +275,10 @@ pub struct Sweep {
     scenarios: Vec<ScenarioConfig>,
     resolved: Vec<SystemConfig>,
     points: Vec<(usize, usize)>,
+    /// Measured per-point wall-clock from a previous sweep, keyed by
+    /// `(workload, config)` label. When present for a point it replaces the
+    /// static heuristic in the execution-order sort.
+    recorded_costs: HashMap<(String, String), u64>,
 }
 
 impl Sweep {
@@ -311,7 +323,34 @@ impl Sweep {
             scenarios,
             resolved,
             points,
+            recorded_costs: HashMap::new(),
         }
+    }
+
+    /// Profile-guided scheduling: feeds a previous sweep's measured
+    /// per-point wall-clock back into this sweep's execution order. Points
+    /// whose `(workload, config)` label pair appears in `report` are
+    /// ordered by the recorded nanoseconds instead of the static
+    /// [`Workload::elements`] heuristic; unseen labels keep the heuristic
+    /// (scaling into comparability is unnecessary — recorded points are
+    /// typically the whole repeated grid, as in the ablation's multi-grid
+    /// runs). When several recorded points share a label pair (two distinct
+    /// pipelined composites both report as "pipelined"), the *largest*
+    /// recorded time wins, so an ambiguous point is scheduled early rather
+    /// than risking it tailing the sweep. Like the heuristic, recorded
+    /// costs only order execution and can never change a result.
+    ///
+    /// [`Workload::elements`]: ava_workloads::Workload::elements
+    #[must_use]
+    pub fn with_recorded_costs(mut self, report: &SweepReport) -> Self {
+        for p in &report.points {
+            let entry = self
+                .recorded_costs
+                .entry((p.workload.clone(), p.config.clone()))
+                .or_insert(0);
+            *entry = (*entry).max(p.wall_ns.max(1));
+        }
+        self
     }
 
     /// Number of experiment points in the sweep.
@@ -357,6 +396,15 @@ impl Sweep {
     pub fn point_cost(&self, point: usize) -> u64 {
         let (w, s) = self.points[point];
         let system = &self.resolved[s];
+        // Guarded so the common no-feedback path stays allocation-free.
+        if !self.recorded_costs.is_empty() {
+            if let Some(&recorded) = self.recorded_costs.get(&(
+                self.workloads[w].name().to_string(),
+                system.label().to_string(),
+            )) {
+                return recorded;
+            }
+        }
         let elements = self.workloads[w].elements() as u64;
         let width = (system.mvl() / system.compiler_lmul.factor()).max(1) as u64;
         (elements.saturating_mul(16) / width).max(1)
@@ -412,6 +460,7 @@ impl Sweep {
                 workload: report.workload.clone(),
                 config: report.config.clone(),
                 cost_estimate: costs[i],
+                elements: self.workloads[self.points[i].0].elements() as u64,
                 wall_ns,
                 worker,
             });
@@ -515,7 +564,7 @@ impl Sweep {
 mod tests {
     use super::*;
     use ava_isa::Lmul;
-    use ava_workloads::{Axpy, Blackscholes};
+    use ava_workloads::{Axpy, Blackscholes, Workload};
 
     fn small_scenarios() -> Vec<ScenarioConfig> {
         vec![
@@ -577,6 +626,60 @@ mod tests {
                 .max(sweep.point_cost(0))
                 .max(sweep.point_cost(2))
         );
+    }
+
+    #[test]
+    fn recorded_costs_reorder_execution_without_changing_results() {
+        // The static heuristic ranks the big Blackscholes first; recorded
+        // wall-clock claiming Axpy is the slow point must flip the order —
+        // and the reports must stay bit-identical either way.
+        let workloads: Vec<SharedWorkload> =
+            vec![Arc::new(Axpy::new(128)), Arc::new(Blackscholes::new(1024))];
+        let systems = vec![ScenarioConfig::native_x(1)];
+        let sweep = Sweep::grid(workloads.clone(), systems.clone());
+        let baseline = sweep.run_serial_report();
+        assert_eq!(sweep.execution_order(&sweep.point_costs()), vec![1, 0]);
+
+        // Forge a report claiming the Axpy point took far longer.
+        let mut forged = baseline.clone();
+        forged.points[0].wall_ns = 1_000_000_000;
+        forged.points[1].wall_ns = 1_000;
+        let tuned = Sweep::grid(workloads, systems).with_recorded_costs(&forged);
+        let costs = tuned.point_costs();
+        assert_eq!(costs, vec![1_000_000_000, 1_000]);
+        assert_eq!(tuned.execution_order(&costs), vec![0, 1]);
+
+        let retimed = tuned.run_parallel_report_with(2);
+        for (a, b) in baseline.reports.iter().zip(&retimed.reports) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "results must not move");
+        }
+        // The recorded costs surface as the new points' cost estimates.
+        assert_eq!(retimed.points[0].cost_estimate, 1_000_000_000);
+    }
+
+    #[test]
+    fn recorded_costs_fall_back_to_the_heuristic_for_unseen_labels() {
+        let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(128))];
+        let sweep = Sweep::grid(workloads.clone(), vec![ScenarioConfig::native_x(1)]);
+        let report = sweep.run_serial_report();
+        // A different grid (new config label) keeps the heuristic.
+        let other =
+            Sweep::grid(workloads, vec![ScenarioConfig::ava_x(2)]).with_recorded_costs(&report);
+        assert_eq!(other.point_cost(0), other.point_costs()[0]);
+        assert_eq!(
+            other.point_cost(0),
+            (Axpy::new(128).elements() as u64 * 16 / 32).max(1),
+            "unseen label must use elements() over the effective width"
+        );
+    }
+
+    #[test]
+    fn point_stats_carry_raw_element_counts() {
+        let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(128))];
+        let sweep = Sweep::grid(workloads, vec![ScenarioConfig::native_x(1)]);
+        let report = sweep.run_serial_report();
+        assert_eq!(report.points[0].elements, Axpy::new(128).elements() as u64);
+        assert!(report.to_json().to_string().contains("\"elements\":"));
     }
 
     #[test]

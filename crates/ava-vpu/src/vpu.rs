@@ -136,9 +136,29 @@ impl Vpu {
     /// The VPU keeps its architectural state afterwards, so several programs
     /// can be run back to back on the same instance.
     pub fn run(&mut self, program: &Program, mem: &mut MemoryHierarchy) -> VpuRunResult {
+        self.run_range(program, 0..program.len(), mem)
+    }
+
+    /// Runs the instructions `range` of `program`, returning the cycle count
+    /// and statistics of that segment alone. Because the VPU keeps all its
+    /// state between calls, running a program as consecutive segments is
+    /// observationally identical to one [`Vpu::run`] over the whole program
+    /// — the per-segment results simply partition the totals. The simulator
+    /// uses this to report per-phase breakdowns of multi-kernel composites
+    /// without perturbing the single-program timing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds.
+    pub fn run_range(
+        &mut self,
+        program: &Program,
+        range: std::ops::Range<usize>,
+        mem: &mut MemoryHierarchy,
+    ) -> VpuRunResult {
         let start_stats = self.stats;
         let start_time = self.finish_time;
-        for instr in program.iter() {
+        for instr in &program.instructions()[range] {
             self.step(instr, mem);
         }
         let mut stats = self.stats;
@@ -838,6 +858,27 @@ mod tests {
         assert_eq!(r.stats.vstores, 4);
         assert_eq!(r.stats.arith_instrs, 4);
         assert_eq!(r.stats.swap_ops(), 0);
+    }
+
+    #[test]
+    fn segmented_runs_partition_a_single_run_exactly() {
+        let mut mem1 = MemoryHierarchy::default();
+        let (p, a, _) = axpy_like(&mut mem1, 256, 16);
+        let mut mem2 = mem1.clone();
+        let mut whole = Vpu::new(VpuConfig::ava_x(1), &mut mem1);
+        let total = whole.run(&p, &mut mem1);
+
+        let mut seg = Vpu::new(VpuConfig::ava_x(1), &mut mem2);
+        let mid = p.len() / 2;
+        let first = seg.run_range(&p, 0..mid, &mut mem2);
+        let second = seg.run_range(&p, mid..p.len(), &mut mem2);
+        check_axpy(&mem2, a, 256);
+        assert_eq!(total.cycles, first.cycles + second.cycles);
+        assert_eq!(total.stats.vloads, first.stats.vloads + second.stats.vloads);
+        assert_eq!(
+            total.stats.arith_busy_cycles,
+            first.stats.arith_busy_cycles + second.stats.arith_busy_cycles
+        );
     }
 
     #[test]

@@ -8,8 +8,9 @@ use ava_compiler::KernelBuilder;
 use ava_isa::VectorContext;
 use ava_memory::MemoryHierarchy;
 
-use crate::data::{alloc_f64, DataGen};
-use crate::{Check, Workload, WorkloadSetup};
+use crate::data::DataGen;
+use crate::layout::{materialize_input, BufferBindings, DataLayout, PlannedLayout};
+use crate::{Check, OutputValues, Workload, WorkloadSetup};
 
 /// The Axpy workload.
 #[derive(Debug, Clone, Copy)]
@@ -60,12 +61,29 @@ impl Workload for Axpy {
         self.n * 4
     }
 
-    fn build(&self, mem: &mut MemoryHierarchy, ctx: &VectorContext) -> WorkloadSetup {
+    fn data_layout(&self) -> DataLayout {
+        let mut l = DataLayout::new();
+        l.input("x", self.n);
+        l.inout("y", self.n);
+        l
+    }
+
+    fn build_with_bindings(
+        &self,
+        mem: &mut MemoryHierarchy,
+        ctx: &VectorContext,
+        plan: &PlannedLayout,
+        bindings: &BufferBindings,
+    ) -> WorkloadSetup {
         let mut gen = DataGen::for_workload(self.name());
-        let x = gen.uniform_vec(self.n, -1.0, 1.0);
-        let y = gen.uniform_vec(self.n, -1.0, 1.0);
-        let xa = alloc_f64(mem, &x);
-        let ya = alloc_f64(mem, &y);
+        let x = materialize_input(mem, plan, bindings, "x", || {
+            gen.uniform_vec(self.n, -1.0, 1.0)
+        });
+        let y = materialize_input(mem, plan, bindings, "y", || {
+            gen.uniform_vec(self.n, -1.0, 1.0)
+        });
+        let xa = plan.addr("x");
+        let ya = plan.addr("y");
 
         let mvl = ctx.effective_mvl();
         let mut b = KernelBuilder::new("axpy");
@@ -83,10 +101,13 @@ impl Workload for Axpy {
             i += vl;
         }
 
-        let checks = (0..self.n)
-            .map(|i| Check {
+        let y_out: Vec<f64> = (0..self.n).map(|i| self.a.mul_add(x[i], y[i])).collect();
+        let checks = y_out
+            .iter()
+            .enumerate()
+            .map(|(i, &expected)| Check {
                 addr: ya + (8 * i) as u64,
-                expected: self.a.mul_add(x[i], y[i]),
+                expected,
                 tolerance: 0.0,
             })
             .collect();
@@ -95,6 +116,13 @@ impl Workload for Axpy {
             kernel: b.finish(),
             checks,
             strips,
+            outputs: vec![OutputValues {
+                name: "y".to_string(),
+                base: ya,
+                values: y_out,
+            }],
+            warm_ranges: plan.warm_ranges(bindings),
+            phase_marks: Vec::new(),
         }
     }
 }

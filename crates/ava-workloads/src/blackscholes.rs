@@ -10,8 +10,9 @@ use ava_compiler::{KernelBuilder, VirtReg};
 use ava_isa::VectorContext;
 use ava_memory::MemoryHierarchy;
 
-use crate::data::{alloc_f64, alloc_zeroed, DataGen};
-use crate::{Check, Workload, WorkloadSetup};
+use crate::data::DataGen;
+use crate::layout::{materialize_input, BufferBindings, DataLayout, PlannedLayout};
+use crate::{Check, OutputValues, Workload, WorkloadSetup};
 
 const A1: f64 = 0.31938153;
 const A2: f64 = -0.356563782;
@@ -96,20 +97,45 @@ impl Workload for Blackscholes {
         self.options * 64
     }
 
-    fn build(&self, mem: &mut MemoryHierarchy, ctx: &VectorContext) -> WorkloadSetup {
+    fn data_layout(&self) -> DataLayout {
+        let mut l = DataLayout::new();
+        l.input("spot", self.options);
+        l.input("strike", self.options);
+        l.input("time", self.options);
+        l.input("sigma", self.options);
+        l.output("call", self.options);
+        l.output("put", self.options);
+        l
+    }
+
+    fn build_with_bindings(
+        &self,
+        mem: &mut MemoryHierarchy,
+        ctx: &VectorContext,
+        plan: &PlannedLayout,
+        bindings: &BufferBindings,
+    ) -> WorkloadSetup {
         let n = self.options;
         let mut gen = DataGen::for_workload(self.name());
-        let spot = gen.positive_vec(n, 10.0, 150.0);
-        let strike = gen.positive_vec(n, 10.0, 150.0);
-        let time = gen.positive_vec(n, 0.1, 4.0);
-        let sigma = gen.positive_vec(n, 0.05, 0.7);
+        let spot = materialize_input(mem, plan, bindings, "spot", || {
+            gen.positive_vec(n, 10.0, 150.0)
+        });
+        let strike = materialize_input(mem, plan, bindings, "strike", || {
+            gen.positive_vec(n, 10.0, 150.0)
+        });
+        let time = materialize_input(mem, plan, bindings, "time", || {
+            gen.positive_vec(n, 0.1, 4.0)
+        });
+        let sigma = materialize_input(mem, plan, bindings, "sigma", || {
+            gen.positive_vec(n, 0.05, 0.7)
+        });
 
-        let a_spot = alloc_f64(mem, &spot);
-        let a_strike = alloc_f64(mem, &strike);
-        let a_time = alloc_f64(mem, &time);
-        let a_sigma = alloc_f64(mem, &sigma);
-        let a_call = alloc_zeroed(mem, n);
-        let a_put = alloc_zeroed(mem, n);
+        let a_spot = plan.addr("spot");
+        let a_strike = plan.addr("strike");
+        let a_time = plan.addr("time");
+        let a_sigma = plan.addr("sigma");
+        let a_call = plan.addr("call");
+        let a_put = plan.addr("put");
 
         let mvl = ctx.effective_mvl();
         let mut b = KernelBuilder::new("blackscholes");
@@ -193,6 +219,8 @@ impl Workload for Blackscholes {
         }
 
         let mut checks = Vec::with_capacity(2 * n);
+        let mut calls = Vec::with_capacity(n);
+        let mut puts = Vec::with_capacity(n);
         for j in 0..n {
             let (call, put) = reference(spot[j], strike[j], time[j], sigma[j]);
             checks.push(Check {
@@ -205,12 +233,28 @@ impl Workload for Blackscholes {
                 expected: put,
                 tolerance: 1e-9,
             });
+            calls.push(call);
+            puts.push(put);
         }
 
         WorkloadSetup {
             kernel: b.finish(),
             checks,
             strips,
+            outputs: vec![
+                OutputValues {
+                    name: "call".to_string(),
+                    base: a_call,
+                    values: calls,
+                },
+                OutputValues {
+                    name: "put".to_string(),
+                    base: a_put,
+                    values: puts,
+                },
+            ],
+            warm_ranges: plan.warm_ranges(bindings),
+            phase_marks: Vec::new(),
         }
     }
 }

@@ -1,49 +1,149 @@
 //! Composite: a multi-kernel workload running several applications back to
-//! back on one system.
+//! back on one system — optionally as a *dataflow pipeline*.
 //!
 //! The paper evaluates each RiVEC kernel in isolation; real deployments run
 //! *mixes* — an option pricer feeding a solver, a filter stage after a
-//! stencil. [`Composite`] models that: its phases execute sequentially in a
-//! single program on one cache-warm memory hierarchy, so later phases see
-//! whatever L2 state the earlier ones left behind, and one `RunReport`
-//! covers the whole mix. Each phase keeps its own input data and golden
-//! reference checks, so the composite validates exactly when every phase
-//! does.
+//! stencil. [`Composite`] models that in two flavours:
+//!
+//! * [`Composite::new`]: independent phases. Each phase keeps its own input
+//!   data and golden reference; only cache/DRAM *timing* state is shared.
+//! * [`Composite::pipelined`]: dataflow phases. An explicit binding map
+//!   routes each phase's declared output buffers into the next phase's
+//!   declared inputs: the consumer's kernel is rebased onto the producer's
+//!   output buffer (so it reads the *real* simulated data at run time), the
+//!   consumer's golden reference is computed over the producer's *reference*
+//!   output (chaining the scalar models), and the producer's checks on a
+//!   consumed buffer are superseded by the consumer's — if the producer
+//!   computes garbage, the consumer's chained checks catch it downstream.
+//!
+//! Either way the phases execute sequentially in a single program on one
+//! cache-warm memory hierarchy, and one `RunReport` (with per-phase
+//! breakdowns) covers the whole mix.
 
+use ava_compiler::{IrKernel, RebaseRule};
 use ava_isa::VectorContext;
 use ava_memory::MemoryHierarchy;
 
-use crate::{SharedWorkload, Workload, WorkloadSetup};
+use crate::layout::{BufferBindings, DataLayout, PlannedLayout};
+use crate::{OutputValues, PhaseMark, SharedWorkload, Workload, WorkloadSetup};
+
+/// One output→input binding between two consecutive phases: the producer
+/// phase's output buffer name and the consumer phase's input buffer name.
+pub type PhaseLink = (String, String);
+
+/// Builds the link list for one phase transition from `(output, input)`
+/// name pairs.
+#[must_use]
+pub fn links(pairs: &[(&str, &str)]) -> Vec<PhaseLink> {
+    pairs
+        .iter()
+        .map(|(o, i)| ((*o).to_string(), (*i).to_string()))
+        .collect()
+}
 
 /// A multi-kernel workload: the given phases run sequentially in one
-/// simulation, sharing the memory hierarchy.
+/// simulation, sharing the memory hierarchy — and, when constructed with
+/// [`Composite::pipelined`], flowing data from each phase to the next.
 ///
 /// ```
 /// use std::sync::Arc;
-/// use ava_workloads::{Axpy, Composite, Somier, Workload};
+/// use ava_workloads::{composite, Axpy, Composite, Somier, Workload};
 ///
 /// let mix = Composite::new(vec![Arc::new(Axpy::new(256)), Arc::new(Somier::new(256))]);
 /// assert_eq!(mix.name(), "composite");
+///
+/// // The same phases as a dataflow pipeline: axpy's output feeds somier's
+/// // velocity array.
+/// let pipe = Composite::pipelined(
+///     vec![Arc::new(Axpy::new(256)), Arc::new(Somier::new(256))],
+///     vec![composite::links(&[("y", "v")])],
+/// );
+/// assert_eq!(pipe.name(), "pipelined");
 /// assert_eq!(
-///     mix.elements(),
+///     pipe.elements(),
 ///     Axpy::new(256).elements() + Somier::new(256).elements()
 /// );
 /// ```
 #[derive(Clone)]
 pub struct Composite {
     phases: Vec<SharedWorkload>,
+    /// `links[i]` binds phase `i`'s outputs to phase `i + 1`'s inputs.
+    links: Vec<Vec<PhaseLink>>,
 }
 
 impl Composite {
-    /// Creates a composite over the given phases, in execution order.
+    /// Creates a composite of independent phases, in execution order.
     ///
     /// # Panics
     ///
     /// Panics if `phases` is empty.
     #[must_use]
     pub fn new(phases: Vec<SharedWorkload>) -> Self {
+        let transitions = phases.len().saturating_sub(1);
+        Self::pipelined(phases, vec![Vec::new(); transitions])
+    }
+
+    /// Creates a dataflow pipeline: `links[i]` names the `(output, input)`
+    /// buffer pairs binding phase `i`'s outputs to phase `i + 1`'s inputs.
+    /// An empty link list leaves that transition independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty, if `links` does not have exactly one
+    /// entry per phase transition, or if any link names an unknown buffer,
+    /// binds the same input twice, binds a non-bindable buffer (an output),
+    /// consumes a non-exposable buffer (a pure input), or pairs buffers of
+    /// different sizes.
+    #[must_use]
+    pub fn pipelined(phases: Vec<SharedWorkload>, links: Vec<Vec<PhaseLink>>) -> Self {
         assert!(!phases.is_empty(), "a composite needs at least one phase");
-        Self { phases }
+        assert_eq!(
+            links.len(),
+            phases.len() - 1,
+            "need exactly one link list per phase transition"
+        );
+        for (p, transition) in links.iter().enumerate() {
+            let from = phases[p].data_layout();
+            let to = phases[p + 1].data_layout();
+            let mut bound_inputs: Vec<&str> = Vec::new();
+            for (out_name, in_name) in transition {
+                let src = from.get(out_name).unwrap_or_else(|| {
+                    panic!(
+                        "phase {p} ({}) has no buffer named {out_name:?}",
+                        phases[p].name()
+                    )
+                });
+                let dst = to.get(in_name).unwrap_or_else(|| {
+                    panic!(
+                        "phase {} ({}) has no buffer named {in_name:?}",
+                        p + 1,
+                        phases[p + 1].name()
+                    )
+                });
+                assert!(
+                    src.role.is_exposable(),
+                    "buffer {out_name:?} of phase {p} is a pure input and exposes no data"
+                );
+                assert!(
+                    dst.role.is_bindable(),
+                    "buffer {in_name:?} of phase {} (role {:?}) cannot be bound",
+                    p + 1,
+                    dst.role
+                );
+                assert_eq!(
+                    src.elems, dst.elems,
+                    "cannot bind {out_name:?} ({} elements) to {in_name:?} ({} elements)",
+                    src.elems, dst.elems
+                );
+                assert!(
+                    !bound_inputs.contains(&in_name.as_str()),
+                    "input {in_name:?} of phase {} is bound twice",
+                    p + 1
+                );
+                bound_inputs.push(in_name);
+            }
+        }
+        Self { phases, links }
     }
 
     /// The phases, in execution order.
@@ -52,11 +152,27 @@ impl Composite {
         &self.phases
     }
 
+    /// The output→input binding map, one entry per phase transition.
+    #[must_use]
+    pub fn links(&self) -> &[Vec<PhaseLink>] {
+        &self.links
+    }
+
+    /// Whether any phase transition carries a data binding.
+    #[must_use]
+    pub fn is_pipelined(&self) -> bool {
+        self.links.iter().any(|l| !l.is_empty())
+    }
+
     /// Names of the phases, in execution order ("axpy+somier" style labels
     /// for tables come from joining these).
     #[must_use]
     pub fn phase_names(&self) -> Vec<&'static str> {
         self.phases.iter().map(|p| p.name()).collect()
+    }
+
+    fn prefix(p: usize) -> String {
+        format!("p{p}.")
     }
 }
 
@@ -64,13 +180,18 @@ impl std::fmt::Debug for Composite {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Composite")
             .field("phases", &self.phase_names())
+            .field("links", &self.links)
             .finish()
     }
 }
 
 impl Workload for Composite {
     fn name(&self) -> &'static str {
-        "composite"
+        if self.is_pipelined() {
+            "pipelined"
+        } else {
+            "composite"
+        }
     }
 
     fn domain(&self) -> &'static str {
@@ -79,29 +200,140 @@ impl Workload for Composite {
 
     fn elements(&self) -> usize {
         // The sweep scheduler's cost estimate: a mix costs the sum of its
-        // phases, so composite points rank ahead of their largest phase.
+        // phases (pipelined or not), so composite points rank ahead of
+        // their largest phase.
         self.phases.iter().map(|p| p.elements()).sum()
     }
 
-    fn build(&self, mem: &mut MemoryHierarchy, ctx: &VectorContext) -> WorkloadSetup {
-        let mut setup = WorkloadSetup {
-            kernel: ava_compiler::IrKernel {
-                name: "composite".to_string(),
-                ..Default::default()
-            },
-            checks: Vec::new(),
-            strips: 0,
-        };
-        for phase in &self.phases {
-            // Each phase allocates its own arrays in the shared functional
-            // memory, so its golden-reference checks are independent of the
-            // phases around it; only cache/DRAM *timing* state is shared.
-            let part = phase.build(mem, ctx);
-            setup.kernel.concat(&part.kernel);
-            setup.checks.extend(part.checks);
-            setup.strips += part.strips;
+    fn data_layout(&self) -> DataLayout {
+        // The union of the phase layouts, each phase's buffer names
+        // prefixed with `p{i}.` so equal phases do not collide.
+        let mut union = DataLayout::new();
+        for (p, phase) in self.phases.iter().enumerate() {
+            for spec in phase.data_layout().buffers {
+                union.buffers.push(crate::layout::BufferSpec {
+                    name: format!("{}{}", Self::prefix(p), spec.name),
+                    elems: spec.elems,
+                    role: spec.role,
+                });
+            }
         }
-        setup
+        union
+    }
+
+    fn build_with_bindings(
+        &self,
+        mem: &mut MemoryHierarchy,
+        ctx: &VectorContext,
+        plan: &PlannedLayout,
+        bindings: &BufferBindings,
+    ) -> WorkloadSetup {
+        let mut kernel = IrKernel {
+            name: self.name().to_string(),
+            ..Default::default()
+        };
+        let mut checks = Vec::new();
+        // The previous phase's checks are held back one phase: if the next
+        // transition consumes one of its output buffers, the checks on that
+        // buffer are superseded by the consumer's chained checks.
+        let mut pending = Vec::new();
+        let mut prev_outputs: Vec<OutputValues> = Vec::new();
+        let mut outputs = Vec::new();
+        let mut warm_ranges = Vec::new();
+        let mut phase_marks = Vec::new();
+        let mut strips = 0u64;
+
+        for (p, phase) in self.phases.iter().enumerate() {
+            let prefix = Self::prefix(p);
+            let sub = plan.subset(&prefix);
+
+            // Bindings for this phase: externally-bound composite inputs
+            // (named with the phase prefix — the nesting path: when this
+            // composite is itself a phase of an outer pipeline, the outer
+            // composite binds e.g. "p0.v" and rebases our whole kernel, so
+            // the forwarded values line up with the rebased reads) plus
+            // the pipeline links from the previous phase's reference
+            // outputs.
+            let mut phase_bindings = BufferBindings::none();
+            for buf in sub.buffers() {
+                if let Some(values) = bindings.get(&format!("{prefix}{}", buf.spec.name)) {
+                    phase_bindings.bind(buf.spec.name.clone(), values.to_vec());
+                }
+            }
+            let mut rebase = Vec::new();
+            if p > 0 {
+                for (out_name, in_name) in &self.links[p - 1] {
+                    let src = prev_outputs
+                        .iter()
+                        .find(|o| &o.name == out_name)
+                        .unwrap_or_else(|| {
+                            panic!("phase {} produced no output {out_name:?}", p - 1)
+                        });
+                    // Supersede the producer's checks on the consumed
+                    // buffer: the consumer's chained reference covers it.
+                    let (start, end) = src.range();
+                    pending.retain(|c: &crate::Check| !(c.addr >= start && c.addr < end));
+                    // The consumer's reference runs on the producer's
+                    // reference output...
+                    phase_bindings.bind(in_name.clone(), src.values.clone());
+                    // ...and its kernel reads the producer's real output:
+                    // the planned placeholder input is rebased away.
+                    let dst = sub.buffer(in_name);
+                    rebase.push(RebaseRule {
+                        old_base: dst.base,
+                        bytes: dst.bytes(),
+                        new_base: src.base,
+                    });
+                }
+            }
+            checks.append(&mut pending);
+
+            let part = phase.build_with_bindings(mem, ctx, &sub, &phase_bindings);
+            kernel.concat_remapped(&part.kernel, &rebase);
+            phase_marks.push(PhaseMark {
+                name: format!("{p}:{}", phase.name()),
+                ir_end: kernel.len(),
+            });
+            strips += part.strips;
+            warm_ranges.extend(part.warm_ranges);
+            // The phase computed its checks and outputs against its planned
+            // placement; addresses inside a rebased (bound) buffer follow
+            // the kernel onto the upstream buffer — an in-place bound
+            // output (InOut) lands in the producer's array, and its checks
+            // must look there too.
+            let rebase_addr = |addr: u64| rebase.iter().find_map(|r| r.apply(addr)).unwrap_or(addr);
+            pending = part
+                .checks
+                .into_iter()
+                .map(|mut c| {
+                    c.addr = rebase_addr(c.addr);
+                    c
+                })
+                .collect();
+            prev_outputs = part
+                .outputs
+                .into_iter()
+                .map(|mut o| {
+                    o.base = rebase_addr(o.base);
+                    o
+                })
+                .collect();
+            outputs.extend(prev_outputs.iter().map(|o| OutputValues {
+                name: format!("{prefix}{}", o.name),
+                base: o.base,
+                values: o.values.clone(),
+            }));
+        }
+        checks.append(&mut pending);
+
+        WorkloadSetup {
+            kernel,
+            checks,
+            strips,
+            outputs,
+            warm_ranges,
+            phase_marks,
+        }
     }
 }
 
@@ -110,7 +342,7 @@ mod tests {
     use std::sync::Arc;
 
     use super::*;
-    use crate::{validate, Axpy, Blackscholes, Somier};
+    use crate::{validate, Axpy, Blackscholes, Check, Somier};
 
     fn mix() -> Composite {
         Composite::new(vec![
@@ -118,6 +350,13 @@ mod tests {
             Arc::new(Somier::new(256)),
             Arc::new(Blackscholes::new(64)),
         ])
+    }
+
+    fn pipeline() -> Composite {
+        Composite::pipelined(
+            vec![Arc::new(Axpy::new(256)), Arc::new(Somier::new(256))],
+            vec![links(&[("y", "v")])],
+        )
     }
 
     #[test]
@@ -143,6 +382,12 @@ mod tests {
         assert_eq!(
             composite.strips,
             parts.iter().map(|p| p.strips).sum::<u64>()
+        );
+        // Phase marks partition the concatenated kernel.
+        assert_eq!(composite.phase_marks.len(), 3);
+        assert_eq!(
+            composite.phase_marks.last().unwrap().ir_end,
+            composite.kernel.len()
         );
     }
 
@@ -184,8 +429,202 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_chains_the_scalar_references() {
+        let mut mem = MemoryHierarchy::default();
+        let ctx = VectorContext::with_mvl(16);
+        let setup = pipeline().build(&mut mem, &ctx);
+
+        // Somier's reference velocity input must be axpy's reference
+        // output, not somier's own generated data: recompute the chain by
+        // hand from the two phase references.
+        let axpy_y = setup.output("p0.y");
+        let somier_vout = setup.output("p1.vout");
+        let somier_x = {
+            // Somier's positions are still its own generated data.
+            let mut gen = crate::data::DataGen::for_workload("somier");
+            gen.uniform_vec(256 + 2, -1.0, 1.0)
+        };
+        for j in 0..256 {
+            let force = 4.0 * (-2.0f64).mul_add(somier_x[j + 1], somier_x[j] + somier_x[j + 2]);
+            let expected = force.mul_add(0.001, axpy_y.values[j]);
+            assert_eq!(somier_vout.values[j], expected, "element {j}");
+        }
+    }
+
+    #[test]
+    fn pipelined_supersedes_consumed_intermediate_checks() {
+        let mut mem = MemoryHierarchy::default();
+        let ctx = VectorContext::with_mvl(16);
+        let piped = pipeline().build(&mut mem, &ctx);
+        // Axpy's 256 y-checks are consumed by somier and superseded; the
+        // somier checks (2 per node) survive.
+        assert_eq!(piped.checks.len(), 2 * 256);
+        let (y_start, y_end) = piped.output("p0.y").range();
+        assert!(piped
+            .checks
+            .iter()
+            .all(|c| c.addr < y_start || c.addr >= y_end));
+    }
+
+    #[test]
+    fn pipelined_rebases_the_consumer_onto_the_producer() {
+        let mut mem = MemoryHierarchy::default();
+        let ctx = VectorContext::with_mvl(16);
+        let piped = pipeline().build(&mut mem, &ctx);
+        let y = piped.output("p0.y");
+        let (y_start, y_end) = y.range();
+        // Somier's velocity loads now target axpy's y buffer...
+        let somier_range = piped.phase_marks[0].ir_end..piped.phase_marks[1].ir_end;
+        let reads_y = piped.kernel.instrs[somier_range]
+            .iter()
+            .filter(|i| {
+                i.opcode == ava_isa::Opcode::VLoad
+                    && i.mem.is_some_and(|m| m.base >= y_start && m.base < y_end)
+            })
+            .count();
+        assert!(reads_y > 0, "somier must read axpy's output buffer");
+        // ...and the dead placeholder input is not warmed.
+        let mut mem2 = MemoryHierarchy::default();
+        let plan = crate::ArenaPlanner::new().plan(&mut mem2, &pipeline().data_layout());
+        let placeholder = plan.buffer("p1.v").range();
+        assert!(!piped.warm_ranges.contains(&placeholder));
+        // The placeholder exists in the plan but no kernel access targets it.
+        assert!(piped.kernel.instrs.iter().all(|i| i
+            .mem
+            .is_none_or(|m| m.base < placeholder.0 || m.base >= placeholder.1)));
+    }
+
+    #[test]
+    fn unpipelined_and_pipelined_references_differ() {
+        // The chained reference is genuinely different from the independent
+        // one: somier fed by axpy computes different velocities than somier
+        // on its own generated data.
+        let ctx = VectorContext::with_mvl(16);
+        let mut mem1 = MemoryHierarchy::default();
+        let piped = pipeline().build(&mut mem1, &ctx);
+        let mut mem2 = MemoryHierarchy::default();
+        let plain = Composite::new(vec![Arc::new(Axpy::new(256)), Arc::new(Somier::new(256))])
+            .build(&mut mem2, &ctx);
+        assert_ne!(
+            piped.output("p1.vout").values,
+            plain.output("p1.vout").values
+        );
+    }
+
+    #[test]
+    fn broken_chain_fails_validation() {
+        // Writing the *independent* somier expectations into memory must
+        // not satisfy the pipelined checks: the chain changed them.
+        let ctx = VectorContext::with_mvl(16);
+        let mut mem = MemoryHierarchy::default();
+        let piped = pipeline().build(&mut mem, &ctx);
+        let mut mem2 = MemoryHierarchy::default();
+        let plain = Composite::new(vec![Arc::new(Axpy::new(256)), Arc::new(Somier::new(256))])
+            .build(&mut mem2, &ctx);
+        let plain_by_addr: Vec<Check> = plain.checks;
+        for c in &plain_by_addr {
+            mem.write_f64(c.addr, c.expected);
+        }
+        assert!(validate(&mem, &piped.checks).is_err());
+    }
+
+    #[test]
+    fn nested_pipelined_composites_chain_through_the_outer_links() {
+        // Outer pipeline: axpy feeds a nested pipeline (somier → axpy)
+        // through the inner composite's prefixed buffer name "p0.v". The
+        // outer composite forwards the bound values inward and rebases the
+        // whole inner kernel, so the nesting path lines up end to end.
+        let n = 128;
+        let inner: SharedWorkload = Arc::new(Composite::pipelined(
+            vec![Arc::new(Somier::new(n)), Arc::new(Axpy::new(n))],
+            vec![links(&[("xout", "x"), ("vout", "y")])],
+        ));
+        let outer = Composite::pipelined(
+            vec![Arc::new(Axpy::new(n)), inner],
+            vec![links(&[("y", "p0.v")])],
+        );
+        let mut mem = MemoryHierarchy::default();
+        let setup = outer.build(&mut mem, &VectorContext::with_mvl(16));
+
+        // The chained reference: the inner somier's velocity input is the
+        // outer axpy's reference output.
+        let axpy_y = setup.output("p0.y");
+        let somier_vout = setup.output("p1.p0.vout");
+        let somier_x = {
+            let mut gen = crate::data::DataGen::for_workload("somier");
+            gen.uniform_vec(n + 2, -1.0, 1.0)
+        };
+        for j in 0..n {
+            let force = 4.0 * (-2.0f64).mul_add(somier_x[j + 1], somier_x[j] + somier_x[j + 2]);
+            let expected = force.mul_add(0.001, axpy_y.values[j]);
+            assert_eq!(somier_vout.values[j], expected, "element {j}");
+        }
+        // The inner somier's velocity loads were rebased (by the outer
+        // composite) onto the outer axpy's y buffer.
+        let (ys, ye) = axpy_y.range();
+        assert!(setup
+            .kernel
+            .instrs
+            .iter()
+            .any(|i| i.opcode == ava_isa::Opcode::VLoad
+                && i.mem.is_some_and(|m| m.base >= ys && m.base < ye)));
+    }
+
+    #[test]
     #[should_panic(expected = "at least one phase")]
     fn empty_composite_is_rejected() {
         let _ = Composite::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no buffer named \"nope\"")]
+    fn unknown_link_names_are_rejected() {
+        let _ = Composite::pipelined(
+            vec![Arc::new(Axpy::new(64)), Arc::new(Somier::new(64))],
+            vec![links(&[("nope", "v")])],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot bind")]
+    fn size_mismatched_links_are_rejected() {
+        // Axpy's 64-element output cannot feed somier's 66-element halo
+        // position array.
+        let _ = Composite::pipelined(
+            vec![Arc::new(Axpy::new(64)), Arc::new(Somier::new(64))],
+            vec![links(&[("y", "x")])],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be bound")]
+    fn internal_buffers_are_rejected_at_construction() {
+        // ParticleFilter's gather indices derive from its positions; a link
+        // onto them must fail in the constructor, not mid-sweep.
+        let _ = Composite::pipelined(
+            vec![
+                Arc::new(Axpy::new(64)),
+                Arc::new(crate::ParticleFilter::new(64, 8)),
+            ],
+            vec![links(&[("y", "idx")])],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bound_inputs_are_rejected() {
+        let _ = Composite::pipelined(
+            vec![Arc::new(Somier::new(64)), Arc::new(Axpy::new(64))],
+            vec![links(&[("xout", "x"), ("vout", "x")])],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pure input")]
+    fn consuming_a_pure_input_is_rejected() {
+        let _ = Composite::pipelined(
+            vec![Arc::new(Axpy::new(64)), Arc::new(Somier::new(64))],
+            vec![links(&[("x", "v")])],
+        );
     }
 }

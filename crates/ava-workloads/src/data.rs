@@ -5,8 +5,6 @@
 //! produced for NATIVE, AVA and RG so their instruction counts are directly
 //! comparable).
 
-use ava_memory::MemoryHierarchy;
-
 /// Deterministic data generator for workload inputs.
 ///
 /// Implemented as a SplitMix64 stream so the workspace carries no external
@@ -67,19 +65,6 @@ impl DataGen {
     }
 }
 
-/// Allocates a buffer of `values.len()` doubles, writes the values and
-/// returns the base address.
-pub fn alloc_f64(mem: &mut MemoryHierarchy, values: &[f64]) -> u64 {
-    let base = mem.allocate((values.len() * 8) as u64);
-    mem.memory_mut().write_f64_slice(base, values);
-    base
-}
-
-/// Allocates a zero-initialised buffer of `n` doubles.
-pub fn alloc_zeroed(mem: &mut MemoryHierarchy, n: usize) -> u64 {
-    mem.allocate((n * 8) as u64)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,15 +87,6 @@ mod tests {
         for v in g.positive_vec(1000, 0.5, 1.5) {
             assert!((0.5..1.5).contains(&v));
         }
-    }
-
-    #[test]
-    fn alloc_writes_values_into_memory() {
-        let mut mem = MemoryHierarchy::default();
-        let base = alloc_f64(&mut mem, &[1.0, 2.0, 3.0]);
-        assert_eq!(mem.read_f64(base + 16), 3.0);
-        let z = alloc_zeroed(&mut mem, 4);
-        assert_eq!(mem.read_f64(z + 24), 0.0);
     }
 
     #[test]

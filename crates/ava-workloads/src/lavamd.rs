@@ -11,8 +11,9 @@ use ava_compiler::KernelBuilder;
 use ava_isa::VectorContext;
 use ava_memory::MemoryHierarchy;
 
-use crate::data::{alloc_f64, alloc_zeroed, DataGen};
-use crate::{Check, Workload, WorkloadSetup};
+use crate::data::DataGen;
+use crate::layout::{materialize_input, BufferBindings, DataLayout, PlannedLayout};
+use crate::{Check, OutputValues, Workload, WorkloadSetup};
 
 /// Particles per box in the LavaMD decomposition (the paper's fixed VL).
 pub const PARTICLES_PER_BOX: usize = 48;
@@ -74,40 +75,67 @@ impl Workload for LavaMd2 {
         self.particles * self.neighbors * PARTICLES_PER_BOX * 12
     }
 
-    fn build(&self, mem: &mut MemoryHierarchy, ctx: &VectorContext) -> WorkloadSetup {
+    fn data_layout(&self) -> DataLayout {
+        let mut l = DataLayout::new();
+        for b in 0..self.neighbors {
+            for field in ["x", "y", "z", "q"] {
+                l.input(format!("box{b}.{field}"), PARTICLES_PER_BOX);
+            }
+        }
+        l.output("fx", self.particles);
+        l.output("fy", self.particles);
+        l.output("fz", self.particles);
+        l.output("e", self.particles);
+        l
+    }
+
+    fn build_with_bindings(
+        &self,
+        mem: &mut MemoryHierarchy,
+        ctx: &VectorContext,
+        plan: &PlannedLayout,
+        bindings: &BufferBindings,
+    ) -> WorkloadSetup {
         let mut gen = DataGen::for_workload(self.name());
         let vl = PARTICLES_PER_BOX;
 
         // Neighbour boxes (shared by every home particle, as in the original
         // kernel where each home box has a fixed neighbour list).
         let boxes: Vec<Box3> = (0..self.neighbors)
-            .map(|_| Box3 {
-                x: gen.uniform_vec(vl, 0.0, 4.0),
-                y: gen.uniform_vec(vl, 0.0, 4.0),
-                z: gen.uniform_vec(vl, 0.0, 4.0),
-                q: gen.uniform_vec(vl, 0.1, 1.0),
+            .map(|b| {
+                let mut field = |f: &str, lo: f64, hi: f64| {
+                    materialize_input(mem, plan, bindings, &format!("box{b}.{f}"), || {
+                        gen.uniform_vec(vl, lo, hi)
+                    })
+                };
+                Box3 {
+                    x: field("x", 0.0, 4.0),
+                    y: field("y", 0.0, 4.0),
+                    z: field("z", 0.0, 4.0),
+                    q: field("q", 0.1, 1.0),
+                }
             })
             .collect();
-        let box_addrs: Vec<[u64; 4]> = boxes
-            .iter()
-            .map(|bx| {
+        let box_addrs: Vec<[u64; 4]> = (0..self.neighbors)
+            .map(|b| {
                 [
-                    alloc_f64(mem, &bx.x),
-                    alloc_f64(mem, &bx.y),
-                    alloc_f64(mem, &bx.z),
-                    alloc_f64(mem, &bx.q),
+                    plan.addr(&format!("box{b}.x")),
+                    plan.addr(&format!("box{b}.y")),
+                    plan.addr(&format!("box{b}.z")),
+                    plan.addr(&format!("box{b}.q")),
                 ]
             })
             .collect();
 
-        // Home particles.
+        // Home particles (kept in scalar registers by the kernel, so they
+        // are not declared buffers).
         let px = gen.uniform_vec(self.particles, 0.0, 4.0);
         let py = gen.uniform_vec(self.particles, 0.0, 4.0);
         let pz = gen.uniform_vec(self.particles, 0.0, 4.0);
-        let out_fx = alloc_zeroed(mem, self.particles);
-        let out_fy = alloc_zeroed(mem, self.particles);
-        let out_fz = alloc_zeroed(mem, self.particles);
-        let out_e = alloc_zeroed(mem, self.particles);
+        let out_fx = plan.addr("fx");
+        let out_fy = plan.addr("fy");
+        let out_fz = plan.addr("fz");
+        let out_e = plan.addr("e");
 
         // The application vector length is fixed at 48 elements per neighbour
         // box; machines with a shorter effective MVL stripmine it, machines
@@ -171,6 +199,7 @@ impl Workload for LavaMd2 {
         // Scalar golden reference, mirroring the stripmined accumulation
         // order of the vector kernel.
         let mut checks = Vec::with_capacity(4 * self.particles);
+        let mut out_values: [Vec<f64>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
         for i in 0..self.particles {
             let (mut fx, mut fy, mut fz, mut en) = (0.0f64, 0.0, 0.0, 0.0);
             for bx in &boxes {
@@ -198,19 +227,48 @@ impl Workload for LavaMd2 {
                     off += strip_vl;
                 }
             }
-            for (addr, val) in [(out_fx, fx), (out_fy, fy), (out_fz, fz), (out_e, en)] {
+            for (slot, (addr, val)) in [(out_fx, fx), (out_fy, fy), (out_fz, fz), (out_e, en)]
+                .into_iter()
+                .enumerate()
+            {
                 checks.push(Check {
                     addr: addr + (8 * i) as u64,
                     expected: val,
                     tolerance: 1e-9,
                 });
+                out_values[slot].push(val);
             }
         }
+        let [fxs, fys, fzs, ens] = out_values;
 
         WorkloadSetup {
             kernel: b.finish(),
             checks,
             strips,
+            outputs: vec![
+                OutputValues {
+                    name: "fx".to_string(),
+                    base: out_fx,
+                    values: fxs,
+                },
+                OutputValues {
+                    name: "fy".to_string(),
+                    base: out_fy,
+                    values: fys,
+                },
+                OutputValues {
+                    name: "fz".to_string(),
+                    base: out_fz,
+                    values: fzs,
+                },
+                OutputValues {
+                    name: "e".to_string(),
+                    base: out_e,
+                    values: ens,
+                },
+            ],
+            warm_ranges: plan.warm_ranges(bindings),
+            phase_marks: Vec::new(),
         }
     }
 }

@@ -33,6 +33,7 @@ pub mod blackscholes;
 pub mod composite;
 pub mod data;
 pub mod lavamd;
+pub mod layout;
 pub mod particlefilter;
 pub mod somier;
 pub mod swaptions;
@@ -45,6 +46,10 @@ pub use axpy::Axpy;
 pub use blackscholes::Blackscholes;
 pub use composite::Composite;
 pub use lavamd::LavaMd2;
+pub use layout::{
+    materialize_input, ArenaPlanner, BufferBindings, BufferRole, BufferSpec, DataLayout,
+    PlannedBuffer, PlannedLayout,
+};
 pub use particlefilter::ParticleFilter;
 pub use somier::Somier;
 pub use swaptions::Swaptions;
@@ -60,6 +65,38 @@ pub struct Check {
     pub tolerance: f64,
 }
 
+/// The golden-reference contents of one declared output buffer after the
+/// kernel has run. A pipelined composite feeds these values to the next
+/// phase's `BufferBindings`, chaining the scalar models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputValues {
+    /// Declared buffer name ("y", "vout", ...).
+    pub name: String,
+    /// Base address of the buffer in simulated memory.
+    pub base: u64,
+    /// Expected value of every element, in order.
+    pub values: Vec<f64>,
+}
+
+impl OutputValues {
+    /// Address range `[base, end)` covered by the buffer.
+    #[must_use]
+    pub fn range(&self) -> (u64, u64) {
+        (self.base, self.base + (self.values.len() * 8) as u64)
+    }
+}
+
+/// One phase boundary of a multi-kernel setup: the phase's display name and
+/// the IR-instruction index at which the phase *ends* (exclusive). The
+/// simulator uses these to report per-phase cycle/memory breakdowns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseMark {
+    /// Display name of the phase ("0:axpy", ...).
+    pub name: String,
+    /// Exclusive IR-instruction end index of the phase.
+    pub ir_end: usize,
+}
+
 /// Everything needed to run and validate one workload at one vector length:
 /// the IR trace, the expected outputs and loop-shape metadata.
 #[derive(Debug, Clone)]
@@ -70,9 +107,37 @@ pub struct WorkloadSetup {
     pub checks: Vec<Check>,
     /// Number of stripmined loop iterations (drives the scalar-core model).
     pub strips: u64,
+    /// Golden-reference contents of every declared output buffer (the
+    /// chaining surface for pipelined composites).
+    pub outputs: Vec<OutputValues>,
+    /// Planner-derived cache warm-up ranges: every planned buffer the run
+    /// actually touches (bound placeholder inputs are excluded).
+    pub warm_ranges: Vec<(u64, u64)>,
+    /// Phase boundaries for multi-kernel setups (empty means one phase
+    /// spanning the whole kernel; no per-phase breakdown is reported).
+    pub phase_marks: Vec<PhaseMark>,
 }
 
-/// A vectorised benchmark application.
+impl WorkloadSetup {
+    /// The reference output buffer named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no output of that name exists.
+    #[must_use]
+    pub fn output(&self, name: &str) -> &OutputValues {
+        self.outputs
+            .iter()
+            .find(|o| o.name == name)
+            .unwrap_or_else(|| panic!("no output buffer named {name:?}"))
+    }
+}
+
+/// A vectorised benchmark application, expressed as a two-step protocol:
+/// a [`DataLayout`] planning step declaring named input/output buffers, and
+/// a [`Workload::build_with_bindings`] step that generates the IR and the
+/// golden reference against the planned placement — with any subset of the
+/// inputs externally bound to an upstream phase's output.
 pub trait Workload {
     /// Short name used in reports ("axpy", "blackscholes", ...).
     fn name(&self) -> &'static str;
@@ -87,10 +152,43 @@ pub trait Workload {
     /// work and can never change a result.
     fn elements(&self) -> usize;
 
-    /// Allocates inputs in `mem`, generates the vector IR trace for the
-    /// machine described by `ctx` (its effective MVL decides the stripmine
-    /// length) and returns the expected outputs.
-    fn build(&self, mem: &mut MemoryHierarchy, ctx: &VectorContext) -> WorkloadSetup;
+    /// Step 1 of the build protocol: the named buffers this workload reads
+    /// and writes, in placement order. Sizes depend only on the problem
+    /// size, so composites can validate bindings without a machine context.
+    fn data_layout(&self) -> DataLayout;
+
+    /// Step 2 of the build protocol: generates input data (for unbound
+    /// inputs), the vector IR trace for the machine described by `ctx` (its
+    /// effective MVL decides the stripmine length) and the golden
+    /// reference, all against the planned buffer placement. Bound inputs
+    /// take their reference values from `bindings` instead of generating
+    /// data — the chaining mechanism of pipelined composites.
+    ///
+    /// Contract for binders: a bound input's data is *not* written to the
+    /// planned buffer (the kernel is generated against the planned address
+    /// regardless). The caller must ensure the bound values exist at run
+    /// time at whatever address the kernel ends up reading — normally by
+    /// rebasing the kernel's accesses onto a buffer an earlier phase
+    /// writes ([`Composite::pipelined`] does this via
+    /// `IrKernel::concat_remapped`), or by writing the values into memory
+    /// itself. Passing bindings without arranging either leaves the kernel
+    /// reading zeros while the reference expects the bound values, and
+    /// validation fails.
+    fn build_with_bindings(
+        &self,
+        mem: &mut MemoryHierarchy,
+        ctx: &VectorContext,
+        plan: &PlannedLayout,
+        bindings: &BufferBindings,
+    ) -> WorkloadSetup;
+
+    /// Convenience wrapper running both protocol steps with no external
+    /// bindings: plan the declared layout with a fresh [`ArenaPlanner`],
+    /// then build against it.
+    fn build(&self, mem: &mut MemoryHierarchy, ctx: &VectorContext) -> WorkloadSetup {
+        let plan = ArenaPlanner::new().plan(mem, &self.data_layout());
+        self.build_with_bindings(mem, ctx, &plan, &BufferBindings::none())
+    }
 }
 
 /// Validates the expected outputs of a finished run against the simulated

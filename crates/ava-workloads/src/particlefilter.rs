@@ -11,8 +11,9 @@ use ava_compiler::KernelBuilder;
 use ava_isa::VectorContext;
 use ava_memory::MemoryHierarchy;
 
-use crate::data::{alloc_f64, alloc_zeroed, DataGen};
-use crate::{Check, Workload, WorkloadSetup};
+use crate::data::DataGen;
+use crate::layout::{materialize_input, BufferBindings, DataLayout, PlannedLayout};
+use crate::{Check, OutputValues, Workload, WorkloadSetup};
 
 /// The Particle Filter workload.
 #[derive(Debug, Clone, Copy)]
@@ -52,33 +53,68 @@ impl Workload for ParticleFilter {
         self.particles * 16
     }
 
-    fn build(&self, mem: &mut MemoryHierarchy, ctx: &VectorContext) -> WorkloadSetup {
+    fn data_layout(&self) -> DataLayout {
+        let n = self.particles;
+        let mut l = DataLayout::new();
+        l.input("x", n);
+        l.input("y", n);
+        l.input("w", n);
+        l.input("lik", self.grid * self.grid);
+        // The gather indices derive from the positions, so they can never
+        // be bound to an upstream phase's output.
+        l.internal("idx", n);
+        l.output("xout", n);
+        l.output("yout", n);
+        l.output("wout", n);
+        l.output("sum", 1);
+        l
+    }
+
+    fn build_with_bindings(
+        &self,
+        mem: &mut MemoryHierarchy,
+        ctx: &VectorContext,
+        plan: &PlannedLayout,
+        bindings: &BufferBindings,
+    ) -> WorkloadSetup {
         let n = self.particles;
         let cells = self.grid * self.grid;
         let mut gen = DataGen::for_workload(self.name());
 
-        let xs = gen.uniform_vec(n, 0.0, (self.grid - 2) as f64);
-        let ys = gen.uniform_vec(n, 0.0, (self.grid - 2) as f64);
-        let ws = gen.positive_vec(n, 0.5, 1.5);
-        let likelihood = gen.positive_vec(cells, 0.01, 1.0);
+        let xs = materialize_input(mem, plan, bindings, "x", || {
+            gen.uniform_vec(n, 0.0, (self.grid - 2) as f64)
+        });
+        let ys = materialize_input(mem, plan, bindings, "y", || {
+            gen.uniform_vec(n, 0.0, (self.grid - 2) as f64)
+        });
+        let ws = materialize_input(mem, plan, bindings, "w", || gen.positive_vec(n, 0.5, 1.5));
+        let likelihood = materialize_input(mem, plan, bindings, "lik", || {
+            gen.positive_vec(cells, 0.01, 1.0)
+        });
         // Grid cell index of every particle, precomputed by the scalar side
-        // of the application (float-to-int conversions happen there).
+        // of the application (float-to-int conversions happen there). The
+        // index buffer derives from the positions, so it is always generated
+        // here rather than being a bindable input.
+        // "idx" is declared Internal, so the composite constructor rejects
+        // links onto it; it always derives from the (possibly bound)
+        // positions here.
         let idx: Vec<i64> = xs
             .iter()
             .zip(ys.iter())
             .map(|(&x, &y)| (y as i64) * self.grid as i64 + (x as i64))
             .collect();
         let idx_f: Vec<f64> = idx.iter().map(|&i| f64::from_bits(i as u64)).collect();
+        mem.memory_mut().write_f64_slice(plan.addr("idx"), &idx_f);
 
-        let a_x = alloc_f64(mem, &xs);
-        let a_y = alloc_f64(mem, &ys);
-        let a_w = alloc_f64(mem, &ws);
-        let a_lik = alloc_f64(mem, &likelihood);
-        let a_idx = alloc_f64(mem, &idx_f);
-        let a_xout = alloc_zeroed(mem, n);
-        let a_yout = alloc_zeroed(mem, n);
-        let a_wout = alloc_zeroed(mem, n);
-        let a_sum = alloc_zeroed(mem, 1);
+        let a_x = plan.addr("x");
+        let a_y = plan.addr("y");
+        let a_w = plan.addr("w");
+        let a_lik = plan.addr("lik");
+        let a_idx = plan.addr("idx");
+        let a_xout = plan.addr("xout");
+        let a_yout = plan.addr("yout");
+        let a_wout = plan.addr("wout");
+        let a_sum = plan.addr("sum");
 
         let mvl = ctx.effective_mvl();
         let mut b = KernelBuilder::new("particlefilter");
@@ -125,6 +161,9 @@ impl Workload for ParticleFilter {
 
         // Golden reference: identical per-strip summation order.
         let mut checks = Vec::new();
+        let mut xouts = Vec::with_capacity(n);
+        let mut youts = Vec::with_capacity(n);
+        let mut wouts = Vec::with_capacity(n);
         let mut wsum = 0.0f64;
         let mut j = 0usize;
         while j < n {
@@ -149,6 +188,9 @@ impl Workload for ParticleFilter {
                     expected: nw,
                     tolerance: 1e-12,
                 });
+                xouts.push(xs[p] + 1.0);
+                youts.push(ys[p] - 2.0);
+                wouts.push(nw);
             }
             wsum += strip_sum;
             j += vl;
@@ -163,6 +205,30 @@ impl Workload for ParticleFilter {
             kernel: b.finish(),
             checks,
             strips,
+            outputs: vec![
+                OutputValues {
+                    name: "xout".to_string(),
+                    base: a_xout,
+                    values: xouts,
+                },
+                OutputValues {
+                    name: "yout".to_string(),
+                    base: a_yout,
+                    values: youts,
+                },
+                OutputValues {
+                    name: "wout".to_string(),
+                    base: a_wout,
+                    values: wouts,
+                },
+                OutputValues {
+                    name: "sum".to_string(),
+                    base: a_sum,
+                    values: vec![wsum],
+                },
+            ],
+            warm_ranges: plan.warm_ranges(bindings),
+            phase_marks: Vec::new(),
         }
     }
 }

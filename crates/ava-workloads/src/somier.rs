@@ -11,8 +11,9 @@ use ava_compiler::KernelBuilder;
 use ava_isa::VectorContext;
 use ava_memory::MemoryHierarchy;
 
-use crate::data::{alloc_f64, alloc_zeroed, DataGen};
-use crate::{Check, Workload, WorkloadSetup};
+use crate::data::DataGen;
+use crate::layout::{materialize_input, BufferBindings, DataLayout, PlannedLayout};
+use crate::{Check, OutputValues, Workload, WorkloadSetup};
 
 /// The Somier workload.
 #[derive(Debug, Clone, Copy)]
@@ -56,17 +57,34 @@ impl Workload for Somier {
         self.nodes * 12
     }
 
-    fn build(&self, mem: &mut MemoryHierarchy, ctx: &VectorContext) -> WorkloadSetup {
-        let n = self.nodes;
-        let mut gen = DataGen::for_workload(self.name());
+    fn data_layout(&self) -> DataLayout {
+        let mut l = DataLayout::new();
         // Positions include one halo element on each side so the interior
         // update never reads out of bounds.
-        let x = gen.uniform_vec(n + 2, -1.0, 1.0);
-        let v = gen.uniform_vec(n, -0.1, 0.1);
-        let a_x = alloc_f64(mem, &x);
-        let a_v = alloc_f64(mem, &v);
-        let a_xout = alloc_zeroed(mem, n);
-        let a_vout = alloc_zeroed(mem, n);
+        l.input("x", self.nodes + 2);
+        l.input("v", self.nodes);
+        l.output("xout", self.nodes);
+        l.output("vout", self.nodes);
+        l
+    }
+
+    fn build_with_bindings(
+        &self,
+        mem: &mut MemoryHierarchy,
+        ctx: &VectorContext,
+        plan: &PlannedLayout,
+        bindings: &BufferBindings,
+    ) -> WorkloadSetup {
+        let n = self.nodes;
+        let mut gen = DataGen::for_workload(self.name());
+        let x = materialize_input(mem, plan, bindings, "x", || {
+            gen.uniform_vec(n + 2, -1.0, 1.0)
+        });
+        let v = materialize_input(mem, plan, bindings, "v", || gen.uniform_vec(n, -0.1, 0.1));
+        let a_x = plan.addr("x");
+        let a_v = plan.addr("v");
+        let a_xout = plan.addr("xout");
+        let a_vout = plan.addr("vout");
 
         let mvl = ctx.effective_mvl();
         let mut b = KernelBuilder::new("somier");
@@ -103,6 +121,8 @@ impl Workload for Somier {
         }
 
         let mut checks = Vec::with_capacity(2 * n);
+        let mut vouts = Vec::with_capacity(n);
+        let mut xouts = Vec::with_capacity(n);
         for j in 0..n {
             let force = self.spring_k * (-2.0f64).mul_add(x[j + 1], x[j] + x[j + 2]);
             let vnew = force.mul_add(self.dt, v[j]);
@@ -117,12 +137,28 @@ impl Workload for Somier {
                 expected: xnew,
                 tolerance: 1e-12,
             });
+            vouts.push(vnew);
+            xouts.push(xnew);
         }
 
         WorkloadSetup {
             kernel: b.finish(),
             checks,
             strips,
+            outputs: vec![
+                OutputValues {
+                    name: "xout".to_string(),
+                    base: a_xout,
+                    values: xouts,
+                },
+                OutputValues {
+                    name: "vout".to_string(),
+                    base: a_vout,
+                    values: vouts,
+                },
+            ],
+            warm_ranges: plan.warm_ranges(bindings),
+            phase_marks: Vec::new(),
         }
     }
 }

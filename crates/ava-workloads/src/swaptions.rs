@@ -12,8 +12,9 @@ use ava_compiler::KernelBuilder;
 use ava_isa::VectorContext;
 use ava_memory::MemoryHierarchy;
 
-use crate::data::{alloc_f64, alloc_zeroed, DataGen};
-use crate::{Check, Workload, WorkloadSetup};
+use crate::data::DataGen;
+use crate::layout::{materialize_input, BufferBindings, DataLayout, PlannedLayout};
+use crate::{Check, OutputValues, Workload, WorkloadSetup};
 
 const FACTORS: usize = 4;
 const VOLS: [f64; FACTORS] = [0.11, 0.07, 0.05, 0.03];
@@ -57,16 +58,37 @@ impl Workload for Swaptions {
         self.paths * FACTORS * 12
     }
 
-    fn build(&self, mem: &mut MemoryHierarchy, ctx: &VectorContext) -> WorkloadSetup {
+    fn data_layout(&self) -> DataLayout {
+        let mut l = DataLayout::new();
+        for f in 0..FACTORS {
+            l.input(format!("z{f}"), self.paths);
+        }
+        l.output("payoff", self.paths);
+        l.output("sum", 1);
+        l.output("sumsq", 1);
+        l
+    }
+
+    fn build_with_bindings(
+        &self,
+        mem: &mut MemoryHierarchy,
+        ctx: &VectorContext,
+        plan: &PlannedLayout,
+        bindings: &BufferBindings,
+    ) -> WorkloadSetup {
         let n = self.paths;
         let mut gen = DataGen::for_workload(self.name());
         let z: Vec<Vec<f64>> = (0..FACTORS)
-            .map(|_| gen.uniform_vec(n, -2.5, 2.5))
+            .map(|f| {
+                materialize_input(mem, plan, bindings, &format!("z{f}"), || {
+                    gen.uniform_vec(n, -2.5, 2.5)
+                })
+            })
             .collect();
-        let a_z: Vec<u64> = z.iter().map(|zi| alloc_f64(mem, zi)).collect();
-        let a_payoff = alloc_zeroed(mem, n);
-        let a_sum = alloc_zeroed(mem, 1);
-        let a_sumsq = alloc_zeroed(mem, 1);
+        let a_z: Vec<u64> = (0..FACTORS).map(|f| plan.addr(&format!("z{f}"))).collect();
+        let a_payoff = plan.addr("payoff");
+        let a_sum = plan.addr("sum");
+        let a_sumsq = plan.addr("sumsq");
 
         let mvl = ctx.effective_mvl();
         let mut b = KernelBuilder::new("swaptions");
@@ -116,6 +138,7 @@ impl Workload for Swaptions {
 
         // Golden reference, mirroring the per-strip reduction order.
         let mut checks = Vec::with_capacity(n + 2);
+        let mut payoffs = Vec::with_capacity(n);
         let mut total = 0.0f64;
         let mut total_sq = 0.0f64;
         let mut j = 0usize;
@@ -142,6 +165,7 @@ impl Workload for Swaptions {
                     expected: disc,
                     tolerance: 1e-12,
                 });
+                payoffs.push(disc);
                 s += disc;
                 ssq += disc * disc;
             }
@@ -164,6 +188,25 @@ impl Workload for Swaptions {
             kernel: b.finish(),
             checks,
             strips,
+            outputs: vec![
+                OutputValues {
+                    name: "payoff".to_string(),
+                    base: a_payoff,
+                    values: payoffs,
+                },
+                OutputValues {
+                    name: "sum".to_string(),
+                    base: a_sum,
+                    values: vec![total],
+                },
+                OutputValues {
+                    name: "sumsq".to_string(),
+                    base: a_sumsq,
+                    values: vec![total_sq],
+                },
+            ],
+            warm_ranges: plan.warm_ranges(bindings),
+            phase_marks: Vec::new(),
         }
     }
 }

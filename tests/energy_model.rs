@@ -18,7 +18,8 @@ use ava::memory::MemoryStats;
 use ava::scalar::ScalarCost;
 use ava::sim::{RunReport, ScenarioConfig, Sweep};
 use ava::vpu::VpuStats;
-use ava::workloads::{Blackscholes, SharedWorkload};
+use ava::workloads::{Blackscholes, SharedWorkload, Workload};
+use ava_bench::{energy_delay_mj_s, energy_per_element_nj};
 
 /// Figure 4 component areas the SRAM constants were calibrated against.
 const REF_VRF_8KB_MM2: f64 = 0.18;
@@ -59,6 +60,7 @@ fn synthetic_report(config: &str) -> RunReport {
         cycles: 1_000_000,
         vpu: VpuStats::default(),
         mem: MemoryStats::default(),
+        phases: Vec::new(),
         compiler_spill_stores: 0,
         compiler_spill_loads: 0,
         register_pressure: 0,
@@ -127,6 +129,44 @@ fn marginal_traffic_counters_price_linearly() {
     // Leakage depends only on time, which did not change.
     assert_eq!(e_more.l2_leakage, e_base.l2_leakage);
     assert_eq!(e_more.vrf_leakage, e_base.vrf_leakage);
+}
+
+#[test]
+fn derived_energy_metrics_match_exact_arithmetic() {
+    // The derived metrics are pure arithmetic over the breakdown — pin them
+    // exactly (bit-for-bit, not within a tolerance) against the documented
+    // formulas on a real simulated point.
+    let params = EnergyParams::default();
+    let workload = Blackscholes::new(128);
+    let scenario = ScenarioConfig::ava_x(4);
+    let report = ava::sim::run_workload(&workload, &scenario);
+    let e = energy_breakdown(&report, &scenario.vpu_config(), &params);
+
+    let seconds = report.cycles as f64 / 1.0e9;
+    assert_eq!(energy_delay_mj_s(&e, report.seconds()), e.total() * seconds);
+    let elements = workload.elements() as u64;
+    assert_eq!(
+        energy_per_element_nj(&e, elements),
+        e.total() * 1.0e6 / elements as f64
+    );
+    // Derived metrics land in the per-point energy JSON of the sweep
+    // pipeline with exactly these values.
+    let sweep = Sweep::grid(
+        vec![Arc::new(workload) as SharedWorkload],
+        vec![scenario.clone()],
+    );
+    let sweep_report = sweep.run_serial_report();
+    let json = ava_bench::sweep_energy_json(&sweep_report, sweep.resolved_systems()).to_string();
+    let expected_delay = energy_delay_mj_s(&e, report.seconds());
+    let expected_per_elem = energy_per_element_nj(&e, elements);
+    assert!(
+        json.contains(&format!("\"energy_delay_mj_s\":{expected_delay}")),
+        "{json}"
+    );
+    assert!(
+        json.contains(&format!("\"energy_per_element_nj\":{expected_per_elem}")),
+        "{json}"
+    );
 }
 
 #[test]

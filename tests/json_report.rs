@@ -9,8 +9,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use ava::sim::json::{object, Json};
-use ava::sim::{ScenarioConfig, Sweep};
-use ava::workloads::{Axpy, Blackscholes, SharedWorkload};
+use ava::sim::{run_workload, ScenarioConfig, Sweep};
+use ava::workloads::{composite, Axpy, Blackscholes, Composite, SharedWorkload, Somier};
 
 /// A parsed JSON value. Numbers keep their integer form when the text had
 /// no fraction/exponent, so `u64` counters round-trip exactly.
@@ -317,6 +317,47 @@ fn full_sweep_report_round_trips_against_the_parser() {
             run.scalar.instructions
         );
     }
+}
+
+#[test]
+fn per_phase_breakdowns_round_trip_through_the_json_pipeline() {
+    let pipe = Composite::pipelined(
+        vec![Arc::new(Axpy::new(256)), Arc::new(Somier::new(256))],
+        vec![composite::links(&[("y", "v")])],
+    );
+    let run = run_workload(&pipe, &ScenarioConfig::ava_x(2));
+    assert!(run.validated, "{:?}", run.validation_error);
+    let parsed = parse(&run.to_json().to_string());
+
+    let phases = parsed.get("phases").as_arr();
+    assert_eq!(phases.len(), 2);
+    assert_eq!(phases[0].get("name").as_str(), "0:axpy");
+    assert_eq!(phases[1].get("name").as_str(), "1:somier");
+    // The emitted per-phase counters partition the run totals exactly.
+    assert_eq!(
+        phases
+            .iter()
+            .map(|p| p.get("vpu_cycles").as_u64())
+            .sum::<u64>(),
+        run.vpu_cycles
+    );
+    assert_eq!(
+        phases
+            .iter()
+            .map(|p| p.get("vpu").get("vloads").as_u64())
+            .sum::<u64>(),
+        run.vpu.vloads
+    );
+    assert_eq!(
+        phases
+            .iter()
+            .map(|p| p.get("mem").get("vmu_bytes").as_u64())
+            .sum::<u64>(),
+        run.mem.vmu_bytes
+    );
+    // Single-kernel reports stay lean: no phases key at all.
+    let single = run_workload(&Axpy::new(128), &ScenarioConfig::native_x(1));
+    assert!(!single.to_json().to_string().contains("\"phases\""));
 }
 
 #[test]

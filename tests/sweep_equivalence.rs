@@ -10,7 +10,8 @@ use std::sync::Arc;
 use ava::isa::Lmul;
 use ava::sim::{run_workload, ScenarioConfig, Sweep};
 use ava::workloads::{
-    Axpy, Blackscholes, Composite, LavaMd2, ParticleFilter, SharedWorkload, Somier, Swaptions,
+    composite, Axpy, Blackscholes, Composite, LavaMd2, ParticleFilter, SharedWorkload, Somier,
+    Swaptions,
 };
 
 /// A 42-point grid (7 workloads × 6 configurations) covering all three
@@ -239,6 +240,228 @@ fn mvl_and_cache_axis_grid_is_bit_identical_and_validated() {
         axpy_l2_256[1].vpu.issued_instrs(),
         axpy_l2_256[2].vpu.issued_instrs()
     );
+}
+
+/// The two-phase dataflow pipeline of the chained-validation satellite:
+/// axpy's in-place output feeds somier's velocity (force-integration)
+/// array.
+fn axpy_feeds_somier(n: usize) -> Composite {
+    Composite::pipelined(
+        vec![Arc::new(Axpy::new(n)), Arc::new(Somier::new(n))],
+        vec![composite::links(&[("y", "v")])],
+    )
+}
+
+/// The pipelined acceptance grid: a dataflow composite whose phase 2 reads
+/// phase 1's output, swept over scenario axes — every point must validate
+/// against the *chained* scalar reference, carry per-phase breakdowns, and
+/// stay bit-identical between serial and parallel execution.
+#[test]
+fn pipelined_grid_is_bit_identical_validated_and_phase_attributed() {
+    let scenarios =
+        ScenarioConfig::axis_l2_kib(&ScenarioConfig::axis_mvl(&[128, 256]), &[256, 1024]);
+    let workloads: Vec<SharedWorkload> = vec![
+        Arc::new(axpy_feeds_somier(1024)),
+        Arc::new(Composite::pipelined(
+            vec![
+                Arc::new(Axpy::new(512)),
+                Arc::new(Somier::new(512)),
+                Arc::new(Axpy::new(512)),
+            ],
+            vec![
+                composite::links(&[("y", "v")]),
+                composite::links(&[("xout", "x"), ("vout", "y")]),
+            ],
+        )),
+    ];
+    let sweep = Sweep::grid(workloads, scenarios);
+    assert_eq!(sweep.len(), 8);
+
+    let serial = sweep.run_serial();
+    for r in &serial {
+        assert_eq!(r.workload, "pipelined");
+        assert!(
+            r.validated,
+            "{} on {}: {:?}",
+            r.workload, r.config, r.validation_error
+        );
+        // Per-phase cycle/memory breakdowns partition the run's totals.
+        assert!(r.phases.len() >= 2, "{}", r.config);
+        assert_eq!(
+            r.phases.iter().map(|p| p.vpu_cycles).sum::<u64>(),
+            r.vpu_cycles,
+            "{}: phase cycles must partition the total",
+            r.config
+        );
+        assert_eq!(
+            r.phases.iter().map(|p| p.vpu.issued_instrs()).sum::<u64>(),
+            r.vpu.issued_instrs(),
+            "{}: phase instruction counts must partition the total",
+            r.config
+        );
+        assert_eq!(
+            r.phases.iter().map(|p| p.mem.vmu_bytes).sum::<u64>(),
+            r.mem.vmu_bytes,
+            "{}: phase VMU traffic must partition the total",
+            r.config
+        );
+        // The breakdown reaches the JSON report.
+        let json = r.to_json().to_string();
+        assert!(json.contains("\"phases\":[{\"name\":\"0:axpy\""), "{json}");
+    }
+    for threads in [2, 5] {
+        let parallel = sweep.run_parallel_with(threads);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                format!("{s:?}"),
+                format!("{p:?}"),
+                "{} on {} ({threads} threads)",
+                s.workload,
+                s.config
+            );
+        }
+    }
+}
+
+/// A nested pipeline — an outer composite binding into an inner pipelined
+/// composite through its prefixed buffer name — must simulate and validate
+/// end to end (the external-bindings forwarding path of
+/// `Composite::build_with_bindings`).
+#[test]
+fn nested_pipelined_composite_simulates_and_validates() {
+    let n = 256;
+    let inner: SharedWorkload = Arc::new(Composite::pipelined(
+        vec![Arc::new(Somier::new(n)), Arc::new(Axpy::new(n))],
+        vec![composite::links(&[("xout", "x"), ("vout", "y")])],
+    ));
+    let outer = Composite::pipelined(
+        vec![Arc::new(Axpy::new(n)), inner],
+        vec![composite::links(&[("y", "p0.v")])],
+    );
+    let report = run_workload(&outer, &ScenarioConfig::ava_x(4));
+    assert!(report.validated, "{:?}", report.validation_error);
+    assert_eq!(report.phases.len(), 2);
+    assert_eq!(report.phases[1].name, "1:pipelined");
+}
+
+/// The chained golden reference is provably *chained*: somier's phase-2
+/// checks are only satisfiable because its reference consumed axpy's real
+/// (reference) output. Somier run standalone on its own generated velocity
+/// data expects different values at the same stage.
+#[test]
+fn pipelined_validation_requires_the_chained_reference() {
+    let n = 512;
+    let scenario = ScenarioConfig::ava_x(4);
+    let piped = run_workload(&axpy_feeds_somier(n), &scenario);
+    assert!(piped.validated, "{:?}", piped.validation_error);
+
+    // The same phases without the data binding expect different outputs:
+    // substituting the independent composite's checks for the pipelined
+    // ones must fail against the pipelined run's memory image — which is
+    // exactly what would happen if the golden references were *not*
+    // chained (each phase checked against its own generated inputs).
+    let mut mem = ava::memory::MemoryHierarchy::default();
+    let ctx = ava::isa::VectorContext::with_mvl(64);
+    let chained = ava::workloads::Workload::build(&axpy_feeds_somier(n), &mut mem, &ctx);
+    let mut mem2 = ava::memory::MemoryHierarchy::default();
+    let unchained = ava::workloads::Workload::build(
+        &Composite::new(vec![Arc::new(Axpy::new(n)), Arc::new(Somier::new(n))]),
+        &mut mem2,
+        &ctx,
+    );
+    // Write the chained expectations into memory (what a correct pipelined
+    // simulation produces) and validate the unchained checks against it.
+    for c in &chained.checks {
+        mem.write_f64(c.addr, c.expected);
+    }
+    assert!(ava::workloads::validate(&mem, &chained.checks).is_ok());
+    let somier_checks: Vec<_> = unchained
+        .checks
+        .iter()
+        .filter(|c| {
+            // Only somier's checks are comparable (axpy's were superseded
+            // in the pipelined setup).
+            let (s, e) = unchained.output("p1.vout").range();
+            let (xs, xe) = unchained.output("p1.xout").range();
+            (c.addr >= s && c.addr < e) || (c.addr >= xs && c.addr < xe)
+        })
+        .copied()
+        .collect();
+    assert!(
+        ava::workloads::validate(&mem, &somier_checks).is_err(),
+        "unchained somier expectations must NOT match the chained pipeline"
+    );
+}
+
+/// A deliberately broken binding — the consumer rebased onto the wrong
+/// producer buffer while the reference chain still uses the right values —
+/// must fail validation when simulated.
+#[test]
+fn broken_binding_fails_validation() {
+    use ava::compiler::RebaseRule;
+    use ava::workloads::{BufferBindings, Workload, WorkloadSetup};
+
+    struct Broken;
+    impl Workload for Broken {
+        fn name(&self) -> &'static str {
+            "broken-binding"
+        }
+        fn domain(&self) -> &'static str {
+            "test"
+        }
+        fn elements(&self) -> usize {
+            Axpy::new(256).elements() + Somier::new(256).elements()
+        }
+        fn data_layout(&self) -> ava::workloads::DataLayout {
+            // Same union layout a pipelined composite would plan.
+            Composite::new(vec![Arc::new(Axpy::new(256)), Arc::new(Somier::new(256))]).data_layout()
+        }
+        fn build_with_bindings(
+            &self,
+            mem: &mut ava::memory::MemoryHierarchy,
+            ctx: &ava::isa::VectorContext,
+            plan: &ava::workloads::PlannedLayout,
+            _bindings: &BufferBindings,
+        ) -> WorkloadSetup {
+            let axpy = Axpy::new(256);
+            let somier = Somier::new(256);
+            let p0 = plan.subset("p0.");
+            let p1 = plan.subset("p1.");
+            let part0 = axpy.build_with_bindings(mem, ctx, &p0, &BufferBindings::none());
+            // The reference chain is correct (somier's v reference = axpy's
+            // y reference)...
+            let mut bindings = BufferBindings::none();
+            bindings.bind("v", part0.output("y").values.clone());
+            let part1 = somier.build_with_bindings(mem, ctx, &p1, &bindings);
+            let mut setup = part0.clone();
+            // ...but the kernel rebinding points somier's velocity loads at
+            // axpy's *input* array instead of its output.
+            setup.kernel.concat_remapped(
+                &part1.kernel,
+                &[RebaseRule {
+                    old_base: p1.buffer("v").base,
+                    bytes: p1.buffer("v").bytes(),
+                    new_base: p0.addr("x"),
+                }],
+            );
+            // Downstream supersedes the consumed y checks, as the real
+            // composite does.
+            let (ys, ye) = part0.output("y").range();
+            setup.checks.retain(|c| c.addr < ys || c.addr >= ye);
+            setup.checks.extend(part1.checks);
+            setup.strips += part1.strips;
+            setup.warm_ranges.extend(part1.warm_ranges);
+            setup
+        }
+    }
+
+    let report = run_workload(&Broken, &ScenarioConfig::ava_x(4));
+    assert!(
+        !report.validated,
+        "a mis-bound pipeline must fail its chained checks"
+    );
+    let err = report.validation_error.unwrap();
+    assert!(err.contains("expected"), "{err}");
 }
 
 /// A composite point must agree exactly with the plain runner on the same
