@@ -9,14 +9,19 @@
 //! Usage:
 //!
 //! ```text
-//! fig3 [--app <name>] [--chart mem|mix|perf|energy|all] [--mix pipelined]
-//!      [--threads <n>] [--json <path>]
+//! fig3 [--app <name>] [--chart mem|mix|perf|energy|all]
+//!      [--mix pipelined|solver] [--iters <n>] [--threads <n>] [--json <path>]
 //! ```
 //!
 //! `--mix pipelined` appends the three-stage dataflow pipeline
 //! (axpy → somier → axpy with chained golden references) to the workload
 //! set, so the figure additionally covers a mix whose phases exchange data
-//! through the memory hierarchy.
+//! through the memory hierarchy. `--mix solver` appends the iterative
+//! somier-relaxation mix instead: the relaxation body unrolled `--iters`
+//! times (default 4; the flag is only accepted together with
+//! `--mix solver`) with ping-pong carry links, validated against the
+//! n-step scalar reference and reported with one `iter`-labelled breakdown
+//! per iteration.
 //!
 //! With `--json`, the instrumented sweep report (per-point counters,
 //! wall-clock timing, compile-cache statistics and the derived per-point
@@ -28,7 +33,8 @@ use std::process::ExitCode;
 use ava_bench::cli::{emit_json, take_json_flag};
 use ava_bench::{
     evaluated_systems, figure3_sweep, format_energy, format_instruction_mix,
-    format_memory_breakdown, format_performance, paper_workloads, pipelined_mix, sweep_energy_json,
+    format_memory_breakdown, format_performance, paper_workloads, pipelined_mix, solver_mix,
+    sweep_energy_json,
 };
 use ava_sim::json::object;
 use ava_workloads::SharedWorkload;
@@ -44,7 +50,8 @@ fn main() -> ExitCode {
     };
     let mut app_filter: Option<String> = None;
     let mut chart = "all".to_string();
-    let mut with_pipelined = false;
+    let mut mix = "independent".to_string();
+    let mut iters: Option<usize> = None;
     let mut threads: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
@@ -59,13 +66,22 @@ fn main() -> ExitCode {
             }
             "--mix" if i + 1 < args.len() => {
                 match args[i + 1].as_str() {
-                    "pipelined" => with_pipelined = true,
-                    "independent" => with_pipelined = false,
+                    m @ ("independent" | "pipelined" | "solver") => mix = m.to_string(),
                     other => {
-                        eprintln!("--mix must be independent or pipelined, got {other}");
+                        eprintln!("--mix must be independent, pipelined or solver, got {other}");
                         return ExitCode::from(2);
                     }
                 }
+                i += 2;
+            }
+            "--iters" if i + 1 < args.len() => {
+                iters = match args[i + 1].parse() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => {
+                        eprintln!("--iters needs a positive integer, got {}", args[i + 1]);
+                        return ExitCode::from(2);
+                    }
+                };
                 i += 2;
             }
             "--threads" if i + 1 < args.len() => {
@@ -82,16 +98,25 @@ fn main() -> ExitCode {
                 eprintln!("unrecognised argument: {other}");
                 eprintln!(
                     "usage: fig3 [--app <name>] [--chart mem|mix|perf|energy|all] \
-                     [--mix pipelined] [--threads <n>] [--json <path>]"
+                     [--mix pipelined|solver] [--iters <n>] [--threads <n>] [--json <path>]"
                 );
                 return ExitCode::from(2);
             }
         }
     }
 
+    if iters.is_some() && mix != "solver" {
+        // Silently ignoring the flag would let a sweep the user believes
+        // covers n iterations run with no iteration axis at all.
+        eprintln!("--iters only applies to --mix solver");
+        return ExitCode::from(2);
+    }
     let mut pool = paper_workloads();
-    if with_pipelined {
+    if mix == "pipelined" {
         pool.push(pipelined_mix(4096));
+    }
+    if mix == "solver" {
+        pool.push(solver_mix(4096, iters.unwrap_or(4)));
     }
     let workloads: Vec<SharedWorkload> = pool
         .into_iter()

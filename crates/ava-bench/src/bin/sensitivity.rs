@@ -13,20 +13,28 @@
 //! ```text
 //! sensitivity [--mvl 128,256,512] [--l2-kib 256,1024,4096]
 //!             [--l1-kib 16,32,64] [--dram-bw 6,12,24] [--vmu-bus 32,64,128]
-//!             [--mix independent|pipelined] [--app <name>]
-//!             [--threads <n>] [--json <path>]
+//!             [--mix independent|pipelined|solver] [--iters <n>]
+//!             [--app <name>] [--threads <n>] [--json <path>]
 //! ```
 //!
+//! `--mix solver` adds the iterative somier-relaxation mix
+//! (`Composite::iterated`, named "iterated"): the relaxation body unrolled
+//! `--iters` times (default 4; the flag is only accepted together with
+//! `--mix solver`) with position/velocity carry links ping-ponging between
+//! two arrays, validated against the `n`-step scalar reference. The iteration count is a scenario axis in its own right —
+//! sweep it by rerunning with different `--iters` values.
+//!
 //! With `--json`, the instrumented sweep report — axis metadata, the derived
-//! per-point energy breakdown and the per-phase composite breakdowns
-//! included — is written to `<path>`.
+//! per-point energy breakdown and the per-phase (and, for the solver mix,
+//! per-iteration) composite breakdowns included — is written to `<path>`.
 
 use std::process::ExitCode;
 
 use ava_bench::cli::{emit_json, take_json_flag};
 use ava_bench::{
     format_cache_sensitivity, format_mvl_extrapolation, pipelined_mix, sensitivity_grid_with,
-    sensitivity_json, sensitivity_workloads, HierarchyAxes, SENSITIVITY_L2_KIB, SENSITIVITY_MVLS,
+    sensitivity_json, sensitivity_workloads, solver_mix, HierarchyAxes, SENSITIVITY_L2_KIB,
+    SENSITIVITY_MVLS,
 };
 use ava_isa::{MAX_MVL_ELEMS, MIN_MVL_ELEMS};
 use ava_sim::Sweep;
@@ -49,7 +57,8 @@ fn parse_list_u64(arg: &str, what: &str) -> Result<Vec<u64>, String> {
 fn main() -> ExitCode {
     let usage = "sensitivity [--mvl 128,256,512] [--l2-kib 256,1024,4096] \
                  [--l1-kib 16,32,64] [--dram-bw 6,12,24] [--vmu-bus 32,64,128] \
-                 [--mix independent|pipelined] [--app <name>] [--threads <n>] [--json <path>]";
+                 [--mix independent|pipelined|solver] [--iters <n>] [--app <name>] \
+                 [--threads <n>] [--json <path>]";
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json_path = match take_json_flag(&mut args) {
         Ok(p) => p,
@@ -64,6 +73,7 @@ fn main() -> ExitCode {
     let mut l2_kib: Vec<usize> = SENSITIVITY_L2_KIB.to_vec();
     let mut extra = HierarchyAxes::default();
     let mut mix = "independent".to_string();
+    let mut iters: Option<usize> = None;
     let mut app_filter: Option<String> = None;
     let mut threads: Option<usize> = None;
     let mut i = 0;
@@ -90,12 +100,21 @@ fn main() -> ExitCode {
                 .and_then(|v| parse_list_u64(&v, "--vmu-bus"))
                 .map(|v| extra.vmu_bus = v),
             "--mix" => value("--mix").and_then(|v| {
-                if v == "independent" || v == "pipelined" {
+                if v == "independent" || v == "pipelined" || v == "solver" {
                     mix = v;
                     Ok(())
                 } else {
-                    Err(format!("--mix must be independent or pipelined, got {v}"))
+                    Err(format!(
+                        "--mix must be independent, pipelined or solver, got {v}"
+                    ))
                 }
+            }),
+            "--iters" => value("--iters").and_then(|v| {
+                v.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .map(|n| iters = Some(n))
+                    .ok_or_else(|| format!("--iters needs a positive integer, got {v}"))
             }),
             "--app" => value("--app").map(|v| app_filter = Some(v)),
             "--threads" => value("--threads").and_then(|v| {
@@ -134,6 +153,13 @@ fn main() -> ExitCode {
         eprintln!("--dram-bw and --vmu-bus values must be non-zero");
         return ExitCode::from(2);
     }
+    if iters.is_some() && mix != "solver" {
+        // Silently ignoring the flag would let a sweep the user believes
+        // covers n iterations run with no iteration axis at all.
+        eprintln!("--iters only applies to --mix solver");
+        return ExitCode::from(2);
+    }
+    let iters = iters.unwrap_or(4);
 
     let mut pool = sensitivity_workloads();
     if mix == "pipelined" {
@@ -142,6 +168,12 @@ fn main() -> ExitCode {
         // the L2 axis.
         pool.push(pipelined_mix(8192));
     }
+    if mix == "solver" {
+        // The iterative solver: somier relaxation swept `iters` times with
+        // ping-pong carry links, sized so the two carried arrays straddle
+        // the L2 axis like the other mixes.
+        pool.push(solver_mix(8192, iters));
+    }
     let workloads: Vec<SharedWorkload> = pool
         .into_iter()
         .filter(|w| app_filter.as_ref().is_none_or(|f| w.name() == f))
@@ -149,7 +181,7 @@ fn main() -> ExitCode {
     if workloads.is_empty() {
         eprintln!(
             "no workload matches --app filter (axpy, blackscholes, somier, composite, \
-             and pipelined with --mix pipelined)"
+             pipelined with --mix pipelined, and iterated with --mix solver)"
         );
         return ExitCode::from(2);
     }

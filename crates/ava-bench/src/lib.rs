@@ -220,6 +220,23 @@ pub fn pipelined_mix(n: usize) -> SharedWorkload {
     ))
 }
 
+/// The iterative-solver mix of the `--mix solver` scenarios: a somier
+/// spring relaxation ([`ava_workloads::Somier::relaxation`]) unrolled
+/// `iters` times, each iteration's position/velocity outputs carrying into
+/// the next iteration's inputs. Carried arrays ping-pong between two
+/// physical buffers (no per-iteration copies), the scalar golden reference
+/// is stepped the same `iters` times, and only the converged state is
+/// validated. Reports carry one breakdown per iteration (`iter`-labelled in
+/// the JSON).
+#[must_use]
+pub fn solver_mix(n: usize, iters: usize) -> SharedWorkload {
+    Arc::new(Composite::iterated(
+        Arc::new(ava_workloads::Somier::relaxation(n)),
+        iters,
+        ava_workloads::composite::links(&[("xout", "x"), ("vout", "v")]),
+    ))
+}
+
 fn config_map() -> BTreeMap<String, VpuConfig> {
     evaluated_systems()
         .iter()
@@ -776,6 +793,7 @@ pub fn sweep_energy_json(report: &SweepReport, systems: &[SystemConfig]) -> Json
 mod tests {
     use super::*;
     use ava_isa::Lmul;
+    use ava_workloads::Workload;
 
     #[test]
     fn table1_lists_the_eight_configurations() {
@@ -897,6 +915,31 @@ mod tests {
             report.phases.iter().map(|p| p.vpu_cycles).sum::<u64>(),
             report.vpu_cycles,
             "phase cycles must partition the run"
+        );
+    }
+
+    #[test]
+    fn solver_mix_validates_and_reports_iteration_breakdowns() {
+        let mix = solver_mix(512, 4);
+        assert_eq!(mix.name(), "iterated");
+        assert_eq!(mix.elements(), 4 * Somier::relaxation(512).elements());
+        let report = ava_sim::run_workload(mix.as_ref(), &ScenarioConfig::ava_x(4));
+        assert!(report.validated, "{:?}", report.validation_error);
+        assert_eq!(report.phases.len(), 4);
+        for (k, phase) in report.phases.iter().enumerate() {
+            assert_eq!(phase.iter, Some(k));
+            assert_eq!(phase.name, format!("it{k}:somier"));
+        }
+        assert_eq!(
+            report.phases.iter().map(|p| p.vpu_cycles).sum::<u64>(),
+            report.vpu_cycles,
+            "iteration cycles must partition the run"
+        );
+        // The iteration grouping reaches the JSON pipeline.
+        let json = report.to_json().to_string();
+        assert!(
+            json.contains("\"name\":\"it0:somier\",\"iter\":0,\"phase\":\"somier\""),
+            "{json}"
         );
     }
 

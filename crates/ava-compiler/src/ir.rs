@@ -143,6 +143,36 @@ impl RebaseRule {
         (base >= self.old_base && base < self.old_base + self.bytes)
             .then(|| self.new_base + (base - self.old_base))
     }
+
+    /// The rule pair exchanging two equally-sized buffers: accesses to
+    /// `a_base` land on `b_base` and vice versa. This is the ping-pong map
+    /// of an iterated composite — odd iterations of the unrolled body are
+    /// concatenated with the carried input/output arrays swapped, so a
+    /// carried value alternates between two physical buffers instead of
+    /// being copied once per iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two buffers overlap (the swap would be ill-defined).
+    #[must_use]
+    pub fn swapped(a_base: u64, b_base: u64, bytes: u64) -> [RebaseRule; 2] {
+        assert!(
+            a_base + bytes <= b_base || b_base + bytes <= a_base,
+            "cannot swap overlapping buffers at {a_base:#x} and {b_base:#x} ({bytes} bytes)"
+        );
+        [
+            RebaseRule {
+                old_base: a_base,
+                bytes,
+                new_base: b_base,
+            },
+            RebaseRule {
+                old_base: b_base,
+                bytes,
+                new_base: a_base,
+            },
+        ]
+    }
 }
 
 /// A straight-line kernel trace in IR form, produced by
@@ -321,6 +351,27 @@ mod tests {
             },
         ];
         a.concat_remapped(&IrKernel::default(), &rules);
+    }
+
+    #[test]
+    fn swapped_rules_exchange_the_two_buffers() {
+        let rules = RebaseRule::swapped(0x1000, 0x3000, 0x100);
+        let apply = |base| rules.iter().find_map(|r| r.apply(base)).unwrap_or(base);
+        assert_eq!(apply(0x1000), 0x3000);
+        assert_eq!(apply(0x3040), 0x1040);
+        assert_eq!(
+            apply(0x5000),
+            0x5000,
+            "addresses outside the pair pass through"
+        );
+        // The pair is accepted by concat_remapped (its ranges are disjoint).
+        IrKernel::default().concat_remapped(&IrKernel::default(), &rules);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot swap overlapping buffers")]
+    fn swapped_rejects_overlapping_buffers() {
+        let _ = RebaseRule::swapped(0x1000, 0x1080, 0x100);
     }
 
     #[test]

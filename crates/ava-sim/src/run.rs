@@ -18,8 +18,14 @@ use crate::json::{object, Json};
 /// numbers partition the run's totals exactly.
 #[derive(Debug, Clone)]
 pub struct PhaseBreakdown {
-    /// Phase display name ("0:axpy", "1:somier", ...).
+    /// Phase display name ("0:axpy" for pipeline stages, "it3:somier" for
+    /// unrolled solver iterations).
     pub name: String,
+    /// Iteration index when the phase is one unrolled iteration of an
+    /// iterated composite (`None` for ordinary pipeline stages). Lets
+    /// downstream consumers group per-iteration cycle/memory/energy
+    /// breakdowns without parsing display names.
+    pub iter: Option<usize>,
     /// VPU cycles attributed to the phase's program segment.
     pub vpu_cycles: u64,
     /// VPU instruction/event counters of the segment.
@@ -109,8 +115,17 @@ impl RunReport {
                 self.phases
                     .iter()
                     .map(|p| {
-                        object()
-                            .field("name", p.name.as_str())
+                        let mut phase = object().field("name", p.name.as_str());
+                        // Iteration grouping: unrolled solver iterations
+                        // carry the iteration index and the bare phase
+                        // label so consumers can aggregate per iteration.
+                        if let Some(it) = p.iter {
+                            phase = phase.field("iter", it).field(
+                                "phase",
+                                p.name.split_once(':').map_or(p.name.as_str(), |(_, n)| n),
+                            );
+                        }
+                        phase
                             .field("vpu_cycles", p.vpu_cycles)
                             .field("vpu", vpu_stats_json(&p.vpu))
                             .field("mem", mem_stats_json(&p.mem))
@@ -271,6 +286,7 @@ pub(crate) fn run_workload_via(
             let mem_now = mem.stats();
             phases.push(PhaseBreakdown {
                 name: mark.name.clone(),
+                iter: mark.iter,
                 vpu_cycles: seg.cycles,
                 vpu: seg.stats,
                 mem: mem_now.delta_since(&mem_before),

@@ -72,6 +72,22 @@ use crate::configs::{ScenarioConfig, SystemConfig};
 use crate::json::{object, Json};
 use crate::run::{run_workload_via, RunReport};
 
+/// The static per-point cost heuristic: `elements * 16 / width` (element
+/// operations over the effective register width, normalised to the
+/// 16-element baseline), floored at 1 so every point carries weight.
+///
+/// A degenerate scenario override can resolve to an effective width of 0
+/// (`MVL / LMUL` truncating to nothing); dividing by it would panic mid-sweep
+/// on a worker thread. Such a point is the *narrowest* configuration
+/// imaginable — the guard returns the max-cost sentinel so it is scheduled
+/// first instead of crashing the sweep.
+fn heuristic_points_cost(elements: u64, width: u64) -> u64 {
+    match elements.saturating_mul(16).checked_div(width) {
+        Some(cost) => cost.max(1),
+        None => u64::MAX,
+    }
+}
+
 /// Key identifying one compilation in a sweep: the workload (by grid index —
 /// the kernel IR is a function of the workload and the MVL), the MVL the
 /// kernel was stripmined for, and the register-allocation inputs.
@@ -331,14 +347,15 @@ impl Sweep {
     /// per-point wall-clock back into this sweep's execution order. Points
     /// whose `(workload, config)` label pair appears in `report` are
     /// ordered by the recorded nanoseconds instead of the static
-    /// [`Workload::elements`] heuristic; unseen labels keep the heuristic
-    /// (scaling into comparability is unnecessary — recorded points are
-    /// typically the whole repeated grid, as in the ablation's multi-grid
-    /// runs). When several recorded points share a label pair (two distinct
-    /// pipelined composites both report as "pipelined"), the *largest*
-    /// recorded time wins, so an ambiguous point is scheduled early rather
-    /// than risking it tailing the sweep. Like the heuristic, recorded
-    /// costs only order execution and can never change a result.
+    /// [`Workload::elements`] heuristic; unseen labels fall back to the
+    /// heuristic, *rescaled into the recorded unit* (see
+    /// [`Sweep::point_costs`]) so a new grid point sorts commensurably
+    /// against the measured ones rather than arbitrarily. When several
+    /// recorded points share a label pair (two distinct pipelined
+    /// composites both report as "pipelined"), the *largest* recorded time
+    /// wins, so an ambiguous point is scheduled early rather than risking
+    /// it tailing the sweep. Like the heuristic, recorded costs only order
+    /// execution and can never change a result.
     ///
     /// [`Workload::elements`]: ava_workloads::Workload::elements
     #[must_use]
@@ -383,7 +400,9 @@ impl Sweep {
         &self.workloads
     }
 
-    /// The scheduler's cost estimate for one point: the workload's
+    /// The scheduler's cost estimate for one point: the recorded wall-clock
+    /// when [`Sweep::with_recorded_costs`] has seen the point's label pair,
+    /// otherwise the raw static heuristic — the workload's
     /// element-operation count divided by the configuration's effective
     /// register width (`MVL / LMUL`, normalised to the 16-element baseline).
     /// A narrower effective width means more strips and therefore more
@@ -391,23 +410,38 @@ impl Sweep {
     /// narrow-width points (NATIVE X1, the spill-heavy RG-LMUL8) rank as
     /// expensive — matching recorded per-point wall-clock. A heuristic — it
     /// orders execution so skewed points start early, and can never change a
-    /// result.
+    /// result. The batch path ([`Sweep::point_costs`]) additionally rescales
+    /// heuristic fallbacks into the recorded unit when the two are mixed.
     #[must_use]
     pub fn point_cost(&self, point: usize) -> u64 {
+        self.recorded_cost(point)
+            .unwrap_or_else(|| self.heuristic_cost(point))
+    }
+
+    /// The recorded wall-clock for one point's `(workload, config)` label
+    /// pair, if [`Sweep::with_recorded_costs`] has seen it.
+    fn recorded_cost(&self, point: usize) -> Option<u64> {
+        // Guarded so the common no-feedback path stays allocation-free.
+        if self.recorded_costs.is_empty() {
+            return None;
+        }
+        let (w, s) = self.points[point];
+        self.recorded_costs
+            .get(&(
+                self.workloads[w].name().to_string(),
+                self.resolved[s].label().to_string(),
+            ))
+            .copied()
+    }
+
+    /// The static cost heuristic for one point (element operations over the
+    /// effective width).
+    fn heuristic_cost(&self, point: usize) -> u64 {
         let (w, s) = self.points[point];
         let system = &self.resolved[s];
-        // Guarded so the common no-feedback path stays allocation-free.
-        if !self.recorded_costs.is_empty() {
-            if let Some(&recorded) = self.recorded_costs.get(&(
-                self.workloads[w].name().to_string(),
-                system.label().to_string(),
-            )) {
-                return recorded;
-            }
-        }
         let elements = self.workloads[w].elements() as u64;
-        let width = (system.mvl() / system.compiler_lmul.factor()).max(1) as u64;
-        (elements.saturating_mul(16) / width).max(1)
+        let width = (system.mvl() / system.compiler_lmul.factor()) as u64;
+        heuristic_points_cost(elements, width)
     }
 
     /// Every point's cost estimate, computed once per sweep execution:
@@ -415,9 +449,52 @@ impl Sweep {
     /// workloads sum their phases), so neither the execution-order sort nor
     /// the report assembly recomputes it per use.
     ///
+    /// When recorded costs cover only part of the grid, the unseen points'
+    /// heuristic estimates are rescaled by the median nanoseconds-per-
+    /// heuristic-unit observed on the covered points: raw element counts
+    /// and wall-clock nanoseconds are not commensurable, and without the
+    /// rescale one new grid point would sort arbitrarily against every
+    /// measured point. The rescale (like every cost) only orders execution
+    /// and can never change a result.
+    ///
     /// [`Workload::elements`]: ava_workloads::Workload::elements
     fn point_costs(&self) -> Vec<u64> {
-        (0..self.points.len()).map(|i| self.point_cost(i)).collect()
+        let n = self.points.len();
+        let heuristic: Vec<u64> = (0..n).map(|i| self.heuristic_cost(i)).collect();
+        if self.recorded_costs.is_empty() {
+            return heuristic;
+        }
+        let recorded: Vec<Option<u64>> = (0..n).map(|i| self.recorded_cost(i)).collect();
+        // Nanoseconds per heuristic unit on every point that has both.
+        let mut ratios: Vec<f64> = recorded
+            .iter()
+            .zip(&heuristic)
+            .filter_map(|(r, &h)| r.map(|ns| ns as f64 / h.max(1) as f64))
+            .collect();
+        let scale = if ratios.is_empty() {
+            // No overlap: every point keeps the heuristic, which is
+            // internally consistent without rescaling.
+            1.0
+        } else {
+            ratios.sort_by(f64::total_cmp);
+            let mid = ratios.len() / 2;
+            if ratios.len() % 2 == 1 {
+                ratios[mid]
+            } else {
+                f64::midpoint(ratios[mid - 1], ratios[mid])
+            }
+        };
+        recorded
+            .into_iter()
+            .zip(heuristic)
+            .map(|(r, h)| {
+                r.unwrap_or_else(|| {
+                    // `f64 as u64` saturates, so a huge product (or the
+                    // max-cost sentinel) stays the maximum.
+                    ((h as f64 * scale).round() as u64).max(1)
+                })
+            })
+            .collect()
     }
 
     /// Point indices in execution order: descending cost estimate, grid
@@ -655,6 +732,59 @@ mod tests {
         }
         // The recorded costs surface as the new points' cost estimates.
         assert_eq!(retimed.points[0].cost_estimate, 1_000_000_000);
+    }
+
+    #[test]
+    fn heuristic_cost_guards_the_degenerate_zero_width() {
+        // A degenerate scenario override yielding effective width 0 must
+        // not panic the sweep with a division by zero: the point reports
+        // the max-cost sentinel and is simply scheduled first.
+        assert_eq!(heuristic_points_cost(100, 0), u64::MAX);
+        // The regular path is unchanged: elements * 16 / width, floored.
+        assert_eq!(heuristic_points_cost(1024, 16), 1024);
+        assert_eq!(heuristic_points_cost(0, 64), 1);
+        // Huge element counts saturate instead of overflowing.
+        assert_eq!(heuristic_points_cost(u64::MAX, 1), u64::MAX);
+    }
+
+    #[test]
+    fn unseen_labels_are_rescaled_into_the_recorded_unit() {
+        // One recorded point (wall-clock nanoseconds) and one unseen point
+        // (element-count heuristic): the raw units are not commensurable.
+        // NATIVE X1 is heuristically the *more* expensive point (narrower
+        // effective width), so after rescaling it must still sort first —
+        // comparing the raw heuristic against the raw nanoseconds would
+        // have flipped the order.
+        let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(4096))];
+        let recorded_grid = Sweep::grid(workloads.clone(), vec![ScenarioConfig::native_x(1)]);
+        let mut forged = recorded_grid.run_serial_report();
+        forged.points[0].wall_ns = 50;
+
+        let sweep = Sweep::grid(
+            workloads,
+            vec![ScenarioConfig::native_x(1), ScenarioConfig::ava_x(2)],
+        )
+        .with_recorded_costs(&forged);
+        // Heuristics: X1 = 4096*4*16/16 = 16384, X2 (width 32) = 8192.
+        assert_eq!(sweep.heuristic_cost(0), 16384);
+        assert_eq!(sweep.heuristic_cost(1), 8192);
+        let costs = sweep.point_costs();
+        // The recorded point keeps its nanoseconds; the unseen point's
+        // heuristic is scaled by 50 ns / 16384 units ≈ 0.00305..., i.e.
+        // 8192 * 50 / 16384 = 25 ns.
+        assert_eq!(costs, vec![50, 25]);
+        assert_eq!(
+            sweep.execution_order(&costs),
+            vec![0, 1],
+            "the heuristically-narrower X1 point must still be scheduled \
+             first; raw unit mixing would have ranked the unseen point's \
+             8192 'elements' above 50 ns"
+        );
+        // And, like every cost, the rescale cannot move a result.
+        let reports = sweep.run_parallel_with(2);
+        assert!(reports.iter().all(|r| r.validated));
+        assert_eq!(reports[0].config, "NATIVE X1");
+        assert_eq!(reports[1].config, "AVA X2");
     }
 
     #[test]

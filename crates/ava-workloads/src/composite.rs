@@ -1,49 +1,105 @@
 //! Composite: a multi-kernel workload running several applications back to
-//! back on one system — optionally as a *dataflow pipeline*.
+//! back on one system — optionally as a *dataflow pipeline* or an
+//! *iterated solver loop*.
 //!
 //! The paper evaluates each RiVEC kernel in isolation; real deployments run
 //! *mixes* — an option pricer feeding a solver, a filter stage after a
-//! stencil. [`Composite`] models that in two flavours:
+//! stencil, a relaxation loop sweeping the same arrays until convergence.
+//! [`Composite`] models that in three flavours:
 //!
 //! * [`Composite::new`]: independent phases. Each phase keeps its own input
 //!   data and golden reference; only cache/DRAM *timing* state is shared.
 //! * [`Composite::pipelined`]: dataflow phases. An explicit binding map
-//!   routes each phase's declared output buffers into the next phase's
-//!   declared inputs: the consumer's kernel is rebased onto the producer's
-//!   output buffer (so it reads the *real* simulated data at run time), the
-//!   consumer's golden reference is computed over the producer's *reference*
-//!   output (chaining the scalar models), and the producer's checks on a
-//!   consumed buffer are superseded by the consumer's — if the producer
-//!   computes garbage, the consumer's chained checks catch it downstream.
+//!   routes producer output buffers into consumer input buffers — by
+//!   default from the immediately preceding phase, or from *any earlier*
+//!   phase via [`PhaseLink::producer`]. The consumer's kernel is rebased
+//!   onto the producer's output buffer (so it reads the *real* simulated
+//!   data at run time), the consumer's golden reference is computed over
+//!   the producer's *reference* output (chaining the scalar models), and
+//!   the producer's checks on a consumed buffer are superseded by the
+//!   consumer's — if the producer computes garbage, the consumer's chained
+//!   checks catch it downstream.
+//! * [`Composite::iterated`]: a convergence loop. One body phase is
+//!   unrolled `n` times; `carry` links route each iteration's outputs into
+//!   the next iteration's inputs. Instead of planning `n` buffer copies,
+//!   odd iterations are concatenated with the carried input/output arrays
+//!   *swapped* ([`RebaseRule::swapped`]), so a carried value ping-pongs
+//!   between two physical buffers with no per-iteration copies. The scalar
+//!   golden reference is iterated the same `n` times, and intermediate
+//!   checks are superseded so only the converged state is validated.
 //!
 //! Either way the phases execute sequentially in a single program on one
-//! cache-warm memory hierarchy, and one `RunReport` (with per-phase
-//! breakdowns) covers the whole mix.
+//! cache-warm memory hierarchy, and one `RunReport` (with per-phase — and,
+//! for iterated composites, per-iteration — breakdowns) covers the whole
+//! mix.
 
 use ava_compiler::{IrKernel, RebaseRule};
 use ava_isa::VectorContext;
 use ava_memory::MemoryHierarchy;
 
 use crate::layout::{BufferBindings, DataLayout, PlannedLayout};
-use crate::{OutputValues, PhaseMark, SharedWorkload, Workload, WorkloadSetup};
+use crate::{Check, OutputValues, PhaseMark, SharedWorkload, Workload, WorkloadSetup};
 
-/// One output→input binding between two consecutive phases: the producer
-/// phase's output buffer name and the consumer phase's input buffer name.
-pub type PhaseLink = (String, String);
+/// One output→input binding: the producer phase's output buffer name and
+/// the consumer phase's input buffer name. In a [`Composite::pipelined`]
+/// link list for transition `i` the consumer is phase `i + 1`; the producer
+/// defaults to phase `i` but may be any earlier phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseLink {
+    /// Explicit producer phase index. `None` binds from the phase
+    /// immediately preceding the consumer (the PR 4 behaviour); `Some(q)`
+    /// binds from phase `q`, which must precede the consumer — this is how
+    /// a pipeline expresses stage-crossing reuse (phase 3 reading phase
+    /// 0's output). Carry links of [`Composite::iterated`] always bind
+    /// from the previous iteration and must leave this `None`.
+    pub producer: Option<usize>,
+    /// The producer's output buffer name.
+    pub output: String,
+    /// The consumer's input buffer name.
+    pub input: String,
+}
 
 /// Builds the link list for one phase transition from `(output, input)`
-/// name pairs.
+/// name pairs binding from the immediately preceding phase.
 #[must_use]
 pub fn links(pairs: &[(&str, &str)]) -> Vec<PhaseLink> {
     pairs
         .iter()
-        .map(|(o, i)| ((*o).to_string(), (*i).to_string()))
+        .map(|(o, i)| PhaseLink {
+            producer: None,
+            output: (*o).to_string(),
+            input: (*i).to_string(),
+        })
         .collect()
+}
+
+/// Builds a link list from `(producer phase, output, input)` triples, for
+/// links that name an earlier phase explicitly (backward links).
+#[must_use]
+pub fn links_from(triples: &[(usize, &str, &str)]) -> Vec<PhaseLink> {
+    triples
+        .iter()
+        .map(|(q, o, i)| PhaseLink {
+            producer: Some(*q),
+            output: (*o).to_string(),
+            input: (*i).to_string(),
+        })
+        .collect()
+}
+
+/// The unroll description of an iterated composite: the body runs `n`
+/// times, with `carry` routing each iteration's outputs into the next
+/// iteration's inputs.
+#[derive(Debug, Clone)]
+struct IterSpec {
+    n: usize,
+    carry: Vec<PhaseLink>,
 }
 
 /// A multi-kernel workload: the given phases run sequentially in one
 /// simulation, sharing the memory hierarchy — and, when constructed with
-/// [`Composite::pipelined`], flowing data from each phase to the next.
+/// [`Composite::pipelined`] or [`Composite::iterated`], flowing data from
+/// phase to phase (or iteration to iteration).
 ///
 /// ```
 /// use std::sync::Arc;
@@ -63,12 +119,25 @@ pub fn links(pairs: &[(&str, &str)]) -> Vec<PhaseLink> {
 ///     pipe.elements(),
 ///     Axpy::new(256).elements() + Somier::new(256).elements()
 /// );
+///
+/// // A four-step relaxation: somier's position/velocity outputs carry into
+/// // the next iteration's inputs, ping-ponging between two arrays.
+/// let solver = Composite::iterated(
+///     Arc::new(Somier::relaxation(256)),
+///     4,
+///     composite::links(&[("xout", "x"), ("vout", "v")]),
+/// );
+/// assert_eq!(solver.name(), "iterated");
+/// assert_eq!(solver.iterations(), 4);
+/// assert_eq!(solver.elements(), 4 * Somier::relaxation(256).elements());
 /// ```
 #[derive(Clone)]
 pub struct Composite {
     phases: Vec<SharedWorkload>,
-    /// `links[i]` binds phase `i`'s outputs to phase `i + 1`'s inputs.
+    /// `links[i]` binds earlier phases' outputs to phase `i + 1`'s inputs.
     links: Vec<Vec<PhaseLink>>,
+    /// `Some` when this composite unrolls `phases[0]` as a solver loop.
+    iterate: Option<IterSpec>,
 }
 
 impl Composite {
@@ -84,16 +153,21 @@ impl Composite {
     }
 
     /// Creates a dataflow pipeline: `links[i]` names the `(output, input)`
-    /// buffer pairs binding phase `i`'s outputs to phase `i + 1`'s inputs.
-    /// An empty link list leaves that transition independent.
+    /// buffer pairs binding producer outputs to phase `i + 1`'s inputs. A
+    /// link's producer defaults to phase `i` and may name any earlier phase
+    /// via [`PhaseLink::producer`]. An empty link list leaves that
+    /// transition independent.
     ///
     /// # Panics
     ///
     /// Panics if `phases` is empty, if `links` does not have exactly one
-    /// entry per phase transition, or if any link names an unknown buffer,
-    /// binds the same input twice, binds a non-bindable buffer (an output),
-    /// consumes a non-exposable buffer (a pure input), or pairs buffers of
-    /// different sizes.
+    /// entry per phase transition, or if any link repeats an earlier
+    /// `(producer, output, input)` triple of the same transition, names a
+    /// producer phase that does not precede the consumer, names an unknown
+    /// buffer, binds the same input twice, binds a non-bindable buffer (an
+    /// output), consumes a non-exposable buffer (a pure input), consumes an
+    /// output an intermediate phase has already overwritten in place, or
+    /// pairs buffers of different sizes.
     #[must_use]
     pub fn pipelined(phases: Vec<SharedWorkload>, links: Vec<Vec<PhaseLink>>) -> Self {
         assert!(!phases.is_empty(), "a composite needs at least one phase");
@@ -103,59 +177,197 @@ impl Composite {
             "need exactly one link list per phase transition"
         );
         for (p, transition) in links.iter().enumerate() {
-            let from = phases[p].data_layout();
-            let to = phases[p + 1].data_layout();
-            let mut bound_inputs: Vec<&str> = Vec::new();
-            for (out_name, in_name) in transition {
-                let src = from.get(out_name).unwrap_or_else(|| {
-                    panic!(
-                        "phase {p} ({}) has no buffer named {out_name:?}",
-                        phases[p].name()
-                    )
-                });
-                let dst = to.get(in_name).unwrap_or_else(|| {
-                    panic!(
-                        "phase {} ({}) has no buffer named {in_name:?}",
-                        p + 1,
-                        phases[p + 1].name()
-                    )
-                });
+            Self::check_links(&phases, transition, p + 1, p);
+        }
+        // Destructive consumption (an `InOut` input, or an iterated
+        // consumer's carried input — see `Workload::overwrites_bound_input`)
+        // rebases the consumer's writes onto the producer's array: the
+        // produced values no longer exist anywhere after the consumer runs,
+        // so a later backward link naming them would chain a reference the
+        // simulation can never reproduce. Reject that wiring at
+        // construction.
+        let mut overwritten: Vec<(usize, &str)> = Vec::new();
+        for (p, transition) in links.iter().enumerate() {
+            for link in transition {
+                let q = link.producer.unwrap_or(p);
                 assert!(
-                    src.role.is_exposable(),
-                    "buffer {out_name:?} of phase {p} is a pure input and exposes no data"
+                    !overwritten.contains(&(q, link.output.as_str())),
+                    "output {:?} of phase {q} was overwritten in place by an \
+                     earlier consumer and can no longer be linked",
+                    link.output
                 );
-                assert!(
-                    dst.role.is_bindable(),
-                    "buffer {in_name:?} of phase {} (role {:?}) cannot be bound",
-                    p + 1,
-                    dst.role
-                );
-                assert_eq!(
-                    src.elems, dst.elems,
-                    "cannot bind {out_name:?} ({} elements) to {in_name:?} ({} elements)",
-                    src.elems, dst.elems
-                );
-                assert!(
-                    !bound_inputs.contains(&in_name.as_str()),
-                    "input {in_name:?} of phase {} is bound twice",
-                    p + 1
-                );
-                bound_inputs.push(in_name);
+                if phases[p + 1].overwrites_bound_input(&link.input) {
+                    overwritten.push((q, link.output.as_str()));
+                }
             }
         }
-        Self { phases, links }
+        Self {
+            phases,
+            links,
+            iterate: None,
+        }
     }
 
-    /// The phases, in execution order.
+    /// Creates an iterated composite: `body` unrolled `n` times in one
+    /// program, with `carry` routing each iteration's named outputs into
+    /// the next iteration's inputs. Carried values ping-pong between the
+    /// body's planned input and output arrays (odd iterations run with the
+    /// two swapped via [`RebaseRule::swapped`]) — no per-iteration buffer
+    /// copies, and only two physical arrays per carried buffer regardless
+    /// of `n`. The golden reference is chained through all `n` iterations
+    /// and only the final iteration's checks are validated.
+    ///
+    /// A carry link whose input is the *same* `InOut` buffer as its output
+    /// (an in-place body) degenerates to a true in-place loop: no swap is
+    /// needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero, if any carry link sets an explicit
+    /// [`PhaseLink::producer`] (iteration `k` always feeds iteration
+    /// `k + 1`), if a buffer appears in more than one carry pair (the
+    /// ping-pong would be ill-defined: one array cannot alternate with two
+    /// partners), or if the carry links fail the same buffer checks as
+    /// [`Composite::pipelined`] (unknown/duplicate/size-mismatched/
+    /// non-bindable names).
+    #[must_use]
+    pub fn iterated(body: SharedWorkload, n: usize, carry: Vec<PhaseLink>) -> Self {
+        assert!(n >= 1, "an iterated composite needs at least one iteration");
+        for link in &carry {
+            assert!(
+                link.producer.is_none(),
+                "carry link {:?} -> {:?} must not name an explicit producer: \
+                 iteration k always feeds iteration k + 1",
+                link.output,
+                link.input
+            );
+        }
+        // Carried buffers obey the same contract as a self-transition of a
+        // pipeline (body feeding another instance of itself).
+        let phases = vec![body];
+        Self::check_links(&phases, &carry, 0, 0);
+        // Each carry pair swaps its two arrays every odd iteration; a
+        // buffer in two pairs would need two swap partners at once, so the
+        // rebase map would contain overlapping rules. Reject it here by
+        // name instead of panicking inside `concat_remapped` on a sweep
+        // worker thread. (Checked after `check_links` so exact duplicate
+        // pairs keep their more specific "duplicate link" error.)
+        let mut swapped: Vec<&str> = Vec::new();
+        for link in &carry {
+            for name in [link.output.as_str(), link.input.as_str()] {
+                assert!(
+                    !swapped.contains(&name),
+                    "buffer {name:?} appears in more than one carry link; \
+                     a carried array can only ping-pong with one partner"
+                );
+            }
+            swapped.push(&link.output);
+            if link.input != link.output {
+                swapped.push(&link.input);
+            }
+        }
+        Self {
+            phases,
+            links: Vec::new(),
+            iterate: Some(IterSpec { n, carry }),
+        }
+    }
+
+    /// Validates one transition's link list against the producer/consumer
+    /// layouts. `consumer` and `default_producer` are phase indices into
+    /// `phases`; for carry links both are `0` (the body feeds itself).
+    fn check_links(
+        phases: &[SharedWorkload],
+        transition: &[PhaseLink],
+        consumer: usize,
+        default_producer: usize,
+    ) {
+        let to = phases[consumer].data_layout();
+        let mut bound_inputs: Vec<&str> = Vec::new();
+        let mut seen: Vec<(usize, &str, &str)> = Vec::new();
+        for link in transition {
+            let q = link.producer.unwrap_or(default_producer);
+            assert!(
+                q <= default_producer,
+                "link {:?} -> {:?} into phase {consumer} names producer phase {q}, \
+                 which does not precede the consumer",
+                link.output,
+                link.input
+            );
+            let triple = (q, link.output.as_str(), link.input.as_str());
+            assert!(
+                !seen.contains(&triple),
+                "duplicate link: buffer {:?} of phase {q} is already bound to \
+                 input {:?} of phase {consumer}",
+                link.output,
+                link.input
+            );
+            seen.push(triple);
+            let from = phases[q].data_layout();
+            let src = from.get(&link.output).unwrap_or_else(|| {
+                panic!(
+                    "phase {q} ({}) has no buffer named {:?}",
+                    phases[q].name(),
+                    link.output
+                )
+            });
+            let dst = to.get(&link.input).unwrap_or_else(|| {
+                panic!(
+                    "phase {consumer} ({}) has no buffer named {:?}",
+                    phases[consumer].name(),
+                    link.input
+                )
+            });
+            assert!(
+                src.role.is_exposable(),
+                "buffer {:?} of phase {q} is a pure input and exposes no data",
+                link.output
+            );
+            assert!(
+                dst.role.is_bindable(),
+                "buffer {:?} of phase {consumer} (role {:?}) cannot be bound",
+                link.input,
+                dst.role
+            );
+            assert_eq!(
+                src.elems, dst.elems,
+                "cannot bind {:?} ({} elements) to {:?} ({} elements)",
+                link.output, src.elems, link.input, dst.elems
+            );
+            assert!(
+                !bound_inputs.contains(&link.input.as_str()),
+                "input {:?} of phase {consumer} is bound twice",
+                link.input
+            );
+            bound_inputs.push(&link.input);
+        }
+    }
+
+    /// The phases, in execution order (the single body for an iterated
+    /// composite).
     #[must_use]
     pub fn phases(&self) -> &[SharedWorkload] {
         &self.phases
     }
 
-    /// The output→input binding map, one entry per phase transition.
+    /// The output→input binding map, one entry per phase transition (empty
+    /// for an iterated composite — see [`Composite::carry_links`]).
     #[must_use]
     pub fn links(&self) -> &[Vec<PhaseLink>] {
         &self.links
+    }
+
+    /// The carry links of an iterated composite (empty otherwise).
+    #[must_use]
+    pub fn carry_links(&self) -> &[PhaseLink] {
+        self.iterate.as_ref().map_or(&[], |s| &s.carry)
+    }
+
+    /// Number of times the body runs: the unroll factor for an iterated
+    /// composite, `1` otherwise.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.iterate.as_ref().map_or(1, |s| s.n)
     }
 
     /// Whether any phase transition carries a data binding.
@@ -174,20 +386,157 @@ impl Composite {
     fn prefix(p: usize) -> String {
         format!("p{p}.")
     }
+
+    /// Rebases an address through the first matching rule (identity when
+    /// none matches) — the address-side companion of
+    /// [`IrKernel::concat_remapped`], applied to checks and reference
+    /// outputs so they follow the kernel onto rebased buffers.
+    fn rebase_addr(rules: &[RebaseRule], addr: u64) -> u64 {
+        rules.iter().find_map(|r| r.apply(addr)).unwrap_or(addr)
+    }
+
+    /// The unrolled build of an iterated composite: the body is built once
+    /// per iteration (its golden reference chained through the carry
+    /// links), concatenated with the ping-pong rebase map on odd
+    /// iterations, and only the final iteration's checks survive.
+    fn build_iterated(
+        &self,
+        spec: &IterSpec,
+        mem: &mut MemoryHierarchy,
+        ctx: &VectorContext,
+        plan: &PlannedLayout,
+        bindings: &BufferBindings,
+    ) -> WorkloadSetup {
+        let body = &self.phases[0];
+        let prefix = Self::prefix(0);
+        let sub = plan.subset(&prefix);
+
+        // The ping-pong map: every carried (output, input) array pair is
+        // swapped on odd iterations, so iteration k + 1 reads where
+        // iteration k wrote and writes where iteration k read. An in-place
+        // carry (output and input are the same InOut buffer) needs no swap.
+        let mut swap: Vec<RebaseRule> = Vec::new();
+        for link in &spec.carry {
+            let out = sub.buffer(&link.output);
+            let inp = sub.buffer(&link.input);
+            if out.base != inp.base {
+                swap.extend(RebaseRule::swapped(inp.base, out.base, out.bytes()));
+            }
+        }
+
+        let mut kernel = IrKernel {
+            name: self.name().to_string(),
+            ..Default::default()
+        };
+        let mut phase_marks = Vec::new();
+        let mut strips = 0u64;
+        let mut warm_ranges = Vec::new();
+        let mut prev_outputs: Vec<OutputValues> = Vec::new();
+        let mut final_checks: Vec<Check> = Vec::new();
+
+        for k in 0..spec.n {
+            let mut phase_bindings = BufferBindings::none();
+            // Externally-bound composite inputs (the nesting path, as in
+            // the pipelined build) apply to *every* iteration: a
+            // non-carried bound input is re-read from the same upstream
+            // array on every pass, so every iteration's reference must
+            // consume the bound values — binding only iteration 0 would
+            // let later references regenerate the input and diverge from
+            // the simulated dataflow.
+            for buf in sub.buffers() {
+                if let Some(values) = bindings.get(&format!("{prefix}{}", buf.spec.name)) {
+                    phase_bindings.bind(buf.spec.name.clone(), values.to_vec());
+                }
+            }
+            if k > 0 {
+                // The carry: this iteration's reference runs on the
+                // previous iteration's reference outputs. (A carried input
+                // can only be externally bound when `n == 1` — the outer
+                // constructor's `overwrites_bound_input` check rejects it
+                // otherwise — so the carry never fights an external
+                // binding here.)
+                for link in &spec.carry {
+                    let src = prev_outputs
+                        .iter()
+                        .find(|o| o.name == link.output)
+                        .unwrap_or_else(|| {
+                            panic!("iteration {} produced no output {:?}", k - 1, link.output)
+                        });
+                    phase_bindings.bind(link.input.clone(), src.values.clone());
+                }
+            }
+            let rebase: &[RebaseRule] = if k % 2 == 1 { &swap } else { &[] };
+            let part = body.build_with_bindings(mem, ctx, &sub, &phase_bindings);
+            kernel.concat_remapped(&part.kernel, rebase);
+            phase_marks.push(PhaseMark {
+                name: format!("it{k}:{}", body.name()),
+                iter: Some(k),
+                ir_end: kernel.len(),
+            });
+            strips += part.strips;
+            if k == 0 {
+                // Every later iteration touches the same two physical
+                // arrays per carried buffer, already covered here.
+                warm_ranges.extend(part.warm_ranges);
+            }
+            // Intermediate checks are superseded: each iteration rewrites
+            // (or parity-swaps) every output array, so only the converged
+            // state — the final iteration's checks — is validated.
+            final_checks = part
+                .checks
+                .into_iter()
+                .map(|mut c| {
+                    c.addr = Self::rebase_addr(rebase, c.addr);
+                    c
+                })
+                .collect();
+            prev_outputs = part
+                .outputs
+                .into_iter()
+                .map(|mut o| {
+                    o.base = Self::rebase_addr(rebase, o.base);
+                    o
+                })
+                .collect();
+        }
+
+        let outputs = prev_outputs
+            .iter()
+            .map(|o| OutputValues {
+                name: format!("{prefix}{}", o.name),
+                base: o.base,
+                values: o.values.clone(),
+            })
+            .collect();
+        WorkloadSetup {
+            kernel,
+            checks: final_checks,
+            strips,
+            outputs,
+            warm_ranges,
+            phase_marks,
+        }
+    }
 }
 
 impl std::fmt::Debug for Composite {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Composite")
-            .field("phases", &self.phase_names())
-            .field("links", &self.links)
-            .finish()
+        let mut s = f.debug_struct("Composite");
+        s.field("phases", &self.phase_names());
+        if let Some(spec) = &self.iterate {
+            s.field("iterations", &spec.n).field("carry", &spec.carry);
+        } else {
+            s.field("links", &self.links);
+        }
+        s.finish()
     }
 }
 
 impl Workload for Composite {
     fn name(&self) -> &'static str {
-        if self.is_pipelined() {
+        if self.iterate.is_some() {
+            "iterated"
+        } else if self.is_pipelined() {
             "pipelined"
         } else {
             "composite"
@@ -200,14 +549,41 @@ impl Workload for Composite {
 
     fn elements(&self) -> usize {
         // The sweep scheduler's cost estimate: a mix costs the sum of its
-        // phases (pipelined or not), so composite points rank ahead of
-        // their largest phase.
-        self.phases.iter().map(|p| p.elements()).sum()
+        // phases (and an iterated mix runs its body n times), so composite
+        // points rank ahead of their largest phase.
+        self.phases.iter().map(|p| p.elements()).sum::<usize>() * self.iterations()
+    }
+
+    fn overwrites_bound_input(&self, input: &str) -> bool {
+        // Resolve the phase prefix ("p1.rest", possibly nested) and
+        // delegate inward.
+        let Some((p, rest)) = input
+            .strip_prefix('p')
+            .and_then(|s| s.split_once('.'))
+            .and_then(|(idx, rest)| idx.parse::<usize>().ok().map(|p| (p, rest)))
+        else {
+            return false;
+        };
+        let Some(phase) = self.phases.get(p) else {
+            return false;
+        };
+        if let Some(spec) = &self.iterate {
+            // A carried input is written by the ping-pong swap whenever a
+            // second iteration exists, whatever its declared role: the
+            // bound upstream buffer becomes one of the two alternating
+            // arrays and the producer's values are destroyed.
+            if spec.n >= 2 && spec.carry.iter().any(|l| l.input == rest) {
+                return true;
+            }
+        }
+        phase.overwrites_bound_input(rest)
     }
 
     fn data_layout(&self) -> DataLayout {
         // The union of the phase layouts, each phase's buffer names
-        // prefixed with `p{i}.` so equal phases do not collide.
+        // prefixed with `p{i}.` so equal phases do not collide. An iterated
+        // composite plans its body once — the unrolled iterations ping-pong
+        // over the same arrays.
         let mut union = DataLayout::new();
         for (p, phase) in self.phases.iter().enumerate() {
             for spec in phase.data_layout().buffers {
@@ -228,16 +604,19 @@ impl Workload for Composite {
         plan: &PlannedLayout,
         bindings: &BufferBindings,
     ) -> WorkloadSetup {
+        if let Some(spec) = &self.iterate {
+            return self.build_iterated(spec, mem, ctx, plan, bindings);
+        }
         let mut kernel = IrKernel {
             name: self.name().to_string(),
             ..Default::default()
         };
-        let mut checks = Vec::new();
-        // The previous phase's checks are held back one phase: if the next
-        // transition consumes one of its output buffers, the checks on that
-        // buffer are superseded by the consumer's chained checks.
-        let mut pending = Vec::new();
-        let mut prev_outputs: Vec<OutputValues> = Vec::new();
+        // Checks are held back per phase until the whole pipeline is wired:
+        // a link from *any* later transition that consumes one of a phase's
+        // output buffers supersedes that phase's checks on the buffer — the
+        // consumer's chained checks cover it downstream.
+        let mut deferred: Vec<Vec<Check>> = Vec::new();
+        let mut outputs_by_phase: Vec<Vec<OutputValues>> = Vec::new();
         let mut outputs = Vec::new();
         let mut warm_ranges = Vec::new();
         let mut phase_marks = Vec::new();
@@ -252,7 +631,7 @@ impl Workload for Composite {
             // composite is itself a phase of an outer pipeline, the outer
             // composite binds e.g. "p0.v" and rebases our whole kernel, so
             // the forwarded values line up with the rebased reads) plus
-            // the pipeline links from the previous phase's reference
+            // the pipeline links from the producer phases' reference
             // outputs.
             let mut phase_bindings = BufferBindings::none();
             for buf in sub.buffers() {
@@ -262,23 +641,24 @@ impl Workload for Composite {
             }
             let mut rebase = Vec::new();
             if p > 0 {
-                for (out_name, in_name) in &self.links[p - 1] {
-                    let src = prev_outputs
+                for link in &self.links[p - 1] {
+                    let q = link.producer.unwrap_or(p - 1);
+                    let src = outputs_by_phase[q]
                         .iter()
-                        .find(|o| &o.name == out_name)
+                        .find(|o| o.name == link.output)
                         .unwrap_or_else(|| {
-                            panic!("phase {} produced no output {out_name:?}", p - 1)
+                            panic!("phase {q} produced no output {:?}", link.output)
                         });
                     // Supersede the producer's checks on the consumed
                     // buffer: the consumer's chained reference covers it.
                     let (start, end) = src.range();
-                    pending.retain(|c: &crate::Check| !(c.addr >= start && c.addr < end));
+                    deferred[q].retain(|c| !(c.addr >= start && c.addr < end));
                     // The consumer's reference runs on the producer's
                     // reference output...
-                    phase_bindings.bind(in_name.clone(), src.values.clone());
+                    phase_bindings.bind(link.input.clone(), src.values.clone());
                     // ...and its kernel reads the producer's real output:
                     // the planned placeholder input is rebased away.
-                    let dst = sub.buffer(in_name);
+                    let dst = sub.buffer(&link.input);
                     rebase.push(RebaseRule {
                         old_base: dst.base,
                         bytes: dst.bytes(),
@@ -286,12 +666,12 @@ impl Workload for Composite {
                     });
                 }
             }
-            checks.append(&mut pending);
 
             let part = phase.build_with_bindings(mem, ctx, &sub, &phase_bindings);
             kernel.concat_remapped(&part.kernel, &rebase);
             phase_marks.push(PhaseMark {
                 name: format!("{p}:{}", phase.name()),
+                iter: None,
                 ir_end: kernel.len(),
             });
             strips += part.strips;
@@ -301,30 +681,31 @@ impl Workload for Composite {
             // the kernel onto the upstream buffer — an in-place bound
             // output (InOut) lands in the producer's array, and its checks
             // must look there too.
-            let rebase_addr = |addr: u64| rebase.iter().find_map(|r| r.apply(addr)).unwrap_or(addr);
-            pending = part
-                .checks
-                .into_iter()
-                .map(|mut c| {
-                    c.addr = rebase_addr(c.addr);
-                    c
-                })
-                .collect();
-            prev_outputs = part
+            deferred.push(
+                part.checks
+                    .into_iter()
+                    .map(|mut c| {
+                        c.addr = Self::rebase_addr(&rebase, c.addr);
+                        c
+                    })
+                    .collect(),
+            );
+            let rebased_outputs: Vec<OutputValues> = part
                 .outputs
                 .into_iter()
                 .map(|mut o| {
-                    o.base = rebase_addr(o.base);
+                    o.base = Self::rebase_addr(&rebase, o.base);
                     o
                 })
                 .collect();
-            outputs.extend(prev_outputs.iter().map(|o| OutputValues {
+            outputs.extend(rebased_outputs.iter().map(|o| OutputValues {
                 name: format!("{prefix}{}", o.name),
                 base: o.base,
                 values: o.values.clone(),
             }));
+            outputs_by_phase.push(rebased_outputs);
         }
-        checks.append(&mut pending);
+        let checks = deferred.into_iter().flatten().collect();
 
         WorkloadSetup {
             kernel,
@@ -342,7 +723,7 @@ mod tests {
     use std::sync::Arc;
 
     use super::*;
-    use crate::{validate, Axpy, Blackscholes, Check, Somier};
+    use crate::{validate, ArenaPlanner, Axpy, Blackscholes, Check, Somier};
 
     fn mix() -> Composite {
         Composite::new(vec![
@@ -357,6 +738,35 @@ mod tests {
             vec![Arc::new(Axpy::new(256)), Arc::new(Somier::new(256))],
             vec![links(&[("y", "v")])],
         )
+    }
+
+    fn solver(n: usize, iters: usize) -> Composite {
+        Composite::iterated(
+            Arc::new(Somier::relaxation(n)),
+            iters,
+            links(&[("xout", "x"), ("vout", "v")]),
+        )
+    }
+
+    /// The n-step scalar reference of the somier relaxation: returns the
+    /// final positions (with halo) and velocities after `iters` explicit
+    /// Euler steps, using exactly the fused operations of the kernel's
+    /// golden reference so equality is bit-exact.
+    fn relaxation_reference(n: usize, iters: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut gen = crate::data::DataGen::for_workload("somier");
+        let mut x = gen.uniform_vec(n + 2, -1.0, 1.0);
+        let mut v = gen.uniform_vec(n, -0.1, 0.1);
+        for _ in 0..iters {
+            let mut xn = x.clone();
+            for j in 0..n {
+                let force = 4.0 * (-2.0f64).mul_add(x[j + 1], x[j] + x[j + 2]);
+                let vnew = force.mul_add(0.001, v[j]);
+                xn[j + 1] = vnew.mul_add(0.001, x[j + 1]);
+                v[j] = vnew;
+            }
+            x = xn;
+        }
+        (x, v)
     }
 
     #[test]
@@ -389,6 +799,7 @@ mod tests {
             composite.phase_marks.last().unwrap().ir_end,
             composite.kernel.len()
         );
+        assert!(composite.phase_marks.iter().all(|m| m.iter.is_none()));
     }
 
     #[test]
@@ -425,6 +836,11 @@ mod tests {
             Axpy::new(256).elements()
                 + Somier::new(256).elements()
                 + Blackscholes::new(64).elements()
+        );
+        // An iterated mix costs its body times the unroll factor.
+        assert_eq!(
+            solver(256, 5).elements(),
+            5 * Somier::relaxation(256).elements()
         );
     }
 
@@ -529,6 +945,152 @@ mod tests {
     }
 
     #[test]
+    fn backward_links_chain_from_any_earlier_phase() {
+        // Phase 2 (somier) reads phase 0's (axpy's) output across the
+        // intermediate blackscholes stage: the reference must chain from
+        // phase 0, exactly as a consecutive link would.
+        let chained = Composite::pipelined(
+            vec![
+                Arc::new(Axpy::new(256)),
+                Arc::new(Blackscholes::new(64)),
+                Arc::new(Somier::new(256)),
+            ],
+            vec![Vec::new(), links_from(&[(0, "y", "v")])],
+        );
+        let mut mem = MemoryHierarchy::default();
+        let ctx = VectorContext::with_mvl(16);
+        let setup = chained.build(&mut mem, &ctx);
+
+        let axpy_y = setup.output("p0.y");
+        let somier_vout = setup.output("p2.vout");
+        let somier_x = {
+            let mut gen = crate::data::DataGen::for_workload("somier");
+            gen.uniform_vec(256 + 2, -1.0, 1.0)
+        };
+        for j in 0..256 {
+            let force = 4.0 * (-2.0f64).mul_add(somier_x[j + 1], somier_x[j] + somier_x[j + 2]);
+            let expected = force.mul_add(0.001, axpy_y.values[j]);
+            assert_eq!(somier_vout.values[j], expected, "element {j}");
+        }
+        // The consumed y checks are superseded even though they belong to a
+        // non-adjacent producer.
+        let (ys, ye) = axpy_y.range();
+        assert!(setup.checks.iter().all(|c| c.addr < ys || c.addr >= ye));
+        // And somier's velocity loads were rebased onto axpy's buffer.
+        assert!(setup
+            .kernel
+            .instrs
+            .iter()
+            .any(|i| i.opcode == ava_isa::Opcode::VLoad
+                && i.mem.is_some_and(|m| m.base >= ys && m.base < ye)));
+    }
+
+    #[test]
+    fn iterated_matches_the_iterated_scalar_reference_bit_exactly() {
+        for iters in [1, 3, 4] {
+            let mut mem = MemoryHierarchy::default();
+            let setup = solver(128, iters).build(&mut mem, &VectorContext::with_mvl(16));
+            let (x_ref, v_ref) = relaxation_reference(128, iters);
+            assert_eq!(setup.output("p0.xout").values, x_ref, "{iters} iterations");
+            assert_eq!(setup.output("p0.vout").values, v_ref, "{iters} iterations");
+            // Only the converged state is validated: the final iteration's
+            // checks, nothing from intermediate iterations.
+            assert_eq!(setup.checks.len(), 2 * 128 + 2, "{iters} iterations");
+            // Phase marks carry the iteration index.
+            assert_eq!(setup.phase_marks.len(), iters);
+            for (k, mark) in setup.phase_marks.iter().enumerate() {
+                assert_eq!(mark.iter, Some(k));
+                assert_eq!(mark.name, format!("it{k}:somier"));
+            }
+        }
+    }
+
+    #[test]
+    fn iterated_ping_pongs_between_the_two_physical_arrays() {
+        let n = 64;
+        let mut mem = MemoryHierarchy::default();
+        let plan = ArenaPlanner::new().plan(&mut mem, &solver(n, 1).data_layout());
+        let x = plan.buffer("p0.x").range();
+        let xout = plan.buffer("p0.xout").range();
+
+        for iters in [1, 2, 3, 4] {
+            let mut mem = MemoryHierarchy::default();
+            let setup = solver(n, iters).build(&mut mem, &VectorContext::with_mvl(16));
+            // The final iteration (index iters - 1) writes the planned xout
+            // array when its index is even, the planned x array when odd.
+            let expected = if (iters - 1) % 2 == 0 { xout } else { x };
+            let out = setup.output("p0.xout");
+            assert_eq!(
+                (out.base, out.base + (out.values.len() * 8) as u64),
+                expected,
+                "{iters} iterations must converge in the {} array",
+                if (iters - 1) % 2 == 0 { "xout" } else { "x" }
+            );
+            // No copies: only the two arrays are ever stored to for the
+            // carried positions, alternating by iteration parity.
+            for (k, mark) in setup.phase_marks.iter().enumerate() {
+                let start = if k == 0 {
+                    0
+                } else {
+                    setup.phase_marks[k - 1].ir_end
+                };
+                let writes_xout = setup.kernel.instrs[start..mark.ir_end]
+                    .iter()
+                    .filter(|i| i.opcode == ava_isa::Opcode::VStore)
+                    .filter_map(|i| i.mem)
+                    .filter(|m| m.base >= xout.0 && m.base < xout.1)
+                    .count();
+                let writes_x = setup.kernel.instrs[start..mark.ir_end]
+                    .iter()
+                    .filter(|i| i.opcode == ava_isa::Opcode::VStore)
+                    .filter_map(|i| i.mem)
+                    .filter(|m| m.base >= x.0 && m.base < x.1)
+                    .count();
+                if k % 2 == 0 {
+                    assert!(writes_xout > 0 && writes_x == 0, "iteration {k}");
+                } else {
+                    assert!(writes_x > 0 && writes_xout == 0, "iteration {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_iteration_matches_the_plain_body() {
+        let mut mem = MemoryHierarchy::default();
+        let ctx = VectorContext::with_mvl(16);
+        let one = solver(128, 1).build(&mut mem, &ctx);
+        let mut mem2 = MemoryHierarchy::default();
+        let plain = Somier::relaxation(128).build(&mut mem2, &ctx);
+        assert_eq!(one.kernel.len(), plain.kernel.len());
+        assert_eq!(one.checks, plain.checks);
+        assert_eq!(one.strips, plain.strips);
+        assert_eq!(one.output("p0.vout").values, plain.output("vout").values);
+    }
+
+    #[test]
+    fn in_place_carry_needs_no_swap() {
+        // Axpy's y is InOut: carrying y -> y iterates truly in place. The
+        // reference must still chain (y_k = a * x + y_{k-1}).
+        let iterated = Composite::iterated(Arc::new(Axpy::new(64)), 3, links(&[("y", "y")]));
+        let mut mem = MemoryHierarchy::default();
+        let setup = iterated.build(&mut mem, &VectorContext::with_mvl(16));
+        let mut gen = crate::data::DataGen::for_workload("axpy");
+        let x = gen.uniform_vec(64, -1.0, 1.0);
+        let mut y = gen.uniform_vec(64, -1.0, 1.0);
+        for _ in 0..3 {
+            for j in 0..64 {
+                y[j] = 1.75f64.mul_add(x[j], y[j]);
+            }
+        }
+        assert_eq!(setup.output("p0.y").values, y);
+        // All three iterations write the same physical array.
+        let plan =
+            ArenaPlanner::new().plan(&mut MemoryHierarchy::default(), &iterated.data_layout());
+        assert_eq!(setup.output("p0.y").base, plan.addr("p0.y"));
+    }
+
+    #[test]
     fn nested_pipelined_composites_chain_through_the_outer_links() {
         // Outer pipeline: axpy feeds a nested pipeline (somier → axpy)
         // through the inner composite's prefixed buffer name "p0.v". The
@@ -617,6 +1179,165 @@ mod tests {
             vec![Arc::new(Somier::new(64)), Arc::new(Axpy::new(64))],
             vec![links(&[("xout", "x"), ("vout", "x")])],
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate link: buffer \"y\"")]
+    fn duplicate_link_pairs_are_rejected_with_the_buffer_name() {
+        // A repeated (output, input) pair used to surface only as an opaque
+        // overlapping-RebaseRule panic deep inside concat_remapped; the
+        // constructor now names the offending buffer.
+        let _ = Composite::pipelined(
+            vec![Arc::new(Axpy::new(64)), Arc::new(Somier::new(64))],
+            vec![links(&[("y", "v"), ("y", "v")])],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate link: buffer \"xout\"")]
+    fn duplicate_carry_pairs_are_rejected() {
+        let _ = Composite::iterated(
+            Arc::new(Somier::relaxation(64)),
+            2,
+            links(&[("xout", "x"), ("xout", "x")]),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "appears in more than one carry link")]
+    fn carry_buffers_with_two_swap_partners_are_rejected() {
+        // One output fanned into two inputs passes the duplicate-pair and
+        // bound-twice checks but would build overlapping ping-pong rules;
+        // the constructor must name the buffer instead of panicking inside
+        // concat_remapped on a sweep worker thread. Somier's relaxation
+        // xout matches both x (halo-sized) and... nothing else, so use
+        // axpy, whose x and y are both n-sized.
+        let _ = Composite::iterated(Arc::new(Axpy::new(64)), 2, links(&[("y", "x"), ("y", "y")]));
+    }
+
+    #[test]
+    fn external_bindings_apply_to_every_iteration() {
+        // Outer pipeline binding a NON-carried input of an iterated
+        // composite: the kernel re-reads the producer's (constant) array
+        // on every iteration, so every iteration's golden reference must
+        // consume the bound values — not just iteration 0's.
+        let n = 64;
+        let inner: SharedWorkload = Arc::new(Composite::iterated(
+            Arc::new(Somier::relaxation(n)),
+            2,
+            links(&[("xout", "x")]), // x carried; v deliberately NOT
+        ));
+        let outer = Composite::pipelined(
+            vec![Arc::new(Axpy::new(n)), inner],
+            vec![links(&[("y", "p0.v")])],
+        );
+        let mut mem = MemoryHierarchy::default();
+        let setup = outer.build(&mut mem, &VectorContext::with_mvl(16));
+        let y = setup.output("p0.y").values.clone();
+
+        // Hand-step the true dataflow: positions carry, velocities are
+        // re-read from axpy's y output on every iteration.
+        let mut gen = crate::data::DataGen::for_workload("somier");
+        let mut x = gen.uniform_vec(n + 2, -1.0, 1.0);
+        let mut vout = vec![0.0; n];
+        for _ in 0..2 {
+            let mut xn = x.clone();
+            for j in 0..n {
+                let force = 4.0 * (-2.0f64).mul_add(x[j + 1], x[j] + x[j + 2]);
+                let vnew = force.mul_add(0.001, y[j]);
+                xn[j + 1] = vnew.mul_add(0.001, x[j + 1]);
+                vout[j] = vnew;
+            }
+            x = xn;
+        }
+        assert_eq!(setup.output("p1.p0.vout").values, vout);
+        assert_eq!(setup.output("p1.p0.xout").values, x);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not precede the consumer")]
+    fn forward_producer_indices_are_rejected() {
+        let _ = Composite::pipelined(
+            vec![
+                Arc::new(Axpy::new(64)),
+                Arc::new(Somier::new(64)),
+                Arc::new(Axpy::new(64)),
+            ],
+            vec![Vec::new(), links_from(&[(2, "y", "x")])],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overwritten in place")]
+    fn consuming_an_overwritten_output_is_rejected() {
+        // Phase 1 consumes axpy's y in place (InOut), destroying the
+        // produced values; phase 2's backward link onto them must fail at
+        // construction.
+        let _ = Composite::pipelined(
+            vec![
+                Arc::new(Somier::new(64)),
+                Arc::new(Axpy::new(64)),
+                Arc::new(Axpy::new(64)),
+            ],
+            vec![links(&[("vout", "y")]), links_from(&[(0, "vout", "y")])],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overwritten in place")]
+    fn consuming_an_output_destroyed_by_an_iterated_consumer_is_rejected() {
+        // The iterated middle phase carries "v" (declared role: plain
+        // Input), so its odd iterations write into whatever array the
+        // outer link rebases "p0.v" onto — destroying axpy's produced y
+        // values. A later backward link onto them must fail at
+        // construction, not as a confusing validation failure mid-sweep.
+        let middle: SharedWorkload = Arc::new(Composite::iterated(
+            Arc::new(Somier::relaxation(64)),
+            2,
+            links(&[("xout", "x"), ("vout", "v")]),
+        ));
+        let _ = Composite::pipelined(
+            vec![Arc::new(Axpy::new(64)), middle, Arc::new(Axpy::new(64))],
+            vec![links(&[("y", "p0.v")]), links_from(&[(0, "y", "y")])],
+        );
+    }
+
+    #[test]
+    fn single_iteration_consumers_do_not_destroy_bound_inputs() {
+        // With n = 1 there is no ping-pong write, so the same wiring is
+        // legal: the producer's output survives for the backward link.
+        let middle: SharedWorkload = Arc::new(Composite::iterated(
+            Arc::new(Somier::relaxation(64)),
+            1,
+            links(&[("xout", "x"), ("vout", "v")]),
+        ));
+        let piped = Composite::pipelined(
+            vec![Arc::new(Axpy::new(64)), middle, Arc::new(Axpy::new(64))],
+            vec![links(&[("y", "p0.v")]), links_from(&[(0, "y", "y")])],
+        );
+        // And the wiring genuinely builds and validates its own checks.
+        let mut mem = MemoryHierarchy::default();
+        let setup = piped.build(&mut mem, &VectorContext::with_mvl(16));
+        for c in &setup.checks {
+            mem.write_f64(c.addr, c.expected);
+        }
+        assert!(validate(&mem, &setup.checks).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not name an explicit producer")]
+    fn explicit_producers_in_carry_links_are_rejected() {
+        let _ = Composite::iterated(
+            Arc::new(Somier::relaxation(64)),
+            2,
+            links_from(&[(0, "xout", "x")]),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_are_rejected() {
+        let _ = Composite::iterated(Arc::new(Somier::relaxation(64)), 0, Vec::new());
     }
 
     #[test]

@@ -91,8 +91,14 @@ impl OutputValues {
 /// simulator uses these to report per-phase cycle/memory breakdowns.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhaseMark {
-    /// Display name of the phase ("0:axpy", ...).
+    /// Display name of the phase ("0:axpy" for pipeline stages,
+    /// "it3:somier" for unrolled iterations).
     pub name: String,
+    /// Iteration index for phases produced by unrolling an iterated
+    /// composite (`None` for ordinary pipeline stages). Threaded into the
+    /// per-phase report breakdowns so downstream consumers can group
+    /// per-iteration costs.
+    pub iter: Option<usize>,
     /// Exclusive IR-instruction end index of the phase.
     pub ir_end: usize,
 }
@@ -156,6 +162,21 @@ pub trait Workload {
     /// and writes, in placement order. Sizes depend only on the problem
     /// size, so composites can validate bindings without a machine context.
     fn data_layout(&self) -> DataLayout;
+
+    /// Whether binding the input named `input` destroys the bound
+    /// (upstream) buffer's contents at run time — i.e. whether this
+    /// workload's kernel, once rebased onto the producer's array, writes
+    /// into it. True for `InOut` inputs by default; [`Composite`] refines
+    /// it (an iterated composite's carried input is written by the
+    /// ping-pong swap even though its declared role is a plain `Input`).
+    /// `Composite::pipelined` uses this to reject, at construction, a
+    /// later link onto an output that no longer exists by the time it
+    /// would be read.
+    fn overwrites_bound_input(&self, input: &str) -> bool {
+        self.data_layout()
+            .get(input)
+            .is_some_and(|b| b.role == BufferRole::InOut)
+    }
 
     /// Step 2 of the build protocol: generates input data (for unbound
     /// inputs), the vector IR trace for the machine described by `ctx` (its

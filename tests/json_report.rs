@@ -361,6 +361,57 @@ fn per_phase_breakdowns_round_trip_through_the_json_pipeline() {
 }
 
 #[test]
+fn per_iteration_breakdowns_round_trip_with_iter_and_phase_labels() {
+    let solver = Composite::iterated(
+        Arc::new(Somier::relaxation(256)),
+        4,
+        composite::links(&[("xout", "x"), ("vout", "v")]),
+    );
+    let run = run_workload(&solver, &ScenarioConfig::ava_x(2));
+    assert!(run.validated, "{:?}", run.validation_error);
+    let parsed = parse(&run.to_json().to_string());
+
+    let phases = parsed.get("phases").as_arr();
+    assert_eq!(phases.len(), 4);
+    for (k, phase) in phases.iter().enumerate() {
+        // Iteration grouping: the unrolled iteration index plus the bare
+        // body label, alongside the display name.
+        assert_eq!(phase.get("name").as_str(), format!("it{k}:somier"));
+        assert_eq!(phase.get("iter").as_u64(), k as u64);
+        assert_eq!(phase.get("phase").as_str(), "somier");
+    }
+    // The per-iteration counters partition the run totals exactly.
+    assert_eq!(
+        phases
+            .iter()
+            .map(|p| p.get("vpu_cycles").as_u64())
+            .sum::<u64>(),
+        run.vpu_cycles
+    );
+    assert_eq!(
+        phases
+            .iter()
+            .map(|p| p.get("vpu").get("vloads").as_u64())
+            .sum::<u64>(),
+        run.vpu.vloads
+    );
+    assert_eq!(
+        phases
+            .iter()
+            .map(|p| p.get("mem").get("vmu_bytes").as_u64())
+            .sum::<u64>(),
+        run.mem.vmu_bytes
+    );
+    // Pipeline stages stay unlabelled: no iter key outside iterated mixes.
+    let pipe = Composite::pipelined(
+        vec![Arc::new(Axpy::new(256)), Arc::new(Somier::new(256))],
+        vec![composite::links(&[("y", "v")])],
+    );
+    let piped = run_workload(&pipe, &ScenarioConfig::ava_x(2));
+    assert!(!piped.to_json().to_string().contains("\"iter\""));
+}
+
+#[test]
 fn scenario_axis_metadata_round_trips_through_the_json_pipeline() {
     let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(256))];
     let scenarios = ScenarioConfig::axis_l2_kib(&ScenarioConfig::axis_mvl(&[128, 256]), &[512]);

@@ -464,6 +464,187 @@ fn broken_binding_fails_validation() {
     assert!(err.contains("expected"), "{err}");
 }
 
+/// The iterative-solver mix of ISSUE 5's acceptance grid: the somier
+/// relaxation body unrolled `iters` times with ping-pong carry links.
+fn solver(n: usize, iters: usize) -> Composite {
+    Composite::iterated(
+        Arc::new(Somier::relaxation(n)),
+        iters,
+        composite::links(&[("xout", "x"), ("vout", "v")]),
+    )
+}
+
+/// The solver acceptance grid: MVL × L2 × iteration count. Every point must
+/// validate against the `n`-step scalar reference (only the converged state
+/// is checked), report one `iter`-labelled breakdown per iteration that
+/// partitions the run totals exactly, and stay bit-identical between serial
+/// and parallel execution. Odd and even iteration counts cover both
+/// ping-pong parities.
+#[test]
+fn iterated_solver_grid_is_bit_identical_validated_and_iteration_attributed() {
+    let scenarios =
+        ScenarioConfig::axis_l2_kib(&ScenarioConfig::axis_mvl(&[128, 256]), &[256, 1024]);
+    let iter_axis = [3usize, 4];
+    let workloads: Vec<SharedWorkload> = iter_axis
+        .iter()
+        .map(|&iters| Arc::new(solver(1024, iters)) as SharedWorkload)
+        .collect();
+    let sweep = Sweep::grid(workloads, scenarios);
+    assert_eq!(sweep.len(), 8);
+
+    let serial = sweep.run_serial();
+    for (i, r) in serial.iter().enumerate() {
+        let iters = iter_axis[i / 4];
+        assert_eq!(r.workload, "iterated");
+        assert!(
+            r.validated,
+            "{iters}-step solver on {}: {:?}",
+            r.config, r.validation_error
+        );
+        // One breakdown per unrolled iteration, labelled with its index.
+        assert_eq!(r.phases.len(), iters, "{}", r.config);
+        for (k, phase) in r.phases.iter().enumerate() {
+            assert_eq!(phase.iter, Some(k), "{}", r.config);
+            assert_eq!(phase.name, format!("it{k}:somier"));
+        }
+        // The per-iteration counters partition the run totals exactly.
+        assert_eq!(
+            r.phases.iter().map(|p| p.vpu_cycles).sum::<u64>(),
+            r.vpu_cycles,
+            "{}: iteration cycles must partition the total",
+            r.config
+        );
+        assert_eq!(
+            r.phases.iter().map(|p| p.vpu.issued_instrs()).sum::<u64>(),
+            r.vpu.issued_instrs(),
+            "{}: iteration instruction counts must partition the total",
+            r.config
+        );
+        assert_eq!(
+            r.phases.iter().map(|p| p.mem.vmu_bytes).sum::<u64>(),
+            r.mem.vmu_bytes,
+            "{}: iteration VMU traffic must partition the total",
+            r.config
+        );
+    }
+    for threads in [2, 5] {
+        let parallel = sweep.run_parallel_with(threads);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                format!("{s:?}"),
+                format!("{p:?}"),
+                "{} on {} ({threads} threads)",
+                s.workload,
+                s.config
+            );
+        }
+    }
+}
+
+/// A deliberately mis-wired carry link — the reference chain correctly
+/// iterated, but the unrolled kernel missing the ping-pong rebase, so
+/// iteration 2 re-reads iteration 1's *inputs* instead of its outputs —
+/// must fail validation when simulated.
+#[test]
+fn mis_wired_carry_link_fails_validation() {
+    use ava::workloads::{BufferBindings, Workload, WorkloadSetup};
+
+    struct MisWired;
+    impl Workload for MisWired {
+        fn name(&self) -> &'static str {
+            "mis-wired-carry"
+        }
+        fn domain(&self) -> &'static str {
+            "test"
+        }
+        fn elements(&self) -> usize {
+            solver(256, 2).elements()
+        }
+        fn data_layout(&self) -> ava::workloads::DataLayout {
+            solver(256, 2).data_layout()
+        }
+        fn build_with_bindings(
+            &self,
+            mem: &mut ava::memory::MemoryHierarchy,
+            ctx: &ava::isa::VectorContext,
+            plan: &ava::workloads::PlannedLayout,
+            _bindings: &BufferBindings,
+        ) -> WorkloadSetup {
+            let body = Somier::relaxation(256);
+            let sub = plan.subset("p0.");
+            let first = body.build_with_bindings(mem, ctx, &sub, &BufferBindings::none());
+            // The reference chain is correct: iteration 2's golden
+            // reference consumes iteration 1's reference outputs...
+            let mut carried = BufferBindings::none();
+            carried.bind("x", first.output("xout").values.clone());
+            carried.bind("v", first.output("vout").values.clone());
+            let second = body.build_with_bindings(mem, ctx, &sub, &carried);
+            // ...but the kernel is concatenated WITHOUT the ping-pong
+            // rebase map, so at run time iteration 2 re-reads the original
+            // input arrays and recomputes iteration 1's state.
+            let mut setup = first;
+            setup.kernel.concat(&second.kernel);
+            setup.strips += second.strips;
+            // Only the "converged" state is checked, as in the real
+            // iterated composite.
+            setup.checks = second.checks;
+            setup.outputs = second.outputs;
+            setup
+        }
+    }
+
+    let report = run_workload(&MisWired, &ScenarioConfig::ava_x(4));
+    assert!(
+        !report.validated,
+        "a carry link missing its rebase must fail the iterated checks"
+    );
+    let err = report.validation_error.unwrap();
+    assert!(err.contains("expected"), "{err}");
+}
+
+/// An iterated composite nested inside an outer pipeline, with the outer
+/// link feeding a NON-carried input of the solver body: the kernel re-reads
+/// the producer's array on every iteration, so the chained reference must
+/// bind the external values on every iteration too — this wiring passes
+/// every construction check and must validate when simulated.
+#[test]
+fn nested_iterated_composite_with_external_binding_validates() {
+    let n = 256;
+    let inner: SharedWorkload = Arc::new(Composite::iterated(
+        Arc::new(Somier::relaxation(n)),
+        2,
+        composite::links(&[("xout", "x")]), // positions carry; velocities do not
+    ));
+    let outer = Composite::pipelined(
+        vec![Arc::new(Axpy::new(n)), inner],
+        vec![composite::links(&[("y", "p0.v")])],
+    );
+    let report = run_workload(&outer, &ScenarioConfig::ava_x(4));
+    assert!(report.validated, "{:?}", report.validation_error);
+    assert_eq!(report.phases.len(), 2);
+}
+
+/// A backward link (producer two phases upstream) must simulate and
+/// validate end to end, chaining the reference across the intermediate
+/// phase.
+#[test]
+fn backward_linked_pipeline_simulates_and_validates() {
+    let piped = Composite::pipelined(
+        vec![
+            Arc::new(Axpy::new(512)),
+            Arc::new(Blackscholes::new(64)),
+            Arc::new(Somier::new(512)),
+        ],
+        vec![Vec::new(), composite::links_from(&[(0, "y", "v")])],
+    );
+    let report = run_workload(&piped, &ScenarioConfig::ava_x(4));
+    assert!(report.validated, "{:?}", report.validation_error);
+    assert_eq!(report.phases.len(), 3);
+    // (That the chain is load-bearing — somier's reference consuming
+    // axpy's across the intermediate stage — is pinned by the
+    // `backward_links_chain_from_any_earlier_phase` unit test.)
+}
+
 /// A composite point must agree exactly with the plain runner on the same
 /// scenario — the concatenated phases go through the shared compile cache
 /// like any other kernel.
