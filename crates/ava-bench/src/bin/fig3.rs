@@ -32,11 +32,11 @@ use std::process::ExitCode;
 
 use ava_bench::cli::{emit_json, take_json_flag};
 use ava_bench::{
-    evaluated_systems, figure3_sweep, format_energy, format_instruction_mix,
-    format_memory_breakdown, format_performance, paper_workloads, pipelined_mix, solver_mix,
-    sweep_energy_json,
+    evaluated_systems, format_energy, format_instruction_mix, format_memory_breakdown,
+    format_performance, paper_workloads, pipelined_mix, solver_mix, sweep_energy_json,
 };
 use ava_sim::json::object;
+use ava_sim::{ScenarioConfig, Sweep};
 use ava_workloads::SharedWorkload;
 
 fn main() -> ExitCode {
@@ -118,6 +118,15 @@ fn main() -> ExitCode {
     if mix == "solver" {
         pool.push(solver_mix(4096, iters.unwrap_or(4)));
     }
+    // Solver sweeps record the unroll depth as a first-class scenario axis
+    // so every emitted report carries `"axes":{"iters":n}`.
+    let systems: Vec<ScenarioConfig> = match mix.as_str() {
+        "solver" => evaluated_systems()
+            .into_iter()
+            .map(|c| c.with_iters(iters.unwrap_or(4)))
+            .collect(),
+        _ => evaluated_systems(),
+    };
     let workloads: Vec<SharedWorkload> = pool
         .into_iter()
         .filter(|w| app_filter.as_ref().is_none_or(|f| w.name() == f))
@@ -127,8 +136,8 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let per_workload = evaluated_systems().len();
-    let sweep = figure3_sweep(workloads.clone());
+    let per_workload = systems.len();
+    let sweep = Sweep::grid(workloads.clone(), systems);
     eprintln!(
         "sweeping {} points ({} workloads x {} configurations)...",
         sweep.len(),

@@ -21,8 +21,10 @@
 //! (`Composite::iterated`, named "iterated"): the relaxation body unrolled
 //! `--iters` times (default 4; the flag is only accepted together with
 //! `--mix solver`) with position/velocity carry links ping-ponging between
-//! two arrays, validated against the `n`-step scalar reference. The iteration count is a scenario axis in its own right —
-//! sweep it by rerunning with different `--iters` values.
+//! two arrays, validated against the `n`-step scalar reference. The
+//! iteration count is a first-class scenario axis: every solver-mix report
+//! carries `"axes":{"iters":n}`, so rerunning with different `--iters`
+//! values sweeps that axis like any other.
 //!
 //! With `--json`, the instrumented sweep report — axis metadata, the derived
 //! per-point energy breakdown and the per-phase (and, for the solver mix,
@@ -186,7 +188,13 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let scenarios = sensitivity_grid_with(&mvls, &l2_kib, &extra);
+    let mut scenarios = sensitivity_grid_with(&mvls, &l2_kib, &extra);
+    if mix == "solver" {
+        // Record the unroll depth as a first-class scenario axis so every
+        // emitted report carries `"axes":{"iters":n}` — rerunning with a
+        // different `--iters` then sweeps that axis like any other.
+        scenarios = scenarios.into_iter().map(|c| c.with_iters(iters)).collect();
+    }
     let per_workload = scenarios.len();
     let sweep = Sweep::grid(workloads.clone(), scenarios.clone());
     eprintln!(

@@ -13,6 +13,8 @@
 //! | `table5`        | Table V — post-place-and-route estimates                      |
 //! | `ablation`      | Sensitivity to queue/ROB sizes and VMU overhead (DESIGN.md)    |
 //! | `bench_baseline`| Wall-clock baselines — `BENCH_<suite>.json` for CI            |
+//! | `lint`          | Static-analysis sweep — every workload/mix linted at every    |
+//! |                 | evaluated MVL (plus the 512 extrapolation), deny mode in CI   |
 //!
 //! Every binary accepts `--json <path>` and writes a machine-readable form
 //! of its artefact there (hand-rolled emitter in [`ava_sim::json`]; the

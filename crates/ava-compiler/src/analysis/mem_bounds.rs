@@ -1,0 +1,497 @@
+//! Static address-interval analysis of vector memory traffic.
+//!
+//! Kernels carry concrete simulated addresses, and the VL pass knows the
+//! exact vector length at every access, so each unit-stride or strided
+//! load/store denotes a closed byte interval that can be checked against
+//! the planned arenas *before any simulation runs*:
+//!
+//! * **AVA201** — the base address falls inside no arena at all.
+//! * **AVA202** — the interval starts inside an arena but runs past it.
+//! * **AVA002** — the access lands in a *placeholder* arena (a composite
+//!   consumer input that a rebase rule should have redirected onto the
+//!   producer's buffer — the PR 4 wrong-buffer-rebase bug class).
+//! * **AVA003** — a *carried* arena is read after an overlapping store in
+//!   the same phase span already destroyed the carried value.
+//! * **AVA103** — a store whose bytes are completely overwritten by a later
+//!   store with no intervening load (a dead store).
+//!
+//! Gathers/scatters and accesses under an unknown VL degrade gracefully to
+//! base-containment checks plus conservative whole-arena bookkeeping.
+
+use std::collections::BTreeMap;
+
+use crate::ir::IrKernel;
+
+use super::diagnostics::{Code, Diagnostic, Severity};
+use super::vl_state::VlState;
+
+/// One planned memory region the analyzer checks accesses against.
+///
+/// This is a layout-neutral mirror of a planned buffer: the `ava-workloads`
+/// crate converts its `PlannedLayout` into arenas so the analysis can live
+/// in the compiler without a dependency cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arena {
+    /// Buffer name (composite arenas carry their `p{i}.` phase prefix).
+    pub name: String,
+    /// First byte of the region.
+    pub start: u64,
+    /// One past the last byte of the region.
+    pub end: u64,
+    /// True for a composite consumer input that is never materialised:
+    /// every access to it should have been rebased away, so any remaining
+    /// access is the wrong-buffer-rebase bug (AVA002).
+    pub placeholder: bool,
+    /// True for a buffer whose contents are carried across iterations of an
+    /// iterated composite; reading it after an in-place overwrite within
+    /// one iteration destroys the carried value (AVA003).
+    pub carried: bool,
+}
+
+impl Arena {
+    /// A plain arena covering `bytes` bytes from `start`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, start: u64, bytes: u64) -> Self {
+        Self {
+            name: name.into(),
+            start,
+            end: start + bytes,
+            placeholder: false,
+            carried: false,
+        }
+    }
+
+    /// Marks this arena as a never-materialised placeholder.
+    #[must_use]
+    pub fn as_placeholder(mut self) -> Self {
+        self.placeholder = true;
+        self
+    }
+
+    /// Marks this arena as carried across composite iterations.
+    #[must_use]
+    pub fn as_carried(mut self) -> Self {
+        self.carried = true;
+        self
+    }
+
+    /// True if `addr` falls inside the region.
+    #[must_use]
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.start && addr < self.end
+    }
+}
+
+/// True when `[s1, e1)` and `[s2, e2)` share at least one byte.
+fn overlaps(s1: u64, e1: u64, s2: u64, e2: u64) -> bool {
+    s1 < e2 && s2 < e1
+}
+
+/// Checks every memory access of `kernel` against `arenas`.
+///
+/// `vl_at[i]` must be the [`VlState`] in force on entry to instruction `i`
+/// (from a traced VL pass); `mvl` resolves [`VlState::Max`]. `phase_ends`
+/// lists the IR index one past each composite phase (empty for a plain
+/// kernel); the read-after-destroy bookkeeping resets at those boundaries,
+/// because reading what the *previous* iteration wrote is exactly how
+/// carried values flow.
+pub fn check_memory(
+    kernel: &IrKernel,
+    vl_at: &[VlState],
+    mvl: Option<usize>,
+    arenas: &[Arena],
+    phase_ends: &[usize],
+    diags: &mut Vec<Diagnostic>,
+) {
+    // Per-arena stores of the current phase span: (start, end, ir_index).
+    let mut written: Vec<Vec<(u64, u64, usize)>> = vec![Vec::new(); arenas.len()];
+    // Per-arena exact unit-stride stores not yet observed by any load:
+    // start -> (end, ir_index, phase span). Never reset — a store observed
+    // only in a later phase is still observed.
+    let mut pending: Vec<BTreeMap<u64, (u64, usize, usize)>> = vec![BTreeMap::new(); arenas.len()];
+    let mut next_phase = 0usize;
+
+    for (idx, instr) in kernel.instrs.iter().enumerate() {
+        while next_phase < phase_ends.len() && phase_ends[next_phase] <= idx {
+            for w in &mut written {
+                w.clear();
+            }
+            next_phase += 1;
+        }
+        let Some(m) = &instr.mem else { continue };
+        let is_store = instr.opcode.is_store();
+        let access = if is_store { "store" } else { "load" };
+
+        let Some(ai) = arenas.iter().position(|a| a.contains(m.base)) else {
+            diags.push(Diagnostic::new(
+                Code::OutOfArena,
+                idx,
+                format!("{access} base {:#x} falls inside no planned arena", m.base),
+            ));
+            continue;
+        };
+        let arena = &arenas[ai];
+
+        if arena.placeholder {
+            diags.push(Diagnostic::new(
+                Code::UncoveredPlaceholder,
+                idx,
+                format!(
+                    "{access} lands in placeholder arena \"{}\", which is never \
+                     materialised — a rebase rule should have redirected it onto \
+                     the producer's buffer",
+                    arena.name
+                ),
+            ));
+        }
+
+        // The byte interval, when the access shape is statically known.
+        let width = vl_at.get(idx).and_then(|s| s.width(mvl));
+        let interval: Option<(u64, u64)> = match (m.index, width) {
+            (Some(_), _) | (_, None) => None,
+            (None, Some(0)) => Some((m.base, m.base)),
+            (None, Some(n)) => {
+                let span = (n as i128 - 1) * i128::from(m.stride);
+                let lo = i128::from(m.base) + span.min(0);
+                let hi = i128::from(m.base) + span.max(0) + 8;
+                if lo < i128::from(arena.start) || hi > i128::from(arena.end) {
+                    diags.push(Diagnostic::new(
+                        Code::StraddlesArena,
+                        idx,
+                        format!(
+                            "{access} spans [{lo:#x}, {hi:#x}) but arena \"{}\" only \
+                             covers [{:#x}, {:#x})",
+                            arena.name, arena.start, arena.end
+                        ),
+                    ));
+                }
+                let lo = u64::try_from(lo.max(0)).unwrap_or(0);
+                let hi = u64::try_from(hi.max(0)).unwrap_or(u64::MAX);
+                Some((lo, hi))
+            }
+        };
+        // Conservative bookkeeping shape: the whole arena.
+        let (lo, hi) = interval.unwrap_or((arena.start, arena.end));
+        let exact_unit = interval.is_some() && m.index.is_none() && m.stride == 8;
+
+        if is_store {
+            // Dead-store accounting: a pending store fully covered by this
+            // one, with no load in between, never mattered. When the
+            // overwrite happens in a *later phase span*, the earlier store
+            // is an intermediate result of an unrolled loop, superseded by
+            // design — report it at info only.
+            let keys: Vec<u64> = pending[ai]
+                .iter()
+                .filter(|(&s, &(e, ..))| overlaps(s, e, lo, hi))
+                .map(|(&s, _)| s)
+                .collect();
+            for s in keys {
+                let (e, old_idx, old_span) = pending[ai].remove(&s).unwrap();
+                if exact_unit && s >= lo && e <= hi {
+                    let mut d = Diagnostic::new(
+                        Code::DeadStore,
+                        old_idx,
+                        format!(
+                            "store to \"{}\" [{s:#x}, {e:#x}) is fully overwritten \
+                             at ir[{idx}] with no intervening load",
+                            arena.name
+                        ),
+                    );
+                    if old_span != next_phase {
+                        d = d.with_severity(Severity::Info);
+                        d.message.push_str(" (superseded by a later phase)");
+                    }
+                    diags.push(d);
+                }
+            }
+            if exact_unit {
+                pending[ai].insert(lo, (hi, idx, next_phase));
+            }
+            written[ai].push((lo, hi, idx));
+        } else {
+            if arena.carried {
+                if let Some(&(ws, we, widx)) = written[ai]
+                    .iter()
+                    .find(|&&(ws, we, _)| overlaps(ws, we, lo, hi))
+                {
+                    diags.push(Diagnostic::new(
+                        Code::ReadAfterDestroy,
+                        idx,
+                        format!(
+                            "carried arena \"{}\" is read at [{lo:#x}, {hi:#x}) after \
+                             the store at ir[{widx}] ([{ws:#x}, {we:#x})) already \
+                             destroyed the carried value in this iteration",
+                            arena.name
+                        ),
+                    ));
+                }
+            }
+            // The load observes any pending store it touches.
+            let keys: Vec<u64> = pending[ai]
+                .iter()
+                .filter(|(&s, &(e, ..))| overlaps(s, e, lo, hi))
+                .map(|(&s, _)| s)
+                .collect();
+            for s in keys {
+                pending[ai].remove(&s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::dataflow::run_traced;
+    use crate::analysis::vl_state::VlPass;
+    use crate::KernelBuilder;
+
+    fn check(k: &IrKernel, arenas: &[Arena], phase_ends: &[usize]) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        let vl_at = run_traced(k, &mut VlPass::new(k, Some(16)), &mut diags);
+        check_memory(k, &vl_at, Some(16), arenas, phase_ends, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn in_bounds_unit_stride_is_clean() {
+        let mut b = KernelBuilder::new("ok");
+        b.set_vl(16);
+        let x = b.vload(0x1000);
+        b.vstore(x, 0x2000);
+        let diags = check(
+            &b.finish(),
+            &[Arena::new("x", 0x1000, 128), Arena::new("y", 0x2000, 128)],
+            &[],
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unplanned_base_trips_ava201() {
+        let mut b = KernelBuilder::new("bad");
+        b.set_vl(8);
+        let x = b.vload(0x9000);
+        b.vstore(x, 0x1000);
+        let diags = check(&b.finish(), &[Arena::new("y", 0x1000, 64)], &[]);
+        assert!(diags.iter().any(|d| d.code == Code::OutOfArena));
+    }
+
+    #[test]
+    fn overrunning_access_trips_ava202() {
+        let mut b = KernelBuilder::new("bad");
+        b.set_vl(16); // 128 bytes from 0x1040 runs past 0x1080
+        let x = b.vload(0x1040);
+        b.vstore(x, 0x2000);
+        let diags = check(
+            &b.finish(),
+            &[Arena::new("x", 0x1000, 0x80), Arena::new("y", 0x2000, 0x80)],
+            &[],
+        );
+        let d = diags
+            .iter()
+            .find(|d| d.code == Code::StraddlesArena)
+            .unwrap();
+        assert_eq!(d.ir_index, 1);
+    }
+
+    #[test]
+    fn strided_interval_is_checked() {
+        let mut b = KernelBuilder::new("bad");
+        b.set_vl(8); // stride 32: touches [0x1000, 0x10e8) — past 0x1080
+        let x = b.vload_strided(0x1000, 32);
+        b.vstore(x, 0x2000);
+        let diags = check(
+            &b.finish(),
+            &[Arena::new("x", 0x1000, 0x80), Arena::new("y", 0x2000, 0x80)],
+            &[],
+        );
+        assert!(diags.iter().any(|d| d.code == Code::StraddlesArena));
+    }
+
+    #[test]
+    fn placeholder_access_trips_ava002() {
+        let mut b = KernelBuilder::new("bad");
+        b.set_vl(8);
+        let x = b.vload(0x5000);
+        b.vstore(x, 0x2000);
+        let diags = check(
+            &b.finish(),
+            &[
+                Arena::new("p1.x", 0x5000, 0x80).as_placeholder(),
+                Arena::new("y", 0x2000, 0x80),
+            ],
+            &[],
+        );
+        assert!(diags.iter().any(|d| d.code == Code::UncoveredPlaceholder));
+    }
+
+    #[test]
+    fn carried_read_after_overwrite_trips_ava003() {
+        let mut b = KernelBuilder::new("bad");
+        b.set_vl(8);
+        let x = b.vload(0x1000);
+        let y = b.vfadd(x, 1.0);
+        b.vstore(y, 0x1000); // destroys the carried value in place
+        let z = b.vload(0x1000); // then reads it back
+        b.vstore(z, 0x2000);
+        let diags = check(
+            &b.finish(),
+            &[
+                Arena::new("x", 0x1000, 0x80).as_carried(),
+                Arena::new("y", 0x2000, 0x80),
+            ],
+            &[],
+        );
+        let d = diags
+            .iter()
+            .find(|d| d.code == Code::ReadAfterDestroy)
+            .unwrap();
+        assert_eq!(d.ir_index, 4);
+    }
+
+    #[test]
+    fn carried_reads_across_phase_spans_are_the_intended_flow() {
+        // Iteration k+1 reading what iteration k wrote is how carries work;
+        // the bookkeeping resets at the phase boundary.
+        let mut b = KernelBuilder::new("ok");
+        b.set_vl(8);
+        let x = b.vload(0x1000);
+        let y = b.vfadd(x, 1.0);
+        b.vstore(y, 0x1000);
+        let boundary = b.finish();
+        let mut b = KernelBuilder::new("iter1");
+        b.set_vl(8);
+        let x = b.vload(0x1000);
+        let y = b.vfadd(x, 1.0);
+        b.vstore(y, 0x1000);
+        let mut k = boundary.clone();
+        k.concat(&b.finish());
+        let diags = check(
+            &k,
+            &[Arena::new("x", 0x1000, 0x80).as_carried()],
+            &[boundary.len(), k.len()],
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn load_then_store_in_place_is_clean() {
+        // The axpy idiom: each strip loads the carried buffer before
+        // overwriting the same interval.
+        let mut b = KernelBuilder::new("ok");
+        for off in [0u64, 64] {
+            b.set_vl(8);
+            let y = b.vload(0x1000 + off);
+            let r = b.vfadd(y, 1.0);
+            b.vstore(r, 0x1000 + off);
+        }
+        let diags = check(
+            &b.finish(),
+            &[Arena::new("y", 0x1000, 0x80).as_carried()],
+            &[],
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn overwritten_unread_store_trips_ava103() {
+        let mut b = KernelBuilder::new("bad");
+        b.set_vl(8);
+        let x = b.vload(0x1000);
+        b.vstore(x, 0x2000);
+        b.vstore(x, 0x2000); // the first store was never read
+        let diags = check(
+            &b.finish(),
+            &[Arena::new("x", 0x1000, 0x80), Arena::new("y", 0x2000, 0x80)],
+            &[],
+        );
+        let d = diags.iter().find(|d| d.code == Code::DeadStore).unwrap();
+        assert_eq!(d.ir_index, 2, "anchored at the dead store itself");
+    }
+
+    #[test]
+    fn cross_phase_overwrite_downgrades_to_info() {
+        // An uncarried output of an unrolled loop is overwritten by the
+        // next iteration by design: still reported, but only at info.
+        let mut b = KernelBuilder::new("it0");
+        b.set_vl(8);
+        let x = b.vload(0x1000);
+        b.vstore(x, 0x2000);
+        let it0 = b.finish();
+        let mut b = KernelBuilder::new("it1");
+        b.set_vl(8);
+        let x = b.vload(0x1000);
+        b.vstore(x, 0x2000);
+        let mut k = it0.clone();
+        k.concat(&b.finish());
+        let diags = check(
+            &k,
+            &[
+                Arena::new("x", 0x1000, 0x80),
+                Arena::new("out", 0x2000, 0x80),
+            ],
+            &[it0.len(), k.len()],
+        );
+        let d = diags.iter().find(|d| d.code == Code::DeadStore).unwrap();
+        assert_eq!(d.severity, Severity::Info);
+        assert!(d.message.contains("later phase"), "{}", d.message);
+    }
+
+    #[test]
+    fn store_read_back_then_overwritten_is_clean() {
+        let mut b = KernelBuilder::new("ok");
+        b.set_vl(8);
+        let x = b.vload(0x1000);
+        b.vstore(x, 0x2000);
+        let y = b.vload(0x2000); // observes the first store
+        let z = b.vfadd(y, 1.0);
+        b.vstore(z, 0x2000);
+        let diags = check(
+            &b.finish(),
+            &[Arena::new("x", 0x1000, 0x80), Arena::new("y", 0x2000, 0x80)],
+            &[],
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn final_stores_are_live_out() {
+        let mut b = KernelBuilder::new("ok");
+        b.set_vl(8);
+        let x = b.vload(0x1000);
+        b.vstore(x, 0x2000);
+        let diags = check(
+            &b.finish(),
+            &[Arena::new("x", 0x1000, 0x80), Arena::new("y", 0x2000, 0x80)],
+            &[],
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn gather_base_containment_is_still_checked() {
+        let mut b = KernelBuilder::new("bad");
+        b.set_vl(8);
+        let idx = b.vid();
+        let g = b.vload_indexed(0x9000, idx); // base outside every arena
+        b.vstore(g, 0x2000);
+        let diags = check(&b.finish(), &[Arena::new("y", 0x2000, 0x80)], &[]);
+        assert!(diags.iter().any(|d| d.code == Code::OutOfArena));
+    }
+
+    #[test]
+    fn no_arenas_means_no_memory_findings() {
+        let mut b = KernelBuilder::new("k");
+        b.set_vl(8);
+        let x = b.vload(0x1000);
+        b.vstore(x, 0x2000);
+        let k = b.finish();
+        let mut diags = Vec::new();
+        let vl_at = run_traced(&k, &mut VlPass::new(&k, Some(16)), &mut diags);
+        // Callers skip the memory pass when they have no layout; calling it
+        // with an empty arena list would flag everything as out-of-arena.
+        check_memory(&k, &vl_at, Some(16), &[], &[], &mut diags);
+        assert!(diags.iter().all(|d| d.code == Code::OutOfArena));
+    }
+}

@@ -21,6 +21,9 @@
 //! * [`lower`] — emits the final [`ava_isa::Program`], mapping allocation
 //!   slots to architectural register names (spaced by LMUL for grouped
 //!   configurations).
+//! * [`analysis`] — `ava-lint`: a forward-dataflow static verifier over the
+//!   IR (VL-state lattice, SSA well-formedness, address-interval bounds
+//!   checks, and pattern lints for the known composite bug classes).
 //!
 //! ```
 //! use ava_compiler::{KernelBuilder, compile, CompileOptions};
@@ -40,12 +43,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod builder;
 pub mod ir;
 pub mod liveness;
 pub mod lower;
 pub mod regalloc;
 
+pub use analysis::{analyze, AnalysisInput, AnalysisReport, Diagnostic};
 pub use builder::KernelBuilder;
 pub use ir::{IrInstr, IrKernel, IrOperand, RebaseRule, VirtReg};
 pub use liveness::{LiveInterval, Liveness};

@@ -234,7 +234,8 @@ impl ScenarioConfig {
         };
         for axis in &self.axes {
             let suffix = match axis.name {
-                "mvl" => continue, // folded into the base part above
+                "mvl" => continue,   // folded into the base part above
+                "iters" => continue, // workload shape, not a hardware knob
                 "pvrf_kib" => format!("pvrf={}KiB", axis.value),
                 "vvrs" => format!("vvrs={}", axis.value),
                 "iq" => format!("iq={}", axis.value),
@@ -372,6 +373,19 @@ impl ScenarioConfig {
         assert!(bytes > 0, "bus width must be non-zero");
         self.memory.vmu_bus_bytes = Some(bytes);
         self.set_axis("vmu_bus", bytes)
+    }
+
+    /// Records the solver iteration count as a first-class sweep axis, so
+    /// runs over an iterated composite carry `"axes":{"iters":n}` in their
+    /// JSON reports alongside the hardware knobs. Unlike the other
+    /// overrides this is pure metadata — the unroll depth is baked into
+    /// the `Composite::iterated` workload itself — so it changes no
+    /// hardware parameter and stays out of the config label (solver sweeps
+    /// at different depths keep comparable config names).
+    #[must_use]
+    pub fn with_iters(self, iters: usize) -> Self {
+        assert!(iters >= 1, "an iterated solve needs at least one iteration");
+        self.set_axis("iters", iters as u64)
     }
 
     // ------------------------------------------------------------------
@@ -733,6 +747,34 @@ mod tests {
     fn axes_json_is_an_ordered_object() {
         let s = ScenarioConfig::ava_x(8).with_mvl(256).with_l2_kib(512);
         assert_eq!(s.axes_json().to_string(), r#"{"mvl":256,"l2_kib":512}"#);
+    }
+
+    #[test]
+    fn iters_axis_is_report_metadata_with_a_stable_label() {
+        let base = ScenarioConfig::ava_x(8).with_mvl(256);
+        let s = base.clone().with_iters(8);
+        // Pure metadata: the label stays comparable across solver depths
+        // and no hardware parameter moves...
+        assert_eq!(s.label(), base.label());
+        assert_eq!(s.resolve().vpu, base.resolve().vpu);
+        // ...but the axis lands in the report JSON like any other knob.
+        assert_eq!(s.axes_json().to_string(), r#"{"mvl":256,"iters":8}"#);
+        let replaced = s.with_iters(16);
+        assert_eq!(
+            replaced
+                .axes()
+                .iter()
+                .find(|a| a.name == "iters")
+                .unwrap()
+                .value,
+            16
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iters_is_rejected_early() {
+        let _ = ScenarioConfig::ava_x(8).with_iters(0);
     }
 
     #[test]

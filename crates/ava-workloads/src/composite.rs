@@ -33,6 +33,7 @@
 //! for iterated composites, per-iteration — breakdowns) covers the whole
 //! mix.
 
+use ava_compiler::analysis::{Arena, Severity};
 use ava_compiler::{IrKernel, RebaseRule};
 use ava_isa::VectorContext;
 use ava_memory::MemoryHierarchy;
@@ -201,11 +202,13 @@ impl Composite {
                 }
             }
         }
-        Self {
+        let composite = Self {
             phases,
             links,
             iterate: None,
-        }
+        };
+        composite.lint_at_construction();
+        composite
     }
 
     /// Creates an iterated composite: `body` unrolled `n` times in one
@@ -266,10 +269,35 @@ impl Composite {
                 swapped.push(&link.input);
             }
         }
-        Self {
+        let composite = Self {
             phases,
             links: Vec::new(),
             iterate: Some(IterSpec { n, carry }),
+        };
+        composite.lint_at_construction();
+        composite
+    }
+
+    /// Deny-by-default static verification at construction: the wired
+    /// composite is built once (at a small MVL, against a throwaway memory
+    /// hierarchy) and run through the full [`crate::analysis`] suite. Any
+    /// finding at [`Severity::Warn`] or above is fatal — the known bug
+    /// classes (splat before `vsetvl`, a rebase that misses its placeholder
+    /// buffer, a carried array destroyed before it is read) are rejected
+    /// here, before any simulation runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the rendered diagnostic on the first warn-or-worse
+    /// finding.
+    fn lint_at_construction(&self) {
+        let report = self.verify(16);
+        let worst = report.at_least(Severity::Warn).next().cloned();
+        if let Some(worst) = worst {
+            panic!(
+                "static analysis rejected this {} composite: {worst}",
+                self.name()
+            );
         }
     }
 
@@ -595,6 +623,57 @@ impl Workload for Composite {
             }
         }
         union
+    }
+
+    fn analysis_arenas(&self, plan: &PlannedLayout) -> Vec<Arena> {
+        // Recurse per phase (nested composites keep their inner markings),
+        // re-prefixing arena names with the phase prefix.
+        let mut arenas = Vec::new();
+        for (p, phase) in self.phases.iter().enumerate() {
+            let prefix = Self::prefix(p);
+            let sub = plan.subset(&prefix);
+            for mut a in phase.analysis_arenas(&sub) {
+                a.name = format!("{prefix}{}", a.name);
+                // A nested composite's `carried` marks are relative to its
+                // own iteration spans, which are invisible at this level
+                // (the outer phase marks cover the whole inner kernel) —
+                // and the inner constructor already verified them against
+                // the right spans. Keep only placeholder marks, which stay
+                // valid: inner rebases are baked into the concatenated
+                // kernel and never reintroduce placeholder accesses.
+                a.carried = false;
+                arenas.push(a);
+            }
+        }
+        let mark = |arenas: &mut Vec<Arena>, name: &str, f: fn(&mut Arena)| {
+            if let Some(a) = arenas.iter_mut().find(|a| a.name == name) {
+                f(a);
+            }
+        };
+        if let Some(spec) = &self.iterate {
+            // Both ends of every carry pair ping-pong the carried value
+            // (an in-place carry has one shared arena); reading either
+            // after an overwrite in the same iteration destroys the carry.
+            for link in &spec.carry {
+                for name in [&link.output, &link.input] {
+                    let full = format!("{}{}", Self::prefix(0), name);
+                    mark(&mut arenas, &full, |a| a.carried = true);
+                }
+            }
+        } else {
+            // A linked consumer input is never materialised: every access
+            // to it must have been rebased onto the producer's buffer, so
+            // any access still landing there is the wrong-buffer-rebase
+            // bug. The consumer of transition `p` is always phase `p + 1`,
+            // whichever earlier phase produces the data.
+            for (p, transition) in self.links.iter().enumerate() {
+                for link in transition {
+                    let full = format!("{}{}", Self::prefix(p + 1), link.input);
+                    mark(&mut arenas, &full, |a| a.placeholder = true);
+                }
+            }
+        }
+        arenas
     }
 
     fn build_with_bindings(

@@ -38,10 +38,12 @@ pub mod particlefilter;
 pub mod somier;
 pub mod swaptions;
 
+use ava_compiler::analysis::{analyze, AnalysisInput, AnalysisReport, Arena};
 use ava_compiler::IrKernel;
 use ava_isa::VectorContext;
 use ava_memory::MemoryHierarchy;
 
+pub use ava_compiler::analysis;
 pub use axpy::Axpy;
 pub use blackscholes::Blackscholes;
 pub use composite::Composite;
@@ -209,6 +211,34 @@ pub trait Workload {
     fn build(&self, mem: &mut MemoryHierarchy, ctx: &VectorContext) -> WorkloadSetup {
         let plan = ArenaPlanner::new().plan(mem, &self.data_layout());
         self.build_with_bindings(mem, ctx, &plan, &BufferBindings::none())
+    }
+
+    /// The planned buffers as [`analysis`] arenas, for the static verifier.
+    /// The default maps every planned buffer to a plain arena; [`Composite`]
+    /// overrides it to mark rebased consumer inputs as placeholders and
+    /// iterated carry buffers as carried.
+    fn analysis_arenas(&self, plan: &PlannedLayout) -> Vec<Arena> {
+        plan.buffers()
+            .iter()
+            .map(|b| Arena::new(b.spec.name.clone(), b.base, b.bytes()))
+            .collect()
+    }
+
+    /// Statically verifies this workload's kernel at the given maximum
+    /// vector length: builds it against a fresh memory hierarchy and runs
+    /// the full [`analysis`] suite (SSA well-formedness, VL-state lints and
+    /// address-interval bounds checks against the planned arenas). No
+    /// simulation runs — this is the `ava-lint` entry point used by tests,
+    /// the `lint` binary and the composite constructors.
+    fn verify(&self, mvl: usize) -> AnalysisReport {
+        let mut mem = MemoryHierarchy::default();
+        let ctx = VectorContext::with_mvl(mvl);
+        let plan = ArenaPlanner::new().plan(&mut mem, &self.data_layout());
+        let setup = self.build_with_bindings(&mut mem, &ctx, &plan, &BufferBindings::none());
+        let input = AnalysisInput::new(Some(ctx.effective_mvl()))
+            .with_arenas(self.analysis_arenas(&plan))
+            .with_phase_ends(setup.phase_marks.iter().map(|m| m.ir_end).collect());
+        analyze(&setup.kernel, &input)
     }
 }
 

@@ -1,216 +1,46 @@
 //! The JSON report pipeline's guarantee: what the std-only emitter writes is
-//! real JSON. A tiny hand-written recursive-descent parser (independent of
-//! the emitter — it shares no code with `ava::sim::json`) parses the
-//! emitted documents back and the tests compare the round-tripped values
-//! against the Rust originals, including the full `SweepReport` that the
-//! `--json` flag of every binary persists for CI.
+//! real JSON. The recursive-descent parser that used to live in this file
+//! was promoted into the library as `ava::sim::json::parse` (so the `lint`
+//! binary can self-verify its `--json` output); these tests now drive the
+//! emitter's documents back through that parser and compare the
+//! round-tripped values against the Rust originals, including the full
+//! `SweepReport` that the `--json` flag of every binary persists for CI.
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use ava::sim::json::{object, Json};
+use ava::sim::json::{object, parse, Json};
 use ava::sim::{run_workload, ScenarioConfig, Sweep};
 use ava::workloads::{composite, Axpy, Blackscholes, Composite, SharedWorkload, Somier};
 
-/// A parsed JSON value. Numbers keep their integer form when the text had
-/// no fraction/exponent, so `u64` counters round-trip exactly.
-#[derive(Debug, Clone, PartialEq)]
-enum Value {
-    Null,
-    Bool(bool),
-    Int(i128),
-    Float(f64),
-    Str(String),
-    Arr(Vec<Value>),
-    Obj(BTreeMap<String, Value>),
+/// Panicking accessors over the library [`Json`] — the `Option`-returning
+/// library methods make every assertion line noisy, and a missing key
+/// should name itself when a schema regression trips the oracle.
+trait Expect {
+    fn at(&self, key: &str) -> &Json;
+    fn text(&self) -> &str;
+    fn uint(&self) -> u64;
+    fn items(&self) -> &[Json];
 }
 
-impl Value {
-    fn get(&self, key: &str) -> &Value {
-        match self {
-            Value::Obj(m) => m.get(key).unwrap_or_else(|| panic!("missing key {key}")),
-            other => panic!("expected object for key {key}, got {other:?}"),
-        }
+impl Expect for Json {
+    fn at(&self, key: &str) -> &Json {
+        self.get(key)
+            .unwrap_or_else(|| panic!("missing key {key} in {self}"))
     }
 
-    fn as_u64(&self) -> u64 {
-        match self {
-            Value::Int(i) => u64::try_from(*i).expect("negative counter"),
-            other => panic!("expected integer, got {other:?}"),
-        }
+    fn text(&self) -> &str {
+        self.as_str()
+            .unwrap_or_else(|| panic!("expected string, got {self}"))
     }
 
-    fn as_str(&self) -> &str {
-        match self {
-            Value::Str(s) => s,
-            other => panic!("expected string, got {other:?}"),
-        }
+    fn uint(&self) -> u64 {
+        self.as_u64()
+            .unwrap_or_else(|| panic!("expected integer, got {self}"))
     }
 
-    fn as_arr(&self) -> &[Value] {
-        match self {
-            Value::Arr(v) => v,
-            other => panic!("expected array, got {other:?}"),
-        }
-    }
-}
-
-/// The tiny parser: bytes + cursor, recursive descent, panics on malformed
-/// input (fine for a test oracle).
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-fn parse(text: &str) -> Value {
-    let mut p = Parser {
-        bytes: text.as_bytes(),
-        pos: 0,
-    };
-    let v = p.value();
-    p.skip_ws();
-    assert_eq!(p.pos, p.bytes.len(), "trailing garbage after document");
-    v
-}
-
-impl Parser<'_> {
-    fn peek(&self) -> u8 {
-        self.bytes[self.pos]
-    }
-
-    fn bump(&mut self) -> u8 {
-        let b = self.bytes[self.pos];
-        self.pos += 1;
-        b
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) {
-        self.skip_ws();
-        assert_eq!(self.bump(), b, "at byte {}", self.pos - 1);
-    }
-
-    fn literal(&mut self, text: &str, value: Value) -> Value {
-        assert_eq!(
-            &self.bytes[self.pos..self.pos + text.len()],
-            text.as_bytes()
-        );
-        self.pos += text.len();
-        value
-    }
-
-    fn value(&mut self) -> Value {
-        self.skip_ws();
-        match self.peek() {
-            b'n' => self.literal("null", Value::Null),
-            b't' => self.literal("true", Value::Bool(true)),
-            b'f' => self.literal("false", Value::Bool(false)),
-            b'"' => Value::Str(self.string()),
-            b'[' => self.array(),
-            b'{' => self.object(),
-            _ => self.number(),
-        }
-    }
-
-    fn string(&mut self) -> String {
-        self.expect(b'"');
-        let mut out = String::new();
-        loop {
-            match self.bump() {
-                b'"' => return out,
-                b'\\' => match self.bump() {
-                    b'"' => out.push('"'),
-                    b'\\' => out.push('\\'),
-                    b'/' => out.push('/'),
-                    b'n' => out.push('\n'),
-                    b'r' => out.push('\r'),
-                    b't' => out.push('\t'),
-                    b'b' => out.push('\u{0008}'),
-                    b'f' => out.push('\u{000C}'),
-                    b'u' => {
-                        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                            .expect("hex escape");
-                        self.pos += 4;
-                        let code = u32::from_str_radix(hex, 16).expect("hex escape");
-                        out.push(char::from_u32(code).expect("BMP scalar"));
-                    }
-                    other => panic!("bad escape \\{}", other as char),
-                },
-                // Multi-byte UTF-8: copy the whole sequence through.
-                b if b < 0x80 => out.push(b as char),
-                b => {
-                    let len = match b {
-                        0xC0..=0xDF => 2,
-                        0xE0..=0xEF => 3,
-                        _ => 4,
-                    };
-                    let start = self.pos - 1;
-                    self.pos = start + len;
-                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Value {
-        let start = self.pos;
-        while self.pos < self.bytes.len()
-            && matches!(self.peek(), b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
-        {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        if text.contains(['.', 'e', 'E']) {
-            Value::Float(text.parse().expect("float"))
-        } else {
-            Value::Int(text.parse().expect("int"))
-        }
-    }
-
-    fn array(&mut self) -> Value {
-        self.expect(b'[');
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == b']' {
-            self.pos += 1;
-            return Value::Arr(items);
-        }
-        loop {
-            items.push(self.value());
-            self.skip_ws();
-            match self.bump() {
-                b',' => {}
-                b']' => return Value::Arr(items),
-                other => panic!("bad array separator {}", other as char),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Value {
-        self.expect(b'{');
-        let mut map = BTreeMap::new();
-        self.skip_ws();
-        if self.peek() == b'}' {
-            self.pos += 1;
-            return Value::Obj(map);
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string();
-            self.expect(b':');
-            map.insert(key, self.value());
-            self.skip_ws();
-            match self.bump() {
-                b',' => {}
-                b'}' => return Value::Obj(map),
-                other => panic!("bad object separator {}", other as char),
-            }
-        }
+    fn items(&self) -> &[Json] {
+        self.as_arr()
+            .unwrap_or_else(|| panic!("expected array, got {self}"))
     }
 }
 
@@ -229,7 +59,7 @@ fn escaping_round_trips_hostile_strings() {
         let emitted = Json::from(s).to_string();
         assert_eq!(
             parse(&emitted),
-            Value::Str(s.to_string()),
+            Ok(Json::Str(s.to_string())),
             "round-trip failed for {s:?} (emitted {emitted})"
         );
     }
@@ -238,10 +68,10 @@ fn escaping_round_trips_hostile_strings() {
 #[test]
 fn numbers_round_trip_including_2_53_plus_one() {
     let n = (1_u64 << 53) + 1;
-    assert_eq!(parse(&Json::from(n).to_string()), Value::Int(i128::from(n)));
-    assert_eq!(parse(&Json::from(-5_i64).to_string()), Value::Int(-5));
-    assert_eq!(parse(&Json::from(0.25).to_string()), Value::Float(0.25));
-    assert_eq!(parse(&Json::from(f64::NAN).to_string()), Value::Null);
+    assert_eq!(parse(&Json::from(n).to_string()), Ok(Json::U64(n)));
+    assert_eq!(parse(&Json::from(-5_i64).to_string()), Ok(Json::I64(-5)));
+    assert_eq!(parse(&Json::from(0.25).to_string()), Ok(Json::F64(0.25)));
+    assert_eq!(parse(&Json::from(f64::NAN).to_string()), Ok(Json::Null));
 }
 
 #[test]
@@ -253,15 +83,17 @@ fn nested_builders_round_trip() {
         .field("list", Json::from_iter([1_u64, 2, 3]))
         .field("inner", object().field("ok", true).finish())
         .finish();
-    let v = parse(&doc.to_string());
-    assert_eq!(v.get("s"), &Value::Str("a\"b".to_string()));
-    assert_eq!(v.get("n"), &Value::Int(7));
-    assert_eq!(v.get("none"), &Value::Null);
+    let v = parse(&doc.to_string()).unwrap();
+    assert_eq!(v.at("s").text(), "a\"b");
+    assert_eq!(v.at("n").uint(), 7);
+    assert!(v.at("none").is_null());
     assert_eq!(
-        v.get("list"),
-        &Value::Arr(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        v.at("list"),
+        &Json::Arr(vec![Json::U64(1), Json::U64(2), Json::U64(3)])
     );
-    assert_eq!(v.get("inner").get("ok"), &Value::Bool(true));
+    assert_eq!(v.at("inner").at("ok").as_bool(), Some(true));
+    // Objects preserve key order on both sides, so the round trip is exact.
+    assert_eq!(v, doc);
 }
 
 #[test]
@@ -272,48 +104,45 @@ fn full_sweep_report_round_trips_against_the_parser() {
     let sweep = Sweep::grid(workloads, systems);
     let report = sweep.run_parallel_report_with(2);
 
-    let parsed = parse(&report.to_json().to_string());
+    let parsed = parse(&report.to_json().to_string()).unwrap();
 
-    assert_eq!(parsed.get("schema").as_str(), "ava-sweep-report/v1");
-    assert_eq!(parsed.get("threads").as_u64(), 2);
-    assert_eq!(parsed.get("wall_ns").as_u64(), report.wall_ns);
-    assert_eq!(parsed.get("busy_ns").as_u64(), report.busy_ns());
-    assert_eq!(parsed.get("cache").get("hits").as_u64(), report.cache_hits);
-    assert_eq!(
-        parsed.get("cache").get("misses").as_u64(),
-        report.cache_misses
-    );
+    assert_eq!(parsed.at("schema").text(), "ava-sweep-report/v1");
+    assert_eq!(parsed.at("threads").uint(), 2);
+    assert_eq!(parsed.at("wall_ns").uint(), report.wall_ns);
+    assert_eq!(parsed.at("busy_ns").uint(), report.busy_ns());
+    assert_eq!(parsed.at("cache").at("hits").uint(), report.cache_hits);
+    assert_eq!(parsed.at("cache").at("misses").uint(), report.cache_misses);
 
-    let points = parsed.get("points").as_arr();
+    let points = parsed.at("points").items();
     assert_eq!(points.len(), report.reports.len());
     for ((point, stats), run) in points.iter().zip(&report.points).zip(&report.reports) {
-        assert_eq!(point.get("workload").as_str(), stats.workload);
-        assert_eq!(point.get("config").as_str(), stats.config);
-        assert_eq!(point.get("cost_estimate").as_u64(), stats.cost_estimate);
-        assert_eq!(point.get("wall_ns").as_u64(), stats.wall_ns);
-        assert_eq!(point.get("worker").as_u64(), stats.worker as u64);
+        assert_eq!(point.at("workload").text(), stats.workload);
+        assert_eq!(point.at("config").text(), stats.config);
+        assert_eq!(point.at("cost_estimate").uint(), stats.cost_estimate);
+        assert_eq!(point.at("wall_ns").uint(), stats.wall_ns);
+        assert_eq!(point.at("worker").uint(), stats.worker as u64);
 
         // The embedded RunReport: every headline counter survives exactly.
-        let r = point.get("report");
-        assert_eq!(r.get("config").as_str(), run.config);
-        assert_eq!(r.get("workload").as_str(), run.workload);
-        assert_eq!(r.get("cycles").as_u64(), run.cycles);
-        assert_eq!(r.get("vpu_cycles").as_u64(), run.vpu_cycles);
-        assert_eq!(r.get("validated"), &Value::Bool(run.validated));
-        assert_eq!(r.get("validation_error"), &Value::Null);
-        assert_eq!(r.get("vpu").get("vloads").as_u64(), run.vpu.vloads);
-        assert_eq!(r.get("vpu").get("swap_loads").as_u64(), run.vpu.swap_loads);
+        let r = point.at("report");
+        assert_eq!(r.at("config").text(), run.config);
+        assert_eq!(r.at("workload").text(), run.workload);
+        assert_eq!(r.at("cycles").uint(), run.cycles);
+        assert_eq!(r.at("vpu_cycles").uint(), run.vpu_cycles);
+        assert_eq!(r.at("validated"), &Json::Bool(run.validated));
+        assert!(r.at("validation_error").is_null());
+        assert_eq!(r.at("vpu").at("vloads").uint(), run.vpu.vloads);
+        assert_eq!(r.at("vpu").at("swap_loads").uint(), run.vpu.swap_loads);
         assert_eq!(
-            r.get("vpu").get("memory_instrs").as_u64(),
+            r.at("vpu").at("memory_instrs").uint(),
             run.vpu.memory_instrs()
         );
         assert_eq!(
-            r.get("mem").get("l2").get("read_misses").as_u64(),
+            r.at("mem").at("l2").at("read_misses").uint(),
             run.mem.l2.read_misses
         );
-        assert_eq!(r.get("mem").get("dram_bytes").as_u64(), run.mem.dram_bytes);
+        assert_eq!(r.at("mem").at("dram_bytes").uint(), run.mem.dram_bytes);
         assert_eq!(
-            r.get("scalar").get("instructions").as_u64(),
+            r.at("scalar").at("instructions").uint(),
             run.scalar.instructions
         );
     }
@@ -327,31 +156,31 @@ fn per_phase_breakdowns_round_trip_through_the_json_pipeline() {
     );
     let run = run_workload(&pipe, &ScenarioConfig::ava_x(2));
     assert!(run.validated, "{:?}", run.validation_error);
-    let parsed = parse(&run.to_json().to_string());
+    let parsed = parse(&run.to_json().to_string()).unwrap();
 
-    let phases = parsed.get("phases").as_arr();
+    let phases = parsed.at("phases").items();
     assert_eq!(phases.len(), 2);
-    assert_eq!(phases[0].get("name").as_str(), "0:axpy");
-    assert_eq!(phases[1].get("name").as_str(), "1:somier");
+    assert_eq!(phases[0].at("name").text(), "0:axpy");
+    assert_eq!(phases[1].at("name").text(), "1:somier");
     // The emitted per-phase counters partition the run totals exactly.
     assert_eq!(
         phases
             .iter()
-            .map(|p| p.get("vpu_cycles").as_u64())
+            .map(|p| p.at("vpu_cycles").uint())
             .sum::<u64>(),
         run.vpu_cycles
     );
     assert_eq!(
         phases
             .iter()
-            .map(|p| p.get("vpu").get("vloads").as_u64())
+            .map(|p| p.at("vpu").at("vloads").uint())
             .sum::<u64>(),
         run.vpu.vloads
     );
     assert_eq!(
         phases
             .iter()
-            .map(|p| p.get("mem").get("vmu_bytes").as_u64())
+            .map(|p| p.at("mem").at("vmu_bytes").uint())
             .sum::<u64>(),
         run.mem.vmu_bytes
     );
@@ -369,36 +198,36 @@ fn per_iteration_breakdowns_round_trip_with_iter_and_phase_labels() {
     );
     let run = run_workload(&solver, &ScenarioConfig::ava_x(2));
     assert!(run.validated, "{:?}", run.validation_error);
-    let parsed = parse(&run.to_json().to_string());
+    let parsed = parse(&run.to_json().to_string()).unwrap();
 
-    let phases = parsed.get("phases").as_arr();
+    let phases = parsed.at("phases").items();
     assert_eq!(phases.len(), 4);
     for (k, phase) in phases.iter().enumerate() {
         // Iteration grouping: the unrolled iteration index plus the bare
         // body label, alongside the display name.
-        assert_eq!(phase.get("name").as_str(), format!("it{k}:somier"));
-        assert_eq!(phase.get("iter").as_u64(), k as u64);
-        assert_eq!(phase.get("phase").as_str(), "somier");
+        assert_eq!(phase.at("name").text(), format!("it{k}:somier"));
+        assert_eq!(phase.at("iter").uint(), k as u64);
+        assert_eq!(phase.at("phase").text(), "somier");
     }
     // The per-iteration counters partition the run totals exactly.
     assert_eq!(
         phases
             .iter()
-            .map(|p| p.get("vpu_cycles").as_u64())
+            .map(|p| p.at("vpu_cycles").uint())
             .sum::<u64>(),
         run.vpu_cycles
     );
     assert_eq!(
         phases
             .iter()
-            .map(|p| p.get("vpu").get("vloads").as_u64())
+            .map(|p| p.at("vpu").at("vloads").uint())
             .sum::<u64>(),
         run.vpu.vloads
     );
     assert_eq!(
         phases
             .iter()
-            .map(|p| p.get("mem").get("vmu_bytes").as_u64())
+            .map(|p| p.at("mem").at("vmu_bytes").uint())
             .sum::<u64>(),
         run.mem.vmu_bytes
     );
@@ -416,23 +245,17 @@ fn scenario_axis_metadata_round_trips_through_the_json_pipeline() {
     let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(256))];
     let scenarios = ScenarioConfig::axis_l2_kib(&ScenarioConfig::axis_mvl(&[128, 256]), &[512]);
     let report = Sweep::grid(workloads, scenarios).run_serial_report();
-    let parsed = parse(&report.to_json().to_string());
+    let parsed = parse(&report.to_json().to_string()).unwrap();
 
     // The sweep-level axis summary lists every axis in play.
-    assert_eq!(
-        parsed.get("axes"),
-        &Value::Arr(vec![
-            Value::Str("mvl".to_string()),
-            Value::Str("l2_kib".to_string())
-        ])
-    );
+    assert_eq!(parsed.at("axes"), &Json::from_iter(["mvl", "l2_kib"]));
     // Each embedded report carries its own axis values.
-    let points = parsed.get("points").as_arr();
+    let points = parsed.at("points").items();
     assert_eq!(points.len(), 2);
-    let first = points[0].get("report");
-    assert_eq!(first.get("config").as_str(), "AVA MVL=128 l2=512KiB");
-    assert_eq!(first.get("axes").get("mvl").as_u64(), 128);
-    assert_eq!(first.get("axes").get("l2_kib").as_u64(), 512);
-    let second = points[1].get("report");
-    assert_eq!(second.get("axes").get("mvl").as_u64(), 256);
+    let first = points[0].at("report");
+    assert_eq!(first.at("config").text(), "AVA MVL=128 l2=512KiB");
+    assert_eq!(first.at("axes").at("mvl").uint(), 128);
+    assert_eq!(first.at("axes").at("l2_kib").uint(), 512);
+    let second = points[1].at("report");
+    assert_eq!(second.at("axes").at("mvl").uint(), 256);
 }
