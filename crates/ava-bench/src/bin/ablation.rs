@@ -8,19 +8,25 @@
 //! system variants, executed in parallel by the sweep engine. With
 //! `--repeat <n>` every study's grid runs `n` times and each repetition
 //! feeds its measured per-point wall-clock back into the next one's
-//! scheduler (`Sweep::with_recorded_costs`) — profile-guided ordering
+//! scheduler (`SweepRunner::recorded_costs`) — profile-guided ordering
 //! replacing the static `elements()` heuristic on repeated grids. Results
 //! are bit-identical at any repeat count; only the execution order moves.
+//! With `--store <dir>` every repetition after the first is served entirely
+//! from the result store.
 //!
-//! Usage: `cargo run --release -p ava-bench --bin ablation [-- --repeat <n>] [--json <path>]`
+//! Usage: `cargo run --release -p ava-bench --bin ablation [-- --repeat <n>]
+//! [--threads <n>] [--store <dir>] [--resume] [--json <path>]`
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use ava_bench::cli::{emit_json, take_json_flag};
+use ava_bench::cli::{emit_json, usage_error, BenchArgs};
 use ava_sim::json::{object, Json};
 use ava_sim::{ScenarioConfig, Sweep};
 use ava_workloads::{Axpy, Blackscholes, SharedWorkload};
+
+const USAGE: &str =
+    "ablation [--repeat <n>] [--threads <n>] [--store <dir>] [--resume] [--json <path>]";
 
 /// The variant axis of one ablation study: a display name per scenario.
 /// Each variant is the base scenario with exactly one knob overridden — the
@@ -44,16 +50,21 @@ fn variants(base: &ScenarioConfig) -> (Vec<String>, Vec<ScenarioConfig>) {
     (names, systems)
 }
 
-fn study(label: &str, base: &ScenarioConfig, workload: SharedWorkload, repeat: usize) -> Json {
+fn study(
+    label: &str,
+    base: &ScenarioConfig,
+    workload: SharedWorkload,
+    repeat: usize,
+    args: &BenchArgs,
+) -> Json {
     println!("--- {label}: {} on {}", workload.name(), base.label());
     let (names, systems) = variants(base);
     // First pass is ordered by the static heuristic; every further pass
     // reorders its queue by the previous pass's measured per-point time.
-    let mut sweep = Sweep::grid(vec![workload.clone()], systems.clone()).run_parallel_report();
+    let grid = Sweep::grid(vec![workload.clone()], systems);
+    let mut sweep = args.configure(grid.runner()).run();
     for _ in 1..repeat.max(1) {
-        sweep = Sweep::grid(vec![workload.clone()], systems.clone())
-            .with_recorded_costs(&sweep)
-            .run_parallel_report();
+        sweep = args.configure(grid.runner().recorded_costs(&sweep)).run();
     }
     for r in &sweep.reports {
         assert!(r.validated, "{}: {:?}", r.config, r.validation_error);
@@ -93,44 +104,22 @@ fn study(label: &str, base: &ScenarioConfig, workload: SharedWorkload, repeat: u
 }
 
 fn main() -> ExitCode {
-    let usage = "ablation [--repeat <n>] [--json <path>]";
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let json_path = match take_json_flag(&mut args) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("{e}");
-            eprintln!("usage: {usage}");
-            return ExitCode::from(2);
-        }
-    };
-    let mut repeat = 1usize;
-    match args.as_slice() {
-        [] => {}
-        [flag] if flag == "--repeat" => {
-            eprintln!("--repeat requires a value");
-            eprintln!("usage: {usage}");
-            return ExitCode::from(2);
-        }
-        [flag, value, rest @ ..] if flag == "--repeat" => {
-            match value.parse::<usize>() {
-                Ok(n) if n >= 1 => repeat = n,
-                _ => {
-                    eprintln!("invalid --repeat value: {value}");
-                    return ExitCode::from(2);
-                }
-            }
-            if let Some(other) = rest.first() {
-                eprintln!("unrecognised argument: {other}");
-                eprintln!("usage: {usage}");
-                return ExitCode::from(2);
-            }
-        }
-        [other, ..] => {
-            eprintln!("unrecognised argument: {other}");
-            eprintln!("usage: {usage}");
-            return ExitCode::from(2);
-        }
+    match run() {
+        Ok(code) => code,
+        Err(e) => usage_error(USAGE, &e),
     }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut args = BenchArgs::parse()?;
+    let repeat = match args.take_value("--repeat")? {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("invalid --repeat value: {v}")),
+        },
+        None => 1,
+    };
+    args.finish()?;
 
     let studies = vec![
         study(
@@ -138,12 +127,14 @@ fn main() -> ExitCode {
             &ScenarioConfig::native_x(1),
             Arc::new(Axpy::new(4096)),
             repeat,
+            &args,
         ),
         study(
             "swap-heavy AVA",
             &ScenarioConfig::ava_x(8),
             Arc::new(Blackscholes::new(1024)),
             repeat,
+            &args,
         ),
     ];
     println!("The per-operation overhead of the vector memory unit dominates the");
@@ -152,10 +143,10 @@ fn main() -> ExitCode {
     println!("the swap data movement itself, so it is largely insensitive to queue,");
     println!("ROB and overhead settings — the sizes of Table II are not the limiter.");
 
-    emit_json(json_path.as_deref(), || {
+    Ok(emit_json(args.json.as_deref(), || {
         object()
             .field("artefact", "ablation")
             .field("studies", Json::Arr(studies))
             .finish()
-    })
+    }))
 }

@@ -20,9 +20,12 @@
 use std::path::Path;
 use std::process::ExitCode;
 
+use ava_bench::cli::{usage_error, BenchArgs};
 use ava_bench::microbench::{header, print_result, BenchResult};
 use ava_bench::suites::{run_suite, SUITE_NAMES};
 use ava_sim::json::{object, Json};
+
+const USAGE: &str = "bench_baseline [--out-dir <dir>] [--suite <name>]...";
 
 fn suite_json(suite: &str, results: &[BenchResult]) -> Json {
     object()
@@ -46,40 +49,45 @@ fn suite_json(suite: &str, results: &[BenchResult]) -> Json {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_dir = ".".to_string();
-    let mut suites: Vec<String> = Vec::new();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--out-dir" if i + 1 < args.len() => {
-                out_dir = args[i + 1].clone();
-                i += 2;
-            }
-            "--suite" if i + 1 < args.len() => {
-                suites.push(args[i + 1].clone());
-                i += 2;
-            }
-            other => {
-                eprintln!("unrecognised argument: {other}");
-                eprintln!("usage: bench_baseline [--out-dir <dir>] [--suite <name>]...");
-                eprintln!("suites: {SUITE_NAMES:?}");
-                return ExitCode::from(2);
-            }
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            let code = usage_error(USAGE, &e);
+            eprintln!("suites: {SUITE_NAMES:?}");
+            code
         }
     }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut args = BenchArgs::parse()?;
+    // Baselines measure the simulator's own wall-clock: parallel execution
+    // or store-served points would record meaningless timings, and the
+    // output scheme is one BENCH_<suite>.json per suite, not one document.
+    args.reject_execution_flags("bench_baseline must measure serial, uncached wall-clock")?;
+    args.reject_json("bench_baseline writes BENCH_<suite>.json per suite; use --out-dir")?;
+    let out_dir = args
+        .take_value("--out-dir")?
+        .unwrap_or_else(|| ".".to_string());
+    let mut suites: Vec<String> = Vec::new();
+    while let Some(suite) = args.take_value("--suite")? {
+        suites.push(suite);
+    }
+    args.finish()?;
+
     if suites.is_empty() {
         suites = SUITE_NAMES.iter().map(ToString::to_string).collect();
     }
     for suite in &suites {
         if !SUITE_NAMES.contains(&suite.as_str()) {
-            eprintln!("unknown suite {suite:?} (expected one of {SUITE_NAMES:?})");
-            return ExitCode::from(2);
+            return Err(format!(
+                "unknown suite {suite:?} (expected one of {SUITE_NAMES:?})"
+            ));
         }
     }
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("cannot create {out_dir}: {e}");
-        return ExitCode::FAILURE;
+        return Ok(ExitCode::FAILURE);
     }
 
     for suite in &suites {
@@ -89,9 +97,9 @@ fn main() -> ExitCode {
         let doc = suite_json(suite, &results);
         if let Err(e) = std::fs::write(&path, format!("{doc}\n")) {
             eprintln!("cannot write {}: {e}", path.display());
-            return ExitCode::FAILURE;
+            return Ok(ExitCode::FAILURE);
         }
         eprintln!("wrote {}", path.display());
     }
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }

@@ -10,7 +10,8 @@
 //!
 //! ```text
 //! fig3 [--app <name>] [--chart mem|mix|perf|energy|all]
-//!      [--mix pipelined|solver] [--iters <n>] [--threads <n>] [--json <path>]
+//!      [--mix pipelined|solver] [--iters <n>] [--threads <n>]
+//!      [--store <dir>] [--resume] [--json <path>]
 //! ```
 //!
 //! `--mix pipelined` appends the three-stage dataflow pipeline
@@ -23,93 +24,63 @@
 //! n-step scalar reference and reported with one `iter`-labelled breakdown
 //! per iteration.
 //!
+//! `--store <dir>` attaches the content-addressed result store: points
+//! already computed by any previous run (of this or another binary) are
+//! served from disk, fresh points are checkpointed as workers finish, and
+//! `--resume` asserts the directory already holds such a checkpoint.
+//!
 //! With `--json`, the instrumented sweep report (per-point counters,
-//! wall-clock timing, compile-cache statistics and the derived per-point
-//! energy breakdown from the McPAT-style model) is additionally written to
-//! `<path>` for CI and downstream plotting.
+//! wall-clock timing, compile-cache and result-store statistics and the
+//! derived per-point energy breakdown from the McPAT-style model) is
+//! additionally written to `<path>` for CI and downstream plotting.
 
 use std::process::ExitCode;
 
-use ava_bench::cli::{emit_json, take_json_flag};
+use ava_bench::cli::{emit_json, usage_error, BenchArgs};
 use ava_bench::{
     evaluated_systems, format_energy, format_instruction_mix, format_memory_breakdown,
     format_performance, paper_workloads, pipelined_mix, solver_mix, sweep_energy_json,
 };
 use ava_sim::json::object;
-use ava_sim::{ScenarioConfig, Sweep};
+use ava_sim::{format_sweep_summary, ScenarioConfig, Sweep};
 use ava_workloads::SharedWorkload;
 
+const USAGE: &str = "fig3 [--app <name>] [--chart mem|mix|perf|energy|all] \
+                     [--mix pipelined|solver] [--iters <n>] [--threads <n>] \
+                     [--store <dir>] [--resume] [--json <path>]";
+
 fn main() -> ExitCode {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let json_path = match take_json_flag(&mut args) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::from(2);
-        }
-    };
-    let mut app_filter: Option<String> = None;
-    let mut chart = "all".to_string();
-    let mut mix = "independent".to_string();
-    let mut iters: Option<usize> = None;
-    let mut threads: Option<usize> = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--app" if i + 1 < args.len() => {
-                app_filter = Some(args[i + 1].clone());
-                i += 2;
-            }
-            "--chart" if i + 1 < args.len() => {
-                chart = args[i + 1].clone();
-                i += 2;
-            }
-            "--mix" if i + 1 < args.len() => {
-                match args[i + 1].as_str() {
-                    m @ ("independent" | "pipelined" | "solver") => mix = m.to_string(),
-                    other => {
-                        eprintln!("--mix must be independent, pipelined or solver, got {other}");
-                        return ExitCode::from(2);
-                    }
-                }
-                i += 2;
-            }
-            "--iters" if i + 1 < args.len() => {
-                iters = match args[i + 1].parse() {
-                    Ok(n) if n >= 1 => Some(n),
-                    _ => {
-                        eprintln!("--iters needs a positive integer, got {}", args[i + 1]);
-                        return ExitCode::from(2);
-                    }
-                };
-                i += 2;
-            }
-            "--threads" if i + 1 < args.len() => {
-                threads = match args[i + 1].parse() {
-                    Ok(n) => Some(n),
-                    Err(_) => {
-                        eprintln!("invalid --threads value: {}", args[i + 1]);
-                        return ExitCode::from(2);
-                    }
-                };
-                i += 2;
-            }
-            other => {
-                eprintln!("unrecognised argument: {other}");
-                eprintln!(
-                    "usage: fig3 [--app <name>] [--chart mem|mix|perf|energy|all] \
-                     [--mix pipelined|solver] [--iters <n>] [--threads <n>] [--json <path>]"
-                );
-                return ExitCode::from(2);
-            }
-        }
+    match run() {
+        Ok(code) => code,
+        Err(e) => usage_error(USAGE, &e),
     }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut args = BenchArgs::parse()?;
+    let app_filter = args.take_value("--app")?;
+    let chart = args.take_value("--chart")?.unwrap_or_else(|| "all".into());
+    let mix = args
+        .take_value("--mix")?
+        .unwrap_or_else(|| "independent".into());
+    if !["independent", "pipelined", "solver"].contains(&mix.as_str()) {
+        return Err(format!(
+            "--mix must be independent, pipelined or solver, got {mix}"
+        ));
+    }
+    let iters = match args.take_value("--iters")? {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => return Err(format!("--iters needs a positive integer, got {v}")),
+        },
+        None => None,
+    };
+    args.finish()?;
 
     if iters.is_some() && mix != "solver" {
         // Silently ignoring the flag would let a sweep the user believes
         // covers n iterations run with no iteration axis at all.
-        eprintln!("--iters only applies to --mix solver");
-        return ExitCode::from(2);
+        return Err("--iters only applies to --mix solver".to_string());
     }
     let mut pool = paper_workloads();
     if mix == "pipelined" {
@@ -132,8 +103,7 @@ fn main() -> ExitCode {
         .filter(|w| app_filter.as_ref().is_none_or(|f| w.name() == f))
         .collect();
     if workloads.is_empty() {
-        eprintln!("no workload matches --app filter");
-        return ExitCode::from(2);
+        return Err("no workload matches --app filter".to_string());
     }
 
     let per_workload = systems.len();
@@ -144,10 +114,8 @@ fn main() -> ExitCode {
         workloads.len(),
         per_workload
     );
-    let report = match threads {
-        Some(n) => sweep.run_parallel_report_with(n),
-        None => sweep.run_parallel_report(),
-    };
+    let report = args.configure(sweep.runner()).run();
+    eprintln!("{}", format_sweep_summary(&report));
 
     for (workload, runs) in workloads.iter().zip(report.reports.chunks(per_workload)) {
         let name = workload.name();
@@ -165,7 +133,7 @@ fn main() -> ExitCode {
         }
     }
 
-    emit_json(json_path.as_deref(), || {
+    Ok(emit_json(args.json.as_deref(), || {
         object()
             .field("artefact", "fig3")
             .field("chart", chart.as_str())
@@ -175,5 +143,5 @@ fn main() -> ExitCode {
             )
             .field("sweep", report.to_json())
             .finish()
-    })
+    }))
 }

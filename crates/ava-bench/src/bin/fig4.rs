@@ -2,25 +2,35 @@
 //! configuration (McPAT-style model at 22 nm) and the average
 //! performance-per-mm² across the six applications.
 //!
-//! Usage: `fig4 [--json <path>]` — with `--json`, the chart rows and the
-//! instrumented sweep report are additionally written to `<path>`.
+//! Usage: `fig4 [--threads <n>] [--store <dir>] [--resume] [--json <path>]`
+//! — the performance side is one sweep, so it honours the shared execution
+//! flags (a warm result store serves the whole grid without simulating);
+//! with `--json`, the chart rows and the instrumented sweep report are
+//! additionally written to `<path>`.
 
 use std::process::ExitCode;
 
-use ava_bench::cli::{emit_json, json_only_args};
+use ava_bench::cli::{emit_json, usage_error, BenchArgs};
 use ava_sim::json::{object, Json};
 
+const USAGE: &str = "fig4 [--threads <n>] [--store <dir>] [--resume] [--json <path>]";
+
 fn main() -> ExitCode {
-    let json_path = match json_only_args("fig4 [--json <path>]") {
-        Ok(p) => p,
-        Err(code) => return code,
-    };
+    match run() {
+        Ok(code) => code,
+        Err(e) => usage_error(USAGE, &e),
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = BenchArgs::parse()?;
+    args.finish()?;
 
     let workloads = ava_bench::paper_workloads();
-    let data = ava_bench::figure4_data(&workloads);
+    let data = ava_bench::figure4_data_with(&workloads, args.threads, args.store.as_ref());
     print!("{}", ava_bench::format_figure4_from(&data));
 
-    emit_json(json_path.as_deref(), || {
+    Ok(emit_json(args.json.as_deref(), || {
         object()
             .field("artefact", "fig4")
             .field(
@@ -44,5 +54,5 @@ fn main() -> ExitCode {
             )
             .field("sweep", data.sweep.to_json())
             .finish()
-    })
+    }))
 }

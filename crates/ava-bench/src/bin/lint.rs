@@ -26,12 +26,14 @@
 
 use std::process::ExitCode;
 
-use ava_bench::cli::{take_json_flag, write_json};
+use ava_bench::cli::{usage_error, write_json, BenchArgs};
 use ava_bench::{paper_workloads, pipelined_mix, solver_mix};
 use ava_sim::json::{object, parse, Json};
 use ava_sim::ScenarioConfig;
 use ava_workloads::analysis::Severity;
 use ava_workloads::{SharedWorkload, Somier};
+
+const USAGE: &str = "lint [--mode deny|warn] [--json <path>]";
 
 /// One workload analyzed at one MVL, with the labels of every evaluated
 /// configuration that MVL covers.
@@ -43,37 +45,21 @@ struct LintPoint {
 }
 
 fn main() -> ExitCode {
-    let usage = "lint [--mode deny|warn] [--json <path>]";
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let json_path = match take_json_flag(&mut args) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("{e}");
-            eprintln!("usage: {usage}");
-            return ExitCode::from(2);
-        }
-    };
-    let mut mode = "deny".to_string();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--mode" if i + 1 < args.len() => {
-                match args[i + 1].as_str() {
-                    m @ ("deny" | "warn") => mode = m.to_string(),
-                    other => {
-                        eprintln!("--mode must be deny or warn, got {other}");
-                        return ExitCode::from(2);
-                    }
-                }
-                i += 2;
-            }
-            other => {
-                eprintln!("unrecognised argument: {other}");
-                eprintln!("usage: {usage}");
-                return ExitCode::from(2);
-            }
-        }
+    match run() {
+        Ok(code) => code,
+        Err(e) => usage_error(USAGE, &e),
     }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut args = BenchArgs::parse()?;
+    args.reject_execution_flags("lint analyzes kernels statically, without a sweep")?;
+    let mode = args.take_value("--mode")?.unwrap_or_else(|| "deny".into());
+    if mode != "deny" && mode != "warn" {
+        return Err(format!("--mode must be deny or warn, got {mode}"));
+    }
+    args.finish()?;
+    let json_path = args.json;
     // Deny mode gates on anything suspicious; warn mode only on findings
     // that corrupt results.
     let threshold = if mode == "deny" {
@@ -205,13 +191,13 @@ fn main() -> ExitCode {
         );
         if let Err(e) = write_json(path, &doc) {
             eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return Ok(ExitCode::FAILURE);
         }
         eprintln!("wrote JSON report to {path}");
     }
-    if failures > 0 {
+    Ok(if failures > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
-    }
+    })
 }

@@ -14,7 +14,8 @@
 //! sensitivity [--mvl 128,256,512] [--l2-kib 256,1024,4096]
 //!             [--l1-kib 16,32,64] [--dram-bw 6,12,24] [--vmu-bus 32,64,128]
 //!             [--mix independent|pipelined|solver] [--iters <n>]
-//!             [--app <name>] [--threads <n>] [--json <path>]
+//!             [--app <name>] [--threads <n>] [--store <dir>] [--resume]
+//!             [--json <path>]
 //! ```
 //!
 //! `--mix solver` adds the iterative somier-relaxation mix
@@ -26,21 +27,32 @@
 //! carries `"axes":{"iters":n}`, so rerunning with different `--iters`
 //! values sweeps that axis like any other.
 //!
+//! `--store <dir>` attaches the content-addressed result store, which is
+//! what makes the large crossed grids practical: a killed run resumes where
+//! it stopped (`--resume` asserts a checkpoint exists), a rerun with one
+//! more axis value simulates only the new points, and stored per-point wall
+//! times seed the scheduler.
+//!
 //! With `--json`, the instrumented sweep report — axis metadata, the derived
 //! per-point energy breakdown and the per-phase (and, for the solver mix,
 //! per-iteration) composite breakdowns included — is written to `<path>`.
 
 use std::process::ExitCode;
 
-use ava_bench::cli::{emit_json, take_json_flag};
+use ava_bench::cli::{emit_json, usage_error, BenchArgs};
 use ava_bench::{
     format_cache_sensitivity, format_mvl_extrapolation, pipelined_mix, sensitivity_grid_with,
     sensitivity_json, sensitivity_workloads, solver_mix, HierarchyAxes, SENSITIVITY_L2_KIB,
     SENSITIVITY_MVLS,
 };
 use ava_isa::{MAX_MVL_ELEMS, MIN_MVL_ELEMS};
-use ava_sim::Sweep;
+use ava_sim::{format_sweep_summary, Sweep};
 use ava_workloads::SharedWorkload;
+
+const USAGE: &str = "sensitivity [--mvl 128,256,512] [--l2-kib 256,1024,4096] \
+                     [--l1-kib 16,32,64] [--dram-bw 6,12,24] [--vmu-bus 32,64,128] \
+                     [--mix independent|pipelined|solver] [--iters <n>] [--app <name>] \
+                     [--threads <n>] [--store <dir>] [--resume] [--json <path>]";
 
 fn parse_list(arg: &str, what: &str) -> Result<Vec<usize>, String> {
     arg.split(',')
@@ -57,109 +69,73 @@ fn parse_list_u64(arg: &str, what: &str) -> Result<Vec<u64>, String> {
 }
 
 fn main() -> ExitCode {
-    let usage = "sensitivity [--mvl 128,256,512] [--l2-kib 256,1024,4096] \
-                 [--l1-kib 16,32,64] [--dram-bw 6,12,24] [--vmu-bus 32,64,128] \
-                 [--mix independent|pipelined|solver] [--iters <n>] [--app <name>] \
-                 [--threads <n>] [--json <path>]";
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let json_path = match take_json_flag(&mut args) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("{e}");
-            eprintln!("usage: {usage}");
-            return ExitCode::from(2);
-        }
-    };
+    match run() {
+        Ok(code) => code,
+        Err(e) => usage_error(USAGE, &e),
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut args = BenchArgs::parse()?;
 
     let mut mvls: Vec<usize> = SENSITIVITY_MVLS.to_vec();
     let mut l2_kib: Vec<usize> = SENSITIVITY_L2_KIB.to_vec();
     let mut extra = HierarchyAxes::default();
-    let mut mix = "independent".to_string();
-    let mut iters: Option<usize> = None;
-    let mut app_filter: Option<String> = None;
-    let mut threads: Option<usize> = None;
-    let mut i = 0;
-    while i < args.len() {
-        let value = |flag: &str| -> Result<String, String> {
-            args.get(i + 1)
-                .cloned()
-                .ok_or_else(|| format!("{flag} requires a value"))
-        };
-        let step = match args[i].as_str() {
-            "--mvl" => value("--mvl")
-                .and_then(|v| parse_list(&v, "--mvl"))
-                .map(|v| mvls = v),
-            "--l2-kib" => value("--l2-kib")
-                .and_then(|v| parse_list(&v, "--l2-kib"))
-                .map(|v| l2_kib = v),
-            "--l1-kib" => value("--l1-kib")
-                .and_then(|v| parse_list(&v, "--l1-kib"))
-                .map(|v| extra.l1_kib = v),
-            "--dram-bw" => value("--dram-bw")
-                .and_then(|v| parse_list_u64(&v, "--dram-bw"))
-                .map(|v| extra.dram_bw = v),
-            "--vmu-bus" => value("--vmu-bus")
-                .and_then(|v| parse_list_u64(&v, "--vmu-bus"))
-                .map(|v| extra.vmu_bus = v),
-            "--mix" => value("--mix").and_then(|v| {
-                if v == "independent" || v == "pipelined" || v == "solver" {
-                    mix = v;
-                    Ok(())
-                } else {
-                    Err(format!(
-                        "--mix must be independent, pipelined or solver, got {v}"
-                    ))
-                }
-            }),
-            "--iters" => value("--iters").and_then(|v| {
-                v.parse::<usize>()
-                    .ok()
-                    .filter(|&n| n >= 1)
-                    .map(|n| iters = Some(n))
-                    .ok_or_else(|| format!("--iters needs a positive integer, got {v}"))
-            }),
-            "--app" => value("--app").map(|v| app_filter = Some(v)),
-            "--threads" => value("--threads").and_then(|v| {
-                v.parse::<usize>()
-                    .map(|n| threads = Some(n))
-                    .map_err(|_| format!("invalid --threads value: {v}"))
-            }),
-            other => Err(format!("unrecognised argument: {other}")),
-        };
-        if let Err(e) = step {
-            eprintln!("{e}");
-            eprintln!("usage: {usage}");
-            return ExitCode::from(2);
-        }
-        i += 2;
+    if let Some(v) = args.take_value("--mvl")? {
+        mvls = parse_list(&v, "--mvl")?;
     }
+    if let Some(v) = args.take_value("--l2-kib")? {
+        l2_kib = parse_list(&v, "--l2-kib")?;
+    }
+    if let Some(v) = args.take_value("--l1-kib")? {
+        extra.l1_kib = parse_list(&v, "--l1-kib")?;
+    }
+    if let Some(v) = args.take_value("--dram-bw")? {
+        extra.dram_bw = parse_list_u64(&v, "--dram-bw")?;
+    }
+    if let Some(v) = args.take_value("--vmu-bus")? {
+        extra.vmu_bus = parse_list_u64(&v, "--vmu-bus")?;
+    }
+    let mix = args
+        .take_value("--mix")?
+        .unwrap_or_else(|| "independent".into());
+    if !["independent", "pipelined", "solver"].contains(&mix.as_str()) {
+        return Err(format!(
+            "--mix must be independent, pipelined or solver, got {mix}"
+        ));
+    }
+    let iters = match args.take_value("--iters")? {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => return Err(format!("--iters needs a positive integer, got {v}")),
+        },
+        None => None,
+    };
+    let app_filter = args.take_value("--app")?;
+    args.finish()?;
+
     if mvls.is_empty() || l2_kib.is_empty() {
-        eprintln!("--mvl and --l2-kib need at least one value each");
-        return ExitCode::from(2);
+        return Err("--mvl and --l2-kib need at least one value each".to_string());
     }
     if let Some(bad) = mvls
         .iter()
         .find(|&&m| m % MIN_MVL_ELEMS != 0 || !(MIN_MVL_ELEMS..=MAX_MVL_ELEMS).contains(&m))
     {
-        eprintln!(
+        return Err(format!(
             "--mvl values must be multiples of {MIN_MVL_ELEMS} in \
              {MIN_MVL_ELEMS}..={MAX_MVL_ELEMS}, got {bad}"
-        );
-        return ExitCode::from(2);
+        ));
     }
     if l2_kib.contains(&0) || extra.l1_kib.contains(&0) {
-        eprintln!("cache capacities must be non-zero");
-        return ExitCode::from(2);
+        return Err("cache capacities must be non-zero".to_string());
     }
     if extra.dram_bw.contains(&0) || extra.vmu_bus.contains(&0) {
-        eprintln!("--dram-bw and --vmu-bus values must be non-zero");
-        return ExitCode::from(2);
+        return Err("--dram-bw and --vmu-bus values must be non-zero".to_string());
     }
     if iters.is_some() && mix != "solver" {
         // Silently ignoring the flag would let a sweep the user believes
         // covers n iterations run with no iteration axis at all.
-        eprintln!("--iters only applies to --mix solver");
-        return ExitCode::from(2);
+        return Err("--iters only applies to --mix solver".to_string());
     }
     let iters = iters.unwrap_or(4);
 
@@ -181,11 +157,11 @@ fn main() -> ExitCode {
         .filter(|w| app_filter.as_ref().is_none_or(|f| w.name() == f))
         .collect();
     if workloads.is_empty() {
-        eprintln!(
+        return Err(
             "no workload matches --app filter (axpy, blackscholes, somier, composite, \
              pipelined with --mix pipelined, and iterated with --mix solver)"
+                .to_string(),
         );
-        return ExitCode::from(2);
     }
 
     let mut scenarios = sensitivity_grid_with(&mvls, &l2_kib, &extra);
@@ -215,10 +191,7 @@ fn main() -> ExitCode {
             )
         },
     );
-    let report = match threads {
-        Some(n) => sweep.run_parallel_report_with(n),
-        None => sweep.run_parallel_report(),
-    };
+    let report = args.configure(sweep.runner()).run();
     for r in &report.reports {
         assert!(
             r.validated,
@@ -234,16 +207,9 @@ fn main() -> ExitCode {
         );
         println!("{}", format_cache_sensitivity(workload.name(), runs));
     }
-    eprintln!(
-        "sweep: {:.1} ms wall, {:.1} ms busy on {} threads ({} compiles deduplicated to {})",
-        report.wall_ns as f64 / 1e6,
-        report.busy_ns() as f64 / 1e6,
-        report.threads,
-        report.cache_hits + report.cache_misses,
-        report.cache_misses,
-    );
+    eprintln!("{}", format_sweep_summary(&report));
 
-    emit_json(json_path.as_deref(), || {
+    Ok(emit_json(args.json.as_deref(), || {
         sensitivity_json(&mvls, &l2_kib, &extra, sweep.resolved_systems(), &report)
-    })
+    }))
 }

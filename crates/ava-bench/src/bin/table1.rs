@@ -5,19 +5,27 @@
 
 use std::process::ExitCode;
 
-use ava_bench::cli::{emit_json, json_only_args};
+use ava_bench::cli::{emit_json, usage_error, BenchArgs};
 use ava_bench::{table1_rows, TABLE1_PVRF_BYTES};
 use ava_sim::json::{object, Json};
 
+const USAGE: &str = "table1 [--json <path>]";
+
 fn main() -> ExitCode {
-    let json_path = match json_only_args("table1 [--json <path>]") {
-        Ok(p) => p,
-        Err(code) => return code,
-    };
+    match run() {
+        Ok(code) => code,
+        Err(e) => usage_error(USAGE, &e),
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = BenchArgs::parse()?;
+    args.reject_execution_flags("table1 computes Table I analytically, without a sweep")?;
+    args.finish()?;
 
     print!("{}", ava_bench::format_table1());
 
-    emit_json(json_path.as_deref(), || {
+    Ok(emit_json(args.json.as_deref(), || {
         object()
             .field("artefact", "table1")
             .field("pvrf_bytes", TABLE1_PVRF_BYTES)
@@ -34,5 +42,5 @@ fn main() -> ExitCode {
                     .collect::<Json>(),
             )
             .finish()
-    })
+    }))
 }

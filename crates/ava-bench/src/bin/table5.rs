@@ -6,19 +6,27 @@
 
 use std::process::ExitCode;
 
-use ava_bench::cli::{emit_json, json_only_args};
+use ava_bench::cli::{emit_json, usage_error, BenchArgs};
 use ava_energy::pnr_estimate;
 use ava_sim::json::{object, Json};
 
+const USAGE: &str = "table5 [--json <path>]";
+
 fn main() -> ExitCode {
-    let json_path = match json_only_args("table5 [--json <path>]") {
-        Ok(p) => p,
-        Err(code) => return code,
-    };
+    match run() {
+        Ok(code) => code,
+        Err(e) => usage_error(USAGE, &e),
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = BenchArgs::parse()?;
+    args.reject_execution_flags("table5 computes Table V analytically, without a sweep")?;
+    args.finish()?;
 
     print!("{}", ava_bench::format_table5());
 
-    emit_json(json_path.as_deref(), || {
+    Ok(emit_json(args.json.as_deref(), || {
         object()
             .field("artefact", "table5")
             .field(
@@ -40,5 +48,5 @@ fn main() -> ExitCode {
                     .collect::<Json>(),
             )
             .finish()
-    })
+    }))
 }

@@ -5,19 +5,27 @@
 
 use std::process::ExitCode;
 
-use ava_bench::cli::{emit_json, json_only_args};
+use ava_bench::cli::{emit_json, usage_error, BenchArgs};
 use ava_bench::evaluated_systems;
 use ava_sim::json::{object, Json};
 
+const USAGE: &str = "table_configs [--json <path>]";
+
 fn main() -> ExitCode {
-    let json_path = match json_only_args("table_configs [--json <path>]") {
-        Ok(p) => p,
-        Err(code) => return code,
-    };
+    match run() {
+        Ok(code) => code,
+        Err(e) => usage_error(USAGE, &e),
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = BenchArgs::parse()?;
+    args.reject_execution_flags("table_configs lists the configurations, without a sweep")?;
+    args.finish()?;
 
     print!("{}", ava_bench::format_table_configs());
 
-    emit_json(json_path.as_deref(), || {
+    Ok(emit_json(args.json.as_deref(), || {
         object()
             .field("artefact", "table_configs")
             .field(
@@ -38,5 +46,5 @@ fn main() -> ExitCode {
                     .collect::<Json>(),
             )
             .finish()
-    })
+    }))
 }

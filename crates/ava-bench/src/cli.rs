@@ -1,54 +1,203 @@
 //! Shared command-line plumbing for the figure/table binaries.
 //!
-//! Every binary accepts `--json <path>` in addition to its own flags: the
-//! human-readable tables keep going to stdout, and the machine-readable
-//! form of the same artefact is written to `<path>`. Extraction happens
-//! before each binary's own argument loop so the flag works uniformly
-//! across all of them.
+//! Every binary parses its arguments through one [`BenchArgs`] pass: the
+//! shared flags — `--json <path>`, `--threads <n>`, `--store <dir>` and
+//! `--resume` — are recognised in one place, and each binary pulls its own
+//! extensions (`--app`, `--chart`, `--mode`, ...) out of the remainder with
+//! [`BenchArgs::take_value`] before calling [`BenchArgs::finish`] to reject
+//! anything left over. New shared flags therefore land once instead of nine
+//! times.
+//!
+//! The shared flags mean the same thing everywhere:
+//!
+//! * `--json <path>` — write the machine-readable form of the artefact to
+//!   `<path>` (the human-readable tables keep going to stdout);
+//! * `--threads <n>` — cap the sweep at `n` worker threads;
+//! * `--store <dir>` — attach the content-addressed result store at `<dir>`
+//!   (created if missing): points already stored are served from disk, fresh
+//!   results are checkpointed as they finish;
+//! * `--resume` — assert that `--store` points at an *existing* checkpoint
+//!   directory (e.g. from a killed run) instead of silently starting cold.
+//!
+//! Binaries that do not run sweeps reject the execution flags with a clear
+//! message rather than ignoring them.
 
+use std::path::Path;
 use std::process::ExitCode;
 
-use ava_sim::Json;
+use ava_sim::{Json, ResultStore, SweepRunner};
 
-/// Removes `--json <path>` from `args` and returns the path, if present.
-///
-/// # Errors
-///
-/// Returns an error message if `--json` is present without a value.
-pub fn take_json_flag(args: &mut Vec<String>) -> Result<Option<String>, String> {
-    let Some(pos) = args.iter().position(|a| a == "--json") else {
-        return Ok(None);
-    };
-    if pos + 1 >= args.len() {
-        return Err("--json requires a path argument".to_string());
-    }
-    let path = args.remove(pos + 1);
-    args.remove(pos);
-    Ok(Some(path))
+/// The parsed shared flags plus each binary's unparsed extension arguments.
+#[derive(Debug)]
+pub struct BenchArgs {
+    /// `--json <path>`: where to write the machine-readable artefact.
+    pub json: Option<String>,
+    /// `--threads <n>`: worker-thread cap for the sweep.
+    pub threads: Option<usize>,
+    /// `--store <dir>`: the opened result store.
+    pub store: Option<ResultStore>,
+    /// `--resume`: the user expects the store to hold a prior checkpoint.
+    pub resume: bool,
+    rest: Vec<String>,
 }
 
-/// Full argument handling for binaries whose only flag is `--json <path>`:
-/// reads the process arguments, extracts the flag and rejects anything
-/// else. On error, prints the problem plus `usage` and returns the exit
-/// code to terminate with.
-///
-/// # Errors
-///
-/// Returns `ExitCode::from(2)` after printing a diagnostic when the flag is
-/// malformed or an unrecognised argument is present.
-pub fn json_only_args(usage: &str) -> Result<Option<String>, ExitCode> {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let json = take_json_flag(&mut args).map_err(|e| {
-        eprintln!("{e}");
-        eprintln!("usage: {usage}");
-        ExitCode::from(2)
-    })?;
-    if let Some(other) = args.first() {
-        eprintln!("unrecognised argument: {other}");
-        eprintln!("usage: {usage}");
-        return Err(ExitCode::from(2));
+impl BenchArgs {
+    /// Parses the process arguments: shared flags are consumed here,
+    /// everything else is kept for [`BenchArgs::take_value`] /
+    /// [`BenchArgs::take_switch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic when a shared flag is malformed, when
+    /// `--resume` is given without `--store` (or the store directory does
+    /// not exist yet — there is nothing to resume), or when the store
+    /// directory cannot be created.
+    pub fn parse() -> Result<Self, String> {
+        Self::from_vec(std::env::args().skip(1).collect())
     }
-    Ok(json)
+
+    fn from_vec(args: Vec<String>) -> Result<Self, String> {
+        let mut json = None;
+        let mut threads = None;
+        let mut store_dir: Option<String> = None;
+        let mut resume = false;
+        let mut rest = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--json" => {
+                    json = Some(it.next().ok_or("--json requires a path argument")?);
+                }
+                "--threads" => {
+                    let v = it.next().ok_or("--threads requires a value")?;
+                    threads = Some(
+                        v.parse()
+                            .map_err(|_| format!("invalid --threads value: {v}"))?,
+                    );
+                }
+                "--store" => {
+                    store_dir = Some(it.next().ok_or("--store requires a directory argument")?);
+                }
+                "--resume" => resume = true,
+                _ => rest.push(arg),
+            }
+        }
+        if resume && store_dir.is_none() {
+            return Err("--resume requires --store <dir>".to_string());
+        }
+        let store = match store_dir {
+            Some(dir) => {
+                if resume && !Path::new(&dir).is_dir() {
+                    return Err(format!(
+                        "--resume: store directory {dir} does not exist — nothing to resume"
+                    ));
+                }
+                Some(ResultStore::open(dir)?)
+            }
+            None => None,
+        };
+        Ok(Self {
+            json,
+            threads,
+            store,
+            resume,
+            rest,
+        })
+    }
+
+    /// Removes the binary-specific `flag <value>` pair from the remaining
+    /// arguments and returns the value, if the flag is present.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic when the flag is present without a value.
+    pub fn take_value(&mut self, flag: &str) -> Result<Option<String>, String> {
+        let Some(pos) = self.rest.iter().position(|a| a == flag) else {
+            return Ok(None);
+        };
+        if pos + 1 >= self.rest.len() {
+            return Err(format!("{flag} requires a value"));
+        }
+        let value = self.rest.remove(pos + 1);
+        self.rest.remove(pos);
+        Ok(Some(value))
+    }
+
+    /// Removes the binary-specific boolean `flag` from the remaining
+    /// arguments, returning whether it was present.
+    pub fn take_switch(&mut self, flag: &str) -> bool {
+        match self.rest.iter().position(|a| a == flag) {
+            Some(pos) => {
+                self.rest.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Rejects any argument no extension consumed. Call after every
+    /// [`BenchArgs::take_value`] / [`BenchArgs::take_switch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic naming the first unrecognised argument.
+    pub fn finish(&self) -> Result<(), String> {
+        match self.rest.first() {
+            Some(other) => Err(format!("unrecognised argument: {other}")),
+            None => Ok(()),
+        }
+    }
+
+    /// For binaries that never run a sweep: rejects `--threads`, `--store`
+    /// and `--resume` with `reason` rather than silently ignoring them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic naming the offending flag and `reason`.
+    pub fn reject_execution_flags(&self, reason: &str) -> Result<(), String> {
+        if self.threads.is_some() {
+            return Err(format!("--threads does not apply: {reason}"));
+        }
+        if self.store.is_some() || self.resume {
+            return Err(format!("--store/--resume do not apply: {reason}"));
+        }
+        Ok(())
+    }
+
+    /// For binaries with their own output scheme: rejects `--json` with
+    /// `reason`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic containing `reason`.
+    pub fn reject_json(&self, reason: &str) -> Result<(), String> {
+        match self.json {
+            Some(_) => Err(format!("--json does not apply: {reason}")),
+            None => Ok(()),
+        }
+    }
+
+    /// Applies the shared execution flags (`--threads`, `--store`) to a
+    /// sweep runner.
+    #[must_use]
+    pub fn configure<'a>(&'a self, mut runner: SweepRunner<'a>) -> SweepRunner<'a> {
+        if let Some(n) = self.threads {
+            runner = runner.threads(n);
+        }
+        if let Some(store) = &self.store {
+            runner = runner.store(store);
+        }
+        runner
+    }
+}
+
+/// Prints `message` plus the usage line and returns the conventional
+/// bad-invocation exit code. Binaries funnel every parse error through this.
+#[must_use]
+pub fn usage_error(usage: &str, message: &str) -> ExitCode {
+    eprintln!("{message}");
+    eprintln!("usage: {usage}");
+    ExitCode::from(2)
 }
 
 /// Writes `value` to `path` as a single-line JSON document (with a trailing
@@ -93,24 +242,87 @@ mod tests {
     }
 
     #[test]
-    fn json_flag_is_extracted_and_removed() {
-        let mut args = argv(&["--app", "axpy", "--json", "out.json", "--chart", "perf"]);
-        let path = take_json_flag(&mut args).unwrap();
-        assert_eq!(path.as_deref(), Some("out.json"));
-        assert_eq!(args, argv(&["--app", "axpy", "--chart", "perf"]));
+    fn shared_flags_are_extracted_and_the_rest_kept_in_order() {
+        let args = BenchArgs::from_vec(argv(&[
+            "--app",
+            "axpy",
+            "--json",
+            "out.json",
+            "--threads",
+            "3",
+            "--chart",
+            "perf",
+        ]))
+        .unwrap();
+        assert_eq!(args.json.as_deref(), Some("out.json"));
+        assert_eq!(args.threads, Some(3));
+        assert!(args.store.is_none());
+        assert!(!args.resume);
+        assert_eq!(args.rest, argv(&["--app", "axpy", "--chart", "perf"]));
     }
 
     #[test]
-    fn missing_flag_leaves_args_untouched() {
-        let mut args = argv(&["--app", "axpy"]);
-        assert_eq!(take_json_flag(&mut args).unwrap(), None);
-        assert_eq!(args, argv(&["--app", "axpy"]));
+    fn shared_flags_without_values_are_errors() {
+        assert!(BenchArgs::from_vec(argv(&["--json"])).is_err());
+        assert!(BenchArgs::from_vec(argv(&["--threads"])).is_err());
+        assert!(BenchArgs::from_vec(argv(&["--threads", "zero"])).is_err());
+        assert!(BenchArgs::from_vec(argv(&["--store"])).is_err());
     }
 
     #[test]
-    fn json_flag_without_a_value_is_an_error() {
-        let mut args = argv(&["--json"]);
-        assert!(take_json_flag(&mut args).is_err());
+    fn resume_requires_an_existing_store() {
+        let err = BenchArgs::from_vec(argv(&["--resume"])).unwrap_err();
+        assert!(err.contains("--resume requires --store"));
+
+        let missing = std::env::temp_dir().join(format!(
+            "ava-bencharg-missing-{}-resume",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&missing);
+        let err = BenchArgs::from_vec(argv(&["--store", missing.to_str().unwrap(), "--resume"]))
+            .unwrap_err();
+        assert!(err.contains("nothing to resume"), "{err}");
+
+        // With the directory present, --resume opens the store normally.
+        std::fs::create_dir_all(&missing).unwrap();
+        let args =
+            BenchArgs::from_vec(argv(&["--store", missing.to_str().unwrap(), "--resume"])).unwrap();
+        assert!(args.store.is_some());
+        assert!(args.resume);
+        let _ = std::fs::remove_dir_all(&missing);
+    }
+
+    #[test]
+    fn store_flag_opens_and_creates_the_directory() {
+        let dir = std::env::temp_dir().join(format!("ava-bencharg-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = BenchArgs::from_vec(argv(&["--store", dir.to_str().unwrap()])).unwrap();
+        assert!(args.store.is_some());
+        assert!(dir.is_dir(), "--store must create the directory");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn extensions_take_values_and_finish_rejects_leftovers() {
+        let mut args = BenchArgs::from_vec(argv(&["--mode", "warn", "--bogus"])).unwrap();
+        assert_eq!(args.take_value("--mode").unwrap().as_deref(), Some("warn"));
+        assert_eq!(args.take_value("--mode").unwrap(), None);
+        assert!(args.take_value("--bogus").is_err(), "flag without a value");
+        let err = args.finish().unwrap_err();
+        assert!(err.contains("--bogus"));
+        assert!(!args.take_switch("--quiet"));
+    }
+
+    #[test]
+    fn execution_flags_can_be_rejected_by_sweepless_binaries() {
+        let args = BenchArgs::from_vec(argv(&["--threads", "2"])).unwrap();
+        let err = args
+            .reject_execution_flags("table1 is analytic")
+            .unwrap_err();
+        assert!(err.contains("table1 is analytic"));
+        let args = BenchArgs::from_vec(argv(&[])).unwrap();
+        assert!(args.reject_execution_flags("never triggers").is_ok());
+        assert!(args.reject_json("never triggers").is_ok());
     }
 
     #[test]

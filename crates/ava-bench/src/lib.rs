@@ -48,7 +48,8 @@ use ava_energy::{
 };
 use ava_sim::json::object;
 use ava_sim::{
-    geometric_mean, speedup_vs, Json, RunReport, ScenarioConfig, Sweep, SweepReport, SystemConfig,
+    geometric_mean, speedup_vs, Json, ResultStore, RunReport, ScenarioConfig, Sweep, SweepReport,
+    SystemConfig,
 };
 use ava_vpu::{preg_count_for_mvl, VpuConfig};
 use ava_workloads::{
@@ -100,7 +101,7 @@ pub fn figure3_sweep(workloads: Vec<SharedWorkload>) -> Sweep {
 /// Runs one workload across every evaluated configuration, in parallel.
 #[must_use]
 pub fn run_figure3_for(workload: SharedWorkload) -> Vec<RunReport> {
-    figure3_sweep(vec![workload]).run_parallel()
+    figure3_sweep(vec![workload]).runner().run().into_reports()
 }
 
 /// Formats the Figure 3 column-1 chart: vector memory instruction counts
@@ -344,6 +345,18 @@ pub struct Figure4Data {
 /// columns plus the remaining AVA configurations), run across all cores.
 #[must_use]
 pub fn figure4_data(workloads: &[SharedWorkload]) -> Figure4Data {
+    figure4_data_with(workloads, None, None)
+}
+
+/// [`figure4_data`] with the execution knobs of the `fig4` binary: an
+/// optional worker-thread cap and an optional result store serving
+/// already-computed points.
+#[must_use]
+pub fn figure4_data_with(
+    workloads: &[SharedWorkload],
+    threads: Option<usize>,
+    store: Option<&ResultStore>,
+) -> Figure4Data {
     // Area side: one column per configuration of Figure 4. NATIVE X1 first
     // (it doubles as the speedup baseline) and AVA X1 second (its area row
     // represents every AVA configuration).
@@ -360,7 +373,15 @@ pub fn figure4_data(workloads: &[SharedWorkload]) -> Figure4Data {
     let mut systems = columns.clone();
     systems.extend([2, 3, 4, 8].iter().map(|&n| ScenarioConfig::ava_x(n)));
     let n_systems = systems.len();
-    let sweep = Sweep::grid(workloads.to_vec(), systems).run_parallel_report();
+    let grid = Sweep::grid(workloads.to_vec(), systems);
+    let mut runner = grid.runner();
+    if let Some(n) = threads {
+        runner = runner.threads(n);
+    }
+    if let Some(store) = store {
+        runner = runner.store(store);
+    }
+    let sweep = runner.run();
     let by_workload: Vec<&[RunReport]> = sweep.reports.chunks(n_systems).collect();
 
     let mut rows = Vec::with_capacity(columns.len() + 1);
@@ -824,7 +845,11 @@ mod tests {
     fn figure3_formatting_includes_every_configuration() {
         let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(256))];
         let systems = vec![ScenarioConfig::native_x(1), ScenarioConfig::ava_x(4)];
-        let reports = Sweep::grid(workloads, systems).run_serial();
+        let reports = Sweep::grid(workloads, systems)
+            .runner()
+            .threads(1)
+            .run()
+            .into_reports();
         for text in [
             format_memory_breakdown("axpy", &reports),
             format_instruction_mix("axpy", &reports),
@@ -844,7 +869,7 @@ mod tests {
         assert_eq!(scenarios.len(), 4);
         let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(512))];
         let sweep = Sweep::grid(workloads, scenarios);
-        let report = sweep.run_serial_report();
+        let report = sweep.runner().threads(1).run();
 
         let mvl_table = format_mvl_extrapolation("axpy", sweep.resolved_systems(), &report.reports);
         // The reference column is the smallest L2 on the axis, and the
@@ -897,7 +922,7 @@ mod tests {
         // The driven axes surface in the JSON axis block.
         let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(256))];
         let sweep = Sweep::grid(workloads, grid);
-        let report = sweep.run_serial_report();
+        let report = sweep.runner().threads(1).run();
         let json = sensitivity_json(&[128], &[1024], &extra, sweep.resolved_systems(), &report)
             .to_string();
         assert!(json.contains("\"l1_kib\":[16,64]"), "{json}");
@@ -951,7 +976,10 @@ mod tests {
         // pipeline prices each point against its own resolved hierarchy.
         let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(256))];
         let scenarios = ScenarioConfig::axis_l2_kib(&[ScenarioConfig::ava_x(1)], &[256, 4096]);
-        let report = Sweep::grid(workloads, scenarios.clone()).run_serial_report();
+        let report = Sweep::grid(workloads, scenarios.clone())
+            .runner()
+            .threads(1)
+            .run();
         let params = EnergyParams::default();
         let leak = |i: usize| {
             let sys = scenarios[i].resolve();
@@ -977,7 +1005,7 @@ mod tests {
         let scenarios = sensitivity_grid(&[512, 128], &[512]);
         let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(512))];
         let sweep = Sweep::grid(workloads, scenarios);
-        let report = sweep.run_serial_report();
+        let report = sweep.runner().threads(1).run();
         let table = format_mvl_extrapolation("axpy", sweep.resolved_systems(), &report.reports);
         let lines: Vec<&str> = table.lines().collect();
         assert!(lines[2].trim_start().starts_with("128"), "{table}");
@@ -997,7 +1025,7 @@ mod tests {
         let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(256))];
         let scenarios = vec![ScenarioConfig::native_x(1), ScenarioConfig::ava_x(4)];
         let sweep = Sweep::grid(workloads, scenarios);
-        let report = sweep.run_serial_report();
+        let report = sweep.runner().threads(1).run();
         let json = sweep_energy_json(&report, sweep.resolved_systems()).to_string();
         assert!(json.contains("\"config\":\"NATIVE X1\""));
         assert!(json.contains("\"config\":\"AVA X4\""));

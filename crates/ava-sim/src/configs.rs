@@ -547,6 +547,83 @@ pub(crate) fn axes_to_json(axes: &[Axis]) -> Json {
     obj.finish()
 }
 
+/// The canonical configuration identity string used as the per-point key by
+/// recorded-cost replay, duplicate-point rejection and the result store:
+/// the display label extended with every recorded axis. The label alone is
+/// *not* an identity — metadata axes like `iters` deliberately stay out of
+/// it (solver sweeps at different depths keep comparable config names), yet
+/// two such points simulate different work.
+pub(crate) fn config_axes_key(label: &str, axes: &[Axis]) -> String {
+    let mut key = String::from(label);
+    key.push('|');
+    for (i, a) in axes.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        key.push_str(a.name);
+        key.push('=');
+        key.push_str(&a.value.to_string());
+    }
+    key
+}
+
+/// The canonical workload identity string paired with [`config_axes_key`]
+/// in the per-point key: the workload name extended with its element count.
+/// The name alone is *not* an identity — one sweep may legitimately run the
+/// same kernel at several problem sizes (the skewed-scheduling grids do),
+/// and those points neither duplicate each other nor share a recorded cost.
+pub(crate) fn workload_identity(name: &str, elements: u64) -> String {
+    format!("{name}#{elements}")
+}
+
+/// Maps an axis name parsed back from JSON onto the `&'static str` the
+/// in-memory [`Axis`] carries. Returns `None` for names no `with_*` override
+/// produces — a store entry carrying one was written by different code and
+/// must be treated as a miss.
+pub(crate) fn axis_static_name(name: &str) -> Option<&'static str> {
+    const KNOWN: &[&str] = &[
+        "mvl",
+        "pvrf_kib",
+        "vvrs",
+        "iq",
+        "rob",
+        "mem_op_overhead",
+        "l1_kib",
+        "l1_lat",
+        "l2_kib",
+        "l2_lat",
+        "dram_bpc",
+        "vmu_bus",
+        "iters",
+    ];
+    KNOWN.iter().find(|&&k| k == name).copied()
+}
+
+/// Parses an axes object (`{"mvl":256,...}`, as written by [`axes_to_json`])
+/// back into the in-memory representation, preserving order.
+///
+/// # Errors
+///
+/// Returns `Err` on a non-object, an unknown axis name or a non-integer
+/// value.
+pub(crate) fn axes_from_json(json: &Json) -> Result<Vec<Axis>, String> {
+    let entries = match json {
+        Json::Obj(entries) => entries,
+        other => return Err(format!("axes must be an object, got {other}")),
+    };
+    entries
+        .iter()
+        .map(|(name, value)| {
+            let name = axis_static_name(name)
+                .ok_or_else(|| format!("unknown axis name {name:?} in stored axes"))?;
+            let value = value
+                .as_u64()
+                .ok_or_else(|| format!("axis {name} has a non-integer value"))?;
+            Ok(Axis { name, value })
+        })
+        .collect()
+}
+
 /// A fully resolved system: scalar core + VPU + memory hierarchy + the
 /// compiler configuration used to build binaries for it, plus the scenario
 /// metadata (label and axes) it was resolved from. Produced by

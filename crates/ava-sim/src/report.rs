@@ -1,6 +1,7 @@
 //! Small reporting helpers shared by the benchmark binaries and examples.
 
 use crate::run::RunReport;
+use crate::sweep::SweepReport;
 
 /// Speedup of every run relative to the run whose configuration label is
 /// `baseline` (the paper normalises to NATIVE X1). Returns
@@ -78,12 +79,40 @@ pub fn format_runs_table(reports: &[RunReport], baseline: &str) -> String {
     out
 }
 
+/// One-line execution summary of a sweep: points, threads, wall/busy time,
+/// compile-cache traffic and (when a store was attached) how many points the
+/// result store served. Printed by the benchmark binaries under `--threads`
+/// and `--store` so incremental runs show what they skipped.
+#[must_use]
+pub fn format_sweep_summary(report: &SweepReport) -> String {
+    let mut out = format!(
+        "{} points on {} thread{} in {:.1} ms (busy {:.1} ms); compile cache {} hit / {} miss",
+        report.points.len(),
+        report.threads,
+        if report.threads == 1 { "" } else { "s" },
+        report.wall_ns as f64 / 1e6,
+        report.busy_ns() as f64 / 1e6,
+        report.cache_hits,
+        report.cache_misses,
+    );
+    if report.store_hits + report.store_misses > 0 {
+        out.push_str(&format!(
+            "; store served {} of {}",
+            report.store_hits,
+            report.store_hits + report.store_misses
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::configs::ScenarioConfig;
     use crate::run::run_workload;
-    use ava_workloads::Axpy;
+    use crate::sweep::Sweep;
+    use ava_workloads::{Axpy, SharedWorkload};
+    use std::sync::Arc;
 
     fn two_reports() -> Vec<RunReport> {
         let w = Axpy::new(256);
@@ -118,6 +147,20 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn geometric_mean_rejects_empty_input() {
         let _ = geometric_mean(&[]);
+    }
+
+    #[test]
+    fn sweep_summary_mentions_the_store_only_when_attached() {
+        let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(128))];
+        let sweep = Sweep::grid(workloads, vec![ScenarioConfig::native_x(1)]);
+        let summary = format_sweep_summary(&sweep.runner().threads(1).run());
+        assert!(summary.contains("1 point"));
+        assert!(summary.contains("compile cache"));
+        assert!(!summary.contains("store served"));
+
+        let mut with_store = sweep.runner().threads(1).run();
+        with_store.store_hits = 1;
+        assert!(format_sweep_summary(&with_store).contains("store served 1 of 1"));
     }
 
     #[test]

@@ -1,16 +1,18 @@
 //! Running one workload on one system configuration.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use ava_compiler::{compile, CompileOptions, CompiledKernel, IrKernel};
 use ava_isa::VectorContext;
-use ava_memory::{MemoryHierarchy, MemoryStats};
+use ava_memory::{CacheStats, MemoryHierarchy, MemoryStats};
 use ava_scalar::{ScalarCore, ScalarCost};
 use ava_vpu::{Vpu, VpuStats};
-use ava_workloads::{validate, ArenaPlanner, BufferBindings, Workload};
+use ava_workloads::{validate, ArenaPlanner, BufferBindings, Fingerprint, Workload};
 
-use crate::configs::{axes_to_json, Axis, ScenarioConfig, SystemConfig};
+use crate::configs::{axes_from_json, axes_to_json, Axis, ScenarioConfig, SystemConfig};
 use crate::json::{object, Json};
+use crate::store::{ResultStore, StoreKey};
 
 /// Cycle/memory breakdown of one phase of a multi-kernel workload: the
 /// delta of every counter across the phase's segment of the compiled
@@ -136,6 +138,144 @@ impl RunReport {
         }
         obj.finish()
     }
+
+    /// Parses a report back from the document [`RunReport::to_json`] emits —
+    /// the read half of the result store. Every stored counter is integral
+    /// (or a string/bool), so the round trip is exact: a parsed report is
+    /// bit-identical to the one that was serialized. Derived fields the
+    /// emitter adds for human consumers (`memory_instrs`, `memory_fraction`,
+    /// the bare per-phase `phase` label) are recomputed, not stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` naming the first missing or ill-typed field; the store
+    /// turns any such error into a plain cache miss.
+    pub fn from_json(json: &Json) -> Result<RunReport, String> {
+        let scalar = field(json, "scalar")?;
+        let phases = match json.get("phases") {
+            None => Vec::new(),
+            Some(p) => p
+                .as_arr()
+                .ok_or_else(|| "phases is not an array".to_string())?
+                .iter()
+                .map(phase_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let validation_error = match json.get("validation_error") {
+            None | Some(Json::Null) => None,
+            Some(Json::Str(s)) => Some(s.clone()),
+            Some(other) => return Err(format!("validation_error is not a string: {other}")),
+        };
+        Ok(RunReport {
+            config: get_str(json, "config")?,
+            axes: axes_from_json(field(json, "axes")?)?,
+            workload: get_str(json, "workload")?,
+            vpu_cycles: get_u64(json, "vpu_cycles")?,
+            cycles: get_u64(json, "cycles")?,
+            vpu: vpu_stats_from_json(field(json, "vpu")?)?,
+            mem: mem_stats_from_json(field(json, "mem")?)?,
+            phases,
+            compiler_spill_stores: get_usize(json, "compiler_spill_stores")?,
+            compiler_spill_loads: get_usize(json, "compiler_spill_loads")?,
+            register_pressure: get_usize(json, "register_pressure")?,
+            scalar: ScalarCost {
+                instructions: get_u64(scalar, "instructions")?,
+                scalar_cycles: get_u64(scalar, "scalar_cycles")?,
+                vpu_cycles: get_u64(scalar, "vpu_cycles")?,
+            },
+            validated: get_bool(json, "validated")?,
+            validation_error,
+        })
+    }
+}
+
+fn field<'a>(json: &'a Json, key: &str) -> Result<&'a Json, String> {
+    json.get(key)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn get_u64(json: &Json, key: &str) -> Result<u64, String> {
+    field(json, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field {key:?} is not an unsigned integer"))
+}
+
+fn get_usize(json: &Json, key: &str) -> Result<usize, String> {
+    usize::try_from(get_u64(json, key)?).map_err(|_| format!("field {key:?} overflows usize"))
+}
+
+fn get_str(json: &Json, key: &str) -> Result<String, String> {
+    Ok(field(json, key)?
+        .as_str()
+        .ok_or_else(|| format!("field {key:?} is not a string"))?
+        .to_string())
+}
+
+fn get_bool(json: &Json, key: &str) -> Result<bool, String> {
+    field(json, key)?
+        .as_bool()
+        .ok_or_else(|| format!("field {key:?} is not a boolean"))
+}
+
+fn phase_from_json(json: &Json) -> Result<PhaseBreakdown, String> {
+    let iter = match json.get("iter") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .and_then(|n| usize::try_from(n).ok())
+                .ok_or_else(|| "phase iter is not an unsigned integer".to_string())?,
+        ),
+    };
+    Ok(PhaseBreakdown {
+        name: get_str(json, "name")?,
+        iter,
+        vpu_cycles: get_u64(json, "vpu_cycles")?,
+        vpu: vpu_stats_from_json(field(json, "vpu")?)?,
+        mem: mem_stats_from_json(field(json, "mem")?)?,
+    })
+}
+
+fn vpu_stats_from_json(json: &Json) -> Result<VpuStats, String> {
+    Ok(VpuStats {
+        arith_instrs: get_u64(json, "arith_instrs")?,
+        vloads: get_u64(json, "vloads")?,
+        vstores: get_u64(json, "vstores")?,
+        spill_loads: get_u64(json, "spill_loads")?,
+        spill_stores: get_u64(json, "spill_stores")?,
+        swap_loads: get_u64(json, "swap_loads")?,
+        swap_stores: get_u64(json, "swap_stores")?,
+        config_instrs: get_u64(json, "config_instrs")?,
+        aggressive_reclaims: get_u64(json, "aggressive_reclaims")?,
+        rename_stall_cycles: get_u64(json, "rename_stall_cycles")?,
+        queue_stall_cycles: get_u64(json, "queue_stall_cycles")?,
+        vrf_read_elems: get_u64(json, "vrf_read_elems")?,
+        vrf_write_elems: get_u64(json, "vrf_write_elems")?,
+        fpu_ops: get_u64(json, "fpu_ops")?,
+        int_ops: get_u64(json, "int_ops")?,
+        arith_busy_cycles: get_u64(json, "arith_busy_cycles")?,
+        mem_busy_cycles: get_u64(json, "mem_busy_cycles")?,
+    })
+}
+
+fn cache_stats_from_json(json: &Json) -> Result<CacheStats, String> {
+    Ok(CacheStats {
+        read_hits: get_u64(json, "read_hits")?,
+        read_misses: get_u64(json, "read_misses")?,
+        write_hits: get_u64(json, "write_hits")?,
+        write_misses: get_u64(json, "write_misses")?,
+        writebacks: get_u64(json, "writebacks")?,
+    })
+}
+
+fn mem_stats_from_json(json: &Json) -> Result<MemoryStats, String> {
+    Ok(MemoryStats {
+        l1d: cache_stats_from_json(field(json, "l1d")?)?,
+        l2: cache_stats_from_json(field(json, "l2")?)?,
+        dram_accesses: get_u64(json, "dram_accesses")?,
+        dram_bytes: get_u64(json, "dram_bytes")?,
+        vmu_bytes: get_u64(json, "vmu_bytes")?,
+        vector_requests: get_u64(json, "vector_requests")?,
+    })
 }
 
 /// The VPU counter block shared by the run-level and per-phase JSON.
@@ -220,6 +360,22 @@ pub(crate) fn run_workload_via(
     system: &SystemConfig,
     compile_fn: CompileFn<'_>,
 ) -> RunReport {
+    run_workload_stored(workload, system, compile_fn, None).0
+}
+
+/// [`run_workload_via`] with an optional result store consulted between
+/// compilation and simulation. Returns the report and whether it was served
+/// from the store. Planning and compilation always run — they are what
+/// produce the content fingerprint the store is keyed by — but on a hit the
+/// simulation itself (VPU setup, cache warming, cycle-level execution,
+/// validation) is skipped entirely.
+pub(crate) fn run_workload_stored(
+    workload: &dyn Workload,
+    system: &SystemConfig,
+    compile_fn: CompileFn<'_>,
+    store: Option<&ResultStore>,
+) -> (RunReport, bool) {
+    let run_start = Instant::now();
     let mut mem = MemoryHierarchy::new(system.memory);
 
     // 1. Planning step of the two-step workload protocol: the application
@@ -246,6 +402,36 @@ pub(crate) fn run_workload_via(
         &setup.kernel,
         &CompileOptions::new(system.compiler_lmul, spill_base, spill_slot_bytes),
     );
+
+    // 2b. Result-store consultation. The key covers everything the
+    //     simulation below reads: the compiled program bytes (via their
+    //     exhaustive Debug form), the planned layout and spill arena, the
+    //     golden reference and the resolved scenario identity. A hit
+    //     replaces steps 3-6 wholesale with the stored report.
+    let key = store.map(|_| {
+        let mut h = Fingerprint::new();
+        h.write_str(workload.name());
+        h.write_u64(workload.elements() as u64);
+        plan.fingerprint(&mut h);
+        setup.fingerprint(&mut h);
+        h.write_u64(spill_base);
+        h.write_u64(spill_slot_bytes);
+        h.write_str(&format!("{:?}", compiled.program));
+        h.write_u64(compiled.spill_stores as u64);
+        h.write_u64(compiled.spill_loads as u64);
+        h.write_u64(compiled.max_pressure as u64);
+        StoreKey::new(
+            workload.name(),
+            workload.elements() as u64,
+            system,
+            h.finish(),
+        )
+    });
+    if let (Some(store), Some(key)) = (store, &key) {
+        if let Some(report) = store.lookup(key) {
+            return (report, true);
+        }
+    }
 
     // 3. The VPU reserves its M-VRF backing store above the arena (AVA
     //    only); like the application data it belongs to the measured
@@ -316,7 +502,7 @@ pub(crate) fn run_workload_via(
     //    checked through the downstream phase's reference).
     let validation = validate(&mem, &setup.checks);
 
-    RunReport {
+    let report = RunReport {
         config: system.label().to_string(),
         axes: system.axes.clone(),
         workload: workload.name().to_string(),
@@ -331,7 +517,19 @@ pub(crate) fn run_workload_via(
         scalar,
         validated: validation.is_ok(),
         validation_error: validation.err(),
+    };
+
+    // 7. Checkpoint: the fresh result lands in the store the moment this
+    //    point finishes, so a killed sweep loses at most the points in
+    //    flight. The recorded wall time seeds cost-sorted scheduling of
+    //    future sweeps. A write failure degrades to an uncached run.
+    if let (Some(store), Some(key)) = (store, &key) {
+        let wall_ns = u64::try_from(run_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if let Err(e) = store.insert(key, &report, wall_ns.max(1)) {
+            eprintln!("warning: result store write failed: {e}");
+        }
     }
+    (report, false)
 }
 
 /// Convenience wrapper: runs every provided scenario on the same workload
@@ -407,6 +605,53 @@ mod tests {
         assert!(rg4.validated && rg8.validated);
         assert_eq!(rg4.compiler_spill_stores, 0);
         assert!(rg8.compiler_spill_stores > 0);
+    }
+
+    #[test]
+    fn reports_round_trip_through_json_bit_identically() {
+        let w = Axpy::new(256);
+        let mut r = run_workload(&w, &ScenarioConfig::ava_x(8).with_mvl(64).with_iters(2));
+        // Graft synthetic phases (with and without an iteration index) and a
+        // validation failure so every optional field of the schema is
+        // exercised by one document.
+        r.phases.push(PhaseBreakdown {
+            name: "it0:axpy".to_string(),
+            iter: Some(0),
+            vpu_cycles: r.vpu_cycles,
+            vpu: r.vpu,
+            mem: r.mem,
+        });
+        r.phases.push(PhaseBreakdown {
+            name: "body".to_string(),
+            iter: None,
+            vpu_cycles: 1,
+            vpu: r.vpu,
+            mem: r.mem,
+        });
+        r.validation_error = Some("synthetic mismatch".to_string());
+        r.validated = false;
+        let parsed = RunReport::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(format!("{r:?}"), format!("{parsed:?}"));
+    }
+
+    #[test]
+    fn from_json_rejects_missing_and_mistyped_fields() {
+        let r = run_workload(&Axpy::new(256), &ScenarioConfig::native_x(1));
+        let Json::Obj(fields) = r.to_json() else {
+            panic!("report JSON is not an object")
+        };
+        let mut missing = fields.clone();
+        missing.retain(|(k, _)| k != "cycles");
+        assert!(RunReport::from_json(&Json::Obj(missing))
+            .unwrap_err()
+            .contains("cycles"));
+        let mut mistyped = fields;
+        for (k, v) in &mut mistyped {
+            if k == "validated" {
+                *v = Json::Str("yes".to_string());
+            }
+        }
+        assert!(RunReport::from_json(&Json::Obj(mistyped)).is_err());
     }
 
     #[test]

@@ -14,6 +14,12 @@
 //! * results are written into per-point slots, so the returned `Vec` is in
 //!   grid order regardless of which thread finished first.
 //!
+//! Execution goes through the builder-style [`SweepRunner`] — thread count,
+//! profile-guided scheduling and the on-disk [`ResultStore`] are independent
+//! knobs on one `run()` path, replacing the old six-method
+//! `run_{serial,parallel}[_report][_with]` family (two thin deprecated
+//! shims remain for the most common call sites).
+//!
 //! # Scheduling
 //!
 //! Per-point simulation cost is heavily skewed — one large Blackscholes
@@ -29,13 +35,24 @@
 //!
 //! [`Workload::elements`]: ava_workloads::Workload::elements
 //!
+//! # Incremental sweeps
+//!
+//! A runner pointed at a [`ResultStore`] consults it before simulating each
+//! point and checkpoints every fresh result the moment it finishes:
+//! a warm rerun performs zero simulations, a killed sweep resumes where it
+//! stopped, and a change to one workload invalidates only that workload's
+//! points (the store is keyed by a content fingerprint of the compiled
+//! program, planned layout and golden reference). Recorded per-point wall
+//! times in the store seed cost-sorted scheduling automatically.
+//!
 //! # Instrumentation
 //!
-//! The `*_report` runners return a [`SweepReport`] that wraps the
-//! [`RunReport`]s with per-point wall-clock timing, the cost estimate and
-//! claiming worker of every point, compile-cache hit/miss counters and the
-//! sweep's total wall-clock — the raw material for the `--json` report
-//! pipeline and CI wall-clock baselines.
+//! [`SweepRunner::run`] returns a [`SweepReport`] that wraps the
+//! [`RunReport`]s with per-point wall-clock timing, the cost estimate,
+//! store provenance and claiming worker of every point, compile-cache and
+//! result-store hit/miss counters and the sweep's total wall-clock — the
+//! raw material for the `--json` report pipeline and CI wall-clock
+//! baselines.
 //!
 //! The cache also makes the sweep cheaper than the sum of its points: on the
 //! full Figure 3 grid, NATIVE Xn, AVA Xn and RG-LMUL1 all compile the same
@@ -50,14 +67,18 @@
 //! let workloads: Vec<SharedWorkload> =
 //!     vec![Arc::new(Axpy::new(256)), Arc::new(Somier::new(256))];
 //! let sweep = Sweep::grid(workloads, ScenarioConfig::all_ava());
-//! let report = sweep.run_parallel_report();
+//! let report = sweep.runner().run();
 //! assert_eq!(report.reports.len(), 2 * 5);
 //! assert!(report.reports.iter().all(|r| r.validated));
 //! // Grid order is workload-major: the first five reports are Axpy.
 //! assert!(report.reports[..5].iter().all(|r| r.workload == "axpy"));
 //! // Every point carries its own timing and cost estimate.
 //! assert!(report.points.iter().all(|p| p.cost_estimate > 0));
+//! // No store attached: nothing was (or could be) served from disk.
+//! assert_eq!(report.store_hits + report.store_misses, 0);
 //! ```
+//!
+//! [`MemoryHierarchy`]: ava_memory::MemoryHierarchy
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -68,9 +89,10 @@ use std::time::Instant;
 use ava_compiler::{compile, CompileOptions, CompiledKernel};
 use ava_workloads::SharedWorkload;
 
-use crate::configs::{ScenarioConfig, SystemConfig};
+use crate::configs::{config_axes_key, workload_identity, ScenarioConfig, SystemConfig};
 use crate::json::{object, Json};
-use crate::run::{run_workload_via, RunReport};
+use crate::run::{run_workload_stored, RunReport};
+use crate::store::ResultStore;
 
 /// The static per-point cost heuristic: `elements * 16 / width` (element
 /// operations over the effective register width, normalised to the
@@ -166,7 +188,8 @@ pub struct PointStats {
     /// The scheduler's cost estimate for the point (workload element
     /// operations over the configuration's effective width, or the
     /// recorded wall-clock of a previous sweep under
-    /// [`Sweep::with_recorded_costs`]). Orders execution only.
+    /// [`SweepRunner::recorded_costs`] / an attached store). Orders
+    /// execution only.
     pub cost_estimate: u64,
     /// The workload's element-operation count ([`Workload::elements`]) —
     /// the denominator of derived per-element metrics such as
@@ -175,19 +198,23 @@ pub struct PointStats {
     /// [`Workload::elements`]: ava_workloads::Workload::elements
     pub elements: u64,
     /// Wall-clock time of the compile + simulate + validate pass, in
-    /// nanoseconds.
+    /// nanoseconds. For a point served from the result store this is the
+    /// plan + compile + lookup time — the simulation itself never ran.
     pub wall_ns: u64,
     /// Index of the worker thread that executed the point (`0` for a serial
     /// run).
     pub worker: usize,
+    /// Whether the point's report was served from the attached
+    /// [`ResultStore`] instead of being simulated (always `false` without a
+    /// store).
+    pub from_store: bool,
 }
 
 /// An executed sweep: the bit-identical-to-serial [`RunReport`]s plus the
 /// instrumentation CI and downstream plotting consume.
 #[derive(Debug, Clone)]
 pub struct SweepReport {
-    /// One report per point, in grid order — exactly what
-    /// [`Sweep::run_serial`] / [`Sweep::run_parallel`] return.
+    /// One report per point, in grid order.
     pub reports: Vec<RunReport>,
     /// Per-point scheduling/timing metadata, parallel to `reports`.
     pub points: Vec<PointStats>,
@@ -195,6 +222,11 @@ pub struct SweepReport {
     pub cache_hits: u64,
     /// Compilations actually performed.
     pub cache_misses: u64,
+    /// Points served from the attached result store (0 without a store).
+    pub store_hits: u64,
+    /// Points simulated because the attached store had no usable entry
+    /// (0 without a store — an uncached sweep reports no misses).
+    pub store_misses: u64,
     /// Worker threads used.
     pub threads: usize,
     /// Wall-clock time of the whole sweep, in nanoseconds.
@@ -231,7 +263,7 @@ impl SweepReport {
     }
 
     /// The machine-readable form of the sweep consumed by CI and plotting:
-    /// schema marker, the scenario axes in play, scheduling/cache
+    /// schema marker, the scenario axes in play, scheduling/cache/store
     /// instrumentation, and the full per-point reports (each carrying its
     /// own axis values).
     #[must_use]
@@ -256,6 +288,13 @@ impl SweepReport {
                     .finish(),
             )
             .field(
+                "store",
+                object()
+                    .field("hits", self.store_hits)
+                    .field("misses", self.store_misses)
+                    .finish(),
+            )
+            .field(
                 "points",
                 self.points
                     .iter()
@@ -268,6 +307,7 @@ impl SweepReport {
                             .field("elements", p.elements)
                             .field("wall_ns", p.wall_ns)
                             .field("worker", p.worker)
+                            .field("from_store", p.from_store)
                             .field("report", r.to_json())
                             .finish()
                     })
@@ -280,26 +320,29 @@ impl SweepReport {
 /// A declarative grid of (workload, [`ScenarioConfig`]) experiment points.
 ///
 /// Construct with [`Sweep::grid`] (full cross product) or
-/// [`Sweep::from_points`] (explicit pairs), then execute with
-/// [`Sweep::run_serial`] or [`Sweep::run_parallel`] (reports only), or the
-/// `*_report` variants returning an instrumented [`SweepReport`]. All paths
-/// return per-point results in point order and are guaranteed to produce
-/// identical reports. Scenarios are resolved once, at construction, so the
-/// per-point cost is one compile + simulate pass.
+/// [`Sweep::from_points`] (explicit pairs), then execute through the
+/// [`Sweep::runner`] builder. All execution paths return per-point results
+/// in point order and are guaranteed to produce identical reports.
+/// Scenarios are resolved once, at construction, so the per-point cost is
+/// one compile + simulate pass — and construction rejects two points with
+/// the same `(workload name + size, configuration)` identity, which would
+/// make recorded-cost replay and the store's timing metadata ambiguous.
 pub struct Sweep {
     workloads: Vec<SharedWorkload>,
     scenarios: Vec<ScenarioConfig>,
     resolved: Vec<SystemConfig>,
     points: Vec<(usize, usize)>,
-    /// Measured per-point wall-clock from a previous sweep, keyed by
-    /// `(workload, config)` label. When present for a point it replaces the
-    /// static heuristic in the execution-order sort.
-    recorded_costs: HashMap<(String, String), u64>,
 }
 
 impl Sweep {
     /// The full cross product of `workloads` × `scenarios`, workload-major:
     /// point `w * scenarios.len() + s` runs workload `w` on scenario `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two points share one `(workload name + size, configuration)`
+    /// identity — e.g. two workloads with the same `name()` and element
+    /// count crossed with one scenario list.
     #[must_use]
     pub fn grid(workloads: Vec<SharedWorkload>, scenarios: Vec<ScenarioConfig>) -> Self {
         let points = (0..workloads.len())
@@ -314,7 +357,9 @@ impl Sweep {
     ///
     /// # Panics
     ///
-    /// Panics if any point indexes outside `workloads` or `scenarios`.
+    /// Panics if any point indexes outside `workloads` or `scenarios`, or
+    /// if two points share one `(workload name + size, configuration)`
+    /// identity.
     #[must_use]
     pub fn from_points(
         workloads: Vec<SharedWorkload>,
@@ -333,41 +378,36 @@ impl Sweep {
         scenarios: Vec<ScenarioConfig>,
         points: Vec<(usize, usize)>,
     ) -> Self {
-        let resolved = scenarios.iter().map(ScenarioConfig::resolve).collect();
+        let resolved: Vec<SystemConfig> = scenarios.iter().map(ScenarioConfig::resolve).collect();
+        // Every point must have a unique (workload ⊕ size, config ⊕ axes)
+        // identity: it is the key of recorded-cost replay and of the result
+        // store's timing metadata, so a duplicate would make one point's
+        // schedule speak for another. Neither half is a display string —
+        // metadata axes like `iters` stay out of the config label by
+        // design, and one kernel legitimately appears at several problem
+        // sizes in skewed grids — hence the canonical keys.
+        let mut seen: HashMap<(String, String), usize> = HashMap::new();
+        for (i, &(w, s)) in points.iter().enumerate() {
+            let identity = (
+                workload_identity(workloads[w].name(), workloads[w].elements() as u64),
+                config_axes_key(resolved[s].label(), &resolved[s].axes),
+            );
+            if let Some(&first) = seen.get(&identity) {
+                panic!(
+                    "duplicate sweep point: points {first} and {i} are both \
+                     workload {:?} on configuration {:?} — give the workloads \
+                     distinct names or sizes, or the scenarios distinct axes",
+                    identity.0, identity.1
+                );
+            }
+            seen.insert(identity, i);
+        }
         Self {
             workloads,
             scenarios,
             resolved,
             points,
-            recorded_costs: HashMap::new(),
         }
-    }
-
-    /// Profile-guided scheduling: feeds a previous sweep's measured
-    /// per-point wall-clock back into this sweep's execution order. Points
-    /// whose `(workload, config)` label pair appears in `report` are
-    /// ordered by the recorded nanoseconds instead of the static
-    /// [`Workload::elements`] heuristic; unseen labels fall back to the
-    /// heuristic, *rescaled into the recorded unit* (see
-    /// [`Sweep::point_costs`]) so a new grid point sorts commensurably
-    /// against the measured ones rather than arbitrarily. When several
-    /// recorded points share a label pair (two distinct pipelined
-    /// composites both report as "pipelined"), the *largest* recorded time
-    /// wins, so an ambiguous point is scheduled early rather than risking
-    /// it tailing the sweep. Like the heuristic, recorded costs only order
-    /// execution and can never change a result.
-    ///
-    /// [`Workload::elements`]: ava_workloads::Workload::elements
-    #[must_use]
-    pub fn with_recorded_costs(mut self, report: &SweepReport) -> Self {
-        for p in &report.points {
-            let entry = self
-                .recorded_costs
-                .entry((p.workload.clone(), p.config.clone()))
-                .or_insert(0);
-            *entry = (*entry).max(p.wall_ns.max(1));
-        }
-        self
     }
 
     /// Number of experiment points in the sweep.
@@ -400,38 +440,60 @@ impl Sweep {
         &self.workloads
     }
 
-    /// The scheduler's cost estimate for one point: the recorded wall-clock
-    /// when [`Sweep::with_recorded_costs`] has seen the point's label pair,
-    /// otherwise the raw static heuristic — the workload's
-    /// element-operation count divided by the configuration's effective
-    /// register width (`MVL / LMUL`, normalised to the 16-element baseline).
-    /// A narrower effective width means more strips and therefore more
-    /// dynamic instructions to simulate for the same element count, so
-    /// narrow-width points (NATIVE X1, the spill-heavy RG-LMUL8) rank as
-    /// expensive — matching recorded per-point wall-clock. A heuristic — it
-    /// orders execution so skewed points start early, and can never change a
-    /// result. The batch path ([`Sweep::point_costs`]) additionally rescales
-    /// heuristic fallbacks into the recorded unit when the two are mixed.
+    /// Starts configuring an execution of this sweep: thread count,
+    /// profile-guided scheduling and the result store are independent
+    /// builder knobs, finished with [`SweepRunner::run`].
     #[must_use]
-    pub fn point_cost(&self, point: usize) -> u64 {
-        self.recorded_cost(point)
-            .unwrap_or_else(|| self.heuristic_cost(point))
+    pub fn runner(&self) -> SweepRunner<'_> {
+        SweepRunner {
+            sweep: self,
+            threads: None,
+            recorded: HashMap::new(),
+            store: None,
+        }
     }
 
-    /// The recorded wall-clock for one point's `(workload, config)` label
-    /// pair, if [`Sweep::with_recorded_costs`] has seen it.
-    fn recorded_cost(&self, point: usize) -> Option<u64> {
+    /// The static cost heuristic for one point — the workload's
+    /// element-operation count divided by the configuration's effective
+    /// register width (`MVL / LMUL`, normalised to the 16-element
+    /// baseline). A narrower effective width means more strips and
+    /// therefore more dynamic instructions to simulate for the same element
+    /// count, so narrow-width points (NATIVE X1, the spill-heavy RG-LMUL8)
+    /// rank as expensive — matching recorded per-point wall-clock. A
+    /// heuristic — it orders execution so skewed points start early, and
+    /// can never change a result. Recorded costs fed through
+    /// [`SweepRunner::recorded_costs`] or an attached store replace it
+    /// point by point.
+    #[must_use]
+    pub fn point_cost(&self, point: usize) -> u64 {
+        self.heuristic_cost(point)
+    }
+
+    /// The scheduling identity of one point: the workload name plus element
+    /// count, and the canonical config-plus-axes key.
+    fn point_identity(&self, point: usize) -> (String, String) {
+        let (w, s) = self.points[point];
+        (
+            workload_identity(
+                self.workloads[w].name(),
+                self.workloads[w].elements() as u64,
+            ),
+            config_axes_key(self.resolved[s].label(), &self.resolved[s].axes),
+        )
+    }
+
+    /// The recorded wall-clock for one point's identity, if `recorded`
+    /// has seen it.
+    fn recorded_cost_in(
+        &self,
+        point: usize,
+        recorded: &HashMap<(String, String), u64>,
+    ) -> Option<u64> {
         // Guarded so the common no-feedback path stays allocation-free.
-        if self.recorded_costs.is_empty() {
+        if recorded.is_empty() {
             return None;
         }
-        let (w, s) = self.points[point];
-        self.recorded_costs
-            .get(&(
-                self.workloads[w].name().to_string(),
-                self.resolved[s].label().to_string(),
-            ))
-            .copied()
+        recorded.get(&self.point_identity(point)).copied()
     }
 
     /// The static cost heuristic for one point (element operations over the
@@ -458,13 +520,15 @@ impl Sweep {
     /// and can never change a result.
     ///
     /// [`Workload::elements`]: ava_workloads::Workload::elements
-    fn point_costs(&self) -> Vec<u64> {
+    fn point_costs(&self, recorded_map: &HashMap<(String, String), u64>) -> Vec<u64> {
         let n = self.points.len();
         let heuristic: Vec<u64> = (0..n).map(|i| self.heuristic_cost(i)).collect();
-        if self.recorded_costs.is_empty() {
+        if recorded_map.is_empty() {
             return heuristic;
         }
-        let recorded: Vec<Option<u64>> = (0..n).map(|i| self.recorded_cost(i)).collect();
+        let recorded: Vec<Option<u64>> = (0..n)
+            .map(|i| self.recorded_cost_in(i, recorded_map))
+            .collect();
         // Nanoseconds per heuristic unit on every point that has both.
         let mut ratios: Vec<f64> = recorded
             .iter()
@@ -505,135 +569,222 @@ impl Sweep {
         order
     }
 
+    #[cfg(test)]
     fn run_point(&self, point: usize, cache: &ProgramCache) -> RunReport {
+        self.run_point_stored(point, cache, None).0
+    }
+
+    /// Runs one point through the shared program cache, consulting `store`
+    /// when attached. Returns the report and whether it came from the store.
+    fn run_point_stored(
+        &self,
+        point: usize,
+        cache: &ProgramCache,
+        store: Option<&ResultStore>,
+    ) -> (RunReport, bool) {
         let (w, s) = self.points[point];
         let workload = &self.workloads[w];
         let system = &self.resolved[s];
-        run_workload_via(workload.as_ref(), system, &|kernel, opts| {
-            let key = CacheKey {
-                workload: w,
-                mvl: system.mvl(),
-                lmul_factor: opts.lmul.factor(),
-                spill_base: opts.spill_base,
-                spill_slot_bytes: opts.spill_slot_bytes,
-            };
-            cache.get_or_compile(key, kernel, opts)
-        })
+        run_workload_stored(
+            workload.as_ref(),
+            system,
+            &|kernel, opts| {
+                let key = CacheKey {
+                    workload: w,
+                    mvl: system.mvl(),
+                    lmul_factor: opts.lmul.factor(),
+                    spill_base: opts.spill_base,
+                    spill_slot_bytes: opts.spill_slot_bytes,
+                };
+                cache.get_or_compile(key, kernel, opts)
+            },
+            store,
+        )
     }
 
-    fn assemble_report(
-        &self,
-        slots: Vec<OnceLock<(RunReport, u64, usize)>>,
-        costs: &[u64],
-        cache: &ProgramCache,
-        threads: usize,
-        sweep_start: Instant,
-    ) -> SweepReport {
-        let mut reports = Vec::with_capacity(slots.len());
-        let mut points = Vec::with_capacity(slots.len());
+    /// Runs every point on the calling thread, in point order.
+    #[deprecated(note = "use `sweep.runner().threads(1).run().into_reports()`")]
+    #[must_use]
+    pub fn run_serial(&self) -> Vec<RunReport> {
+        self.runner().threads(1).run().into_reports()
+    }
+
+    /// Runs the sweep across all available cores. Reports come back in point
+    /// order and are bit-identical to a serial run.
+    #[deprecated(note = "use `sweep.runner().run().into_reports()`")]
+    #[must_use]
+    pub fn run_parallel(&self) -> Vec<RunReport> {
+        self.runner().run().into_reports()
+    }
+}
+
+/// Builder-style execution of one [`Sweep`]: configure the thread count
+/// ([`SweepRunner::threads`]), profile-guided scheduling
+/// ([`SweepRunner::recorded_costs`]) and the on-disk result store
+/// ([`SweepRunner::store`]) independently, then [`SweepRunner::run`].
+///
+/// ```no_run
+/// # use ava_sim::{ResultStore, ScenarioConfig, Sweep};
+/// # use ava_workloads::Axpy;
+/// # let sweep = Sweep::grid(
+/// #     vec![std::sync::Arc::new(Axpy::new(256))],
+/// #     ScenarioConfig::all_ava(),
+/// # );
+/// let store = ResultStore::open("results").unwrap();
+/// let first = sweep.runner().threads(4).store(&store).run();
+/// // Later sweeps reuse both the stored results and the recorded timings.
+/// let again = sweep
+///     .runner()
+///     .recorded_costs(&first)
+///     .store(&store)
+///     .run();
+/// assert_eq!(again.store_hits, again.points.len() as u64);
+/// ```
+pub struct SweepRunner<'a> {
+    sweep: &'a Sweep,
+    threads: Option<usize>,
+    recorded: HashMap<(String, String), u64>,
+    store: Option<&'a ResultStore>,
+}
+
+impl<'a> SweepRunner<'a> {
+    /// Caps the sweep at `threads` worker threads (further clamped to the
+    /// number of points; `0` behaves like `1`). Without this the runner
+    /// uses every available core.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Profile-guided scheduling: feeds a previous sweep's measured
+    /// per-point wall-clock back into this run's execution order. Points
+    /// whose `(workload, configuration)` identity appears in `report` are
+    /// ordered by the recorded nanoseconds instead of the static
+    /// [`Workload::elements`] heuristic; unseen points fall back to the
+    /// heuristic, *rescaled into the recorded unit* so a new grid point
+    /// sorts commensurably against the measured ones rather than
+    /// arbitrarily. Calling this several times (or combining it with an
+    /// attached store, whose recorded wall times join the same map) keeps
+    /// the *largest* recorded time per identity, so an ambiguous point is
+    /// scheduled early rather than risking it tailing the sweep. Like the
+    /// heuristic, recorded costs only order execution and can never change
+    /// a result.
+    ///
+    /// [`Workload::elements`]: ava_workloads::Workload::elements
+    #[must_use]
+    pub fn recorded_costs(mut self, report: &SweepReport) -> Self {
+        for (p, r) in report.points.iter().zip(&report.reports) {
+            let key = (
+                workload_identity(&p.workload, p.elements),
+                config_axes_key(&p.config, &r.axes),
+            );
+            let entry = self.recorded.entry(key).or_insert(0);
+            *entry = (*entry).max(p.wall_ns.max(1));
+        }
+        self
+    }
+
+    /// Attaches the on-disk result store: points with a usable entry are
+    /// served from it instead of being simulated, every freshly simulated
+    /// point is checkpointed into it as it finishes, and the store's
+    /// recorded wall times seed the execution order (largest time wins when
+    /// they overlap with [`SweepRunner::recorded_costs`]).
+    #[must_use]
+    pub fn store(mut self, store: &'a ResultStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The effective per-point cost estimates this run will schedule by:
+    /// explicit recorded costs and the store's recorded wall times
+    /// max-merged, heuristics rescaled to fill the gaps.
+    fn effective_costs(&self) -> Vec<u64> {
+        let mut recorded = self.recorded.clone();
+        if let Some(store) = self.store {
+            for (key, wall_ns) in store.recorded_costs() {
+                let entry = recorded.entry(key).or_insert(0);
+                *entry = (*entry).max(wall_ns);
+            }
+        }
+        self.sweep.point_costs(&recorded)
+    }
+
+    /// Executes the sweep. Results come back in point order and are
+    /// bit-identical at any thread count, with or without a store, and
+    /// under any cost estimates.
+    #[must_use]
+    pub fn run(self) -> SweepReport {
+        let sweep = self.sweep;
+        let n = sweep.points.len();
+        let requested = self.threads.unwrap_or_else(|| {
+            thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+        let workers = requested.clamp(1, n.max(1));
+        let cache = ProgramCache::new();
+        let costs = self.effective_costs();
+        let order = sweep.execution_order(&costs);
+        let store = self.store;
+        let sweep_start = Instant::now();
+        let slots: Vec<OnceLock<(RunReport, bool, u64, usize)>> =
+            (0..n).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        let work = |worker: usize| loop {
+            let claimed = next.fetch_add(1, Ordering::Relaxed);
+            if claimed >= n {
+                break;
+            }
+            let i = order[claimed];
+            let point_start = Instant::now();
+            let (report, from_store) = sweep.run_point_stored(i, &cache, store);
+            let wall_ns = point_start.elapsed().as_nanos() as u64;
+            slots[i]
+                .set((report, from_store, wall_ns, worker))
+                .expect("each point is claimed by one worker");
+        };
+        if workers == 1 {
+            work(0);
+        } else {
+            thread::scope(|scope| {
+                for worker in 0..workers {
+                    let work = &work;
+                    scope.spawn(move || work(worker));
+                }
+            });
+        }
+
+        let mut reports = Vec::with_capacity(n);
+        let mut points = Vec::with_capacity(n);
         for (i, slot) in slots.into_iter().enumerate() {
-            let (report, wall_ns, worker) = slot.into_inner().expect("every point completed");
+            let (report, from_store, wall_ns, worker) =
+                slot.into_inner().expect("every point completed");
             points.push(PointStats {
                 workload: report.workload.clone(),
                 config: report.config.clone(),
                 cost_estimate: costs[i],
-                elements: self.workloads[self.points[i].0].elements() as u64,
+                elements: sweep.workloads[sweep.points[i].0].elements() as u64,
                 wall_ns,
                 worker,
+                from_store,
             });
             reports.push(report);
         }
+        let store_hits = points.iter().filter(|p| p.from_store).count() as u64;
+        let store_misses = if store.is_some() {
+            n as u64 - store_hits
+        } else {
+            0
+        };
         SweepReport {
             reports,
             points,
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
-            threads,
+            store_hits,
+            store_misses,
+            threads: workers,
             wall_ns: sweep_start.elapsed().as_nanos() as u64,
         }
-    }
-
-    /// Runs every point on the calling thread, in point order.
-    #[must_use]
-    pub fn run_serial(&self) -> Vec<RunReport> {
-        self.run_serial_report().into_reports()
-    }
-
-    /// Runs every point on the calling thread, in point order, returning the
-    /// instrumented [`SweepReport`].
-    #[must_use]
-    pub fn run_serial_report(&self) -> SweepReport {
-        let cache = ProgramCache::new();
-        let costs = self.point_costs();
-        let sweep_start = Instant::now();
-        let slots: Vec<OnceLock<(RunReport, u64, usize)>> =
-            (0..self.points.len()).map(|_| OnceLock::new()).collect();
-        for (i, slot) in slots.iter().enumerate() {
-            let point_start = Instant::now();
-            let report = self.run_point(i, &cache);
-            let wall_ns = point_start.elapsed().as_nanos() as u64;
-            slot.set((report, wall_ns, 0))
-                .expect("serial points run once");
-        }
-        self.assemble_report(slots, &costs, &cache, 1, sweep_start)
-    }
-
-    /// Runs the sweep across all available cores. Reports come back in point
-    /// order and are bit-identical to [`Sweep::run_serial`].
-    #[must_use]
-    pub fn run_parallel(&self) -> Vec<RunReport> {
-        self.run_parallel_report().into_reports()
-    }
-
-    /// Runs the sweep across all available cores, returning the instrumented
-    /// [`SweepReport`].
-    #[must_use]
-    pub fn run_parallel_report(&self) -> SweepReport {
-        let threads = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        self.run_parallel_report_with(threads)
-    }
-
-    /// Runs the sweep on at most `threads` worker threads (clamped to the
-    /// number of points; `0` behaves like `1`).
-    #[must_use]
-    pub fn run_parallel_with(&self, threads: usize) -> Vec<RunReport> {
-        self.run_parallel_report_with(threads).into_reports()
-    }
-
-    /// Runs the sweep on at most `threads` worker threads (clamped to the
-    /// number of points; `0` behaves like `1`), returning the instrumented
-    /// [`SweepReport`]. Workers claim points from the cost-sorted shared
-    /// queue; results are reported in grid order regardless.
-    #[must_use]
-    pub fn run_parallel_report_with(&self, threads: usize) -> SweepReport {
-        let n = self.points.len();
-        let workers = threads.clamp(1, n.max(1));
-        let cache = ProgramCache::new();
-        let costs = self.point_costs();
-        let order = self.execution_order(&costs);
-        let sweep_start = Instant::now();
-        let slots: Vec<OnceLock<(RunReport, u64, usize)>> =
-            (0..n).map(|_| OnceLock::new()).collect();
-        let next = AtomicUsize::new(0);
-        thread::scope(|scope| {
-            for worker in 0..workers {
-                let (slots, next, order, cache) = (&slots, &next, &order, &cache);
-                scope.spawn(move || loop {
-                    let claimed = next.fetch_add(1, Ordering::Relaxed);
-                    if claimed >= n {
-                        break;
-                    }
-                    let i = order[claimed];
-                    let point_start = Instant::now();
-                    let report = self.run_point(i, cache);
-                    let wall_ns = point_start.elapsed().as_nanos() as u64;
-                    slots[i]
-                        .set((report, wall_ns, worker))
-                        .expect("each point is claimed by one worker");
-                });
-            }
-        });
-        self.assemble_report(slots, &costs, &cache, workers, sweep_start)
     }
 }
 
@@ -657,10 +808,14 @@ mod tests {
         (workloads, small_scenarios())
     }
 
+    fn no_recorded() -> HashMap<(String, String), u64> {
+        HashMap::new()
+    }
+
     #[test]
     fn grid_is_workload_major_and_complete() {
         let (w, s) = small_axes();
-        let reports = Sweep::grid(w, s).run_serial();
+        let reports = Sweep::grid(w, s).runner().threads(1).run().into_reports();
         assert_eq!(reports.len(), 6);
         assert_eq!(reports[0].workload, "axpy");
         assert_eq!(reports[2].workload, "axpy");
@@ -674,9 +829,9 @@ mod tests {
     fn parallel_matches_serial_exactly() {
         let (w, s) = small_axes();
         let sweep = Sweep::grid(w, s);
-        let serial = sweep.run_serial();
-        for threads in [1, 2, 7] {
-            let parallel = sweep.run_parallel_with(threads);
+        let serial = sweep.runner().threads(1).run().into_reports();
+        for threads in [2, 7] {
+            let parallel = sweep.runner().threads(threads).run().into_reports();
             assert_eq!(serial.len(), parallel.len());
             for (a, b) in serial.iter().zip(&parallel) {
                 assert_eq!(a.cycles, b.cycles, "{} on {}", a.workload, a.config);
@@ -686,15 +841,57 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_shims_delegate_to_the_runner() {
+        let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(128))];
+        let sweep = Sweep::grid(workloads, vec![ScenarioConfig::native_x(1)]);
+        let via_runner = sweep.runner().threads(1).run().into_reports();
+        #[allow(deprecated)]
+        let via_serial = sweep.run_serial();
+        #[allow(deprecated)]
+        let via_parallel = sweep.run_parallel();
+        assert_eq!(
+            format!("{via_runner:?}"),
+            format!("{via_serial:?}"),
+            "run_serial must stay bit-identical"
+        );
+        assert_eq!(format!("{via_runner:?}"), format!("{via_parallel:?}"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate sweep point")]
+    fn duplicate_point_identities_are_rejected_at_construction() {
+        // Two workloads with the same name() crossed with one scenario are
+        // indistinguishable to recorded-cost replay and the result store.
+        let workloads: Vec<SharedWorkload> =
+            vec![Arc::new(Axpy::new(256)), Arc::new(Axpy::new(256))];
+        let _ = Sweep::grid(workloads, vec![ScenarioConfig::native_x(1)]);
+    }
+
+    #[test]
+    fn metadata_axes_disambiguate_identical_labels() {
+        // with_iters stays out of the config label by design, so these two
+        // scenarios *display* identically — but the axes make their point
+        // identities distinct, so the grid is accepted.
+        let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(256))];
+        let scenarios = vec![
+            ScenarioConfig::ava_x(2).with_iters(2),
+            ScenarioConfig::ava_x(2).with_iters(4),
+        ];
+        assert_eq!(scenarios[0].label(), scenarios[1].label());
+        let sweep = Sweep::grid(workloads, scenarios);
+        assert_ne!(sweep.point_identity(0), sweep.point_identity(1));
+    }
+
+    #[test]
     fn execution_order_starts_with_the_most_expensive_point() {
         let workloads: Vec<SharedWorkload> = vec![
             Arc::new(Axpy::new(64)),
             Arc::new(Blackscholes::new(4096)),
-            Arc::new(Axpy::new(128)),
+            Arc::new(ava_workloads::Somier::new(16)),
         ];
         let systems = vec![ScenarioConfig::native_x(1)];
         let sweep = Sweep::grid(workloads, systems);
-        let order = sweep.execution_order(&sweep.point_costs());
+        let order = sweep.execution_order(&sweep.point_costs(&no_recorded()));
         assert_eq!(order[0], 1, "the huge Blackscholes point must start first");
         assert_eq!(
             sweep.point_cost(1),
@@ -713,25 +910,49 @@ mod tests {
         let workloads: Vec<SharedWorkload> =
             vec![Arc::new(Axpy::new(128)), Arc::new(Blackscholes::new(1024))];
         let systems = vec![ScenarioConfig::native_x(1)];
-        let sweep = Sweep::grid(workloads.clone(), systems.clone());
-        let baseline = sweep.run_serial_report();
-        assert_eq!(sweep.execution_order(&sweep.point_costs()), vec![1, 0]);
+        let sweep = Sweep::grid(workloads, systems);
+        let baseline = sweep.runner().threads(1).run();
+        assert_eq!(
+            sweep.execution_order(&sweep.point_costs(&no_recorded())),
+            vec![1, 0]
+        );
 
         // Forge a report claiming the Axpy point took far longer.
         let mut forged = baseline.clone();
         forged.points[0].wall_ns = 1_000_000_000;
         forged.points[1].wall_ns = 1_000;
-        let tuned = Sweep::grid(workloads, systems).with_recorded_costs(&forged);
-        let costs = tuned.point_costs();
+        let tuned = sweep.runner().recorded_costs(&forged);
+        let costs = tuned.effective_costs();
         assert_eq!(costs, vec![1_000_000_000, 1_000]);
-        assert_eq!(tuned.execution_order(&costs), vec![0, 1]);
+        assert_eq!(sweep.execution_order(&costs), vec![0, 1]);
 
-        let retimed = tuned.run_parallel_report_with(2);
+        let retimed = tuned.threads(2).run();
         for (a, b) in baseline.reports.iter().zip(&retimed.reports) {
             assert_eq!(format!("{a:?}"), format!("{b:?}"), "results must not move");
         }
         // The recorded costs surface as the new points' cost estimates.
         assert_eq!(retimed.points[0].cost_estimate, 1_000_000_000);
+    }
+
+    #[test]
+    fn recorded_costs_key_on_axes_not_just_labels() {
+        // Two scenarios sharing one display label (the iters metadata axis
+        // stays out of it) must not alias in recorded-cost replay.
+        let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(128))];
+        let scenarios = vec![
+            ScenarioConfig::ava_x(2).with_iters(2),
+            ScenarioConfig::ava_x(2).with_iters(4),
+        ];
+        let sweep = Sweep::grid(workloads, scenarios);
+        let mut forged = sweep.runner().threads(1).run();
+        forged.points[0].wall_ns = 9_000;
+        forged.points[1].wall_ns = 70;
+        let costs = sweep.runner().recorded_costs(&forged).effective_costs();
+        assert_eq!(
+            costs,
+            vec![9_000, 70],
+            "label-only keying would have max-merged both points to 9000"
+        );
     }
 
     #[test]
@@ -757,18 +978,18 @@ mod tests {
         // have flipped the order.
         let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(4096))];
         let recorded_grid = Sweep::grid(workloads.clone(), vec![ScenarioConfig::native_x(1)]);
-        let mut forged = recorded_grid.run_serial_report();
+        let mut forged = recorded_grid.runner().threads(1).run();
         forged.points[0].wall_ns = 50;
 
         let sweep = Sweep::grid(
             workloads,
             vec![ScenarioConfig::native_x(1), ScenarioConfig::ava_x(2)],
-        )
-        .with_recorded_costs(&forged);
+        );
+        let runner = sweep.runner().recorded_costs(&forged);
         // Heuristics: X1 = 4096*4*16/16 = 16384, X2 (width 32) = 8192.
         assert_eq!(sweep.heuristic_cost(0), 16384);
         assert_eq!(sweep.heuristic_cost(1), 8192);
-        let costs = sweep.point_costs();
+        let costs = runner.effective_costs();
         // The recorded point keeps its nanoseconds; the unseen point's
         // heuristic is scaled by 50 ns / 16384 units ≈ 0.00305..., i.e.
         // 8192 * 50 / 16384 = 25 ns.
@@ -781,7 +1002,7 @@ mod tests {
              8192 'elements' above 50 ns"
         );
         // And, like every cost, the rescale cannot move a result.
-        let reports = sweep.run_parallel_with(2);
+        let reports = runner.threads(2).run().into_reports();
         assert!(reports.iter().all(|r| r.validated));
         assert_eq!(reports[0].config, "NATIVE X1");
         assert_eq!(reports[1].config, "AVA X2");
@@ -791,11 +1012,11 @@ mod tests {
     fn recorded_costs_fall_back_to_the_heuristic_for_unseen_labels() {
         let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(128))];
         let sweep = Sweep::grid(workloads.clone(), vec![ScenarioConfig::native_x(1)]);
-        let report = sweep.run_serial_report();
+        let report = sweep.runner().threads(1).run();
         // A different grid (new config label) keeps the heuristic.
-        let other =
-            Sweep::grid(workloads, vec![ScenarioConfig::ava_x(2)]).with_recorded_costs(&report);
-        assert_eq!(other.point_cost(0), other.point_costs()[0]);
+        let other = Sweep::grid(workloads, vec![ScenarioConfig::ava_x(2)]);
+        let costs = other.runner().recorded_costs(&report).effective_costs();
+        assert_eq!(other.point_cost(0), costs[0]);
         assert_eq!(
             other.point_cost(0),
             (Axpy::new(128).elements() as u64 * 16 / 32).max(1),
@@ -807,26 +1028,29 @@ mod tests {
     fn point_stats_carry_raw_element_counts() {
         let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(128))];
         let sweep = Sweep::grid(workloads, vec![ScenarioConfig::native_x(1)]);
-        let report = sweep.run_serial_report();
+        let report = sweep.runner().threads(1).run();
         assert_eq!(report.points[0].elements, Axpy::new(128).elements() as u64);
         assert!(report.to_json().to_string().contains("\"elements\":"));
     }
 
     #[test]
     fn cost_ties_break_on_grid_order() {
-        // Identical points have identical costs; the order must still be
+        // NATIVE X2 and AVA X2 expose the same MVL and LMUL, so both points
+        // carry identical heuristic costs; the order must still be
         // deterministic (grid order).
-        let workloads: Vec<SharedWorkload> =
-            vec![Arc::new(Axpy::new(256)), Arc::new(Axpy::new(256))];
-        let sweep = Sweep::grid(workloads, vec![ScenarioConfig::native_x(1)]);
-        assert_eq!(sweep.execution_order(&sweep.point_costs()), vec![0, 1]);
+        let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(256))];
+        let scenarios = vec![ScenarioConfig::native_x(2), ScenarioConfig::ava_x(2)];
+        let sweep = Sweep::grid(workloads, scenarios);
+        let costs = sweep.point_costs(&no_recorded());
+        assert_eq!(costs[0], costs[1], "the tie this test is about");
+        assert_eq!(sweep.execution_order(&costs), vec![0, 1]);
     }
 
     #[test]
     fn report_instrumentation_covers_every_point() {
         let (w, s) = small_axes();
         let sweep = Sweep::grid(w, s);
-        let report = sweep.run_parallel_report_with(3);
+        let report = sweep.runner().threads(3).run();
         assert_eq!(report.reports.len(), 6);
         assert_eq!(report.points.len(), 6);
         assert_eq!(report.threads, 3);
@@ -837,7 +1061,11 @@ mod tests {
             assert_eq!(p.config, r.config);
             assert!(p.cost_estimate > 0);
             assert!(p.worker < 3);
+            assert!(!p.from_store, "no store was attached");
         }
+        // No store attached: store counters stay at zero.
+        assert_eq!(report.store_hits, 0);
+        assert_eq!(report.store_misses, 0);
         // The shared cache was exercised: every compile is a hit or a miss.
         assert!(report.cache_misses > 0);
         assert_eq!(
@@ -848,13 +1076,13 @@ mod tests {
     }
 
     #[test]
-    fn serial_report_uses_one_worker_and_matches_parallel_reports() {
+    fn single_threaded_runs_use_one_worker_and_match_parallel() {
         let (w, s) = small_axes();
         let sweep = Sweep::grid(w, s);
-        let serial = sweep.run_serial_report();
+        let serial = sweep.runner().threads(1).run();
         assert_eq!(serial.threads, 1);
         assert!(serial.points.iter().all(|p| p.worker == 0));
-        let parallel = sweep.run_parallel_report_with(4);
+        let parallel = sweep.runner().threads(4).run();
         for (a, b) in serial.reports.iter().zip(&parallel.reports) {
             assert_eq!(format!("{a:?}"), format!("{b:?}"));
         }
@@ -902,7 +1130,7 @@ mod tests {
     fn explicit_points_run_in_declared_order() {
         let (w, s) = small_axes();
         let sweep = Sweep::from_points(w, s, vec![(1, 2), (0, 0), (1, 0)]);
-        let reports = sweep.run_parallel_with(2);
+        let reports = sweep.runner().threads(2).run().into_reports();
         assert_eq!(reports.len(), 3);
         assert_eq!(reports[0].workload, "blackscholes");
         assert_eq!(reports[0].config, "RG-LMUL4");
@@ -922,19 +1150,22 @@ mod tests {
     fn zero_threads_behaves_like_one() {
         let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(128))];
         let sweep = Sweep::grid(workloads, vec![ScenarioConfig::native_x(1)]);
-        let reports = sweep.run_parallel_with(0);
-        assert_eq!(reports.len(), 1);
-        assert!(reports[0].validated);
+        let report = sweep.runner().threads(0).run();
+        assert_eq!(report.threads, 1);
+        assert_eq!(report.reports.len(), 1);
+        assert!(report.reports[0].validated);
     }
 
     #[test]
     fn sweep_report_json_has_the_documented_shape() {
         let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(128))];
         let sweep = Sweep::grid(workloads, vec![ScenarioConfig::native_x(1)]);
-        let json = sweep.run_parallel_report_with(2).to_json().to_string();
+        let json = sweep.runner().threads(2).run().to_json().to_string();
         assert!(json.starts_with("{\"schema\":\"ava-sweep-report/v1\""));
         assert!(json.contains("\"cache\":{\"hits\":"));
+        assert!(json.contains("\"store\":{\"hits\":0,\"misses\":0}"));
         assert!(json.contains("\"cost_estimate\":"));
+        assert!(json.contains("\"from_store\":false"));
         assert!(json.contains("\"report\":{\"config\":\"NATIVE X1\""));
     }
 
@@ -946,7 +1177,7 @@ mod tests {
             &[512, 1024],
         );
         let sweep = Sweep::grid(workloads, scenarios);
-        let report = sweep.run_parallel_report_with(2);
+        let report = sweep.runner().threads(2).run();
         assert_eq!(report.reports.len(), 4);
         assert_eq!(report.axis_names(), vec!["l2_kib"]);
         assert_eq!(report.reports[1].config, "NATIVE X1 l2=1024KiB");
@@ -955,5 +1186,36 @@ mod tests {
         let json = report.to_json().to_string();
         assert!(json.contains("\"axes\":[\"l2_kib\"]"));
         assert!(json.contains("\"axes\":{\"l2_kib\":512}"));
+    }
+
+    #[test]
+    fn a_store_serves_the_second_run_without_simulating() {
+        let dir = std::env::temp_dir().join(format!(
+            "ava-store-sweep-unit-{}",
+            std::process::id() // one test uses this tag; pid suffices
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+        let (w, s) = small_axes();
+        let sweep = Sweep::grid(w, s);
+
+        let cold = sweep.runner().threads(2).store(&store).run();
+        assert_eq!(cold.store_hits, 0);
+        assert_eq!(cold.store_misses, 6);
+        assert_eq!(store.len(), 6);
+
+        let warm = sweep.runner().threads(2).store(&store).run();
+        assert_eq!(warm.store_hits, 6);
+        assert_eq!(warm.store_misses, 0);
+        assert!(warm.points.iter().all(|p| p.from_store));
+        for (a, b) in cold.reports.iter().zip(&warm.reports) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "stored = simulated");
+        }
+        // And a run *without* the store still simulates identically.
+        let fresh = sweep.runner().threads(1).run();
+        for (a, b) in fresh.reports.iter().zip(&warm.reports) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

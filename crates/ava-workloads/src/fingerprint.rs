@@ -1,0 +1,126 @@
+//! Stable content fingerprinting for the result store.
+//!
+//! The sweep engine's on-disk result store keys every cached simulation by
+//! a *fingerprint* of the work it would redo: the planned data layout, the
+//! golden-reference checks and the compiled program bytes. Two runs that
+//! hash identically are guaranteed to simulate identically (everything the
+//! simulator reads is covered), so a store hit can substitute the cached
+//! [`RunReport`] for a fresh run — and any change to a workload's code, its
+//! data generator or its reference flips the fingerprint, turning the stale
+//! entry into a plain miss.
+//!
+//! `std::hash::DefaultHasher` is explicitly *not* guaranteed to produce the
+//! same values across Rust releases, which would silently invalidate every
+//! stored result on a toolchain upgrade without saying so. This hand-rolled
+//! FNV-1a 64 is stable by construction: the store's entries survive
+//! recompilation and only the recorded code-version tag decides deliberate
+//! invalidation.
+//!
+//! [`RunReport`]: ../ava_sim/run/struct.RunReport.html
+
+/// An incremental, stable 64-bit FNV-1a hasher.
+///
+/// ```
+/// use ava_workloads::Fingerprint;
+///
+/// let mut a = Fingerprint::new();
+/// a.write_str("axpy");
+/// a.write_u64(4096);
+/// let mut b = Fingerprint::new();
+/// b.write_str("axpy");
+/// b.write_u64(4096);
+/// assert_eq!(a.finish(), b.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fingerprint(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprint {
+    /// A fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds one little-endian `u64`.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    /// Feeds a string, length-prefixed so `("ab", "c")` and `("a", "bc")`
+    /// hash differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Feeds one `f64` by its exact bit pattern (no rounding; NaN payloads
+    /// and signed zeros are distinguished, which is what a golden-reference
+    /// change detector wants).
+    pub fn write_f64(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+
+    /// The accumulated hash.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_fnv1a_test_vectors_hold() {
+        // Classic published FNV-1a 64 vectors: the empty input is the
+        // offset basis, and "a" is a fixed constant. Pinning them here is
+        // what makes the hash *stable*: any accidental change to the
+        // algorithm breaks this test instead of silently invalidating
+        // every result store in existence.
+        assert_eq!(Fingerprint::new().finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fingerprint::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fingerprint::new();
+        h.write_bytes(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn length_prefixing_separates_string_boundaries() {
+        let mut a = Fingerprint::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fingerprint::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn f64_bit_patterns_are_distinguished() {
+        let mut pos = Fingerprint::new();
+        pos.write_f64(0.0);
+        let mut neg = Fingerprint::new();
+        neg.write_f64(-0.0);
+        assert_ne!(pos.finish(), neg.finish());
+    }
+}

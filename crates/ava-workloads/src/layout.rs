@@ -154,6 +154,25 @@ impl PlannedLayout {
         &self.buffers
     }
 
+    /// Feeds this layout's full identity — buffer names, sizes, roles and
+    /// resolved base addresses, in placement order — into a result-store
+    /// fingerprint. Any change that moves or resizes a buffer changes the
+    /// simulated cache behaviour, so it must change the fingerprint too.
+    pub fn fingerprint(&self, h: &mut crate::fingerprint::Fingerprint) {
+        h.write_u64(self.buffers.len() as u64);
+        for b in &self.buffers {
+            h.write_str(&b.spec.name);
+            h.write_u64(b.spec.elems as u64);
+            h.write_u64(match b.spec.role {
+                BufferRole::Input => 0,
+                BufferRole::Output => 1,
+                BufferRole::InOut => 2,
+                BufferRole::Internal => 3,
+            });
+            h.write_u64(b.base);
+        }
+    }
+
     /// The planned buffer named `name`.
     ///
     /// # Panics

@@ -32,6 +32,7 @@ pub mod axpy;
 pub mod blackscholes;
 pub mod composite;
 pub mod data;
+pub mod fingerprint;
 pub mod lavamd;
 pub mod layout;
 pub mod particlefilter;
@@ -47,6 +48,7 @@ pub use ava_compiler::analysis;
 pub use axpy::Axpy;
 pub use blackscholes::Blackscholes;
 pub use composite::Composite;
+pub use fingerprint::Fingerprint;
 pub use lavamd::LavaMd2;
 pub use layout::{
     materialize_input, ArenaPlanner, BufferBindings, BufferRole, BufferSpec, DataLayout,
@@ -127,6 +129,27 @@ pub struct WorkloadSetup {
 }
 
 impl WorkloadSetup {
+    /// Feeds this setup's golden-reference identity — the output checks
+    /// (address, expected bits, tolerance bits), the stripmine count and the
+    /// phase boundaries — into a result-store fingerprint. The kernel itself
+    /// is fingerprinted separately from its *compiled* form (the program the
+    /// simulator actually executes), so it is deliberately not fed here.
+    pub fn fingerprint(&self, h: &mut Fingerprint) {
+        h.write_u64(self.checks.len() as u64);
+        for c in &self.checks {
+            h.write_u64(c.addr);
+            h.write_f64(c.expected);
+            h.write_f64(c.tolerance);
+        }
+        h.write_u64(self.strips);
+        h.write_u64(self.phase_marks.len() as u64);
+        for m in &self.phase_marks {
+            h.write_str(&m.name);
+            h.write_u64(m.iter.map_or(u64::MAX, |i| i as u64));
+            h.write_u64(m.ir_end as u64);
+        }
+    }
+
     /// The reference output buffer named `name`.
     ///
     /// # Panics

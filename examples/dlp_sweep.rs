@@ -14,7 +14,9 @@ fn main() {
         .map(|&n| ScenarioConfig::ava_x(n))
         .collect();
     let workloads = all_workloads_shared();
-    let sweep = Sweep::grid(workloads.clone(), configs.clone()).run_parallel_report();
+    let sweep = Sweep::grid(workloads.clone(), configs.clone())
+        .runner()
+        .run();
     let reports = &sweep.reports;
 
     println!(

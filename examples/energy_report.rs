@@ -19,7 +19,7 @@ fn main() {
         ScenarioConfig::ava_x(8),
     ];
     let params = EnergyParams::default();
-    let sweep = Sweep::grid(workloads, systems.clone()).run_parallel_report();
+    let sweep = Sweep::grid(workloads, systems.clone()).runner().run();
     let reports = &sweep.reports;
 
     println!(

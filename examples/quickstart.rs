@@ -20,7 +20,7 @@ fn main() {
 
     let workloads: Vec<SharedWorkload> = vec![Arc::new(workload)];
     let systems = vec![ScenarioConfig::native_x(1), ScenarioConfig::ava_x(8)];
-    let sweep = Sweep::grid(workloads, systems).run_parallel_report();
+    let sweep = Sweep::grid(workloads, systems).runner().run();
     let reports = &sweep.reports;
 
     for r in reports {

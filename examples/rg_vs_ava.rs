@@ -23,7 +23,7 @@ fn main() {
         ScenarioConfig::rg_lmul(Lmul::M8),
         ScenarioConfig::ava_x(8),
     ];
-    let sweep = Sweep::grid(workloads, systems).run_parallel_report();
+    let sweep = Sweep::grid(workloads, systems).runner().run();
     let reports = &sweep.reports;
 
     let baseline = &reports[0];

@@ -155,7 +155,7 @@ fn derived_energy_metrics_match_exact_arithmetic() {
         vec![Arc::new(workload) as SharedWorkload],
         vec![scenario.clone()],
     );
-    let sweep_report = sweep.run_serial_report();
+    let sweep_report = sweep.runner().threads(1).run();
     let json = ava_bench::sweep_energy_json(&sweep_report, sweep.resolved_systems()).to_string();
     let expected_delay = energy_delay_mj_s(&e, report.seconds());
     let expected_per_elem = energy_per_element_nj(&e, elements);
@@ -180,7 +180,10 @@ fn sweep_recorded_spill_and_swap_counts_drive_the_energy_deltas() {
         ScenarioConfig::rg_lmul(Lmul::M8),
         ScenarioConfig::ava_x(8),
     ];
-    let report = Sweep::grid(workloads, scenarios.clone()).run_serial_report();
+    let report = Sweep::grid(workloads, scenarios.clone())
+        .runner()
+        .threads(1)
+        .run();
     let [rg1, rg8, ava8] = &report.reports[..] else {
         panic!("expected three points");
     };

@@ -102,7 +102,7 @@ fn full_sweep_report_round_trips_against_the_parser() {
         vec![Arc::new(Axpy::new(256)), Arc::new(Blackscholes::new(64))];
     let systems = vec![ScenarioConfig::native_x(1), ScenarioConfig::ava_x(8)];
     let sweep = Sweep::grid(workloads, systems);
-    let report = sweep.run_parallel_report_with(2);
+    let report = sweep.runner().threads(2).run();
 
     let parsed = parse(&report.to_json().to_string()).unwrap();
 
@@ -244,7 +244,7 @@ fn per_iteration_breakdowns_round_trip_with_iter_and_phase_labels() {
 fn scenario_axis_metadata_round_trips_through_the_json_pipeline() {
     let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(256))];
     let scenarios = ScenarioConfig::axis_l2_kib(&ScenarioConfig::axis_mvl(&[128, 256]), &[512]);
-    let report = Sweep::grid(workloads, scenarios).run_serial_report();
+    let report = Sweep::grid(workloads, scenarios).runner().threads(1).run();
     let parsed = parse(&report.to_json().to_string()).unwrap();
 
     // The sweep-level axis summary lists every axis in play.

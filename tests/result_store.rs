@@ -1,0 +1,193 @@
+//! The result store's core guarantees, exercised end to end through the
+//! sweep engine: a killed sweep resumes bit-identically, a warm rerun
+//! simulates nothing, invalidation is scoped to the workload that changed,
+//! and a damaged store entry degrades to a miss instead of a crash.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use ava::sim::{ResultStore, ScenarioConfig, Sweep, SweepReport};
+use ava::workloads::{Axpy, SharedWorkload, Somier};
+
+fn store_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("ava-result-store-it-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn scenarios() -> Vec<ScenarioConfig> {
+    vec![ScenarioConfig::native_x(1), ScenarioConfig::ava_x(4)]
+}
+
+fn grid(axpy_n: usize) -> Sweep {
+    let workloads: Vec<SharedWorkload> =
+        vec![Arc::new(Axpy::new(axpy_n)), Arc::new(Somier::new(256))];
+    Sweep::grid(workloads, scenarios())
+}
+
+fn assert_reports_identical(a: &SweepReport, b: &SweepReport, context: &str) {
+    assert_eq!(a.reports.len(), b.reports.len(), "{context}");
+    for (x, y) in a.reports.iter().zip(&b.reports) {
+        assert_eq!(
+            format!("{x:?}"),
+            format!("{y:?}"),
+            "{context}: {} on {}",
+            x.workload,
+            x.config
+        );
+    }
+}
+
+/// A sweep killed partway through leaves checkpoints for the finished
+/// points; resuming the full grid against the same store must produce a
+/// report bit-identical to an uninterrupted cold run, simulating only the
+/// missing points.
+#[test]
+fn killed_sweep_resumes_bit_identically() {
+    let dir = store_dir("resume");
+    let store = ResultStore::open(&dir).unwrap();
+    let sweep = grid(256);
+    let uninterrupted = sweep.runner().threads(1).run();
+
+    // "Kill" a run after two of the four points: execute only a subset of
+    // the grid with the store attached, exactly what a checkpointing sweep
+    // has persisted at the moment it dies.
+    let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(256)), Arc::new(Somier::new(256))];
+    let partial = Sweep::from_points(workloads, scenarios(), vec![(0, 0), (1, 1)]);
+    let killed = partial.runner().threads(1).store(&store).run();
+    assert_eq!(killed.store_misses, 2);
+    assert_eq!(store.len(), 2, "two checkpoints on disk at kill time");
+
+    // The resumed run covers the full grid: the two checkpointed points are
+    // served from disk, the other two are simulated and checkpointed.
+    let resumed = sweep.runner().threads(2).store(&store).run();
+    assert_eq!(resumed.store_hits, 2);
+    assert_eq!(resumed.store_misses, 2);
+    assert_eq!(store.len(), 4);
+    assert_reports_identical(&uninterrupted, &resumed, "resumed vs uninterrupted");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A fully warm rerun performs zero simulations: every point is served from
+/// the store, and the store says so in the report.
+#[test]
+fn warm_rerun_simulates_zero_points() {
+    let dir = store_dir("warm");
+    let store = ResultStore::open(&dir).unwrap();
+    let sweep = grid(256);
+
+    let cold = sweep.runner().threads(2).store(&store).run();
+    assert_eq!(cold.store_hits, 0);
+    assert_eq!(cold.store_misses, sweep.len() as u64);
+
+    let warm = sweep.runner().threads(2).store(&store).run();
+    assert_eq!(warm.store_hits, sweep.len() as u64);
+    assert_eq!(warm.store_misses, 0);
+    assert!(warm.points.iter().all(|p| p.from_store));
+    assert_reports_identical(&cold, &warm, "warm vs cold");
+    // The hit/miss accounting reaches the JSON artefact.
+    let json = warm.to_json().to_string();
+    assert!(json.contains(&format!(
+        "\"store\":{{\"hits\":{},\"misses\":0}}",
+        sweep.len()
+    )));
+
+    // Stored wall times seed the next run's scheduler: every recorded cost
+    // is a positive nanosecond figure keyed by (workload, config).
+    let costs = store.recorded_costs();
+    assert_eq!(costs.len(), sweep.len());
+    assert!(costs.values().all(|&ns| ns > 0));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Changing one workload invalidates only that workload's points: the
+/// fingerprint of the others is unchanged, so they keep hitting.
+#[test]
+fn workload_change_invalidates_only_its_points() {
+    let dir = store_dir("invalidate");
+    let store = ResultStore::open(&dir).unwrap();
+    let before = grid(256);
+    let _ = before.runner().threads(2).store(&store).run();
+
+    // Grow the axpy problem; somier is untouched. Points are workload-major
+    // (axpy first), so the first two points must re-simulate and the somier
+    // two must be served from the store.
+    let after = grid(512);
+    let report = after.runner().threads(2).store(&store).run();
+    assert_eq!(report.store_hits, 2);
+    assert_eq!(report.store_misses, 2);
+    assert!(
+        report.points[..2].iter().all(|p| !p.from_store),
+        "axpy changed"
+    );
+    assert!(
+        report.points[2..].iter().all(|p| p.from_store),
+        "somier did not"
+    );
+    // And the fresh points agree with a store-free run of the new grid.
+    let fresh = grid(512).runner().threads(1).run();
+    assert_reports_identical(&fresh, &report, "after invalidation");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupted or truncated entry — or a stray temp file from a writer that
+/// died mid-checkpoint — is a miss, not a crash: the point is re-simulated
+/// and the entry overwritten.
+#[test]
+fn damaged_entries_degrade_to_misses() {
+    let dir = store_dir("damage");
+    let store = ResultStore::open(&dir).unwrap();
+    let sweep = grid(256);
+    let cold = sweep.runner().threads(1).store(&store).run();
+
+    // Damage two of the four entries in different ways and drop a stray
+    // half-written temp file next to them.
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    assert_eq!(entries.len(), 4);
+    let full = std::fs::read_to_string(&entries[0]).unwrap();
+    std::fs::write(&entries[0], &full[..full.len() / 2]).unwrap(); // truncated
+    std::fs::write(&entries[1], "not json at all").unwrap(); // garbage
+    std::fs::write(dir.join("axpy-0.json.tmp-9999-0"), "{\"half\":").unwrap();
+
+    let rerun = sweep.runner().threads(2).store(&store).run();
+    assert_eq!(rerun.store_hits, 2, "the two intact entries still serve");
+    assert_eq!(rerun.store_misses, 2, "the damaged ones re-simulate");
+    assert_reports_identical(&cold, &rerun, "after damage");
+
+    // The re-simulation repaired the store: a further run is fully warm.
+    let warm = sweep.runner().threads(1).store(&store).run();
+    assert_eq!(warm.store_hits, 4);
+    assert_reports_identical(&cold, &warm, "after repair");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Store-served points go through the JSON round-trip; attaching a store
+/// must therefore not perturb a single counter relative to a plain sweep,
+/// and profile-guided scheduling from the store's recorded wall times must
+/// not either.
+#[test]
+fn store_round_trip_never_perturbs_results() {
+    let dir = store_dir("identity");
+    let store = ResultStore::open(&dir).unwrap();
+    let sweep = grid(320);
+    let plain = sweep.runner().threads(1).run();
+    let stored_cold = sweep.runner().threads(3).store(&store).run();
+    let stored_warm = sweep.runner().threads(3).store(&store).run();
+    assert_reports_identical(&plain, &stored_cold, "cold store run");
+    assert_reports_identical(&plain, &stored_warm, "warm store run");
+    // Warm scheduling used the recorded costs; results stayed in grid order.
+    for (p, r) in stored_warm.points.iter().zip(&stored_warm.reports) {
+        assert_eq!(p.workload, r.workload);
+        assert_eq!(p.config, r.config);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

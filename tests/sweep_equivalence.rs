@@ -49,10 +49,10 @@ fn parallel_sweep_is_bit_identical_to_serial() {
         "the acceptance grid must have at least 30 points"
     );
 
-    let serial = sweep.run_serial();
+    let serial = sweep.runner().threads(1).run().into_reports();
     assert_eq!(serial.len(), sweep.len());
     for threads in [2, 4, 16] {
-        let parallel = sweep.run_parallel_with(threads);
+        let parallel = sweep.runner().threads(threads).run().into_reports();
         assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(&parallel) {
             let point = format!("{} on {} ({threads} threads)", s.workload, s.config);
@@ -104,7 +104,7 @@ fn sweep_matches_the_plain_runner_point_by_point() {
     // The sweep (cached compiles included) must agree with independent
     // `run_workload` calls — the path every pre-sweep caller used.
     let sweep = grid();
-    let reports = sweep.run_parallel();
+    let reports = sweep.runner().run().into_reports();
     let systems = sweep.systems().to_vec();
     for (i, report) in reports.iter().enumerate() {
         let workload = &sweep.workloads()[i / systems.len()];
@@ -122,7 +122,7 @@ fn sweep_matches_the_plain_runner_point_by_point() {
 
 #[test]
 fn every_point_of_the_acceptance_grid_validates() {
-    for r in grid().run_parallel() {
+    for r in grid().runner().run().into_reports() {
         assert!(
             r.validated,
             "{} on {}: {:?}",
@@ -158,9 +158,9 @@ fn skewed_grid_stays_in_grid_order_and_identical_to_serial() {
         "the skewed Blackscholes must carry the largest cost estimate"
     );
 
-    let serial = sweep.run_serial();
+    let serial = sweep.runner().threads(1).run().into_reports();
     for threads in [2, 3, 8] {
-        let report = sweep.run_parallel_report_with(threads);
+        let report = sweep.runner().threads(threads).run();
         assert_eq!(report.reports.len(), serial.len());
         for (i, (s, p)) in serial.iter().zip(&report.reports).enumerate() {
             assert_eq!(
@@ -199,7 +199,7 @@ fn mvl_and_cache_axis_grid_is_bit_identical_and_validated() {
     let sweep = Sweep::grid(workloads, scenarios);
     assert_eq!(sweep.len(), 12);
 
-    let serial = sweep.run_serial();
+    let serial = sweep.runner().threads(1).run().into_reports();
     for r in &serial {
         assert!(
             r.validated,
@@ -211,7 +211,7 @@ fn mvl_and_cache_axis_grid_is_bit_identical_and_validated() {
         assert_eq!(names, vec!["mvl", "l2_kib"], "{}", r.config);
     }
     for threads in [2, 5] {
-        let parallel = sweep.run_parallel_with(threads);
+        let parallel = sweep.runner().threads(threads).run().into_reports();
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(
                 format!("{s:?}"),
@@ -277,7 +277,7 @@ fn pipelined_grid_is_bit_identical_validated_and_phase_attributed() {
     let sweep = Sweep::grid(workloads, scenarios);
     assert_eq!(sweep.len(), 8);
 
-    let serial = sweep.run_serial();
+    let serial = sweep.runner().threads(1).run().into_reports();
     for r in &serial {
         assert_eq!(r.workload, "pipelined");
         assert!(
@@ -310,7 +310,7 @@ fn pipelined_grid_is_bit_identical_validated_and_phase_attributed() {
         assert!(json.contains("\"phases\":[{\"name\":\"0:axpy\""), "{json}");
     }
     for threads in [2, 5] {
-        let parallel = sweep.run_parallel_with(threads);
+        let parallel = sweep.runner().threads(threads).run().into_reports();
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(
                 format!("{s:?}"),
@@ -492,7 +492,7 @@ fn iterated_solver_grid_is_bit_identical_validated_and_iteration_attributed() {
     let sweep = Sweep::grid(workloads, scenarios);
     assert_eq!(sweep.len(), 8);
 
-    let serial = sweep.run_serial();
+    let serial = sweep.runner().threads(1).run().into_reports();
     for (i, r) in serial.iter().enumerate() {
         let iters = iter_axis[i / 4];
         assert_eq!(r.workload, "iterated");
@@ -528,7 +528,7 @@ fn iterated_solver_grid_is_bit_identical_validated_and_iteration_attributed() {
         );
     }
     for threads in [2, 5] {
-        let parallel = sweep.run_parallel_with(threads);
+        let parallel = sweep.runner().threads(threads).run().into_reports();
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(
                 format!("{s:?}"),
@@ -645,6 +645,45 @@ fn backward_linked_pipeline_simulates_and_validates() {
     // `backward_links_chain_from_any_earlier_phase` unit test.)
 }
 
+/// The equivalence guarantee extends to the result store: the acceptance
+/// grid run with a store attached — cold (every point simulated and
+/// checkpointed) and then fully warm (every point deserialised from disk) —
+/// must stay bit-identical to the plain serial run, at any thread count.
+#[test]
+fn store_backed_sweep_is_bit_identical_to_serial() {
+    let dir = std::env::temp_dir().join(format!(
+        "ava-sweep-equivalence-store-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ava::sim::ResultStore::open(&dir).unwrap();
+
+    let sweep = grid();
+    let serial = sweep.runner().threads(1).run().into_reports();
+
+    let cold = sweep.runner().threads(4).store(&store).run();
+    assert_eq!(cold.store_hits, 0);
+    assert_eq!(cold.store_misses, sweep.len() as u64);
+    let warm = sweep.runner().threads(4).store(&store).run();
+    assert_eq!(warm.store_hits, sweep.len() as u64);
+    assert_eq!(warm.store_misses, 0);
+
+    for run in [&cold, &warm] {
+        assert_eq!(run.reports.len(), serial.len());
+        for (s, p) in serial.iter().zip(&run.reports) {
+            assert_eq!(
+                format!("{s:?}"),
+                format!("{p:?}"),
+                "{} on {}: store-backed run must match the serial run",
+                s.workload,
+                s.config
+            );
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A composite point must agree exactly with the plain runner on the same
 /// scenario — the concatenated phases go through the shared compile cache
 /// like any other kernel.
@@ -656,7 +695,7 @@ fn composite_points_match_the_plain_runner() {
     ]));
     let scenario = ScenarioConfig::ava_x(8).with_mvl(256).with_l2_kib(512);
     let sweep = Sweep::grid(vec![Arc::clone(&mix)], vec![scenario.clone()]);
-    let from_sweep = sweep.run_parallel();
+    let from_sweep = sweep.runner().run().into_reports();
     let direct = run_workload(mix.as_ref(), &scenario);
     assert_eq!(format!("{:?}", from_sweep[0]), format!("{direct:?}"));
     assert!(direct.validated, "{:?}", direct.validation_error);
