@@ -7,8 +7,11 @@ The recorder (`cargo run --release -p ava-bench --bin bench_baseline`) emits
 one BENCH_<suite>.json per suite; this script compares the noise-resistant
 `min_ns` of every benchmark against the committed baseline. CI runners are
 noisy and differ from the machines baselines were recorded on, so the gate
-is deliberately generous: only a >2x slowdown fails, anything above the warn
-ratio is reported but does not fail the job. A benchmark present in the
+is deliberately generous: only a >2x `min_ns` slowdown fails, anything above
+the warn ratio is reported but does not fail the job. `mean_ns` is also
+compared at the warn ratio (warn-only, never failing): a drifting mean with
+a stable min usually means new allocation or cache pressure on the hot path
+rather than an algorithmic regression. A benchmark present in the
 baseline but missing from the fresh run fails (coverage must not silently
 shrink); new benchmarks are reported as candidates for re-baselining.
 """
@@ -60,6 +63,11 @@ def main():
                 failures.append(line)
             elif ratio > args.warn_ratio:
                 warnings.append(line)
+            mean_ratio = c["mean_ns"] / max(b["mean_ns"], 1e-9)
+            if mean_ratio > args.warn_ratio:
+                warnings.append(
+                    f"{name}: mean {b['mean_ns']:.0f} ns -> {c['mean_ns']:.0f} ns "
+                    f"({mean_ratio:.2f}x mean-only; not gated)")
         for name in sorted(set(cur) - set(base)):
             notes.append(f"{name}: new benchmark (not in baseline; consider re-recording)")
     for cur_path in sorted(args.current_dir.glob("BENCH_*.json")):

@@ -1,12 +1,12 @@
 //! Shared command-line plumbing for the figure/table binaries.
 //!
 //! Every binary parses its arguments through one [`BenchArgs`] pass: the
-//! shared flags — `--json <path>`, `--threads <n>`, `--store <dir>` and
-//! `--resume` — are recognised in one place, and each binary pulls its own
-//! extensions (`--app`, `--chart`, `--mode`, ...) out of the remainder with
-//! [`BenchArgs::take_value`] before calling [`BenchArgs::finish`] to reject
-//! anything left over. New shared flags therefore land once instead of nine
-//! times.
+//! shared flags — `--json <path>`, `--threads <n>`, `--store <dir>`,
+//! `--program-cache <dir>` and `--resume` — are recognised in one place,
+//! and each binary pulls its own extensions (`--app`, `--chart`, `--mode`,
+//! ...) out of the remainder with [`BenchArgs::take_value`] before calling
+//! [`BenchArgs::finish`] to reject anything left over. New shared flags
+//! therefore land once instead of nine times.
 //!
 //! The shared flags mean the same thing everywhere:
 //!
@@ -16,6 +16,10 @@
 //! * `--store <dir>` — attach the content-addressed result store at `<dir>`
 //!   (created if missing): points already stored are served from disk, fresh
 //!   results are checkpointed as they finish;
+//! * `--program-cache <dir>` — attach the persistent program cache at
+//!   `<dir>` (created if missing): compilations already checkpointed there
+//!   are served from disk (a warm cache compiles nothing), fresh ones are
+//!   checkpointed as they happen;
 //! * `--resume` — assert that `--store` points at an *existing* checkpoint
 //!   directory (e.g. from a killed run) instead of silently starting cold.
 //!
@@ -25,7 +29,7 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use ava_sim::{Json, ResultStore, SweepRunner};
+use ava_sim::{DiskProgramCache, Json, ResultStore, SweepRunner};
 
 /// The parsed shared flags plus each binary's unparsed extension arguments.
 #[derive(Debug)]
@@ -36,6 +40,8 @@ pub struct BenchArgs {
     pub threads: Option<usize>,
     /// `--store <dir>`: the opened result store.
     pub store: Option<ResultStore>,
+    /// `--program-cache <dir>`: the opened persistent program cache.
+    pub program_cache: Option<DiskProgramCache>,
     /// `--resume`: the user expects the store to hold a prior checkpoint.
     pub resume: bool,
     rest: Vec<String>,
@@ -60,6 +66,7 @@ impl BenchArgs {
         let mut json = None;
         let mut threads = None;
         let mut store_dir: Option<String> = None;
+        let mut program_cache_dir: Option<String> = None;
         let mut resume = false;
         let mut rest = Vec::new();
         let mut it = args.into_iter();
@@ -77,6 +84,12 @@ impl BenchArgs {
                 }
                 "--store" => {
                     store_dir = Some(it.next().ok_or("--store requires a directory argument")?);
+                }
+                "--program-cache" => {
+                    program_cache_dir = Some(
+                        it.next()
+                            .ok_or("--program-cache requires a directory argument")?,
+                    );
                 }
                 "--resume" => resume = true,
                 _ => rest.push(arg),
@@ -96,10 +109,15 @@ impl BenchArgs {
             }
             None => None,
         };
+        let program_cache = match program_cache_dir {
+            Some(dir) => Some(DiskProgramCache::open(dir)?),
+            None => None,
+        };
         Ok(Self {
             json,
             threads,
             store,
+            program_cache,
             resume,
             rest,
         })
@@ -148,8 +166,9 @@ impl BenchArgs {
         }
     }
 
-    /// For binaries that never run a sweep: rejects `--threads`, `--store`
-    /// and `--resume` with `reason` rather than silently ignoring them.
+    /// For binaries that never run a sweep: rejects `--threads`, `--store`,
+    /// `--program-cache` and `--resume` with `reason` rather than silently
+    /// ignoring them.
     ///
     /// # Errors
     ///
@@ -160,6 +179,9 @@ impl BenchArgs {
         }
         if self.store.is_some() || self.resume {
             return Err(format!("--store/--resume do not apply: {reason}"));
+        }
+        if self.program_cache.is_some() {
+            return Err(format!("--program-cache does not apply: {reason}"));
         }
         Ok(())
     }
@@ -177,8 +199,8 @@ impl BenchArgs {
         }
     }
 
-    /// Applies the shared execution flags (`--threads`, `--store`) to a
-    /// sweep runner.
+    /// Applies the shared execution flags (`--threads`, `--store`,
+    /// `--program-cache`) to a sweep runner.
     #[must_use]
     pub fn configure<'a>(&'a self, mut runner: SweepRunner<'a>) -> SweepRunner<'a> {
         if let Some(n) = self.threads {
@@ -186,6 +208,9 @@ impl BenchArgs {
         }
         if let Some(store) = &self.store {
             runner = runner.store(store);
+        }
+        if let Some(cache) = &self.program_cache {
+            runner = runner.program_cache(cache);
         }
         runner
     }
@@ -290,6 +315,23 @@ mod tests {
         assert!(args.store.is_some());
         assert!(args.resume);
         let _ = std::fs::remove_dir_all(&missing);
+    }
+
+    #[test]
+    fn program_cache_flag_opens_creates_and_can_be_rejected() {
+        let dir =
+            std::env::temp_dir().join(format!("ava-bencharg-progcache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = BenchArgs::from_vec(argv(&["--program-cache", dir.to_str().unwrap()])).unwrap();
+        assert!(args.program_cache.is_some());
+        assert!(dir.is_dir(), "--program-cache must create the directory");
+        let err = args
+            .reject_execution_flags("table1 is analytic")
+            .unwrap_err();
+        assert!(err.contains("--program-cache"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        assert!(BenchArgs::from_vec(argv(&["--program-cache"])).is_err());
     }
 
     #[test]

@@ -10,11 +10,13 @@
 //!   `bench-regression` job diffs against the committed baselines.
 
 use ava_compiler::{compile, CompileOptions, KernelBuilder};
-use ava_isa::{Lmul, VReg};
+use ava_isa::{Element, Lmul, Opcode, VReg};
 use ava_memory::{HierarchyConfig, MemoryHierarchy};
-use ava_sim::{run_workload, ScenarioConfig};
+use ava_sim::progcache::compile_fingerprint;
+use ava_sim::{run_workload, DiskProgramCache, ScenarioConfig};
+use ava_vpu::exec::{execute_into, OperandValue};
 use ava_vpu::rac::Rac;
-use ava_vpu::rename::RenameUnit;
+use ava_vpu::rename::{RenameCheckpoint, RenameUnit};
 use ava_vpu::swap::{SwapDecision, SwapLogic};
 use ava_vpu::vrf_mapping::VrfMapping;
 
@@ -180,6 +182,68 @@ fn microarch(run: &mut Runner<'_>) {
         assert!(out.spill_stores > 0);
         out.program.len() as u64
     });
+
+    // Checkpoint/restore against preallocated scratch: the speculation
+    // save-points the renaming unit takes on every swap decision.
+    let mut unit = RenameUnit::new(64);
+    for i in 0..32u8 {
+        unit.rename(Some(VReg::new(i % 32)), &[]).unwrap();
+    }
+    let mut scratch = RenameCheckpoint::empty();
+    run("microarch/rename_checkpoint_restore", &mut || {
+        let mut touched = 0u64;
+        for _ in 0..100 {
+            unit.checkpoint_into(&mut scratch);
+            unit.restore(&scratch);
+            touched += 1;
+        }
+        touched + unit.free_count() as u64
+    });
+
+    // Functional execution into a caller-owned strip buffer, the pattern
+    // the VPU uses so steady-state strips never reallocate.
+    let a: Vec<Element> = (0..256).map(|i| Element::from_f64(i as f64)).collect();
+    let b: Vec<Element> = (0..256)
+        .map(|i| Element::from_f64(2.5 * i as f64))
+        .collect();
+    let c: Vec<Element> = (0..256)
+        .map(|i| Element::from_f64(0.5 * i as f64))
+        .collect();
+    let mut strip = Vec::new();
+    run("microarch/exec_strip_reuse", &mut || {
+        let mut bits = 0u64;
+        for _ in 0..64 {
+            execute_into(
+                Opcode::VFMacc,
+                &[
+                    OperandValue::Vector(&a),
+                    OperandValue::Vector(&b),
+                    OperandValue::Vector(&c),
+                ],
+                256,
+                &mut strip,
+            );
+            bits ^= strip[255].bits();
+        }
+        bits
+    });
+
+    // A warm persistent ProgramCache hit: fingerprint the kernel and read
+    // the compiled program back from disk instead of re-running regalloc.
+    let opts = CompileOptions::new(Lmul::M8, 0x40_0000, 1024);
+    let dir = std::env::temp_dir().join(format!("ava-bench-progcache-{}", std::process::id()));
+    let cache = DiskProgramCache::open(&dir).expect("temp program cache opens");
+    let fingerprint = compile_fingerprint(&kernel, &opts);
+    cache
+        .insert(fingerprint, &compile(&kernel, &opts))
+        .expect("seeding the program cache succeeds");
+    run("microarch/program_cache_warm_compile", &mut || {
+        let compiled = cache
+            .lookup(compile_fingerprint(&kernel, &opts))
+            .expect("warm cache hit");
+        compiled.program.len() as u64
+    });
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[cfg(test)]

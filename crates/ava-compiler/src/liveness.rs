@@ -4,8 +4,11 @@
 //! already unrolled into strips by the workload generators), liveness is a
 //! single backwards pass: a virtual register is live from its definition to
 //! its last use.
-
-use std::collections::HashMap;
+//!
+//! The result tables are dense vectors indexed by the virtual-register id
+//! (ids are allocated densely from 0), and [`Liveness::next_use`] — the
+//! query the Belady spill heuristic hammers — binary-searches the sorted
+//! per-register use positions instead of scanning them linearly.
 
 use crate::ir::{IrKernel, VirtReg};
 
@@ -49,28 +52,37 @@ impl LiveInterval {
 /// Result of liveness analysis over an [`IrKernel`].
 #[derive(Debug, Clone, Default)]
 pub struct Liveness {
-    intervals: HashMap<VirtReg, LiveInterval>,
-    /// For every (instruction, register) use, the index of the next use of
-    /// the same register after that instruction (or `usize::MAX` if none).
-    use_positions: HashMap<VirtReg, Vec<usize>>,
+    /// Interval per virtual-register id (`None` for never-defined ids).
+    intervals: Vec<Option<LiveInterval>>,
+    /// Sorted use positions per virtual-register id.
+    use_positions: Vec<Vec<usize>>,
 }
 
 impl Liveness {
     /// Analyses a kernel.
     #[must_use]
     pub fn analyse(kernel: &IrKernel) -> Self {
-        let mut intervals: HashMap<VirtReg, LiveInterval> = HashMap::new();
-        let mut use_positions: HashMap<VirtReg, Vec<usize>> = HashMap::new();
+        let nregs = kernel
+            .instrs
+            .iter()
+            .flat_map(|i| i.dst.into_iter().chain(i.source_regs()))
+            .map(|r| r.0 as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut intervals: Vec<Option<LiveInterval>> = vec![None; nregs];
+        let mut use_positions: Vec<Vec<usize>> = vec![Vec::new(); nregs];
 
         for (idx, instr) in kernel.instrs.iter().enumerate() {
             for src in instr.source_regs() {
-                if let Some(iv) = intervals.get_mut(&src) {
+                if let Some(iv) = &mut intervals[src.0 as usize] {
                     iv.last_use = idx;
                 }
-                use_positions.entry(src).or_default().push(idx);
+                // The forward pass pushes positions in increasing order, so
+                // each list stays sorted for the `next_use` binary search.
+                use_positions[src.0 as usize].push(idx);
             }
             if let Some(dst) = instr.dst {
-                intervals.entry(dst).or_insert(LiveInterval {
+                intervals[dst.0 as usize].get_or_insert(LiveInterval {
                     def: idx,
                     last_use: idx,
                 });
@@ -85,13 +97,15 @@ impl Liveness {
     /// The interval of a register, if it is ever defined.
     #[must_use]
     pub fn interval(&self, reg: VirtReg) -> Option<&LiveInterval> {
-        self.intervals.get(&reg)
+        self.intervals.get(reg.0 as usize)?.as_ref()
     }
 
-    /// All intervals.
-    #[must_use]
-    pub fn intervals(&self) -> &HashMap<VirtReg, LiveInterval> {
-        &self.intervals
+    /// All intervals, in virtual-register order.
+    pub fn intervals(&self) -> impl Iterator<Item = (VirtReg, &LiveInterval)> {
+        self.intervals
+            .iter()
+            .enumerate()
+            .filter_map(|(id, iv)| Some((VirtReg(id as u32), iv.as_ref()?)))
     }
 
     /// The next instruction index at or after `from` where `reg` is used, or
@@ -99,10 +113,13 @@ impl Liveness {
     /// ("furthest next use") spill heuristic.
     #[must_use]
     pub fn next_use(&self, reg: VirtReg, from: usize) -> usize {
-        self.use_positions
-            .get(&reg)
-            .and_then(|uses| uses.iter().find(|&&u| u >= from).copied())
-            .unwrap_or(usize::MAX)
+        let Some(uses) = self.use_positions.get(reg.0 as usize) else {
+            return usize::MAX;
+        };
+        match uses.get(uses.partition_point(|&u| u < from)) {
+            Some(&u) => u,
+            None => usize::MAX,
+        }
     }
 
     /// Maximum number of simultaneously live values over the kernel: the
@@ -111,7 +128,7 @@ impl Liveness {
     pub fn max_pressure(&self) -> usize {
         // Sweep over interval endpoints.
         let mut events: Vec<(usize, i32)> = Vec::with_capacity(self.intervals.len() * 2);
-        for iv in self.intervals.values() {
+        for iv in self.intervals.iter().flatten() {
             if iv.is_dead() {
                 continue;
             }

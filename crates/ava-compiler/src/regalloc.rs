@@ -11,8 +11,14 @@
 //!
 //! Values are SSA (defined once), so a value that has already been spilled
 //! is clean: evicting it again needs no second store.
-
-use std::collections::{HashMap, HashSet};
+//!
+//! The allocator runs once per compiled point of every sweep, so its state
+//! is kept in dense vectors indexed by the (small, densely numbered)
+//! virtual-register id — no hash maps on the per-instruction path — with
+//! scratch buffers reused across instructions. Victim selection iterates
+//! the architectural slots in order and maximises the `(next_use, reg id)`
+//! pair; the keys are distinct, so the choice is identical to the previous
+//! hash-map scan and independent of iteration order.
 
 use ava_isa::InstrKind;
 
@@ -115,22 +121,38 @@ impl RegAllocator {
     #[must_use]
     pub fn allocate(&self, kernel: &IrKernel) -> AllocatedKernel {
         let liveness = Liveness::analyse(kernel);
-        let mut out = AllocatedKernel::default();
 
-        // Resident values: virtual register -> slot.
-        let mut slot_of: HashMap<VirtReg, usize> = HashMap::new();
-        // Free slot pool (ordered so allocation is deterministic).
-        let mut free: Vec<usize> = (0..self.slots).rev().collect();
-        // Values with a valid copy in their spill slot.
-        let mut in_memory: HashSet<VirtReg> = HashSet::new();
-        // Assigned spill-slot addresses.
-        let mut spill_addr: HashMap<VirtReg, u64> = HashMap::new();
-        let mut next_spill_slot: u64 = 0;
-        let mut max_slot_used: usize = 0;
+        // Virtual-register ids are allocated densely from 0 by the kernel
+        // builder; one scan bounds the dense tables below.
+        let nregs = kernel
+            .instrs
+            .iter()
+            .flat_map(|i| i.dst.into_iter().chain(i.source_regs()))
+            .map(|r| r.0 as usize + 1)
+            .max()
+            .unwrap_or(0);
+
+        let mut st = AllocState {
+            spill_base: self.spill_base,
+            spill_slot_bytes: self.spill_slot_bytes,
+            liveness: &liveness,
+            slot_of: vec![None; nregs],
+            slot_owner: vec![None; self.slots],
+            free: (0..self.slots).rev().collect(),
+            in_memory: vec![false; nregs],
+            spill_addr: vec![None; nregs],
+            protected: vec![false; nregs],
+            next_spill_slot: 0,
+            max_slot_used: 0,
+            out: AllocatedKernel::default(),
+        };
+        // Scratch list of this instruction's register sources, reused
+        // across instructions.
+        let mut sources: Vec<VirtReg> = Vec::new();
 
         for (idx, instr) in kernel.instrs.iter().enumerate() {
             if instr.kind() == InstrKind::Config {
-                out.allocations.push(Allocation::Op {
+                st.out.allocations.push(Allocation::Op {
                     ir_index: idx,
                     dst_slot: None,
                     src_slots: Vec::new(),
@@ -140,132 +162,151 @@ impl RegAllocator {
 
             // Registers that must not be evicted while processing this
             // instruction: its own sources (destination is added later).
-            let sources: Vec<VirtReg> = instr.source_regs().collect();
-            let mut protected: HashSet<VirtReg> = sources.iter().copied().collect();
+            sources.clear();
+            sources.extend(instr.source_regs());
+            for &src in &sources {
+                st.protected[src.0 as usize] = true;
+            }
 
             // 1. Make sure every source value is resident, reloading spilled
             //    values in source order.
             for &src in &sources {
-                if slot_of.contains_key(&src) {
+                if st.slot_of[src.0 as usize].is_some() {
                     continue;
                 }
-                let addr = *spill_addr
-                    .get(&src)
+                let addr = st.spill_addr[src.0 as usize]
                     .unwrap_or_else(|| panic!("use of {src} before definition or spill"));
-                let slot = self.take_slot(
-                    idx,
-                    &liveness,
-                    &mut slot_of,
-                    &mut free,
-                    &mut in_memory,
-                    &mut spill_addr,
-                    &mut next_spill_slot,
-                    &protected,
-                    &mut out,
-                );
-                out.allocations.push(Allocation::SpillLoad { slot, addr });
-                out.spill_loads += 1;
-                slot_of.insert(src, slot);
-                max_slot_used = max_slot_used.max(slot + 1);
+                let slot = st.take_slot(idx);
+                st.out
+                    .allocations
+                    .push(Allocation::SpillLoad { slot, addr });
+                st.out.spill_loads += 1;
+                st.assign(src, slot);
             }
 
             // 2. Allocate the destination slot (if any).
-            let dst_slot = if let Some(dst) = instr.dst {
-                let slot = self.take_slot(
-                    idx,
-                    &liveness,
-                    &mut slot_of,
-                    &mut free,
-                    &mut in_memory,
-                    &mut spill_addr,
-                    &mut next_spill_slot,
-                    &protected,
-                    &mut out,
-                );
-                protected.insert(dst);
-                slot_of.insert(dst, slot);
-                max_slot_used = max_slot_used.max(slot + 1);
-                Some(slot)
-            } else {
-                None
-            };
+            let dst_slot = instr.dst.map(|dst| {
+                let slot = st.take_slot(idx);
+                st.protected[dst.0 as usize] = true;
+                st.assign(dst, slot);
+                slot
+            });
 
             // 3. Emit the instruction with slot-mapped operands.
-            let src_slots: Vec<usize> = sources.iter().map(|r| slot_of[r]).collect();
+            let src_slots: Vec<usize> = sources
+                .iter()
+                .map(|r| st.slot_of[r.0 as usize].expect("source is resident"))
+                .collect();
             for &s in &src_slots {
-                max_slot_used = max_slot_used.max(s + 1);
+                st.max_slot_used = st.max_slot_used.max(s + 1);
             }
-            out.allocations.push(Allocation::Op {
+            st.out.allocations.push(Allocation::Op {
                 ir_index: idx,
                 dst_slot,
                 src_slots,
             });
 
             // 4. Release values whose last use was this instruction, and
-            //    dead definitions.
+            //    dead definitions; also un-protect this instruction's
+            //    registers so the scratch bitmap is clean for the next one.
             for &src in &sources {
+                st.protected[src.0 as usize] = false;
                 if let Some(iv) = liveness.interval(src) {
                     if iv.last_use <= idx {
-                        if let Some(slot) = slot_of.remove(&src) {
-                            free.push(slot);
-                        }
+                        st.release(src);
                     }
                 }
             }
             if let Some(dst) = instr.dst {
+                st.protected[dst.0 as usize] = false;
                 if liveness.interval(dst).is_some_and(|iv| iv.is_dead()) {
-                    if let Some(slot) = slot_of.remove(&dst) {
-                        free.push(slot);
-                    }
+                    st.release(dst);
                 }
             }
         }
 
-        out.slots_used = max_slot_used;
-        out.spill_area_bytes = next_spill_slot * self.spill_slot_bytes;
-        out
+        st.out.slots_used = st.max_slot_used;
+        st.out.spill_area_bytes = st.next_spill_slot * self.spill_slot_bytes;
+        st.out
+    }
+}
+
+/// Mutable allocation state: dense tables indexed by virtual-register id
+/// (`slot_of` / `in_memory` / `spill_addr` / `protected`) or by slot index
+/// (`slot_owner`).
+struct AllocState<'a> {
+    spill_base: u64,
+    spill_slot_bytes: u64,
+    liveness: &'a Liveness,
+    /// Resident values: virtual-register id -> slot.
+    slot_of: Vec<Option<usize>>,
+    /// Inverse map: slot -> resident virtual register (victim scan).
+    slot_owner: Vec<Option<VirtReg>>,
+    /// Free slot pool (ordered so allocation is deterministic).
+    free: Vec<usize>,
+    /// Values with a valid copy in their spill slot.
+    in_memory: Vec<bool>,
+    /// Assigned spill-slot addresses.
+    spill_addr: Vec<Option<u64>>,
+    /// Registers that must not be evicted right now (current sources/dst).
+    protected: Vec<bool>,
+    next_spill_slot: u64,
+    max_slot_used: usize,
+    out: AllocatedKernel,
+}
+
+impl AllocState<'_> {
+    fn assign(&mut self, reg: VirtReg, slot: usize) {
+        self.slot_of[reg.0 as usize] = Some(slot);
+        self.slot_owner[slot] = Some(reg);
+        self.max_slot_used = self.max_slot_used.max(slot + 1);
+    }
+
+    fn release(&mut self, reg: VirtReg) {
+        if let Some(slot) = self.slot_of[reg.0 as usize].take() {
+            self.slot_owner[slot] = None;
+            self.free.push(slot);
+        }
     }
 
     /// Obtains a free slot, evicting the resident value with the furthest
     /// next use if necessary (emitting a spill store if that value has no
     /// valid memory copy yet).
-    #[allow(clippy::too_many_arguments)]
-    fn take_slot(
-        &self,
-        idx: usize,
-        liveness: &Liveness,
-        slot_of: &mut HashMap<VirtReg, usize>,
-        free: &mut Vec<usize>,
-        in_memory: &mut HashSet<VirtReg>,
-        spill_addr: &mut HashMap<VirtReg, u64>,
-        next_spill_slot: &mut u64,
-        protected: &HashSet<VirtReg>,
-        out: &mut AllocatedKernel,
-    ) -> usize {
-        if let Some(slot) = free.pop() {
+    fn take_slot(&mut self, idx: usize) -> usize {
+        if let Some(slot) = self.free.pop() {
             return slot;
         }
         // Choose the evictable resident value with the furthest next use.
-        let victim = slot_of
-            .keys()
-            .filter(|r| !protected.contains(r))
+        // `(next_use, reg id)` keys are distinct, so the maximum is unique
+        // and the slot-order scan picks the same victim the old hash-map
+        // scan did.
+        let victim = self
+            .slot_owner
+            .iter()
+            .flatten()
+            .filter(|r| !self.protected[r.0 as usize])
             .copied()
-            .max_by_key(|r| (liveness.next_use(*r, idx), r.0))
+            .max_by_key(|r| (self.liveness.next_use(*r, idx), r.0))
             .expect("no evictable register: architectural budget too small for one instruction");
-        let slot = slot_of.remove(&victim).expect("victim is resident");
+        let slot = self.slot_of[victim.0 as usize]
+            .take()
+            .expect("victim is resident");
+        self.slot_owner[slot] = None;
 
         // Only store the victim if it will be read again and has no valid
         // memory copy.
-        let victim_next_use = liveness.next_use(victim, idx);
-        if victim_next_use != usize::MAX && !in_memory.contains(&victim) {
-            let addr = *spill_addr.entry(victim).or_insert_with(|| {
-                let a = self.spill_base + *next_spill_slot * self.spill_slot_bytes;
-                *next_spill_slot += 1;
+        let victim_next_use = self.liveness.next_use(victim, idx);
+        if victim_next_use != usize::MAX && !self.in_memory[victim.0 as usize] {
+            let addr = *self.spill_addr[victim.0 as usize].get_or_insert_with(|| {
+                let a = self.spill_base + self.next_spill_slot * self.spill_slot_bytes;
+                self.next_spill_slot += 1;
                 a
             });
-            out.allocations.push(Allocation::SpillStore { slot, addr });
-            out.spill_stores += 1;
-            in_memory.insert(victim);
+            self.out
+                .allocations
+                .push(Allocation::SpillStore { slot, addr });
+            self.out.spill_stores += 1;
+            self.in_memory[victim.0 as usize] = true;
         }
         slot
     }
@@ -273,6 +314,8 @@ impl RegAllocator {
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashSet;
+
     use super::*;
     use crate::builder::KernelBuilder;
 

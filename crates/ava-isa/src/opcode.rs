@@ -212,6 +212,69 @@ pub enum Opcode {
 }
 
 impl Opcode {
+    /// Every opcode, in declaration order. The canonical iteration set for
+    /// exhaustive checks and for serializers that map opcodes to and from
+    /// their mnemonics.
+    pub const ALL: &'static [Opcode] = &[
+        Opcode::VLoad,
+        Opcode::VStore,
+        Opcode::VLoadStrided,
+        Opcode::VStoreStrided,
+        Opcode::VLoadIndexed,
+        Opcode::VStoreIndexed,
+        Opcode::VFAdd,
+        Opcode::VFSub,
+        Opcode::VFMul,
+        Opcode::VFDiv,
+        Opcode::VFSqrt,
+        Opcode::VFMacc,
+        Opcode::VFMsac,
+        Opcode::VFMin,
+        Opcode::VFMax,
+        Opcode::VFNeg,
+        Opcode::VFAbs,
+        Opcode::VFExp,
+        Opcode::VFLn,
+        Opcode::VAdd,
+        Opcode::VSub,
+        Opcode::VMul,
+        Opcode::VAnd,
+        Opcode::VOr,
+        Opcode::VXor,
+        Opcode::VSll,
+        Opcode::VSrl,
+        Opcode::VMin,
+        Opcode::VMax,
+        Opcode::VMFLt,
+        Opcode::VMFLe,
+        Opcode::VMFGt,
+        Opcode::VMFGe,
+        Opcode::VMFEq,
+        Opcode::VMSLt,
+        Opcode::VMSEq,
+        Opcode::VMv,
+        Opcode::VMvSplat,
+        Opcode::VId,
+        Opcode::VMerge,
+        Opcode::VSlide1Up,
+        Opcode::VSlide1Down,
+        Opcode::VFRedSum,
+        Opcode::VFRedMax,
+        Opcode::VFRedMin,
+        Opcode::SetVl,
+    ];
+
+    /// The opcode with the given [`Opcode::mnemonic`], or `None`. Mnemonics
+    /// are unique (pinned by test), so this inverts `mnemonic` exactly —
+    /// the lookup serializers use to parse a program back from text.
+    #[must_use]
+    pub fn from_mnemonic(mnemonic: &str) -> Option<Opcode> {
+        Opcode::ALL
+            .iter()
+            .copied()
+            .find(|op| op.mnemonic() == mnemonic)
+    }
+
     /// Queue/kind classification for the two-stage issue unit.
     #[must_use]
     pub fn kind(self) -> InstrKind {
@@ -336,54 +399,7 @@ impl std::fmt::Display for Opcode {
 mod tests {
     use super::*;
 
-    const ALL: &[Opcode] = &[
-        Opcode::VLoad,
-        Opcode::VStore,
-        Opcode::VLoadStrided,
-        Opcode::VStoreStrided,
-        Opcode::VLoadIndexed,
-        Opcode::VStoreIndexed,
-        Opcode::VFAdd,
-        Opcode::VFSub,
-        Opcode::VFMul,
-        Opcode::VFDiv,
-        Opcode::VFSqrt,
-        Opcode::VFMacc,
-        Opcode::VFMsac,
-        Opcode::VFMin,
-        Opcode::VFMax,
-        Opcode::VFNeg,
-        Opcode::VFAbs,
-        Opcode::VFExp,
-        Opcode::VFLn,
-        Opcode::VAdd,
-        Opcode::VSub,
-        Opcode::VMul,
-        Opcode::VAnd,
-        Opcode::VOr,
-        Opcode::VXor,
-        Opcode::VSll,
-        Opcode::VSrl,
-        Opcode::VMin,
-        Opcode::VMax,
-        Opcode::VMFLt,
-        Opcode::VMFLe,
-        Opcode::VMFGt,
-        Opcode::VMFGe,
-        Opcode::VMFEq,
-        Opcode::VMSLt,
-        Opcode::VMSEq,
-        Opcode::VMv,
-        Opcode::VMvSplat,
-        Opcode::VId,
-        Opcode::VMerge,
-        Opcode::VSlide1Up,
-        Opcode::VSlide1Down,
-        Opcode::VFRedSum,
-        Opcode::VFRedMax,
-        Opcode::VFRedMin,
-        Opcode::SetVl,
-    ];
+    const ALL: &[Opcode] = Opcode::ALL;
 
     #[test]
     fn memory_opcodes_go_to_the_memory_queue() {
@@ -436,6 +452,15 @@ mod tests {
             assert!(!op.mnemonic().is_empty());
             assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {op}");
         }
+    }
+
+    #[test]
+    fn from_mnemonic_inverts_mnemonic_for_every_opcode() {
+        for &op in ALL {
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(Opcode::from_mnemonic("not-an-opcode"), None);
+        assert_eq!(Opcode::from_mnemonic(""), None);
     }
 
     #[test]

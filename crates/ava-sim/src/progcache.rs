@@ -1,0 +1,491 @@
+//! The persistent on-disk tier of the sweep's program cache.
+//!
+//! Compilation is a pure function of the IR kernel and the
+//! [`CompileOptions`], so its output can be checkpointed across *processes*
+//! just like simulation results are checkpointed in the [`ResultStore`]:
+//! a [`DiskProgramCache`] is a directory of one JSON document per compiled
+//! kernel, keyed by a content [`Fingerprint`] over the kernel IR, the
+//! register-grouping factor, the spill-area layout and the simulator
+//! [`CODE_VERSION`]. A warm sweep pointed at the same directory performs
+//! zero compilations.
+//!
+//! The store discipline mirrors [`ResultStore`] exactly:
+//!
+//! * writes are atomic (temp file + rename), so a killed process never
+//!   leaves a torn entry under a final name;
+//! * *every* read-side failure — missing file, unreadable file, malformed
+//!   JSON, schema or version drift, a key mismatch behind a colliding file
+//!   name, a truncated program — degrades to a plain miss: the kernel is
+//!   recompiled and the entry overwritten in place (self-repair).
+//!
+//! The serialized form round-trips a [`CompiledKernel`] bit-identically:
+//! scalar operands travel as raw `f64` bit patterns (never through decimal
+//! text), opcodes as their unique mnemonics, and the `ir_map` in full, so a
+//! cache-served kernel feeds the simulator exactly the bytes a fresh
+//! compilation would.
+//!
+//! [`ResultStore`]: crate::store::ResultStore
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ava_compiler::{CompileOptions, CompiledKernel, IrKernel};
+use ava_isa::{Element, InstrRole, MemAccess, Opcode, Operand, Program, VReg, VecInstr, VlMode};
+use ava_workloads::Fingerprint;
+
+use crate::json::{object, parse, Json};
+use crate::store::CODE_VERSION;
+
+const SCHEMA: &str = "ava-program-cache/v1";
+
+/// The content key of one compilation: everything [`ava_compiler::compile`]
+/// reads, folded into one stable fingerprint together with the simulator
+/// version (a compiler change may change every emitted program, so entries
+/// never cross versions).
+#[must_use]
+pub fn compile_fingerprint(kernel: &IrKernel, opts: &CompileOptions) -> u64 {
+    let mut h = Fingerprint::new();
+    h.write_str(CODE_VERSION);
+    // The IR's Debug form is a complete, deterministic rendering of every
+    // instruction, operand and scalar bit pattern.
+    h.write_str(&format!("{kernel:?}"));
+    h.write_u64(opts.lmul.factor() as u64);
+    h.write_u64(opts.spill_base);
+    h.write_u64(opts.spill_slot_bytes);
+    h.finish()
+}
+
+/// A directory of checkpointed [`CompiledKernel`]s. Safe to share across
+/// sweep worker threads (all methods take `&self`; the rename-based writes
+/// are atomic) and across processes pointed at the same directory.
+#[derive(Debug)]
+pub struct DiskProgramCache {
+    dir: PathBuf,
+    tmp_counter: AtomicU64,
+}
+
+impl DiskProgramCache {
+    /// Opens (creating if needed) the cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, String> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create program cache at {}: {e}", dir.display()))?;
+        Ok(Self {
+            dir,
+            tmp_counter: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache's directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of entries currently on disk (including entries written by
+    /// other versions, which [`DiskProgramCache::lookup`] will ignore).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|ext| ext == "json"))
+            .count()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn entry_path(&self, fingerprint: u64) -> PathBuf {
+        self.dir.join(format!("prog-{fingerprint:016x}.json"))
+    }
+
+    /// The cached kernel under `fingerprint`, or `None`. Every failure —
+    /// absent or unreadable entry, malformed JSON, schema/version drift, a
+    /// fingerprint mismatch, a truncated program — is a plain miss; the
+    /// caller recompiles and overwrites.
+    #[must_use]
+    pub fn lookup(&self, fingerprint: u64) -> Option<CompiledKernel> {
+        let text = fs::read_to_string(self.entry_path(fingerprint)).ok()?;
+        let doc = parse(&text).ok()?;
+        if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA)
+            || doc.get("version").and_then(Json::as_str) != Some(CODE_VERSION)
+            || doc.get("fingerprint").and_then(Json::as_u64) != Some(fingerprint)
+        {
+            return None;
+        }
+        compiled_from_json(doc.get("compiled")?)
+    }
+
+    /// Checkpoints one compilation under `fingerprint`. The write is atomic
+    /// (temp file + rename), so a concurrent reader sees either the previous
+    /// entry or the complete new one — never a torn document.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the entry cannot be written; the caller can treat
+    /// the compilation as simply uncached.
+    pub fn insert(&self, fingerprint: u64, compiled: &CompiledKernel) -> Result<(), String> {
+        let doc = object()
+            .field("schema", SCHEMA)
+            .field("version", CODE_VERSION)
+            .field("fingerprint", fingerprint)
+            .field("compiled", compiled_to_json(compiled))
+            .finish();
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        let path = self.entry_path(fingerprint);
+        fs::write(&tmp, format!("{doc}\n"))
+            .map_err(|e| format!("cannot write program cache entry {}: {e}", tmp.display()))?;
+        fs::rename(&tmp, &path).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            format!("cannot commit program cache entry {}: {e}", path.display())
+        })
+    }
+}
+
+fn opt_u64(value: Option<u64>) -> Json {
+    match value {
+        Some(v) => Json::from(v),
+        None => Json::Null,
+    }
+}
+
+fn operand_to_json(op: &Operand) -> Json {
+    match op {
+        Operand::Reg(r) => object().field("reg", r.index()).finish(),
+        // Scalars travel as raw bit patterns: decimal f64 text would not
+        // round-trip every value bit-identically.
+        Operand::Scalar(e) => object().field("scalar_bits", e.bits()).finish(),
+    }
+}
+
+fn operand_from_json(doc: &Json) -> Option<Operand> {
+    if let Some(reg) = doc.get("reg") {
+        let idx = u8::try_from(reg.as_u64()?).ok()?;
+        return Some(Operand::Reg(VReg::try_new(idx)?));
+    }
+    Some(Operand::Scalar(Element::from_bits(
+        doc.get("scalar_bits")?.as_u64()?,
+    )))
+}
+
+fn mem_to_json(mem: &MemAccess) -> Json {
+    object()
+        .field("base", mem.base)
+        .field("stride", mem.stride)
+        .field(
+            "index_reg",
+            opt_u64(mem.index_reg.map(|r| r.index() as u64)),
+        )
+        .finish()
+}
+
+fn mem_from_json(doc: &Json) -> Option<MemAccess> {
+    let index_reg = match doc.get("index_reg")? {
+        Json::Null => None,
+        v => Some(VReg::try_new(u8::try_from(v.as_u64()?).ok()?)?),
+    };
+    Some(MemAccess {
+        base: doc.get("base")?.as_u64()?,
+        stride: doc.get("stride")?.as_i64()?,
+        index_reg,
+    })
+}
+
+fn role_name(role: InstrRole) -> &'static str {
+    match role {
+        InstrRole::Normal => "normal",
+        InstrRole::SpillLoad => "spill_load",
+        InstrRole::SpillStore => "spill_store",
+    }
+}
+
+fn role_from_name(name: &str) -> Option<InstrRole> {
+    match name {
+        "normal" => Some(InstrRole::Normal),
+        "spill_load" => Some(InstrRole::SpillLoad),
+        "spill_store" => Some(InstrRole::SpillStore),
+        _ => None,
+    }
+}
+
+fn instr_to_json(instr: &VecInstr) -> Json {
+    object()
+        .field("op", instr.opcode.mnemonic())
+        .field("dst", opt_u64(instr.dst.map(|r| r.index() as u64)))
+        .field(
+            "srcs",
+            instr.srcs.iter().map(operand_to_json).collect::<Json>(),
+        )
+        .field(
+            "mem",
+            match &instr.mem {
+                Some(m) => mem_to_json(m),
+                None => Json::Null,
+            },
+        )
+        .field("full_mvl", matches!(instr.vl_mode, VlMode::FullMvl))
+        .field("setvl", opt_u64(instr.setvl_request.map(|v| v as u64)))
+        .field("role", role_name(instr.role))
+        .finish()
+}
+
+fn instr_from_json(doc: &Json) -> Option<VecInstr> {
+    let opcode = Opcode::from_mnemonic(doc.get("op")?.as_str()?)?;
+    let dst = match doc.get("dst")? {
+        Json::Null => None,
+        v => Some(VReg::try_new(u8::try_from(v.as_u64()?).ok()?)?),
+    };
+    let srcs = doc
+        .get("srcs")?
+        .as_arr()?
+        .iter()
+        .map(operand_from_json)
+        .collect::<Option<Vec<Operand>>>()?;
+    let mem = match doc.get("mem")? {
+        Json::Null => None,
+        v => Some(mem_from_json(v)?),
+    };
+    let vl_mode = if doc.get("full_mvl")?.as_bool()? {
+        VlMode::FullMvl
+    } else {
+        VlMode::Current
+    };
+    let setvl_request = match doc.get("setvl")? {
+        Json::Null => None,
+        v => Some(usize::try_from(v.as_u64()?).ok()?),
+    };
+    let role = role_from_name(doc.get("role")?.as_str()?)?;
+    // VecInstr's constructors each cover one shape; a deserializer fills the
+    // fields directly so one path restores every shape bit-identically.
+    Some(VecInstr {
+        opcode,
+        dst,
+        srcs,
+        mem,
+        vl_mode,
+        setvl_request,
+        role,
+    })
+}
+
+fn compiled_to_json(compiled: &CompiledKernel) -> Json {
+    object()
+        .field("name", compiled.program.name())
+        .field(
+            "instrs",
+            compiled
+                .program
+                .instructions()
+                .iter()
+                .map(instr_to_json)
+                .collect::<Json>(),
+        )
+        .field("spill_stores", compiled.spill_stores)
+        .field("spill_loads", compiled.spill_loads)
+        .field("registers_used", compiled.registers_used)
+        .field("max_pressure", compiled.max_pressure)
+        .field("spill_area_bytes", compiled.spill_area_bytes)
+        .field(
+            "ir_map",
+            compiled
+                .ir_map
+                .iter()
+                .map(|&i| Json::from(i))
+                .collect::<Json>(),
+        )
+        .finish()
+}
+
+fn compiled_from_json(doc: &Json) -> Option<CompiledKernel> {
+    let mut program = Program::new(doc.get("name")?.as_str()?);
+    let instrs = doc.get("instrs")?.as_arr()?;
+    for instr in instrs {
+        program.push(instr_from_json(instr)?);
+    }
+    let ir_map = doc
+        .get("ir_map")?
+        .as_arr()?
+        .iter()
+        .map(|v| v.as_u64().and_then(|u| usize::try_from(u).ok()))
+        .collect::<Option<Vec<usize>>>()?;
+    // A torn document that still parses must not smuggle in a program whose
+    // attribution map disagrees with it.
+    if ir_map.len() != instrs.len() {
+        return None;
+    }
+    Some(CompiledKernel {
+        program,
+        spill_stores: usize::try_from(doc.get("spill_stores")?.as_u64()?).ok()?,
+        spill_loads: usize::try_from(doc.get("spill_loads")?.as_u64()?).ok()?,
+        registers_used: usize::try_from(doc.get("registers_used")?.as_u64()?).ok()?,
+        max_pressure: usize::try_from(doc.get("max_pressure")?.as_u64()?).ok()?,
+        spill_area_bytes: doc.get("spill_area_bytes")?.as_u64()?,
+        ir_map,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ava_compiler::compile;
+    use ava_isa::{Lmul, VectorContext};
+    use ava_memory::MemoryHierarchy;
+    use ava_workloads::{Blackscholes, Workload};
+
+    fn temp_cache(tag: &str) -> DiskProgramCache {
+        static UNIQUE: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "ava-progcache-unit-{tag}-{}-{}",
+            std::process::id(),
+            UNIQUE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        DiskProgramCache::open(dir).unwrap()
+    }
+
+    /// A kernel exercising every serialized feature: strided and indexed
+    /// memory accesses, scalar operands, spill code with full-MVL semantics.
+    fn sample_kernel(mvl: usize) -> IrKernel {
+        let mut mem = MemoryHierarchy::default();
+        let ctx = VectorContext::with_mvl(mvl);
+        Blackscholes::new(64).build(&mut mem, &ctx).kernel
+    }
+
+    fn sample() -> (IrKernel, CompileOptions, CompiledKernel) {
+        let kernel = sample_kernel(64);
+        // A tight register budget forces spill stores and reloads into the
+        // program, so the role/vl_mode round-trip is actually exercised.
+        let opts = CompileOptions::new(Lmul::M8, 0x40_0000, 64 * 8);
+        let compiled = compile(&kernel, &opts);
+        assert!(compiled.spill_stores > 0, "sample must contain spill code");
+        (kernel, opts, compiled)
+    }
+
+    #[test]
+    fn insert_then_lookup_round_trips_bit_identically() {
+        let cache = temp_cache("roundtrip");
+        let (kernel, opts, compiled) = sample();
+        let key = compile_fingerprint(&kernel, &opts);
+        assert!(cache.lookup(key).is_none(), "fresh cache must miss");
+        cache.insert(key, &compiled).unwrap();
+        let cached = cache.lookup(key).expect("hit after insert");
+        assert_eq!(format!("{compiled:?}"), format!("{cached:?}"));
+        assert_eq!(cache.len(), 1);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn fingerprints_separate_kernels_and_options() {
+        let (kernel, opts, _) = sample();
+        let base = compile_fingerprint(&kernel, &opts);
+        let mut other = opts;
+        other.spill_base += 8;
+        assert_ne!(base, compile_fingerprint(&kernel, &other));
+        let mut other = opts;
+        other.lmul = Lmul::M1;
+        assert_ne!(base, compile_fingerprint(&kernel, &other));
+        let smaller = sample_kernel(32);
+        assert_ne!(base, compile_fingerprint(&smaller, &opts));
+    }
+
+    #[test]
+    fn corrupted_truncated_and_drifted_entries_miss_and_self_repair() {
+        let cache = temp_cache("corrupt");
+        let (kernel, opts, compiled) = sample();
+        let key = compile_fingerprint(&kernel, &opts);
+        cache.insert(key, &compiled).unwrap();
+        let path = cache.entry_path(key);
+        let full = fs::read_to_string(&path).unwrap();
+
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(cache.lookup(key).is_none(), "truncated entry");
+
+        fs::write(&path, "not json at all").unwrap();
+        assert!(cache.lookup(key).is_none(), "garbage entry");
+
+        let tampered = full.replace(CODE_VERSION, "ava-0.0.0+store.v0");
+        fs::write(&path, tampered).unwrap();
+        assert!(cache.lookup(key).is_none(), "version drift");
+
+        let rekeyed = full.replace(
+            &format!("\"fingerprint\":{key}"),
+            &format!("\"fingerprint\":{}", key ^ 1),
+        );
+        fs::write(&path, rekeyed).unwrap();
+        assert!(cache.lookup(key).is_none(), "fingerprint mismatch");
+
+        // Re-inserting overwrites the bad entry in place.
+        cache.insert(key, &compiled).unwrap();
+        assert!(cache.lookup(key).is_some(), "self-repair after overwrite");
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn every_instruction_shape_survives_the_round_trip() {
+        // Hand-build instructions covering shapes the compiled sample may
+        // not produce: indexed scatter, negative strides, slides, setvl.
+        let mut program = Program::new("shapes");
+        program.push(VecInstr::setvl(100));
+        program.push(VecInstr::vload_strided(VReg::new(1), 0x80, -16));
+        program.push(VecInstr::vload_indexed(VReg::new(2), 0x100, VReg::new(1)));
+        program.push(VecInstr::vstore_indexed(VReg::new(2), 0x200, VReg::new(1)));
+        program.push(VecInstr::vmerge(
+            VReg::new(3),
+            Operand::scalar_f64(-0.0),
+            VReg::new(2),
+            VReg::new(1),
+        ));
+        program.push(VecInstr::vsplat(VReg::new(4), f64::MAX));
+        let original = CompiledKernel {
+            program,
+            spill_stores: 0,
+            spill_loads: 0,
+            registers_used: 5,
+            max_pressure: 4,
+            spill_area_bytes: 0,
+            ir_map: vec![0, 1, 2, 3, 4, 5],
+        };
+        let restored = compiled_from_json(&compiled_to_json(&original)).unwrap();
+        assert_eq!(format!("{original:?}"), format!("{restored:?}"));
+        // -0.0 must survive as a bit pattern, not collapse to 0.0.
+        let Operand::Scalar(e) = restored.program.instructions()[4].srcs[0] else {
+            panic!("merge keeps its scalar operand");
+        };
+        assert_eq!(e.bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn ir_map_length_mismatch_is_a_miss() {
+        let (_, _, compiled) = sample();
+        let mut doc = compiled_to_json(&compiled);
+        // Drop the last ir_map element while keeping the JSON well-formed.
+        let Json::Obj(fields) = &mut doc else {
+            panic!("compiled kernels serialise as objects");
+        };
+        let (_, ir_map) = fields
+            .iter_mut()
+            .find(|(key, _)| key == "ir_map")
+            .expect("serialised kernel has an ir_map field");
+        let Json::Arr(items) = ir_map else {
+            panic!("ir_map serialises as an array");
+        };
+        items
+            .pop()
+            .expect("sample kernel has at least one instruction");
+        assert!(compiled_from_json(&doc).is_none());
+    }
+}

@@ -25,11 +25,16 @@
 //! Per-point simulation cost is heavily skewed — one large Blackscholes
 //! point can cost more than a dozen Axpy points — so claiming points in
 //! grid order lets an expensive point picked up last tail the whole sweep.
-//! Workers therefore pop a shared queue sorted by a per-point **cost
-//! estimate** ([`Workload::elements`] over the configuration's effective
-//! width `MVL / LMUL` — narrower width means more strips, hence more
-//! dynamic instructions to simulate): the most expensive points start
-//! first and the cheap ones pack the gaps.
+//! Workers therefore claim from a shared schedule ordered by a per-point
+//! **cost estimate** ([`Workload::elements`] over the configuration's
+//! effective width `MVL / LMUL` — narrower width means more strips, hence
+//! more dynamic instructions to simulate): the most expensive points start
+//! first and the cheap ones pack the gaps. The estimates are also updated
+//! **online**: every point that finishes feeds its measured wall-clock back
+//! into the schedule, and the still-pending points without a recorded
+//! timing are re-ranked under the refreshed median
+//! nanoseconds-per-heuristic-unit — a run whose static heuristic misjudged
+//! the workload corrects itself mid-sweep.
 //! The estimate only orders work; results are still reported in grid order
 //! and remain bit-identical at any thread count and any estimate quality.
 //!
@@ -44,6 +49,11 @@
 //! points (the store is keyed by a content fingerprint of the compiled
 //! program, planned layout and golden reference). Recorded per-point wall
 //! times in the store seed cost-sorted scheduling automatically.
+//!
+//! Compilations persist the same way: a runner pointed at a
+//! [`DiskProgramCache`] ([`SweepRunner::program_cache`]) serves in-memory
+//! cache misses from disk and checkpoints every fresh compilation, so a
+//! warm rerun performs zero compilations ([`SweepReport::compiles`]).
 //!
 //! # Instrumentation
 //!
@@ -81,7 +91,7 @@
 //! [`MemoryHierarchy`]: ava_memory::MemoryHierarchy
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
 use std::time::Instant;
@@ -91,6 +101,7 @@ use ava_workloads::SharedWorkload;
 
 use crate::configs::{config_axes_key, workload_identity, ScenarioConfig, SystemConfig};
 use crate::json::{object, Json};
+use crate::progcache::{compile_fingerprint, DiskProgramCache};
 use crate::run::{run_workload_stored, RunReport};
 use crate::store::ResultStore;
 
@@ -122,15 +133,22 @@ struct CacheKey {
     spill_slot_bytes: u64,
 }
 
-/// A thread-safe cache of compiled kernels shared by every point of a sweep.
+/// A thread-safe cache of compiled kernels shared by every point of a sweep,
+/// with an optional persistent on-disk tier ([`DiskProgramCache`]).
 ///
-/// Keyed on everything that feeds [`ava_compiler::compile`], so a hit is
-/// guaranteed to return exactly the bytes a fresh compilation would produce.
+/// Keyed on everything that feeds [`ava_compiler::compile`], so a hit —
+/// in-memory or on-disk — is guaranteed to return exactly the bytes a fresh
+/// compilation would produce. An in-memory miss consults the disk tier
+/// before compiling; a warm disk cache therefore serves a whole sweep with
+/// zero compilations.
 #[derive(Debug, Default)]
 pub struct ProgramCache {
     entries: Mutex<HashMap<CacheKey, Arc<CompiledKernel>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    compiles: AtomicU64,
 }
 
 impl ProgramCache {
@@ -140,22 +158,52 @@ impl ProgramCache {
         Self::default()
     }
 
-    /// Returns the cached kernel for `key`, compiling it on first use.
+    /// Returns the cached kernel for `key`: from memory, else from `disk`
+    /// when attached, else by compiling (and checkpointing to `disk`).
     fn get_or_compile(
         &self,
         key: CacheKey,
         kernel: &ava_compiler::IrKernel,
         opts: &CompileOptions,
+        disk: Option<&DiskProgramCache>,
     ) -> Arc<CompiledKernel> {
         if let Some(hit) = self.entries.lock().expect("cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
-        // Compile outside the lock: distinct keys must not serialise on one
-        // long compilation. Two threads racing on the same key both compile,
-        // but `compile` is deterministic so either result is correct.
-        let compiled = Arc::new(compile(kernel, opts));
         self.misses.fetch_add(1, Ordering::Relaxed);
+        // Disk lookups and compilation run outside the lock: distinct keys
+        // must not serialise on one long compilation. Two threads racing on
+        // the same key both compile, but `compile` is deterministic so
+        // either result is correct.
+        if let Some(disk) = disk {
+            let fingerprint = compile_fingerprint(kernel, opts);
+            if let Some(cached) = disk.lookup(fingerprint) {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                return self
+                    .entries
+                    .lock()
+                    .expect("cache poisoned")
+                    .entry(key)
+                    .or_insert(Arc::new(cached))
+                    .clone();
+            }
+            self.disk_misses.fetch_add(1, Ordering::Relaxed);
+            let compiled = Arc::new(compile(kernel, opts));
+            self.compiles.fetch_add(1, Ordering::Relaxed);
+            // A failed checkpoint write just means the compilation stays
+            // uncached — never a reason to fail the sweep.
+            let _ = disk.insert(fingerprint, &compiled);
+            return self
+                .entries
+                .lock()
+                .expect("cache poisoned")
+                .entry(key)
+                .or_insert(compiled)
+                .clone();
+        }
+        let compiled = Arc::new(compile(kernel, opts));
+        self.compiles.fetch_add(1, Ordering::Relaxed);
         self.entries
             .lock()
             .expect("cache poisoned")
@@ -164,16 +212,39 @@ impl ProgramCache {
             .clone()
     }
 
-    /// Number of compilations served from the cache.
+    /// Number of compilations served from the in-memory cache.
     #[must_use]
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Number of compilations actually performed.
+    /// Number of compile requests the in-memory cache could not serve
+    /// (every one is then either a disk hit or an actual compilation, so
+    /// `hits() + misses()` always equals the number of compile requests).
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// In-memory misses served from the attached [`DiskProgramCache`]
+    /// (always 0 without one).
+    #[must_use]
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// In-memory misses the attached [`DiskProgramCache`] could not serve
+    /// (always 0 without one).
+    #[must_use]
+    pub fn disk_misses(&self) -> u64 {
+        self.disk_misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of compilations actually performed (`misses()` minus the
+    /// disk hits). Zero on a sweep fully served by a warm disk cache.
+    #[must_use]
+    pub fn compiles(&self) -> u64 {
+        self.compiles.load(Ordering::Relaxed)
     }
 }
 
@@ -185,11 +256,13 @@ pub struct PointStats {
     pub workload: String,
     /// Configuration label of the point ("AVA X4", ...).
     pub config: String,
-    /// The scheduler's cost estimate for the point (workload element
-    /// operations over the configuration's effective width, or the
-    /// recorded wall-clock of a previous sweep under
-    /// [`SweepRunner::recorded_costs`] / an attached store). Orders
-    /// execution only.
+    /// The scheduler's cost estimate for the point *at the moment it was
+    /// claimed*: workload element operations over the configuration's
+    /// effective width, rescaled online by the median
+    /// nanoseconds-per-heuristic-unit of every point finished so far — or
+    /// the recorded wall-clock of a previous sweep under
+    /// [`SweepRunner::recorded_costs`] / an attached store, which a
+    /// rescale never overrides. Orders execution only.
     pub cost_estimate: u64,
     /// The workload's element-operation count ([`Workload::elements`]) —
     /// the denominator of derived per-element metrics such as
@@ -218,10 +291,21 @@ pub struct SweepReport {
     pub reports: Vec<RunReport>,
     /// Per-point scheduling/timing metadata, parallel to `reports`.
     pub points: Vec<PointStats>,
-    /// Compilations served from the shared program cache.
+    /// Compile requests served from the sweep's in-memory program cache.
     pub cache_hits: u64,
-    /// Compilations actually performed.
+    /// Compile requests the in-memory program cache could not serve
+    /// (`cache_hits + cache_misses` is the total number of requests).
     pub cache_misses: u64,
+    /// In-memory misses served from the attached [`DiskProgramCache`]
+    /// (0 without one).
+    pub cache_disk_hits: u64,
+    /// In-memory misses the attached [`DiskProgramCache`] could not serve
+    /// (0 without one).
+    pub cache_disk_misses: u64,
+    /// Compilations actually performed. Zero when a warm
+    /// [`DiskProgramCache`] served every miss — the warm-start invariant CI
+    /// asserts.
+    pub compiles: u64,
     /// Points served from the attached result store (0 without a store).
     pub store_hits: u64,
     /// Points simulated because the attached store had no usable entry
@@ -285,6 +369,9 @@ impl SweepReport {
                 object()
                     .field("hits", self.cache_hits)
                     .field("misses", self.cache_misses)
+                    .field("disk_hits", self.cache_disk_hits)
+                    .field("disk_misses", self.cache_disk_misses)
+                    .field("compiles", self.compiles)
                     .finish(),
             )
             .field(
@@ -450,6 +537,7 @@ impl Sweep {
             threads: None,
             recorded: HashMap::new(),
             store: None,
+            program_cache: None,
         }
     }
 
@@ -520,49 +608,29 @@ impl Sweep {
     /// and can never change a result.
     ///
     /// [`Workload::elements`]: ava_workloads::Workload::elements
+    #[cfg(test)]
     fn point_costs(&self, recorded_map: &HashMap<(String, String), u64>) -> Vec<u64> {
+        self.scheduler(recorded_map).costs
+    }
+
+    /// The claim-time scheduler for one execution: initial cost estimates
+    /// from recorded timings where available (heuristics rescaled by the
+    /// median recorded ns-per-heuristic-unit to fill the gaps), then
+    /// re-ranked online as this run's own timings land.
+    fn scheduler(&self, recorded_map: &HashMap<(String, String), u64>) -> OnlineScheduler {
         let n = self.points.len();
         let heuristic: Vec<u64> = (0..n).map(|i| self.heuristic_cost(i)).collect();
-        if recorded_map.is_empty() {
-            return heuristic;
-        }
         let recorded: Vec<Option<u64>> = (0..n)
             .map(|i| self.recorded_cost_in(i, recorded_map))
             .collect();
-        // Nanoseconds per heuristic unit on every point that has both.
-        let mut ratios: Vec<f64> = recorded
-            .iter()
-            .zip(&heuristic)
-            .filter_map(|(r, &h)| r.map(|ns| ns as f64 / h.max(1) as f64))
-            .collect();
-        let scale = if ratios.is_empty() {
-            // No overlap: every point keeps the heuristic, which is
-            // internally consistent without rescaling.
-            1.0
-        } else {
-            ratios.sort_by(f64::total_cmp);
-            let mid = ratios.len() / 2;
-            if ratios.len() % 2 == 1 {
-                ratios[mid]
-            } else {
-                f64::midpoint(ratios[mid - 1], ratios[mid])
-            }
-        };
-        recorded
-            .into_iter()
-            .zip(heuristic)
-            .map(|(r, h)| {
-                r.unwrap_or_else(|| {
-                    // `f64 as u64` saturates, so a huge product (or the
-                    // max-cost sentinel) stays the maximum.
-                    ((h as f64 * scale).round() as u64).max(1)
-                })
-            })
-            .collect()
+        OnlineScheduler::new(heuristic, recorded)
     }
 
-    /// Point indices in execution order: descending cost estimate, grid
-    /// order as the tie-break (so scheduling stays deterministic).
+    /// Point indices in execution order under *fixed* costs: descending
+    /// cost estimate, grid order as the tie-break. The online scheduler
+    /// claims in exactly this order until its first completion lands;
+    /// kept as the test oracle for the initial schedule.
+    #[cfg(test)]
     fn execution_order(&self, costs: &[u64]) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.points.len()).collect();
         order.sort_by_key(|&i| (std::cmp::Reverse(costs[i]), i));
@@ -571,16 +639,18 @@ impl Sweep {
 
     #[cfg(test)]
     fn run_point(&self, point: usize, cache: &ProgramCache) -> RunReport {
-        self.run_point_stored(point, cache, None).0
+        self.run_point_stored(point, cache, None, None).0
     }
 
-    /// Runs one point through the shared program cache, consulting `store`
-    /// when attached. Returns the report and whether it came from the store.
+    /// Runs one point through the shared program cache (and its optional
+    /// on-disk tier), consulting `store` when attached. Returns the report
+    /// and whether it came from the store.
     fn run_point_stored(
         &self,
         point: usize,
         cache: &ProgramCache,
         store: Option<&ResultStore>,
+        program_cache: Option<&DiskProgramCache>,
     ) -> (RunReport, bool) {
         let (w, s) = self.points[point];
         let workload = &self.workloads[w];
@@ -596,7 +666,7 @@ impl Sweep {
                     spill_base: opts.spill_base,
                     spill_slot_bytes: opts.spill_slot_bytes,
                 };
-                cache.get_or_compile(key, kernel, opts)
+                cache.get_or_compile(key, kernel, opts, program_cache)
             },
             store,
         )
@@ -615,6 +685,125 @@ impl Sweep {
     #[must_use]
     pub fn run_parallel(&self) -> Vec<RunReport> {
         self.runner().run().into_reports()
+    }
+}
+
+/// The online point scheduler behind [`SweepRunner::run`]: workers claim
+/// the pending point with the highest current cost estimate (grid order
+/// breaking ties), and every finished point feeds its measured wall-clock
+/// back as a nanoseconds-per-heuristic-unit observation. The median of all
+/// observations — seed ratios from recorded costs plus everything that
+/// landed this run — rescales the still-pending *unmeasured* points, so a
+/// sweep whose static heuristic misjudged the workload corrects itself
+/// mid-run. Points with recorded timings keep them (a measurement always
+/// beats a rescaled guess).
+///
+/// Cost estimates only order execution: given the same sequence of claim
+/// and completion events the order is fully deterministic, and under any
+/// timing feed the results are bit-identical — only the schedule moves.
+struct OnlineScheduler {
+    /// Current cost estimate per point; claim-order key.
+    costs: Vec<u64>,
+    /// Static heuristic per point — the unit the median ratio rescales.
+    heuristic: Vec<u64>,
+    /// Whether the point's cost is a recorded measurement (never rescaled).
+    measured: Vec<bool>,
+    /// Whether the point is still waiting to be claimed.
+    pending: Vec<bool>,
+    remaining: usize,
+    /// Sorted ns-per-heuristic-unit observations (recorded seeds plus this
+    /// run's completions).
+    ratios: Vec<f64>,
+}
+
+impl OnlineScheduler {
+    /// Builds the initial schedule from the static `heuristic` costs and
+    /// the `recorded` wall-clock times covering part (or none) of the grid.
+    fn new(heuristic: Vec<u64>, recorded: Vec<Option<u64>>) -> Self {
+        let n = heuristic.len();
+        let mut scheduler = Self {
+            costs: heuristic.clone(),
+            heuristic,
+            measured: recorded.iter().map(Option::is_some).collect(),
+            pending: vec![true; n],
+            remaining: n,
+            ratios: Vec::new(),
+        };
+        for (i, r) in recorded.iter().enumerate() {
+            if let Some(ns) = *r {
+                scheduler.costs[i] = ns;
+                scheduler.push_ratio(i, ns);
+            }
+        }
+        scheduler.rescale_pending();
+        scheduler
+    }
+
+    /// Records one ns-per-heuristic-unit observation for point `i`,
+    /// keeping the observation list sorted for the median.
+    fn push_ratio(&mut self, i: usize, wall_ns: u64) {
+        let h = self.heuristic[i];
+        if h == u64::MAX {
+            // The degenerate zero-width sentinel is not a real unit count;
+            // its ratio would drag the median toward zero.
+            return;
+        }
+        let ratio = wall_ns as f64 / h.max(1) as f64;
+        let pos = self.ratios.partition_point(|&r| r < ratio);
+        self.ratios.insert(pos, ratio);
+    }
+
+    /// The median ns-per-heuristic-unit, or 1.0 with no observations (the
+    /// heuristic is then internally consistent without rescaling).
+    fn scale(&self) -> f64 {
+        if self.ratios.is_empty() {
+            return 1.0;
+        }
+        let mid = self.ratios.len() / 2;
+        if self.ratios.len() % 2 == 1 {
+            self.ratios[mid]
+        } else {
+            f64::midpoint(self.ratios[mid - 1], self.ratios[mid])
+        }
+    }
+
+    /// Re-derives every pending unmeasured point's estimate from the
+    /// current median. Measured points keep their recorded nanoseconds.
+    fn rescale_pending(&mut self) {
+        let scale = self.scale();
+        for i in 0..self.costs.len() {
+            if self.pending[i] && !self.measured[i] {
+                // `f64 as u64` saturates, so a huge product (or the
+                // max-cost sentinel) stays the maximum.
+                self.costs[i] = ((self.heuristic[i] as f64 * scale).round() as u64).max(1);
+            }
+        }
+    }
+
+    /// Claims the most expensive pending point (lowest index on ties),
+    /// returning its index and claim-time cost estimate.
+    fn claim(&mut self) -> Option<(usize, u64)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let mut best: Option<usize> = None;
+        for i in 0..self.costs.len() {
+            if self.pending[i] && best.is_none_or(|b| self.costs[i] > self.costs[b]) {
+                best = Some(i);
+            }
+        }
+        let i = best?;
+        self.pending[i] = false;
+        self.remaining -= 1;
+        Some((i, self.costs[i]))
+    }
+
+    /// Feeds one finished point's measured wall-clock back into the
+    /// schedule: the median is recomputed and every pending unmeasured
+    /// point re-ranked under it.
+    fn complete(&mut self, point: usize, wall_ns: u64) {
+        self.push_ratio(point, wall_ns.max(1));
+        self.rescale_pending();
     }
 }
 
@@ -645,6 +834,7 @@ pub struct SweepRunner<'a> {
     threads: Option<usize>,
     recorded: HashMap<(String, String), u64>,
     store: Option<&'a ResultStore>,
+    program_cache: Option<&'a DiskProgramCache>,
 }
 
 impl<'a> SweepRunner<'a> {
@@ -696,10 +886,21 @@ impl<'a> SweepRunner<'a> {
         self
     }
 
-    /// The effective per-point cost estimates this run will schedule by:
-    /// explicit recorded costs and the store's recorded wall times
-    /// max-merged, heuristics rescaled to fill the gaps.
-    fn effective_costs(&self) -> Vec<u64> {
+    /// Attaches the persistent on-disk program cache: compilations the
+    /// in-memory per-sweep cache misses are served from `cache` when a
+    /// usable entry exists, and every fresh compilation is checkpointed
+    /// into it. A warm cache serves a whole sweep with zero compilations
+    /// ([`SweepReport::compiles`]); corrupted or version-drifted entries
+    /// degrade to misses and are overwritten in place.
+    #[must_use]
+    pub fn program_cache(mut self, cache: &'a DiskProgramCache) -> Self {
+        self.program_cache = Some(cache);
+        self
+    }
+
+    /// Explicit recorded costs and the store's recorded wall times,
+    /// max-merged into one scheduling map.
+    fn merged_recorded(&self) -> HashMap<(String, String), u64> {
         let mut recorded = self.recorded.clone();
         if let Some(store) = self.store {
             for (key, wall_ns) in store.recorded_costs() {
@@ -707,7 +908,16 @@ impl<'a> SweepRunner<'a> {
                 *entry = (*entry).max(wall_ns);
             }
         }
-        self.sweep.point_costs(&recorded)
+        recorded
+    }
+
+    /// The per-point cost estimates this run will *start* scheduling by:
+    /// recorded costs where known, heuristics rescaled to fill the gaps.
+    /// The online scheduler then re-ranks still-pending points as measured
+    /// timings land during the run.
+    #[cfg(test)]
+    fn effective_costs(&self) -> Vec<u64> {
+        self.sweep.point_costs(&self.merged_recorded())
     }
 
     /// Executes the sweep. Results come back in point order and are
@@ -722,24 +932,25 @@ impl<'a> SweepRunner<'a> {
         });
         let workers = requested.clamp(1, n.max(1));
         let cache = ProgramCache::new();
-        let costs = self.effective_costs();
-        let order = sweep.execution_order(&costs);
+        let scheduler = Mutex::new(sweep.scheduler(&self.merged_recorded()));
         let store = self.store;
+        let program_cache = self.program_cache;
         let sweep_start = Instant::now();
-        let slots: Vec<OnceLock<(RunReport, bool, u64, usize)>> =
-            (0..n).map(|_| OnceLock::new()).collect();
-        let next = AtomicUsize::new(0);
+        // (report, from_store, wall_ns, worker, claim-time cost estimate)
+        type PointSlot = (RunReport, bool, u64, usize, u64);
+        let slots: Vec<OnceLock<PointSlot>> = (0..n).map(|_| OnceLock::new()).collect();
         let work = |worker: usize| loop {
-            let claimed = next.fetch_add(1, Ordering::Relaxed);
-            if claimed >= n {
-                break;
-            }
-            let i = order[claimed];
+            let claimed = scheduler.lock().expect("scheduler poisoned").claim();
+            let Some((i, cost)) = claimed else { break };
             let point_start = Instant::now();
-            let (report, from_store) = sweep.run_point_stored(i, &cache, store);
+            let (report, from_store) = sweep.run_point_stored(i, &cache, store, program_cache);
             let wall_ns = point_start.elapsed().as_nanos() as u64;
+            scheduler
+                .lock()
+                .expect("scheduler poisoned")
+                .complete(i, wall_ns);
             slots[i]
-                .set((report, from_store, wall_ns, worker))
+                .set((report, from_store, wall_ns, worker, cost))
                 .expect("each point is claimed by one worker");
         };
         if workers == 1 {
@@ -756,12 +967,12 @@ impl<'a> SweepRunner<'a> {
         let mut reports = Vec::with_capacity(n);
         let mut points = Vec::with_capacity(n);
         for (i, slot) in slots.into_iter().enumerate() {
-            let (report, from_store, wall_ns, worker) =
+            let (report, from_store, wall_ns, worker, cost_estimate) =
                 slot.into_inner().expect("every point completed");
             points.push(PointStats {
                 workload: report.workload.clone(),
                 config: report.config.clone(),
-                cost_estimate: costs[i],
+                cost_estimate,
                 elements: sweep.workloads[sweep.points[i].0].elements() as u64,
                 wall_ns,
                 worker,
@@ -780,6 +991,9 @@ impl<'a> SweepRunner<'a> {
             points,
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
+            cache_disk_hits: cache.disk_hits(),
+            cache_disk_misses: cache.disk_misses(),
+            compiles: cache.compiles(),
             store_hits,
             store_misses,
             threads: workers,
@@ -1186,6 +1400,129 @@ mod tests {
         let json = report.to_json().to_string();
         assert!(json.contains("\"axes\":[\"l2_kib\"]"));
         assert!(json.contains("\"axes\":{\"l2_kib\":512}"));
+    }
+
+    #[test]
+    fn online_scheduler_rescales_pending_points_as_results_land() {
+        // Three unmeasured points; the initial order is by raw heuristic.
+        let mut s = OnlineScheduler::new(vec![1000, 100, 10], vec![None, None, None]);
+        assert_eq!(s.claim(), Some((0, 1000)));
+        // Point 0 finishing at 10 ns per heuristic unit rescales the rest.
+        s.complete(0, 10_000);
+        assert_eq!(s.claim(), Some((1, 1000)), "100 units * 10 ns/unit");
+        // A second, slower observation moves the median to 255 ns/unit.
+        s.complete(1, 50_000);
+        assert_eq!(s.claim(), Some((2, 2550)));
+        s.complete(2, 1);
+        assert_eq!(s.claim(), None, "all points claimed exactly once");
+    }
+
+    #[test]
+    fn online_scheduler_never_rescales_measured_points() {
+        // Point 0 carries a recorded timing (100 ns over 100 units seeds a
+        // 1 ns/unit median), point 1 starts from the rescaled heuristic.
+        let mut s = OnlineScheduler::new(vec![100, 100], vec![Some(100), None]);
+        assert_eq!(s.costs, vec![100, 100]);
+        // Grid order breaks the tie; the claim-time cost is the recording.
+        assert_eq!(s.claim(), Some((0, 100)));
+        // The measured point finishing far slower than recorded re-ranks
+        // the unmeasured point, never the recording itself.
+        s.complete(0, 300_000);
+        assert_eq!(
+            s.claim(),
+            Some((1, 150_050)),
+            "median of ratios [1, 3000] is 1500.5 ns/unit"
+        );
+    }
+
+    #[test]
+    fn online_scheduler_is_deterministic_given_the_same_timings() {
+        let feed = [(50_u64, 7_000_u64), (8, 100), (300, 2)];
+        let run = || {
+            let mut s = OnlineScheduler::new(vec![50, 8, 300], vec![None, None, None]);
+            let mut order = Vec::new();
+            while let Some((i, cost)) = s.claim() {
+                order.push((i, cost));
+                s.complete(i, feed[i].1);
+            }
+            order
+        };
+        assert_eq!(run(), run(), "same timings feed, same schedule");
+        assert_eq!(run()[0], (2, 300), "initial claim follows the heuristic");
+    }
+
+    fn temp_program_cache(tag: &str) -> DiskProgramCache {
+        let dir =
+            std::env::temp_dir().join(format!("ava-progcache-sweep-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        DiskProgramCache::open(dir).unwrap()
+    }
+
+    #[test]
+    fn a_warm_program_cache_serves_a_sweep_with_zero_compilations() {
+        let disk = temp_program_cache("warm");
+        let (w, s) = small_axes();
+        let sweep = Sweep::grid(w, s);
+
+        let cold = sweep.runner().threads(2).program_cache(&disk).run();
+        assert_eq!(cold.cache_hits + cold.cache_misses, 6);
+        assert_eq!(cold.cache_disk_hits, 0, "cold cache cannot hit");
+        assert_eq!(cold.cache_disk_misses, cold.cache_misses);
+        assert_eq!(cold.compiles, cold.cache_misses);
+        assert!(!disk.is_empty(), "cold run checkpoints its compilations");
+
+        let warm = sweep.runner().threads(2).program_cache(&disk).run();
+        assert_eq!(warm.compiles, 0, "warm rerun compiles nothing");
+        assert_eq!(warm.cache_disk_hits, warm.cache_misses);
+        assert_eq!(warm.cache_disk_misses, 0);
+        for (a, b) in cold.reports.iter().zip(&warm.reports) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "cached = compiled");
+        }
+        let _ = std::fs::remove_dir_all(disk.dir());
+    }
+
+    #[test]
+    fn a_program_cache_attached_sweep_is_bit_identical_to_a_cacheless_one() {
+        let disk = temp_program_cache("bitident");
+        let (w, s) = small_axes();
+        let sweep = Sweep::grid(w, s);
+        let plain = sweep.runner().threads(1).run();
+        assert_eq!(plain.cache_disk_hits + plain.cache_disk_misses, 0);
+        assert_eq!(plain.compiles, plain.cache_misses, "no disk tier attached");
+        let cached = sweep.runner().threads(1).program_cache(&disk).run();
+        // Warm pass exercises the deserialization path end to end.
+        let warm = sweep.runner().threads(1).program_cache(&disk).run();
+        assert_eq!(warm.compiles, 0);
+        for ((a, b), c) in plain.reports.iter().zip(&cached.reports).zip(&warm.reports) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            assert_eq!(format!("{a:?}"), format!("{c:?}"));
+        }
+        let _ = std::fs::remove_dir_all(disk.dir());
+    }
+
+    #[test]
+    fn corrupted_program_cache_entries_degrade_to_recompilation() {
+        let disk = temp_program_cache("corrupt");
+        let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(128))];
+        let sweep = Sweep::grid(workloads, vec![ScenarioConfig::native_x(1)]);
+        let cold = sweep.runner().threads(1).program_cache(&disk).run();
+        assert_eq!(cold.compiles, 1);
+        // Truncate every entry: the warm run must recompile, not crash,
+        // and self-repair the entries for the run after it.
+        for entry in std::fs::read_dir(disk.dir()).unwrap() {
+            let path = entry.unwrap().path();
+            let text = std::fs::read_to_string(&path).unwrap();
+            std::fs::write(&path, &text[..text.len() / 3]).unwrap();
+        }
+        let repaired = sweep.runner().threads(1).program_cache(&disk).run();
+        assert_eq!(repaired.compiles, 1, "corrupted entry recompiles");
+        assert_eq!(repaired.cache_disk_hits, 0);
+        let warm = sweep.runner().threads(1).program_cache(&disk).run();
+        assert_eq!(warm.compiles, 0, "self-repaired entry hits again");
+        for (a, b) in cold.reports.iter().zip(&warm.reports) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+        let _ = std::fs::remove_dir_all(disk.dir());
     }
 
     #[test]

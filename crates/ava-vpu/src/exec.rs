@@ -38,7 +38,11 @@ fn x(op: &OperandValue<'_>, i: usize) -> i64 {
     op.elem(i).as_i64()
 }
 
-/// Executes one arithmetic/move/reduction opcode over `vl` elements.
+/// Executes one arithmetic/move/reduction opcode over `vl` elements,
+/// returning a freshly allocated result.
+///
+/// Convenience wrapper over [`execute_into`]; the VPU hot loop calls
+/// [`execute_into`] with a reused strip buffer instead.
 ///
 /// # Panics
 ///
@@ -46,85 +50,116 @@ fn x(op: &OperandValue<'_>, i: usize) -> i64 {
 /// required by the opcode is missing.
 #[must_use]
 pub fn execute(opcode: Opcode, srcs: &[OperandValue<'_>], vl: usize) -> Vec<Element> {
+    let mut out = Vec::with_capacity(vl);
+    execute_into(opcode, srcs, vl, &mut out);
+    out
+}
+
+/// Executes one arithmetic/move/reduction opcode over `vl` elements into
+/// `out`, which is cleared first and reused without reallocating once its
+/// capacity has warmed up.
+///
+/// Strip-uniform work is batched: register-to-register moves copy whole
+/// slices and scalar splats are bulk fills, with the same results as the
+/// per-element path.
+///
+/// # Panics
+///
+/// Panics if called with a memory or configuration opcode, or if an operand
+/// required by the opcode is missing.
+pub fn execute_into(opcode: Opcode, srcs: &[OperandValue<'_>], vl: usize, out: &mut Vec<Element>) {
     use Opcode::*;
+    out.clear();
     let s = |i: usize| {
         srcs.get(i)
             .unwrap_or_else(|| panic!("{opcode} requires operand {i}"))
     };
-    let map_f64 = |g: &dyn Fn(usize) -> f64| -> Vec<Element> {
-        (0..vl).map(|i| Element::from_f64(g(i))).collect()
-    };
-    let map_i64 = |g: &dyn Fn(usize) -> i64| -> Vec<Element> {
-        (0..vl).map(|i| Element::from_i64(g(i))).collect()
-    };
-    let map_bool = |g: &dyn Fn(usize) -> bool| -> Vec<Element> {
-        (0..vl).map(|i| Element::from_bool(g(i))).collect()
-    };
+    macro_rules! map_f64 {
+        ($g:expr) => {{
+            let g = $g;
+            out.extend((0..vl).map(|i| Element::from_f64(g(i))));
+        }};
+    }
+    macro_rules! map_i64 {
+        ($g:expr) => {{
+            let g = $g;
+            out.extend((0..vl).map(|i| Element::from_i64(g(i))));
+        }};
+    }
+    macro_rules! map_bool {
+        ($g:expr) => {{
+            let g = $g;
+            out.extend((0..vl).map(|i| Element::from_bool(g(i))));
+        }};
+    }
 
     match opcode {
-        VFAdd => map_f64(&|i| f(s(0), i) + f(s(1), i)),
-        VFSub => map_f64(&|i| f(s(0), i) - f(s(1), i)),
-        VFMul => map_f64(&|i| f(s(0), i) * f(s(1), i)),
-        VFDiv => map_f64(&|i| f(s(0), i) / f(s(1), i)),
-        VFSqrt => map_f64(&|i| f(s(0), i).sqrt()),
-        VFMacc => map_f64(&|i| f(s(0), i).mul_add(f(s(1), i), f(s(2), i))),
-        VFMsac => map_f64(&|i| f(s(0), i).mul_add(f(s(1), i), -f(s(2), i))),
-        VFMin => map_f64(&|i| f(s(0), i).min(f(s(1), i))),
-        VFMax => map_f64(&|i| f(s(0), i).max(f(s(1), i))),
-        VFNeg => map_f64(&|i| -f(s(0), i)),
-        VFAbs => map_f64(&|i| f(s(0), i).abs()),
-        VFExp => map_f64(&|i| f(s(0), i).exp()),
-        VFLn => map_f64(&|i| f(s(0), i).ln()),
+        VFAdd => map_f64!(|i| f(s(0), i) + f(s(1), i)),
+        VFSub => map_f64!(|i| f(s(0), i) - f(s(1), i)),
+        VFMul => map_f64!(|i| f(s(0), i) * f(s(1), i)),
+        VFDiv => map_f64!(|i| f(s(0), i) / f(s(1), i)),
+        VFSqrt => map_f64!(|i| f(s(0), i).sqrt()),
+        VFMacc => map_f64!(|i| f(s(0), i).mul_add(f(s(1), i), f(s(2), i))),
+        VFMsac => map_f64!(|i| f(s(0), i).mul_add(f(s(1), i), -f(s(2), i))),
+        VFMin => map_f64!(|i| f(s(0), i).min(f(s(1), i))),
+        VFMax => map_f64!(|i| f(s(0), i).max(f(s(1), i))),
+        VFNeg => map_f64!(|i| -f(s(0), i)),
+        VFAbs => map_f64!(|i| f(s(0), i).abs()),
+        VFExp => map_f64!(|i| f(s(0), i).exp()),
+        VFLn => map_f64!(|i| f(s(0), i).ln()),
 
-        VAdd => map_i64(&|i| x(s(0), i).wrapping_add(x(s(1), i))),
-        VSub => map_i64(&|i| x(s(0), i).wrapping_sub(x(s(1), i))),
-        VMul => map_i64(&|i| x(s(0), i).wrapping_mul(x(s(1), i))),
-        VAnd => map_i64(&|i| x(s(0), i) & x(s(1), i)),
-        VOr => map_i64(&|i| x(s(0), i) | x(s(1), i)),
-        VXor => map_i64(&|i| x(s(0), i) ^ x(s(1), i)),
-        VSll => map_i64(&|i| x(s(0), i).wrapping_shl(x(s(1), i) as u32 & 63)),
-        VSrl => map_i64(&|i| ((x(s(0), i) as u64) >> (x(s(1), i) as u32 & 63)) as i64),
-        VMin => map_i64(&|i| x(s(0), i).min(x(s(1), i))),
-        VMax => map_i64(&|i| x(s(0), i).max(x(s(1), i))),
+        VAdd => map_i64!(|i| x(s(0), i).wrapping_add(x(s(1), i))),
+        VSub => map_i64!(|i| x(s(0), i).wrapping_sub(x(s(1), i))),
+        VMul => map_i64!(|i| x(s(0), i).wrapping_mul(x(s(1), i))),
+        VAnd => map_i64!(|i| x(s(0), i) & x(s(1), i)),
+        VOr => map_i64!(|i| x(s(0), i) | x(s(1), i)),
+        VXor => map_i64!(|i| x(s(0), i) ^ x(s(1), i)),
+        VSll => map_i64!(|i| x(s(0), i).wrapping_shl(x(s(1), i) as u32 & 63)),
+        VSrl => map_i64!(|i| ((x(s(0), i) as u64) >> (x(s(1), i) as u32 & 63)) as i64),
+        VMin => map_i64!(|i| x(s(0), i).min(x(s(1), i))),
+        VMax => map_i64!(|i| x(s(0), i).max(x(s(1), i))),
 
-        VMFLt => map_bool(&|i| f(s(0), i) < f(s(1), i)),
-        VMFLe => map_bool(&|i| f(s(0), i) <= f(s(1), i)),
-        VMFGt => map_bool(&|i| f(s(0), i) > f(s(1), i)),
-        VMFGe => map_bool(&|i| f(s(0), i) >= f(s(1), i)),
-        VMFEq => map_bool(&|i| f(s(0), i) == f(s(1), i)),
-        VMSLt => map_bool(&|i| x(s(0), i) < x(s(1), i)),
-        VMSEq => map_bool(&|i| x(s(0), i) == x(s(1), i)),
+        VMFLt => map_bool!(|i| f(s(0), i) < f(s(1), i)),
+        VMFLe => map_bool!(|i| f(s(0), i) <= f(s(1), i)),
+        VMFGt => map_bool!(|i| f(s(0), i) > f(s(1), i)),
+        VMFGe => map_bool!(|i| f(s(0), i) >= f(s(1), i)),
+        VMFEq => map_bool!(|i| f(s(0), i) == f(s(1), i)),
+        VMSLt => map_bool!(|i| x(s(0), i) < x(s(1), i)),
+        VMSEq => map_bool!(|i| x(s(0), i) == x(s(1), i)),
 
-        VMv => (0..vl).map(|i| s(0).elem(i)).collect(),
-        VMvSplat => (0..vl).map(|i| s(0).elem(i)).collect(),
-        VId => map_i64(&|i| i as i64),
-        VMerge => (0..vl)
-            .map(|i| {
-                if s(2).elem(i).as_bool() {
-                    s(0).elem(i)
-                } else {
-                    s(1).elem(i)
-                }
-            })
-            .collect(),
-        VSlide1Up => (0..vl)
-            .map(|i| {
-                if i == 0 {
-                    srcs.get(1).map_or(Element::ZERO, |o| o.elem(0))
-                } else {
-                    s(0).elem(i - 1)
-                }
-            })
-            .collect(),
-        VSlide1Down => (0..vl)
-            .map(|i| {
-                if i + 1 == vl {
-                    srcs.get(1).map_or(Element::ZERO, |o| o.elem(0))
-                } else {
-                    s(0).elem(i + 1)
-                }
-            })
-            .collect(),
+        // Moves and splats are strip-uniform: whole-slice copies and bulk
+        // fills replace the per-element loop (identical results — vector
+        // reads past the end are zero, scalars repeat).
+        VMv | VMvSplat => match *s(0) {
+            OperandValue::Vector(v) => {
+                let copied = vl.min(v.len());
+                out.extend_from_slice(&v[..copied]);
+                out.resize(vl, Element::ZERO);
+            }
+            OperandValue::Scalar(val) => out.resize(vl, val),
+        },
+        VId => map_i64!(|i| i as i64),
+        VMerge => out.extend((0..vl).map(|i| {
+            if s(2).elem(i).as_bool() {
+                s(0).elem(i)
+            } else {
+                s(1).elem(i)
+            }
+        })),
+        VSlide1Up => out.extend((0..vl).map(|i| {
+            if i == 0 {
+                srcs.get(1).map_or(Element::ZERO, |o| o.elem(0))
+            } else {
+                s(0).elem(i - 1)
+            }
+        })),
+        VSlide1Down => out.extend((0..vl).map(|i| {
+            if i + 1 == vl {
+                srcs.get(1).map_or(Element::ZERO, |o| o.elem(0))
+            } else {
+                s(0).elem(i + 1)
+            }
+        })),
 
         VFRedSum | VFRedMax | VFRedMin => {
             let mut acc = match opcode {
@@ -140,9 +175,8 @@ pub fn execute(opcode: Opcode, srcs: &[OperandValue<'_>], vl: usize) -> Vec<Elem
                     _ => acc.min(v),
                 };
             }
-            let mut out = vec![Element::ZERO; vl.max(1)];
+            out.resize(vl.max(1), Element::ZERO);
             out[0] = Element::from_f64(acc);
-            out
         }
 
         VLoad | VStore | VLoadStrided | VStoreStrided | VLoadIndexed | VStoreIndexed | SetVl => {
@@ -327,5 +361,34 @@ mod tests {
     #[should_panic(expected = "not an arithmetic operation")]
     fn memory_opcodes_are_rejected() {
         let _ = execute(Opcode::VLoad, &[], 4);
+    }
+
+    #[test]
+    fn execute_into_reuses_one_buffer_across_opcodes() {
+        // One buffer through heterogeneous opcodes — including the batched
+        // move/splat fast paths and the shorter-than-vl zero-fill — must
+        // produce exactly what the allocating wrapper produces.
+        let a = vecf(&[1.0, 2.0, 3.0]);
+        let short = vecf(&[5.0]);
+        let cases: Vec<(Opcode, Vec<OperandValue<'_>>, usize)> = vec![
+            (
+                Opcode::VFAdd,
+                vec![OperandValue::Vector(&a), OperandValue::Vector(&a)],
+                3,
+            ),
+            (Opcode::VMv, vec![OperandValue::Vector(&short)], 3),
+            (
+                Opcode::VMvSplat,
+                vec![OperandValue::Scalar(Element::from_f64(7.0))],
+                4,
+            ),
+            (Opcode::VFRedSum, vec![OperandValue::Vector(&a)], 3),
+            (Opcode::VId, vec![], 2),
+        ];
+        let mut buf = Vec::new();
+        for (op, srcs, vl) in cases {
+            execute_into(op, &srcs, vl, &mut buf);
+            assert_eq!(buf, execute(op, &srcs, vl), "{op}");
+        }
     }
 }

@@ -79,10 +79,18 @@ impl MemoryVrf {
     /// Swap-Load).
     #[must_use]
     pub fn load(&self, mem: &MemoryHierarchy, vvr: u16, vl: usize) -> Vec<Element> {
+        let mut out = Vec::with_capacity(vl);
+        self.load_into(mem, vvr, vl, &mut out);
+        out
+    }
+
+    /// Reads `vl` elements of a VVR's slot into `out` (cleared first),
+    /// reusing the buffer's capacity; the Swap-Load hot path stages through
+    /// one such buffer instead of allocating per swap.
+    pub fn load_into(&self, mem: &MemoryHierarchy, vvr: u16, vl: usize, out: &mut Vec<Element>) {
         let addr = self.slot_addr(vvr);
-        (0..vl)
-            .map(|i| Element::from_bits(mem.read_u64(addr + 8 * i as u64)))
-            .collect()
+        out.clear();
+        out.extend((0..vl).map(|i| Element::from_bits(mem.read_u64(addr + 8 * i as u64))));
     }
 }
 

@@ -17,7 +17,7 @@ use ava_isa::{
 use ava_memory::{AccessTiming, MemoryHierarchy};
 
 use crate::config::{RenameMode, VpuConfig};
-use crate::exec::{execute, OperandValue};
+use crate::exec::{execute_into, OperandValue};
 use crate::issue::IssueQueue;
 use crate::mvrf::MemoryVrf;
 use crate::rac::Rac;
@@ -78,6 +78,21 @@ pub struct Vpu {
     /// Whether the M-VRF slot of each VVR already holds the current value
     /// (a VVR is written once, so a second eviction needs no Swap-Store).
     mvrf_clean: Vec<bool>,
+    // -------- scratch buffers (reused across instructions) --------
+    /// This instruction's logical source registers.
+    src_regs_buf: Vec<VReg>,
+    /// Renamed registers that must not be evicted mid-instruction.
+    protected_buf: Vec<RenamedReg>,
+    /// Physical register of each register source, in operand order.
+    src_pregs_buf: Vec<usize>,
+    /// Functional values of each source operand (register operands only).
+    operand_bufs: Vec<Vec<Element>>,
+    /// Functional result strip of the executing instruction.
+    strip_buf: Vec<Element>,
+    /// Per-element addresses of strided/indexed accesses.
+    addr_buf: Vec<u64>,
+    /// Swap-Load staging buffer (M-VRF -> P-VRF transfers).
+    swap_buf: Vec<Element>,
     // -------- architectural state --------
     vl: usize,
     stats: VpuStats,
@@ -113,6 +128,13 @@ impl Vpu {
             preg_writable: vec![0; pregs],
             preg_readers_done: vec![0; pregs],
             mvrf_clean: vec![false; pool],
+            src_regs_buf: Vec::new(),
+            protected_buf: Vec::new(),
+            src_pregs_buf: Vec::new(),
+            operand_bufs: Vec::new(),
+            strip_buf: Vec::new(),
+            addr_buf: Vec::new(),
+            swap_buf: Vec::new(),
             vl: config.mvl,
             stats: VpuStats::default(),
             finish_time: 0,
@@ -194,10 +216,11 @@ impl Vpu {
         };
 
         // ---------------- first-level renaming ----------------
-        let src_regs: Vec<VReg> = instr.source_regs().collect();
+        self.src_regs_buf.clear();
+        self.src_regs_buf.extend(instr.source_regs());
         let renamed = self
             .rename
-            .rename(instr.dst, &src_regs)
+            .rename(instr.dst, &self.src_regs_buf)
             .unwrap_or_else(|e| panic!("rename failed for `{instr}`: {e}"));
         let mut rename_time = dispatch;
         if let Some(d) = renamed.dst {
@@ -225,29 +248,34 @@ impl Vpu {
         }
 
         // ---------------- pre-issue: VVR -> physical mapping ----------------
+        // The scratch vectors are moved out of `self` for the duration of
+        // the instruction (the swap path needs `&mut self`) and moved back
+        // at the end, so the steady state allocates nothing.
         let mut preissue_time = rename_time + 1;
-        let mut protected: Vec<RenamedReg> = renamed.srcs.clone();
+        let mut protected = std::mem::take(&mut self.protected_buf);
+        protected.clear();
+        protected.extend_from_slice(&renamed.srcs);
         if let Some(d) = renamed.dst {
             protected.push(d);
         }
 
         // Map (and if needed swap in) every source VVR, then the destination.
-        let (src_pregs, dst_preg) = match self.config.mode {
+        let mut src_pregs = std::mem::take(&mut self.src_pregs_buf);
+        src_pregs.clear();
+        let dst_preg = match self.config.mode {
             RenameMode::Native => {
                 // Renamed registers *are* physical registers.
-                let src_pregs: Vec<usize> = renamed.srcs.iter().map(|&r| r as usize).collect();
-                (src_pregs, renamed.dst.map(|d| d as usize))
+                src_pregs.extend(renamed.srcs.iter().map(|&r| r as usize));
+                renamed.dst.map(|d| d as usize)
             }
             RenameMode::Ava => {
-                let mut src_pregs = Vec::with_capacity(renamed.srcs.len());
                 for &vvr in &renamed.srcs {
                     let preg = self.ensure_resident(vvr, &protected, &mut preissue_time, mem);
                     src_pregs.push(preg);
                 }
-                let dst_preg = renamed
+                renamed
                     .dst
-                    .map(|vvr| self.allocate_preg_for(vvr, &protected, &mut preissue_time, mem));
-                (src_pregs, dst_preg)
+                    .map(|vvr| self.allocate_preg_for(vvr, &protected, &mut preissue_time, mem))
             }
         };
 
@@ -319,15 +347,19 @@ impl Vpu {
             }
         }
 
-        // Write back functional results.
-        if let (Some(values), Some(d)) = (&result.dst_values, renamed.dst) {
+        // Write back functional results (the strip buffer holds them).
+        if result.has_dst && renamed.dst.is_some() {
             let preg = dst_preg.expect("destination must have a physical register");
-            self.pvrf.write(preg, values);
-            self.count_writeback(values.len());
-            let _ = d;
+            self.pvrf.write(preg, &self.strip_buf);
+            let elems = self.strip_buf.len();
+            self.count_writeback(elems);
         }
 
         self.count_instruction(instr, vl_eff, &src_pregs);
+
+        // Return the scratch vectors for the next instruction.
+        self.protected_buf = protected;
+        self.src_pregs_buf = src_pregs;
     }
 
     // ------------------------------------------------------------------
@@ -352,11 +384,14 @@ impl Vpu {
                     .mapping
                     .allocate_physical(vvr)
                     .expect("a physical register was just freed");
-                // Swap-Load: M-VRF -> P-VRF, through the vector memory unit.
+                // Swap-Load: M-VRF -> P-VRF, through the vector memory unit,
+                // staged through the reusable swap buffer.
                 let mvrf = self.mvrf.expect("AVA configurations have an M-VRF");
                 let slot = mvrf.slot_addr(vvr);
-                let values = mvrf.load(mem, vvr, self.config.mvl);
+                let mut values = std::mem::take(&mut self.swap_buf);
+                mvrf.load_into(mem, vvr, self.config.mvl, &mut values);
                 self.pvrf.write(preg, &values);
+                self.swap_buf = values;
                 let timing = mem.vector_access(slot, (self.config.mvl * 8) as u64, false);
                 // Rule 2 (§III.C): the Swap-Load data may not overwrite the
                 // physical register before the previous consumers have read
@@ -487,9 +522,9 @@ impl Vpu {
             // exactly once), so this eviction needs no Swap-Store.
             self.preg_readers_done[preg].max(preissue_time)
         } else {
-            // Functional move: P-VRF -> M-VRF.
-            let values = self.pvrf.read(preg).to_vec();
-            mvrf.store(mem, victim, &values);
+            // Functional move: P-VRF -> M-VRF, straight from the register
+            // file slice (no staging copy needed on the store side).
+            mvrf.store(mem, victim, self.pvrf.read(preg));
             let slot = mvrf.slot_addr(victim);
             let timing = mem.vector_access(slot, (self.config.mvl * 8) as u64, true);
             // The Swap-Store reads the victim's value; it cannot start
@@ -608,17 +643,18 @@ impl Vpu {
                 mem.vector_access(access.base, (vl * 8) as u64, is_write)
             }
             Opcode::VLoadStrided | Opcode::VStoreStrided => {
-                let addrs: Vec<u64> = (0..vl)
-                    .map(|i| (access.base as i64 + access.stride * i as i64) as u64)
-                    .collect();
-                mem.vector_access_elements(&addrs, is_write)
+                self.addr_buf.clear();
+                self.addr_buf.extend(
+                    (0..vl).map(|i| (access.base as i64 + access.stride * i as i64) as u64),
+                );
+                mem.vector_access_elements(&self.addr_buf, is_write)
             }
             Opcode::VLoadIndexed | Opcode::VStoreIndexed => {
-                let addrs = result
-                    .element_addrs
-                    .clone()
-                    .expect("indexed access computed element addresses");
-                mem.vector_access_elements(&addrs, is_write)
+                assert!(
+                    result.has_addrs,
+                    "indexed access computed element addresses"
+                );
+                mem.vector_access_elements(&self.addr_buf, is_write)
             }
             _ => unreachable!("not a memory opcode"),
         }
@@ -628,28 +664,32 @@ impl Vpu {
     // Functional execution
     // ------------------------------------------------------------------
 
-    fn read_operand_values(
-        &mut self,
-        instr: &VecInstr,
-        src_pregs: &[usize],
-        vl: usize,
-    ) -> Vec<Vec<Element>> {
-        let mut out = Vec::with_capacity(instr.srcs.len());
+    /// Reads the functional value of every register operand into the
+    /// per-slot scratch buffers (scalar slots are just cleared); the buffers
+    /// are reused across instructions.
+    fn read_operand_values(&mut self, instr: &VecInstr, src_pregs: &[usize], vl: usize) {
+        while self.operand_bufs.len() < instr.srcs.len() {
+            self.operand_bufs.push(Vec::new());
+        }
         let mut preg_iter = src_pregs.iter();
-        for op in &instr.srcs {
+        for (i, op) in instr.srcs.iter().enumerate() {
             match op {
                 Operand::Reg(_) => {
                     let preg = *preg_iter
                         .next()
                         .expect("source register without a physical mapping");
-                    out.push(self.pvrf.read_vl(preg, vl).to_vec());
+                    let values = self.pvrf.read_vl(preg, vl);
+                    self.operand_bufs[i].clear();
+                    self.operand_bufs[i].extend_from_slice(values);
                 }
-                Operand::Scalar(s) => out.push(vec![*s]),
+                Operand::Scalar(_) => self.operand_bufs[i].clear(),
             }
         }
-        out
     }
 
+    /// Functionally executes one instruction. Result data lands in the
+    /// reusable scratch buffers: destination values in `strip_buf` (when
+    /// `has_dst`), per-element addresses in `addr_buf` (when `has_addrs`).
     fn execute_functional(
         &mut self,
         instr: &VecInstr,
@@ -657,74 +697,69 @@ impl Vpu {
         vl: usize,
         mem: &mut MemoryHierarchy,
     ) -> FunctionalResult {
-        let src_values = self.read_operand_values(instr, src_pregs, vl);
-        let operand = |i: usize| -> OperandValue<'_> {
-            match &instr.srcs[i] {
-                Operand::Reg(_) => OperandValue::Vector(&src_values[i]),
-                Operand::Scalar(s) => OperandValue::Scalar(*s),
-            }
-        };
+        self.read_operand_values(instr, src_pregs, vl);
 
         match instr.opcode {
             Opcode::VLoad | Opcode::VLoadStrided => {
                 let m = instr.mem.expect("load carries an address");
-                let values: Vec<Element> = (0..vl)
-                    .map(|i| {
-                        let addr = (m.base as i64 + effective_stride(&m) * i as i64) as u64;
-                        Element::from_bits(mem.read_u64(addr))
-                    })
-                    .collect();
-                FunctionalResult::with_dst(values)
+                self.strip_buf.clear();
+                self.strip_buf.extend((0..vl).map(|i| {
+                    let addr = (m.base as i64 + effective_stride(&m) * i as i64) as u64;
+                    Element::from_bits(mem.read_u64(addr))
+                }));
+                FunctionalResult::DST
             }
             Opcode::VLoadIndexed => {
                 let m = instr.mem.expect("gather carries an address");
-                let idx = &src_values[0];
-                let addrs: Vec<u64> = (0..vl)
-                    .map(|i| {
-                        m.base
-                            .wrapping_add((idx[i].as_i64() as u64).wrapping_mul(8))
-                    })
-                    .collect();
-                let values: Vec<Element> = addrs
-                    .iter()
-                    .map(|a| Element::from_bits(mem.read_u64(*a)))
-                    .collect();
-                FunctionalResult {
-                    dst_values: Some(values),
-                    element_addrs: Some(addrs),
-                }
+                let idx = &self.operand_bufs[0];
+                self.addr_buf.clear();
+                self.addr_buf.extend((0..vl).map(|i| {
+                    m.base
+                        .wrapping_add((idx[i].as_i64() as u64).wrapping_mul(8))
+                }));
+                self.strip_buf.clear();
+                self.strip_buf.extend(
+                    self.addr_buf
+                        .iter()
+                        .map(|&a| Element::from_bits(mem.read_u64(a))),
+                );
+                FunctionalResult::DST_AND_ADDRS
             }
             Opcode::VStore | Opcode::VStoreStrided => {
                 let m = instr.mem.expect("store carries an address");
-                let data = &src_values[0];
+                let data = &self.operand_bufs[0];
                 for i in 0..vl {
                     let addr = (m.base as i64 + effective_stride(&m) * i as i64) as u64;
                     mem.write_u64(addr, data.get(i).copied().unwrap_or(Element::ZERO).bits());
                 }
-                FunctionalResult::none()
+                FunctionalResult::NONE
             }
             Opcode::VStoreIndexed => {
                 let m = instr.mem.expect("scatter carries an address");
-                let data = &src_values[0];
-                let idx = &src_values[1];
-                let addrs: Vec<u64> = (0..vl)
-                    .map(|i| {
-                        m.base
-                            .wrapping_add((idx[i].as_i64() as u64).wrapping_mul(8))
-                    })
-                    .collect();
-                for (i, a) in addrs.iter().enumerate() {
-                    mem.write_u64(*a, data.get(i).copied().unwrap_or(Element::ZERO).bits());
+                let idx = &self.operand_bufs[1];
+                self.addr_buf.clear();
+                self.addr_buf.extend((0..vl).map(|i| {
+                    m.base
+                        .wrapping_add((idx[i].as_i64() as u64).wrapping_mul(8))
+                }));
+                let data = &self.operand_bufs[0];
+                for (i, &a) in self.addr_buf.iter().enumerate() {
+                    mem.write_u64(a, data.get(i).copied().unwrap_or(Element::ZERO).bits());
                 }
-                FunctionalResult {
-                    dst_values: None,
-                    element_addrs: Some(addrs),
-                }
+                FunctionalResult::ADDRS
             }
-            Opcode::SetVl => FunctionalResult::none(),
+            Opcode::SetVl => FunctionalResult::NONE,
             _ => {
-                let ops: Vec<OperandValue<'_>> = (0..instr.srcs.len()).map(operand).collect();
-                FunctionalResult::with_dst(execute(instr.opcode, &ops, vl))
+                let mut ops = [OperandValue::Scalar(Element::ZERO); crate::rename::MAX_SRCS];
+                let n = instr.srcs.len();
+                for (i, op) in instr.srcs.iter().enumerate() {
+                    ops[i] = match op {
+                        Operand::Reg(_) => OperandValue::Vector(&self.operand_bufs[i]),
+                        Operand::Scalar(s) => OperandValue::Scalar(*s),
+                    };
+                }
+                execute_into(instr.opcode, &ops[..n], vl, &mut self.strip_buf);
+                FunctionalResult::DST
             }
         }
     }
@@ -769,25 +804,32 @@ fn effective_stride(m: &MemAccess) -> i64 {
     }
 }
 
-/// Outcome of functionally executing one instruction.
+/// Outcome of functionally executing one instruction. The data itself lives
+/// in the VPU's reusable scratch buffers (`strip_buf` / `addr_buf`); these
+/// flags say which of them the instruction filled.
+#[derive(Clone, Copy)]
 struct FunctionalResult {
-    dst_values: Option<Vec<Element>>,
-    element_addrs: Option<Vec<u64>>,
+    has_dst: bool,
+    has_addrs: bool,
 }
 
 impl FunctionalResult {
-    fn with_dst(values: Vec<Element>) -> Self {
-        Self {
-            dst_values: Some(values),
-            element_addrs: None,
-        }
-    }
-    fn none() -> Self {
-        Self {
-            dst_values: None,
-            element_addrs: None,
-        }
-    }
+    const NONE: Self = Self {
+        has_dst: false,
+        has_addrs: false,
+    };
+    const DST: Self = Self {
+        has_dst: true,
+        has_addrs: false,
+    };
+    const ADDRS: Self = Self {
+        has_dst: false,
+        has_addrs: true,
+    };
+    const DST_AND_ADDRS: Self = Self {
+        has_dst: true,
+        has_addrs: true,
+    };
 }
 
 fn subtract_stats(stats: &mut VpuStats, baseline: &VpuStats) {
