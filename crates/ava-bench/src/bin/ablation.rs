@@ -14,19 +14,26 @@
 //! With `--store <dir>` every repetition after the first is served entirely
 //! from the result store.
 //!
+//! `--shard <k>/<n>` runs only shard `k` of `n` deterministic slices of
+//! each study's grid into the shared store; the variant tables need the
+//! whole grid, so a sharded run prints the sweep summary only and the final
+//! unsharded `--resume` run over the same store prints the tables from
+//! all-hits. `--store-gc-mib <n>` caps the store directory afterwards.
+//!
 //! Usage: `cargo run --release -p ava-bench --bin ablation [-- --repeat <n>]
-//! [--threads <n>] [--store <dir>] [--resume] [--json <path>]`
+//! [--threads <n>] [--store <dir>] [--resume] [--shard <k>/<n>]
+//! [--store-gc-mib <n>] [--json <path>]`
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use ava_bench::cli::{emit_json, usage_error, BenchArgs};
 use ava_sim::json::{object, Json};
-use ava_sim::{ScenarioConfig, Sweep};
+use ava_sim::{format_sweep_summary, ScenarioConfig, Sweep};
 use ava_workloads::{Axpy, Blackscholes, SharedWorkload};
 
-const USAGE: &str =
-    "ablation [--repeat <n>] [--threads <n>] [--store <dir>] [--resume] [--json <path>]";
+const USAGE: &str = "ablation [--repeat <n>] [--threads <n>] [--store <dir>] [--resume] \
+                     [--shard <k>/<n>] [--store-gc-mib <n>] [--json <path>]";
 
 /// The variant axis of one ablation study: a display name per scenario.
 /// Each variant is the base scenario with exactly one knob overridden — the
@@ -68,6 +75,20 @@ fn study(
     }
     for r in &sweep.reports {
         assert!(r.validated, "{}: {:?}", r.config, r.validation_error);
+    }
+    // A sharded run holds only its slice of the grid: the variant table
+    // (and its reference point) need every variant, so they are deferred to
+    // the final unsharded merge pass over the shared store.
+    if args.shard.is_some() {
+        println!("{}", format_sweep_summary(&sweep));
+        println!();
+        return object()
+            .field("study", label)
+            .field("workload", workload.name())
+            .field("base_config", base.label())
+            .field("variants", Json::Arr(Vec::new()))
+            .field("sweep", sweep.to_json())
+            .finish();
     }
     let reference = sweep.reports[0].cycles;
     println!("{:<28} {:>10} {:>8}", "variant", "cycles", "vs ref");
@@ -137,6 +158,7 @@ fn run() -> Result<ExitCode, String> {
             &args,
         ),
     ];
+    args.run_store_gc();
     println!("The per-operation overhead of the vector memory unit dominates the");
     println!("short-vector baseline (three memory operations per 16-element strip),");
     println!("while the swap-heavy AVA X8 case is bound by the arithmetic pipeline and");

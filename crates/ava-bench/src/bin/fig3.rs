@@ -29,6 +29,12 @@
 //! served from disk, fresh points are checkpointed as workers finish, and
 //! `--resume` asserts the directory already holds such a checkpoint.
 //!
+//! `--shard <k>/<n>` runs only shard `k` of `n` deterministic slices of the
+//! grid into the shared store; a sharded run emits its summary and JSON but
+//! skips the per-workload charts (they need the whole grid — run the final
+//! unsharded `--resume` merge pass to print them). `--store-gc-mib <n>`
+//! caps the store directory after the sweep.
+//!
 //! With `--json`, the instrumented sweep report (per-point counters,
 //! wall-clock timing, compile-cache and result-store statistics and the
 //! derived per-point energy breakdown from the McPAT-style model) is
@@ -47,7 +53,8 @@ use ava_workloads::SharedWorkload;
 
 const USAGE: &str = "fig3 [--app <name>] [--chart mem|mix|perf|energy|all] \
                      [--mix pipelined|solver] [--iters <n>] [--threads <n>] \
-                     [--store <dir>] [--resume] [--json <path>]";
+                     [--store <dir>] [--resume] [--shard <k>/<n>] \
+                     [--store-gc-mib <n>] [--json <path>]";
 
 fn main() -> ExitCode {
     match run() {
@@ -116,20 +123,26 @@ fn run() -> Result<ExitCode, String> {
     );
     let report = args.configure(sweep.runner()).run();
     eprintln!("{}", format_sweep_summary(&report));
+    args.run_store_gc();
 
-    for (workload, runs) in workloads.iter().zip(report.reports.chunks(per_workload)) {
-        let name = workload.name();
-        if chart == "mem" || chart == "all" {
-            println!("{}", format_memory_breakdown(name, runs));
-        }
-        if chart == "mix" || chart == "all" {
-            println!("{}", format_instruction_mix(name, runs));
-        }
-        if chart == "perf" || chart == "all" {
-            println!("{}", format_performance(name, runs));
-        }
-        if chart == "energy" || chart == "all" {
-            println!("{}", format_energy(name, runs));
+    // A sharded run holds only its slice of the grid, so the per-workload
+    // charts (which need every configuration of a workload) are deferred to
+    // the final unsharded merge pass over the shared store.
+    if args.shard.is_none() {
+        for (workload, runs) in workloads.iter().zip(report.reports.chunks(per_workload)) {
+            let name = workload.name();
+            if chart == "mem" || chart == "all" {
+                println!("{}", format_memory_breakdown(name, runs));
+            }
+            if chart == "mix" || chart == "all" {
+                println!("{}", format_instruction_mix(name, runs));
+            }
+            if chart == "perf" || chart == "all" {
+                println!("{}", format_performance(name, runs));
+            }
+            if chart == "energy" || chart == "all" {
+                println!("{}", format_energy(name, runs));
+            }
         }
     }
 

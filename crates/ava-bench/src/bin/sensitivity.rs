@@ -15,7 +15,7 @@
 //!             [--l1-kib 16,32,64] [--dram-bw 6,12,24] [--vmu-bus 32,64,128]
 //!             [--mix independent|pipelined|solver] [--iters <n>]
 //!             [--app <name>] [--threads <n>] [--store <dir>] [--resume]
-//!             [--json <path>]
+//!             [--shard <k>/<n>] [--store-gc-mib <n>] [--json <path>]
 //! ```
 //!
 //! `--mix solver` adds the iterative somier-relaxation mix
@@ -31,7 +31,10 @@
 //! what makes the large crossed grids practical: a killed run resumes where
 //! it stopped (`--resume` asserts a checkpoint exists), a rerun with one
 //! more axis value simulates only the new points, and stored per-point wall
-//! times seed the scheduler.
+//! times seed the scheduler. `--shard <k>/<n>` runs only one deterministic
+//! slice of the grid into the shared store (the per-workload tables are
+//! then deferred to the final unsharded `--resume` merge pass), and
+//! `--store-gc-mib <n>` caps the store directory after the sweep.
 //!
 //! With `--json`, the instrumented sweep report — axis metadata, the derived
 //! per-point energy breakdown and the per-phase (and, for the solver mix,
@@ -52,7 +55,8 @@ use ava_workloads::SharedWorkload;
 const USAGE: &str = "sensitivity [--mvl 128,256,512] [--l2-kib 256,1024,4096] \
                      [--l1-kib 16,32,64] [--dram-bw 6,12,24] [--vmu-bus 32,64,128] \
                      [--mix independent|pipelined|solver] [--iters <n>] [--app <name>] \
-                     [--threads <n>] [--store <dir>] [--resume] [--json <path>]";
+                     [--threads <n>] [--store <dir>] [--resume] [--shard <k>/<n>] \
+                     [--store-gc-mib <n>] [--json <path>]";
 
 fn parse_list(arg: &str, what: &str) -> Result<Vec<usize>, String> {
     arg.split(',')
@@ -200,14 +204,20 @@ fn run() -> Result<ExitCode, String> {
         );
     }
 
-    for (workload, runs) in workloads.iter().zip(report.reports.chunks(per_workload)) {
-        println!(
-            "{}",
-            format_mvl_extrapolation(workload.name(), sweep.resolved_systems(), runs)
-        );
-        println!("{}", format_cache_sensitivity(workload.name(), runs));
+    // A sharded run holds only its slice of the grid; the per-workload
+    // tables need every scenario of a workload, so they are deferred to the
+    // final unsharded merge pass over the shared store.
+    if args.shard.is_none() {
+        for (workload, runs) in workloads.iter().zip(report.reports.chunks(per_workload)) {
+            println!(
+                "{}",
+                format_mvl_extrapolation(workload.name(), sweep.resolved_systems(), runs)
+            );
+            println!("{}", format_cache_sensitivity(workload.name(), runs));
+        }
     }
     eprintln!("{}", format_sweep_summary(&report));
+    args.run_store_gc();
 
     Ok(emit_json(args.json.as_deref(), || {
         sensitivity_json(&mvls, &l2_kib, &extra, sweep.resolved_systems(), &report)

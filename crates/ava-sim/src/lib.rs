@@ -38,5 +38,5 @@ pub use json::Json;
 pub use progcache::DiskProgramCache;
 pub use report::{format_runs_table, format_sweep_summary, geometric_mean, speedup_vs};
 pub use run::{run_system, run_workload, run_workload_sized, PhaseBreakdown, RunReport};
-pub use store::{ResultStore, StoreKey, CODE_VERSION};
-pub use sweep::{PointStats, ProgramCache, Sweep, SweepReport, SweepRunner};
+pub use store::{GcStats, ResultStore, StoreKey, CODE_VERSION};
+pub use sweep::{PointStats, ProgramCache, Sweep, SweepReport, SweepRunner, WorkStealScheduler};

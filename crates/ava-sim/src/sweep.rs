@@ -15,30 +15,46 @@
 //!   grid order regardless of which thread finished first.
 //!
 //! Execution goes through the builder-style [`SweepRunner`] — thread count,
-//! profile-guided scheduling and the on-disk [`ResultStore`] are independent
-//! knobs on one `run()` path, replacing the old six-method
-//! `run_{serial,parallel}[_report][_with]` family (two thin deprecated
-//! shims remain for the most common call sites).
+//! profile-guided scheduling, cross-process sharding and the on-disk
+//! [`ResultStore`] are independent knobs on one `run()` path (the old
+//! six-method `run_{serial,parallel}[_report][_with]` family is gone).
 //!
 //! # Scheduling
 //!
 //! Per-point simulation cost is heavily skewed — one large Blackscholes
 //! point can cost more than a dozen Axpy points — so claiming points in
 //! grid order lets an expensive point picked up last tail the whole sweep.
-//! Workers therefore claim from a shared schedule ordered by a per-point
-//! **cost estimate** ([`Workload::elements`] over the configuration's
-//! effective width `MVL / LMUL` — narrower width means more strips, hence
-//! more dynamic instructions to simulate): the most expensive points start
-//! first and the cheap ones pack the gaps. The estimates are also updated
-//! **online**: every point that finishes feeds its measured wall-clock back
-//! into the schedule, and the still-pending points without a recorded
-//! timing are re-ranked under the refreshed median
-//! nanoseconds-per-heuristic-unit — a run whose static heuristic misjudged
-//! the workload corrects itself mid-sweep.
+//! Scheduling is two-tier ([`WorkStealScheduler`]): the points are sorted
+//! once by a per-point **cost estimate** ([`Workload::elements`] over the
+//! configuration's effective width `MVL / LMUL` — narrower width means more
+//! strips, hence more dynamic instructions to simulate) and dealt
+//! round-robin into one pending deque per worker. Each worker then pops the
+//! highest-cost point of its *own* deque — claims touch one small
+//! per-worker lock, not a global mutex, so grids of thousands of points do
+//! not serialise on the claim path — and a worker whose deque runs dry
+//! **steals** the highest-cost pending point from the most-loaded victim.
+//! The estimates are also updated **online**: every point that finishes
+//! feeds its measured wall-clock back into a shared median
+//! nanoseconds-per-heuristic-unit, and every later claim re-ranks the
+//! candidates it is choosing between under the refreshed median — a run
+//! whose static heuristic misjudged the workload corrects itself mid-sweep.
 //! The estimate only orders work; results are still reported in grid order
-//! and remain bit-identical at any thread count and any estimate quality.
+//! and remain bit-identical at any thread count, any steal pattern and any
+//! estimate quality.
 //!
 //! [`Workload::elements`]: ava_workloads::Workload::elements
+//!
+//! # Sharding
+//!
+//! [`SweepRunner::shard`] restricts one execution to a deterministic slice
+//! of the grid: every process hashes each point's canonical identity (the
+//! same stable workload ⊕ config keys the result store and recorded-cost
+//! replay use) and keeps the points landing in its shard, so `n` processes
+//! — or `n` machines sharing one store directory — partition a grid with no
+//! communication at all. Each sharded run checkpoints its slice into the
+//! shared [`ResultStore`] (the atomic rename writes make concurrent writers
+//! safe), and a final *unsharded* run over the same store assembles the
+//! complete [`SweepReport`] from all-hits without simulating anything.
 //!
 //! # Incremental sweeps
 //!
@@ -91,7 +107,7 @@
 //! [`MemoryHierarchy`]: ava_memory::MemoryHierarchy
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
 use std::time::Instant;
@@ -313,6 +329,14 @@ pub struct SweepReport {
     pub store_misses: u64,
     /// Worker threads used.
     pub threads: usize,
+    /// Claims served from another worker's deque by the work-stealing
+    /// scheduler (always 0 on a single-threaded run, where there is nobody
+    /// to steal from).
+    pub steals: u64,
+    /// The `(index, of)` shard this run executed ([`SweepRunner::shard`]),
+    /// or `None` for a whole-grid run. A sharded report covers only the
+    /// shard's own points, still in grid order.
+    pub shard: Option<(usize, usize)>,
     /// Wall-clock time of the whole sweep, in nanoseconds.
     pub wall_ns: u64,
 }
@@ -362,6 +386,14 @@ impl SweepReport {
                     .collect::<Json>(),
             )
             .field("threads", self.threads)
+            .field("steals", self.steals)
+            .field(
+                "shard",
+                match self.shard {
+                    Some((index, of)) => object().field("index", index).field("of", of).finish(),
+                    None => Json::Null,
+                },
+            )
             .field("wall_ns", self.wall_ns)
             .field("busy_ns", self.busy_ns())
             .field(
@@ -538,6 +570,7 @@ impl Sweep {
             recorded: HashMap::new(),
             store: None,
             program_cache: None,
+            shard: None,
         }
     }
 
@@ -610,20 +643,57 @@ impl Sweep {
     /// [`Workload::elements`]: ava_workloads::Workload::elements
     #[cfg(test)]
     fn point_costs(&self, recorded_map: &HashMap<(String, String), u64>) -> Vec<u64> {
-        self.scheduler(recorded_map).costs
+        let owned: Vec<usize> = (0..self.points.len()).collect();
+        self.scheduler(&owned, 1, recorded_map).initial_costs()
     }
 
-    /// The claim-time scheduler for one execution: initial cost estimates
-    /// from recorded timings where available (heuristics rescaled by the
-    /// median recorded ns-per-heuristic-unit to fill the gaps), then
-    /// re-ranked online as this run's own timings land.
-    fn scheduler(&self, recorded_map: &HashMap<(String, String), u64>) -> OnlineScheduler {
-        let n = self.points.len();
-        let heuristic: Vec<u64> = (0..n).map(|i| self.heuristic_cost(i)).collect();
-        let recorded: Vec<Option<u64>> = (0..n)
-            .map(|i| self.recorded_cost_in(i, recorded_map))
+    /// The claim-time scheduler for one execution over the `owned` subset
+    /// of the grid: initial cost estimates from recorded timings where
+    /// available (heuristics rescaled by the median recorded
+    /// ns-per-heuristic-unit to fill the gaps), dealt across `workers`
+    /// deques and re-ranked online as this run's own timings land.
+    fn scheduler(
+        &self,
+        owned: &[usize],
+        workers: usize,
+        recorded_map: &HashMap<(String, String), u64>,
+    ) -> WorkStealScheduler {
+        let heuristic: Vec<u64> = owned.iter().map(|&i| self.heuristic_cost(i)).collect();
+        let recorded: Vec<Option<u64>> = owned
+            .iter()
+            .map(|&i| self.recorded_cost_in(i, recorded_map))
             .collect();
-        OnlineScheduler::new(heuristic, recorded)
+        WorkStealScheduler::new(workers, heuristic, recorded)
+    }
+
+    /// The grid-order point indices owned by shard `index` of `of`.
+    ///
+    /// The partition hashes each point's canonical identity — the same
+    /// stable `(workload ⊕ size, config ⊕ axes)` keys recorded-cost replay
+    /// and the result store use — with the workspace's fixed FNV-1a
+    /// fingerprint, so every process (or machine) computes the identical
+    /// partition with no communication, and the shards are disjoint and
+    /// exhaustive by construction. `shard_points(0, 1)` is the whole grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `of` is zero or `index` is not below `of`.
+    #[must_use]
+    pub fn shard_points(&self, index: usize, of: usize) -> Vec<usize> {
+        assert!(of >= 1, "shard count must be at least 1");
+        assert!(
+            index < of,
+            "shard index {index} out of range for {of} shards"
+        );
+        (0..self.points.len())
+            .filter(|&i| {
+                let (workload, config) = self.point_identity(i);
+                let mut hash = ava_workloads::Fingerprint::new();
+                hash.write_str(&workload);
+                hash.write_str(&config);
+                (hash.finish() % of as u64) as usize == index
+            })
+            .collect()
     }
 
     /// Point indices in execution order under *fixed* costs: descending
@@ -671,140 +741,223 @@ impl Sweep {
             store,
         )
     }
+}
 
-    /// Runs every point on the calling thread, in point order.
-    #[deprecated(note = "use `sweep.runner().threads(1).run().into_reports()`")]
-    #[must_use]
-    pub fn run_serial(&self) -> Vec<RunReport> {
-        self.runner().threads(1).run().into_reports()
+/// The median of a sorted slice of observations, or 1.0 when empty (the
+/// heuristic is then internally consistent without rescaling).
+fn sorted_median(ratios: &[f64]) -> f64 {
+    if ratios.is_empty() {
+        return 1.0;
     }
-
-    /// Runs the sweep across all available cores. Reports come back in point
-    /// order and are bit-identical to a serial run.
-    #[deprecated(note = "use `sweep.runner().run().into_reports()`")]
-    #[must_use]
-    pub fn run_parallel(&self) -> Vec<RunReport> {
-        self.runner().run().into_reports()
+    let mid = ratios.len() / 2;
+    if ratios.len() % 2 == 1 {
+        ratios[mid]
+    } else {
+        f64::midpoint(ratios[mid - 1], ratios[mid])
     }
 }
 
-/// The online point scheduler behind [`SweepRunner::run`]: workers claim
-/// the pending point with the highest current cost estimate (grid order
-/// breaking ties), and every finished point feeds its measured wall-clock
-/// back as a nanoseconds-per-heuristic-unit observation. The median of all
-/// observations — seed ratios from recorded costs plus everything that
-/// landed this run — rescales the still-pending *unmeasured* points, so a
-/// sweep whose static heuristic misjudged the workload corrects itself
-/// mid-run. Points with recorded timings keep them (a measurement always
-/// beats a rescaled guess).
+/// The two-tier work-stealing point scheduler behind [`SweepRunner::run`].
+///
+/// Tier one is **distribution**: the points are ranked once by descending
+/// initial cost estimate (recorded wall-clock where known, the static
+/// heuristic rescaled by the median recorded ns-per-heuristic-unit
+/// otherwise; grid order breaks ties) and dealt round-robin into one
+/// pending deque per worker, so every worker starts with a balanced mix of
+/// expensive and cheap points. Tier two is **execution**: a worker claims
+/// the highest-cost pending point of its *own* deque — each deque sits
+/// behind its own small lock, so claims never serialise on one global
+/// mutex the way the previous single-`Mutex` scheduler did — and a worker
+/// whose deque runs dry *steals* the highest-cost pending point from the
+/// most-loaded victim, so nobody idles while a skewed point's backlog
+/// queues behind one thread.
+///
+/// The online re-ranking survives at the batch level: every finished point
+/// feeds its measured wall-clock back as a nanoseconds-per-heuristic-unit
+/// observation, and the median of all observations — seed ratios from
+/// recorded costs plus everything that landed this run — is published as a
+/// single atomic scale factor that each claim reads to re-rank the
+/// candidates it is choosing between. Points with recorded timings keep
+/// them (a measurement always beats a rescaled guess).
 ///
 /// Cost estimates only order execution: given the same sequence of claim
-/// and completion events the order is fully deterministic, and under any
-/// timing feed the results are bit-identical — only the schedule moves.
-struct OnlineScheduler {
-    /// Current cost estimate per point; claim-order key.
-    costs: Vec<u64>,
+/// and completion events the schedule is fully deterministic, and under
+/// any timing feed, worker count or steal pattern the results are
+/// bit-identical — only the schedule moves. With one worker the scheduler
+/// degenerates to exactly the old global claim order (highest current
+/// cost, grid order on ties).
+pub struct WorkStealScheduler {
+    /// Per-worker pending deques of point indices, each behind its own
+    /// lock. A local claim touches exactly one shard; a steal locks only
+    /// the victim's (never two shards at once, so no lock-order cycles).
+    deques: Vec<Mutex<Vec<usize>>>,
+    /// Deque occupancy mirrors, so victim selection scans without locking.
+    /// Updated under the owning deque's lock and only ever decreasing, a
+    /// stale read can overestimate a victim (harmless: the steal locks and
+    /// re-checks) but never hide pending work.
+    occupancy: Vec<AtomicUsize>,
     /// Static heuristic per point — the unit the median ratio rescales.
     heuristic: Vec<u64>,
-    /// Whether the point's cost is a recorded measurement (never rescaled).
-    measured: Vec<bool>,
-    /// Whether the point is still waiting to be claimed.
-    pending: Vec<bool>,
-    remaining: usize,
+    /// Recorded wall-clock per point; a recording is never rescaled.
+    recorded: Vec<Option<u64>>,
+    /// Bit pattern of the current median ns-per-heuristic-unit `f64`,
+    /// republished on every completion and read on every claim.
+    scale_bits: AtomicU64,
     /// Sorted ns-per-heuristic-unit observations (recorded seeds plus this
     /// run's completions).
-    ratios: Vec<f64>,
+    ratios: Mutex<Vec<f64>>,
+    /// Claims served from another worker's deque.
+    steals: AtomicU64,
 }
 
-impl OnlineScheduler {
-    /// Builds the initial schedule from the static `heuristic` costs and
-    /// the `recorded` wall-clock times covering part (or none) of the grid.
-    fn new(heuristic: Vec<u64>, recorded: Vec<Option<u64>>) -> Self {
-        let n = heuristic.len();
-        let mut scheduler = Self {
-            costs: heuristic.clone(),
-            heuristic,
-            measured: recorded.iter().map(Option::is_some).collect(),
-            pending: vec![true; n],
-            remaining: n,
-            ratios: Vec::new(),
-        };
-        for (i, r) in recorded.iter().enumerate() {
+impl WorkStealScheduler {
+    /// Builds the initial schedule for `workers` deques from the static
+    /// `heuristic` costs and the `recorded` wall-clock times covering part
+    /// (or none) of the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or the slices disagree in length.
+    #[must_use]
+    pub fn new(workers: usize, heuristic: Vec<u64>, recorded: Vec<Option<u64>>) -> Self {
+        assert!(workers >= 1, "a scheduler needs at least one worker");
+        assert_eq!(heuristic.len(), recorded.len());
+        let mut ratios = Vec::new();
+        for (h, r) in heuristic.iter().zip(&recorded) {
             if let Some(ns) = *r {
-                scheduler.costs[i] = ns;
-                scheduler.push_ratio(i, ns);
+                push_ratio(&mut ratios, *h, ns);
             }
         }
-        scheduler.rescale_pending();
+        let scale = sorted_median(&ratios);
+        let scheduler = Self {
+            deques: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+            occupancy: (0..workers).map(|_| AtomicUsize::new(0)).collect(),
+            heuristic,
+            recorded,
+            scale_bits: AtomicU64::new(scale.to_bits()),
+            ratios: Mutex::new(ratios),
+            steals: AtomicU64::new(0),
+        };
+        // Cost-sorted round-robin distribution: rank every point by its
+        // initial estimate, then deal rank j to deque j mod workers, so
+        // each worker starts with its fair share of the expensive points.
+        let costs = scheduler.initial_costs();
+        let mut order: Vec<usize> = (0..costs.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(costs[i]), i));
+        for (rank, &point) in order.iter().enumerate() {
+            let deque = rank % workers;
+            scheduler.deques[deque]
+                .lock()
+                .expect("deque poisoned")
+                .push(point);
+            scheduler.occupancy[deque].fetch_add(1, Ordering::Relaxed);
+        }
         scheduler
     }
 
-    /// Records one ns-per-heuristic-unit observation for point `i`,
-    /// keeping the observation list sorted for the median.
-    fn push_ratio(&mut self, i: usize, wall_ns: u64) {
-        let h = self.heuristic[i];
-        if h == u64::MAX {
-            // The degenerate zero-width sentinel is not a real unit count;
-            // its ratio would drag the median toward zero.
-            return;
-        }
-        let ratio = wall_ns as f64 / h.max(1) as f64;
-        let pos = self.ratios.partition_point(|&r| r < ratio);
-        self.ratios.insert(pos, ratio);
+    /// Every point's cost estimate under the current median scale.
+    fn initial_costs(&self) -> Vec<u64> {
+        let scale = f64::from_bits(self.scale_bits.load(Ordering::Relaxed));
+        (0..self.heuristic.len())
+            .map(|i| self.cost_of(i, scale))
+            .collect()
     }
 
-    /// The median ns-per-heuristic-unit, or 1.0 with no observations (the
-    /// heuristic is then internally consistent without rescaling).
-    fn scale(&self) -> f64 {
-        if self.ratios.is_empty() {
-            return 1.0;
-        }
-        let mid = self.ratios.len() / 2;
-        if self.ratios.len() % 2 == 1 {
-            self.ratios[mid]
-        } else {
-            f64::midpoint(self.ratios[mid - 1], self.ratios[mid])
+    /// The current cost estimate of one point: its recorded nanoseconds if
+    /// any, else the heuristic rescaled by `scale` (`f64 as u64` saturates,
+    /// so a huge product — or the zero-width max-cost sentinel — stays the
+    /// maximum).
+    fn cost_of(&self, point: usize, scale: f64) -> u64 {
+        match self.recorded[point] {
+            Some(ns) => ns,
+            None => ((self.heuristic[point] as f64 * scale).round() as u64).max(1),
         }
     }
 
-    /// Re-derives every pending unmeasured point's estimate from the
-    /// current median. Measured points keep their recorded nanoseconds.
-    fn rescale_pending(&mut self) {
-        let scale = self.scale();
-        for i in 0..self.costs.len() {
-            if self.pending[i] && !self.measured[i] {
-                // `f64 as u64` saturates, so a huge product (or the
-                // max-cost sentinel) stays the maximum.
-                self.costs[i] = ((self.heuristic[i] as f64 * scale).round() as u64).max(1);
+    /// Removes the highest-cost entry of one locked deque under the current
+    /// median (earliest position — i.e. highest initial rank — on ties),
+    /// returning its point index and claim-time cost estimate.
+    fn pop_best(&self, deque: &mut Vec<usize>) -> Option<(usize, u64)> {
+        let scale = f64::from_bits(self.scale_bits.load(Ordering::Relaxed));
+        let mut best: Option<(usize, u64)> = None;
+        for (pos, &point) in deque.iter().enumerate() {
+            let cost = self.cost_of(point, scale);
+            if best.is_none_or(|(_, b)| cost > b) {
+                best = Some((pos, cost));
             }
         }
+        let (pos, cost) = best?;
+        Some((deque.remove(pos), cost))
     }
 
-    /// Claims the most expensive pending point (lowest index on ties),
-    /// returning its index and claim-time cost estimate.
-    fn claim(&mut self) -> Option<(usize, u64)> {
-        if self.remaining == 0 {
-            return None;
-        }
-        let mut best: Option<usize> = None;
-        for i in 0..self.costs.len() {
-            if self.pending[i] && best.is_none_or(|b| self.costs[i] > self.costs[b]) {
-                best = Some(i);
+    /// Claims the most expensive pending point for `worker`: from its own
+    /// deque, else stolen from the most-loaded victim. Returns the point
+    /// index and claim-time cost estimate, or `None` when every deque is
+    /// empty (every remaining point is already claimed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is not below the scheduler's worker count.
+    pub fn claim(&self, worker: usize) -> Option<(usize, u64)> {
+        {
+            let mut own = self.deques[worker].lock().expect("deque poisoned");
+            if let Some(claimed) = self.pop_best(&mut own) {
+                self.occupancy[worker].store(own.len(), Ordering::Relaxed);
+                return Some(claimed);
             }
         }
-        let i = best?;
-        self.pending[i] = false;
-        self.remaining -= 1;
-        Some((i, self.costs[i]))
+        self.steal(worker)
+    }
+
+    /// Steals the highest-cost pending point from the most-loaded victim
+    /// (lowest worker index on ties). Occupancy mirrors can overestimate,
+    /// so a raced-empty victim just re-runs the scan; mirrors never
+    /// underestimate, so `None` means genuinely nothing left to claim.
+    fn steal(&self, thief: usize) -> Option<(usize, u64)> {
+        loop {
+            let victim = (0..self.deques.len())
+                .filter(|&w| w != thief)
+                .map(|w| (self.occupancy[w].load(Ordering::Relaxed), w))
+                .filter(|&(load, _)| load > 0)
+                .max_by_key(|&(load, w)| (load, std::cmp::Reverse(w)))?
+                .1;
+            let mut deque = self.deques[victim].lock().expect("deque poisoned");
+            if let Some(claimed) = self.pop_best(&mut deque) {
+                self.occupancy[victim].store(deque.len(), Ordering::Relaxed);
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(claimed);
+            }
+            self.occupancy[victim].store(0, Ordering::Relaxed);
+        }
     }
 
     /// Feeds one finished point's measured wall-clock back into the
-    /// schedule: the median is recomputed and every pending unmeasured
-    /// point re-ranked under it.
-    fn complete(&mut self, point: usize, wall_ns: u64) {
-        self.push_ratio(point, wall_ns.max(1));
-        self.rescale_pending();
+    /// schedule: its ns-per-heuristic-unit observation joins the sorted
+    /// list and the republished median re-ranks every later claim.
+    pub fn complete(&self, point: usize, wall_ns: u64) {
+        let mut ratios = self.ratios.lock().expect("ratios poisoned");
+        push_ratio(&mut ratios, self.heuristic[point], wall_ns.max(1));
+        self.scale_bits
+            .store(sorted_median(&ratios).to_bits(), Ordering::Relaxed);
     }
+
+    /// Number of claims served from another worker's deque so far.
+    #[must_use]
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+}
+
+/// Inserts one ns-per-heuristic-unit observation into the sorted list.
+/// The degenerate zero-width sentinel is not a real unit count — its ratio
+/// would drag the median toward zero — so it is skipped.
+fn push_ratio(ratios: &mut Vec<f64>, heuristic: u64, wall_ns: u64) {
+    if heuristic == u64::MAX {
+        return;
+    }
+    let ratio = wall_ns as f64 / heuristic.max(1) as f64;
+    let pos = ratios.partition_point(|&r| r < ratio);
+    ratios.insert(pos, ratio);
 }
 
 /// Builder-style execution of one [`Sweep`]: configure the thread count
@@ -835,6 +988,7 @@ pub struct SweepRunner<'a> {
     recorded: HashMap<(String, String), u64>,
     store: Option<&'a ResultStore>,
     program_cache: Option<&'a DiskProgramCache>,
+    shard: Option<(usize, usize)>,
 }
 
 impl<'a> SweepRunner<'a> {
@@ -886,6 +1040,29 @@ impl<'a> SweepRunner<'a> {
         self
     }
 
+    /// Restricts this execution to shard `index` of `of` equal slices of
+    /// the grid ([`Sweep::shard_points`]): every process hashing the same
+    /// point identities computes the same partition, so `of` independent
+    /// processes — or machines sharing one store directory — cover the grid
+    /// exactly once with no communication. The returned report holds only
+    /// the shard's own points (in grid order); run the full grid afterwards
+    /// with an attached [`SweepRunner::store`] to assemble the complete
+    /// report from all-hits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `of` is zero or `index` is not below `of`.
+    #[must_use]
+    pub fn shard(mut self, index: usize, of: usize) -> Self {
+        assert!(of >= 1, "shard count must be at least 1");
+        assert!(
+            index < of,
+            "shard index {index} out of range for {of} shards"
+        );
+        self.shard = Some((index, of));
+        self
+    }
+
     /// Attaches the persistent on-disk program cache: compilations the
     /// in-memory per-sweep cache misses are served from `cache` when a
     /// usable entry exists, and every fresh compilation is checkpointed
@@ -926,32 +1103,36 @@ impl<'a> SweepRunner<'a> {
     #[must_use]
     pub fn run(self) -> SweepReport {
         let sweep = self.sweep;
-        let n = sweep.points.len();
+        // The points this execution owns, in grid order. `local` indices
+        // below index into this list; `owned[local]` is the grid index.
+        let owned: Vec<usize> = match self.shard {
+            Some((index, of)) => sweep.shard_points(index, of),
+            None => (0..sweep.points.len()).collect(),
+        };
+        let n = owned.len();
         let requested = self.threads.unwrap_or_else(|| {
             thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         });
         let workers = requested.clamp(1, n.max(1));
         let cache = ProgramCache::new();
-        let scheduler = Mutex::new(sweep.scheduler(&self.merged_recorded()));
+        let scheduler = sweep.scheduler(&owned, workers, &self.merged_recorded());
         let store = self.store;
         let program_cache = self.program_cache;
         let sweep_start = Instant::now();
         // (report, from_store, wall_ns, worker, claim-time cost estimate)
         type PointSlot = (RunReport, bool, u64, usize, u64);
         let slots: Vec<OnceLock<PointSlot>> = (0..n).map(|_| OnceLock::new()).collect();
-        let work = |worker: usize| loop {
-            let claimed = scheduler.lock().expect("scheduler poisoned").claim();
-            let Some((i, cost)) = claimed else { break };
-            let point_start = Instant::now();
-            let (report, from_store) = sweep.run_point_stored(i, &cache, store, program_cache);
-            let wall_ns = point_start.elapsed().as_nanos() as u64;
-            scheduler
-                .lock()
-                .expect("scheduler poisoned")
-                .complete(i, wall_ns);
-            slots[i]
-                .set((report, from_store, wall_ns, worker, cost))
-                .expect("each point is claimed by one worker");
+        let work = |worker: usize| {
+            while let Some((local, cost)) = scheduler.claim(worker) {
+                let point_start = Instant::now();
+                let (report, from_store) =
+                    sweep.run_point_stored(owned[local], &cache, store, program_cache);
+                let wall_ns = point_start.elapsed().as_nanos() as u64;
+                scheduler.complete(local, wall_ns);
+                slots[local]
+                    .set((report, from_store, wall_ns, worker, cost))
+                    .expect("each point is claimed by one worker");
+            }
         };
         if workers == 1 {
             work(0);
@@ -966,14 +1147,14 @@ impl<'a> SweepRunner<'a> {
 
         let mut reports = Vec::with_capacity(n);
         let mut points = Vec::with_capacity(n);
-        for (i, slot) in slots.into_iter().enumerate() {
+        for (local, slot) in slots.into_iter().enumerate() {
             let (report, from_store, wall_ns, worker, cost_estimate) =
                 slot.into_inner().expect("every point completed");
             points.push(PointStats {
                 workload: report.workload.clone(),
                 config: report.config.clone(),
                 cost_estimate,
-                elements: sweep.workloads[sweep.points[i].0].elements() as u64,
+                elements: sweep.workloads[sweep.points[owned[local]].0].elements() as u64,
                 wall_ns,
                 worker,
                 from_store,
@@ -997,6 +1178,8 @@ impl<'a> SweepRunner<'a> {
             store_hits,
             store_misses,
             threads: workers,
+            steals: scheduler.steals(),
+            shard: self.shard,
             wall_ns: sweep_start.elapsed().as_nanos() as u64,
         }
     }
@@ -1052,23 +1235,6 @@ mod tests {
                 assert_eq!(format!("{a:?}"), format!("{b:?}"), "full report must match");
             }
         }
-    }
-
-    #[test]
-    fn deprecated_shims_delegate_to_the_runner() {
-        let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(128))];
-        let sweep = Sweep::grid(workloads, vec![ScenarioConfig::native_x(1)]);
-        let via_runner = sweep.runner().threads(1).run().into_reports();
-        #[allow(deprecated)]
-        let via_serial = sweep.run_serial();
-        #[allow(deprecated)]
-        let via_parallel = sweep.run_parallel();
-        assert_eq!(
-            format!("{via_runner:?}"),
-            format!("{via_serial:?}"),
-            "run_serial must stay bit-identical"
-        );
-        assert_eq!(format!("{via_runner:?}"), format!("{via_parallel:?}"));
     }
 
     #[test]
@@ -1378,6 +1544,8 @@ mod tests {
         assert!(json.starts_with("{\"schema\":\"ava-sweep-report/v1\""));
         assert!(json.contains("\"cache\":{\"hits\":"));
         assert!(json.contains("\"store\":{\"hits\":0,\"misses\":0}"));
+        assert!(json.contains("\"steals\":"));
+        assert!(json.contains("\"shard\":null"), "unsharded runs emit null");
         assert!(json.contains("\"cost_estimate\":"));
         assert!(json.contains("\"from_store\":false"));
         assert!(json.contains("\"report\":{\"config\":\"NATIVE X1\""));
@@ -1403,45 +1571,46 @@ mod tests {
     }
 
     #[test]
-    fn online_scheduler_rescales_pending_points_as_results_land() {
+    fn scheduler_rescales_pending_points_as_results_land() {
         // Three unmeasured points; the initial order is by raw heuristic.
-        let mut s = OnlineScheduler::new(vec![1000, 100, 10], vec![None, None, None]);
-        assert_eq!(s.claim(), Some((0, 1000)));
+        let s = WorkStealScheduler::new(1, vec![1000, 100, 10], vec![None, None, None]);
+        assert_eq!(s.claim(0), Some((0, 1000)));
         // Point 0 finishing at 10 ns per heuristic unit rescales the rest.
         s.complete(0, 10_000);
-        assert_eq!(s.claim(), Some((1, 1000)), "100 units * 10 ns/unit");
+        assert_eq!(s.claim(0), Some((1, 1000)), "100 units * 10 ns/unit");
         // A second, slower observation moves the median to 255 ns/unit.
         s.complete(1, 50_000);
-        assert_eq!(s.claim(), Some((2, 2550)));
+        assert_eq!(s.claim(0), Some((2, 2550)));
         s.complete(2, 1);
-        assert_eq!(s.claim(), None, "all points claimed exactly once");
+        assert_eq!(s.claim(0), None, "all points claimed exactly once");
+        assert_eq!(s.steals(), 0, "one worker has nobody to steal from");
     }
 
     #[test]
-    fn online_scheduler_never_rescales_measured_points() {
+    fn scheduler_never_rescales_measured_points() {
         // Point 0 carries a recorded timing (100 ns over 100 units seeds a
         // 1 ns/unit median), point 1 starts from the rescaled heuristic.
-        let mut s = OnlineScheduler::new(vec![100, 100], vec![Some(100), None]);
-        assert_eq!(s.costs, vec![100, 100]);
+        let s = WorkStealScheduler::new(1, vec![100, 100], vec![Some(100), None]);
+        assert_eq!(s.initial_costs(), vec![100, 100]);
         // Grid order breaks the tie; the claim-time cost is the recording.
-        assert_eq!(s.claim(), Some((0, 100)));
+        assert_eq!(s.claim(0), Some((0, 100)));
         // The measured point finishing far slower than recorded re-ranks
         // the unmeasured point, never the recording itself.
         s.complete(0, 300_000);
         assert_eq!(
-            s.claim(),
+            s.claim(0),
             Some((1, 150_050)),
             "median of ratios [1, 3000] is 1500.5 ns/unit"
         );
     }
 
     #[test]
-    fn online_scheduler_is_deterministic_given_the_same_timings() {
+    fn scheduler_is_deterministic_given_the_same_timings() {
         let feed = [(50_u64, 7_000_u64), (8, 100), (300, 2)];
         let run = || {
-            let mut s = OnlineScheduler::new(vec![50, 8, 300], vec![None, None, None]);
+            let s = WorkStealScheduler::new(1, vec![50, 8, 300], vec![None, None, None]);
             let mut order = Vec::new();
-            while let Some((i, cost)) = s.claim() {
+            while let Some((i, cost)) = s.claim(0) {
                 order.push((i, cost));
                 s.complete(i, feed[i].1);
             }
@@ -1449,6 +1618,57 @@ mod tests {
         };
         assert_eq!(run(), run(), "same timings feed, same schedule");
         assert_eq!(run()[0], (2, 300), "initial claim follows the heuristic");
+    }
+
+    #[test]
+    fn scheduler_deals_points_round_robin_by_descending_cost() {
+        // Rank order is 0,1,2,3; two workers deal ranks alternately, so
+        // worker 0 owns {0, 2} and worker 1 owns {1, 3} — each deque gets
+        // its fair share of the expensive points.
+        let s = WorkStealScheduler::new(2, vec![40, 30, 20, 10], vec![None; 4]);
+        assert_eq!(s.claim(0), Some((0, 40)));
+        assert_eq!(s.claim(1), Some((1, 30)));
+        assert_eq!(s.claim(0), Some((2, 20)));
+        assert_eq!(s.claim(1), Some((3, 10)));
+        assert_eq!(s.claim(0), None);
+        assert_eq!(s.steals(), 0, "both workers stayed on their own deques");
+    }
+
+    #[test]
+    fn an_idle_worker_steals_the_highest_cost_pending_point() {
+        // Worker 1 drains its own deque {1, 3}, then must steal from
+        // worker 0's {0, 2} — highest cost first.
+        let s = WorkStealScheduler::new(2, vec![40, 30, 20, 10], vec![None; 4]);
+        assert_eq!(s.claim(1), Some((1, 30)));
+        assert_eq!(s.claim(1), Some((3, 10)));
+        assert_eq!(s.claim(1), Some((0, 40)), "steals the most expensive");
+        assert_eq!(s.claim(1), Some((2, 20)));
+        assert_eq!(s.claim(1), None);
+        assert_eq!(s.steals(), 2);
+    }
+
+    #[test]
+    fn steals_come_from_the_most_loaded_victim() {
+        // Three workers: deques {0, 3}, {1, 4}, {2, 5}. Worker 2 drains its
+        // own deque, worker 0 claims once leaving loads (1, 2) — the steal
+        // must hit worker 1, the most-loaded victim.
+        let s = WorkStealScheduler::new(3, vec![60, 50, 40, 30, 20, 10], vec![None; 6]);
+        assert_eq!(s.claim(2), Some((2, 40)));
+        assert_eq!(s.claim(2), Some((5, 10)));
+        assert_eq!(s.claim(0), Some((0, 60)));
+        assert_eq!(s.claim(2), Some((1, 50)), "victim is worker 1 (load 2)");
+        assert_eq!(s.steals(), 1);
+    }
+
+    #[test]
+    fn the_zero_width_sentinel_never_feeds_the_median() {
+        // A max-cost sentinel point schedules first, and its completion is
+        // excluded from the ratio pool — its "heuristic units" are not a
+        // real count and would drag the median toward zero.
+        let s = WorkStealScheduler::new(1, vec![u64::MAX, 10], vec![None, None]);
+        assert_eq!(s.claim(0), Some((0, u64::MAX)));
+        s.complete(0, 5);
+        assert_eq!(s.claim(0), Some((1, 10)), "median stayed at 1.0 ns/unit");
     }
 
     fn temp_program_cache(tag: &str) -> DiskProgramCache {

@@ -1,0 +1,194 @@
+//! Cross-process sharding and the work-stealing scheduler at scale: shard
+//! slices must partition the grid exactly, concurrently-running shards over
+//! one shared result store must merge into a report byte-identical to an
+//! unsharded run, and the two-tier scheduler must preserve the bit-identity
+//! guarantee on a grid two orders of magnitude larger than the acceptance
+//! grid.
+
+use std::sync::Arc;
+
+use ava::isa::Lmul;
+use ava::sim::{ResultStore, ScenarioConfig, Sweep};
+use ava::workloads::{
+    Axpy, Blackscholes, LavaMd2, ParticleFilter, SharedWorkload, Somier, Swaptions,
+};
+
+/// The same 42-point acceptance grid `tests/sweep_equivalence.rs` pins —
+/// all three register-file organisations plus one deliberately skewed
+/// point.
+fn grid() -> Sweep {
+    let workloads: Vec<SharedWorkload> = vec![
+        Arc::new(Axpy::new(512)),
+        Arc::new(Blackscholes::new(128)),
+        Arc::new(LavaMd2::new(16, 2)),
+        Arc::new(ParticleFilter::new(256, 32)),
+        Arc::new(Somier::new(512)),
+        Arc::new(Swaptions::new(128)),
+        Arc::new(Blackscholes::new(512)),
+    ];
+    let systems = vec![
+        ScenarioConfig::native_x(1),
+        ScenarioConfig::native_x(8),
+        ScenarioConfig::ava_x(2),
+        ScenarioConfig::ava_x(8),
+        ScenarioConfig::rg_lmul(Lmul::M4),
+        ScenarioConfig::rg_lmul(Lmul::M8),
+    ];
+    Sweep::grid(workloads, systems)
+}
+
+/// Every split of the grid into `n` shards covers every point exactly once:
+/// the slices are disjoint, exhaustive, and stable across calls — the
+/// property that lets independent processes partition a grid without
+/// talking to each other.
+#[test]
+fn shard_partition_is_disjoint_and_exhaustive_for_every_split() {
+    let sweep = grid();
+    for of in 1..=8 {
+        let mut owners = vec![0usize; sweep.len()];
+        for index in 0..of {
+            let slice = sweep.shard_points(index, of);
+            assert_eq!(
+                slice,
+                sweep.shard_points(index, of),
+                "shard {index}/{of} must be deterministic"
+            );
+            for point in slice {
+                owners[point] += 1;
+            }
+        }
+        assert!(
+            owners.iter().all(|&claims| claims == 1),
+            "split into {of} shards must cover every point exactly once, got {owners:?}"
+        );
+    }
+    // The single-shard degenerate case is the whole grid in order.
+    let all: Vec<usize> = (0..sweep.len()).collect();
+    assert_eq!(sweep.shard_points(0, 1), all);
+}
+
+/// Two shards running *concurrently* against one shared store — each with
+/// its own independent `ResultStore` handle, as two separate processes
+/// would hold — followed by an unsharded merge pass over the same store:
+/// the merge must be all-hits (zero fresh simulations) and byte-identical,
+/// point by point, to a plain unsharded run.
+#[test]
+fn concurrent_shards_merge_byte_identically_with_an_unsharded_run() {
+    let dir = std::env::temp_dir().join(format!("ava-shard-merge-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let sweep = grid();
+    let reference = sweep.runner().threads(2).run();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|index| {
+                let dir = &dir;
+                let sweep = &sweep;
+                scope.spawn(move || {
+                    let store = ResultStore::open(dir).unwrap();
+                    sweep
+                        .runner()
+                        .threads(2)
+                        .store(&store)
+                        .shard(index, 2)
+                        .run()
+                })
+            })
+            .collect();
+        for (index, handle) in handles.into_iter().enumerate() {
+            let report = handle.join().expect("shard run must not panic");
+            let owned = sweep.shard_points(index, 2);
+            assert_eq!(report.shard, Some((index, 2)));
+            assert_eq!(
+                report.reports.len(),
+                owned.len(),
+                "shard {index}/2 must run exactly its slice"
+            );
+            // The slices are disjoint, so nothing a concurrent shard wrote
+            // can satisfy this shard's lookups: every point simulates.
+            assert_eq!(report.store_hits, 0, "shard {index}/2");
+            assert_eq!(report.store_misses, owned.len() as u64, "shard {index}/2");
+            for r in &report.reports {
+                assert!(r.validated, "{} on {}", r.workload, r.config);
+            }
+        }
+    });
+
+    // The merge pass: same grid, same store, no shard filter.
+    let store = ResultStore::open(&dir).unwrap();
+    let merged = sweep.runner().threads(4).store(&store).run();
+    assert_eq!(merged.shard, None);
+    assert_eq!(
+        merged.store_hits,
+        sweep.len() as u64,
+        "the merge pass must be served entirely from the shards' checkpoints"
+    );
+    assert_eq!(merged.store_misses, 0);
+    assert_eq!(merged.reports.len(), reference.reports.len());
+    for (expected, got) in reference.reports.iter().zip(&merged.reports) {
+        let point = format!("{} on {}", expected.workload, expected.config);
+        assert_eq!(
+            format!("{expected:?}"),
+            format!("{got:?}"),
+            "{point}: merged report must match the unsharded run"
+        );
+        assert_eq!(
+            expected.to_json().to_string(),
+            got.to_json().to_string(),
+            "{point}: merged JSON must be byte-identical"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The bit-identity guarantee at scale: a ~2k-point synthetic grid (256
+/// axpy instances at distinct working-set sizes × 8 configurations) run
+/// through the work-stealing scheduler at 8 workers must match the serial
+/// run on every point. This is the grid shape where per-worker deques and
+/// stealing actually engage — the 42-point acceptance grid drains before
+/// most workers ever go idle.
+#[test]
+fn work_stealing_is_bit_identical_to_serial_on_a_two_thousand_point_grid() {
+    let workloads: Vec<SharedWorkload> = (0..256)
+        .map(|i| Arc::new(Axpy::new(64 + i * 2)) as SharedWorkload)
+        .collect();
+    let systems = vec![
+        ScenarioConfig::native_x(1),
+        ScenarioConfig::native_x(4),
+        ScenarioConfig::ava_x(1),
+        ScenarioConfig::ava_x(2),
+        ScenarioConfig::ava_x(4),
+        ScenarioConfig::ava_x(8),
+        ScenarioConfig::rg_lmul(Lmul::M2),
+        ScenarioConfig::rg_lmul(Lmul::M8),
+    ];
+    let sweep = Sweep::grid(workloads, systems);
+    assert_eq!(sweep.len(), 2048);
+
+    let serial = sweep.runner().threads(1).run();
+    assert_eq!(serial.steals, 0, "one worker has nobody to steal from");
+    let parallel = sweep.runner().threads(8).run();
+    assert_eq!(serial.reports.len(), parallel.reports.len());
+    for (s, p) in serial.reports.iter().zip(&parallel.reports) {
+        assert_eq!(
+            format!("{s:?}"),
+            format!("{p:?}"),
+            "{} on {}: 8-worker run must match serial",
+            s.workload,
+            s.config
+        );
+    }
+    // Results come back in grid order regardless of execution order.
+    for (i, r) in parallel.reports.iter().enumerate() {
+        assert_eq!(r.workload, sweep.workloads()[i / 8].name());
+    }
+}
+
+/// Shard bounds are enforced, not silently wrapped.
+#[test]
+#[should_panic(expected = "out of range")]
+fn out_of_range_shard_index_panics() {
+    let _ = grid().shard_points(4, 4);
+}
