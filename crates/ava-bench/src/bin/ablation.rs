@@ -4,6 +4,8 @@
 //! stresses the swap mechanism hardest (AVA X8, Blackscholes) and on the
 //! swap-free baseline (NATIVE X1, Axpy) so both regimes are visible.
 //!
+//! A thin shim over the spec-driven experiment driver
+//! (`experiments/ablation_microarch.json` is the committed manifest form).
 //! Each study is one sweep: a single workload against a declarative list of
 //! system variants, executed in parallel by the sweep engine. With
 //! `--repeat <n>` every study's grid runs `n` times and each repetition
@@ -25,104 +27,13 @@
 //! [--store-gc-mib <n>] [--json <path>]`
 
 use std::process::ExitCode;
-use std::sync::Arc;
 
-use ava_bench::cli::{emit_json, usage_error, BenchArgs};
-use ava_sim::json::{object, Json};
-use ava_sim::{format_sweep_summary, ScenarioConfig, Sweep};
-use ava_workloads::{Axpy, Blackscholes, SharedWorkload};
+use ava_bench::cli::{usage_error, BenchArgs};
+use ava_bench::driver;
+use ava_bench::spec::ExperimentSpec;
 
 const USAGE: &str = "ablation [--repeat <n>] [--threads <n>] [--store <dir>] [--resume] \
                      [--shard <k>/<n>] [--store-gc-mib <n>] [--json <path>]";
-
-/// The variant axis of one ablation study: a display name per scenario.
-/// Each variant is the base scenario with exactly one knob overridden — the
-/// scenario layer records the override as axis metadata, so the `--json`
-/// report carries it point by point.
-fn variants(base: &ScenarioConfig) -> (Vec<String>, Vec<ScenarioConfig>) {
-    let mut names = vec!["reference".to_string()];
-    let mut systems = vec![base.clone()];
-    for entries in [8usize, 16, 64] {
-        names.push(format!("issue queues = {entries}"));
-        systems.push(base.clone().with_issue_queues(entries));
-    }
-    for rob in [16usize, 32, 128] {
-        names.push(format!("reorder buffer = {rob}"));
-        systems.push(base.clone().with_rob_entries(rob));
-    }
-    for overhead in [0u64, 8, 16] {
-        names.push(format!("mem-op overhead = {overhead}"));
-        systems.push(base.clone().with_mem_op_overhead(overhead));
-    }
-    (names, systems)
-}
-
-fn study(
-    label: &str,
-    base: &ScenarioConfig,
-    workload: SharedWorkload,
-    repeat: usize,
-    args: &BenchArgs,
-) -> Json {
-    println!("--- {label}: {} on {}", workload.name(), base.label());
-    let (names, systems) = variants(base);
-    // First pass is ordered by the static heuristic; every further pass
-    // reorders its queue by the previous pass's measured per-point time.
-    let grid = Sweep::grid(vec![workload.clone()], systems);
-    let mut sweep = args.configure(grid.runner()).run();
-    for _ in 1..repeat.max(1) {
-        sweep = args.configure(grid.runner().recorded_costs(&sweep)).run();
-    }
-    for r in &sweep.reports {
-        assert!(r.validated, "{}: {:?}", r.config, r.validation_error);
-    }
-    // A sharded run holds only its slice of the grid: the variant table
-    // (and its reference point) need every variant, so they are deferred to
-    // the final unsharded merge pass over the shared store.
-    if args.shard.is_some() {
-        println!("{}", format_sweep_summary(&sweep));
-        println!();
-        return object()
-            .field("study", label)
-            .field("workload", workload.name())
-            .field("base_config", base.label())
-            .field("variants", Json::Arr(Vec::new()))
-            .field("sweep", sweep.to_json())
-            .finish();
-    }
-    let reference = sweep.reports[0].cycles;
-    println!("{:<28} {:>10} {:>8}", "variant", "cycles", "vs ref");
-    for (name, r) in names.iter().zip(&sweep.reports) {
-        println!(
-            "{:<28} {:>10} {:>7.2}x",
-            name,
-            r.cycles,
-            reference as f64 / r.cycles as f64
-        );
-    }
-    println!();
-
-    object()
-        .field("study", label)
-        .field("workload", workload.name())
-        .field("base_config", base.label())
-        .field(
-            "variants",
-            names
-                .iter()
-                .zip(&sweep.reports)
-                .map(|(name, r)| {
-                    object()
-                        .field("variant", name.as_str())
-                        .field("cycles", r.cycles)
-                        .field("vs_reference", reference as f64 / r.cycles as f64)
-                        .finish()
-                })
-                .collect::<Json>(),
-        )
-        .field("sweep", sweep.to_json())
-        .finish()
-}
 
 fn main() -> ExitCode {
     match run() {
@@ -142,33 +53,5 @@ fn run() -> Result<ExitCode, String> {
     };
     args.finish()?;
 
-    let studies = vec![
-        study(
-            "swap-free baseline",
-            &ScenarioConfig::native_x(1),
-            Arc::new(Axpy::new(4096)),
-            repeat,
-            &args,
-        ),
-        study(
-            "swap-heavy AVA",
-            &ScenarioConfig::ava_x(8),
-            Arc::new(Blackscholes::new(1024)),
-            repeat,
-            &args,
-        ),
-    ];
-    args.run_store_gc();
-    println!("The per-operation overhead of the vector memory unit dominates the");
-    println!("short-vector baseline (three memory operations per 16-element strip),");
-    println!("while the swap-heavy AVA X8 case is bound by the arithmetic pipeline and");
-    println!("the swap data movement itself, so it is largely insensitive to queue,");
-    println!("ROB and overhead settings — the sizes of Table II are not the limiter.");
-
-    Ok(emit_json(args.json.as_deref(), || {
-        object()
-            .field("artefact", "ablation")
-            .field("studies", Json::Arr(studies))
-            .finish()
-    }))
+    driver::run(&ExperimentSpec::ablation(repeat), &args)
 }

@@ -3,8 +3,11 @@
 //! RG-LMUL1..8, AVA X1..X8), the vector-memory-instruction breakdown, the
 //! instruction mix, the execution time/speedup and the energy breakdown.
 //!
-//! The whole figure is one declarative (workload × configuration) grid
-//! executed by the parallel sweep engine.
+//! This binary is a thin shim over the spec-driven experiment driver: the
+//! flags below translate into an in-memory [`ExperimentSpec`]
+//! (`experiments/fig3_extrapolation.json` is the committed manifest form of
+//! the same experiment) and [`ava_bench::driver`] runs it — one code path,
+//! byte-identical output either way.
 //!
 //! Usage:
 //!
@@ -42,14 +45,9 @@
 
 use std::process::ExitCode;
 
-use ava_bench::cli::{emit_json, usage_error, BenchArgs};
-use ava_bench::{
-    evaluated_systems, format_energy, format_instruction_mix, format_memory_breakdown,
-    format_performance, paper_workloads, pipelined_mix, solver_mix, sweep_energy_json,
-};
-use ava_sim::json::object;
-use ava_sim::{format_sweep_summary, ScenarioConfig, Sweep};
-use ava_workloads::SharedWorkload;
+use ava_bench::cli::{usage_error, BenchArgs};
+use ava_bench::driver;
+use ava_bench::spec::ExperimentSpec;
 
 const USAGE: &str = "fig3 [--app <name>] [--chart mem|mix|perf|energy|all] \
                      [--mix pipelined|solver] [--iters <n>] [--threads <n>] \
@@ -70,11 +68,6 @@ fn run() -> Result<ExitCode, String> {
     let mix = args
         .take_value("--mix")?
         .unwrap_or_else(|| "independent".into());
-    if !["independent", "pipelined", "solver"].contains(&mix.as_str()) {
-        return Err(format!(
-            "--mix must be independent, pipelined or solver, got {mix}"
-        ));
-    }
     let iters = match args.take_value("--iters")? {
         Some(v) => match v.parse::<usize>() {
             Ok(n) if n >= 1 => Some(n),
@@ -84,77 +77,6 @@ fn run() -> Result<ExitCode, String> {
     };
     args.finish()?;
 
-    if iters.is_some() && mix != "solver" {
-        // Silently ignoring the flag would let a sweep the user believes
-        // covers n iterations run with no iteration axis at all.
-        return Err("--iters only applies to --mix solver".to_string());
-    }
-    let mut pool = paper_workloads();
-    if mix == "pipelined" {
-        pool.push(pipelined_mix(4096));
-    }
-    if mix == "solver" {
-        pool.push(solver_mix(4096, iters.unwrap_or(4)));
-    }
-    // Solver sweeps record the unroll depth as a first-class scenario axis
-    // so every emitted report carries `"axes":{"iters":n}`.
-    let systems: Vec<ScenarioConfig> = match mix.as_str() {
-        "solver" => evaluated_systems()
-            .into_iter()
-            .map(|c| c.with_iters(iters.unwrap_or(4)))
-            .collect(),
-        _ => evaluated_systems(),
-    };
-    let workloads: Vec<SharedWorkload> = pool
-        .into_iter()
-        .filter(|w| app_filter.as_ref().is_none_or(|f| w.name() == f))
-        .collect();
-    if workloads.is_empty() {
-        return Err("no workload matches --app filter".to_string());
-    }
-
-    let per_workload = systems.len();
-    let sweep = Sweep::grid(workloads.clone(), systems);
-    eprintln!(
-        "sweeping {} points ({} workloads x {} configurations)...",
-        sweep.len(),
-        workloads.len(),
-        per_workload
-    );
-    let report = args.configure(sweep.runner()).run();
-    eprintln!("{}", format_sweep_summary(&report));
-    args.run_store_gc();
-
-    // A sharded run holds only its slice of the grid, so the per-workload
-    // charts (which need every configuration of a workload) are deferred to
-    // the final unsharded merge pass over the shared store.
-    if args.shard.is_none() {
-        for (workload, runs) in workloads.iter().zip(report.reports.chunks(per_workload)) {
-            let name = workload.name();
-            if chart == "mem" || chart == "all" {
-                println!("{}", format_memory_breakdown(name, runs));
-            }
-            if chart == "mix" || chart == "all" {
-                println!("{}", format_instruction_mix(name, runs));
-            }
-            if chart == "perf" || chart == "all" {
-                println!("{}", format_performance(name, runs));
-            }
-            if chart == "energy" || chart == "all" {
-                println!("{}", format_energy(name, runs));
-            }
-        }
-    }
-
-    Ok(emit_json(args.json.as_deref(), || {
-        object()
-            .field("artefact", "fig3")
-            .field("chart", chart.as_str())
-            .field(
-                "energy",
-                sweep_energy_json(&report, sweep.resolved_systems()),
-            )
-            .field("sweep", report.to_json())
-            .finish()
-    }))
+    let spec = ExperimentSpec::fig3(app_filter, &chart, &mix, iters)?;
+    driver::run(&spec, &args)
 }

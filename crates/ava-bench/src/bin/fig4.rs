@@ -2,6 +2,9 @@
 //! configuration (McPAT-style model at 22 nm) and the average
 //! performance-per-mm² across the six applications.
 //!
+//! A thin shim over the spec-driven experiment driver
+//! (`experiments/fig4_area.json` is the committed manifest form).
+//!
 //! Usage: `fig4 [--threads <n>] [--store <dir>] [--resume] [--json <path>]`
 //! — the performance side is one sweep, so it honours the shared execution
 //! flags (a warm result store serves the whole grid without simulating);
@@ -10,8 +13,9 @@
 
 use std::process::ExitCode;
 
-use ava_bench::cli::{emit_json, usage_error, BenchArgs};
-use ava_sim::json::{object, Json};
+use ava_bench::cli::{usage_error, BenchArgs};
+use ava_bench::driver;
+use ava_bench::spec::ExperimentSpec;
 
 const USAGE: &str = "fig4 [--threads <n>] [--store <dir>] [--resume] [--json <path>]";
 
@@ -26,33 +30,5 @@ fn run() -> Result<ExitCode, String> {
     let args = BenchArgs::parse()?;
     args.finish()?;
 
-    let workloads = ava_bench::paper_workloads();
-    let data = ava_bench::figure4_data_with(&workloads, args.threads, args.store.as_ref());
-    print!("{}", ava_bench::format_figure4_from(&data));
-
-    Ok(emit_json(args.json.as_deref(), || {
-        object()
-            .field("artefact", "fig4")
-            .field(
-                "rows",
-                data.rows
-                    .iter()
-                    .map(|r| {
-                        object()
-                            .field("config", r.label.as_str())
-                            .field("vrf_mm2", r.vrf)
-                            .field("fpu_mm2", r.fpus)
-                            .field("ava_mm2", r.ava_structures)
-                            .field("vpu_total_mm2", r.vpu_total)
-                            .field("core_mm2", r.core)
-                            .field("l1_mm2", r.l1)
-                            .field("l2_mm2", r.l2)
-                            .field("perf_per_mm2", r.perf_per_mm2)
-                            .finish()
-                    })
-                    .collect::<Json>(),
-            )
-            .field("sweep", data.sweep.to_json())
-            .finish()
-    }))
+    driver::run(&ExperimentSpec::fig4(), &args)
 }

@@ -2,21 +2,33 @@
 //! express: the Table I MVL extrapolation (MVL up to 512, P-VRF held at the
 //! X8 physical-register floor) crossed with an L2-capacity axis — and,
 //! optionally, the remaining hierarchy axes (L1 capacity, DRAM bandwidth,
-//! VMU bus width) — run over single kernels and a multi-kernel composite
-//! mix (plain, or a dataflow pipeline with `--mix pipelined`).
+//! VMU bus width, VVR rename-pool size) — run over single kernels and a
+//! multi-kernel composite mix (plain, or a dataflow pipeline with
+//! `--mix pipelined`).
 //!
-//! The whole study is one declarative `Sweep` built from `ScenarioConfig`
-//! axis builders and executed by the parallel engine.
+//! This binary is a thin shim over the spec-driven experiment driver: the
+//! flags below translate into an in-memory [`ExperimentSpec`] (the
+//! `experiments/sensitivity_*.json` manifests are the committed forms of
+//! the same study) and [`ava_bench::driver`] runs it — one code path,
+//! byte-identical output either way.
 //!
 //! Usage:
 //!
 //! ```text
 //! sensitivity [--mvl 128,256,512] [--l2-kib 256,1024,4096]
 //!             [--l1-kib 16,32,64] [--dram-bw 6,12,24] [--vmu-bus 32,64,128]
+//!             [--vvr 32,64,128] [--chart tables|energy|all]
 //!             [--mix independent|pipelined|solver] [--iters <n>]
 //!             [--app <name>] [--threads <n>] [--store <dir>] [--resume]
 //!             [--shard <k>/<n>] [--store-gc-mib <n>] [--json <path>]
 //! ```
+//!
+//! `--vvr` drives the AVA rename-pool axis: every grid point is re-run with
+//! the given virtual-vector-register counts (at least the 32 architectural
+//! registers), so the study covers how much of AVA's benefit survives a
+//! smaller rename pool. `--chart energy` replaces the cycles tables with
+//! the total-energy matrix (one row per MVL, one column per L2 capacity,
+//! priced by the McPAT-style model); `--chart all` prints both.
 //!
 //! `--mix solver` adds the iterative somier-relaxation mix
 //! (`Composite::iterated`, named "iterated"): the relaxation body unrolled
@@ -42,18 +54,14 @@
 
 use std::process::ExitCode;
 
-use ava_bench::cli::{emit_json, usage_error, BenchArgs};
-use ava_bench::{
-    format_cache_sensitivity, format_mvl_extrapolation, pipelined_mix, sensitivity_grid_with,
-    sensitivity_json, sensitivity_workloads, solver_mix, HierarchyAxes, SENSITIVITY_L2_KIB,
-    SENSITIVITY_MVLS,
-};
+use ava_bench::cli::{usage_error, BenchArgs};
+use ava_bench::driver;
+use ava_bench::spec::{AxesSpec, ExperimentSpec};
 use ava_isa::{MAX_MVL_ELEMS, MIN_MVL_ELEMS};
-use ava_sim::{format_sweep_summary, Sweep};
-use ava_workloads::SharedWorkload;
 
 const USAGE: &str = "sensitivity [--mvl 128,256,512] [--l2-kib 256,1024,4096] \
                      [--l1-kib 16,32,64] [--dram-bw 6,12,24] [--vmu-bus 32,64,128] \
+                     [--vvr 32,64,128] [--chart tables|energy|all] \
                      [--mix independent|pipelined|solver] [--iters <n>] [--app <name>] \
                      [--threads <n>] [--store <dir>] [--resume] [--shard <k>/<n>] \
                      [--store-gc-mib <n>] [--json <path>]";
@@ -82,32 +90,31 @@ fn main() -> ExitCode {
 fn run() -> Result<ExitCode, String> {
     let mut args = BenchArgs::parse()?;
 
-    let mut mvls: Vec<usize> = SENSITIVITY_MVLS.to_vec();
-    let mut l2_kib: Vec<usize> = SENSITIVITY_L2_KIB.to_vec();
-    let mut extra = HierarchyAxes::default();
+    let mut axes = AxesSpec::default();
     if let Some(v) = args.take_value("--mvl")? {
-        mvls = parse_list(&v, "--mvl")?;
+        axes.mvl = parse_list(&v, "--mvl")?;
     }
     if let Some(v) = args.take_value("--l2-kib")? {
-        l2_kib = parse_list(&v, "--l2-kib")?;
+        axes.l2_kib = parse_list(&v, "--l2-kib")?;
     }
     if let Some(v) = args.take_value("--l1-kib")? {
-        extra.l1_kib = parse_list(&v, "--l1-kib")?;
+        axes.extra.l1_kib = parse_list(&v, "--l1-kib")?;
     }
     if let Some(v) = args.take_value("--dram-bw")? {
-        extra.dram_bw = parse_list_u64(&v, "--dram-bw")?;
+        axes.extra.dram_bw = parse_list_u64(&v, "--dram-bw")?;
     }
     if let Some(v) = args.take_value("--vmu-bus")? {
-        extra.vmu_bus = parse_list_u64(&v, "--vmu-bus")?;
+        axes.extra.vmu_bus = parse_list_u64(&v, "--vmu-bus")?;
     }
+    if let Some(v) = args.take_value("--vvr")? {
+        axes.extra.vvrs = parse_list(&v, "--vvr")?;
+    }
+    let chart = args
+        .take_value("--chart")?
+        .unwrap_or_else(|| "tables".into());
     let mix = args
         .take_value("--mix")?
         .unwrap_or_else(|| "independent".into());
-    if !["independent", "pipelined", "solver"].contains(&mix.as_str()) {
-        return Err(format!(
-            "--mix must be independent, pipelined or solver, got {mix}"
-        ));
-    }
     let iters = match args.take_value("--iters")? {
         Some(v) => match v.parse::<usize>() {
             Ok(n) if n >= 1 => Some(n),
@@ -118,10 +125,13 @@ fn run() -> Result<ExitCode, String> {
     let app_filter = args.take_value("--app")?;
     args.finish()?;
 
-    if mvls.is_empty() || l2_kib.is_empty() {
+    // Keep the legacy flag diagnostics verbatim; the spec layer re-checks
+    // the same constraints with its manifest-flavoured wording.
+    if axes.mvl.is_empty() || axes.l2_kib.is_empty() {
         return Err("--mvl and --l2-kib need at least one value each".to_string());
     }
-    if let Some(bad) = mvls
+    if let Some(bad) = axes
+        .mvl
         .iter()
         .find(|&&m| m % MIN_MVL_ELEMS != 0 || !(MIN_MVL_ELEMS..=MAX_MVL_ELEMS).contains(&m))
     {
@@ -130,96 +140,18 @@ fn run() -> Result<ExitCode, String> {
              {MIN_MVL_ELEMS}..={MAX_MVL_ELEMS}, got {bad}"
         ));
     }
-    if l2_kib.contains(&0) || extra.l1_kib.contains(&0) {
+    if axes.l2_kib.contains(&0) || axes.extra.l1_kib.contains(&0) {
         return Err("cache capacities must be non-zero".to_string());
     }
-    if extra.dram_bw.contains(&0) || extra.vmu_bus.contains(&0) {
+    if axes.extra.dram_bw.contains(&0) || axes.extra.vmu_bus.contains(&0) {
         return Err("--dram-bw and --vmu-bus values must be non-zero".to_string());
     }
-    if iters.is_some() && mix != "solver" {
-        // Silently ignoring the flag would let a sweep the user believes
-        // covers n iterations run with no iteration axis at all.
-        return Err("--iters only applies to --mix solver".to_string());
-    }
-    let iters = iters.unwrap_or(4);
-
-    let mut pool = sensitivity_workloads();
-    if mix == "pipelined" {
-        // The dataflow pipeline: axpy → somier → axpy with chained golden
-        // references, sized like the composite so the working set straddles
-        // the L2 axis.
-        pool.push(pipelined_mix(8192));
-    }
-    if mix == "solver" {
-        // The iterative solver: somier relaxation swept `iters` times with
-        // ping-pong carry links, sized so the two carried arrays straddle
-        // the L2 axis like the other mixes.
-        pool.push(solver_mix(8192, iters));
-    }
-    let workloads: Vec<SharedWorkload> = pool
-        .into_iter()
-        .filter(|w| app_filter.as_ref().is_none_or(|f| w.name() == f))
-        .collect();
-    if workloads.is_empty() {
-        return Err(
-            "no workload matches --app filter (axpy, blackscholes, somier, composite, \
-             pipelined with --mix pipelined, and iterated with --mix solver)"
-                .to_string(),
-        );
+    if let Some(&bad) = axes.extra.vvrs.iter().find(|&&v| v < 32) {
+        return Err(format!(
+            "--vvr values must be at least the 32 architectural registers, got {bad}"
+        ));
     }
 
-    let mut scenarios = sensitivity_grid_with(&mvls, &l2_kib, &extra);
-    if mix == "solver" {
-        // Record the unroll depth as a first-class scenario axis so every
-        // emitted report carries `"axes":{"iters":n}` — rerunning with a
-        // different `--iters` then sweeps that axis like any other.
-        scenarios = scenarios.into_iter().map(|c| c.with_iters(iters)).collect();
-    }
-    let per_workload = scenarios.len();
-    let sweep = Sweep::grid(workloads.clone(), scenarios.clone());
-    eprintln!(
-        "sweeping {} points ({} workloads x {} scenarios: {} MVLs x {} L2 sizes{})...",
-        sweep.len(),
-        workloads.len(),
-        per_workload,
-        mvls.len(),
-        l2_kib.len(),
-        if extra.is_empty() {
-            String::new()
-        } else {
-            format!(
-                " x {} L1 x {} DRAM-bw x {} bus",
-                extra.l1_kib.len().max(1),
-                extra.dram_bw.len().max(1),
-                extra.vmu_bus.len().max(1)
-            )
-        },
-    );
-    let report = args.configure(sweep.runner()).run();
-    for r in &report.reports {
-        assert!(
-            r.validated,
-            "{} on {}: {:?}",
-            r.workload, r.config, r.validation_error
-        );
-    }
-
-    // A sharded run holds only its slice of the grid; the per-workload
-    // tables need every scenario of a workload, so they are deferred to the
-    // final unsharded merge pass over the shared store.
-    if args.shard.is_none() {
-        for (workload, runs) in workloads.iter().zip(report.reports.chunks(per_workload)) {
-            println!(
-                "{}",
-                format_mvl_extrapolation(workload.name(), sweep.resolved_systems(), runs)
-            );
-            println!("{}", format_cache_sensitivity(workload.name(), runs));
-        }
-    }
-    eprintln!("{}", format_sweep_summary(&report));
-    args.run_store_gc();
-
-    Ok(emit_json(args.json.as_deref(), || {
-        sensitivity_json(&mvls, &l2_kib, &extra, sweep.resolved_systems(), &report)
-    }))
+    let spec = ExperimentSpec::sensitivity(axes, &mix, iters, app_filter, &chart)?;
+    driver::run(&spec, &args)
 }

@@ -70,10 +70,17 @@ impl BenchArgs {
     /// not exist yet — there is nothing to resume), or when the store
     /// directory cannot be created.
     pub fn parse() -> Result<Self, String> {
-        Self::from_vec(std::env::args().skip(1).collect())
+        Self::from_args(std::env::args().skip(1).collect())
     }
 
-    fn from_vec(args: Vec<String>) -> Result<Self, String> {
+    /// Parses an explicit argument vector (the process arguments minus the
+    /// program name). Public so in-process tests and the manifest driver can
+    /// exercise exactly the binaries' argument path.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BenchArgs::parse`].
+    pub fn from_args(args: Vec<String>) -> Result<Self, String> {
         let mut json = None;
         let mut threads = None;
         let mut store_dir: Option<String> = None;
@@ -260,6 +267,62 @@ impl BenchArgs {
         runner
     }
 
+    /// Fills in execution options from a manifest's `execution` block.
+    /// CLI flags win field by field: a field already set on `self` keeps
+    /// its value, an unset one takes the manifest's. The merged result is
+    /// re-checked against the same cross-flag constraints as
+    /// [`BenchArgs::parse`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic when a manifest store/program-cache directory
+    /// cannot be opened, when `resume` points at a store directory that
+    /// does not exist yet, or when the merged options violate a cross-flag
+    /// constraint (`resume`/`shard`/`store_gc_mib` without a store).
+    pub fn apply_execution(&mut self, exec: &crate::spec::ExecutionSpec) -> Result<(), String> {
+        if self.threads.is_none() {
+            self.threads = exec.threads;
+        }
+        self.resume = self.resume || exec.resume;
+        if self.store.is_none() {
+            if let Some(dir) = &exec.store {
+                if self.resume && !Path::new(dir).is_dir() {
+                    return Err(format!(
+                        "resume: store directory {dir} does not exist — nothing to resume"
+                    ));
+                }
+                self.store = Some(ResultStore::open(dir.clone())?);
+            }
+        }
+        if self.program_cache.is_none() {
+            if let Some(dir) = &exec.program_cache {
+                self.program_cache = Some(DiskProgramCache::open(dir.clone())?);
+            }
+        }
+        if self.shard.is_none() {
+            self.shard = exec.shard;
+        }
+        if self.store_gc_mib.is_none() {
+            self.store_gc_mib = exec.store_gc_mib;
+        }
+        if self.store.is_none() {
+            if self.resume {
+                return Err("--resume requires --store <dir>".to_string());
+            }
+            if self.shard.is_some() {
+                return Err(
+                    "--shard requires --store <dir>: without a shared store the shard's \
+                     results are lost and cannot be merged"
+                        .to_string(),
+                );
+            }
+            if self.store_gc_mib.is_some() {
+                return Err("--store-gc-mib requires --store <dir>".to_string());
+            }
+        }
+        Ok(())
+    }
+
     /// Runs the post-sweep store garbage collection when `--store-gc-mib`
     /// was given, printing a one-line eviction summary to stderr. A no-op
     /// without the flag; call after the sweep (and its JSON emission) so
@@ -280,8 +343,10 @@ impl BenchArgs {
     }
 }
 
-/// Parses a `--shard` value of the form `<k>/<n>` into `(k, n)`.
-fn parse_shard(value: &str) -> Result<(usize, usize), String> {
+/// Parses a `--shard` value of the form `<k>/<n>` into `(k, n)`. Shared
+/// with the manifest schema, which spells its `execution.shard` field the
+/// same way.
+pub(crate) fn parse_shard(value: &str) -> Result<(usize, usize), String> {
     let diag = || format!("invalid --shard value {value:?} (expected <k>/<n>, e.g. 0/4)");
     let (index, of) = value.split_once('/').ok_or_else(diag)?;
     let index: usize = index.parse().map_err(|_| diag())?;
@@ -351,7 +416,7 @@ mod tests {
 
     #[test]
     fn shared_flags_are_extracted_and_the_rest_kept_in_order() {
-        let args = BenchArgs::from_vec(argv(&[
+        let args = BenchArgs::from_args(argv(&[
             "--app",
             "axpy",
             "--json",
@@ -371,15 +436,15 @@ mod tests {
 
     #[test]
     fn shared_flags_without_values_are_errors() {
-        assert!(BenchArgs::from_vec(argv(&["--json"])).is_err());
-        assert!(BenchArgs::from_vec(argv(&["--threads"])).is_err());
-        assert!(BenchArgs::from_vec(argv(&["--threads", "zero"])).is_err());
-        assert!(BenchArgs::from_vec(argv(&["--store"])).is_err());
+        assert!(BenchArgs::from_args(argv(&["--json"])).is_err());
+        assert!(BenchArgs::from_args(argv(&["--threads"])).is_err());
+        assert!(BenchArgs::from_args(argv(&["--threads", "zero"])).is_err());
+        assert!(BenchArgs::from_args(argv(&["--store"])).is_err());
     }
 
     #[test]
     fn resume_requires_an_existing_store() {
-        let err = BenchArgs::from_vec(argv(&["--resume"])).unwrap_err();
+        let err = BenchArgs::from_args(argv(&["--resume"])).unwrap_err();
         assert!(err.contains("--resume requires --store"));
 
         let missing = std::env::temp_dir().join(format!(
@@ -387,14 +452,14 @@ mod tests {
             std::process::id()
         ));
         let _ = std::fs::remove_dir_all(&missing);
-        let err = BenchArgs::from_vec(argv(&["--store", missing.to_str().unwrap(), "--resume"]))
+        let err = BenchArgs::from_args(argv(&["--store", missing.to_str().unwrap(), "--resume"]))
             .unwrap_err();
         assert!(err.contains("nothing to resume"), "{err}");
 
         // With the directory present, --resume opens the store normally.
         std::fs::create_dir_all(&missing).unwrap();
-        let args =
-            BenchArgs::from_vec(argv(&["--store", missing.to_str().unwrap(), "--resume"])).unwrap();
+        let args = BenchArgs::from_args(argv(&["--store", missing.to_str().unwrap(), "--resume"]))
+            .unwrap();
         assert!(args.store.is_some());
         assert!(args.resume);
         let _ = std::fs::remove_dir_all(&missing);
@@ -405,7 +470,7 @@ mod tests {
         let dir =
             std::env::temp_dir().join(format!("ava-bencharg-progcache-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let args = BenchArgs::from_vec(argv(&["--program-cache", dir.to_str().unwrap()])).unwrap();
+        let args = BenchArgs::from_args(argv(&["--program-cache", dir.to_str().unwrap()])).unwrap();
         assert!(args.program_cache.is_some());
         assert!(dir.is_dir(), "--program-cache must create the directory");
         let err = args
@@ -414,14 +479,14 @@ mod tests {
         assert!(err.contains("--program-cache"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
 
-        assert!(BenchArgs::from_vec(argv(&["--program-cache"])).is_err());
+        assert!(BenchArgs::from_args(argv(&["--program-cache"])).is_err());
     }
 
     #[test]
     fn store_flag_opens_and_creates_the_directory() {
         let dir = std::env::temp_dir().join(format!("ava-bencharg-store-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let args = BenchArgs::from_vec(argv(&["--store", dir.to_str().unwrap()])).unwrap();
+        let args = BenchArgs::from_args(argv(&["--store", dir.to_str().unwrap()])).unwrap();
         assert!(args.store.is_some());
         assert!(dir.is_dir(), "--store must create the directory");
         let _ = std::fs::remove_dir_all(&dir);
@@ -429,44 +494,44 @@ mod tests {
 
     #[test]
     fn shard_flag_parses_and_requires_a_store() {
-        let err = BenchArgs::from_vec(argv(&["--shard", "0/2"])).unwrap_err();
+        let err = BenchArgs::from_args(argv(&["--shard", "0/2"])).unwrap_err();
         assert!(err.contains("--shard requires --store"), "{err}");
 
         let dir = std::env::temp_dir().join(format!("ava-bencharg-shard-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let store = dir.to_str().unwrap();
-        let args = BenchArgs::from_vec(argv(&["--shard", "1/4", "--store", store])).unwrap();
+        let args = BenchArgs::from_args(argv(&["--shard", "1/4", "--store", store])).unwrap();
         assert_eq!(args.shard, Some((1, 4)));
         let _ = std::fs::remove_dir_all(&dir);
 
         for bad in ["2", "a/b", "1/", "/4", "4/4", "9/4", "0/0"] {
-            let got = BenchArgs::from_vec(argv(&["--shard", bad, "--store", store]));
+            let got = BenchArgs::from_args(argv(&["--shard", bad, "--store", store]));
             assert!(got.is_err(), "--shard {bad} must be rejected");
         }
-        assert!(BenchArgs::from_vec(argv(&["--shard"])).is_err());
+        assert!(BenchArgs::from_args(argv(&["--shard"])).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn store_gc_flag_parses_and_requires_a_store() {
-        let err = BenchArgs::from_vec(argv(&["--store-gc-mib", "64"])).unwrap_err();
+        let err = BenchArgs::from_args(argv(&["--store-gc-mib", "64"])).unwrap_err();
         assert!(err.contains("--store-gc-mib requires --store"), "{err}");
 
         let dir = std::env::temp_dir().join(format!("ava-bencharg-gc-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let store = dir.to_str().unwrap();
-        let args = BenchArgs::from_vec(argv(&["--store-gc-mib", "64", "--store", store])).unwrap();
+        let args = BenchArgs::from_args(argv(&["--store-gc-mib", "64", "--store", store])).unwrap();
         assert_eq!(args.store_gc_mib, Some(64));
         // A zero cap is legal: it empties the store after the sweep.
         args.run_store_gc();
-        assert!(BenchArgs::from_vec(argv(&["--store-gc-mib", "x", "--store", store])).is_err());
-        assert!(BenchArgs::from_vec(argv(&["--store-gc-mib"])).is_err());
+        assert!(BenchArgs::from_args(argv(&["--store-gc-mib", "x", "--store", store])).is_err());
+        assert!(BenchArgs::from_args(argv(&["--store-gc-mib"])).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn extensions_take_values_and_finish_rejects_leftovers() {
-        let mut args = BenchArgs::from_vec(argv(&["--mode", "warn", "--bogus"])).unwrap();
+        let mut args = BenchArgs::from_args(argv(&["--mode", "warn", "--bogus"])).unwrap();
         assert_eq!(args.take_value("--mode").unwrap().as_deref(), Some("warn"));
         assert_eq!(args.take_value("--mode").unwrap(), None);
         assert!(args.take_value("--bogus").is_err(), "flag without a value");
@@ -477,12 +542,12 @@ mod tests {
 
     #[test]
     fn execution_flags_can_be_rejected_by_sweepless_binaries() {
-        let args = BenchArgs::from_vec(argv(&["--threads", "2"])).unwrap();
+        let args = BenchArgs::from_args(argv(&["--threads", "2"])).unwrap();
         let err = args
             .reject_execution_flags("table1 is analytic")
             .unwrap_err();
         assert!(err.contains("table1 is analytic"));
-        let args = BenchArgs::from_vec(argv(&[])).unwrap();
+        let args = BenchArgs::from_args(argv(&[])).unwrap();
         assert!(args.reject_execution_flags("never triggers").is_ok());
         assert!(args.reject_json("never triggers").is_ok());
     }

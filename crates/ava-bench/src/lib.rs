@@ -35,7 +35,9 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod driver;
 pub mod microbench;
+pub mod spec;
 pub mod suites;
 
 use std::collections::BTreeMap;
@@ -43,8 +45,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use ava_energy::{
-    energy_breakdown, energy_breakdown_with_l2, pnr_estimate, system_area, EnergyBreakdown,
-    EnergyParams,
+    energy_breakdown, energy_breakdown_with_l2, phase_energy_breakdown, pnr_estimate, system_area,
+    EnergyBreakdown, EnergyParams,
 };
 use ava_sim::json::object;
 use ava_sim::{
@@ -516,10 +518,10 @@ pub const SENSITIVITY_MVLS: [usize; 3] = [128, 256, 512];
 /// paper's 1 MiB flanked by a quarter-size and a quadruple-size L2).
 pub const SENSITIVITY_L2_KIB: [usize; 3] = [256, 1024, 4096];
 
-/// The optional extra hierarchy axes of the sensitivity study, driven by
-/// the `sensitivity` binary's `--l1-kib`, `--dram-bw` and `--vmu-bus`
-/// flags. An empty vector leaves the corresponding dimension at its
-/// Table II default (and out of the grid).
+/// The optional extra axes of the sensitivity study, driven by the
+/// `sensitivity` binary's `--l1-kib`, `--dram-bw`, `--vmu-bus` and `--vvr`
+/// flags (or a manifest's `axes` block). An empty vector leaves the
+/// corresponding dimension at its Table II default (and out of the grid).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HierarchyAxes {
     /// L1 data-cache capacities in KiB (`axis_l1_kib`).
@@ -528,13 +530,20 @@ pub struct HierarchyAxes {
     pub dram_bw: Vec<u64>,
     /// VMU-to-L2 bus widths in bytes (`axis_vmu_bus`).
     pub vmu_bus: Vec<u64>,
+    /// AVA VVR-pool sizes (`axis_vvr`; at least the 32 architectural
+    /// registers — the sensitivity grid's bases are all AVA scenarios, so
+    /// the axis is always applicable).
+    pub vvrs: Vec<usize>,
 }
 
 impl HierarchyAxes {
     /// Whether any extra axis carries values.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.l1_kib.is_empty() && self.dram_bw.is_empty() && self.vmu_bus.is_empty()
+        self.l1_kib.is_empty()
+            && self.dram_bw.is_empty()
+            && self.vmu_bus.is_empty()
+            && self.vvrs.is_empty()
     }
 }
 
@@ -546,9 +555,9 @@ pub fn sensitivity_grid(mvls: &[usize], l2_kib: &[usize]) -> Vec<ScenarioConfig>
     sensitivity_grid_with(mvls, l2_kib, &HierarchyAxes::default())
 }
 
-/// [`sensitivity_grid`] cross-expanded along the optional hierarchy axes:
-/// MVL × L2 × L1 × DRAM-bandwidth × VMU-bus-width, innermost last. Empty
-/// axes do not expand the grid.
+/// [`sensitivity_grid`] cross-expanded along the optional extra axes:
+/// MVL × L2 × L1 × DRAM-bandwidth × VMU-bus-width × VVR-pool, innermost
+/// last. Empty axes do not expand the grid.
 #[must_use]
 pub fn sensitivity_grid_with(
     mvls: &[usize],
@@ -564,6 +573,9 @@ pub fn sensitivity_grid_with(
     }
     if !extra.vmu_bus.is_empty() {
         grid = ScenarioConfig::axis_vmu_bus(&grid, &extra.vmu_bus);
+    }
+    if !extra.vvrs.is_empty() {
+        grid = ScenarioConfig::axis_vvr(&grid, &extra.vvrs);
     }
     grid
 }
@@ -726,6 +738,12 @@ pub fn sensitivity_json(
                 .collect::<Json>(),
         );
     }
+    if !extra.vvrs.is_empty() {
+        axes = axes.field(
+            "vvrs",
+            extra.vvrs.iter().map(|&v| Json::from(v)).collect::<Json>(),
+        );
+    }
     object()
         .field("artefact", "sensitivity")
         .field("axes", axes.finish())
@@ -798,7 +816,7 @@ pub fn sweep_energy_json(report: &SweepReport, systems: &[SystemConfig]) -> Json
                 .get(r.config.as_str())
                 .unwrap_or_else(|| panic!("no scenario labelled {:?} in the sweep axes", r.config));
             let e = energy_breakdown_with_l2(r, &sys.vpu, sys.memory.l2.size_bytes, &params);
-            object()
+            let mut point = object()
                 .field("workload", r.workload.as_str())
                 .field("config", r.config.as_str())
                 .field("energy", energy_breakdown_json(&e))
@@ -806,10 +824,95 @@ pub fn sweep_energy_json(report: &SweepReport, systems: &[SystemConfig]) -> Json
                 .field(
                     "energy_per_element_nj",
                     energy_per_element_nj(&e, p.elements),
-                )
-                .finish()
+                );
+            // Multi-kernel points additionally attribute energy to each
+            // phase segment (pipeline stages, unrolled solver iterations):
+            // the phase counters partition the run's, so the per-phase
+            // dynamic energies sum to the point's.
+            if !r.phases.is_empty() {
+                let phases = r
+                    .phases
+                    .iter()
+                    .map(|ph| {
+                        let pe =
+                            phase_energy_breakdown(ph, &sys.vpu, sys.memory.l2.size_bytes, &params);
+                        let mut o = object().field("name", ph.name.as_str());
+                        if let Some(iter) = ph.iter {
+                            o = o.field("iter", iter);
+                        }
+                        o.field("energy", energy_breakdown_json(&pe)).finish()
+                    })
+                    .collect::<Json>();
+                point = point.field("phases", phases);
+            }
+            point.finish()
         })
         .collect::<Json>()
+}
+
+/// Formats the energy matrix of the sensitivity study for one workload
+/// (`sensitivity --chart energy`, or a manifest artefact of kind
+/// `"energy"`): one row per MVL, one total-energy column (millijoules) per
+/// L2 capacity on the grid — the text rendering of what
+/// [`sweep_energy_json`] emits per point. Points beyond the MVL × L2 plane
+/// (extra hierarchy axes) fold into the cell of their (MVL, L2) pair by
+/// summation, matching the cycles matrix's convention of one cell per pair.
+#[must_use]
+pub fn format_energy_sensitivity(
+    workload: &str,
+    systems: &[SystemConfig],
+    reports: &[RunReport],
+) -> String {
+    let params = EnergyParams::default();
+    let by_label: BTreeMap<&str, &SystemConfig> =
+        systems.iter().map(|sys| (sys.label(), sys)).collect();
+    let mut mvls: Vec<u64> = reports
+        .iter()
+        .filter_map(|r| axis_value(r, "mvl"))
+        .collect();
+    mvls.sort_unstable();
+    mvls.dedup();
+    let mut l2s: Vec<u64> = reports
+        .iter()
+        .filter_map(|r| axis_value(r, "l2_kib"))
+        .collect();
+    l2s.sort_unstable();
+    l2s.dedup();
+
+    let mut out = format!("Sensitivity ({workload}) — total energy (mJ) by MVL and L2 capacity\n");
+    out.push_str(&format!("{:>5}", "MVL"));
+    for l2 in &l2s {
+        out.push_str(&format!(" {:>13}", format!("L2={l2}KiB")));
+    }
+    out.push('\n');
+    for mvl in &mvls {
+        out.push_str(&format!("{mvl:>5}"));
+        for l2 in &l2s {
+            let cell: Vec<&RunReport> = reports
+                .iter()
+                .filter(|r| {
+                    axis_value(r, "mvl") == Some(*mvl) && axis_value(r, "l2_kib") == Some(*l2)
+                })
+                .collect();
+            if cell.is_empty() {
+                out.push_str(&format!(" {:>13}", "-"));
+            } else {
+                let total: f64 = cell
+                    .iter()
+                    .map(|r| {
+                        let sys = by_label.get(r.config.as_str()).unwrap_or_else(|| {
+                            panic!("no scenario labelled {:?} in the sweep axes", r.config)
+                        });
+                        energy_breakdown_with_l2(r, &sys.vpu, sys.memory.l2.size_bytes, &params)
+                            .total()
+                    })
+                    .sum();
+                out.push_str(&format!(" {total:>13.4}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -908,6 +1011,7 @@ mod tests {
             l1_kib: vec![16, 64],
             dram_bw: vec![6, 12],
             vmu_bus: vec![32],
+            vvrs: vec![],
         };
         let grid = sensitivity_grid_with(&[128], &[1024], &extra);
         assert_eq!(grid.len(), 4);
@@ -928,6 +1032,60 @@ mod tests {
         assert!(json.contains("\"l1_kib\":[16,64]"), "{json}");
         assert!(json.contains("\"dram_bpc\":[6,12]"), "{json}");
         assert!(json.contains("\"vmu_bus\":[32]"), "{json}");
+    }
+
+    #[test]
+    fn vvr_axis_expands_the_grid_and_surfaces_in_the_json() {
+        let extra = HierarchyAxes {
+            vvrs: vec![32, 64],
+            ..HierarchyAxes::default()
+        };
+        let grid = sensitivity_grid_with(&[128], &[512], &extra);
+        assert_eq!(grid.len(), 2);
+        assert_eq!(grid[0].label(), "AVA MVL=128 l2=512KiB vvrs=32");
+        assert_eq!(grid[1].resolve().vpu.rename_pool(), 64);
+        let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(256))];
+        let sweep = Sweep::grid(workloads, grid);
+        let report = sweep.runner().threads(1).run();
+        let json =
+            sensitivity_json(&[128], &[512], &extra, sweep.resolved_systems(), &report).to_string();
+        assert!(json.contains("\"vvrs\":[32,64]"), "{json}");
+    }
+
+    #[test]
+    fn energy_matrix_has_one_priced_cell_per_mvl_l2_pair() {
+        let scenarios = sensitivity_grid(&[128, 256], &[512, 1024]);
+        let workloads: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(512))];
+        let sweep = Sweep::grid(workloads, scenarios);
+        let report = sweep.runner().threads(1).run();
+        let table = format_energy_sensitivity("axpy", sweep.resolved_systems(), &report.reports);
+        assert!(table.contains("total energy (mJ)"), "{table}");
+        assert!(
+            table.contains("L2=512KiB") && table.contains("L2=1024KiB"),
+            "{table}"
+        );
+        for line in table.lines().skip(2) {
+            assert_eq!(line.split_whitespace().count(), 3, "{table}");
+            assert!(!line.contains(" -"), "every cell must be priced: {table}");
+        }
+        assert_eq!(table.lines().count(), 2 + 2);
+    }
+
+    #[test]
+    fn sweep_energy_json_attributes_phase_energy_for_composites() {
+        let workloads: Vec<SharedWorkload> = vec![pipelined_mix(512)];
+        let scenarios = vec![ScenarioConfig::ava_x(2)];
+        let sweep = Sweep::grid(workloads, scenarios);
+        let report = sweep.runner().threads(1).run();
+        let json = sweep_energy_json(&report, sweep.resolved_systems()).to_string();
+        assert!(json.contains("\"phases\":[{\"name\":\"0:axpy\""), "{json}");
+        assert!(json.contains("\"name\":\"1:somier\""), "{json}");
+        // Single-kernel points carry no phases array.
+        let solo: Vec<SharedWorkload> = vec![Arc::new(Axpy::new(256))];
+        let sweep = Sweep::grid(solo, vec![ScenarioConfig::ava_x(2)]);
+        let report = sweep.runner().threads(1).run();
+        let json = sweep_energy_json(&report, sweep.resolved_systems()).to_string();
+        assert!(!json.contains("\"phases\""), "{json}");
     }
 
     #[test]

@@ -1,0 +1,1226 @@
+//! Declarative experiment manifests.
+//!
+//! A manifest is a JSON document describing one experiment end to end —
+//! which artefact to regenerate (`fig3`, `fig4`, `sensitivity`,
+//! `ablation`), which workloads and mixes to sweep, which scenario axes to
+//! cross, how to execute (threads, result store, sharding, program cache)
+//! and what to emit (JSON path, chart kind). The generic `experiments`
+//! binary drives the whole bench stack from such a file, and the legacy
+//! `fig3`/`fig4`/`sensitivity`/`ablation` binaries are thin shims that
+//! translate their flags into an in-memory [`ExperimentSpec`] and call the
+//! same driver — one code path, so a manifest run and a flag run of the
+//! same experiment are byte-identical.
+//!
+//! The schema is parsed with the dependency-free [`ava_sim::json`] parser;
+//! every schema error is a diagnostic naming the offending token and its
+//! byte offset in the document — never a panic.
+//!
+//! ```
+//! use ava_bench::spec::ExperimentSpec;
+//!
+//! let spec = ExperimentSpec::parse(
+//!     "example",
+//!     r#"{
+//!         "artefact": "sensitivity",
+//!         "workloads": ["axpy"],
+//!         "axes": {"mvl": [128, 256], "l2_kib": [512]},
+//!         "output": {"kind": "tables"}
+//!     }"#,
+//! )
+//! .unwrap();
+//! assert_eq!(spec.axes.mvl, vec![128, 256]);
+//! assert!(ExperimentSpec::parse("bad", r#"{"artefact": "fig9"}"#)
+//!     .unwrap_err()
+//!     .contains("byte"));
+//! ```
+
+use ava_isa::{MAX_MVL_ELEMS, MIN_MVL_ELEMS};
+use ava_sim::json::{object, parse, Json, ObjectBuilder};
+use ava_workloads::{kernel_defaults, SharedWorkload, KERNEL_NAMES};
+
+use crate::{pipelined_mix, solver_mix, HierarchyAxes, SENSITIVITY_L2_KIB, SENSITIVITY_MVLS};
+
+/// Which paper artefact a manifest regenerates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtefactKind {
+    /// Figure 3: per-application breakdowns over the fourteen evaluated
+    /// systems.
+    Fig3,
+    /// Figure 4: area breakdown and performance per mm².
+    Fig4,
+    /// The sensitivity study: MVL × L2 (× optional hierarchy/VVR axes).
+    Sensitivity,
+    /// The microarchitectural ablation (issue queues, ROB, mem-op
+    /// overhead).
+    Ablation,
+}
+
+impl ArtefactKind {
+    /// The manifest spelling of the artefact.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ArtefactKind::Fig3 => "fig3",
+            ArtefactKind::Fig4 => "fig4",
+            ArtefactKind::Sensitivity => "sensitivity",
+            ArtefactKind::Ablation => "ablation",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "fig3" => Some(ArtefactKind::Fig3),
+            "fig4" => Some(ArtefactKind::Fig4),
+            "sensitivity" => Some(ArtefactKind::Sensitivity),
+            "ablation" => Some(ArtefactKind::Ablation),
+            _ => None,
+        }
+    }
+
+    /// The chart kinds this artefact's text output can be restricted to
+    /// (the manifest `output.kind` field / the binaries' `--chart` flag).
+    /// Empty for artefacts with exactly one rendering.
+    #[must_use]
+    pub fn chart_kinds(self) -> &'static [&'static str] {
+        match self {
+            ArtefactKind::Fig3 => &["mem", "mix", "perf", "energy", "all"],
+            ArtefactKind::Sensitivity => &["tables", "energy", "all"],
+            ArtefactKind::Fig4 | ArtefactKind::Ablation => &[],
+        }
+    }
+
+    /// The default chart kind when a manifest does not pick one.
+    #[must_use]
+    pub fn default_chart(self) -> &'static str {
+        match self {
+            ArtefactKind::Fig3 => "all",
+            ArtefactKind::Sensitivity => "tables",
+            ArtefactKind::Fig4 | ArtefactKind::Ablation => "",
+        }
+    }
+}
+
+/// One workload (or composite mix) entry of a manifest: a registry name
+/// plus optional size parameters. In a manifest this is either a bare
+/// string (`"axpy"`) or an object (`{"name": "solver", "n": 8192,
+/// "iters": 4}`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Registry name: a kernel from [`ava_workloads::KERNEL_NAMES`] or one
+    /// of the composite mixes `pipelined` / `solver`.
+    pub name: String,
+    /// Primary problem size override.
+    pub n: Option<usize>,
+    /// Secondary parameter override (LavaMD neighbours, Particle Filter
+    /// grid).
+    pub m: Option<usize>,
+    /// Unroll depth of the `solver` mix (rejected on every other name).
+    pub iters: Option<usize>,
+}
+
+impl WorkloadSpec {
+    /// A bare-name entry with all parameters at their registry defaults.
+    #[must_use]
+    pub fn named(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            n: None,
+            m: None,
+            iters: None,
+        }
+    }
+
+    /// A name-plus-size entry.
+    #[must_use]
+    pub fn sized(name: &str, n: usize) -> Self {
+        Self {
+            n: Some(n),
+            ..Self::named(name)
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        if self.n.is_none() && self.m.is_none() && self.iters.is_none() {
+            return Json::from(self.name.as_str());
+        }
+        let mut o = object().field("name", self.name.as_str());
+        if let Some(n) = self.n {
+            o = o.field("n", n);
+        }
+        if let Some(m) = self.m {
+            o = o.field("m", m);
+        }
+        if let Some(iters) = self.iters {
+            o = o.field("iters", iters);
+        }
+        o.finish()
+    }
+}
+
+/// The mix registry: the name → constructor mapping manifests draw
+/// workloads from. Kernel names resolve through
+/// [`ava_workloads::build_kernel`]; the two composite mixes — `pipelined`
+/// (the three-stage dataflow pipeline) and `solver` (the iterated somier
+/// relaxation, parameterised by `iters`) — are wired here because they are
+/// experiment-harness compositions, not kernels.
+pub struct MixRegistry;
+
+impl MixRegistry {
+    /// Every name [`MixRegistry::build`] accepts.
+    #[must_use]
+    pub fn names() -> Vec<&'static str> {
+        let mut names = KERNEL_NAMES.to_vec();
+        names.push("pipelined");
+        names.push("solver");
+        names
+    }
+
+    /// Builds one workload entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic for an unknown name or a parameter that does
+    /// not apply to it (`m` on a mix, `iters` on anything but `solver`).
+    pub fn build(spec: &WorkloadSpec) -> Result<SharedWorkload, String> {
+        match spec.name.as_str() {
+            "pipelined" => {
+                if spec.m.is_some() {
+                    return Err("workload \"pipelined\" takes no second parameter m".to_string());
+                }
+                if spec.iters.is_some() {
+                    return Err("\"iters\" only applies to the \"solver\" mix".to_string());
+                }
+                Ok(pipelined_mix(spec.n.unwrap_or(4096)))
+            }
+            "solver" => {
+                if spec.m.is_some() {
+                    return Err("workload \"solver\" takes no second parameter m".to_string());
+                }
+                Ok(solver_mix(spec.n.unwrap_or(4096), spec.iters.unwrap_or(4)))
+            }
+            name => {
+                if spec.iters.is_some() {
+                    return Err("\"iters\" only applies to the \"solver\" mix".to_string());
+                }
+                if kernel_defaults(name).is_none() {
+                    return Err(format!(
+                        "unknown workload {name:?} (known names: {})",
+                        Self::names().join(", ")
+                    ));
+                }
+                ava_workloads::build_kernel(name, spec.n, spec.m)
+            }
+        }
+    }
+}
+
+/// The scenario-grid axes of a sensitivity manifest, resolved onto the
+/// [`ScenarioConfig`] axis builders by the driver. `mvl` and `l2_kib`
+/// default to the study's standard axes; the extra axes default to empty
+/// (not driven).
+///
+/// [`ScenarioConfig`]: ava_sim::ScenarioConfig
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AxesSpec {
+    /// Maximum vector lengths (`axis_mvl`).
+    pub mvl: Vec<usize>,
+    /// L2 capacities in KiB (`axis_l2_kib`).
+    pub l2_kib: Vec<usize>,
+    /// The optional extra axes (L1, DRAM bandwidth, VMU bus, VVR pool).
+    pub extra: HierarchyAxes,
+}
+
+impl Default for AxesSpec {
+    fn default() -> Self {
+        Self {
+            mvl: SENSITIVITY_MVLS.to_vec(),
+            l2_kib: SENSITIVITY_L2_KIB.to_vec(),
+            extra: HierarchyAxes::default(),
+        }
+    }
+}
+
+/// The execution options of a manifest, mirroring the shared CLI flags
+/// (`--threads`, `--store`, `--program-cache`, `--resume`, `--shard`,
+/// `--store-gc-mib`). CLI flags override manifest values field by field
+/// ([`crate::cli::BenchArgs::apply_execution`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutionSpec {
+    /// Worker-thread cap for the sweep.
+    pub threads: Option<usize>,
+    /// Result-store directory.
+    pub store: Option<String>,
+    /// Persistent program-cache directory.
+    pub program_cache: Option<String>,
+    /// Assert the store already holds a checkpoint.
+    pub resume: bool,
+    /// Run only shard `(k, n)` of the grid.
+    pub shard: Option<(usize, usize)>,
+    /// Post-sweep store size cap in MiB.
+    pub store_gc_mib: Option<u64>,
+}
+
+/// The output block of a manifest: where to write the JSON artefact and
+/// which chart kind to render on stdout.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OutputSpec {
+    /// JSON artefact path (`--json` on the CLI overrides it).
+    pub json: Option<String>,
+    /// Chart kind (`None` = the artefact's default).
+    pub kind: Option<String>,
+}
+
+/// One fully validated experiment manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Optional display name.
+    pub name: Option<String>,
+    /// Which artefact to regenerate.
+    pub artefact: ArtefactKind,
+    /// The workload/mix entries to sweep, in order. Filled with the
+    /// artefact's default pool when the manifest omits `workloads`.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Restrict the sweep to the workload whose built name matches.
+    pub app: Option<String>,
+    /// Scenario-grid axes (sensitivity only).
+    pub axes: AxesSpec,
+    /// Grid repetitions with profile-guided reordering (ablation only).
+    pub repeat: usize,
+    /// Execution options.
+    pub execution: ExecutionSpec,
+    /// Output artefacts.
+    pub output: OutputSpec,
+    /// Set by [`ExperimentSpec::scale_down`]: the driver additionally
+    /// shrinks the dimensions the manifest cannot express (evaluated-system
+    /// list, ablation study sizes) so CI smokes stay in the seconds range.
+    pub reduced: bool,
+}
+
+/// The paper pool of Figure 3 / Figure 4 as explicit manifest entries (the
+/// sizes of [`crate::paper_workloads`]).
+#[must_use]
+pub fn paper_workload_specs() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec::sized("axpy", 4096),
+        WorkloadSpec::sized("blackscholes", 1024),
+        WorkloadSpec {
+            m: Some(2),
+            ..WorkloadSpec::sized("lavamd2", 48)
+        },
+        WorkloadSpec {
+            m: Some(64),
+            ..WorkloadSpec::sized("particlefilter", 2048)
+        },
+        WorkloadSpec::sized("somier", 4096),
+        WorkloadSpec::sized("swaptions", 1024),
+    ]
+}
+
+/// The sensitivity-study pool as explicit manifest entries (the sizes of
+/// [`crate::sensitivity_workloads`]).
+#[must_use]
+pub fn sensitivity_workload_specs() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec::sized("axpy", 32768),
+        WorkloadSpec::sized("blackscholes", 8192),
+        WorkloadSpec::sized("somier", 16384),
+        WorkloadSpec::sized("composite", 16384),
+    ]
+}
+
+impl ExperimentSpec {
+    /// A spec with every field at the artefact's defaults — what a manifest
+    /// containing only `{"artefact": "..."}` parses to.
+    #[must_use]
+    pub fn new(artefact: ArtefactKind) -> Self {
+        Self {
+            name: None,
+            artefact,
+            workloads: match artefact {
+                ArtefactKind::Fig3 | ArtefactKind::Fig4 => paper_workload_specs(),
+                ArtefactKind::Sensitivity => sensitivity_workload_specs(),
+                // The ablation's (workload, base-config) pairs are the
+                // studies themselves, not a pool.
+                ArtefactKind::Ablation => Vec::new(),
+            },
+            app: None,
+            axes: AxesSpec::default(),
+            repeat: 1,
+            execution: ExecutionSpec::default(),
+            output: OutputSpec::default(),
+            reduced: false,
+        }
+    }
+
+    /// Parses and validates a manifest. `label` names the source in
+    /// diagnostics (conventionally the file path).
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic for malformed JSON, an unknown field, an
+    /// unknown artefact/workload/chart name, or an out-of-range value —
+    /// each naming the offending token and its byte offset in `text`.
+    pub fn parse(label: &str, text: &str) -> Result<Self, String> {
+        let ctx = Ctx { label, text };
+        let doc = parse(text).map_err(|e| format!("manifest {label}: {e}"))?;
+        let Json::Obj(fields) = &doc else {
+            return Err(format!("manifest {label}: the document must be an object"));
+        };
+
+        let artefact_str = doc
+            .get("artefact")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("manifest {label}: missing required field \"artefact\""))?;
+        let artefact = ArtefactKind::from_str(artefact_str).ok_or_else(|| {
+            ctx.fail(
+                artefact_str,
+                format!("unknown artefact {artefact_str:?} (expected fig3, fig4, sensitivity or ablation)"),
+            )
+        })?;
+        let mut spec = Self::new(artefact);
+
+        for (key, value) in fields {
+            match key.as_str() {
+                "artefact" => {}
+                "name" => {
+                    spec.name = Some(
+                        value
+                            .as_str()
+                            .ok_or_else(|| ctx.fail(key, "\"name\" must be a string"))?
+                            .to_string(),
+                    );
+                }
+                "workloads" => {
+                    if artefact == ArtefactKind::Ablation {
+                        return Err(ctx.fail(
+                            key,
+                            "\"workloads\" does not apply to the ablation artefact \
+                             (its studies fix their own workloads)",
+                        ));
+                    }
+                    spec.workloads = parse_workloads(&ctx, value)?;
+                }
+                "app" => {
+                    if matches!(artefact, ArtefactKind::Fig4 | ArtefactKind::Ablation) {
+                        return Err(ctx.fail(
+                            key,
+                            format!(
+                                "\"app\" does not apply to the {} artefact",
+                                artefact.as_str()
+                            ),
+                        ));
+                    }
+                    spec.app = Some(
+                        value
+                            .as_str()
+                            .ok_or_else(|| ctx.fail(key, "\"app\" must be a string"))?
+                            .to_string(),
+                    );
+                }
+                "axes" => {
+                    if artefact != ArtefactKind::Sensitivity {
+                        return Err(ctx.fail(
+                            key,
+                            format!(
+                                "\"axes\" does not apply to the {} artefact \
+                                 (its scenario grid is fixed)",
+                                artefact.as_str()
+                            ),
+                        ));
+                    }
+                    spec.axes = parse_axes(&ctx, value)?;
+                }
+                "repeat" => {
+                    if artefact != ArtefactKind::Ablation {
+                        return Err(ctx.fail(
+                            key,
+                            format!(
+                                "\"repeat\" does not apply to the {} artefact",
+                                artefact.as_str()
+                            ),
+                        ));
+                    }
+                    spec.repeat = positive_usize(&ctx, value, "repeat")?;
+                }
+                "execution" => {
+                    spec.execution = parse_execution(&ctx, value)?;
+                }
+                "output" => {
+                    spec.output = parse_output(&ctx, value, artefact)?;
+                }
+                other => {
+                    return Err(ctx.fail(
+                        other,
+                        format!(
+                            "unknown field {other:?} (expected name, artefact, workloads, app, \
+                             axes, repeat, execution or output)"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        spec.validate(&ctx)?;
+        Ok(spec)
+    }
+
+    /// Cross-field validation shared by [`ExperimentSpec::parse`] and the
+    /// flag-translation constructors.
+    fn validate(&self, ctx: &Ctx<'_>) -> Result<(), String> {
+        if self.artefact != ArtefactKind::Ablation && self.workloads.is_empty() {
+            return Err(format!(
+                "manifest {}: \"workloads\" needs at least one entry",
+                ctx.label
+            ));
+        }
+        let mut solver_entries = 0usize;
+        for w in &self.workloads {
+            // Build each entry once up front so an unknown name or a stray
+            // parameter fails at parse time with an offset, not mid-sweep.
+            MixRegistry::build(w).map_err(|e| ctx.fail(&w.name, e))?;
+            if w.name == "solver" {
+                solver_entries += 1;
+            }
+        }
+        if solver_entries > 1 {
+            // The unroll depth is recorded as one scenario axis for the
+            // whole grid, so two solver entries with different depths would
+            // mislabel every report.
+            return Err(ctx.fail(
+                "solver",
+                "at most one \"solver\" entry per manifest (its \"iters\" is a grid-wide axis)",
+            ));
+        }
+        if self.artefact == ArtefactKind::Sensitivity {
+            if self.axes.mvl.is_empty() || self.axes.l2_kib.is_empty() {
+                return Err(format!(
+                    "manifest {}: axes \"mvl\" and \"l2_kib\" need at least one value each",
+                    ctx.label
+                ));
+            }
+            if let Some(&bad) =
+                self.axes.mvl.iter().find(|&&m| {
+                    m % MIN_MVL_ELEMS != 0 || !(MIN_MVL_ELEMS..=MAX_MVL_ELEMS).contains(&m)
+                })
+            {
+                return Err(ctx.fail(
+                    &bad.to_string(),
+                    format!(
+                        "\"mvl\" values must be multiples of {MIN_MVL_ELEMS} in \
+                         {MIN_MVL_ELEMS}..={MAX_MVL_ELEMS}, got {bad}"
+                    ),
+                ));
+            }
+            if let Some(&bad) = self.axes.extra.vvrs.iter().find(|&&v| v < 32) {
+                return Err(ctx.fail(
+                    &bad.to_string(),
+                    format!("\"vvrs\" values must be at least the 32 architectural registers, got {bad}"),
+                ));
+            }
+        }
+        if let Some((_, of)) = self.execution.shard {
+            let _ = of; // validated in parse_execution / by the constructor
+        }
+        if (self.execution.resume
+            || self.execution.shard.is_some()
+            || self.execution.store_gc_mib.is_some())
+            && self.execution.store.is_none()
+        {
+            return Err(format!(
+                "manifest {}: execution \"resume\"/\"shard\"/\"store_gc_mib\" require \"store\"",
+                ctx.label
+            ));
+        }
+        Ok(())
+    }
+
+    /// Emits the manifest back as JSON in canonical field order. Parsing
+    /// the emitted document yields an equal spec (the round-trip contract
+    /// of `tests/manifests.rs`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut o = object();
+        if let Some(name) = &self.name {
+            o = o.field("name", name.as_str());
+        }
+        o = o.field("artefact", self.artefact.as_str());
+        if self.artefact != ArtefactKind::Ablation {
+            o = o.field(
+                "workloads",
+                self.workloads
+                    .iter()
+                    .map(WorkloadSpec::to_json)
+                    .collect::<Json>(),
+            );
+        }
+        if let Some(app) = &self.app {
+            o = o.field("app", app.as_str());
+        }
+        if self.artefact == ArtefactKind::Sensitivity {
+            let mut axes = object()
+                .field(
+                    "mvl",
+                    self.axes
+                        .mvl
+                        .iter()
+                        .map(|&v| Json::from(v))
+                        .collect::<Json>(),
+                )
+                .field(
+                    "l2_kib",
+                    self.axes
+                        .l2_kib
+                        .iter()
+                        .map(|&v| Json::from(v))
+                        .collect::<Json>(),
+                );
+            axes = arr_field(axes, "l1_kib", &self.axes.extra.l1_kib);
+            axes = arr_field(axes, "dram_bw", &self.axes.extra.dram_bw);
+            axes = arr_field(axes, "vmu_bus", &self.axes.extra.vmu_bus);
+            axes = arr_field(axes, "vvrs", &self.axes.extra.vvrs);
+            o = o.field("axes", axes.finish());
+        }
+        if self.artefact == ArtefactKind::Ablation && self.repeat != 1 {
+            o = o.field("repeat", self.repeat);
+        }
+        if self.execution != ExecutionSpec::default() {
+            let mut e = object();
+            if let Some(threads) = self.execution.threads {
+                e = e.field("threads", threads);
+            }
+            if let Some(store) = &self.execution.store {
+                e = e.field("store", store.as_str());
+            }
+            if let Some(cache) = &self.execution.program_cache {
+                e = e.field("program_cache", cache.as_str());
+            }
+            if self.execution.resume {
+                e = e.field("resume", true);
+            }
+            if let Some((k, n)) = self.execution.shard {
+                e = e.field("shard", format!("{k}/{n}"));
+            }
+            if let Some(mib) = self.execution.store_gc_mib {
+                e = e.field("store_gc_mib", mib);
+            }
+            o = o.field("execution", e.finish());
+        }
+        if self.output != OutputSpec::default() {
+            let mut out = object();
+            if let Some(json) = &self.output.json {
+                out = out.field("json", json.as_str());
+            }
+            if let Some(kind) = &self.output.kind {
+                out = out.field("kind", kind.as_str());
+            }
+            o = o.field("output", out.finish());
+        }
+        o.finish()
+    }
+
+    /// Shrinks the experiment to CI-smoke size: the workload list drops to
+    /// its first entry, every driven axis to its first value, and the
+    /// ablation repeat count to 1. The driver additionally truncates the
+    /// dimensions a manifest cannot express (the fig3 evaluated-system
+    /// list, the ablation study problem sizes) when this flag is set.
+    pub fn scale_down(&mut self) {
+        self.workloads.truncate(1);
+        self.axes.mvl.truncate(1);
+        self.axes.l2_kib.truncate(1);
+        self.axes.extra.l1_kib.truncate(1);
+        self.axes.extra.dram_bw.truncate(1);
+        self.axes.extra.vmu_bus.truncate(1);
+        self.axes.extra.vvrs.truncate(1);
+        self.repeat = 1;
+        self.reduced = true;
+    }
+
+    /// The chart kind in effect (explicit `output.kind` or the artefact
+    /// default).
+    #[must_use]
+    pub fn chart(&self) -> &str {
+        self.output
+            .kind
+            .as_deref()
+            .unwrap_or_else(|| self.artefact.default_chart())
+    }
+
+    // ------------------------------------------------------------------
+    // Flag translation: the legacy binaries build their spec here
+    // ------------------------------------------------------------------
+
+    /// The spec a `fig3 [--app] [--chart] [--mix] [--iters]` invocation
+    /// translates to.
+    ///
+    /// # Errors
+    ///
+    /// Returns the legacy diagnostics for an unknown chart or mix name, or
+    /// an `--iters` without `--mix solver`.
+    pub fn fig3(
+        app: Option<String>,
+        chart: &str,
+        mix: &str,
+        iters: Option<usize>,
+    ) -> Result<Self, String> {
+        let mut spec = Self::new(ArtefactKind::Fig3);
+        if !ArtefactKind::Fig3.chart_kinds().contains(&chart) {
+            return Err(format!(
+                "--chart must be mem, mix, perf, energy or all, got {chart}"
+            ));
+        }
+        spec.output.kind = Some(chart.to_string());
+        spec.append_mix(mix, iters, 4096)?;
+        spec.app = app;
+        Ok(spec)
+    }
+
+    /// The spec a flag-less `fig4` invocation translates to.
+    #[must_use]
+    pub fn fig4() -> Self {
+        Self::new(ArtefactKind::Fig4)
+    }
+
+    /// The spec a `sensitivity` invocation translates to: the axis lists
+    /// (defaults already applied by the caller), the mix selection and the
+    /// chart kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns the legacy diagnostics for axis values out of range, an
+    /// unknown mix/chart name, or an `--iters` without `--mix solver`.
+    pub fn sensitivity(
+        axes: AxesSpec,
+        mix: &str,
+        iters: Option<usize>,
+        app: Option<String>,
+        chart: &str,
+    ) -> Result<Self, String> {
+        let mut spec = Self::new(ArtefactKind::Sensitivity);
+        if !ArtefactKind::Sensitivity.chart_kinds().contains(&chart) {
+            return Err(format!(
+                "--chart must be tables, energy or all, got {chart}"
+            ));
+        }
+        spec.output.kind = Some(chart.to_string());
+        spec.axes = axes;
+        spec.append_mix(mix, iters, 8192)?;
+        spec.app = app;
+        spec.validate_flags()?;
+        Ok(spec)
+    }
+
+    /// The spec an `ablation [--repeat <n>]` invocation translates to.
+    #[must_use]
+    pub fn ablation(repeat: usize) -> Self {
+        let mut spec = Self::new(ArtefactKind::Ablation);
+        spec.repeat = repeat.max(1);
+        spec
+    }
+
+    /// Appends the legacy `--mix` selection to the default pool.
+    fn append_mix(&mut self, mix: &str, iters: Option<usize>, size: usize) -> Result<(), String> {
+        if !["independent", "pipelined", "solver"].contains(&mix) {
+            return Err(format!(
+                "--mix must be independent, pipelined or solver, got {mix}"
+            ));
+        }
+        if iters.is_some() && mix != "solver" {
+            // Silently ignoring the flag would let a sweep the user
+            // believes covers n iterations run with no iteration axis at
+            // all.
+            return Err("--iters only applies to --mix solver".to_string());
+        }
+        match mix {
+            "pipelined" => self.workloads.push(WorkloadSpec::sized("pipelined", size)),
+            "solver" => self.workloads.push(WorkloadSpec {
+                iters: Some(iters.unwrap_or(4)),
+                ..WorkloadSpec::sized("solver", size)
+            }),
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Runs the shared validation against a flag-built spec (no source
+    /// text, so diagnostics carry no byte offsets).
+    fn validate_flags(&self) -> Result<(), String> {
+        self.validate(&Ctx {
+            label: "<flags>",
+            text: "",
+        })
+        .map_err(|e| {
+            e.strip_prefix("manifest <flags>: ")
+                .unwrap_or(&e)
+                .to_string()
+        })
+    }
+}
+
+/// Diagnostic context: the manifest label plus its source text, so schema
+/// errors can locate the offending token by byte offset.
+struct Ctx<'a> {
+    label: &'a str,
+    text: &'a str,
+}
+
+impl Ctx<'_> {
+    /// Formats `msg` with the byte offset of `token` in the source (the
+    /// quoted form is preferred so values inside longer words do not
+    /// mislead).
+    fn fail(&self, token: &str, msg: impl std::fmt::Display) -> String {
+        let quoted = format!("\"{token}\"");
+        match self.text.find(&quoted).or_else(|| self.text.find(token)) {
+            Some(pos) => format!("manifest {}: {msg} at byte {pos}", self.label),
+            None => format!("manifest {}: {msg}", self.label),
+        }
+    }
+}
+
+fn arr_field<T: Copy + Into<Json>>(o: ObjectBuilder, key: &str, values: &[T]) -> ObjectBuilder {
+    if values.is_empty() {
+        o
+    } else {
+        o.field(key, values.iter().map(|&v| v.into()).collect::<Json>())
+    }
+}
+
+fn positive_usize(ctx: &Ctx<'_>, value: &Json, what: &str) -> Result<usize, String> {
+    match value.as_u64() {
+        Some(n) if n >= 1 => Ok(n as usize),
+        _ => Err(ctx.fail(what, format!("\"{what}\" needs a positive integer"))),
+    }
+}
+
+fn usize_list(ctx: &Ctx<'_>, value: &Json, what: &str) -> Result<Vec<usize>, String> {
+    let items = value.as_arr().ok_or_else(|| {
+        ctx.fail(
+            what,
+            format!("axis \"{what}\" must be an array of integers"),
+        )
+    })?;
+    items
+        .iter()
+        .map(|v| match v.as_u64() {
+            Some(n) if n >= 1 => Ok(n as usize),
+            _ => Err(ctx.fail(
+                what,
+                format!("axis \"{what}\" values must be positive integers"),
+            )),
+        })
+        .collect()
+}
+
+fn parse_workloads(ctx: &Ctx<'_>, value: &Json) -> Result<Vec<WorkloadSpec>, String> {
+    let items = value.as_arr().ok_or_else(|| {
+        ctx.fail(
+            "workloads",
+            "\"workloads\" must be an array of names or {name, n, m, iters} objects",
+        )
+    })?;
+    items
+        .iter()
+        .map(|item| match item {
+            Json::Str(name) => Ok(WorkloadSpec::named(name)),
+            Json::Obj(fields) => {
+                let mut spec = WorkloadSpec::named("");
+                for (key, v) in fields {
+                    match key.as_str() {
+                        "name" => {
+                            spec.name = v
+                                .as_str()
+                                .ok_or_else(|| ctx.fail(key, "workload \"name\" must be a string"))?
+                                .to_string();
+                        }
+                        "n" => spec.n = Some(positive_usize(ctx, v, "n")?),
+                        "m" => spec.m = Some(positive_usize(ctx, v, "m")?),
+                        "iters" => spec.iters = Some(positive_usize(ctx, v, "iters")?),
+                        other => {
+                            return Err(ctx.fail(
+                                other,
+                                format!(
+                                "unknown workload field {other:?} (expected name, n, m or iters)"
+                            ),
+                            ))
+                        }
+                    }
+                }
+                if spec.name.is_empty() {
+                    return Err(format!(
+                        "manifest {}: every workload object needs a \"name\"",
+                        ctx.label
+                    ));
+                }
+                Ok(spec)
+            }
+            _ => Err(ctx.fail(
+                "workloads",
+                "\"workloads\" entries must be names or {name, n, m, iters} objects",
+            )),
+        })
+        .collect()
+}
+
+fn parse_axes(ctx: &Ctx<'_>, value: &Json) -> Result<AxesSpec, String> {
+    let Json::Obj(fields) = value else {
+        return Err(ctx.fail("axes", "\"axes\" must be an object of axis-name arrays"));
+    };
+    let mut axes = AxesSpec::default();
+    for (key, v) in fields {
+        match key.as_str() {
+            "mvl" => axes.mvl = usize_list(ctx, v, "mvl")?,
+            "l2_kib" => axes.l2_kib = usize_list(ctx, v, "l2_kib")?,
+            "l1_kib" => axes.extra.l1_kib = usize_list(ctx, v, "l1_kib")?,
+            "dram_bw" => {
+                axes.extra.dram_bw = usize_list(ctx, v, "dram_bw")?
+                    .into_iter()
+                    .map(|x| x as u64)
+                    .collect();
+            }
+            "vmu_bus" => {
+                axes.extra.vmu_bus = usize_list(ctx, v, "vmu_bus")?
+                    .into_iter()
+                    .map(|x| x as u64)
+                    .collect();
+            }
+            "vvrs" => axes.extra.vvrs = usize_list(ctx, v, "vvrs")?,
+            other => {
+                return Err(ctx.fail(
+                    other,
+                    format!(
+                        "unknown axis {other:?} (expected mvl, l2_kib, l1_kib, dram_bw, \
+                         vmu_bus or vvrs)"
+                    ),
+                ))
+            }
+        }
+    }
+    Ok(axes)
+}
+
+fn parse_execution(ctx: &Ctx<'_>, value: &Json) -> Result<ExecutionSpec, String> {
+    let Json::Obj(fields) = value else {
+        return Err(ctx.fail("execution", "\"execution\" must be an object"));
+    };
+    let mut exec = ExecutionSpec::default();
+    for (key, v) in fields {
+        match key.as_str() {
+            "threads" => exec.threads = Some(positive_usize(ctx, v, "threads")?),
+            "store" => {
+                exec.store = Some(
+                    v.as_str()
+                        .ok_or_else(|| ctx.fail(key, "execution \"store\" must be a path string"))?
+                        .to_string(),
+                );
+            }
+            "program_cache" => {
+                exec.program_cache = Some(
+                    v.as_str()
+                        .ok_or_else(|| {
+                            ctx.fail(key, "execution \"program_cache\" must be a path string")
+                        })?
+                        .to_string(),
+                );
+            }
+            "resume" => {
+                exec.resume = v
+                    .as_bool()
+                    .ok_or_else(|| ctx.fail(key, "execution \"resume\" must be a boolean"))?;
+            }
+            "shard" => {
+                let s = v.as_str().ok_or_else(|| {
+                    ctx.fail(key, "execution \"shard\" must be a \"<k>/<n>\" string")
+                })?;
+                exec.shard = Some(crate::cli::parse_shard(s).map_err(|e| ctx.fail(s, e))?);
+            }
+            "store_gc_mib" => {
+                exec.store_gc_mib = Some(v.as_u64().ok_or_else(|| {
+                    ctx.fail(key, "execution \"store_gc_mib\" must be an integer")
+                })?);
+            }
+            other => {
+                return Err(ctx.fail(
+                    other,
+                    format!(
+                        "unknown execution field {other:?} (expected threads, store, \
+                         program_cache, resume, shard or store_gc_mib)"
+                    ),
+                ))
+            }
+        }
+    }
+    Ok(exec)
+}
+
+fn parse_output(ctx: &Ctx<'_>, value: &Json, artefact: ArtefactKind) -> Result<OutputSpec, String> {
+    let Json::Obj(fields) = value else {
+        return Err(ctx.fail("output", "\"output\" must be an object"));
+    };
+    let mut output = OutputSpec::default();
+    for (key, v) in fields {
+        match key.as_str() {
+            "json" => {
+                output.json = Some(
+                    v.as_str()
+                        .ok_or_else(|| ctx.fail(key, "output \"json\" must be a path string"))?
+                        .to_string(),
+                );
+            }
+            "kind" => {
+                let kind = v
+                    .as_str()
+                    .ok_or_else(|| ctx.fail(key, "output \"kind\" must be a string"))?;
+                let allowed = artefact.chart_kinds();
+                if allowed.is_empty() {
+                    return Err(ctx.fail(
+                        key,
+                        format!(
+                            "output \"kind\" does not apply to the {} artefact \
+                             (it has a single rendering)",
+                            artefact.as_str()
+                        ),
+                    ));
+                }
+                if !allowed.contains(&kind) {
+                    return Err(ctx.fail(
+                        kind,
+                        format!(
+                            "unknown chart kind {kind:?} for {} (expected {})",
+                            artefact.as_str(),
+                            allowed.join(", ")
+                        ),
+                    ));
+                }
+                output.kind = Some(kind.to_string());
+            }
+            other => {
+                return Err(ctx.fail(
+                    other,
+                    format!("unknown output field {other:?} (expected json or kind)"),
+                ))
+            }
+        }
+    }
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_manifests_parse_to_the_artefact_defaults() {
+        let spec = ExperimentSpec::parse("t", r#"{"artefact": "fig3"}"#).unwrap();
+        assert_eq!(spec.artefact, ArtefactKind::Fig3);
+        assert_eq!(spec.workloads, paper_workload_specs());
+        assert_eq!(spec.chart(), "all");
+        let spec = ExperimentSpec::parse("t", r#"{"artefact": "sensitivity"}"#).unwrap();
+        assert_eq!(spec.workloads, sensitivity_workload_specs());
+        assert_eq!(spec.axes.mvl, SENSITIVITY_MVLS.to_vec());
+        assert_eq!(spec.chart(), "tables");
+        let spec = ExperimentSpec::parse("t", r#"{"artefact": "ablation"}"#).unwrap();
+        assert!(spec.workloads.is_empty());
+        assert_eq!(spec.repeat, 1);
+    }
+
+    #[test]
+    fn unknown_fields_and_names_carry_byte_offsets() {
+        let text = r#"{"artefact": "fig3", "frobnicate": 1}"#;
+        let err = ExperimentSpec::parse("t", text).unwrap_err();
+        let offset = text.find("\"frobnicate\"").unwrap();
+        assert!(
+            err.contains("frobnicate") && err.contains(&format!("byte {offset}")),
+            "{err}"
+        );
+
+        let text = r#"{"artefact": "fig3", "workloads": ["axpyz"]}"#;
+        let err = ExperimentSpec::parse("t", text).unwrap_err();
+        let offset = text.find("\"axpyz\"").unwrap();
+        assert!(
+            err.contains("axpyz") && err.contains(&format!("byte {offset}")),
+            "{err}"
+        );
+
+        let err = ExperimentSpec::parse("t", r#"{"artefact": "fig9"}"#).unwrap_err();
+        assert!(err.contains("fig9") && err.contains("byte"), "{err}");
+    }
+
+    #[test]
+    fn malformed_json_reports_the_parser_offset() {
+        let err = ExperimentSpec::parse("t", "{\"artefact\": ").unwrap_err();
+        assert!(err.contains("manifest t:") && err.contains("byte"), "{err}");
+    }
+
+    #[test]
+    fn artefact_scoped_fields_are_rejected_elsewhere() {
+        for (text, needle) in [
+            (r#"{"artefact": "fig3", "axes": {"mvl": [128]}}"#, "axes"),
+            (r#"{"artefact": "fig3", "repeat": 2}"#, "repeat"),
+            (
+                r#"{"artefact": "ablation", "workloads": ["axpy"]}"#,
+                "workloads",
+            ),
+            (r#"{"artefact": "fig4", "app": "axpy"}"#, "app"),
+            (r#"{"artefact": "fig4", "output": {"kind": "all"}}"#, "kind"),
+            (
+                r#"{"artefact": "fig3", "output": {"kind": "tables"}}"#,
+                "tables",
+            ),
+        ] {
+            let err = ExperimentSpec::parse("t", text).unwrap_err();
+            assert!(err.contains(needle), "{text} -> {err}");
+        }
+    }
+
+    #[test]
+    fn axis_values_are_validated_like_the_legacy_flags() {
+        let err = ExperimentSpec::parse(
+            "t",
+            r#"{"artefact": "sensitivity", "axes": {"mvl": [100]}}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("multiples of") && err.contains("100"), "{err}");
+        let err = ExperimentSpec::parse(
+            "t",
+            r#"{"artefact": "sensitivity", "axes": {"vvrs": [16]}}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("32 architectural registers"), "{err}");
+        let err = ExperimentSpec::parse(
+            "t",
+            r#"{"artefact": "sensitivity", "axes": {"l2_kib": []}}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("at least one value"), "{err}");
+    }
+
+    #[test]
+    fn solver_iters_is_scoped_to_the_solver_mix() {
+        let spec = ExperimentSpec::parse(
+            "t",
+            r#"{"artefact": "fig3", "workloads": [{"name": "solver", "n": 512, "iters": 3}]}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.workloads[0].iters, Some(3));
+        let err = ExperimentSpec::parse(
+            "t",
+            r#"{"artefact": "fig3", "workloads": [{"name": "axpy", "iters": 3}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("solver"), "{err}");
+        let err = ExperimentSpec::parse(
+            "t",
+            r#"{"artefact": "fig3", "workloads": ["solver", {"name": "solver", "iters": 2}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("at most one"), "{err}");
+    }
+
+    #[test]
+    fn execution_block_parses_and_cross_checks() {
+        let spec = ExperimentSpec::parse(
+            "t",
+            r#"{"artefact": "fig3", "execution": {"threads": 2, "store": "d", "shard": "1/4",
+                "store_gc_mib": 64, "resume": true, "program_cache": "p"}}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.execution.threads, Some(2));
+        assert_eq!(spec.execution.shard, Some((1, 4)));
+        assert!(spec.execution.resume);
+        let err = ExperimentSpec::parse(
+            "t",
+            r#"{"artefact": "fig3", "execution": {"resume": true}}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("require \"store\""), "{err}");
+        let err = ExperimentSpec::parse(
+            "t",
+            r#"{"artefact": "fig3", "execution": {"store": "d", "shard": "4/4"}}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("shard"), "{err}");
+    }
+
+    #[test]
+    fn specs_round_trip_through_their_json_form() {
+        let texts = [
+            r#"{"artefact": "fig3", "workloads": ["axpy", {"name": "solver", "n": 512, "iters": 2}],
+                "app": "iterated", "output": {"json": "out.json", "kind": "perf"}}"#,
+            r#"{"name": "vvr", "artefact": "sensitivity",
+                "axes": {"mvl": [128], "l2_kib": [512], "vvrs": [32, 64]},
+                "execution": {"threads": 1}}"#,
+            r#"{"artefact": "ablation", "repeat": 3}"#,
+            r#"{"artefact": "fig4"}"#,
+        ];
+        for text in texts {
+            let spec = ExperimentSpec::parse("t", text).unwrap();
+            let emitted = spec.to_json().to_string();
+            let reparsed = ExperimentSpec::parse("t", &emitted).unwrap();
+            assert_eq!(spec, reparsed, "round-trip changed the spec for {text}");
+        }
+    }
+
+    #[test]
+    fn scale_down_truncates_every_dimension() {
+        let mut spec = ExperimentSpec::parse(
+            "t",
+            r#"{"artefact": "sensitivity",
+                "axes": {"mvl": [128, 256, 512], "l2_kib": [256, 1024], "l1_kib": [16, 64]}}"#,
+        )
+        .unwrap();
+        spec.scale_down();
+        assert!(spec.reduced);
+        assert_eq!(spec.workloads.len(), 1);
+        assert_eq!(spec.axes.mvl, vec![128]);
+        assert_eq!(spec.axes.l2_kib, vec![256]);
+        assert_eq!(spec.axes.extra.l1_kib, vec![16]);
+    }
+
+    #[test]
+    fn mix_registry_builds_kernels_and_mixes() {
+        assert_eq!(
+            MixRegistry::build(&WorkloadSpec::named("axpy"))
+                .unwrap()
+                .name(),
+            "axpy"
+        );
+        assert_eq!(
+            MixRegistry::build(&WorkloadSpec::sized("pipelined", 512))
+                .unwrap()
+                .name(),
+            "pipelined"
+        );
+        let solver = MixRegistry::build(&WorkloadSpec {
+            iters: Some(2),
+            ..WorkloadSpec::sized("solver", 512)
+        })
+        .unwrap();
+        assert_eq!(solver.name(), "iterated");
+        assert!(MixRegistry::build(&WorkloadSpec::named("nope")).is_err());
+        assert!(MixRegistry::names().contains(&"solver"));
+    }
+
+    #[test]
+    fn flag_translation_matches_hand_written_manifests() {
+        let from_flags =
+            ExperimentSpec::fig3(Some("axpy".into()), "perf", "independent", None).unwrap();
+        let from_text = ExperimentSpec::parse(
+            "t",
+            &format!(
+                r#"{{"artefact": "fig3", "workloads": {},
+                     "app": "axpy", "output": {{"kind": "perf"}}}}"#,
+                Json::Arr(
+                    paper_workload_specs()
+                        .iter()
+                        .map(WorkloadSpec::to_json)
+                        .collect()
+                )
+            ),
+        )
+        .unwrap();
+        assert_eq!(from_flags, from_text);
+
+        assert!(ExperimentSpec::fig3(None, "all", "solver", None).is_ok());
+        assert!(ExperimentSpec::fig3(None, "all", "independent", Some(3)).is_err());
+        assert!(ExperimentSpec::fig3(None, "bogus", "independent", None).is_err());
+    }
+}

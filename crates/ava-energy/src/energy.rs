@@ -9,8 +9,9 @@
 //! of each structure's leakage power (from the SRAM model / calibrated
 //! constants) and the execution time.
 
-use ava_sim::RunReport;
-use ava_vpu::{RenameMode, VpuConfig};
+use ava_memory::MemoryStats;
+use ava_sim::{PhaseBreakdown, RunReport};
+use ava_vpu::{RenameMode, VpuConfig, VpuStats};
 
 use crate::sram::SramMacro;
 
@@ -101,29 +102,72 @@ pub fn energy_breakdown_with_l2(
     l2_bytes: usize,
     params: &EnergyParams,
 ) -> EnergyBreakdown {
-    let seconds = report.cycles as f64 / 1.0e9;
+    counter_energy(
+        report.cycles,
+        &report.vpu,
+        &report.mem,
+        config,
+        l2_bytes,
+        params,
+    )
+}
+
+/// Prices one phase segment of a multi-kernel run. The segment's VPU cycles
+/// stand in for execution time (leakage is charged for the phase's share of
+/// the run, so the per-phase leakages sum to roughly the whole run's), and
+/// the segment's own event counters drive the dynamic terms — the per-phase
+/// dynamic energies partition the run's exactly, because the counters do.
+#[must_use]
+pub fn phase_energy_breakdown(
+    phase: &PhaseBreakdown,
+    config: &VpuConfig,
+    l2_bytes: usize,
+    params: &EnergyParams,
+) -> EnergyBreakdown {
+    counter_energy(
+        phase.vpu_cycles,
+        &phase.vpu,
+        &phase.mem,
+        config,
+        l2_bytes,
+        params,
+    )
+}
+
+/// The shared pricing core: any (cycles, VPU counters, memory counters)
+/// segment — a whole run or one phase of it — against one machine's SRAM
+/// macros and energy constants.
+fn counter_energy(
+    cycles: u64,
+    vpu: &VpuStats,
+    mem: &MemoryStats,
+    config: &VpuConfig,
+    l2_bytes: usize,
+    params: &EnergyParams,
+) -> EnergyBreakdown {
+    let seconds = cycles as f64 / 1.0e9;
     let pj_to_mj = 1.0e-9;
 
     let l2_macro = SramMacro::new(l2_bytes, 1, 1);
     let vrf_macro = SramMacro::new(config.pvrf_bytes, 4, 2);
 
-    let l2_accesses = report.mem.l2.accesses() as f64;
+    let l2_accesses = mem.l2.accesses() as f64;
     let l2_dynamic = (l2_accesses * params.l2_pj_per_access
-        + report.mem.dram_bytes as f64 * params.dram_pj_per_byte)
+        + mem.dram_bytes as f64 * params.dram_pj_per_byte)
         * pj_to_mj;
     // Leakage power in mW times seconds gives millijoules directly.
     let l2_leakage = l2_macro.leakage_mw() * seconds;
 
-    let vrf_accesses = (report.vpu.vrf_read_elems + report.vpu.vrf_write_elems) as f64;
+    let vrf_accesses = (vpu.vrf_read_elems + vpu.vrf_write_elems) as f64;
     let ava_extra = match config.mode {
-        RenameMode::Ava => report.vpu.issued_instrs() as f64 * params.ava_pj_per_instr,
+        RenameMode::Ava => vpu.issued_instrs() as f64 * params.ava_pj_per_instr,
         RenameMode::Native => 0.0,
     };
     let vrf_dynamic = (vrf_accesses * vrf_macro.energy_per_access_pj() + ava_extra) * pj_to_mj;
     let vrf_leakage = vrf_macro.leakage_mw() * seconds;
 
-    let fpu_dynamic = (report.vpu.fpu_ops as f64 * params.fpu_pj_per_op
-        + report.vpu.int_ops as f64 * params.int_pj_per_op)
+    let fpu_dynamic = (vpu.fpu_ops as f64 * params.fpu_pj_per_op
+        + vpu.int_ops as f64 * params.int_pj_per_op)
         * pj_to_mj;
     let fpu_leakage = params.fpu_leakage_mw * seconds;
 
@@ -193,6 +237,34 @@ mod tests {
         // LMUL8 moves far more data (full-MVL spill code), so its L2+VRF
         // dynamic energy per option priced must be higher.
         assert!(e8.l2_dynamic + e8.vrf_dynamic > e1.l2_dynamic + e1.vrf_dynamic);
+    }
+
+    #[test]
+    fn phase_energies_partition_the_run_dynamic_energy() {
+        use std::sync::Arc;
+        let mix = ava_workloads::Composite::new(vec![
+            Arc::new(Axpy::new(512)),
+            Arc::new(Blackscholes::new(128)),
+        ]);
+        let p = EnergyParams::default();
+        let scenario = ScenarioConfig::ava_x(2);
+        let r = run_workload(&mix, &scenario);
+        assert!(!r.phases.is_empty(), "composite runs must report phases");
+        let whole = energy_breakdown(&r, &scenario.vpu_config(), &p);
+        let phased: Vec<_> = r
+            .phases
+            .iter()
+            .map(|ph| phase_energy_breakdown(ph, &scenario.vpu_config(), 1024 * 1024, &p))
+            .collect();
+        for e in &phased {
+            assert!(e.total() > 0.0);
+        }
+        // The per-phase counters partition the run's, so the dynamic terms
+        // (which are pure counter prices) must sum exactly.
+        let sum = |f: fn(&EnergyBreakdown) -> f64| phased.iter().map(f).sum::<f64>();
+        assert!((sum(|e| e.l2_dynamic) - whole.l2_dynamic).abs() < 1e-9);
+        assert!((sum(|e| e.vrf_dynamic) - whole.vrf_dynamic).abs() < 1e-9);
+        assert!((sum(|e| e.fpu_dynamic) - whole.fpu_dynamic).abs() < 1e-9);
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub mod pnr;
 pub mod sram;
 
 pub use area::{system_area, vpu_area, SystemArea, VpuArea};
-pub use energy::{energy_breakdown, energy_breakdown_with_l2, EnergyBreakdown, EnergyParams};
+pub use energy::{
+    energy_breakdown, energy_breakdown_with_l2, phase_energy_breakdown, EnergyBreakdown,
+    EnergyParams,
+};
 pub use mcpat::{evaluate, McpatResult};
 pub use pnr::{pnr_estimate, PnrResult};
 pub use sram::SramMacro;

@@ -204,6 +204,22 @@ impl ScenarioConfig {
         Self::expand(bases, bytes_per_cycle, |s, &b| s.with_dram_bandwidth(b))
     }
 
+    /// Expands every base scenario along the VVR-pool axis (number of
+    /// virtual vector registers the AVA renamer draws from; see
+    /// [`ScenarioConfig::with_vvr_count`]). The bases must all be AVA
+    /// scenarios — the pool is the AVA renamer's knob, NATIVE/RG rename
+    /// from the physical registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via `with_vvr_count`) on a non-AVA base or a count below the
+    /// 32 architectural registers; callers translating manifests or flags
+    /// validate first so their errors stay diagnosable.
+    #[must_use]
+    pub fn axis_vvr(bases: &[Self], counts: &[usize]) -> Vec<Self> {
+        Self::expand(bases, counts, |s, &c| s.with_vvr_count(c))
+    }
+
     fn expand<T>(bases: &[Self], values: &[T], apply: impl Fn(Self, &T) -> Self) -> Vec<Self> {
         bases
             .iter()
@@ -766,6 +782,22 @@ mod tests {
             Axis {
                 name: "l2_kib",
                 value: 4096
+            }
+        );
+    }
+
+    #[test]
+    fn axis_vvr_sweeps_the_rename_pool_across_ava_bases() {
+        let grid = ScenarioConfig::axis_vvr(&ScenarioConfig::axis_mvl(&[128, 256]), &[32, 64]);
+        assert_eq!(grid.len(), 4);
+        assert_eq!(grid[0].label(), "AVA MVL=128 vvrs=32");
+        assert_eq!(grid[3].label(), "AVA MVL=256 vvrs=64");
+        assert_eq!(grid[3].resolve().vpu.rename_pool(), 64);
+        assert_eq!(
+            grid[3].axes()[1],
+            Axis {
+                name: "vvrs",
+                value: 64
             }
         );
     }

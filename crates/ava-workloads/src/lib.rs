@@ -36,6 +36,7 @@ pub mod fingerprint;
 pub mod lavamd;
 pub mod layout;
 pub mod particlefilter;
+pub mod registry;
 pub mod somier;
 pub mod swaptions;
 
@@ -55,6 +56,7 @@ pub use layout::{
     PlannedBuffer, PlannedLayout,
 };
 pub use particlefilter::ParticleFilter;
+pub use registry::{build_kernel, kernel_defaults, KERNEL_NAMES};
 pub use somier::Somier;
 pub use swaptions::Swaptions;
 
